@@ -1,0 +1,127 @@
+//! Ablation **A4** (paper §2.2): synchronous versus asynchronous port
+//! dispatch.
+//!
+//! With `MinThreadpoolSize = MaxThreadpoolSize = 0` the sender's thread
+//! executes the handler in place; otherwise the message is buffered and a
+//! pool worker (inheriting the message priority) picks it up. Synchronous
+//! dispatch avoids the queue + wakeup cost; asynchronous dispatch
+//! decouples the sender. The paper exposes both through the CCL.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use compadres_core::{App, AppBuilder, HandlerCtx, Priority};
+
+#[derive(Debug, Default, Clone)]
+struct Tick {
+    seq: u64,
+}
+
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Producer</ComponentName>
+    <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Tick</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Consumer</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Tick</MessageType></Port>
+  </Component>
+</Components>"#;
+
+fn ccl(attrs: &str) -> String {
+    format!(
+        r#"
+<Application>
+  <ApplicationName>DispatchBench</ApplicationName>
+  <Component>
+    <InstanceName>Root</InstanceName>
+    <ClassName>Producer</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>Out</PortName>
+        <Link><ToComponent>Sink</ToComponent><ToPort>In</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>Sink</InstanceName>
+      <ClassName>Consumer</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>In</PortName><PortAttributes>{attrs}</PortAttributes></Port>
+      </Connection>
+    </Component>
+  </Component>
+  <RTSJAttributes>
+    <ImmortalSize>8000000</ImmortalSize>
+    <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>131072</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+  </RTSJAttributes>
+</Application>"#
+    )
+}
+
+fn build(attrs: &str) -> (App, mpsc::Receiver<u64>, compadres_core::ChildHandle) {
+    let (tx, rx) = mpsc::channel();
+    let app = AppBuilder::from_xml(CDL, &ccl(attrs))
+        .unwrap()
+        .bind_message_type::<Tick>("Tick")
+        .register_handler("Consumer", "In", move || {
+            let tx = tx.clone();
+            move |msg: &mut Tick, _ctx: &mut HandlerCtx<'_>| {
+                let _ = tx.send(msg.seq);
+                Ok(())
+            }
+        })
+        .build()
+        .unwrap();
+    app.start().unwrap();
+    let keep = app.connect("Sink").unwrap();
+    (app, rx, keep)
+}
+
+fn one_message(app: &App, rx: &mpsc::Receiver<u64>, seq: u64) {
+    app.with_component("Root", |ctx| {
+        let mut m = ctx.get_message::<Tick>("Out").unwrap();
+        m.seq = seq;
+        ctx.send("Out", m, Priority::new(7)).unwrap();
+    })
+    .unwrap();
+    let got = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(got, seq);
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(60);
+
+    let (sync_app, sync_rx, _k1) = build(
+        "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>",
+    );
+    let mut seq = 0u64;
+    group.bench_function("synchronous", |b| {
+        b.iter(|| {
+            seq += 1;
+            one_message(&sync_app, &sync_rx, seq);
+            black_box(());
+        });
+    });
+
+    let (async_app, async_rx, _k2) = build(
+        "<BufferSize>16</BufferSize><MinThreadpoolSize>1</MinThreadpoolSize><MaxThreadpoolSize>2</MaxThreadpoolSize>",
+    );
+    let mut seq = 0u64;
+    group.bench_function("asynchronous", |b| {
+        b.iter(|| {
+            seq += 1;
+            one_message(&async_app, &async_rx, seq);
+            black_box(());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Ablation **A1** (paper §2.2): the three cross-scope message-passing
+//! mechanisms — serialization, shared object, handoff — measured between
+//! two sibling scopes, for several message sizes.
+//!
+//! Expected shape: handoff ≤ shared object < serialization, which is why
+//! Compadres builds its pools on the shared-object pattern (handoff being
+//! faster but coupling components to the scope structure).
+//!
+//! Each batch gets a fresh parent scope because serialization and the
+//! shared-object pattern allocate into it and scoped areas only reclaim
+//! wholesale — exactly the exhaustion problem the paper's message pools
+//! solve on the framework's hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use compadres_core::smm::{pass_handoff, pass_serialized, pass_shared};
+use rtmem::{Ctx, MemoryModel, Wedge};
+
+fn bench_msgpass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msgpass");
+    group.sample_size(60);
+
+    for size in [32usize, 256, 1024] {
+        let payload = vec![0xCDu8; size];
+
+        group.bench_with_input(BenchmarkId::new("serialization", size), &payload, |b, payload| {
+            b.iter_batched(
+                || {
+                    let m = MemoryModel::new();
+                    let parent = m.create_scoped(1 << 20).unwrap();
+                    let src = m.create_scoped(64 << 10).unwrap();
+                    let dst = m.create_scoped(64 << 10).unwrap();
+                    let wp = Wedge::pin_from_base(&m, parent).unwrap();
+                    let ws = Wedge::pin_under(&m, src, parent).unwrap();
+                    let wd = Wedge::pin_under(&m, dst, parent).unwrap();
+                    (m, parent, src, dst, (wp, ws, wd))
+                },
+                |(m, parent, src, dst, _w)| {
+                    let mut ctx = Ctx::no_heap(&m);
+                    ctx.enter(parent, |ctx| {
+                        ctx.enter(src, |ctx| {
+                            for _ in 0..64 {
+                                let out = pass_serialized(ctx, parent, dst, payload, |msg, _| {
+                                    msg.len()
+                                })
+                                .unwrap();
+                                black_box(out);
+                            }
+                        })
+                        .unwrap();
+                    })
+                    .unwrap();
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+
+        group.bench_with_input(BenchmarkId::new("shared_object", size), &payload, |b, payload| {
+            b.iter_batched(
+                || {
+                    let m = MemoryModel::new();
+                    let parent = m.create_scoped(1 << 20).unwrap();
+                    let src = m.create_scoped(64 << 10).unwrap();
+                    let dst = m.create_scoped(64 << 10).unwrap();
+                    let wp = Wedge::pin_from_base(&m, parent).unwrap();
+                    let ws = Wedge::pin_under(&m, src, parent).unwrap();
+                    let wd = Wedge::pin_under(&m, dst, parent).unwrap();
+                    (m, parent, src, dst, (wp, ws, wd))
+                },
+                |(m, parent, src, dst, _w)| {
+                    let mut ctx = Ctx::no_heap(&m);
+                    ctx.enter(parent, |ctx| {
+                        ctx.enter(src, |ctx| {
+                            for _ in 0..64 {
+                                let out = pass_shared(ctx, parent, dst, payload.clone(), |shared, ctx| {
+                                    shared.with(ctx, |v: &Vec<u8>| v.len()).unwrap()
+                                })
+                                .unwrap();
+                                black_box(out);
+                            }
+                        })
+                        .unwrap();
+                    })
+                    .unwrap();
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+
+        group.bench_with_input(BenchmarkId::new("handoff", size), &payload, |b, payload| {
+            b.iter_batched(
+                || {
+                    let m = MemoryModel::new();
+                    let parent = m.create_scoped(1 << 20).unwrap();
+                    let src = m.create_scoped(64 << 10).unwrap();
+                    let dst = m.create_scoped(64 << 10).unwrap();
+                    let wp = Wedge::pin_from_base(&m, parent).unwrap();
+                    let ws = Wedge::pin_under(&m, src, parent).unwrap();
+                    let wd = Wedge::pin_under(&m, dst, parent).unwrap();
+                    (m, parent, src, dst, (wp, ws, wd))
+                },
+                |(m, parent, src, dst, _w)| {
+                    let mut ctx = Ctx::no_heap(&m);
+                    ctx.enter(parent, |ctx| {
+                        ctx.enter(src, |ctx| {
+                            for _ in 0..64 {
+                                let out =
+                                    pass_handoff(ctx, parent, dst, payload, |msg, _| msg.len())
+                                        .unwrap();
+                                black_box(out);
+                            }
+                        })
+                        .unwrap();
+                    })
+                    .unwrap();
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_msgpass);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Ablation **A2** (paper §2.2, Fig. 5): shadow ports versus hop-by-hop
+//! relaying through the parent.
+//!
+//! A component C nested two levels below its grandparent A can either
+//! relay messages through its parent B (one extra pool copy and handler
+//! dispatch) or use a compiler-detected *shadow port* connecting C
+//! directly to A, with the message pool living in A's memory area.
+//! Expected shape: shadow beats relay by roughly one hop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::mpsc;
+
+use compadres_core::{App, AppBuilder, HandlerCtx, Priority};
+
+#[derive(Debug, Default, Clone)]
+struct Report {
+    value: i64,
+}
+
+const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+
+fn cdl(relay: bool) -> String {
+    let b_ports = if relay {
+        r#"
+    <Port><PortName>FromChild</PortName><PortType>In</PortType><MessageType>Report</MessageType></Port>
+    <Port><PortName>ToParent</PortName><PortType>Out</PortType><MessageType>Report</MessageType></Port>"#
+    } else {
+        ""
+    };
+    format!(
+        r#"
+<Components>
+  <Component>
+    <ComponentName>A</ComponentName>
+    <Port><PortName>Sink</PortName><PortType>In</PortType><MessageType>Report</MessageType></Port>
+    <Port><PortName>Trigger</PortName><PortType>Out</PortType><MessageType>Report</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>B</ComponentName>{b_ports}
+    <Port><PortName>Kick</PortName><PortType>In</PortType><MessageType>Report</MessageType></Port>
+    <Port><PortName>KickChild</PortName><PortType>Out</PortType><MessageType>Report</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>C</ComponentName>
+    <Port><PortName>Go</PortName><PortType>In</PortType><MessageType>Report</MessageType></Port>
+    <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Report</MessageType></Port>
+  </Component>
+</Components>"#
+    )
+}
+
+fn ccl(relay: bool) -> String {
+    let c_link = if relay {
+        r#"<Link><ToComponent>B0</ToComponent><ToPort>FromChild</ToPort></Link>"#
+    } else {
+        // Direct grandchild → grandparent connection: the compiler
+        // detects this as a shadow port.
+        r#"<Link><ToComponent>A0</ToComponent><ToPort>Sink</ToPort></Link>"#
+    };
+    let b_conn = if relay {
+        format!(
+            r#"
+        <Port><PortName>FromChild</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+        <Port><PortName>ToParent</PortName>
+          <Link><ToComponent>A0</ToComponent><ToPort>Sink</ToPort></Link>
+        </Port>"#
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        r#"
+<Application>
+  <ApplicationName>ShadowBench</ApplicationName>
+  <Component>
+    <InstanceName>A0</InstanceName>
+    <ClassName>A</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>Sink</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+      <Port><PortName>Trigger</PortName>
+        <Link><ToComponent>B0</ToComponent><ToPort>Kick</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>B0</InstanceName>
+      <ClassName>B</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>Kick</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+        <Port><PortName>KickChild</PortName>
+          <Link><ToComponent>C0</ToComponent><ToPort>Go</ToPort></Link>
+        </Port>{b_conn}
+      </Connection>
+      <Component>
+        <InstanceName>C0</InstanceName>
+        <ClassName>C</ClassName>
+        <ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>
+        <Connection>
+          <Port><PortName>Go</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+          <Port><PortName>Out</PortName>{c_link}</Port>
+        </Connection>
+      </Component>
+    </Component>
+  </Component>
+  <RTSJAttributes>
+    <ImmortalSize>8000000</ImmortalSize>
+    <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>131072</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+    <ScopedPool><ScopeLevel>2</ScopeLevel><ScopeSize>131072</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+  </RTSJAttributes>
+</Application>"#
+    )
+}
+
+/// Builds either variant; returns the app and the sink-notification
+/// channel. Kicking A0.Trigger drives B0 → C0 → (shadow | relay) → A0.Sink.
+fn build(relay: bool) -> (App, mpsc::Receiver<i64>, Vec<compadres_core::ChildHandle>) {
+    let (tx, rx) = mpsc::channel();
+    let mut builder = AppBuilder::from_xml(&cdl(relay), &ccl(relay))
+        .unwrap()
+        .bind_message_type::<Report>("Report")
+        .register_handler("A", "Sink", move || {
+            let tx = tx.clone();
+            move |msg: &mut Report, _ctx: &mut HandlerCtx<'_>| {
+                let _ = tx.send(msg.value);
+                Ok(())
+            }
+        })
+        .register_handler("B", "Kick", || {
+            |msg: &mut Report, ctx: &mut HandlerCtx<'_>| {
+                let mut fwd = ctx.get_message::<Report>("KickChild")?;
+                fwd.value = msg.value;
+                ctx.send("KickChild", fwd, ctx.priority())
+            }
+        })
+        .register_handler("C", "Go", || {
+            |msg: &mut Report, ctx: &mut HandlerCtx<'_>| {
+                let mut out = ctx.get_message::<Report>("Out")?;
+                out.value = msg.value * 2;
+                ctx.send("Out", out, ctx.priority())
+            }
+        });
+    if relay {
+        builder = builder.register_handler("B", "FromChild", || {
+            |msg: &mut Report, ctx: &mut HandlerCtx<'_>| {
+                // The relay hop: copy into the parent-facing pool.
+                let mut fwd = ctx.get_message::<Report>("ToParent")?;
+                fwd.value = msg.value;
+                ctx.send("ToParent", fwd, ctx.priority())
+            }
+        });
+    }
+    let app = builder.build().unwrap();
+    app.start().unwrap();
+    let keep = vec![app.connect("B0").unwrap(), app.connect("C0").unwrap()];
+    (app, rx, keep)
+}
+
+fn kick(app: &App, rx: &mpsc::Receiver<i64>) -> i64 {
+    app.with_component("A0", |ctx| {
+        let mut m = ctx.get_message::<Report>("Trigger").unwrap();
+        m.value = 21;
+        ctx.send("Trigger", m, Priority::new(5)).unwrap();
+    })
+    .unwrap();
+    rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap()
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_vs_relay");
+    group.sample_size(60);
+
+    let (shadow_app, shadow_rx, _k1) = build(false);
+    assert_eq!(kick(&shadow_app, &shadow_rx), 42);
+    group.bench_function("shadow_port_direct", |b| {
+        b.iter(|| black_box(kick(&shadow_app, &shadow_rx)));
+    });
+
+    let (relay_app, relay_rx, _k2) = build(true);
+    assert_eq!(kick(&relay_app, &relay_rx), 42);
+    group.bench_function("relay_through_parent", |b| {
+        b.iter(|| black_box(kick(&relay_app, &relay_rx)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shadow);
+criterion_main!(benches);

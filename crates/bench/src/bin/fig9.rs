@@ -1,0 +1,52 @@
+//! Regenerates paper **Fig. 9**: the distribution (min / median / max) of
+//! round-trip latencies of simple message passing on the three simulated
+//! platforms, rendered as box-plot series plus an ASCII histogram per
+//! platform.
+//!
+//! Run with `--quick` for a reduced observation count.
+
+use compadres_bench::{us, DispatchMode, Fig6App, FIG6_ALLOC_PER_ROUND_TRIP};
+use rtplatform::paper_platforms;
+use rtsched::SteadyState;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let protocol = if quick { SteadyState::quick() } else { SteadyState::paper() };
+
+    println!("Fig. 9: Roundtrip Latency/Jitter, Single Host");
+    println!(
+        "({} observations per platform after {} warm-up iterations)",
+        protocol.observations, protocol.warmup
+    );
+    println!();
+
+    for mut platform in paper_platforms(2007) {
+        let app = Fig6App::new(DispatchMode::Synchronous, true);
+        platform.reset();
+        let rec = protocol.run(|| {
+            let start = std::time::Instant::now();
+            platform.interfere(FIG6_ALLOC_PER_ROUND_TRIP);
+            let _ = app.round_trip();
+            start.elapsed()
+        });
+        let s = rec.summary();
+        println!("== {} ==", platform.name());
+        println!(
+            "  min {:>10} us   p90 {:>10} us   p99 {:>10} us",
+            us(s.min),
+            us(s.p90),
+            us(s.p99)
+        );
+        println!(
+            "  med {:>10} us   p99.9 {:>8} us   max {:>10} us   jitter {:>10} us",
+            us(s.median),
+            us(s.p999),
+            us(s.max),
+            us(s.jitter())
+        );
+        println!("{}", rec.histogram(16));
+    }
+    println!("Expected shape (paper Fig. 9): tight, low boxes for Mackinac and the");
+    println!("TimeSys RI; a box with an enormous upper whisker for JDK 1.4, whose");
+    println!("garbage collector preempts the application threads.");
+}

@@ -1,0 +1,51 @@
+//! Regenerates paper **Table 1**: the scope access-rule matrix for the
+//! nested-scope structure of Fig. 3 (scopes A, B(A), C(A) plus heap and
+//! immortal memory), as enforced by the `rtmem` substrate.
+
+use rtmem::{Ctx, MemoryModel, Wedge};
+
+fn main() {
+    let model = MemoryModel::new();
+    let a = model.create_scoped(4096).expect("scope A");
+    let b = model.create_scoped(4096).expect("scope B");
+    let c = model.create_scoped(4096).expect("scope C");
+
+    // Build the Fig. 3 structure: A under immortal, B and C inside A.
+    let _wa = Wedge::pin_from_base(&model, a).expect("pin A");
+    let mut ctx = Ctx::immortal(&model);
+    let (_wb, _wc) = ctx
+        .enter(a, |ctx| {
+            let wb = Wedge::pin(ctx, b).expect("pin B");
+            let wc = Wedge::pin(ctx, c).expect("pin C");
+            (wb, wc)
+        })
+        .expect("enter A");
+
+    let regions = [
+        ("Heap", model.heap()),
+        ("Immortal", model.immortal()),
+        ("A", a),
+        ("B", b),
+        ("C", c),
+    ];
+
+    println!("Table 1: access rules for the scope structure of Fig. 3");
+    println!("(may an object in <row> hold a reference into <column>?)");
+    println!();
+    print!("{:<14}", "from \\ to");
+    for (name, _) in &regions {
+        print!("{name:>10}");
+    }
+    println!();
+    for (from_name, from) in &regions {
+        print!("{from_name:<14}");
+        for (_, to) in &regions {
+            let allowed = model.may_reference(*from, *to).expect("regions live");
+            print!("{:>10}", if allowed { "yes" } else { "no" });
+        }
+        println!();
+    }
+    println!();
+    println!("Note: no-heap real-time threads additionally may not reference the heap");
+    println!("(enforced by rtmem::Ctx::no_heap contexts at access time).");
+}

@@ -1,0 +1,60 @@
+//! `compadresc` — the Compadres compiler CLI (paper Fig. 1).
+
+use std::process::ExitCode;
+
+use compadres_compiler::{generate_skeletons, render_plan, SkeletonOptions};
+
+const USAGE: &str = "\
+compadresc — the Compadres compiler
+
+USAGE:
+    compadresc skeleton <cdl-file>          emit Rust component/handler skeletons
+    compadresc plan <cdl-file> <ccl-file>   validate and print the assembly plan
+    compadresc check <cdl-file> <ccl-file>  validate; print warnings only
+    compadresc graph <cdl-file> <ccl-file>  emit a Graphviz DOT diagram
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    match args {
+        [cmd, cdl_path] if cmd == "skeleton" => {
+            let cdl_src = std::fs::read_to_string(cdl_path).map_err(|e| format!("{cdl_path}: {e}"))?;
+            let cdl = compadres_core::parse_cdl(&cdl_src).map_err(|e| e.to_string())?;
+            Ok(generate_skeletons(&cdl, &SkeletonOptions::default()))
+        }
+        [cmd, cdl_path, ccl_path] if cmd == "plan" || cmd == "check" || cmd == "graph" => {
+            let cdl_src = std::fs::read_to_string(cdl_path).map_err(|e| format!("{cdl_path}: {e}"))?;
+            let ccl_src = std::fs::read_to_string(ccl_path).map_err(|e| format!("{ccl_path}: {e}"))?;
+            let cdl = compadres_core::parse_cdl(&cdl_src).map_err(|e| e.to_string())?;
+            let ccl = compadres_core::parse_ccl(&ccl_src).map_err(|e| e.to_string())?;
+            if cmd == "plan" {
+                render_plan(&cdl, &ccl).map_err(|e| e.to_string())
+            } else if cmd == "graph" {
+                compadres_compiler::render_dot(&cdl, &ccl).map_err(|e| e.to_string())
+            } else {
+                let app = compadres_core::validate(&cdl, &ccl).map_err(|e| e.to_string())?;
+                let mut out = format!("{}: OK ({} instances, {} connections)\n",
+                    app.name, app.instances.len(), app.connections.len());
+                for w in &app.warnings {
+                    out.push_str(&format!("warning: {w}\n"));
+                }
+                Ok(out)
+            }
+        }
+        _ => Err("expected a subcommand".to_string()),
+    }
+}

@@ -1,0 +1,141 @@
+//! Graphviz (DOT) rendering of a validated composition.
+//!
+//! The paper's future work includes "developing a graphical user interface
+//! for connecting components" (§5); this module provides the
+//! machine-readable half: a DOT graph of the component hierarchy (clusters
+//! = scope nesting) and the port connections (edges labeled with message
+//! types, styled by link kind).
+
+use std::fmt::Write;
+
+use compadres_core::{Ccl, Cdl, ComponentKind, InstanceId, LinkKind, Result, ValidatedApp};
+
+/// Validates the composition and renders it as a Graphviz `digraph`.
+///
+/// # Errors
+///
+/// Propagates validation failures.
+pub fn render_dot(cdl: &Cdl, ccl: &Ccl) -> Result<String> {
+    let app = compadres_core::validate(cdl, ccl)?;
+    Ok(render_dot_validated(&app))
+}
+
+/// Renders an already-validated application as DOT.
+pub fn render_dot_validated(app: &ValidatedApp) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", app.name);
+    out.push_str("  rankdir=LR;\n  compound=true;\n  node [shape=box, fontname=\"monospace\"];\n");
+
+    // Hierarchy as nested clusters.
+    let roots: Vec<InstanceId> = app
+        .instances
+        .iter()
+        .filter(|i| i.parent.is_none())
+        .map(|i| i.id)
+        .collect();
+    for root in roots {
+        render_instance(app, root, &mut out, 1);
+    }
+
+    // Connections as edges.
+    for conn in &app.connections {
+        let from = &app.instances[conn.from.0 .0];
+        let to = &app.instances[conn.to.0 .0];
+        let style = match conn.kind {
+            LinkKind::Internal => "solid",
+            LinkKind::External => "bold",
+            LinkKind::Shadow => "dashed",
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{}.{} → {} : {}\", style={style}];",
+            from.name, to.name, from.name, conn.from.1, conn.to.1, conn.message_type
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_instance(app: &ValidatedApp, id: InstanceId, out: &mut String, depth: usize) {
+    let inst = &app.instances[id.0];
+    let pad = "  ".repeat(depth);
+    let children = app.children(id);
+    let kind_label = match inst.kind {
+        ComponentKind::Immortal => "immortal".to_string(),
+        ComponentKind::Scoped { level } => format!("scope L{level}"),
+    };
+    if children.is_empty() {
+        let _ = writeln!(
+            out,
+            "{pad}\"{}\" [label=\"{}\\n{} [{kind_label}]\"];",
+            inst.name, inst.name, inst.class
+        );
+    } else {
+        let _ = writeln!(out, "{pad}subgraph \"cluster_{}\" {{", inst.name);
+        let _ = writeln!(out, "{pad}  label=\"{} : {} [{kind_label}]\";", inst.name, inst.class);
+        let _ = writeln!(
+            out,
+            "{pad}  \"{}\" [label=\"{}\\n{}\", style=filled, fillcolor=lightgray];",
+            inst.name, inst.name, inst.class
+        );
+        for child in children {
+            render_instance(app, child, out, depth + 1);
+        }
+        let _ = writeln!(out, "{pad}}}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_renders_clusters_and_edges() {
+        let cdl = compadres_core::parse_cdl(
+            r#"<Components>
+            <Component><ComponentName>A</ComponentName>
+              <Port><PortName>O</PortName><PortType>Out</PortType><MessageType>T</MessageType></Port>
+              <Port><PortName>I</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+            </Component>
+            </Components>"#,
+        )
+        .unwrap();
+        let ccl = compadres_core::parse_ccl(
+            r#"<Application><ApplicationName>Dot</ApplicationName>
+            <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+                <Connection><Port><PortName>O</PortName>
+                  <Link><ToComponent>R</ToComponent><ToPort>I</ToPort></Link>
+                </Port></Connection>
+              </Component>
+              <Component><InstanceName>R</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+            </Component>
+            </Application>"#,
+        )
+        .unwrap();
+        let dot = render_dot(&cdl, &ccl).unwrap();
+        assert!(dot.starts_with("digraph \"Dot\""));
+        assert!(dot.contains("subgraph \"cluster_Root\""));
+        assert!(dot.contains("\"L\" [label=\"L\\nA [scope L1]\"]"));
+        assert!(dot.contains("\"L\" -> \"R\""));
+        assert!(dot.contains("style=bold"), "external links are bold:\n{dot}");
+        assert!(dot.ends_with("}\n"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn dot_rejects_invalid_composition() {
+        let cdl = compadres_core::parse_cdl(
+            "<Component><ComponentName>A</ComponentName></Component>",
+        )
+        .unwrap();
+        let ccl = compadres_core::parse_ccl(
+            r#"<Application><ApplicationName>Bad</ApplicationName>
+            <Component><InstanceName>X</InstanceName><ClassName>Nope</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Application>"#,
+        )
+        .unwrap();
+        assert!(render_dot(&cdl, &ccl).is_err());
+    }
+}

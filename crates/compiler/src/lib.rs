@@ -1,0 +1,32 @@
+//! # compadres-compiler — the Compadres compiler as a library and CLI
+//!
+//! The paper's compiler (Fig. 1) has two jobs:
+//!
+//! 1. **Component definition phase**: compile the CDL into component and
+//!    message-handler skeletons → [`generate_skeletons`].
+//! 2. **Component composition phase**: validate the CCL against the CDL
+//!    (port directions, exact message types, no loops, scope-access
+//!    legality) and generate the scoped-memory architecture and glue →
+//!    validation lives in [`compadres_core::validate`]; the resulting
+//!    architecture is rendered by [`render_plan`] and executed directly by
+//!    [`compadres_core::AppBuilder`].
+//!
+//! The `compadresc` binary exposes both phases on the command line:
+//!
+//! ```text
+//! compadresc skeleton <cdl-file>          # emit Rust skeletons to stdout
+//! compadresc plan <cdl-file> <ccl-file>   # validate + print assembly plan
+//! compadresc check <cdl-file> <ccl-file>  # validate, print warnings only
+//! compadresc graph <cdl-file> <ccl-file>  # emit a Graphviz DOT diagram
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod graph;
+mod plan;
+mod skeleton;
+
+pub use graph::{render_dot, render_dot_validated};
+pub use plan::{render_plan, render_validated};
+pub use skeleton::{generate_skeletons, rust_type_name, SkeletonOptions};

@@ -1,0 +1,148 @@
+//! Assembly-plan reporting — the composition phase of the Compadres
+//! compiler (paper §2.2).
+//!
+//! Where the paper's compiler emits RTSJ glue code, our runtime constructs
+//! the equivalent structures directly; this module renders the *plan* —
+//! the scoped-memory architecture, connections and pools the glue would
+//! create — for inspection, review and golden testing.
+
+use std::fmt::Write;
+
+use compadres_core::{Ccl, Cdl, ComponentKind, LinkKind, Result, ValidatedApp};
+
+/// Validates the composition and renders a human-readable assembly plan.
+///
+/// # Errors
+///
+/// Propagates validation failures.
+pub fn render_plan(cdl: &Cdl, ccl: &Ccl) -> Result<String> {
+    let app = compadres_core::validate(cdl, ccl)?;
+    Ok(render_validated(&app))
+}
+
+/// Renders an already-validated application.
+pub fn render_validated(app: &ValidatedApp) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Application: {}", app.name);
+    let _ = writeln!(out, "Instances ({}):", app.instances.len());
+    for inst in &app.instances {
+        let indent = "  ".repeat(depth_of(app, inst.id.0));
+        let kind = match inst.kind {
+            ComponentKind::Immortal => "immortal".to_string(),
+            ComponentKind::Scoped { level } => format!("scoped level {level}"),
+        };
+        let _ = writeln!(out, "  {indent}{} : {} [{kind}]", inst.name, inst.class);
+        for (port, attrs) in &inst.port_attrs {
+            let mode = if attrs.is_synchronous() {
+                "synchronous".to_string()
+            } else {
+                format!(
+                    "buffer {} / pool {}..{} ({:?})",
+                    attrs.buffer_size, attrs.min_threads, attrs.max_threads, attrs.strategy
+                )
+            };
+            let _ = writeln!(out, "  {indent}  in-port {port}: {mode}");
+        }
+    }
+    let _ = writeln!(out, "Connections ({}):", app.connections.len());
+    for c in &app.connections {
+        let from = &app.instances[c.from.0 .0];
+        let to = &app.instances[c.to.0 .0];
+        let kind = match c.kind {
+            LinkKind::Internal => "internal",
+            LinkKind::External => "external",
+            LinkKind::Shadow => "shadow",
+        };
+        let home = match c.home {
+            Some(h) => app.instances[h.0].name.clone(),
+            None => "<immortal>".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {}.{} -> {}.{} [{kind}] type {} (pool+buffer in {home})",
+            from.name, c.from.1, to.name, c.to.1, c.message_type
+        );
+    }
+    let _ = writeln!(out, "Memory:");
+    let _ = writeln!(out, "  immortal size: {} bytes", app.rtsj.immortal_size);
+    for p in &app.rtsj.scoped_pools {
+        let _ = writeln!(
+            out,
+            "  scope pool level {}: {} x {} bytes",
+            p.level, p.pool_size, p.scope_size
+        );
+    }
+    if !app.warnings.is_empty() {
+        let _ = writeln!(out, "Warnings ({}):", app.warnings.len());
+        for w in &app.warnings {
+            let _ = writeln!(out, "  - {w}");
+        }
+    }
+    out
+}
+
+fn depth_of(app: &ValidatedApp, idx: usize) -> usize {
+    let mut depth = 0;
+    let mut cur = app.instances[idx].parent;
+    while let Some(p) = cur {
+        depth += 1;
+        cur = app.instances[p.0].parent;
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_renders_hierarchy_and_connections() {
+        let cdl = compadres_core::parse_cdl(
+            r#"<Components>
+            <Component><ComponentName>A</ComponentName>
+              <Port><PortName>O</PortName><PortType>Out</PortType><MessageType>T</MessageType></Port>
+              <Port><PortName>I</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+            </Component>
+            </Components>"#,
+        )
+        .unwrap();
+        let ccl = compadres_core::parse_ccl(
+            r#"<Application><ApplicationName>Demo</ApplicationName>
+            <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+                <Connection><Port><PortName>O</PortName>
+                  <Link><ToComponent>R</ToComponent><ToPort>I</ToPort></Link>
+                </Port></Connection>
+              </Component>
+              <Component><InstanceName>R</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+            </Component>
+            <RTSJAttributes><ImmortalSize>1000</ImmortalSize>
+              <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>500</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+            </RTSJAttributes>
+            </Application>"#,
+        )
+        .unwrap();
+        let plan = render_plan(&cdl, &ccl).unwrap();
+        assert!(plan.contains("Application: Demo"));
+        assert!(plan.contains("Root : A [immortal]"));
+        assert!(plan.contains("L : A [scoped level 1]"));
+        assert!(plan.contains("L.O -> R.I [external] type T (pool+buffer in Root)"));
+        assert!(plan.contains("scope pool level 1: 2 x 500 bytes"));
+        assert!(plan.contains("Warnings"));
+    }
+
+    #[test]
+    fn plan_rejects_invalid_composition() {
+        let cdl = compadres_core::parse_cdl(
+            "<Component><ComponentName>A</ComponentName></Component>",
+        )
+        .unwrap();
+        let ccl = compadres_core::parse_ccl(
+            r#"<Application><ApplicationName>Bad</ApplicationName>
+            <Component><InstanceName>X</InstanceName><ClassName>Missing</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Application>"#,
+        )
+        .unwrap();
+        assert!(render_plan(&cdl, &ccl).is_err());
+    }
+}

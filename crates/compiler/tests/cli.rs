@@ -1,0 +1,130 @@
+//! End-to-end tests of the `compadresc` command-line interface.
+
+use std::io::Write;
+use std::process::Command;
+
+fn compadresc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_compadresc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("compadresc-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Pump</ComponentName>
+    <Port><PortName>Cmd</PortName><PortType>In</PortType><MessageType>Command</MessageType></Port>
+    <Port><PortName>Status</PortName><PortType>Out</PortType><MessageType>Status</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Controller</ComponentName>
+    <Port><PortName>Status</PortName><PortType>In</PortType><MessageType>Status</MessageType></Port>
+    <Port><PortName>Cmd</PortName><PortType>Out</PortType><MessageType>Command</MessageType></Port>
+  </Component>
+</Components>"#;
+
+const CCL: &str = r#"
+<Application>
+  <ApplicationName>PumpApp</ApplicationName>
+  <Component>
+    <InstanceName>Ctl</InstanceName>
+    <ClassName>Controller</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>Cmd</PortName>
+        <Link><ToComponent>P1</ToComponent><ToPort>Cmd</ToPort></Link>
+      </Port>
+      <Port><PortName>Status</PortName>
+        <PortAttributes><BufferSize>4</BufferSize></PortAttributes>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>P1</InstanceName>
+      <ClassName>Pump</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>Cmd</PortName>
+          <PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize></PortAttributes>
+        </Port>
+        <Port><PortName>Status</PortName>
+          <Link><ToComponent>Ctl</ToComponent><ToPort>Status</ToPort></Link>
+        </Port>
+      </Connection>
+    </Component>
+  </Component>
+</Application>"#;
+
+#[test]
+fn skeleton_subcommand_emits_rust() {
+    let cdl = write_temp("pump.cdl", CDL);
+    let out = compadresc().arg("skeleton").arg(&cdl).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("pub struct PumpComponent"));
+    assert!(text.contains("pub struct ControllerStatusHandler"));
+    assert!(text.contains("impl MessageHandler<Command> for PumpCmdHandler"));
+    assert!(text.contains(".register_component(\"Pump\""));
+}
+
+#[test]
+fn plan_subcommand_prints_architecture() {
+    let cdl = write_temp("pump2.cdl", CDL);
+    let ccl = write_temp("pump2.ccl", CCL);
+    let out = compadresc().arg("plan").arg(&cdl).arg(&ccl).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Application: PumpApp"));
+    assert!(text.contains("P1 : Pump [scoped level 1]"));
+    assert!(text.contains("Ctl.Cmd -> P1.Cmd [internal]"));
+    assert!(text.contains("P1.Status -> Ctl.Status [internal]"));
+}
+
+#[test]
+fn check_subcommand_reports_warnings() {
+    let cdl = write_temp("pump3.cdl", CDL);
+    let ccl = write_temp("pump3.ccl", CCL);
+    let out = compadresc().arg("check").arg(&cdl).arg(&ccl).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("PumpApp: OK (2 instances, 2 connections)"));
+    assert!(text.contains("warning: no scope pool configured for level 1"));
+}
+
+#[test]
+fn invalid_composition_fails_with_message() {
+    let cdl = write_temp("pump4.cdl", CDL);
+    let bad = CCL.replace("<ToPort>Cmd</ToPort>", "<ToPort>Status</ToPort>");
+    let ccl = write_temp("pump4.ccl", &bad);
+    let out = compadresc().arg("plan").arg(&cdl).arg(&ccl).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("must join Out with In"), "stderr: {err}");
+}
+
+#[test]
+fn missing_file_and_bad_usage() {
+    let out = compadresc().arg("skeleton").arg("/nonexistent.cdl").output().unwrap();
+    assert!(!out.status.success());
+    let out = compadresc().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn graph_subcommand_emits_dot() {
+    let cdl = write_temp("pump5.cdl", CDL);
+    let ccl = write_temp("pump5.ccl", CCL);
+    let out = compadresc().arg("graph").arg(&cdl).arg(&ccl).output().unwrap();
+    assert!(out.status.success());
+    let dot = String::from_utf8(out.stdout).unwrap();
+    assert!(dot.starts_with("digraph \"PumpApp\""));
+    assert!(dot.contains("\"Ctl\" -> \"P1\""));
+    assert!(dot.contains("\"P1\" -> \"Ctl\""));
+}

@@ -1,0 +1,45 @@
+//! Golden-file test pinning the exact skeleton output format — any
+//! intentional codegen change must update the golden file alongside.
+
+use compadres_compiler::{generate_skeletons, SkeletonOptions};
+
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Server</ComponentName>
+    <Port><PortName>DataOut</PortName><PortType>Out</PortType><MessageType>Text</MessageType></Port>
+    <Port><PortName>DataIn</PortName><PortType>In</PortType><MessageType>Num</MessageType></Port>
+  </Component>
+</Components>"#;
+
+#[test]
+fn skeleton_output_matches_golden_file() {
+    let cdl = compadres_core::parse_cdl(CDL).unwrap();
+    let generated = generate_skeletons(&cdl, &SkeletonOptions::default());
+    let golden = include_str!("golden/server_skeleton.rs.golden");
+    if generated != golden {
+        // Print a usable diff hint before failing.
+        for (i, (g, e)) in generated.lines().zip(golden.lines()).enumerate() {
+            if g != e {
+                panic!(
+                    "skeleton drifted at line {}:\n  generated: {g}\n  golden:    {e}\n\
+                     (update crates/compiler/tests/golden/server_skeleton.rs.golden if intentional)",
+                    i + 1
+                );
+            }
+        }
+        panic!(
+            "skeleton length drifted: generated {} lines, golden {} lines",
+            generated.lines().count(),
+            golden.lines().count()
+        );
+    }
+}
+
+#[test]
+fn golden_skeleton_actually_compiles_shape() {
+    // Cheap structural sanity on the golden file itself.
+    let golden = include_str!("golden/server_skeleton.rs.golden");
+    assert_eq!(golden.matches('{').count(), golden.matches('}').count());
+    assert!(golden.contains("pub fn register_all"));
+}

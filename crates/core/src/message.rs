@@ -1,0 +1,368 @@
+//! Messages, typed message pools and envelopes.
+//!
+//! Compadres ports communicate through strongly-typed message objects that
+//! are **pooled**: a sender calls `getMessage()` on the pool hosted in the
+//! common ancestor's memory area, fills the object and `send()`s it; after
+//! the receiving handler returns, the framework recycles the object into
+//! the pool (paper §2.2). Pooling is what keeps parent memory areas from
+//! being exhausted, because scoped areas only reclaim wholesale.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{CompadresError, Result};
+use rtsched::Priority;
+
+/// A message that can travel through ports.
+///
+/// Messages must be self-contained (`Send + 'static`) — the analog of the
+/// paper's "RTSJ-safe" requirement that all data in a message object live
+/// in the same memory area — and resettable so pool reuse never leaks
+/// state between sends.
+pub trait Message: Send + 'static {
+    /// Clears the message before it is handed out from the pool again.
+    fn reset(&mut self);
+}
+
+impl<T: Default + Send + 'static> Message for T {
+    fn reset(&mut self) {
+        *self = T::default();
+    }
+}
+
+/// Type-erased pool interface shared by SMMs and envelopes.
+pub(crate) trait AnyPool: Send + Sync {
+    fn get_any(&self) -> Option<Box<dyn Any + Send>>;
+    fn recycle_any(&self, msg: Box<dyn Any + Send>);
+    fn outstanding(&self) -> usize;
+}
+
+/// A pool of reusable messages of type `M`, logically hosted in the memory
+/// area of the communicating components' common ancestor.
+pub struct MessagePool<M: Message> {
+    inner: Arc<PoolInner<M>>,
+}
+
+struct PoolInner<M: Message> {
+    free: Mutex<Vec<Box<M>>>,
+    capacity: usize,
+    outstanding: AtomicUsize,
+    message_type: String,
+    factory: Box<dyn Fn() -> M + Send + Sync>,
+    /// Byte accounting charged against the hosting region; kept alive with
+    /// the pool so the budget stays reserved.
+    _accounting: Option<rtmem::RBytes>,
+}
+
+impl<M: Message> Clone for MessagePool<M> {
+    fn clone(&self) -> Self {
+        MessagePool { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<M: Message> std::fmt::Debug for MessagePool<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MessagePool")
+            .field("message_type", &self.inner.message_type)
+            .field("capacity", &self.inner.capacity)
+            .field("outstanding", &self.inner.outstanding.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<M: Message> MessagePool<M> {
+    /// Creates a pool of `capacity` messages built by `factory`, charging
+    /// `capacity * size_of::<M>()` bytes against `region` (when given).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the region's out-of-memory error if the accounting
+    /// charge does not fit.
+    pub fn new(
+        message_type: impl Into<String>,
+        capacity: usize,
+        factory: impl Fn() -> M + Send + Sync + 'static,
+        accounting: Option<(&rtmem::Ctx, rtmem::RegionId)>,
+    ) -> Result<Self> {
+        let accounting = match accounting {
+            Some((ctx, region)) => {
+                let bytes = capacity * std::mem::size_of::<M>().max(1);
+                Some(ctx.alloc_bytes_in(region, bytes)?)
+            }
+            None => None,
+        };
+        Ok(MessagePool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::with_capacity(capacity)),
+                capacity,
+                outstanding: AtomicUsize::new(0),
+                message_type: message_type.into(),
+                factory: Box::new(factory),
+                _accounting: accounting,
+            }),
+        })
+    }
+
+    /// Takes a message from the pool (the paper's `getMessage()`).
+    ///
+    /// # Errors
+    ///
+    /// [`CompadresError::MessagePoolExhausted`] once `capacity` messages
+    /// are simultaneously outstanding.
+    pub fn get_message(&self) -> Result<PooledMsg<M>> {
+        match self.inner.take() {
+            Some(value) => Ok(PooledMsg {
+                slot: Some(value),
+                pool: Arc::clone(&self.inner) as Arc<dyn AnyPool>,
+            }),
+            None => Err(CompadresError::MessagePoolExhausted {
+                message_type: self.inner.message_type.clone(),
+            }),
+        }
+    }
+
+    /// Messages currently checked out.
+    pub fn outstanding(&self) -> usize {
+        self.inner.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Maximum simultaneously outstanding messages.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    pub(crate) fn as_any_pool(&self) -> Arc<dyn AnyPool> {
+        Arc::clone(&self.inner) as Arc<dyn AnyPool>
+    }
+}
+
+impl<M: Message> PoolInner<M> {
+    fn take(&self) -> Option<Box<M>> {
+        let mut free = self.free.lock();
+        if let Some(mut m) = free.pop() {
+            self.outstanding.fetch_add(1, Ordering::Relaxed);
+            m.reset();
+            return Some(m);
+        }
+        drop(free);
+        if self.outstanding.load(Ordering::Relaxed) >= self.capacity {
+            return None;
+        }
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+        Some(Box::new((self.factory)()))
+    }
+}
+
+impl<M: Message> AnyPool for PoolInner<M> {
+    fn get_any(&self) -> Option<Box<dyn Any + Send>> {
+        self.take().map(|b| b as Box<dyn Any + Send>)
+    }
+
+    fn recycle_any(&self, msg: Box<dyn Any + Send>) {
+        if let Ok(typed) = msg.downcast::<M>() {
+            self.outstanding.fetch_sub(1, Ordering::Relaxed);
+            let mut free = self.free.lock();
+            if free.len() < self.capacity {
+                free.push(typed);
+            }
+        }
+    }
+
+    fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+}
+
+/// A message checked out of a pool; recycled automatically when dropped
+/// without being sent.
+pub struct PooledMsg<M: Message> {
+    slot: Option<Box<M>>,
+    pool: Arc<dyn AnyPool>,
+}
+
+impl<M: Message> std::fmt::Debug for PooledMsg<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PooledMsg<{}>", std::any::type_name::<M>())
+    }
+}
+
+impl<M: Message> std::ops::Deref for PooledMsg<M> {
+    type Target = M;
+    fn deref(&self) -> &M {
+        self.slot.as_ref().expect("message already sent")
+    }
+}
+
+impl<M: Message> std::ops::DerefMut for PooledMsg<M> {
+    fn deref_mut(&mut self) -> &mut M {
+        self.slot.as_mut().expect("message already sent")
+    }
+}
+
+impl<M: Message> PooledMsg<M> {
+    /// Reconstructs a typed pooled message from an erased pool checkout.
+    pub(crate) fn from_erased(value: Box<M>, pool: Arc<dyn AnyPool>) -> Self {
+        PooledMsg { slot: Some(value), pool }
+    }
+
+    /// Converts into an envelope at the given priority; used by `send()`.
+    pub(crate) fn into_envelope(mut self, priority: Priority) -> Envelope {
+        let value = self.slot.take().expect("message already sent");
+        Envelope {
+            payload: Some(value as Box<dyn Any + Send>),
+            pool: Some(Arc::clone(&self.pool)),
+            priority,
+        }
+    }
+}
+
+impl<M: Message> Drop for PooledMsg<M> {
+    fn drop(&mut self) {
+        if let Some(v) = self.slot.take() {
+            self.pool.recycle_any(v as Box<dyn Any + Send>);
+        }
+    }
+}
+
+/// A message in flight: the type-erased payload plus its priority and the
+/// pool to return it to after processing.
+pub(crate) struct Envelope {
+    payload: Option<Box<dyn Any + Send>>,
+    pool: Option<Arc<dyn AnyPool>>,
+    pub priority: Priority,
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Envelope(priority={})", self.priority)
+    }
+}
+
+impl Envelope {
+    /// Wraps a plain (non-pooled) message, used for external injection.
+    pub(crate) fn from_value<M: Message>(value: M, priority: Priority) -> Envelope {
+        Envelope { payload: Some(Box::new(value)), pool: None, priority }
+    }
+
+    /// Runs `f` on the payload, then recycles it to its pool.
+    pub(crate) fn process(mut self, f: impl FnOnce(&mut (dyn Any + Send))) {
+        if let Some(mut payload) = self.payload.take() {
+            f(payload.as_mut());
+            if let Some(pool) = self.pool.take() {
+                pool.recycle_any(payload);
+            }
+        }
+    }
+
+    /// Whether the payload is of type `M`.
+    #[cfg(test)]
+    pub(crate) fn is<M: Message>(&self) -> bool {
+        self.payload
+            .as_ref()
+            .map(|p| (**p).is::<M>())
+            .unwrap_or(false)
+    }
+}
+
+impl Drop for Envelope {
+    fn drop(&mut self) {
+        // An envelope dropped without processing (e.g. buffer overflow or
+        // shutdown) still returns its message to the pool.
+        if let (Some(payload), Some(pool)) = (self.payload.take(), self.pool.take()) {
+            pool.recycle_any(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default, PartialEq)]
+    struct MyInteger {
+        value: i32,
+    }
+
+    #[test]
+    fn pool_reuses_objects() {
+        let pool = MessagePool::<MyInteger>::new("MyInteger", 2, MyInteger::default, None).unwrap();
+        let mut a = pool.get_message().unwrap();
+        a.value = 7;
+        assert_eq!(pool.outstanding(), 1);
+        drop(a); // recycled
+        assert_eq!(pool.outstanding(), 0);
+        let b = pool.get_message().unwrap();
+        assert_eq!(b.value, 0, "message was reset on reuse");
+    }
+
+    #[test]
+    fn pool_exhaustion_reported() {
+        let pool = MessagePool::<MyInteger>::new("MyInteger", 2, MyInteger::default, None).unwrap();
+        let _a = pool.get_message().unwrap();
+        let _b = pool.get_message().unwrap();
+        let err = pool.get_message().unwrap_err();
+        assert!(matches!(err, CompadresError::MessagePoolExhausted { .. }));
+    }
+
+    #[test]
+    fn envelope_recycles_after_processing() {
+        let pool = MessagePool::<MyInteger>::new("MyInteger", 1, MyInteger::default, None).unwrap();
+        let mut m = pool.get_message().unwrap();
+        m.value = 9;
+        let env = m.into_envelope(Priority::new(3));
+        assert_eq!(env.priority, Priority::new(3));
+        assert!(env.is::<MyInteger>());
+        env.process(|p| {
+            let v = p.downcast_mut::<MyInteger>().unwrap();
+            assert_eq!(v.value, 9);
+        });
+        assert_eq!(pool.outstanding(), 0);
+        assert!(pool.get_message().is_ok());
+    }
+
+    #[test]
+    fn dropped_envelope_recycles_too() {
+        let pool = MessagePool::<MyInteger>::new("MyInteger", 1, MyInteger::default, None).unwrap();
+        let m = pool.get_message().unwrap();
+        let env = m.into_envelope(Priority::NORM);
+        drop(env);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    // Only the size matters (accounting tests); the field is never read.
+    struct Blob(#[allow(dead_code)] [u8; 64]);
+    impl Default for Blob {
+        fn default() -> Self {
+            Blob([0; 64])
+        }
+    }
+
+    #[test]
+    fn accounting_charges_region() {
+        let model = rtmem::MemoryModel::new();
+        let region = model.create_scoped(4096).unwrap();
+        let mut ctx = rtmem::Ctx::immortal(&model);
+        ctx.enter(region, |ctx| {
+            let pool = MessagePool::<Blob>::new("Blob", 8, Blob::default, Some((ctx, region))).unwrap();
+            let snap = model.snapshot(region).unwrap();
+            assert!(snap.used >= 8 * 64, "region charged for the pool");
+            drop(pool);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn accounting_over_budget_fails() {
+        let model = rtmem::MemoryModel::new();
+        let region = model.create_scoped(64).unwrap();
+        let mut ctx = rtmem::Ctx::immortal(&model);
+        ctx.enter(region, |ctx| {
+            let res = MessagePool::<Blob>::new("Blob", 8, Blob::default, Some((ctx, region)));
+            assert!(matches!(res, Err(CompadresError::Memory(_))));
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,314 @@
+//! Object model of the Component Definition Language (CDL) and Component
+//! Composition Language (CCL), paper Listings 1.1 and 1.2.
+
+use std::collections::BTreeMap;
+
+/// Direction of a port, relative to the component itself (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDirection {
+    /// Receives messages; has a buffer, thread pool and message handler.
+    In,
+    /// Sends messages.
+    Out,
+}
+
+impl std::fmt::Display for PortDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PortDirection::In => "In",
+            PortDirection::Out => "Out",
+        })
+    }
+}
+
+/// A port declaration in a CDL `<Port>` element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDef {
+    /// `<PortName>`.
+    pub name: String,
+    /// `<PortType>`: `In` or `Out`.
+    pub direction: PortDirection,
+    /// `<MessageType>`: the logical message type name; connections must
+    /// match it exactly (paper §2.2).
+    pub message_type: String,
+}
+
+/// A component class declaration in a CDL `<Component>` element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentDef {
+    /// `<ComponentName>`.
+    pub name: String,
+    /// Declared ports.
+    pub ports: Vec<PortDef>,
+}
+
+impl ComponentDef {
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&PortDef> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// All in-ports.
+    pub fn in_ports(&self) -> impl Iterator<Item = &PortDef> {
+        self.ports.iter().filter(|p| p.direction == PortDirection::In)
+    }
+
+    /// All out-ports.
+    pub fn out_ports(&self) -> impl Iterator<Item = &PortDef> {
+        self.ports.iter().filter(|p| p.direction == PortDirection::Out)
+    }
+}
+
+/// A parsed CDL document: the component classes available for composition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cdl {
+    /// Component classes in document order.
+    pub components: Vec<ComponentDef>,
+}
+
+impl Cdl {
+    /// Looks up a component class by name.
+    pub fn component(&self, name: &str) -> Option<&ComponentDef> {
+        self.components.iter().find(|c| c.name == name)
+    }
+}
+
+/// `<ComponentType>` in the CCL: which kind of memory the instance lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// Lives in immortal memory for the lifetime of the application.
+    Immortal,
+    /// Lives in a scoped memory area at the given `<ScopeLevel>`.
+    Scoped {
+        /// Nesting depth; level 1 is directly under immortal.
+        level: u32,
+    },
+}
+
+impl ComponentKind {
+    /// Whether this is a scoped instance.
+    pub fn is_scoped(self) -> bool {
+        matches!(self, ComponentKind::Scoped { .. })
+    }
+}
+
+/// `<Threadpool>` strategy of an in-port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadpoolStrategy {
+    /// Workers shared through a pool (asynchronous dispatch).
+    #[default]
+    Shared,
+    /// A pool dedicated to this port (still asynchronous; isolation knob).
+    Dedicated,
+    /// `Min = Max = 0`: the calling thread executes the handler
+    /// synchronously (paper §2.2).
+    Synchronous,
+}
+
+/// `<PortAttributes>` of an in-port in the CCL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortAttrs {
+    /// `<BufferSize>`: capacity of the port's message buffer.
+    pub buffer_size: usize,
+    /// `<Threadpool>` strategy.
+    pub strategy: ThreadpoolStrategy,
+    /// `<MinThreadpoolSize>`.
+    pub min_threads: usize,
+    /// `<MaxThreadpoolSize>`.
+    pub max_threads: usize,
+}
+
+impl Default for PortAttrs {
+    fn default() -> Self {
+        PortAttrs {
+            buffer_size: 16,
+            strategy: ThreadpoolStrategy::Shared,
+            min_threads: 1,
+            max_threads: 4,
+        }
+    }
+}
+
+impl PortAttrs {
+    /// Whether the handler runs on the sender's thread.
+    pub fn is_synchronous(&self) -> bool {
+        self.strategy == ThreadpoolStrategy::Synchronous
+            || (self.min_threads == 0 && self.max_threads == 0)
+    }
+}
+
+/// `<PortType>` of a `<Link>`: how the two endpoints are related.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Parent internal port ↔ child external port.
+    Internal,
+    /// External ports of sibling components.
+    External,
+    /// Child external port ↔ non-immediate ancestor (compiler-detected,
+    /// paper Fig. 5).
+    Shadow,
+}
+
+/// A declared connection endpoint reference (`<ToComponent>`/`<ToPort>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkDecl {
+    /// The port on the declaring instance.
+    pub from_port: String,
+    /// Declared link kind; validation recomputes/verifies it.
+    pub kind: Option<LinkKind>,
+    /// Target instance name.
+    pub to_component: String,
+    /// Target port name.
+    pub to_port: String,
+}
+
+/// One `<Component>` instance in the CCL, possibly with nested children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceDecl {
+    /// `<InstanceName>`.
+    pub instance_name: String,
+    /// `<ClassName>` referring to a CDL component.
+    pub class_name: String,
+    /// `<ComponentType>` (+ `<ScopeLevel>` for scoped).
+    pub kind: ComponentKind,
+    /// Per-port attributes for this instance's in-ports.
+    pub port_attrs: BTreeMap<String, PortAttrs>,
+    /// Declared links originating at this instance's ports.
+    pub links: Vec<LinkDecl>,
+    /// Nested child instances.
+    pub children: Vec<InstanceDecl>,
+}
+
+/// One `<ScopedPool>` element under `<RTSJAttributes>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopedPoolCfg {
+    /// `<ScopeLevel>` the pool serves.
+    pub level: u32,
+    /// `<ScopeSize>` in bytes.
+    pub scope_size: usize,
+    /// `<PoolSize>`: number of pre-created scopes.
+    pub pool_size: usize,
+}
+
+/// `<RTSJAttributes>`: memory configuration of the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtsjAttributes {
+    /// `<ImmortalSize>` in bytes.
+    pub immortal_size: usize,
+    /// Scope pools, one per level.
+    pub scoped_pools: Vec<ScopedPoolCfg>,
+}
+
+impl Default for RtsjAttributes {
+    fn default() -> Self {
+        RtsjAttributes { immortal_size: 4 << 20, scoped_pools: Vec::new() }
+    }
+}
+
+impl RtsjAttributes {
+    /// The pool configuration for a given scope level, if declared.
+    pub fn pool_for_level(&self, level: u32) -> Option<&ScopedPoolCfg> {
+        self.scoped_pools.iter().find(|p| p.level == level)
+    }
+}
+
+/// A parsed CCL document: the application composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ccl {
+    /// `<ApplicationName>`.
+    pub application_name: String,
+    /// Top-level component instances.
+    pub roots: Vec<InstanceDecl>,
+    /// Memory configuration.
+    pub rtsj: RtsjAttributes,
+}
+
+impl Ccl {
+    /// Iterates over all instance declarations, parents before children.
+    pub fn instances(&self) -> Vec<&InstanceDecl> {
+        let mut out = Vec::new();
+        fn walk<'a>(decl: &'a InstanceDecl, out: &mut Vec<&'a InstanceDecl>) {
+            out.push(decl);
+            for c in &decl.children {
+                walk(c, out);
+            }
+        }
+        for r in &self.roots {
+            walk(r, &mut out);
+        }
+        out
+    }
+
+    /// Finds an instance declaration by name anywhere in the tree.
+    pub fn instance(&self, name: &str) -> Option<&InstanceDecl> {
+        self.instances().into_iter().find(|i| i.instance_name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_attrs_synchronous_detection() {
+        let sync = PortAttrs { min_threads: 0, max_threads: 0, ..Default::default() };
+        assert!(sync.is_synchronous());
+        assert!(!PortAttrs::default().is_synchronous());
+        let explicit = PortAttrs { strategy: ThreadpoolStrategy::Synchronous, ..Default::default() };
+        assert!(explicit.is_synchronous());
+    }
+
+    #[test]
+    fn cdl_lookup() {
+        let cdl = Cdl {
+            components: vec![ComponentDef {
+                name: "Server".into(),
+                ports: vec![
+                    PortDef { name: "In1".into(), direction: PortDirection::In, message_type: "T".into() },
+                    PortDef { name: "Out1".into(), direction: PortDirection::Out, message_type: "T".into() },
+                ],
+            }],
+        };
+        let c = cdl.component("Server").unwrap();
+        assert_eq!(c.in_ports().count(), 1);
+        assert_eq!(c.out_ports().count(), 1);
+        assert!(cdl.component("Missing").is_none());
+        assert_eq!(c.port("In1").unwrap().direction, PortDirection::In);
+    }
+
+    #[test]
+    fn ccl_instances_parent_first() {
+        let ccl = Ccl {
+            application_name: "App".into(),
+            roots: vec![InstanceDecl {
+                instance_name: "A".into(),
+                class_name: "CA".into(),
+                kind: ComponentKind::Immortal,
+                port_attrs: BTreeMap::new(),
+                links: vec![],
+                children: vec![InstanceDecl {
+                    instance_name: "B".into(),
+                    class_name: "CB".into(),
+                    kind: ComponentKind::Scoped { level: 1 },
+                    port_attrs: BTreeMap::new(),
+                    links: vec![],
+                    children: vec![],
+                }],
+            }],
+            rtsj: RtsjAttributes::default(),
+        };
+        let names: Vec<_> = ccl.instances().iter().map(|i| i.instance_name.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+        assert!(ccl.instance("B").is_some());
+    }
+
+    #[test]
+    fn rtsj_pool_lookup() {
+        let rtsj = RtsjAttributes {
+            immortal_size: 1024,
+            scoped_pools: vec![ScopedPoolCfg { level: 1, scope_size: 512, pool_size: 3 }],
+        };
+        assert_eq!(rtsj.pool_for_level(1).unwrap().pool_size, 3);
+        assert!(rtsj.pool_for_level(2).is_none());
+    }
+}

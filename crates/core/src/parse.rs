@@ -1,0 +1,429 @@
+//! Parsing CDL and CCL XML documents into the object model.
+//!
+//! The accepted grammar follows paper Listings 1.1 (CDL) and 1.2 (CCL).
+//! A CDL document is either a single `<Component>` root or a
+//! `<Components>` root wrapping several.
+
+use rtxml::Element;
+
+use crate::error::{CompadresError, Result};
+use crate::model::*;
+
+/// Parses a CDL document.
+///
+/// # Errors
+///
+/// [`CompadresError::Xml`] for malformed XML, [`CompadresError::Model`] for
+/// structurally invalid CDL.
+///
+/// # Examples
+///
+/// ```
+/// let cdl = compadres_core::parse_cdl(r#"
+///   <Component>
+///     <ComponentName>Server</ComponentName>
+///     <Port>
+///       <PortName>DataIn</PortName>
+///       <PortType>In</PortType>
+///       <MessageType>MyInteger</MessageType>
+///     </Port>
+///   </Component>"#)?;
+/// assert_eq!(cdl.components[0].name, "Server");
+/// # Ok::<(), compadres_core::CompadresError>(())
+/// ```
+pub fn parse_cdl(input: &str) -> Result<Cdl> {
+    let root = rtxml::parse(input)?;
+    let components = match root.name.as_str() {
+        "Component" => vec![parse_component_def(&root)?],
+        "Components" | "CDL" => root
+            .children_named("Component")
+            .map(parse_component_def)
+            .collect::<Result<Vec<_>>>()?,
+        other => {
+            return Err(CompadresError::Model(format!(
+                "expected <Component> or <Components> root, found <{other}>"
+            )))
+        }
+    };
+    if components.is_empty() {
+        return Err(CompadresError::Model("CDL declares no components".into()));
+    }
+    Ok(Cdl { components })
+}
+
+fn parse_component_def(e: &Element) -> Result<ComponentDef> {
+    let name = required_text(e, "ComponentName")?;
+    let mut ports = Vec::new();
+    for p in e.children_named("Port") {
+        let port = PortDef {
+            name: required_text(p, "PortName")?,
+            direction: match p.child_text("PortType") {
+                Some("In") => PortDirection::In,
+                Some("Out") => PortDirection::Out,
+                Some(other) => {
+                    return Err(CompadresError::Model(format!(
+                        "port type must be In or Out, found {other:?}"
+                    )))
+                }
+                None => return Err(CompadresError::Model("port missing <PortType>".into())),
+            },
+            message_type: required_text(p, "MessageType")?,
+        };
+        if ports.iter().any(|x: &PortDef| x.name == port.name) {
+            return Err(CompadresError::Model(format!(
+                "duplicate port {:?} on component {name:?}",
+                port.name
+            )));
+        }
+        ports.push(port);
+    }
+    Ok(ComponentDef { name, ports })
+}
+
+/// Parses a CCL document (paper Listing 1.2).
+///
+/// # Errors
+///
+/// [`CompadresError::Xml`] for malformed XML, [`CompadresError::Model`] for
+/// structurally invalid CCL.
+pub fn parse_ccl(input: &str) -> Result<Ccl> {
+    let root = rtxml::parse(input)?;
+    if root.name != "Application" {
+        return Err(CompadresError::Model(format!(
+            "expected <Application> root, found <{}>",
+            root.name
+        )));
+    }
+    let application_name = required_text(&root, "ApplicationName")?;
+    let roots = root
+        .children_named("Component")
+        .map(parse_instance)
+        .collect::<Result<Vec<_>>>()?;
+    if roots.is_empty() {
+        return Err(CompadresError::Model("CCL declares no component instances".into()));
+    }
+    let rtsj = match root.child("RTSJAttributes") {
+        Some(a) => parse_rtsj(a)?,
+        None => RtsjAttributes::default(),
+    };
+    Ok(Ccl { application_name, roots, rtsj })
+}
+
+fn parse_instance(e: &Element) -> Result<InstanceDecl> {
+    let instance_name = required_text(e, "InstanceName")?;
+    let class_name = required_text(e, "ClassName")?;
+    let kind = match e.child_text("ComponentType") {
+        Some("Immortal") => ComponentKind::Immortal,
+        Some("Scoped") => {
+            let level = e.child_parse::<u32>("ScopeLevel").ok_or_else(|| {
+                CompadresError::Model(format!(
+                    "scoped instance {instance_name:?} missing <ScopeLevel>"
+                ))
+            })?;
+            if level == 0 {
+                return Err(CompadresError::Model(format!(
+                    "scope level of {instance_name:?} must be >= 1"
+                )));
+            }
+            ComponentKind::Scoped { level }
+        }
+        Some(other) => {
+            return Err(CompadresError::Model(format!(
+                "component type must be Immortal or Scoped, found {other:?}"
+            )))
+        }
+        None => {
+            return Err(CompadresError::Model(format!(
+                "instance {instance_name:?} missing <ComponentType>"
+            )))
+        }
+    };
+
+    let mut port_attrs = std::collections::BTreeMap::new();
+    let mut links = Vec::new();
+    if let Some(conn) = e.child("Connection") {
+        for p in conn.children_named("Port") {
+            let port_name = required_text(p, "PortName")?;
+            if let Some(attrs) = p.child("PortAttributes") {
+                port_attrs.insert(port_name.clone(), parse_port_attrs(attrs)?);
+            }
+            for l in p.children_named("Link") {
+                links.push(LinkDecl {
+                    from_port: port_name.clone(),
+                    kind: match l.child_text("PortType") {
+                        Some("Internal") => Some(LinkKind::Internal),
+                        Some("External") => Some(LinkKind::External),
+                        Some("Shadow") => Some(LinkKind::Shadow),
+                        Some(other) => {
+                            return Err(CompadresError::Model(format!(
+                                "link type must be Internal, External or Shadow, found {other:?}"
+                            )))
+                        }
+                        None => None,
+                    },
+                    to_component: required_text(l, "ToComponent")?,
+                    to_port: required_text(l, "ToPort")?,
+                });
+            }
+        }
+    }
+
+    let children = e
+        .children_named("Component")
+        .map(parse_instance)
+        .collect::<Result<Vec<_>>>()?;
+    Ok(InstanceDecl { instance_name, class_name, kind, port_attrs, links, children })
+}
+
+fn parse_port_attrs(e: &Element) -> Result<PortAttrs> {
+    let defaults = PortAttrs::default();
+    let strategy = match e.child_text("Threadpool") {
+        Some("Shared") => ThreadpoolStrategy::Shared,
+        Some("Dedicated") => ThreadpoolStrategy::Dedicated,
+        Some("Synchronous") => ThreadpoolStrategy::Synchronous,
+        Some(other) => {
+            return Err(CompadresError::Model(format!(
+                "threadpool strategy must be Shared, Dedicated or Synchronous, found {other:?}"
+            )))
+        }
+        None => defaults.strategy,
+    };
+    let attrs = PortAttrs {
+        buffer_size: e.child_parse("BufferSize").unwrap_or(defaults.buffer_size),
+        strategy,
+        min_threads: e.child_parse("MinThreadpoolSize").unwrap_or(defaults.min_threads),
+        max_threads: e.child_parse("MaxThreadpoolSize").unwrap_or(defaults.max_threads),
+    };
+    if attrs.buffer_size == 0 {
+        return Err(CompadresError::Model("buffer size must be positive".into()));
+    }
+    if attrs.min_threads > attrs.max_threads {
+        return Err(CompadresError::Model(format!(
+            "min threadpool size {} exceeds max {}",
+            attrs.min_threads, attrs.max_threads
+        )));
+    }
+    Ok(attrs)
+}
+
+fn parse_rtsj(e: &Element) -> Result<RtsjAttributes> {
+    let defaults = RtsjAttributes::default();
+    let immortal_size = e.child_parse("ImmortalSize").unwrap_or(defaults.immortal_size);
+    let mut scoped_pools = Vec::new();
+    for p in e.children_named("ScopedPool") {
+        let cfg = ScopedPoolCfg {
+            level: p
+                .child_parse("ScopeLevel")
+                .ok_or_else(|| CompadresError::Model("scoped pool missing <ScopeLevel>".into()))?,
+            scope_size: p
+                .child_parse("ScopeSize")
+                .ok_or_else(|| CompadresError::Model("scoped pool missing <ScopeSize>".into()))?,
+            pool_size: p
+                .child_parse("PoolSize")
+                .ok_or_else(|| CompadresError::Model("scoped pool missing <PoolSize>".into()))?,
+        };
+        if scoped_pools.iter().any(|x: &ScopedPoolCfg| x.level == cfg.level) {
+            return Err(CompadresError::Model(format!(
+                "duplicate scoped pool for level {}",
+                cfg.level
+            )));
+        }
+        scoped_pools.push(cfg);
+    }
+    Ok(RtsjAttributes { immortal_size, scoped_pools })
+}
+
+fn required_text(e: &Element, child: &str) -> Result<String> {
+    match e.child_text(child) {
+        Some(t) if !t.is_empty() => Ok(t.to_string()),
+        _ => Err(CompadresError::Model(format!(
+            "<{}> is missing required child <{child}>",
+            e.name
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CDL from paper Listing 1.1 (Calculator fleshed out).
+    pub(crate) const PAPER_CDL: &str = r#"
+      <Components>
+        <Component>
+          <ComponentName>Server</ComponentName>
+          <Port>
+            <PortName>DataOut</PortName>
+            <PortType>Out</PortType>
+            <MessageType>String</MessageType>
+          </Port>
+          <Port>
+            <PortName>DataIn</PortName>
+            <PortType>In</PortType>
+            <MessageType>CustomType</MessageType>
+          </Port>
+        </Component>
+        <Component>
+          <ComponentName>Calculator</ComponentName>
+          <Port>
+            <PortName>DataOut</PortName>
+            <PortType>Out</PortType>
+            <MessageType>CustomType</MessageType>
+          </Port>
+        </Component>
+      </Components>"#;
+
+    #[test]
+    fn parses_paper_cdl() {
+        let cdl = parse_cdl(PAPER_CDL).unwrap();
+        assert_eq!(cdl.components.len(), 2);
+        let server = cdl.component("Server").unwrap();
+        assert_eq!(server.port("DataOut").unwrap().direction, PortDirection::Out);
+        assert_eq!(server.port("DataIn").unwrap().message_type, "CustomType");
+    }
+
+    #[test]
+    fn single_component_root_accepted() {
+        let cdl = parse_cdl(
+            "<Component><ComponentName>X</ComponentName></Component>",
+        )
+        .unwrap();
+        assert_eq!(cdl.components[0].name, "X");
+    }
+
+    #[test]
+    fn duplicate_port_rejected() {
+        let err = parse_cdl(
+            r#"<Component><ComponentName>X</ComponentName>
+               <Port><PortName>P</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+               <Port><PortName>P</PortName><PortType>Out</PortType><MessageType>T</MessageType></Port>
+               </Component>"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompadresError::Model(_)));
+    }
+
+    #[test]
+    fn bad_port_type_rejected() {
+        let err = parse_cdl(
+            r#"<Component><ComponentName>X</ComponentName>
+               <Port><PortName>P</PortName><PortType>Sideways</PortType><MessageType>T</MessageType></Port>
+               </Component>"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("In or Out"));
+    }
+
+    /// A CCL in the shape of paper Listing 1.2.
+    pub(crate) const PAPER_CCL: &str = r#"
+      <Application>
+        <ApplicationName>MyApp</ApplicationName>
+        <Component>
+          <InstanceName>MyServer</InstanceName>
+          <ClassName>Server</ClassName>
+          <ComponentType>Immortal</ComponentType>
+          <Connection>
+            <Port>
+              <PortName>DataIn</PortName>
+              <PortAttributes>
+                <BufferSize>5</BufferSize>
+                <Threadpool>Shared</Threadpool>
+                <MinThreadpoolSize>2</MinThreadpoolSize>
+                <MaxThreadpoolSize>10</MaxThreadpoolSize>
+              </PortAttributes>
+              <Link>
+                <PortType>Internal</PortType>
+                <ToComponent>MyCalculator</ToComponent>
+                <ToPort>DataOut</ToPort>
+              </Link>
+            </Port>
+          </Connection>
+          <Component>
+            <InstanceName>MyCalculator</InstanceName>
+            <ClassName>Calculator</ClassName>
+            <ComponentType>Scoped</ComponentType>
+            <ScopeLevel>1</ScopeLevel>
+          </Component>
+        </Component>
+        <RTSJAttributes>
+          <ImmortalSize>400000</ImmortalSize>
+          <ScopedPool>
+            <ScopeLevel>1</ScopeLevel>
+            <ScopeSize>200000</ScopeSize>
+            <PoolSize>3</PoolSize>
+          </ScopedPool>
+        </RTSJAttributes>
+      </Application>"#;
+
+    #[test]
+    fn parses_paper_ccl() {
+        let ccl = parse_ccl(PAPER_CCL).unwrap();
+        assert_eq!(ccl.application_name, "MyApp");
+        assert_eq!(ccl.roots.len(), 1);
+        let server = &ccl.roots[0];
+        assert_eq!(server.kind, ComponentKind::Immortal);
+        assert_eq!(server.children[0].kind, ComponentKind::Scoped { level: 1 });
+        let attrs = &server.port_attrs["DataIn"];
+        assert_eq!(attrs.buffer_size, 5);
+        assert_eq!(attrs.min_threads, 2);
+        assert_eq!(attrs.max_threads, 10);
+        assert_eq!(server.links[0].to_component, "MyCalculator");
+        assert_eq!(server.links[0].kind, Some(LinkKind::Internal));
+        assert_eq!(ccl.rtsj.immortal_size, 400_000);
+        assert_eq!(ccl.rtsj.pool_for_level(1).unwrap().pool_size, 3);
+    }
+
+    #[test]
+    fn scoped_without_level_rejected() {
+        let err = parse_ccl(
+            r#"<Application><ApplicationName>A</ApplicationName>
+               <Component><InstanceName>X</InstanceName><ClassName>C</ClassName>
+               <ComponentType>Scoped</ComponentType></Component></Application>"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ScopeLevel"));
+    }
+
+    #[test]
+    fn zero_buffer_rejected() {
+        let err = parse_ccl(
+            r#"<Application><ApplicationName>A</ApplicationName>
+               <Component><InstanceName>X</InstanceName><ClassName>C</ClassName>
+               <ComponentType>Immortal</ComponentType>
+               <Connection><Port><PortName>P</PortName>
+               <PortAttributes><BufferSize>0</BufferSize></PortAttributes>
+               </Port></Connection></Component></Application>"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn min_over_max_rejected() {
+        let err = parse_ccl(
+            r#"<Application><ApplicationName>A</ApplicationName>
+               <Component><InstanceName>X</InstanceName><ClassName>C</ClassName>
+               <ComponentType>Immortal</ComponentType>
+               <Connection><Port><PortName>P</PortName>
+               <PortAttributes><MinThreadpoolSize>5</MinThreadpoolSize><MaxThreadpoolSize>2</MaxThreadpoolSize></PortAttributes>
+               </Port></Connection></Component></Application>"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn duplicate_pool_level_rejected() {
+        let err = parse_ccl(
+            r#"<Application><ApplicationName>A</ApplicationName>
+               <Component><InstanceName>X</InstanceName><ClassName>C</ClassName>
+               <ComponentType>Immortal</ComponentType></Component>
+               <RTSJAttributes>
+                 <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>10</ScopeSize><PoolSize>1</PoolSize></ScopedPool>
+                 <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>20</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+               </RTSJAttributes></Application>"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate scoped pool"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Cross-scope message-passing mechanisms (paper §2.2).
+//!
+//! The paper identifies three ways to move a message between scoped
+//! memory areas and justifies Compadres' choice of the shared-object
+//! pattern:
+//!
+//! 1. **Serialization** — encode, copy into a commonly accessible area,
+//!    decode on the other side. Simple but slow.
+//! 2. **Shared object** — allocate the message in the common ancestor
+//!    area; both sides reference it. Fast, but the ancestor's area must be
+//!    managed (Compadres recycles via message pools).
+//! 3. **Handoff** — the sending thread itself jumps through the common
+//!    ancestor (`executeInArea`) into the destination scope carrying the
+//!    data in locals. Fastest, but couples the code to the scope
+//!    structure.
+//!
+//! The framework's hot path uses the shared-object pattern (see
+//! [`crate::message::MessagePool`]); the functions here implement all
+//! three so ablation **A1** can measure the trade-off the paper describes.
+
+use rtmem::{Ctx, RRef, RegionId, Result as MemResult};
+
+/// Minimal byte-serialization used by the serialization mechanism.
+///
+/// Deliberately simple (length-prefixed little-endian) — the point is the
+/// *copy + encode/decode* cost shape, not a wire format. The RT-CORBA
+/// crate has a full CDR implementation for the ORB experiments.
+pub trait BytesCodec: Sized {
+    /// Appends the encoded form to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes a value encoded by [`BytesCodec::encode`].
+    ///
+    /// # Panics
+    ///
+    /// May panic on malformed input; this codec is for intra-process
+    /// transfers of values it encoded itself.
+    fn decode(bytes: &[u8]) -> Self;
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl BytesCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(bytes: &[u8]) -> Self {
+                let mut arr = [0u8; std::mem::size_of::<$t>()];
+                arr.copy_from_slice(&bytes[..std::mem::size_of::<$t>()]);
+                <$t>::from_le_bytes(arr)
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl BytesCodec for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self);
+    }
+    fn decode(bytes: &[u8]) -> Self {
+        let len = u32::decode(bytes) as usize;
+        bytes[4..4 + len].to_vec()
+    }
+}
+
+impl BytesCodec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_bytes().to_vec().encode(out);
+    }
+    fn decode(bytes: &[u8]) -> Self {
+        String::from_utf8(Vec::<u8>::decode(bytes)).expect("valid utf-8")
+    }
+}
+
+/// Transfers `msg` from the current scope to sibling scope `dst` by
+/// **serialization** through `ancestor`: encode, copy into the ancestor's
+/// area, jump over, copy out and decode.
+///
+/// # Errors
+///
+/// Propagates memory-model errors (inaccessible ancestor, exhausted
+/// region, single-parent violations on entering `dst`).
+pub fn pass_serialized<M: BytesCodec, R>(
+    ctx: &mut Ctx,
+    ancestor: RegionId,
+    dst: RegionId,
+    msg: &M,
+    consume: impl FnOnce(&M, &mut Ctx) -> R,
+) -> MemResult<R> {
+    // Encode on the source side.
+    let mut encoded = Vec::new();
+    msg.encode(&mut encoded);
+    // Copy into the common ancestor.
+    let shared = ctx.alloc_bytes_in(ancestor, encoded.len())?;
+    shared.copy_from_slice(ctx, &encoded)?;
+    // Jump to the ancestor, enter the destination, copy out and decode.
+    ctx.execute_in(ancestor, |ctx| {
+        ctx.enter(dst, |ctx| {
+            let bytes = shared.to_vec(ctx)?;
+            let decoded = M::decode(&bytes);
+            Ok(consume(&decoded, ctx))
+        })?
+    })?
+}
+
+/// Transfers `msg` via the **shared-object** pattern: allocate it in the
+/// common ancestor's area and hand the destination a checked reference.
+/// This is what Compadres message pools industrialize.
+///
+/// # Errors
+///
+/// Propagates memory-model errors.
+pub fn pass_shared<M: Send + 'static, R>(
+    ctx: &mut Ctx,
+    ancestor: RegionId,
+    dst: RegionId,
+    msg: M,
+    consume: impl FnOnce(&RRef<M>, &mut Ctx) -> R,
+) -> MemResult<R> {
+    let shared = ctx.alloc_in(ancestor, msg)?;
+    ctx.execute_in(ancestor, |ctx| ctx.enter(dst, |ctx| consume(&shared, ctx)))?
+}
+
+/// Transfers data via the **handoff** pattern: the calling thread jumps
+/// through the common ancestor into the destination scope carrying the
+/// value in a local — zero copies, but the caller must know the scope
+/// structure (exactly the coupling the paper warns about).
+///
+/// # Errors
+///
+/// Propagates memory-model errors.
+pub fn pass_handoff<M, R>(
+    ctx: &mut Ctx,
+    ancestor: RegionId,
+    dst: RegionId,
+    msg: &M,
+    consume: impl FnOnce(&M, &mut Ctx) -> R,
+) -> MemResult<R> {
+    ctx.execute_in(ancestor, |ctx| ctx.enter(dst, |ctx| consume(msg, ctx)))?
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmem::{MemoryModel, Wedge};
+
+    fn sibling_setup() -> (MemoryModel, RegionId, RegionId, RegionId, Vec<Wedge>) {
+        let m = MemoryModel::new();
+        let parent = m.create_scoped(64 << 10).unwrap();
+        let src = m.create_scoped(8 << 10).unwrap();
+        let dst = m.create_scoped(8 << 10).unwrap();
+        let wp = Wedge::pin_from_base(&m, parent).unwrap();
+        let ws = Wedge::pin_under(&m, src, parent).unwrap();
+        let wd = Wedge::pin_under(&m, dst, parent).unwrap();
+        (m, parent, src, dst, vec![wp, ws, wd])
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let mut buf = Vec::new();
+        0xDEADu16.encode(&mut buf);
+        assert_eq!(u16::decode(&buf), 0xDEAD);
+        let mut buf = Vec::new();
+        String::from("compadres").encode(&mut buf);
+        assert_eq!(String::decode(&buf), "compadres");
+        let mut buf = Vec::new();
+        vec![1u8, 2, 3].encode(&mut buf);
+        assert_eq!(Vec::<u8>::decode(&buf), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn serialization_mechanism() {
+        let (m, parent, src, dst, _w) = sibling_setup();
+        let mut ctx = rtmem::Ctx::immortal(&m);
+        ctx.enter(parent, |ctx| {
+            ctx.enter(src, |ctx| {
+                let msg = String::from("hello sibling");
+                let got = pass_serialized(ctx, parent, dst, &msg, |decoded, ctx| {
+                    assert_eq!(ctx.current(), dst);
+                    decoded.clone()
+                })
+                .unwrap();
+                assert_eq!(got, "hello sibling");
+            })
+            .unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn shared_object_mechanism() {
+        let (m, parent, src, dst, _w) = sibling_setup();
+        let mut ctx = rtmem::Ctx::immortal(&m);
+        ctx.enter(parent, |ctx| {
+            ctx.enter(src, |ctx| {
+                let got = pass_shared(ctx, parent, dst, 42u64, |shared, ctx| {
+                    assert_eq!(shared.region(), parent, "object lives in the ancestor");
+                    shared.get_clone(ctx).unwrap()
+                })
+                .unwrap();
+                assert_eq!(got, 42);
+            })
+            .unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn handoff_mechanism() {
+        let (m, parent, src, dst, _w) = sibling_setup();
+        let mut ctx = rtmem::Ctx::immortal(&m);
+        ctx.enter(parent, |ctx| {
+            ctx.enter(src, |ctx| {
+                let msg = [7u8; 32];
+                let sum: u32 = pass_handoff(ctx, parent, dst, &msg, |m, ctx| {
+                    assert_eq!(ctx.current(), dst);
+                    m.iter().map(|&b| b as u32).sum()
+                })
+                .unwrap();
+                assert_eq!(sum, 7 * 32);
+            })
+            .unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn serialization_charges_ancestor_region() {
+        let (m, parent, src, dst, _w) = sibling_setup();
+        let before = m.snapshot(parent).unwrap().used;
+        let mut ctx = rtmem::Ctx::immortal(&m);
+        ctx.enter(parent, |ctx| {
+            ctx.enter(src, |ctx| {
+                pass_serialized(ctx, parent, dst, &vec![0u8; 256], |_, _| ()).unwrap();
+            })
+            .unwrap();
+        })
+        .unwrap();
+        let after = m.snapshot(parent).unwrap().used;
+        assert!(after >= before + 256, "encoded copy lives in the ancestor");
+    }
+}

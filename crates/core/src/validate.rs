@@ -1,0 +1,660 @@
+//! Composition validation — the analysis half of the Compadres compiler.
+//!
+//! The paper (§2.2) lists what the compiler validates before generating
+//! glue code: Out ports connect to In ports, message types match exactly,
+//! there are no loops, and every connection respects the RTSJ scope access
+//! rules (internal links join a parent with its direct child, external
+//! links join siblings, and longer ancestor links become shadow ports).
+//! This module performs that validation and produces a normalized
+//! [`ValidatedApp`] that the assembly stage consumes.
+//!
+//! "No loops" is interpreted as: no self-connections (a component feeding
+//! its own in-port) and no duplicate connections. Instance-level cycles
+//! like request/reply pairs are legal — the paper's own client–server
+//! example (Fig. 6) contains one.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::error::{CompadresError, Result};
+use crate::model::*;
+
+/// Index of an instance inside a [`ValidatedApp`]; parents sort before
+/// children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub usize);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A validated, flattened component instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidatedInstance {
+    /// Index of this instance.
+    pub id: InstanceId,
+    /// Unique instance name.
+    pub name: String,
+    /// CDL class name.
+    pub class: String,
+    /// Immortal or scoped (+ level).
+    pub kind: ComponentKind,
+    /// Parent instance, if nested.
+    pub parent: Option<InstanceId>,
+    /// Number of scoped ancestors (== level - 1 for scoped instances).
+    pub scoped_depth: u32,
+    /// Attributes for every in-port (defaults filled in).
+    pub port_attrs: BTreeMap<String, PortAttrs>,
+}
+
+/// A normalized connection: always out-port → in-port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// Sending endpoint (instance, out-port).
+    pub from: (InstanceId, String),
+    /// Receiving endpoint (instance, in-port).
+    pub to: (InstanceId, String),
+    /// Relationship between the endpoints.
+    pub kind: LinkKind,
+    /// The (exactly matching) message type.
+    pub message_type: String,
+    /// The instance whose memory area hosts the shared message objects —
+    /// the deepest common ancestor component (`None` = immortal memory).
+    pub home: Option<InstanceId>,
+}
+
+/// The validated application, ready for assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidatedApp {
+    /// Application name from the CCL.
+    pub name: String,
+    /// Instances, parents before children.
+    pub instances: Vec<ValidatedInstance>,
+    /// Normalized connections.
+    pub connections: Vec<Connection>,
+    /// Memory configuration.
+    pub rtsj: RtsjAttributes,
+    /// Non-fatal findings.
+    pub warnings: Vec<String>,
+}
+
+impl ValidatedApp {
+    /// Looks up an instance by name.
+    pub fn instance(&self, name: &str) -> Option<&ValidatedInstance> {
+        self.instances.iter().find(|i| i.name == name)
+    }
+
+    /// Instance-id chain from the root down to `id` (inclusive).
+    pub fn ancestry(&self, id: InstanceId) -> Vec<InstanceId> {
+        let mut chain = vec![id];
+        let mut cur = self.instances[id.0].parent;
+        while let Some(p) = cur {
+            chain.push(p);
+            cur = self.instances[p.0].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Children of `id` in declaration order.
+    pub fn children(&self, id: InstanceId) -> Vec<InstanceId> {
+        self.instances
+            .iter()
+            .filter(|i| i.parent == Some(id))
+            .map(|i| i.id)
+            .collect()
+    }
+}
+
+/// Validates a CCL composition against its CDL and normalizes it.
+///
+/// # Errors
+///
+/// [`CompadresError::Validation`] describing the first rule violated.
+pub fn validate(cdl: &Cdl, ccl: &Ccl) -> Result<ValidatedApp> {
+    let mut instances = Vec::new();
+    let mut by_name: HashMap<String, InstanceId> = HashMap::new();
+    let mut warnings = Vec::new();
+
+    // Flatten the instance tree, assigning ids parent-first.
+    fn flatten(
+        decl: &InstanceDecl,
+        parent: Option<InstanceId>,
+        cdl: &Cdl,
+        instances: &mut Vec<ValidatedInstance>,
+        by_name: &mut HashMap<String, InstanceId>,
+        warnings: &mut Vec<String>,
+    ) -> Result<()> {
+        let class = cdl.component(&decl.class_name).ok_or_else(|| {
+            CompadresError::Validation(format!(
+                "instance {:?} references unknown component class {:?}",
+                decl.instance_name, decl.class_name
+            ))
+        })?;
+        let id = InstanceId(instances.len());
+        if by_name.insert(decl.instance_name.clone(), id).is_some() {
+            return Err(CompadresError::Validation(format!(
+                "duplicate instance name {:?}",
+                decl.instance_name
+            )));
+        }
+
+        // Scope-level consistency.
+        let parent_scoped_depth = parent.map(|p| {
+            let pi = &instances[p.0];
+            match pi.kind {
+                ComponentKind::Scoped { .. } => pi.scoped_depth + 1,
+                ComponentKind::Immortal => 0,
+            }
+        });
+        let scoped_depth = parent_scoped_depth.unwrap_or(0);
+        match decl.kind {
+            ComponentKind::Immortal => {
+                if let Some(p) = parent {
+                    if instances[p.0].kind.is_scoped() {
+                        return Err(CompadresError::Validation(format!(
+                            "immortal instance {:?} cannot be nested inside scoped instance {:?}",
+                            decl.instance_name, instances[p.0].name
+                        )));
+                    }
+                }
+            }
+            ComponentKind::Scoped { level } => {
+                let expected = scoped_depth + 1;
+                if level != expected {
+                    return Err(CompadresError::Validation(format!(
+                        "instance {:?} declares scope level {level} but its nesting implies level {expected}",
+                        decl.instance_name
+                    )));
+                }
+            }
+        }
+
+        // Port attributes: validate names, fill defaults for all in-ports.
+        let mut port_attrs = BTreeMap::new();
+        for (port, attrs) in &decl.port_attrs {
+            match class.port(port) {
+                Some(def) if def.direction == PortDirection::In => {
+                    port_attrs.insert(port.clone(), *attrs);
+                }
+                Some(_) => {
+                    return Err(CompadresError::Validation(format!(
+                        "port attributes given for out-port {}.{port}",
+                        decl.instance_name
+                    )))
+                }
+                None => {
+                    return Err(CompadresError::Validation(format!(
+                        "port attributes reference unknown port {}.{port}",
+                        decl.instance_name
+                    )))
+                }
+            }
+        }
+        for p in class.in_ports() {
+            if !port_attrs.contains_key(&p.name) {
+                warnings.push(format!(
+                    "in-port {}.{} has no explicit attributes; using defaults",
+                    decl.instance_name, p.name
+                ));
+                port_attrs.insert(p.name.clone(), PortAttrs::default());
+            }
+        }
+
+        instances.push(ValidatedInstance {
+            id,
+            name: decl.instance_name.clone(),
+            class: decl.class_name.clone(),
+            kind: decl.kind,
+            parent,
+            scoped_depth,
+            port_attrs,
+        });
+        for child in &decl.children {
+            flatten(child, Some(id), cdl, instances, by_name, warnings)?;
+        }
+        Ok(())
+    }
+
+    for root in &ccl.roots {
+        flatten(root, None, cdl, &mut instances, &mut by_name, &mut warnings)?;
+    }
+
+    let app_stub = ValidatedApp {
+        name: ccl.application_name.clone(),
+        instances,
+        connections: Vec::new(),
+        rtsj: ccl.rtsj.clone(),
+        warnings: Vec::new(),
+    };
+
+    // Normalize links into out→in connections.
+    let mut connections: Vec<Connection> = Vec::new();
+    let mut seen: HashSet<((InstanceId, String), (InstanceId, String))> = HashSet::new();
+    for decl in ccl.instances() {
+        let self_id = by_name[&decl.instance_name];
+        for link in &decl.links {
+            let peer_id = *by_name.get(&link.to_component).ok_or_else(|| {
+                CompadresError::Validation(format!(
+                    "link on {}.{} references unknown instance {:?}",
+                    decl.instance_name, link.from_port, link.to_component
+                ))
+            })?;
+            let self_class = cdl.component(&app_stub.instances[self_id.0].class).unwrap();
+            let peer_class = cdl.component(&app_stub.instances[peer_id.0].class).unwrap();
+            let self_port = self_class.port(&link.from_port).ok_or_else(|| {
+                CompadresError::Validation(format!(
+                    "link references unknown port {}.{}",
+                    decl.instance_name, link.from_port
+                ))
+            })?;
+            let peer_port = peer_class.port(&link.to_port).ok_or_else(|| {
+                CompadresError::Validation(format!(
+                    "link references unknown port {}.{}",
+                    link.to_component, link.to_port
+                ))
+            })?;
+
+            // Orient: out → in.
+            let (from, to, out_def, in_def) = match (self_port.direction, peer_port.direction) {
+                (PortDirection::Out, PortDirection::In) => (
+                    (self_id, link.from_port.clone()),
+                    (peer_id, link.to_port.clone()),
+                    self_port,
+                    peer_port,
+                ),
+                (PortDirection::In, PortDirection::Out) => (
+                    (peer_id, link.to_port.clone()),
+                    (self_id, link.from_port.clone()),
+                    peer_port,
+                    self_port,
+                ),
+                (a, b) => {
+                    return Err(CompadresError::Validation(format!(
+                        "link {}.{} -> {}.{} connects {a} port to {b} port; links must join Out with In",
+                        decl.instance_name, link.from_port, link.to_component, link.to_port
+                    )))
+                }
+            };
+
+            // Exact message-type match (paper §2.2: adapters, not coercion).
+            if out_def.message_type != in_def.message_type {
+                return Err(CompadresError::Validation(format!(
+                    "message type mismatch on {}.{} ({}) -> {}.{} ({}); introduce an adapter component",
+                    app_stub.instances[from.0 .0].name,
+                    from.1,
+                    out_def.message_type,
+                    app_stub.instances[to.0 .0].name,
+                    to.1,
+                    in_def.message_type
+                )));
+            }
+
+            // No loops: reject self-connections and duplicates.
+            if from.0 == to.0 {
+                return Err(CompadresError::Validation(format!(
+                    "loop: instance {:?} connects to itself via {} -> {}",
+                    app_stub.instances[from.0 .0].name, from.1, to.1
+                )));
+            }
+            if !seen.insert((from.clone(), to.clone())) {
+                continue; // The same link declared from both endpoints.
+            }
+
+            // Scope relationship.
+            let from_chain = app_stub.ancestry(from.0);
+            let to_chain = app_stub.ancestry(to.0);
+            let common: Vec<InstanceId> = from_chain
+                .iter()
+                .zip(to_chain.iter())
+                .take_while(|(a, b)| a == b)
+                .map(|(a, _)| *a)
+                .collect();
+            let kind = if common.last() == Some(&from.0) || common.last() == Some(&to.0) {
+                // One endpoint is an ancestor of the other.
+                let dist = from_chain.len().abs_diff(to_chain.len());
+                if dist == 1 {
+                    LinkKind::Internal
+                } else {
+                    LinkKind::Shadow // compiler-detected shadow port (paper Fig. 5)
+                }
+            } else if from_chain.len() == to_chain.len()
+                && from_chain.len() == common.len() + 1
+            {
+                LinkKind::External
+            } else {
+                return Err(CompadresError::Validation(format!(
+                    "connection {}.{} -> {}.{} joins components that are neither \
+                     parent/child, siblings, nor ancestor/descendant",
+                    app_stub.instances[from.0 .0].name,
+                    from.1,
+                    app_stub.instances[to.0 .0].name,
+                    to.1
+                )));
+            };
+            if let Some(declared) = link.kind {
+                if declared != kind && !(declared == LinkKind::External && kind == LinkKind::Shadow)
+                {
+                    return Err(CompadresError::Validation(format!(
+                        "link {}.{} -> {}.{} declared {declared:?} but the hierarchy implies {kind:?}",
+                        app_stub.instances[from.0 .0].name,
+                        from.1,
+                        app_stub.instances[to.0 .0].name,
+                        to.1
+                    )));
+                }
+            }
+
+            // Home region: the deepest common ancestor component. For an
+            // ancestor/descendant link that is the ancestor itself; for
+            // siblings it is their parent; `None` means immortal memory.
+            let home = common.last().copied();
+
+            connections.push(Connection {
+                from,
+                to,
+                kind,
+                message_type: out_def.message_type.clone(),
+                home,
+            });
+        }
+    }
+
+    // Coverage warnings.
+    for inst in &app_stub.instances {
+        let class = cdl.component(&inst.class).unwrap();
+        for p in class.in_ports() {
+            if !connections.iter().any(|c| c.to == (inst.id, p.name.clone())) {
+                warnings.push(format!("in-port {}.{} has no incoming connection", inst.name, p.name));
+            }
+        }
+        for p in class.out_ports() {
+            if !connections.iter().any(|c| c.from == (inst.id, p.name.clone())) {
+                warnings.push(format!("out-port {}.{} has no outgoing connection", inst.name, p.name));
+            }
+        }
+        if let ComponentKind::Scoped { level } = inst.kind {
+            if ccl.rtsj.pool_for_level(level).is_none() {
+                warnings.push(format!(
+                    "no scope pool configured for level {level} (instance {}); scopes will be created fresh",
+                    inst.name
+                ));
+            }
+        }
+    }
+
+    Ok(ValidatedApp {
+        name: app_stub.name,
+        instances: app_stub.instances,
+        connections,
+        rtsj: app_stub.rtsj,
+        warnings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_ccl, parse_cdl};
+
+    fn cdl_two_way() -> Cdl {
+        parse_cdl(
+            r#"<Components>
+            <Component><ComponentName>A</ComponentName>
+              <Port><PortName>Out1</PortName><PortType>Out</PortType><MessageType>T</MessageType></Port>
+              <Port><PortName>In1</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+            </Component>
+            <Component><ComponentName>B</ComponentName>
+              <Port><PortName>Out1</PortName><PortType>Out</PortType><MessageType>T</MessageType></Port>
+              <Port><PortName>In1</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+            </Component>
+            <Component><ComponentName>U</ComponentName>
+              <Port><PortName>Out1</PortName><PortType>Out</PortType><MessageType>U</MessageType></Port>
+            </Component>
+            </Components>"#,
+        )
+        .unwrap()
+    }
+
+    fn ccl(src: &str) -> Ccl {
+        parse_ccl(src).unwrap()
+    }
+
+    #[test]
+    fn sibling_connection_is_external_with_parent_home() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+                <Connection><Port><PortName>Out1</PortName>
+                  <Link><ToComponent>R</ToComponent><ToPort>In1</ToPort></Link>
+                </Port></Connection>
+              </Component>
+              <Component><InstanceName>R</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+            </Component>
+            </Application>"#,
+        );
+        let app = validate(&cdl, &ccl).unwrap();
+        assert_eq!(app.connections.len(), 1);
+        let c = &app.connections[0];
+        assert_eq!(c.kind, LinkKind::External);
+        let root = app.instance("Root").unwrap().id;
+        assert_eq!(c.home, Some(root));
+        assert_eq!(app.instances[c.from.0 .0].name, "L");
+        assert_eq!(app.instances[c.to.0 .0].name, "R");
+    }
+
+    #[test]
+    fn parent_child_connection_is_internal() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>P</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Connection><Port><PortName>In1</PortName>
+                <Link><PortType>Internal</PortType><ToComponent>C</ToComponent><ToPort>Out1</ToPort></Link>
+              </Port></Connection>
+              <Component><InstanceName>C</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+            </Component>
+            </Application>"#,
+        );
+        let app = validate(&cdl, &ccl).unwrap();
+        let c = &app.connections[0];
+        assert_eq!(c.kind, LinkKind::Internal);
+        // Link was declared on the In side: normalized to child.Out1 -> parent.In1.
+        assert_eq!(app.instances[c.from.0 .0].name, "C");
+        assert_eq!(app.instances[c.to.0 .0].name, "P");
+        // Home is the parent (the ancestor endpoint).
+        assert_eq!(c.home, Some(app.instance("P").unwrap().id));
+    }
+
+    #[test]
+    fn grandchild_link_detected_as_shadow() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>A0</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>B0</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+                <Component><InstanceName>C0</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>
+                  <Connection><Port><PortName>Out1</PortName>
+                    <Link><ToComponent>A0</ToComponent><ToPort>In1</ToPort></Link>
+                  </Port></Connection>
+                </Component>
+              </Component>
+            </Component>
+            </Application>"#,
+        );
+        let app = validate(&cdl, &ccl).unwrap();
+        let c = &app.connections[0];
+        assert_eq!(c.kind, LinkKind::Shadow, "compiler detects the shadow port");
+        assert_eq!(c.home, Some(app.instance("A0").unwrap().id));
+    }
+
+    #[test]
+    fn message_type_mismatch_rejected() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>L</InstanceName><ClassName>U</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+                <Connection><Port><PortName>Out1</PortName>
+                  <Link><ToComponent>R</ToComponent><ToPort>In1</ToPort></Link>
+                </Port></Connection>
+              </Component>
+              <Component><InstanceName>R</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+            </Component>
+            </Application>"#,
+        );
+        let err = validate(&cdl, &ccl).unwrap_err();
+        assert!(err.to_string().contains("message type mismatch"), "{err}");
+        assert!(err.to_string().contains("adapter"));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>Solo</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Connection><Port><PortName>Out1</PortName>
+                <Link><ToComponent>Solo</ToComponent><ToPort>In1</ToPort></Link>
+              </Port></Connection>
+            </Component>
+            </Application>"#,
+        );
+        let err = validate(&cdl, &ccl).unwrap_err();
+        assert!(err.to_string().contains("loop"), "{err}");
+    }
+
+    #[test]
+    fn out_to_out_rejected() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+                <Connection><Port><PortName>Out1</PortName>
+                  <Link><ToComponent>R</ToComponent><ToPort>Out1</ToPort></Link>
+                </Port></Connection>
+              </Component>
+              <Component><InstanceName>R</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+            </Component>
+            </Application>"#,
+        );
+        let err = validate(&cdl, &ccl).unwrap_err();
+        assert!(err.to_string().contains("must join Out with In"), "{err}");
+    }
+
+    #[test]
+    fn wrong_scope_level_rejected() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel></Component>
+            </Component>
+            </Application>"#,
+        );
+        let err = validate(&cdl, &ccl).unwrap_err();
+        assert!(err.to_string().contains("implies level 1"), "{err}");
+    }
+
+    #[test]
+    fn immortal_inside_scoped_rejected() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>S</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+              <Component><InstanceName>I</InstanceName><ClassName>B</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Component>
+            </Application>"#,
+        );
+        let err = validate(&cdl, &ccl).unwrap_err();
+        assert!(err.to_string().contains("cannot be nested"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_instance_name_rejected() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>X</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType></Component>
+            <Component><InstanceName>X</InstanceName><ClassName>B</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Application>"#,
+        );
+        let err = validate(&cdl, &ccl).unwrap_err();
+        assert!(err.to_string().contains("duplicate instance name"), "{err}");
+    }
+
+    #[test]
+    fn bilateral_declaration_deduplicated() {
+        // Both endpoints declare the same link; it must appear once.
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+                <Connection><Port><PortName>Out1</PortName>
+                  <Link><ToComponent>R</ToComponent><ToPort>In1</ToPort></Link>
+                </Port></Connection>
+              </Component>
+              <Component><InstanceName>R</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+                <Connection><Port><PortName>In1</PortName>
+                  <Link><ToComponent>L</ToComponent><ToPort>Out1</ToPort></Link>
+                </Port></Connection>
+              </Component>
+            </Component>
+            </Application>"#,
+        );
+        let app = validate(&cdl, &ccl).unwrap();
+        assert_eq!(app.connections.len(), 1);
+    }
+
+    #[test]
+    fn unconnected_ports_warned() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>Solo</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Application>"#,
+        );
+        let app = validate(&cdl, &ccl).unwrap();
+        assert!(app.warnings.iter().any(|w| w.contains("no incoming connection")));
+        assert!(app.warnings.iter().any(|w| w.contains("no outgoing connection")));
+    }
+
+    #[test]
+    fn missing_pool_level_warned() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+            </Component>
+            </Application>"#,
+        );
+        let app = validate(&cdl, &ccl).unwrap();
+        assert!(app.warnings.iter().any(|w| w.contains("no scope pool")));
+    }
+
+    #[test]
+    fn ancestry_helper() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(
+            r#"<Application><ApplicationName>App</ApplicationName>
+            <Component><InstanceName>A0</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>B0</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+                <Component><InstanceName>C0</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel></Component>
+              </Component>
+            </Component>
+            </Application>"#,
+        );
+        let app = validate(&cdl, &ccl).unwrap();
+        let c0 = app.instance("C0").unwrap().id;
+        let chain = app.ancestry(c0);
+        let names: Vec<_> = chain.iter().map(|i| app.instances[i.0].name.as_str()).collect();
+        assert_eq!(names, vec!["A0", "B0", "C0"]);
+        assert_eq!(app.children(app.instance("A0").unwrap().id).len(), 1);
+    }
+}

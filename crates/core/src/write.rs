@@ -1,0 +1,220 @@
+//! Serializing CDL/CCL models back to XML.
+//!
+//! The inverse of [`crate::parse`]: used by tooling that manipulates
+//! compositions programmatically (e.g. generating CCL variants for
+//! experiments) and by round-trip tests that pin the document format.
+
+use rtxml::Element;
+
+use crate::model::*;
+
+/// Renders a CDL model as an XML document string.
+pub fn write_cdl(cdl: &Cdl) -> String {
+    let mut root = Element::new("Components");
+    for c in &cdl.components {
+        root = root.with_child(component_def_element(c));
+    }
+    rtxml::to_document_string(&root)
+}
+
+fn component_def_element(c: &ComponentDef) -> Element {
+    let mut e = Element::new("Component")
+        .with_child(Element::new("ComponentName").with_text(&c.name));
+    for p in &c.ports {
+        e = e.with_child(
+            Element::new("Port")
+                .with_child(Element::new("PortName").with_text(&p.name))
+                .with_child(Element::new("PortType").with_text(p.direction.to_string()))
+                .with_child(Element::new("MessageType").with_text(&p.message_type)),
+        );
+    }
+    e
+}
+
+/// Renders a CCL model as an XML document string.
+pub fn write_ccl(ccl: &Ccl) -> String {
+    let mut root = Element::new("Application")
+        .with_child(Element::new("ApplicationName").with_text(&ccl.application_name));
+    for inst in &ccl.roots {
+        root = root.with_child(instance_element(inst));
+    }
+    root = root.with_child(rtsj_element(&ccl.rtsj));
+    rtxml::to_document_string(&root)
+}
+
+fn instance_element(decl: &InstanceDecl) -> Element {
+    let mut e = Element::new("Component")
+        .with_child(Element::new("InstanceName").with_text(&decl.instance_name))
+        .with_child(Element::new("ClassName").with_text(&decl.class_name));
+    match decl.kind {
+        ComponentKind::Immortal => {
+            e = e.with_child(Element::new("ComponentType").with_text("Immortal"));
+        }
+        ComponentKind::Scoped { level } => {
+            e = e
+                .with_child(Element::new("ComponentType").with_text("Scoped"))
+                .with_child(Element::new("ScopeLevel").with_text(level.to_string()));
+        }
+    }
+    if !decl.port_attrs.is_empty() || !decl.links.is_empty() {
+        let mut conn = Element::new("Connection");
+        // One <Port> element per referenced port, merging attributes and
+        // links the way the paper's listings do.
+        let mut port_names: Vec<&str> = decl.port_attrs.keys().map(String::as_str).collect();
+        for l in &decl.links {
+            if !port_names.contains(&l.from_port.as_str()) {
+                port_names.push(&l.from_port);
+            }
+        }
+        for port in port_names {
+            let mut pe = Element::new("Port").with_child(Element::new("PortName").with_text(port));
+            if let Some(attrs) = decl.port_attrs.get(port) {
+                pe = pe.with_child(port_attrs_element(attrs));
+            }
+            for l in decl.links.iter().filter(|l| l.from_port == port) {
+                let mut le = Element::new("Link");
+                if let Some(kind) = l.kind {
+                    let kind_text = match kind {
+                        LinkKind::Internal => "Internal",
+                        LinkKind::External => "External",
+                        LinkKind::Shadow => "Shadow",
+                    };
+                    le = le.with_child(Element::new("PortType").with_text(kind_text));
+                }
+                le = le
+                    .with_child(Element::new("ToComponent").with_text(&l.to_component))
+                    .with_child(Element::new("ToPort").with_text(&l.to_port));
+                pe = pe.with_child(le);
+            }
+            conn = conn.with_child(pe);
+        }
+        e = e.with_child(conn);
+    }
+    for child in &decl.children {
+        e = e.with_child(instance_element(child));
+    }
+    e
+}
+
+fn port_attrs_element(attrs: &PortAttrs) -> Element {
+    let strategy = match attrs.strategy {
+        ThreadpoolStrategy::Shared => "Shared",
+        ThreadpoolStrategy::Dedicated => "Dedicated",
+        ThreadpoolStrategy::Synchronous => "Synchronous",
+    };
+    Element::new("PortAttributes")
+        .with_child(Element::new("BufferSize").with_text(attrs.buffer_size.to_string()))
+        .with_child(Element::new("Threadpool").with_text(strategy))
+        .with_child(Element::new("MinThreadpoolSize").with_text(attrs.min_threads.to_string()))
+        .with_child(Element::new("MaxThreadpoolSize").with_text(attrs.max_threads.to_string()))
+}
+
+fn rtsj_element(rtsj: &RtsjAttributes) -> Element {
+    let mut e = Element::new("RTSJAttributes")
+        .with_child(Element::new("ImmortalSize").with_text(rtsj.immortal_size.to_string()));
+    for p in &rtsj.scoped_pools {
+        e = e.with_child(
+            Element::new("ScopedPool")
+                .with_child(Element::new("ScopeLevel").with_text(p.level.to_string()))
+                .with_child(Element::new("ScopeSize").with_text(p.scope_size.to_string()))
+                .with_child(Element::new("PoolSize").with_text(p.pool_size.to_string())),
+        );
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_ccl, parse_cdl};
+    use std::collections::BTreeMap;
+
+    fn sample_cdl() -> Cdl {
+        Cdl {
+            components: vec![
+                ComponentDef {
+                    name: "Server".into(),
+                    ports: vec![
+                        PortDef {
+                            name: "DataOut".into(),
+                            direction: PortDirection::Out,
+                            message_type: "Text".into(),
+                        },
+                        PortDef {
+                            name: "DataIn".into(),
+                            direction: PortDirection::In,
+                            message_type: "Num".into(),
+                        },
+                    ],
+                },
+                ComponentDef { name: "Sink".into(), ports: vec![] },
+            ],
+        }
+    }
+
+    fn sample_ccl() -> Ccl {
+        let mut attrs = BTreeMap::new();
+        attrs.insert(
+            "DataIn".to_string(),
+            PortAttrs {
+                buffer_size: 7,
+                strategy: ThreadpoolStrategy::Dedicated,
+                min_threads: 2,
+                max_threads: 3,
+            },
+        );
+        Ccl {
+            application_name: "Rt".into(),
+            roots: vec![InstanceDecl {
+                instance_name: "Root".into(),
+                class_name: "Server".into(),
+                kind: ComponentKind::Immortal,
+                port_attrs: attrs,
+                links: vec![LinkDecl {
+                    from_port: "DataOut".into(),
+                    kind: Some(LinkKind::Internal),
+                    to_component: "Child".into(),
+                    to_port: "DataIn".into(),
+                }],
+                children: vec![InstanceDecl {
+                    instance_name: "Child".into(),
+                    class_name: "Server".into(),
+                    kind: ComponentKind::Scoped { level: 1 },
+                    port_attrs: BTreeMap::new(),
+                    links: vec![],
+                    children: vec![],
+                }],
+            }],
+            rtsj: RtsjAttributes {
+                immortal_size: 123_456,
+                scoped_pools: vec![ScopedPoolCfg { level: 1, scope_size: 777, pool_size: 2 }],
+            },
+        }
+    }
+
+    #[test]
+    fn cdl_roundtrip() {
+        let cdl = sample_cdl();
+        let xml = write_cdl(&cdl);
+        let back = parse_cdl(&xml).unwrap();
+        assert_eq!(back, cdl);
+    }
+
+    #[test]
+    fn ccl_roundtrip() {
+        let ccl = sample_ccl();
+        let xml = write_ccl(&ccl);
+        let back = parse_ccl(&xml).unwrap();
+        assert_eq!(back, ccl);
+    }
+
+    #[test]
+    fn written_ccl_is_valid_xml_with_expected_shape() {
+        let xml = write_ccl(&sample_ccl());
+        assert!(xml.starts_with("<?xml"));
+        assert!(xml.contains("<ApplicationName>Rt</ApplicationName>"));
+        assert!(xml.contains("<ScopeLevel>1</ScopeLevel>"));
+        assert!(xml.contains("<BufferSize>7</BufferSize>"));
+        assert!(xml.contains("<Threadpool>Dedicated</Threadpool>"));
+    }
+}

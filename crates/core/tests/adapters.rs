@@ -1,0 +1,145 @@
+//! Adapter components (paper §2.2): connecting ports of non-matching
+//! message types through a converting component.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use compadres_core::{AppBuilder, CompadresError, HandlerCtx, Priority};
+
+#[derive(Debug, Default, Clone)]
+struct Fahrenheit {
+    degrees: f64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Celsius {
+    degrees: f64,
+}
+
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>UsSensor</ComponentName>
+    <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Fahrenheit</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>UnitAdapter</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Fahrenheit</MessageType></Port>
+    <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Celsius</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>SiDisplay</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Celsius</MessageType></Port>
+  </Component>
+</Components>"#;
+
+const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+
+fn ccl() -> String {
+    format!(
+        r#"
+<Application>
+  <ApplicationName>Adapters</ApplicationName>
+  <Component>
+    <InstanceName>Root</InstanceName>
+    <ClassName>UsSensor</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>Out</PortName>
+        <Link><ToComponent>Adapter</ToComponent><ToPort>In</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>Adapter</InstanceName>
+      <ClassName>UnitAdapter</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>In</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+        <Port><PortName>Out</PortName>
+          <Link><ToComponent>Display</ToComponent><ToPort>In</ToPort></Link>
+        </Port>
+      </Connection>
+    </Component>
+    <Component>
+      <InstanceName>Display</InstanceName>
+      <ClassName>SiDisplay</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>In</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+      </Connection>
+    </Component>
+  </Component>
+</Application>"#
+    )
+}
+
+#[test]
+fn adapter_converts_between_message_types() {
+    let (tx, rx) = mpsc::channel();
+    let app = AppBuilder::from_xml(CDL, &ccl())
+        .unwrap()
+        .bind_message_type::<Fahrenheit>("Fahrenheit")
+        .bind_message_type::<Celsius>("Celsius")
+        .register_adapter("UnitAdapter", "In", "Out", |f: &Fahrenheit| Celsius {
+            degrees: (f.degrees - 32.0) * 5.0 / 9.0,
+        })
+        .register_handler("SiDisplay", "In", move || {
+            let tx = tx.clone();
+            move |msg: &mut Celsius, _ctx: &mut HandlerCtx<'_>| {
+                let _ = tx.send(msg.degrees);
+                Ok(())
+            }
+        })
+        .build()
+        .unwrap();
+    app.start().unwrap();
+
+    for (f, expected_c) in [(212.0, 100.0), (32.0, 0.0), (-40.0, -40.0)] {
+        app.with_component("Root", |ctx| {
+            let mut m = ctx.get_message::<Fahrenheit>("Out").unwrap();
+            m.degrees = f;
+            ctx.send("Out", m, Priority::new(5)).unwrap();
+        })
+        .unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!((got - expected_c).abs() < 1e-9, "{f}F -> {got}C, expected {expected_c}");
+    }
+}
+
+#[test]
+fn direct_mismatched_connection_still_rejected() {
+    // Without the adapter in between, the framework refuses the wiring —
+    // the adapter is the *only* sanctioned way to join differing types.
+    let bad_ccl = format!(
+        r#"
+<Application>
+  <ApplicationName>NoAdapter</ApplicationName>
+  <Component>
+    <InstanceName>Root</InstanceName>
+    <ClassName>UsSensor</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>Out</PortName>
+        <Link><ToComponent>Display</ToComponent><ToPort>In</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>Display</InstanceName>
+      <ClassName>SiDisplay</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>In</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+      </Connection>
+    </Component>
+  </Component>
+</Application>"#
+    );
+    let err = AppBuilder::from_xml(CDL, &bad_ccl)
+        .unwrap()
+        .bind_message_type::<Fahrenheit>("Fahrenheit")
+        .bind_message_type::<Celsius>("Celsius")
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, CompadresError::Validation(_)));
+    assert!(err.to_string().contains("adapter"), "{err}");
+}

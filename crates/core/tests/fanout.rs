@@ -1,0 +1,128 @@
+//! Fan-out: one out-port feeding several in-ports ("it relays the data to
+//! the In port(s) connected to it", paper §2.2), via `send_cloned`.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use compadres_core::{AppBuilder, CompadresError, HandlerCtx, Priority};
+
+#[derive(Debug, Default, Clone)]
+struct Broadcast {
+    id: u64,
+}
+
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Hub</ComponentName>
+    <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Broadcast</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Spoke</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Broadcast</MessageType></Port>
+  </Component>
+</Components>"#;
+
+const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+
+fn ccl(n: usize) -> String {
+    let mut spokes = String::new();
+    let mut links = String::new();
+    for i in 0..n {
+        spokes.push_str(&format!(
+            r#"<Component><InstanceName>S{i}</InstanceName><ClassName>Spoke</ClassName>
+               <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+               <Connection><Port><PortName>In</PortName><PortAttributes>{SYNC}</PortAttributes></Port></Connection>
+               </Component>"#
+        ));
+        links.push_str(&format!("<Link><ToComponent>S{i}</ToComponent><ToPort>In</ToPort></Link>"));
+    }
+    format!(
+        r#"<Application><ApplicationName>FanOut</ApplicationName>
+        <Component><InstanceName>H</InstanceName><ClassName>Hub</ClassName><ComponentType>Immortal</ComponentType>
+          <Connection><Port><PortName>Out</PortName>{links}</Port></Connection>
+          {spokes}
+        </Component></Application>"#
+    )
+}
+
+#[test]
+fn send_cloned_reaches_every_target() {
+    let (tx, rx) = mpsc::channel();
+    let app = AppBuilder::from_xml(CDL, &ccl(3))
+        .unwrap()
+        .bind_message_type::<Broadcast>("Broadcast")
+        .register_handler("Spoke", "In", move || {
+            let tx = tx.clone();
+            move |msg: &mut Broadcast, ctx: &mut HandlerCtx<'_>| {
+                let _ = tx.send((ctx.instance_name().to_string(), msg.id));
+                Ok(())
+            }
+        })
+        .build()
+        .unwrap();
+    app.start().unwrap();
+
+    let delivered = app
+        .with_component("H", |ctx| {
+            ctx.send_cloned("Out", &Broadcast { id: 7 }, Priority::new(5))
+        })
+        .unwrap()
+        .unwrap();
+    assert_eq!(delivered, 3);
+
+    let mut seen: Vec<(String, u64)> = (0..3)
+        .map(|_| rx.recv_timeout(Duration::from_secs(2)).unwrap())
+        .collect();
+    seen.sort();
+    assert_eq!(
+        seen,
+        vec![("S0".into(), 7), ("S1".into(), 7), ("S2".into(), 7)]
+    );
+}
+
+#[test]
+fn plain_send_requires_single_target() {
+    let app = AppBuilder::from_xml(CDL, &ccl(2))
+        .unwrap()
+        .bind_message_type::<Broadcast>("Broadcast")
+        .register_handler("Spoke", "In", || {
+            |_m: &mut Broadcast, _c: &mut HandlerCtx<'_>| Ok(())
+        })
+        .build()
+        .unwrap();
+    app.start().unwrap();
+    let err = app
+        .with_component("H", |ctx| {
+            let msg = ctx.get_message::<Broadcast>("Out")?;
+            ctx.send("Out", msg, Priority::NORM)
+        })
+        .unwrap()
+        .unwrap_err();
+    assert!(matches!(err, CompadresError::NotFound { .. }), "{err}");
+    assert!(err.to_string().contains("2 targets"), "{err}");
+}
+
+#[test]
+fn send_cloned_on_single_target_behaves_like_send() {
+    let (tx, rx) = mpsc::channel();
+    let app = AppBuilder::from_xml(CDL, &ccl(1))
+        .unwrap()
+        .bind_message_type::<Broadcast>("Broadcast")
+        .register_handler("Spoke", "In", move || {
+            let tx = tx.clone();
+            move |msg: &mut Broadcast, _c: &mut HandlerCtx<'_>| {
+                let _ = tx.send(msg.id);
+                Ok(())
+            }
+        })
+        .build()
+        .unwrap();
+    app.start().unwrap();
+    let n = app
+        .with_component("H", |ctx| ctx.send_cloned("Out", &Broadcast { id: 1 }, Priority::NORM))
+        .unwrap()
+        .unwrap();
+    assert_eq!(n, 1);
+    assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), 1);
+}

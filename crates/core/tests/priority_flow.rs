@@ -1,0 +1,129 @@
+//! Priority propagation: messages are prioritized at `send()` and the
+//! processing context inherits that priority (paper §2.2), including
+//! across multi-hop relays that forward at `ctx.priority()`.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use compadres_core::{AppBuilder, HandlerCtx, Priority};
+
+#[derive(Debug, Default, Clone)]
+struct Tagged {
+    label: String,
+}
+
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Head</ComponentName>
+    <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Tagged</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Relay</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Tagged</MessageType></Port>
+    <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Tagged</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Tail</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Tagged</MessageType></Port>
+  </Component>
+</Components>"#;
+
+const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+
+fn ccl(tail_attrs: &str) -> String {
+    format!(
+        r#"
+<Application>
+  <ApplicationName>PrioFlow</ApplicationName>
+  <Component>
+    <InstanceName>H</InstanceName>
+    <ClassName>Head</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>Out</PortName>
+        <Link><ToComponent>R</ToComponent><ToPort>In</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>R</InstanceName>
+      <ClassName>Relay</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>In</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+        <Port><PortName>Out</PortName>
+          <Link><ToComponent>T</ToComponent><ToPort>In</ToPort></Link>
+        </Port>
+      </Connection>
+    </Component>
+    <Component>
+      <InstanceName>T</InstanceName>
+      <ClassName>Tail</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>In</PortName><PortAttributes>{tail_attrs}</PortAttributes></Port>
+      </Connection>
+    </Component>
+  </Component>
+</Application>"#
+    )
+}
+
+fn build(tail_attrs: &str) -> (compadres_core::App, mpsc::Receiver<(String, Priority, Priority)>) {
+    let (tx, rx) = mpsc::channel();
+    let app = AppBuilder::from_xml(CDL, &ccl(tail_attrs))
+        .unwrap()
+        .bind_message_type::<Tagged>("Tagged")
+        .register_handler("Relay", "In", || {
+            |msg: &mut Tagged, ctx: &mut HandlerCtx<'_>| {
+                // Forward at the inherited priority, as the paper's relays do.
+                let mut fwd = ctx.get_message::<Tagged>("Out")?;
+                fwd.label = msg.label.clone();
+                ctx.send("Out", fwd, ctx.priority())
+            }
+        })
+        .register_handler("Tail", "In", move || {
+            let tx = tx.clone();
+            move |msg: &mut Tagged, ctx: &mut HandlerCtx<'_>| {
+                let _ = tx.send((msg.label.clone(), ctx.priority(), rtsched::current_priority()));
+                Ok(())
+            }
+        })
+        .build()
+        .unwrap();
+    app.start().unwrap();
+    (app, rx)
+}
+
+fn fire(app: &compadres_core::App, label: &str, priority: u8) {
+    app.with_component("H", |ctx| {
+        let mut m = ctx.get_message::<Tagged>("Out").unwrap();
+        m.label = label.to_string();
+        ctx.send("Out", m, Priority::new(priority)).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn priority_inherited_through_sync_relay() {
+    let (app, rx) = build(SYNC);
+    for p in [7u8, 42, 88] {
+        fire(&app, &format!("p{p}"), p);
+        let (label, handler_prio, thread_prio) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(label, format!("p{p}"));
+        assert_eq!(handler_prio, Priority::new(p), "ctx.priority() carries the send priority");
+        assert_eq!(thread_prio, Priority::new(p), "the executing thread assumed it too");
+    }
+}
+
+#[test]
+fn priority_inherited_through_async_tail() {
+    let attrs = "<BufferSize>8</BufferSize><MinThreadpoolSize>1</MinThreadpoolSize><MaxThreadpoolSize>1</MaxThreadpoolSize>";
+    let (app, rx) = build(attrs);
+    let _keep = app.connect("T").unwrap();
+    fire(&app, "async", 66);
+    let (_, handler_prio, thread_prio) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+    assert_eq!(handler_prio, Priority::new(66));
+    assert_eq!(thread_prio, Priority::new(66), "pool worker inherited the message priority");
+    assert!(app.wait_quiescent(Duration::from_secs(5)));
+}

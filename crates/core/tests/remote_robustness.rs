@@ -1,0 +1,108 @@
+//! Failure injection on the remote-port layer: malformed frames,
+//! oversized claims and abrupt disconnects must never take the receiving
+//! application down.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use compadres_core::remote::{PortExporter, RemotePort};
+use compadres_core::smm::BytesCodec;
+use compadres_core::{App, AppBuilder, HandlerCtx, Priority};
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct Ping {
+    n: u32,
+}
+
+impl BytesCodec for Ping {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.n.encode(out);
+    }
+    fn decode(bytes: &[u8]) -> Self {
+        Ping { n: u32::decode(bytes) }
+    }
+}
+
+fn app_with_sink() -> (Arc<App>, mpsc::Receiver<u32>) {
+    let cdl = r#"
+      <Component><ComponentName>Sink</ComponentName>
+        <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Ping</MessageType></Port>
+      </Component>"#;
+    let ccl = r#"
+      <Application><ApplicationName>Robust</ApplicationName>
+        <Component><InstanceName>S</InstanceName><ClassName>Sink</ClassName><ComponentType>Immortal</ComponentType>
+          <Connection><Port><PortName>In</PortName>
+            <PortAttributes><BufferSize>16</BufferSize><MinThreadpoolSize>1</MinThreadpoolSize><MaxThreadpoolSize>1</MaxThreadpoolSize></PortAttributes>
+          </Port></Connection>
+        </Component>
+      </Application>"#;
+    let (tx, rx) = mpsc::channel();
+    let app = AppBuilder::from_xml(cdl, ccl)
+        .unwrap()
+        .bind_message_type::<Ping>("Ping")
+        .register_handler("Sink", "In", move || {
+            let tx = tx.clone();
+            move |msg: &mut Ping, _ctx: &mut HandlerCtx<'_>| {
+                let _ = tx.send(msg.n);
+                Ok(())
+            }
+        })
+        .build()
+        .unwrap();
+    app.start().unwrap();
+    (Arc::new(app), rx)
+}
+
+#[test]
+fn oversized_frame_claim_drops_connection_not_app() {
+    let (app, rx) = app_with_sink();
+    let exporter = PortExporter::bind::<Ping>(&app, "S", "In").unwrap();
+
+    // A hostile sender claims a 1 GiB frame.
+    let mut evil = TcpStream::connect(exporter.local_addr()).unwrap();
+    let mut frame = vec![5u8]; // priority
+    frame.extend_from_slice(&(1u32 << 30).to_be_bytes());
+    frame.extend_from_slice(&[0u8; 64]);
+    evil.write_all(&frame).unwrap();
+    drop(evil);
+
+    // The app is still alive: a well-behaved sender gets through.
+    let sender = RemotePort::<Ping>::connect(exporter.local_addr()).unwrap();
+    sender.send(&Ping { n: 77 }, Priority::NORM).unwrap();
+    assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 77);
+    assert_eq!(exporter.received(), 1, "the hostile frame was never accepted");
+}
+
+#[test]
+fn truncated_stream_is_harmless() {
+    let (app, rx) = app_with_sink();
+    let exporter = PortExporter::bind::<Ping>(&app, "S", "In").unwrap();
+
+    // Half a header, then hang up.
+    let mut flaky = TcpStream::connect(exporter.local_addr()).unwrap();
+    flaky.write_all(&[9, 0, 0]).unwrap();
+    drop(flaky);
+
+    let sender = RemotePort::<Ping>::connect(exporter.local_addr()).unwrap();
+    sender.send(&Ping { n: 1 }, Priority::NORM).unwrap();
+    assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 1);
+}
+
+#[test]
+fn exporter_shutdown_stops_accepting() {
+    let (app, _rx) = app_with_sink();
+    let exporter = PortExporter::bind::<Ping>(&app, "S", "In").unwrap();
+    let addr = exporter.local_addr();
+    exporter.shutdown();
+    // Give the acceptor a moment to wind down, then connects must fail or
+    // be immediately useless (no panic either way).
+    std::thread::sleep(Duration::from_millis(100));
+    if let Ok(port) = RemotePort::<Ping>::connect(addr) {
+        // The accept loop is gone; the send may succeed into a dead socket
+        // buffer but must not panic, and nothing is delivered.
+        let _ = port.send(&Ping { n: 9 }, Priority::NORM);
+    }
+    assert_eq!(exporter.received(), 0);
+}

@@ -1,0 +1,137 @@
+//! Additional validation edge cases: declared link kinds, fan-in, deep
+//! hierarchies and document pathologies.
+
+use compadres_core::{parse_ccl, parse_cdl, validate, LinkKind};
+
+fn two_port_cdl() -> compadres_core::Cdl {
+    parse_cdl(
+        r#"<Components>
+        <Component><ComponentName>C</ComponentName>
+          <Port><PortName>O</PortName><PortType>Out</PortType><MessageType>T</MessageType></Port>
+          <Port><PortName>I</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+        </Component>
+        </Components>"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn declared_internal_on_sibling_link_rejected() {
+    let cdl = two_port_cdl();
+    let ccl = parse_ccl(
+        r#"<Application><ApplicationName>A</ApplicationName>
+        <Component><InstanceName>Root</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType>
+          <Component><InstanceName>X</InstanceName><ClassName>C</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+            <Connection><Port><PortName>O</PortName>
+              <Link><PortType>Internal</PortType><ToComponent>Y</ToComponent><ToPort>I</ToPort></Link>
+            </Port></Connection>
+          </Component>
+          <Component><InstanceName>Y</InstanceName><ClassName>C</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+        </Component>
+        </Application>"#,
+    )
+    .unwrap();
+    let err = validate(&cdl, &ccl).unwrap_err();
+    assert!(err.to_string().contains("declared Internal"), "{err}");
+}
+
+#[test]
+fn declared_shadow_on_grandchild_link_accepted() {
+    let cdl = two_port_cdl();
+    let ccl = parse_ccl(
+        r#"<Application><ApplicationName>A</ApplicationName>
+        <Component><InstanceName>Root</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType>
+          <Component><InstanceName>Mid</InstanceName><ClassName>C</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+            <Component><InstanceName>Leaf</InstanceName><ClassName>C</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>
+              <Connection><Port><PortName>O</PortName>
+                <Link><PortType>Shadow</PortType><ToComponent>Root</ToComponent><ToPort>I</ToPort></Link>
+              </Port></Connection>
+            </Component>
+          </Component>
+        </Component>
+        </Application>"#,
+    )
+    .unwrap();
+    let app = validate(&cdl, &ccl).unwrap();
+    assert_eq!(app.connections[0].kind, LinkKind::Shadow);
+}
+
+#[test]
+fn fan_in_from_two_siblings_allowed() {
+    let cdl = two_port_cdl();
+    let ccl = parse_ccl(
+        r#"<Application><ApplicationName>A</ApplicationName>
+        <Component><InstanceName>Root</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType>
+          <Component><InstanceName>P1</InstanceName><ClassName>C</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+            <Connection><Port><PortName>O</PortName>
+              <Link><ToComponent>Sink</ToComponent><ToPort>I</ToPort></Link>
+            </Port></Connection>
+          </Component>
+          <Component><InstanceName>P2</InstanceName><ClassName>C</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+            <Connection><Port><PortName>O</PortName>
+              <Link><ToComponent>Sink</ToComponent><ToPort>I</ToPort></Link>
+            </Port></Connection>
+          </Component>
+          <Component><InstanceName>Sink</InstanceName><ClassName>C</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+        </Component>
+        </Application>"#,
+    )
+    .unwrap();
+    let app = validate(&cdl, &ccl).unwrap();
+    assert_eq!(app.connections.len(), 2);
+    assert!(app.connections.iter().all(|c| c.to.1 == "I"));
+}
+
+#[test]
+fn deep_hierarchy_levels_validate() {
+    // Six nested scoped levels, all consistent.
+    let cdl = two_port_cdl();
+    let mut inner = String::new();
+    let mut closers = String::new();
+    for level in 1..=6 {
+        inner.push_str(&format!(
+            r#"<Component><InstanceName>L{level}</InstanceName><ClassName>C</ClassName>
+               <ComponentType>Scoped</ComponentType><ScopeLevel>{level}</ScopeLevel>"#
+        ));
+        closers.push_str("</Component>");
+    }
+    let ccl_src = format!(
+        r#"<Application><ApplicationName>Deep</ApplicationName>
+        <Component><InstanceName>Root</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType>
+        {inner}{closers}
+        </Component></Application>"#
+    );
+    let app = validate(&cdl, &parse_ccl(&ccl_src).unwrap()).unwrap();
+    assert_eq!(app.instances.len(), 7);
+    assert_eq!(app.instance("L6").unwrap().scoped_depth, 5);
+    let chain = app.ancestry(app.instance("L6").unwrap().id);
+    assert_eq!(chain.len(), 7);
+}
+
+#[test]
+fn empty_application_rejected_at_parse() {
+    assert!(parse_ccl(
+        "<Application><ApplicationName>E</ApplicationName></Application>"
+    )
+    .is_err());
+}
+
+#[test]
+fn validated_app_home_none_for_root_siblings() {
+    // Two immortal roots connected: home is immortal memory (None).
+    let cdl = two_port_cdl();
+    let ccl = parse_ccl(
+        r#"<Application><ApplicationName>A</ApplicationName>
+        <Component><InstanceName>X</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType>
+          <Connection><Port><PortName>O</PortName>
+            <Link><ToComponent>Y</ToComponent><ToPort>I</ToPort></Link>
+          </Port></Connection>
+        </Component>
+        <Component><InstanceName>Y</InstanceName><ClassName>C</ClassName><ComponentType>Immortal</ComponentType></Component>
+        </Application>"#,
+    )
+    .unwrap();
+    let app = validate(&cdl, &ccl).unwrap();
+    assert_eq!(app.connections[0].home, None, "message pool lives in immortal memory");
+    assert_eq!(app.connections[0].kind, LinkKind::External);
+}

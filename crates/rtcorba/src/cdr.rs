@@ -1,0 +1,470 @@
+//! CDR (Common Data Representation) marshalling.
+//!
+//! Implements the alignment-sensitive encoding CORBA GIOP messages use —
+//! the paper singles out marshalling/demarshalling as "the most
+//! computationally-intensive modules of CORBA" (§3.3), so this is the hot
+//! path of both ORBs. Primitives are aligned to their natural size
+//! relative to the start of the encapsulation; both endiannesses are
+//! supported as CDR requires.
+
+use std::fmt;
+
+/// Byte order of an encapsulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Endian {
+    /// Big-endian (network order).
+    #[default]
+    Big,
+    /// Little-endian.
+    Little,
+}
+
+impl Endian {
+    /// The GIOP flags bit for this byte order (bit 0: 1 = little).
+    pub fn flag_bit(self) -> u8 {
+        match self {
+            Endian::Big => 0,
+            Endian::Little => 1,
+        }
+    }
+
+    /// Parses the GIOP flags byte.
+    pub fn from_flag(flags: u8) -> Endian {
+        if flags & 1 == 1 {
+            Endian::Little
+        } else {
+            Endian::Big
+        }
+    }
+
+    /// The byte order native to this machine.
+    pub fn native() -> Endian {
+        if cfg!(target_endian = "little") {
+            Endian::Little
+        } else {
+            Endian::Big
+        }
+    }
+}
+
+/// CDR decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdrError {
+    /// Input ended before the value was complete.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A string was not valid UTF-8 or not NUL-terminated.
+    BadString,
+    /// A boolean octet was neither 0 nor 1.
+    BadBoolean(u8),
+    /// A declared sequence/string length is implausibly large.
+    LengthOverflow(u32),
+}
+
+impl fmt::Display for CdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdrError::Truncated { needed, remaining } => {
+                write!(f, "truncated CDR stream: needed {needed} bytes, {remaining} remaining")
+            }
+            CdrError::BadString => write!(f, "malformed CDR string"),
+            CdrError::BadBoolean(b) => write!(f, "invalid CDR boolean {b:#x}"),
+            CdrError::LengthOverflow(n) => write!(f, "CDR length {n} exceeds the stream"),
+        }
+    }
+}
+
+impl std::error::Error for CdrError {}
+
+/// CDR encoder writing into a growable buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rtcorba::cdr::{CdrEncoder, CdrDecoder, Endian};
+///
+/// let mut enc = CdrEncoder::new(Endian::Big);
+/// enc.write_u8(1);
+/// enc.write_u32(0xAABBCCDD); // aligned to 4: three pad bytes inserted
+/// enc.write_string("echo");
+/// let bytes = enc.into_bytes();
+/// let mut dec = CdrDecoder::new(&bytes, Endian::Big);
+/// assert_eq!(dec.read_u8()?, 1);
+/// assert_eq!(dec.read_u32()?, 0xAABBCCDD);
+/// assert_eq!(dec.read_string()?, "echo");
+/// # Ok::<(), rtcorba::cdr::CdrError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CdrEncoder {
+    buf: Vec<u8>,
+    endian: Endian,
+}
+
+impl CdrEncoder {
+    /// Creates an encoder with the given byte order.
+    pub fn new(endian: Endian) -> CdrEncoder {
+        CdrEncoder { buf: Vec::new(), endian }
+    }
+
+    /// Creates an encoder reusing an existing buffer (cleared).
+    pub fn with_buffer(mut buf: Vec<u8>, endian: Endian) -> CdrEncoder {
+        buf.clear();
+        CdrEncoder { buf, endian }
+    }
+
+    /// The byte order in use.
+    pub fn endian(&self) -> Endian {
+        self.endian
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// A view of the encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Inserts padding so the next write lands on `alignment`.
+    pub fn align(&mut self, alignment: usize) {
+        let misaligned = self.buf.len() % alignment;
+        if misaligned != 0 {
+            self.buf.resize(self.buf.len() + alignment - misaligned, 0);
+        }
+    }
+
+    /// Writes one octet.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a boolean as an octet.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Writes an aligned 16-bit unsigned integer.
+    pub fn write_u16(&mut self, v: u16) {
+        self.align(2);
+        match self.endian {
+            Endian::Big => self.buf.extend_from_slice(&v.to_be_bytes()),
+            Endian::Little => self.buf.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+
+    /// Writes an aligned 32-bit unsigned integer.
+    pub fn write_u32(&mut self, v: u32) {
+        self.align(4);
+        match self.endian {
+            Endian::Big => self.buf.extend_from_slice(&v.to_be_bytes()),
+            Endian::Little => self.buf.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+
+    /// Writes an aligned 64-bit unsigned integer.
+    pub fn write_u64(&mut self, v: u64) {
+        self.align(8);
+        match self.endian {
+            Endian::Big => self.buf.extend_from_slice(&v.to_be_bytes()),
+            Endian::Little => self.buf.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+
+    /// Writes an aligned 16-bit signed integer.
+    pub fn write_i16(&mut self, v: i16) {
+        self.write_u16(v as u16);
+    }
+
+    /// Writes an aligned 32-bit signed integer.
+    pub fn write_i32(&mut self, v: i32) {
+        self.write_u32(v as u32);
+    }
+
+    /// Writes an aligned 64-bit signed integer.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Writes an aligned IEEE-754 float.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Writes an aligned IEEE-754 double.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Writes a CDR string: u32 length (including NUL), bytes, NUL.
+    pub fn write_string(&mut self, s: &str) {
+        self.write_u32(s.len() as u32 + 1);
+        self.buf.extend_from_slice(s.as_bytes());
+        self.buf.push(0);
+    }
+
+    /// Writes a `sequence<octet>`: u32 length then raw bytes.
+    pub fn write_octets(&mut self, bytes: &[u8]) {
+        self.write_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// CDR decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct CdrDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    endian: Endian,
+}
+
+impl<'a> CdrDecoder<'a> {
+    /// Creates a decoder with the given byte order.
+    pub fn new(buf: &'a [u8], endian: Endian) -> CdrDecoder<'a> {
+        CdrDecoder { buf, pos: 0, endian }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CdrError> {
+        if self.remaining() < n {
+            return Err(CdrError::Truncated { needed: n, remaining: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Skips padding so the next read is aligned.
+    pub fn align(&mut self, alignment: usize) -> Result<(), CdrError> {
+        let misaligned = self.pos % alignment;
+        if misaligned != 0 {
+            self.take(alignment - misaligned)?;
+        }
+        Ok(())
+    }
+
+    /// Reads one octet.
+    pub fn read_u8(&mut self) -> Result<u8, CdrError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a boolean octet.
+    pub fn read_bool(&mut self) -> Result<bool, CdrError> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CdrError::BadBoolean(other)),
+        }
+    }
+
+    /// Reads an aligned 16-bit unsigned integer.
+    pub fn read_u16(&mut self) -> Result<u16, CdrError> {
+        self.align(2)?;
+        let b = self.take(2)?;
+        let arr = [b[0], b[1]];
+        Ok(match self.endian {
+            Endian::Big => u16::from_be_bytes(arr),
+            Endian::Little => u16::from_le_bytes(arr),
+        })
+    }
+
+    /// Reads an aligned 32-bit unsigned integer.
+    pub fn read_u32(&mut self) -> Result<u32, CdrError> {
+        self.align(4)?;
+        let b = self.take(4)?;
+        let arr = [b[0], b[1], b[2], b[3]];
+        Ok(match self.endian {
+            Endian::Big => u32::from_be_bytes(arr),
+            Endian::Little => u32::from_le_bytes(arr),
+        })
+    }
+
+    /// Reads an aligned 64-bit unsigned integer.
+    pub fn read_u64(&mut self) -> Result<u64, CdrError> {
+        self.align(8)?;
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(match self.endian {
+            Endian::Big => u64::from_be_bytes(arr),
+            Endian::Little => u64::from_le_bytes(arr),
+        })
+    }
+
+    /// Reads an aligned 16-bit signed integer.
+    pub fn read_i16(&mut self) -> Result<i16, CdrError> {
+        Ok(self.read_u16()? as i16)
+    }
+
+    /// Reads an aligned 32-bit signed integer.
+    pub fn read_i32(&mut self) -> Result<i32, CdrError> {
+        Ok(self.read_u32()? as i32)
+    }
+
+    /// Reads an aligned 64-bit signed integer.
+    pub fn read_i64(&mut self) -> Result<i64, CdrError> {
+        Ok(self.read_u64()? as i64)
+    }
+
+    /// Reads an aligned IEEE-754 float.
+    pub fn read_f32(&mut self) -> Result<f32, CdrError> {
+        Ok(f32::from_bits(self.read_u32()?))
+    }
+
+    /// Reads an aligned IEEE-754 double.
+    pub fn read_f64(&mut self) -> Result<f64, CdrError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a CDR string.
+    pub fn read_string(&mut self) -> Result<String, CdrError> {
+        let len = self.read_u32()?;
+        if len == 0 || len as usize > self.remaining() {
+            return Err(CdrError::LengthOverflow(len));
+        }
+        let bytes = self.take(len as usize)?;
+        if bytes[bytes.len() - 1] != 0 {
+            return Err(CdrError::BadString);
+        }
+        String::from_utf8(bytes[..bytes.len() - 1].to_vec()).map_err(|_| CdrError::BadString)
+    }
+
+    /// Reads a `sequence<octet>`.
+    pub fn read_octets(&mut self) -> Result<Vec<u8>, CdrError> {
+        let len = self.read_u32()?;
+        if len as usize > self.remaining() {
+            return Err(CdrError::LengthOverflow(len));
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_inserts_padding() {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_u8(0xFF);
+        enc.write_u32(1); // 3 pad bytes
+        assert_eq!(enc.len(), 8);
+        enc.write_u8(2);
+        enc.write_u64(3); // 7 pad bytes to offset 16
+        assert_eq!(enc.len(), 24);
+        let bytes = enc.into_bytes();
+        let mut dec = CdrDecoder::new(&bytes, Endian::Big);
+        assert_eq!(dec.read_u8().unwrap(), 0xFF);
+        assert_eq!(dec.read_u32().unwrap(), 1);
+        assert_eq!(dec.read_u8().unwrap(), 2);
+        assert_eq!(dec.read_u64().unwrap(), 3);
+    }
+
+    #[test]
+    fn both_endians_roundtrip() {
+        for endian in [Endian::Big, Endian::Little] {
+            let mut enc = CdrEncoder::new(endian);
+            enc.write_u16(0x1234);
+            enc.write_i32(-77);
+            enc.write_i64(-1_000_000_007);
+            enc.write_f32(1.5);
+            enc.write_f64(-2.25);
+            enc.write_bool(true);
+            enc.write_string("héllo");
+            enc.write_octets(&[9, 8, 7]);
+            let bytes = enc.into_bytes();
+            let mut dec = CdrDecoder::new(&bytes, endian);
+            assert_eq!(dec.read_u16().unwrap(), 0x1234);
+            assert_eq!(dec.read_i32().unwrap(), -77);
+            assert_eq!(dec.read_i64().unwrap(), -1_000_000_007);
+            assert_eq!(dec.read_f32().unwrap(), 1.5);
+            assert_eq!(dec.read_f64().unwrap(), -2.25);
+            assert!(dec.read_bool().unwrap());
+            assert_eq!(dec.read_string().unwrap(), "héllo");
+            assert_eq!(dec.read_octets().unwrap(), vec![9, 8, 7]);
+            assert_eq!(dec.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn endian_differs_on_wire() {
+        let mut big = CdrEncoder::new(Endian::Big);
+        big.write_u32(0x01020304);
+        let mut little = CdrEncoder::new(Endian::Little);
+        little.write_u32(0x01020304);
+        assert_eq!(big.as_bytes(), &[1, 2, 3, 4]);
+        assert_eq!(little.as_bytes(), &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn truncated_reads_reported() {
+        let mut dec = CdrDecoder::new(&[0, 0], Endian::Big);
+        assert!(matches!(dec.read_u32(), Err(CdrError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_boolean_rejected() {
+        let mut dec = CdrDecoder::new(&[7], Endian::Big);
+        assert!(matches!(dec.read_bool(), Err(CdrError::BadBoolean(7))));
+    }
+
+    #[test]
+    fn string_validation() {
+        // Length claims more than available.
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_u32(100);
+        let bytes = enc.into_bytes();
+        let mut dec = CdrDecoder::new(&bytes, Endian::Big);
+        assert!(matches!(dec.read_string(), Err(CdrError::LengthOverflow(100))));
+        // Missing NUL terminator.
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_u32(2);
+        enc.write_u8(b'a');
+        enc.write_u8(b'b');
+        let bytes = enc.into_bytes();
+        let mut dec = CdrDecoder::new(&bytes, Endian::Big);
+        assert!(matches!(dec.read_string(), Err(CdrError::BadString)));
+    }
+
+    #[test]
+    fn flag_bits() {
+        assert_eq!(Endian::Big.flag_bit(), 0);
+        assert_eq!(Endian::Little.flag_bit(), 1);
+        assert_eq!(Endian::from_flag(0), Endian::Big);
+        assert_eq!(Endian::from_flag(1), Endian::Little);
+        assert_eq!(Endian::from_flag(3), Endian::Little);
+    }
+
+    #[test]
+    fn buffer_reuse_clears() {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_u64(42);
+        let buf = enc.into_bytes();
+        let enc2 = CdrEncoder::with_buffer(buf, Endian::Big);
+        assert!(enc2.is_empty());
+    }
+}

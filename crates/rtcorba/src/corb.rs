@@ -1,0 +1,620 @@
+//! The Compadres ORB — RT-CORBA assembled from Compadres components
+//! (paper §3.2, Fig. 10).
+//!
+//! Client side, three memory levels: an `Orb` component in immortal
+//! memory, a `Transport` component in a level-1 scope, and a
+//! `MessageProcessing` component in a level-2 scope that marshals the
+//! request, performs the wire round trip, demarshals the reply and is
+//! destroyed afterwards. Server side, four levels: `Orb` (immortal) →
+//! `Poa` (POA/Acceptor, level 1) → `Transport` (level 2) →
+//! `RequestProcessing` (level 3, created per request and destroyed after
+//! the reply is sent).
+//!
+//! (The paper counts immortal memory as "level 1"; we count scoped levels
+//! from 1 under immortal — the structure is identical.)
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use compadres_core::{App, AppBuilder, ChildHandle, HandlerCtx, Priority};
+use parking_lot::Mutex;
+
+use crate::cdr::Endian;
+use crate::giop::{self, Message, ReplyStatus, RequestMessage};
+use crate::service::ObjectRegistry;
+use crate::transport::{loopback_pair, Connection, LoopbackConn, TcpAcceptor, TcpConn};
+use crate::OrbError;
+
+/// Completion slot a client invocation waits on (filled synchronously,
+/// since every ORB port is configured `Min = Max = 0`).
+type ReplyCell = Mutex<Option<Result<Vec<u8>, OrbError>>>;
+
+/// The message that travels Orb → Transport → MessageProcessing on the
+/// client side.
+#[derive(Default, Clone)]
+struct InvokeMsg {
+    request_id: u32,
+    object_key: Vec<u8>,
+    operation: String,
+    payload: Vec<u8>,
+    oneway: bool,
+    reply_to: Option<Arc<ReplyCell>>,
+}
+
+/// The message that travels Poa → Transport → RequestProcessing on the
+/// server side.
+#[derive(Default, Clone)]
+struct WireMsg {
+    frame: Vec<u8>,
+    conn: Option<Arc<dyn Connection>>,
+}
+
+const CLIENT_CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Orb</ComponentName>
+    <Port><PortName>ToTransport</PortName><PortType>Out</PortType><MessageType>InvokeMsg</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Transport</ComponentName>
+    <Port><PortName>FromOrb</PortName><PortType>In</PortType><MessageType>InvokeMsg</MessageType></Port>
+    <Port><PortName>ToProcessing</PortName><PortType>Out</PortType><MessageType>InvokeMsg</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>MessageProcessing</ComponentName>
+    <Port><PortName>FromTransport</PortName><PortType>In</PortType><MessageType>InvokeMsg</MessageType></Port>
+  </Component>
+</Components>"#;
+
+const CLIENT_CCL: &str = r#"
+<Application>
+  <ApplicationName>CompadresOrbClient</ApplicationName>
+  <Component>
+    <InstanceName>TheOrb</InstanceName>
+    <ClassName>Orb</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>ToTransport</PortName>
+        <Link><PortType>Internal</PortType><ToComponent>ClientTransport</ToComponent><ToPort>FromOrb</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>ClientTransport</InstanceName>
+      <ClassName>Transport</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>FromOrb</PortName>
+          <PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize></PortAttributes>
+        </Port>
+        <Port><PortName>ToProcessing</PortName>
+          <Link><PortType>Internal</PortType><ToComponent>ClientProcessing</ToComponent><ToPort>FromTransport</ToPort></Link>
+        </Port>
+      </Connection>
+      <Component>
+        <InstanceName>ClientProcessing</InstanceName>
+        <ClassName>MessageProcessing</ClassName>
+        <ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>
+        <Connection>
+          <Port><PortName>FromTransport</PortName>
+            <PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize></PortAttributes>
+          </Port>
+        </Connection>
+      </Component>
+    </Component>
+  </Component>
+  <RTSJAttributes>
+    <ImmortalSize>4000000</ImmortalSize>
+    <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>131072</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+    <ScopedPool><ScopeLevel>2</ScopeLevel><ScopeSize>131072</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+  </RTSJAttributes>
+</Application>"#;
+
+const SERVER_CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>ServerOrb</ComponentName>
+    <Port><PortName>ToPoa</PortName><PortType>Out</PortType><MessageType>WireMsg</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Poa</ComponentName>
+    <Port><PortName>Incoming</PortName><PortType>In</PortType><MessageType>WireMsg</MessageType></Port>
+    <Port><PortName>ToTransport</PortName><PortType>Out</PortType><MessageType>WireMsg</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>STransport</ComponentName>
+    <Port><PortName>FromPoa</PortName><PortType>In</PortType><MessageType>WireMsg</MessageType></Port>
+    <Port><PortName>ToProcessing</PortName><PortType>Out</PortType><MessageType>WireMsg</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>RequestProcessing</ComponentName>
+    <Port><PortName>FromTransport</PortName><PortType>In</PortType><MessageType>WireMsg</MessageType></Port>
+  </Component>
+</Components>"#;
+
+const SERVER_CCL: &str = r#"
+<Application>
+  <ApplicationName>CompadresOrbServer</ApplicationName>
+  <Component>
+    <InstanceName>TheOrb</InstanceName>
+    <ClassName>ServerOrb</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>ToPoa</PortName>
+        <Link><PortType>Internal</PortType><ToComponent>ThePoa</ToComponent><ToPort>Incoming</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>ThePoa</InstanceName>
+      <ClassName>Poa</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>Incoming</PortName>
+          <PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize></PortAttributes>
+        </Port>
+        <Port><PortName>ToTransport</PortName>
+          <Link><PortType>Internal</PortType><ToComponent>ServerTransport</ToComponent><ToPort>FromPoa</ToPort></Link>
+        </Port>
+      </Connection>
+      <Component>
+        <InstanceName>ServerTransport</InstanceName>
+        <ClassName>STransport</ClassName>
+        <ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>
+        <Connection>
+          <Port><PortName>FromPoa</PortName>
+            <PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize></PortAttributes>
+          </Port>
+          <Port><PortName>ToProcessing</PortName>
+            <Link><PortType>Internal</PortType><ToComponent>ServerProcessing</ToComponent><ToPort>FromTransport</ToPort></Link>
+          </Port>
+        </Connection>
+        <Component>
+          <InstanceName>ServerProcessing</InstanceName>
+          <ClassName>RequestProcessing</ClassName>
+          <ComponentType>Scoped</ComponentType><ScopeLevel>3</ScopeLevel>
+          <Connection>
+            <Port><PortName>FromTransport</PortName>
+              <PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize></PortAttributes>
+            </Port>
+          </Connection>
+        </Component>
+      </Component>
+    </Component>
+  </Component>
+  <RTSJAttributes>
+    <ImmortalSize>4000000</ImmortalSize>
+    <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>131072</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+    <ScopedPool><ScopeLevel>2</ScopeLevel><ScopeSize>131072</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+    <ScopedPool><ScopeLevel>3</ScopeLevel><ScopeSize>131072</ScopeSize><PoolSize>4</PoolSize></ScopedPool>
+  </RTSJAttributes>
+</Application>"#;
+
+/// The component-assembled client ORB.
+pub struct CompadresClient {
+    app: App,
+    /// Keeps the Transport component alive across requests, as the paper's
+    /// client does ("the previously created Transport component").
+    _transport_handle: ChildHandle,
+    next_id: AtomicU32,
+}
+
+impl std::fmt::Debug for CompadresClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CompadresClient")
+    }
+}
+
+impl CompadresClient {
+    /// Builds a client ORB over an established connection.
+    ///
+    /// # Errors
+    ///
+    /// Composition or memory-architecture failures.
+    pub fn from_conn(conn: Arc<dyn Connection>) -> Result<CompadresClient, OrbError> {
+        let endian = Endian::native();
+        let app = AppBuilder::from_xml(CLIENT_CDL, CLIENT_CCL)?
+            .bind_message_type::<InvokeMsg>("InvokeMsg")
+            .register_handler("Transport", "FromOrb", || {
+                // The transport relays the invocation to the processing
+                // component (copying into the next pool, as the shared-
+                // object pattern requires).
+                |msg: &mut InvokeMsg, ctx: &mut HandlerCtx<'_>| {
+                    let mut fwd = ctx.get_message::<InvokeMsg>("ToProcessing")?;
+                    *fwd = msg.clone();
+                    ctx.send("ToProcessing", fwd, ctx.priority())
+                }
+            })
+            .register_handler("MessageProcessing", "FromTransport", move || {
+                let conn = Arc::clone(&conn);
+                move |msg: &mut InvokeMsg, ctx: &mut HandlerCtx<'_>| {
+                    let result = client_round_trip(&conn, endian, msg, ctx);
+                    if let Some(cell) = msg.reply_to.take() {
+                        *cell.lock() = Some(result);
+                    }
+                    Ok(())
+                }
+            })
+            .build()?;
+        app.start()?;
+        let transport_handle = app.connect("ClientTransport")?;
+        Ok(CompadresClient { app, _transport_handle: transport_handle, next_id: AtomicU32::new(1) })
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Connection, composition or memory failures.
+    pub fn connect_tcp(addr: SocketAddr) -> Result<CompadresClient, OrbError> {
+        let conn = TcpConn::connect(addr)?;
+        CompadresClient::from_conn(Arc::new(conn))
+    }
+
+    /// Connects to the ORB endpoint named by a stringified `corbaloc`
+    /// object reference; returns the client plus the reference's object
+    /// key (the CORBA `string_to_object` flow).
+    ///
+    /// # Errors
+    ///
+    /// Reference parse/resolution failures, then the same as
+    /// [`CompadresClient::connect_tcp`].
+    pub fn connect_ref(reference: &str) -> Result<(CompadresClient, Vec<u8>), OrbError> {
+        let obj = crate::ior::ObjectRef::parse(reference)?;
+        let addr = obj.socket_addr()?;
+        Ok((CompadresClient::connect_tcp(addr)?, obj.object_key))
+    }
+
+    /// The underlying component application (for instrumentation).
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+
+    /// Performs a synchronous two-way invocation through the component
+    /// pipeline: Orb → Transport → MessageProcessing → wire → back.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, or a servant exception.
+    pub fn invoke(&self, object_key: &[u8], operation: &str, args: &[u8]) -> Result<Vec<u8>, OrbError> {
+        self.invoke_inner(object_key, operation, args, false)
+    }
+
+    /// Sends a **oneway** invocation through the component pipeline: the
+    /// request is marshalled and put on the wire, no reply is waited for.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn invoke_oneway(&self, object_key: &[u8], operation: &str, args: &[u8]) -> Result<(), OrbError> {
+        self.invoke_inner(object_key, operation, args, true).map(|_| ())
+    }
+
+    fn invoke_inner(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: &[u8],
+        oneway: bool,
+    ) -> Result<Vec<u8>, OrbError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cell: Arc<ReplyCell> = Arc::new(Mutex::new(None));
+        let cell2 = Arc::clone(&cell);
+        let key = object_key.to_vec();
+        let op = operation.to_string();
+        let payload = args.to_vec();
+        self.app.with_component("TheOrb", move |ctx| -> Result<(), OrbError> {
+            let mut msg = ctx.get_message::<InvokeMsg>("ToTransport")?;
+            msg.request_id = request_id;
+            msg.object_key = key;
+            msg.operation = op;
+            msg.payload = payload;
+            msg.oneway = oneway;
+            msg.reply_to = Some(cell2);
+            ctx.send("ToTransport", msg, Priority::new(10))?;
+            Ok(())
+        })??;
+        // Every port is synchronous, so the cell is filled by now.
+        let result = cell.lock().take();
+        result.unwrap_or(Err(OrbError::UnexpectedMessage))
+    }
+}
+
+fn client_round_trip(
+    conn: &Arc<dyn Connection>,
+    endian: Endian,
+    msg: &InvokeMsg,
+    ctx: &mut HandlerCtx<'_>,
+) -> Result<Vec<u8>, OrbError> {
+    // Marshal in the processing component's scope; the staged copy is
+    // charged to (and reclaimed with) the per-request scope.
+    let frame = RequestMessage {
+        request_id: msg.request_id,
+        response_expected: !msg.oneway,
+        object_key: msg.object_key.clone(),
+        operation: msg.operation.clone(),
+        body: msg.payload.clone(),
+    }
+    .encode(endian);
+    let staged = ctx.mem.alloc_bytes(frame.len())?;
+    staged.copy_from_slice(ctx.mem, &frame)?;
+    conn.send_frame(&frame)?;
+    if msg.oneway {
+        return Ok(Vec::new());
+    }
+    let reply_frame = conn.recv_frame()?;
+    let staged_reply = ctx.mem.alloc_bytes(reply_frame.len())?;
+    staged_reply.copy_from_slice(ctx.mem, &reply_frame)?;
+    match giop::decode(&reply_frame)? {
+        Message::Reply(r) if r.request_id == msg.request_id => match r.status {
+            ReplyStatus::NoException => Ok(r.body),
+            ReplyStatus::SystemException => {
+                Err(OrbError::Exception(String::from_utf8_lossy(&r.body).into_owned()))
+            }
+            ReplyStatus::ObjectNotExist => Err(OrbError::ObjectNotExist),
+        },
+        Message::Reply(r) => {
+            Err(OrbError::RequestMismatch { expected: msg.request_id, got: r.request_id })
+        }
+        _ => Err(OrbError::UnexpectedMessage),
+    }
+}
+
+/// The component-assembled server ORB.
+pub struct CompadresServer {
+    app: Arc<App>,
+    addr: Option<SocketAddr>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    _keepalive: Vec<ChildHandle>,
+}
+
+impl std::fmt::Debug for CompadresServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CompadresServer({:?})", self.addr)
+    }
+}
+
+impl CompadresServer {
+    fn build_app(registry: Arc<ObjectRegistry>) -> Result<App, OrbError> {
+        let endian = Endian::native();
+        let app = AppBuilder::from_xml(SERVER_CDL, SERVER_CCL)?
+            .bind_message_type::<WireMsg>("WireMsg")
+            .register_handler("Poa", "Incoming", || {
+                |msg: &mut WireMsg, ctx: &mut HandlerCtx<'_>| {
+                    let mut fwd = ctx.get_message::<WireMsg>("ToTransport")?;
+                    *fwd = msg.clone();
+                    ctx.send("ToTransport", fwd, ctx.priority())
+                }
+            })
+            .register_handler("STransport", "FromPoa", || {
+                |msg: &mut WireMsg, ctx: &mut HandlerCtx<'_>| {
+                    let mut fwd = ctx.get_message::<WireMsg>("ToProcessing")?;
+                    *fwd = msg.clone();
+                    ctx.send("ToProcessing", fwd, ctx.priority())
+                }
+            })
+            .register_handler("RequestProcessing", "FromTransport", move || {
+                let registry = Arc::clone(&registry);
+                move |msg: &mut WireMsg, ctx: &mut HandlerCtx<'_>| {
+                    let Some(conn) = msg.conn.take() else { return Ok(()) };
+                    // Stage the frame in the per-request scope (charged and
+                    // reclaimed with it), then demarshal and dispatch.
+                    if let Ok(staged) = ctx.mem.alloc_bytes(msg.frame.len()) {
+                        let _ = staged.copy_from_slice(ctx.mem, &msg.frame);
+                    }
+                    if let Ok(Message::Request(req)) = giop::decode(&msg.frame) {
+                        let reply = registry.dispatch(&req);
+                        if req.response_expected {
+                            let _ = conn.send_frame(&reply.encode(endian));
+                        }
+                    }
+                    Ok(())
+                }
+            })
+            .build()?;
+        app.start()?;
+        Ok(app)
+    }
+
+    /// Spawns a TCP server with acceptor + per-connection reader threads.
+    ///
+    /// # Errors
+    ///
+    /// Bind, composition or memory failures.
+    pub fn spawn_tcp(registry: Arc<ObjectRegistry>) -> Result<CompadresServer, OrbError> {
+        let app = Arc::new(Self::build_app(registry)?);
+        // Keep the POA/Acceptor and Transport components alive for the
+        // server's lifetime, as the paper's server does.
+        let keepalive = vec![app.connect("ThePoa")?, app.connect("ServerTransport")?];
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = TcpAcceptor::bind_loopback()?;
+        let addr = acceptor.local_addr()?;
+        let app2 = Arc::clone(&app);
+        let shutdown2 = Arc::clone(&shutdown);
+        let accept_handle = std::thread::Builder::new()
+            .name("compadres-acceptor".into())
+            .spawn(move || {
+                while !shutdown2.load(Ordering::SeqCst) {
+                    match acceptor.accept() {
+                        Ok(conn) => {
+                            let app3 = Arc::clone(&app2);
+                            let shutdown3 = Arc::clone(&shutdown2);
+                            let _ = std::thread::Builder::new()
+                                .name("compadres-reader".into())
+                                .spawn(move || reader_loop(&app3, Arc::new(conn), &shutdown3));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn acceptor");
+        Ok(CompadresServer {
+            app,
+            addr: Some(addr),
+            shutdown,
+            accept_handle: Some(accept_handle),
+            _keepalive: keepalive,
+        })
+    }
+
+    /// Spawns a server that only serves in-process loopback connections.
+    ///
+    /// # Errors
+    ///
+    /// Composition or memory failures.
+    pub fn spawn_loopback(registry: Arc<ObjectRegistry>) -> Result<CompadresServer, OrbError> {
+        let app = Arc::new(Self::build_app(registry)?);
+        let keepalive = vec![app.connect("ThePoa")?, app.connect("ServerTransport")?];
+        Ok(CompadresServer {
+            app,
+            addr: None,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            accept_handle: None,
+            _keepalive: keepalive,
+        })
+    }
+
+    /// The TCP address, when serving TCP.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// A stringified `corbaloc` reference for `key` at this server
+    /// (the CORBA `object_to_string` flow). `None` when not serving TCP.
+    pub fn object_ref(&self, key: &[u8]) -> Option<String> {
+        self.addr.map(|a| crate::ior::ObjectRef::for_addr(a, key.to_vec()).to_string())
+    }
+
+    /// The underlying component application (for instrumentation).
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+
+    /// Creates an in-process connection served by a dedicated reader
+    /// thread feeding the POA component.
+    pub fn attach_loopback(&self) -> LoopbackConn {
+        let (client_end, server_end) = loopback_pair();
+        let app = Arc::clone(&self.app);
+        let shutdown = Arc::clone(&self.shutdown);
+        let _ = std::thread::Builder::new()
+            .name("compadres-loopback-reader".into())
+            .spawn(move || reader_loop(&app, Arc::new(server_end), &shutdown));
+        client_end
+    }
+
+    /// Stops accepting and serving.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr {
+            let _ = std::net::TcpStream::connect(addr);
+        }
+    }
+}
+
+impl Drop for CompadresServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Reads frames off a connection and injects them into the POA in-port —
+/// the role the acceptor's listening thread plays in the paper's server.
+fn reader_loop(app: &App, conn: Arc<dyn Connection>, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let frame = match conn.recv_frame() {
+            Ok(f) => f,
+            Err(_) => break,
+        };
+        let msg = WireMsg { frame, conn: Some(Arc::clone(&conn)) };
+        if app.send_to("ThePoa", "Incoming", msg, Priority::new(10)).is_err() {
+            break;
+        }
+    }
+}
+
+/// Convenience: a connected loopback echo pair (server + client).
+///
+/// # Errors
+///
+/// Composition or memory failures.
+pub fn loopback_echo_pair() -> Result<(CompadresServer, CompadresClient), OrbError> {
+    let server = CompadresServer::spawn_loopback(ObjectRegistry::with_echo())?;
+    let conn = server.attach_loopback();
+    let client = CompadresClient::from_conn(Arc::new(conn))?;
+    Ok((server, client))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_echo_roundtrip() {
+        let (_server, client) = loopback_echo_pair().unwrap();
+        assert_eq!(client.invoke(b"echo", "echo", &[1, 2, 3]).unwrap(), vec![1, 2, 3]);
+        for i in 0..50u8 {
+            assert_eq!(client.invoke(b"echo", "echo", &[i, i]).unwrap(), vec![i, i]);
+        }
+    }
+
+    #[test]
+    fn tcp_echo_roundtrip() {
+        let server = CompadresServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
+        let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let payload = vec![0x5Au8; 1024];
+        assert_eq!(client.invoke(b"echo", "echo", &payload).unwrap(), payload);
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_request_processing_component_lifecycle() {
+        let (server, client) = loopback_echo_pair().unwrap();
+        let before = server.app().activations_of("ServerProcessing").unwrap();
+        client.invoke(b"echo", "echo", &[1]).unwrap();
+        client.invoke(b"echo", "echo", &[2]).unwrap();
+        let after = server.app().activations_of("ServerProcessing").unwrap();
+        assert_eq!(after - before, 2, "RequestProcessing created per request");
+        // The reply reaches the client slightly before the server-side
+        // reader thread finishes releasing the request scope; poll.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while server.app().is_active("ServerProcessing").unwrap() {
+            assert!(std::time::Instant::now() < deadline, "destroyed after reply");
+            std::thread::yield_now();
+        }
+        // Transport stays alive (connected).
+        assert!(server.app().is_active("ServerTransport").unwrap());
+    }
+
+    #[test]
+    fn client_processing_component_is_per_request_too() {
+        let (_server, client) = loopback_echo_pair().unwrap();
+        client.invoke(b"echo", "echo", &[1]).unwrap();
+        assert!(!client.app().is_active("ClientProcessing").unwrap());
+        assert!(client.app().is_active("ClientTransport").unwrap());
+        let before = client.app().activations_of("ClientProcessing").unwrap();
+        client.invoke(b"echo", "echo", &[2]).unwrap();
+        assert_eq!(client.app().activations_of("ClientProcessing").unwrap(), before + 1);
+    }
+
+    #[test]
+    fn exceptions_and_unknown_objects() {
+        let (_server, client) = loopback_echo_pair().unwrap();
+        assert!(matches!(client.invoke(b"ghost", "echo", &[]), Err(OrbError::ObjectNotExist)));
+        assert!(matches!(client.invoke(b"echo", "bad-op", &[]), Err(OrbError::Exception(_))));
+        // The ORB still works afterwards.
+        assert_eq!(client.invoke(b"echo", "echo", &[5]).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn varied_message_sizes() {
+        let (_server, client) = loopback_echo_pair().unwrap();
+        for size in [32usize, 64, 128, 256, 512, 1024] {
+            let payload = vec![(size % 251) as u8; size];
+            assert_eq!(client.invoke(b"echo", "echo", &payload).unwrap(), payload);
+        }
+    }
+}

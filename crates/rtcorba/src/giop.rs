@@ -1,0 +1,389 @@
+//! GIOP message framing: headers, request and reply messages.
+//!
+//! Implements the subset of GIOP 1.0 both ORBs speak: `Request` and
+//! `Reply` messages with the standard 12-byte header (`GIOP` magic,
+//! version, flags, message type, message size).
+
+use crate::cdr::{CdrDecoder, CdrEncoder, CdrError, Endian};
+
+/// The 4-byte GIOP magic.
+pub const GIOP_MAGIC: [u8; 4] = *b"GIOP";
+/// GIOP protocol version implemented.
+pub const GIOP_VERSION: (u8, u8) = (1, 0);
+/// Size of the fixed GIOP message header.
+pub const HEADER_LEN: usize = 12;
+
+/// GIOP message types (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgType {
+    /// A client request.
+    Request,
+    /// A server reply.
+    Reply,
+    /// Connection close notification.
+    CloseConnection,
+    /// Protocol error notification.
+    MessageError,
+}
+
+impl MsgType {
+    fn code(self) -> u8 {
+        match self {
+            MsgType::Request => 0,
+            MsgType::Reply => 1,
+            MsgType::CloseConnection => 5,
+            MsgType::MessageError => 6,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<MsgType> {
+        Some(match code {
+            0 => MsgType::Request,
+            1 => MsgType::Reply,
+            5 => MsgType::CloseConnection,
+            6 => MsgType::MessageError,
+            _ => return None,
+        })
+    }
+}
+
+/// Reply status (subset of GIOP `ReplyStatusType`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// The request completed normally.
+    NoException,
+    /// The servant raised an exception; the body carries a message string.
+    SystemException,
+    /// The object key was unknown.
+    ObjectNotExist,
+}
+
+impl ReplyStatus {
+    fn code(self) -> u32 {
+        match self {
+            ReplyStatus::NoException => 0,
+            ReplyStatus::SystemException => 2,
+            ReplyStatus::ObjectNotExist => 3,
+        }
+    }
+
+    fn from_code(code: u32) -> Option<ReplyStatus> {
+        Some(match code {
+            0 => ReplyStatus::NoException,
+            2 => ReplyStatus::SystemException,
+            3 => ReplyStatus::ObjectNotExist,
+            _ => return None,
+        })
+    }
+}
+
+/// GIOP protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GiopError {
+    /// The header did not start with `GIOP`.
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8, u8),
+    /// Unknown message type code.
+    BadMsgType(u8),
+    /// Unknown reply status code.
+    BadReplyStatus(u32),
+    /// Header or body failed to decode.
+    Cdr(CdrError),
+    /// The frame was shorter than the declared message size.
+    ShortBody {
+        /// Declared size.
+        declared: usize,
+        /// Actual body bytes present.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for GiopError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GiopError::BadMagic(m) => write!(f, "bad GIOP magic {m:?}"),
+            GiopError::BadVersion(a, b) => write!(f, "unsupported GIOP version {a}.{b}"),
+            GiopError::BadMsgType(t) => write!(f, "unknown GIOP message type {t}"),
+            GiopError::BadReplyStatus(s) => write!(f, "unknown reply status {s}"),
+            GiopError::Cdr(e) => write!(f, "CDR error: {e}"),
+            GiopError::ShortBody { declared, actual } => {
+                write!(f, "short GIOP body: declared {declared}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GiopError {}
+
+impl From<CdrError> for GiopError {
+    fn from(e: CdrError) -> Self {
+        GiopError::Cdr(e)
+    }
+}
+
+/// A GIOP request message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestMessage {
+    /// Client-chosen id correlating the reply.
+    pub request_id: u32,
+    /// Whether a reply is expected (false = oneway).
+    pub response_expected: bool,
+    /// Opaque key identifying the target object.
+    pub object_key: Vec<u8>,
+    /// Operation name.
+    pub operation: String,
+    /// Marshalled in-parameters.
+    pub body: Vec<u8>,
+}
+
+/// A GIOP reply message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyMessage {
+    /// Correlates with the request.
+    pub request_id: u32,
+    /// Outcome.
+    pub status: ReplyStatus,
+    /// Marshalled result (or exception message).
+    pub body: Vec<u8>,
+}
+
+/// Either kind of incoming message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A request.
+    Request(RequestMessage),
+    /// A reply.
+    Reply(ReplyMessage),
+    /// Connection close.
+    CloseConnection,
+}
+
+fn write_header(enc: &mut CdrEncoder, msg_type: MsgType) {
+    enc.write_u8(GIOP_MAGIC[0]);
+    enc.write_u8(GIOP_MAGIC[1]);
+    enc.write_u8(GIOP_MAGIC[2]);
+    enc.write_u8(GIOP_MAGIC[3]);
+    enc.write_u8(GIOP_VERSION.0);
+    enc.write_u8(GIOP_VERSION.1);
+    enc.write_u8(enc.endian().flag_bit());
+    enc.write_u8(msg_type.code());
+    enc.write_u32(0); // message size, patched later
+}
+
+fn patch_size(bytes: &mut [u8], endian: Endian) {
+    let size = (bytes.len() - HEADER_LEN) as u32;
+    let be = match endian {
+        Endian::Big => size.to_be_bytes(),
+        Endian::Little => size.to_le_bytes(),
+    };
+    bytes[8..12].copy_from_slice(&be);
+}
+
+impl RequestMessage {
+    /// Encodes the full GIOP frame (header + request header + body).
+    pub fn encode(&self, endian: Endian) -> Vec<u8> {
+        let mut enc = CdrEncoder::new(endian);
+        write_header(&mut enc, MsgType::Request);
+        enc.write_u32(self.request_id);
+        enc.write_bool(self.response_expected);
+        enc.write_octets(&self.object_key);
+        enc.write_string(&self.operation);
+        enc.write_octets(&self.body);
+        let mut bytes = enc.into_bytes();
+        patch_size(&mut bytes, endian);
+        bytes
+    }
+}
+
+impl ReplyMessage {
+    /// Encodes the full GIOP frame (header + reply header + body).
+    pub fn encode(&self, endian: Endian) -> Vec<u8> {
+        let mut enc = CdrEncoder::new(endian);
+        write_header(&mut enc, MsgType::Reply);
+        enc.write_u32(self.request_id);
+        enc.write_u32(self.status.code());
+        enc.write_octets(&self.body);
+        let mut bytes = enc.into_bytes();
+        patch_size(&mut bytes, endian);
+        bytes
+    }
+}
+
+/// Encodes a `CloseConnection` frame.
+pub fn encode_close(endian: Endian) -> Vec<u8> {
+    let mut enc = CdrEncoder::new(endian);
+    write_header(&mut enc, MsgType::CloseConnection);
+    let mut bytes = enc.into_bytes();
+    patch_size(&mut bytes, endian);
+    bytes
+}
+
+/// Decodes a complete GIOP frame.
+///
+/// # Errors
+///
+/// [`GiopError`] on any protocol violation.
+pub fn decode(frame: &[u8]) -> Result<Message, GiopError> {
+    if frame.len() < HEADER_LEN {
+        return Err(GiopError::Cdr(CdrError::Truncated {
+            needed: HEADER_LEN,
+            remaining: frame.len(),
+        }));
+    }
+    let magic = [frame[0], frame[1], frame[2], frame[3]];
+    if magic != GIOP_MAGIC {
+        return Err(GiopError::BadMagic(magic));
+    }
+    if (frame[4], frame[5]) != GIOP_VERSION {
+        return Err(GiopError::BadVersion(frame[4], frame[5]));
+    }
+    let endian = Endian::from_flag(frame[6]);
+    let msg_type = MsgType::from_code(frame[7]).ok_or(GiopError::BadMsgType(frame[7]))?;
+    // Declared size (read with the frame's endianness).
+    let mut hdr = CdrDecoder::new(&frame[8..12], endian);
+    let declared = hdr.read_u32()? as usize;
+    let body = &frame[HEADER_LEN..];
+    if body.len() < declared {
+        return Err(GiopError::ShortBody { declared, actual: body.len() });
+    }
+    // Alignment in GIOP bodies restarts after the header.
+    let mut dec = CdrDecoder::new(&body[..declared], endian);
+    match msg_type {
+        MsgType::Request => {
+            let request_id = dec.read_u32()?;
+            let response_expected = dec.read_bool()?;
+            let object_key = dec.read_octets()?;
+            let operation = dec.read_string()?;
+            let req_body = dec.read_octets()?;
+            Ok(Message::Request(RequestMessage {
+                request_id,
+                response_expected,
+                object_key,
+                operation,
+                body: req_body,
+            }))
+        }
+        MsgType::Reply => {
+            let request_id = dec.read_u32()?;
+            let code = dec.read_u32()?;
+            let status = ReplyStatus::from_code(code).ok_or(GiopError::BadReplyStatus(code))?;
+            let body = dec.read_octets()?;
+            Ok(Message::Reply(ReplyMessage { request_id, status, body }))
+        }
+        MsgType::CloseConnection => Ok(Message::CloseConnection),
+        MsgType::MessageError => Err(GiopError::BadMsgType(frame[7])),
+    }
+}
+
+/// Reads the declared message size from a 12-byte header.
+///
+/// # Errors
+///
+/// [`GiopError`] if the header is malformed.
+pub fn body_size(header: &[u8; HEADER_LEN]) -> Result<usize, GiopError> {
+    if header[..4] != GIOP_MAGIC {
+        return Err(GiopError::BadMagic([header[0], header[1], header[2], header[3]]));
+    }
+    let endian = Endian::from_flag(header[6]);
+    let mut dec = CdrDecoder::new(&header[8..12], endian);
+    Ok(dec.read_u32()? as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> RequestMessage {
+        RequestMessage {
+            request_id: 7,
+            response_expected: true,
+            object_key: b"echo-1".to_vec(),
+            operation: "echo".to_string(),
+            body: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip_both_endians() {
+        for endian in [Endian::Big, Endian::Little] {
+            let req = sample_request();
+            let frame = req.encode(endian);
+            assert_eq!(&frame[..4], b"GIOP");
+            match decode(&frame).unwrap() {
+                Message::Request(r) => assert_eq!(r, req),
+                other => panic!("expected request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let reply = ReplyMessage {
+            request_id: 7,
+            status: ReplyStatus::NoException,
+            body: vec![0xAA; 64],
+        };
+        let frame = reply.encode(Endian::Big);
+        match decode(&frame).unwrap() {
+            Message::Reply(r) => assert_eq!(r, reply),
+            other => panic!("expected reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declared_size_matches_frame() {
+        let frame = sample_request().encode(Endian::Big);
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&frame[..HEADER_LEN]);
+        assert_eq!(body_size(&header).unwrap(), frame.len() - HEADER_LEN);
+    }
+
+    #[test]
+    fn cross_endian_decoding() {
+        // Encode little, decode without being told: the flags byte governs.
+        let frame = sample_request().encode(Endian::Little);
+        match decode(&frame).unwrap() {
+            Message::Request(r) => assert_eq!(r.operation, "echo"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_connection_roundtrip() {
+        let frame = encode_close(Endian::Big);
+        assert_eq!(decode(&frame).unwrap(), Message::CloseConnection);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = sample_request().encode(Endian::Big);
+        frame[0] = b'X';
+        assert!(matches!(decode(&frame), Err(GiopError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut frame = sample_request().encode(Endian::Big);
+        frame[4] = 9;
+        assert!(matches!(decode(&frame), Err(GiopError::BadVersion(9, 0))));
+    }
+
+    #[test]
+    fn short_body_rejected() {
+        let frame = sample_request().encode(Endian::Big);
+        let truncated = &frame[..frame.len() - 3];
+        assert!(matches!(decode(truncated), Err(GiopError::ShortBody { .. })));
+    }
+
+    #[test]
+    fn oneway_request() {
+        let mut req = sample_request();
+        req.response_expected = false;
+        let frame = req.encode(Endian::Big);
+        match decode(&frame).unwrap() {
+            Message::Request(r) => assert!(!r.response_expected),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Stringified object references in `corbaloc` form.
+//!
+//! CORBA clients locate objects through object references; the humane
+//! textual form is the `corbaloc` URL. This module implements the subset
+//! both ORBs use: `corbaloc::<host>:<port>/<object-key>`, with `%XX`
+//! percent-escapes in the key, so servers can hand out references and
+//! clients can resolve them without an IOR repository.
+
+use std::fmt;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+/// A parsed `corbaloc` object reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectRef {
+    /// Host name or address.
+    pub host: String,
+    /// TCP port.
+    pub port: u16,
+    /// Raw (unescaped) object key.
+    pub object_key: Vec<u8>,
+}
+
+/// Errors parsing a `corbaloc` string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IorError {
+    /// The string does not start with `corbaloc::`.
+    BadScheme,
+    /// Missing or malformed `host:port` part.
+    BadAddress(String),
+    /// Missing `/<object-key>` part.
+    MissingKey,
+    /// A `%` escape was malformed.
+    BadEscape,
+    /// The host could not be resolved to a socket address.
+    Unresolvable(String),
+}
+
+impl fmt::Display for IorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IorError::BadScheme => write!(f, "object reference must start with corbaloc::"),
+            IorError::BadAddress(a) => write!(f, "malformed address {a:?}"),
+            IorError::MissingKey => write!(f, "missing /object-key"),
+            IorError::BadEscape => write!(f, "malformed % escape in object key"),
+            IorError::Unresolvable(h) => write!(f, "cannot resolve host {h:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IorError {}
+
+impl ObjectRef {
+    /// Builds a reference from parts.
+    pub fn new(host: impl Into<String>, port: u16, object_key: impl Into<Vec<u8>>) -> ObjectRef {
+        ObjectRef { host: host.into(), port, object_key: object_key.into() }
+    }
+
+    /// Builds a reference for a bound socket address.
+    pub fn for_addr(addr: SocketAddr, object_key: impl Into<Vec<u8>>) -> ObjectRef {
+        ObjectRef { host: addr.ip().to_string(), port: addr.port(), object_key: object_key.into() }
+    }
+
+    /// Parses a `corbaloc::host:port/key` string.
+    ///
+    /// # Errors
+    ///
+    /// [`IorError`] variants describing the malformed part.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtcorba::ior::ObjectRef;
+    /// let r = ObjectRef::parse("corbaloc::127.0.0.1:2809/echo")?;
+    /// assert_eq!(r.port, 2809);
+    /// assert_eq!(r.object_key, b"echo");
+    /// assert_eq!(r.to_string(), "corbaloc::127.0.0.1:2809/echo");
+    /// # Ok::<(), rtcorba::ior::IorError>(())
+    /// ```
+    pub fn parse(s: &str) -> Result<ObjectRef, IorError> {
+        let rest = s.strip_prefix("corbaloc::").ok_or(IorError::BadScheme)?;
+        let slash = rest.find('/').ok_or(IorError::MissingKey)?;
+        let (addr, key_enc) = rest.split_at(slash);
+        let key_enc = &key_enc[1..];
+        if key_enc.is_empty() {
+            return Err(IorError::MissingKey);
+        }
+        let colon = addr.rfind(':').ok_or_else(|| IorError::BadAddress(addr.to_string()))?;
+        let (host, port_str) = addr.split_at(colon);
+        let port: u16 = port_str[1..]
+            .parse()
+            .map_err(|_| IorError::BadAddress(addr.to_string()))?;
+        if host.is_empty() {
+            return Err(IorError::BadAddress(addr.to_string()));
+        }
+        Ok(ObjectRef { host: host.to_string(), port, object_key: unescape(key_enc)? })
+    }
+
+    /// Resolves the host/port to a connectable socket address.
+    ///
+    /// # Errors
+    ///
+    /// [`IorError::Unresolvable`] when DNS/parse resolution fails.
+    pub fn socket_addr(&self) -> Result<SocketAddr, IorError> {
+        (self.host.as_str(), self.port)
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut it| it.next())
+            .ok_or_else(|| IorError::Unresolvable(self.host.clone()))
+    }
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corbaloc::{}:{}/{}", self.host, self.port, escape(&self.object_key))
+    }
+}
+
+fn escape(key: &[u8]) -> String {
+    let mut out = String::new();
+    for &b in key {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<Vec<u8>, IorError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 3 > bytes.len() {
+                return Err(IorError::BadEscape);
+            }
+            let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).map_err(|_| IorError::BadEscape)?;
+            out.push(u8::from_str_radix(hex, 16).map_err(|_| IorError::BadEscape)?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_plain_key() {
+        let r = ObjectRef::new("rt-host", 2809, b"echo".to_vec());
+        let s = r.to_string();
+        assert_eq!(s, "corbaloc::rt-host:2809/echo");
+        assert_eq!(ObjectRef::parse(&s).unwrap(), r);
+    }
+
+    #[test]
+    fn roundtrip_binary_key() {
+        let r = ObjectRef::new("127.0.0.1", 1, vec![0x00, 0xFF, b'/', b' ', b'A']);
+        let s = r.to_string();
+        assert_eq!(s, "corbaloc::127.0.0.1:1/%00%FF%2F%20A");
+        assert_eq!(ObjectRef::parse(&s).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(ObjectRef::parse("iiop://x").unwrap_err(), IorError::BadScheme);
+        assert_eq!(ObjectRef::parse("corbaloc::hostport/k").unwrap_err(),
+            IorError::BadAddress("hostport".into()));
+        assert_eq!(ObjectRef::parse("corbaloc::h:99").unwrap_err(), IorError::MissingKey);
+        assert_eq!(ObjectRef::parse("corbaloc::h:99/").unwrap_err(), IorError::MissingKey);
+        assert_eq!(ObjectRef::parse("corbaloc::h:notaport/k").unwrap_err(),
+            IorError::BadAddress("h:notaport".into()));
+        assert_eq!(ObjectRef::parse("corbaloc::h:1/%Z9").unwrap_err(), IorError::BadEscape);
+        assert_eq!(ObjectRef::parse("corbaloc::h:1/%F").unwrap_err(), IorError::BadEscape);
+    }
+
+    #[test]
+    fn socket_addr_resolution() {
+        let r = ObjectRef::new("127.0.0.1", 4242, b"x".to_vec());
+        let addr = r.socket_addr().unwrap();
+        assert_eq!(addr.port(), 4242);
+        assert!(addr.ip().is_loopback());
+    }
+
+    #[test]
+    fn for_addr_builder() {
+        let addr: SocketAddr = "127.0.0.1:9000".parse().unwrap();
+        let r = ObjectRef::for_addr(addr, b"svc".to_vec());
+        assert_eq!(r.to_string(), "corbaloc::127.0.0.1:9000/svc");
+    }
+}

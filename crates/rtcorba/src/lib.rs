@@ -1,0 +1,111 @@
+//! # rtcorba — a small RT-CORBA stack for the Compadres evaluation
+//!
+//! Reproduces the real-world example of the Compadres paper (§3.2–3.3):
+//! a simple Real-Time CORBA ORB built twice over the same substrate —
+//!
+//! * [`zen`] — **ZenOrb**, a hand-coded ORB standing in for RTZen: direct
+//!   function calls, manually managed scoped memory;
+//! * [`corb`] — the **Compadres ORB**, assembled from Compadres components
+//!   with the paper's scope structure (client 3 levels, server 4 levels).
+//!
+//! Shared substrate: [`cdr`] marshalling (the computationally intensive
+//! part the paper highlights), [`giop`] message framing, [`transport`]
+//! (in-process loopback and TCP), and [`service`] servant dispatch.
+//!
+//! ```
+//! use rtcorba::corb;
+//!
+//! let (_server, client) = corb::loopback_echo_pair()?;
+//! assert_eq!(client.invoke(b"echo", "echo", &[1, 2, 3])?, vec![1, 2, 3]);
+//! # Ok::<(), rtcorba::OrbError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cdr;
+pub mod corb;
+pub mod giop;
+pub mod ior;
+pub mod naming;
+pub mod service;
+pub mod transport;
+pub mod zen;
+
+/// Errors surfaced by ORB invocations.
+#[derive(Debug)]
+pub enum OrbError {
+    /// Transport-level failure.
+    Transport(transport::TransportError),
+    /// GIOP protocol violation.
+    Giop(giop::GiopError),
+    /// Malformed or unresolvable object reference.
+    Ior(ior::IorError),
+    /// Memory-model violation.
+    Memory(rtmem::RtmemError),
+    /// Component-framework failure (Compadres ORB only).
+    Framework(compadres_core::CompadresError),
+    /// The servant raised an exception.
+    Exception(String),
+    /// The object key was not registered at the server.
+    ObjectNotExist,
+    /// A reply arrived for a different request id.
+    RequestMismatch {
+        /// The id we sent.
+        expected: u32,
+        /// The id that came back.
+        got: u32,
+    },
+    /// A message of an unexpected kind arrived.
+    UnexpectedMessage,
+}
+
+impl std::fmt::Display for OrbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrbError::Transport(e) => write!(f, "transport: {e}"),
+            OrbError::Giop(e) => write!(f, "protocol: {e}"),
+            OrbError::Ior(e) => write!(f, "object reference: {e}"),
+            OrbError::Memory(e) => write!(f, "memory: {e}"),
+            OrbError::Framework(e) => write!(f, "framework: {e}"),
+            OrbError::Exception(msg) => write!(f, "servant exception: {msg}"),
+            OrbError::ObjectNotExist => write!(f, "object does not exist"),
+            OrbError::RequestMismatch { expected, got } => {
+                write!(f, "reply for request {got}, expected {expected}")
+            }
+            OrbError::UnexpectedMessage => write!(f, "unexpected GIOP message"),
+        }
+    }
+}
+
+impl std::error::Error for OrbError {}
+
+impl From<transport::TransportError> for OrbError {
+    fn from(e: transport::TransportError) -> Self {
+        OrbError::Transport(e)
+    }
+}
+
+impl From<giop::GiopError> for OrbError {
+    fn from(e: giop::GiopError) -> Self {
+        OrbError::Giop(e)
+    }
+}
+
+impl From<ior::IorError> for OrbError {
+    fn from(e: ior::IorError) -> Self {
+        OrbError::Ior(e)
+    }
+}
+
+impl From<rtmem::RtmemError> for OrbError {
+    fn from(e: rtmem::RtmemError) -> Self {
+        OrbError::Memory(e)
+    }
+}
+
+impl From<compadres_core::CompadresError> for OrbError {
+    fn from(e: compadres_core::CompadresError) -> Self {
+        OrbError::Framework(e)
+    }
+}

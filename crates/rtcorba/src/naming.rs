@@ -1,0 +1,268 @@
+//! A minimal CORBA-style Naming Service.
+//!
+//! CORBA deployments resolve human-readable names to object references
+//! through the `NameService` initial reference. This module implements a
+//! naming *servant* that runs inside either ORB (it is just a
+//! [`Servant`]): `bind`, `resolve`, `unbind` and `list` operations with
+//! CDR-marshalled parameters, plus a typed client wrapper.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::cdr::{CdrDecoder, CdrEncoder, Endian};
+use crate::ior::ObjectRef;
+use crate::service::Servant;
+use crate::OrbError;
+
+/// The conventional object key the naming servant is registered under.
+pub const NAME_SERVICE_KEY: &[u8] = b"NameService";
+
+/// The naming servant: a name → stringified-reference table.
+#[derive(Default)]
+pub struct NamingServant {
+    table: RwLock<BTreeMap<String, String>>,
+}
+
+impl std::fmt::Debug for NamingServant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NamingServant({} bindings)", self.table.read().len())
+    }
+}
+
+impl NamingServant {
+    /// Creates an empty naming servant.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-binds a name (server-side convenience).
+    pub fn bind(&self, name: &str, reference: &ObjectRef) {
+        self.table.write().insert(name.to_string(), reference.to_string());
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.table.read().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Servant for NamingServant {
+    fn invoke(&self, operation: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        let mut dec = CdrDecoder::new(args, Endian::Big);
+        let mut enc = CdrEncoder::new(Endian::Big);
+        match operation {
+            "bind" => {
+                let name = dec.read_string().map_err(|e| e.to_string())?;
+                let reference = dec.read_string().map_err(|e| e.to_string())?;
+                // Validate before accepting.
+                ObjectRef::parse(&reference).map_err(|e| e.to_string())?;
+                let replaced = self.table.write().insert(name, reference).is_some();
+                enc.write_bool(replaced);
+                Ok(enc.into_bytes())
+            }
+            "resolve" => {
+                let name = dec.read_string().map_err(|e| e.to_string())?;
+                match self.table.read().get(&name) {
+                    Some(reference) => {
+                        enc.write_string(reference);
+                        Ok(enc.into_bytes())
+                    }
+                    None => Err(format!("NotFound: no binding for {name:?}")),
+                }
+            }
+            "unbind" => {
+                let name = dec.read_string().map_err(|e| e.to_string())?;
+                let removed = self.table.write().remove(&name).is_some();
+                enc.write_bool(removed);
+                Ok(enc.into_bytes())
+            }
+            "list" => {
+                let table = self.table.read();
+                enc.write_u32(table.len() as u32);
+                for name in table.keys() {
+                    enc.write_string(name);
+                }
+                Ok(enc.into_bytes())
+            }
+            other => Err(format!("NamingServant has no operation {other:?}")),
+        }
+    }
+}
+
+/// How a [`NamingClient`] performs raw invocations (abstracts the ORB).
+type InvokeFn<'a> = Box<dyn Fn(&str, &[u8]) -> Result<Vec<u8>, OrbError> + 'a>;
+
+/// Typed client for a remote naming service, generic over how requests are
+/// invoked so it works with both ORBs.
+pub struct NamingClient<'a> {
+    invoke: InvokeFn<'a>,
+}
+
+impl std::fmt::Debug for NamingClient<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("NamingClient")
+    }
+}
+
+impl<'a> NamingClient<'a> {
+    /// Wraps a ZenOrb client.
+    pub fn over_zen(client: &'a crate::zen::ZenClient) -> NamingClient<'a> {
+        NamingClient {
+            invoke: Box::new(move |op, args| client.invoke(NAME_SERVICE_KEY, op, args)),
+        }
+    }
+
+    /// Wraps a Compadres ORB client.
+    pub fn over_compadres(client: &'a crate::corb::CompadresClient) -> NamingClient<'a> {
+        NamingClient {
+            invoke: Box::new(move |op, args| client.invoke(NAME_SERVICE_KEY, op, args)),
+        }
+    }
+
+    /// Binds `name` to `reference`; returns whether an existing binding
+    /// was replaced.
+    ///
+    /// # Errors
+    ///
+    /// ORB invocation failures or a servant exception.
+    pub fn bind(&self, name: &str, reference: &ObjectRef) -> Result<bool, OrbError> {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_string(name);
+        enc.write_string(&reference.to_string());
+        let reply = (self.invoke)("bind", enc.as_bytes())?;
+        Ok(CdrDecoder::new(&reply, Endian::Big).read_bool()?)
+    }
+
+    /// Resolves `name` to an object reference.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Exception`] with a `NotFound:` message for unknown
+    /// names.
+    pub fn resolve(&self, name: &str) -> Result<ObjectRef, OrbError> {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_string(name);
+        let reply = (self.invoke)("resolve", enc.as_bytes())?;
+        let s = CdrDecoder::new(&reply, Endian::Big).read_string()?;
+        Ok(ObjectRef::parse(&s)?)
+    }
+
+    /// Removes a binding; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// ORB invocation failures.
+    pub fn unbind(&self, name: &str) -> Result<bool, OrbError> {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_string(name);
+        let reply = (self.invoke)("unbind", enc.as_bytes())?;
+        Ok(CdrDecoder::new(&reply, Endian::Big).read_bool()?)
+    }
+
+    /// Lists all bound names.
+    ///
+    /// # Errors
+    ///
+    /// ORB invocation failures.
+    pub fn list(&self) -> Result<Vec<String>, OrbError> {
+        let reply = (self.invoke)("list", &[])?;
+        let mut dec = CdrDecoder::new(&reply, Endian::Big);
+        let n = dec.read_u32()?;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push(dec.read_string()?);
+        }
+        Ok(out)
+    }
+}
+
+impl From<crate::cdr::CdrError> for OrbError {
+    fn from(e: crate::cdr::CdrError) -> Self {
+        OrbError::Giop(crate::giop::GiopError::Cdr(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corb::CompadresServer;
+    use std::sync::Arc;
+    use crate::service::ObjectRegistry;
+    use crate::zen::ZenClient;
+
+    fn naming_server() -> (CompadresServer, Arc<NamingServant>) {
+        let naming = Arc::new(NamingServant::new());
+        let registry = ObjectRegistry::with_echo();
+        registry.register(NAME_SERVICE_KEY.to_vec(), Arc::clone(&naming) as Arc<dyn Servant>);
+        (CompadresServer::spawn_tcp(registry).unwrap(), naming)
+    }
+
+    #[test]
+    fn bind_resolve_unbind_list() {
+        let (server, _naming) = naming_server();
+        let client = crate::corb::CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let ns = NamingClient::over_compadres(&client);
+
+        let echo_ref = ObjectRef::for_addr(server.addr().unwrap(), b"echo".to_vec());
+        assert!(!ns.bind("services/echo", &echo_ref).unwrap());
+        assert!(ns.bind("services/echo", &echo_ref).unwrap(), "rebind reports replacement");
+        ns.bind("services/other", &echo_ref).unwrap();
+
+        assert_eq!(ns.resolve("services/echo").unwrap(), echo_ref);
+        assert_eq!(ns.list().unwrap(), vec!["services/echo", "services/other"]);
+
+        assert!(ns.unbind("services/other").unwrap());
+        assert!(!ns.unbind("services/other").unwrap());
+        assert_eq!(ns.list().unwrap(), vec!["services/echo"]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn resolve_unknown_name_is_exception() {
+        let (server, _naming) = naming_server();
+        let client = crate::corb::CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let ns = NamingClient::over_compadres(&client);
+        match ns.resolve("missing") {
+            Err(OrbError::Exception(msg)) => assert!(msg.contains("NotFound")),
+            other => panic!("expected NotFound exception, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn resolve_then_invoke_through_resolved_reference() {
+        // The full flow: resolve a name, connect to the resolved
+        // reference, invoke the object — across both ORBs.
+        let (server, naming) = naming_server();
+        let echo_ref = ObjectRef::for_addr(server.addr().unwrap(), b"echo".to_vec());
+        naming.bind("echo", &echo_ref);
+
+        let boot = ZenClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let ns = NamingClient::over_zen(&boot);
+        let resolved = ns.resolve("echo").unwrap();
+        let (client, key) = ZenClient::connect_ref(&resolved.to_string()).unwrap();
+        assert_eq!(client.invoke(&key, "echo", &[9, 9]).unwrap(), vec![9, 9]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_reference_rejected_at_bind() {
+        let (server, _naming) = naming_server();
+        let client = crate::corb::CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+        // Hand-roll a bind with a bogus reference string.
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_string("bad");
+        enc.write_string("not-a-corbaloc");
+        match client.invoke(NAME_SERVICE_KEY, "bind", enc.as_bytes()) {
+            Err(OrbError::Exception(msg)) => assert!(msg.contains("corbaloc")),
+            other => panic!("expected exception, got {other:?}"),
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,195 @@
+//! Servants and the object registry — the request-processing core shared
+//! by both ORBs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::giop::{ReplyMessage, ReplyStatus, RequestMessage};
+
+/// A CORBA-style servant: invoked by operation name with marshalled
+/// arguments, returning a marshalled result.
+pub trait Servant: Send + Sync {
+    /// Handles one invocation.
+    ///
+    /// # Errors
+    ///
+    /// A `String` is marshalled back to the client as a system exception.
+    fn invoke(&self, operation: &str, args: &[u8]) -> Result<Vec<u8>, String>;
+}
+
+/// The echo servant used by the paper-style round-trip benchmarks:
+/// `echo` returns its argument bytes unchanged.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EchoServant;
+
+impl Servant for EchoServant {
+    fn invoke(&self, operation: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        match operation {
+            "echo" => Ok(args.to_vec()),
+            "reverse" => {
+                let mut v = args.to_vec();
+                v.reverse();
+                Ok(v)
+            }
+            other => Err(format!("unknown operation {other:?}")),
+        }
+    }
+}
+
+/// Maps object keys to servants (the POA's active object map).
+#[derive(Default)]
+pub struct ObjectRegistry {
+    map: RwLock<HashMap<Vec<u8>, Arc<dyn Servant>>>,
+}
+
+impl std::fmt::Debug for ObjectRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjectRegistry({} objects)", self.map.read().len())
+    }
+}
+
+impl ObjectRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry pre-populated with an [`EchoServant`] under the
+    /// key `b"echo"` — the benchmark configuration.
+    pub fn with_echo() -> Arc<Self> {
+        let reg = ObjectRegistry::new();
+        reg.register(b"echo".to_vec(), Arc::new(EchoServant));
+        Arc::new(reg)
+    }
+
+    /// Registers (or replaces) a servant under `key`.
+    pub fn register(&self, key: Vec<u8>, servant: Arc<dyn Servant>) {
+        self.map.write().insert(key, servant);
+    }
+
+    /// Removes a servant.
+    pub fn unregister(&self, key: &[u8]) -> bool {
+        self.map.write().remove(key).is_some()
+    }
+
+    /// Looks up a servant.
+    pub fn lookup(&self, key: &[u8]) -> Option<Arc<dyn Servant>> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Full request-processing step: locates the servant, invokes it and
+    /// builds the reply message (including exception replies).
+    pub fn dispatch(&self, req: &RequestMessage) -> ReplyMessage {
+        match self.lookup(&req.object_key) {
+            None => ReplyMessage {
+                request_id: req.request_id,
+                status: ReplyStatus::ObjectNotExist,
+                body: Vec::new(),
+            },
+            Some(servant) => match servant.invoke(&req.operation, &req.body) {
+                Ok(body) => ReplyMessage {
+                    request_id: req.request_id,
+                    status: ReplyStatus::NoException,
+                    body,
+                },
+                Err(msg) => ReplyMessage {
+                    request_id: req.request_id,
+                    status: ReplyStatus::SystemException,
+                    body: msg.into_bytes(),
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(key: &[u8], op: &str, body: &[u8]) -> RequestMessage {
+        RequestMessage {
+            request_id: 9,
+            response_expected: true,
+            object_key: key.to_vec(),
+            operation: op.to_string(),
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn echo_servant_operations() {
+        let s = EchoServant;
+        assert_eq!(s.invoke("echo", &[1, 2, 3]).unwrap(), vec![1, 2, 3]);
+        assert_eq!(s.invoke("reverse", &[1, 2, 3]).unwrap(), vec![3, 2, 1]);
+        assert!(s.invoke("bogus", &[]).is_err());
+    }
+
+    #[test]
+    fn dispatch_routes_to_servant() {
+        let reg = ObjectRegistry::with_echo();
+        let reply = reg.dispatch(&request(b"echo", "echo", &[7, 7]));
+        assert_eq!(reply.status, ReplyStatus::NoException);
+        assert_eq!(reply.body, vec![7, 7]);
+        assert_eq!(reply.request_id, 9);
+    }
+
+    #[test]
+    fn dispatch_unknown_object() {
+        let reg = ObjectRegistry::with_echo();
+        let reply = reg.dispatch(&request(b"nope", "echo", &[]));
+        assert_eq!(reply.status, ReplyStatus::ObjectNotExist);
+    }
+
+    #[test]
+    fn dispatch_servant_exception() {
+        let reg = ObjectRegistry::with_echo();
+        let reply = reg.dispatch(&request(b"echo", "explode", &[]));
+        assert_eq!(reply.status, ReplyStatus::SystemException);
+        assert!(String::from_utf8(reply.body).unwrap().contains("unknown operation"));
+    }
+
+    #[test]
+    fn register_unregister() {
+        let reg = ObjectRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(b"x".to_vec(), Arc::new(EchoServant));
+        assert_eq!(reg.len(), 1);
+        assert!(reg.lookup(b"x").is_some());
+        assert!(reg.unregister(b"x"));
+        assert!(!reg.unregister(b"x"));
+        assert!(reg.is_empty());
+    }
+}
+
+/// A servant that counts invocations — used by oneway tests and examples.
+#[derive(Debug, Default)]
+pub struct CountingServant {
+    count: std::sync::atomic::AtomicU64,
+}
+
+impl CountingServant {
+    /// Invocations observed so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl Servant for CountingServant {
+    fn invoke(&self, _operation: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        let n = self.count.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+        let _ = args;
+        Ok(n.to_be_bytes().to_vec())
+    }
+}

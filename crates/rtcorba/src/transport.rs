@@ -1,0 +1,348 @@
+//! Transports carrying GIOP frames: in-process loopback and TCP.
+//!
+//! The paper's evaluation runs client and server "on a single machine
+//! connected via loopback network" (§3.3). Both transports here frame
+//! messages exactly the same way — a GIOP header announcing the body size
+//! — so the ORB code is transport-agnostic.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::giop::{self, HEADER_LEN};
+
+/// Transport errors.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The peer closed the connection.
+    Closed,
+    /// The incoming frame violated GIOP framing.
+    Protocol(giop::GiopError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TransportError::Closed => write!(f, "connection closed by peer"),
+            TransportError::Protocol(e) => write!(f, "framing error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// A bidirectional, framed GIOP connection.
+pub trait Connection: Send + Sync {
+    /// Sends one complete GIOP frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a closed peer.
+    fn send_frame(&self, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Receives one complete GIOP frame (header + body), blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] at end of stream; framing violations.
+    fn recv_frame(&self) -> Result<Vec<u8>, TransportError>;
+
+    /// Closes the connection; subsequent operations fail.
+    fn close(&self);
+}
+
+// ---------------------------------------------------------------------
+// Loopback (in-process) transport
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Pipe {
+    queue: Mutex<(VecDeque<Vec<u8>>, bool)>,
+    cond: Condvar,
+}
+
+impl Pipe {
+    fn push(&self, frame: Vec<u8>) -> Result<(), TransportError> {
+        let mut g = self.queue.lock();
+        if g.1 {
+            return Err(TransportError::Closed);
+        }
+        g.0.push_back(frame);
+        drop(g);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Result<Vec<u8>, TransportError> {
+        let mut g = self.queue.lock();
+        loop {
+            if let Some(frame) = g.0.pop_front() {
+                return Ok(frame);
+            }
+            if g.1 {
+                return Err(TransportError::Closed);
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+
+    fn close(&self) {
+        self.queue.lock().1 = true;
+        self.cond.notify_all();
+    }
+}
+
+/// One endpoint of an in-process loopback connection.
+pub struct LoopbackConn {
+    tx: Arc<Pipe>,
+    rx: Arc<Pipe>,
+}
+
+impl std::fmt::Debug for LoopbackConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LoopbackConn")
+    }
+}
+
+/// Creates a connected pair of loopback endpoints.
+pub fn loopback_pair() -> (LoopbackConn, LoopbackConn) {
+    let a = Arc::new(Pipe::default());
+    let b = Arc::new(Pipe::default());
+    (
+        LoopbackConn { tx: Arc::clone(&a), rx: Arc::clone(&b) },
+        LoopbackConn { tx: b, rx: a },
+    )
+}
+
+impl Connection for LoopbackConn {
+    fn send_frame(&self, frame: &[u8]) -> Result<(), TransportError> {
+        self.tx.push(frame.to_vec())
+    }
+
+    fn recv_frame(&self) -> Result<Vec<u8>, TransportError> {
+        self.rx.pop()
+    }
+
+    fn close(&self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------
+
+/// A framed GIOP connection over a TCP socket (loopback in the paper's
+/// setup).
+pub struct TcpConn {
+    reader: Mutex<TcpStream>,
+    writer: Mutex<TcpStream>,
+}
+
+impl std::fmt::Debug for TcpConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TcpConn")
+    }
+}
+
+impl TcpConn {
+    /// Wraps a connected stream; disables Nagle for latency fidelity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option / clone failures.
+    pub fn new(stream: TcpStream) -> Result<TcpConn, TransportError> {
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(TcpConn { reader: Mutex::new(reader), writer: Mutex::new(stream) })
+    }
+
+    /// Connects to a listening ORB endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> Result<TcpConn, TransportError> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        TcpConn::new(stream)
+    }
+}
+
+impl Connection for TcpConn {
+    fn send_frame(&self, frame: &[u8]) -> Result<(), TransportError> {
+        let mut w = self.writer.lock();
+        w.write_all(frame)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    fn recv_frame(&self) -> Result<Vec<u8>, TransportError> {
+        let mut r = self.reader.lock();
+        let mut header = [0u8; HEADER_LEN];
+        read_exact_or_closed(&mut *r, &mut header)?;
+        let body_len = giop::body_size(&header).map_err(TransportError::Protocol)?;
+        let mut frame = vec![0u8; HEADER_LEN + body_len];
+        frame[..HEADER_LEN].copy_from_slice(&header);
+        read_exact_or_closed(&mut *r, &mut frame[HEADER_LEN..])?;
+        Ok(frame)
+    }
+
+    fn close(&self) {
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+fn read_exact_or_closed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), TransportError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(TransportError::Closed),
+        Err(e) => Err(TransportError::Io(e)),
+    }
+}
+
+/// A TCP acceptor bound to an ephemeral loopback port.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl std::fmt::Debug for TcpAcceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TcpAcceptor({:?})", self.listener.local_addr())
+    }
+}
+
+impl TcpAcceptor {
+    /// Binds to `127.0.0.1` on an ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_loopback() -> Result<TcpAcceptor, TransportError> {
+        Ok(TcpAcceptor { listener: TcpListener::bind(("127.0.0.1", 0))? })
+    }
+
+    /// The bound address clients should connect to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accepts one connection (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures.
+    pub fn accept(&self) -> Result<TcpConn, TransportError> {
+        let (stream, _) = self.listener.accept()?;
+        TcpConn::new(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdr::Endian;
+    use crate::giop::{decode, Message, RequestMessage};
+
+    fn frame() -> Vec<u8> {
+        RequestMessage {
+            request_id: 1,
+            response_expected: true,
+            object_key: b"k".to_vec(),
+            operation: "op".to_string(),
+            body: vec![5; 100],
+        }
+        .encode(Endian::Big)
+    }
+
+    #[test]
+    fn loopback_roundtrip() {
+        let (a, b) = loopback_pair();
+        a.send_frame(&frame()).unwrap();
+        let got = b.recv_frame().unwrap();
+        assert_eq!(got, frame());
+        // And back.
+        b.send_frame(&frame()).unwrap();
+        assert_eq!(a.recv_frame().unwrap(), frame());
+    }
+
+    #[test]
+    fn loopback_close_unblocks() {
+        let (a, b) = loopback_pair();
+        let h = std::thread::spawn(move || b.recv_frame());
+        std::thread::sleep(Duration::from_millis(20));
+        a.close();
+        assert!(matches!(h.join().unwrap(), Err(TransportError::Closed)));
+        assert!(matches!(a.send_frame(&frame()), Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_framing() {
+        let acceptor = TcpAcceptor::bind_loopback().unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            let incoming = conn.recv_frame().unwrap();
+            // Echo it straight back.
+            conn.send_frame(&incoming).unwrap();
+        });
+        let client = TcpConn::connect(addr).unwrap();
+        client.send_frame(&frame()).unwrap();
+        let reply = client.recv_frame().unwrap();
+        match decode(&reply).unwrap() {
+            Message::Request(r) => assert_eq!(r.body.len(), 100),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_close_detected() {
+        let acceptor = TcpAcceptor::bind_loopback().unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            drop(conn); // immediately hang up
+        });
+        let client = TcpConn::connect(addr).unwrap();
+        server.join().unwrap();
+        assert!(matches!(client.recv_frame(), Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn multiple_frames_preserve_boundaries() {
+        let acceptor = TcpAcceptor::bind_loopback().unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            let mut sizes = Vec::new();
+            for _ in 0..3 {
+                sizes.push(conn.recv_frame().unwrap().len());
+            }
+            sizes
+        });
+        let client = TcpConn::connect(addr).unwrap();
+        for _ in 0..3 {
+            client.send_frame(&frame()).unwrap();
+        }
+        let sizes = server.join().unwrap();
+        assert_eq!(sizes, vec![frame().len(); 3]);
+    }
+}

@@ -1,0 +1,426 @@
+//! ZenOrb — the hand-coded baseline ORB standing in for RTZen.
+//!
+//! The paper compares its Compadres-assembled ORB against RTZen, a
+//! hand-written RTSJ RT-CORBA implementation that manages scoped memory
+//! manually (§3.2–3.3). ZenOrb reproduces that comparator on the same
+//! substrate: the same CDR/GIOP/transport stack, with the RTZen memory
+//! architecture — client: ORB (immortal) → Transport scope → per-request
+//! MessageProcessing scope; server: ORB (immortal) → POA/Acceptor scope →
+//! per-connection Transport scope → per-request RequestProcessing scope —
+//! but with direct function calls instead of components, ports and SMMs.
+//! Policy checking is omitted, as in the paper's experiment.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use rtmem::{Ctx, MemoryModel, ScopePool, Wedge};
+
+use crate::cdr::Endian;
+use crate::giop::{self, Message, ReplyStatus, RequestMessage};
+use crate::service::ObjectRegistry;
+use crate::transport::{loopback_pair, Connection, LoopbackConn, TcpAcceptor, TcpConn};
+use crate::OrbError;
+
+const TRANSPORT_SCOPE: usize = 64 << 10;
+const REQUEST_SCOPE: usize = 64 << 10;
+
+/// The hand-coded client ORB.
+///
+/// Each `invoke` enters the persistent transport scope, creates (from a
+/// pool) a message-processing scope, marshals the request there, performs
+/// the round trip and reclaims the scope — RTZen's architecture in direct
+/// code.
+pub struct ZenClient {
+    model: MemoryModel,
+    conn: Arc<dyn Connection>,
+    transport_scope: rtmem::RegionId,
+    _transport_wedge: Wedge,
+    processing_pool: ScopePool,
+    ctx: Mutex<Ctx>,
+    next_id: AtomicU32,
+    endian: Endian,
+}
+
+impl std::fmt::Debug for ZenClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ZenClient")
+    }
+}
+
+impl ZenClient {
+    /// Builds a client over an established connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the scoped-memory architecture cannot be created.
+    pub fn from_conn(conn: Arc<dyn Connection>) -> Result<ZenClient, OrbError> {
+        let model = MemoryModel::new();
+        let transport_scope = model.create_scoped(TRANSPORT_SCOPE)?;
+        let wedge = Wedge::pin_from_base(&model, transport_scope)?;
+        let processing_pool = ScopePool::new(&model, 2, REQUEST_SCOPE, 2)?;
+        Ok(ZenClient {
+            ctx: Mutex::new(Ctx::no_heap(&model)),
+            model,
+            conn,
+            transport_scope,
+            _transport_wedge: wedge,
+            processing_pool,
+            next_id: AtomicU32::new(1),
+            endian: Endian::native(),
+        })
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Connection or memory-architecture failures.
+    pub fn connect_tcp(addr: SocketAddr) -> Result<ZenClient, OrbError> {
+        let conn = TcpConn::connect(addr)?;
+        ZenClient::from_conn(Arc::new(conn))
+    }
+
+    /// Connects to the ORB endpoint named by a stringified `corbaloc`
+    /// object reference (the CORBA `string_to_object` flow).
+    ///
+    /// # Errors
+    ///
+    /// Reference parse/resolution failures, then the same as
+    /// [`ZenClient::connect_tcp`].
+    pub fn connect_ref(reference: &str) -> Result<(ZenClient, Vec<u8>), OrbError> {
+        let obj = crate::ior::ObjectRef::parse(reference)?;
+        let addr = obj.socket_addr()?;
+        Ok((ZenClient::connect_tcp(addr)?, obj.object_key))
+    }
+
+    /// The memory model (for instrumentation).
+    pub fn model(&self) -> &MemoryModel {
+        &self.model
+    }
+
+    /// Sends a **oneway** invocation: no reply is expected or waited for
+    /// (GIOP `response_expected = false`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn invoke_oneway(&self, object_key: &[u8], operation: &str, args: &[u8]) -> Result<(), OrbError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = self.ctx.lock();
+        let lease = self.processing_pool.acquire()?;
+        let processing = lease.region();
+        let conn = Arc::clone(&self.conn);
+        let endian = self.endian;
+        ctx.enter(self.transport_scope, |ctx| {
+            ctx.enter(processing, |ctx| -> Result<(), OrbError> {
+                let frame = RequestMessage {
+                    request_id,
+                    response_expected: false,
+                    object_key: object_key.to_vec(),
+                    operation: operation.to_string(),
+                    body: args.to_vec(),
+                }
+                .encode(endian);
+                let staged = ctx.alloc_bytes(frame.len())?;
+                staged.copy_from_slice(ctx, &frame)?;
+                conn.send_frame(&frame)?;
+                Ok(())
+            })?
+        })??;
+        Ok(())
+    }
+
+    /// Performs a synchronous two-way invocation.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, or a servant exception.
+    pub fn invoke(&self, object_key: &[u8], operation: &str, args: &[u8]) -> Result<Vec<u8>, OrbError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut ctx = self.ctx.lock();
+        let lease = self.processing_pool.acquire()?;
+        let processing = lease.region();
+        let conn = Arc::clone(&self.conn);
+        let endian = self.endian;
+        let out: Result<Vec<u8>, OrbError> = ctx
+            .enter(self.transport_scope, |ctx| {
+                ctx.enter(processing, |ctx| {
+                    // Marshal inside the per-request scope: the request
+                    // bytes are charged against (and reclaimed with) it.
+                    let frame = RequestMessage {
+                        request_id,
+                        response_expected: true,
+                        object_key: object_key.to_vec(),
+                        operation: operation.to_string(),
+                        body: args.to_vec(),
+                    }
+                    .encode(endian);
+                    let staged = ctx.alloc_bytes(frame.len())?;
+                    staged.copy_from_slice(ctx, &frame)?;
+                    conn.send_frame(&frame)?;
+                    let reply_frame = conn.recv_frame()?;
+                    let staged_reply = ctx.alloc_bytes(reply_frame.len())?;
+                    staged_reply.copy_from_slice(ctx, &reply_frame)?;
+                    match giop::decode(&reply_frame)? {
+                        Message::Reply(r) if r.request_id == request_id => match r.status {
+                            ReplyStatus::NoException => Ok(r.body),
+                            ReplyStatus::SystemException => {
+                                Err(OrbError::Exception(String::from_utf8_lossy(&r.body).into_owned()))
+                            }
+                            ReplyStatus::ObjectNotExist => Err(OrbError::ObjectNotExist),
+                        },
+                        Message::Reply(r) => Err(OrbError::RequestMismatch {
+                            expected: request_id,
+                            got: r.request_id,
+                        }),
+                        _ => Err(OrbError::UnexpectedMessage),
+                    }
+                })?
+            })
+            .map_err(OrbError::from)?;
+        out
+    }
+}
+
+/// Handle to a running hand-coded server ORB.
+pub struct ZenServer {
+    addr: Option<SocketAddr>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    loopback_feeder: Arc<ServerCore>,
+}
+
+impl std::fmt::Debug for ZenServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ZenServer({:?})", self.addr)
+    }
+}
+
+/// The server-side memory architecture and dispatch logic, shared by the
+/// acceptor thread and loopback attachments.
+struct ServerCore {
+    model: MemoryModel,
+    registry: Arc<ObjectRegistry>,
+    poa_scope: rtmem::RegionId,
+    _poa_wedge: Wedge,
+    request_pool: ScopePool,
+    endian: Endian,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerCore {
+    fn new(registry: Arc<ObjectRegistry>, shutdown: Arc<AtomicBool>) -> Result<ServerCore, OrbError> {
+        let model = MemoryModel::new();
+        let poa_scope = model.create_scoped(TRANSPORT_SCOPE)?;
+        let poa_wedge = Wedge::pin_from_base(&model, poa_scope)?;
+        let request_pool = ScopePool::new(&model, 3, REQUEST_SCOPE, 4)?;
+        Ok(ServerCore {
+            model,
+            registry,
+            poa_scope,
+            _poa_wedge: poa_wedge,
+            request_pool,
+            endian: Endian::native(),
+            shutdown,
+        })
+    }
+
+    /// Serves one connection until it closes: POA scope → per-connection
+    /// transport scope → per-request processing scope.
+    fn serve_connection(&self, conn: Arc<dyn Connection>) {
+        let mut ctx = Ctx::no_heap(&self.model);
+        let transport_scope = match self.model.create_scoped(TRANSPORT_SCOPE) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let _ = ctx.enter(self.poa_scope, |ctx| {
+            let _ = ctx.enter(transport_scope, |ctx| {
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let frame = match conn.recv_frame() {
+                        Ok(f) => f,
+                        Err(_) => break,
+                    };
+                    let Ok(lease) = self.request_pool.acquire() else { break };
+                    let request_region = lease.region();
+                    let outcome = ctx.enter(request_region, |ctx| {
+                        let staged = ctx.alloc_bytes(frame.len());
+                        if let Ok(staged) = staged {
+                            let _ = staged.copy_from_slice(ctx, &frame);
+                        }
+                        match giop::decode(&frame) {
+                            Ok(Message::Request(req)) => {
+                                let reply = self.registry.dispatch(&req);
+                                if req.response_expected {
+                                    conn.send_frame(&reply.encode(self.endian)).is_ok()
+                                } else {
+                                    true
+                                }
+                            }
+                            Ok(Message::CloseConnection) => false,
+                            _ => false,
+                        }
+                    });
+                    match outcome {
+                        Ok(true) => {}
+                        _ => break,
+                    }
+                }
+            });
+        });
+        let _ = self.model.destroy_scoped(transport_scope);
+    }
+}
+
+impl ZenServer {
+    /// Spawns a TCP server with its acceptor thread.
+    ///
+    /// # Errors
+    ///
+    /// Bind or memory-architecture failures.
+    pub fn spawn_tcp(registry: Arc<ObjectRegistry>) -> Result<ZenServer, OrbError> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let core = Arc::new(ServerCore::new(registry, Arc::clone(&shutdown))?);
+        let acceptor = TcpAcceptor::bind_loopback()?;
+        let addr = acceptor.local_addr()?;
+        let core2 = Arc::clone(&core);
+        let shutdown2 = Arc::clone(&shutdown);
+        let accept_handle = std::thread::Builder::new()
+            .name("zen-acceptor".into())
+            .spawn(move || {
+                while !shutdown2.load(Ordering::SeqCst) {
+                    match acceptor.accept() {
+                        Ok(conn) => {
+                            let core3 = Arc::clone(&core2);
+                            let _ = std::thread::Builder::new()
+                                .name("zen-transport".into())
+                                .spawn(move || core3.serve_connection(Arc::new(conn)));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn acceptor");
+        Ok(ZenServer {
+            addr: Some(addr),
+            shutdown,
+            accept_handle: Some(accept_handle),
+            loopback_feeder: core,
+        })
+    }
+
+    /// Spawns a server that only serves in-process loopback connections.
+    ///
+    /// # Errors
+    ///
+    /// Memory-architecture failures.
+    pub fn spawn_loopback(registry: Arc<ObjectRegistry>) -> Result<ZenServer, OrbError> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let core = Arc::new(ServerCore::new(registry, Arc::clone(&shutdown))?);
+        Ok(ZenServer { addr: None, shutdown, accept_handle: None, loopback_feeder: core })
+    }
+
+    /// The TCP address, when serving TCP.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Creates an in-process connection served by a dedicated thread.
+    pub fn attach_loopback(&self) -> LoopbackConn {
+        let (client_end, server_end) = loopback_pair();
+        let core = Arc::clone(&self.loopback_feeder);
+        let _ = std::thread::Builder::new()
+            .name("zen-loopback-transport".into())
+            .spawn(move || core.serve_connection(Arc::new(server_end)));
+        client_end
+    }
+
+    /// Stops accepting and serving.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr {
+            // Nudge the blocking acceptor.
+            let _ = std::net::TcpStream::connect(addr);
+        }
+    }
+}
+
+impl Drop for ZenServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Convenience: a connected loopback echo pair (server + client).
+///
+/// # Errors
+///
+/// Memory-architecture failures.
+pub fn loopback_echo_pair() -> Result<(ZenServer, ZenClient), OrbError> {
+    let server = ZenServer::spawn_loopback(ObjectRegistry::with_echo())?;
+    let conn = server.attach_loopback();
+    let client = ZenClient::from_conn(Arc::new(conn))?;
+    Ok((server, client))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_echo_roundtrip() {
+        let (_server, client) = loopback_echo_pair().unwrap();
+        let reply = client.invoke(b"echo", "echo", &[1, 2, 3, 4]).unwrap();
+        assert_eq!(reply, vec![1, 2, 3, 4]);
+        // Request scopes are pooled and reclaimed; repeated invokes work.
+        for i in 0..50u8 {
+            let reply = client.invoke(b"echo", "echo", &[i]).unwrap();
+            assert_eq!(reply, vec![i]);
+        }
+    }
+
+    #[test]
+    fn tcp_echo_roundtrip() {
+        let server = ZenServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
+        let client = ZenClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let payload = vec![9u8; 512];
+        assert_eq!(client.invoke(b"echo", "echo", &payload).unwrap(), payload);
+        assert_eq!(client.invoke(b"echo", "reverse", &[1, 2, 3]).unwrap(), vec![3, 2, 1]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_object_reported() {
+        let (_server, client) = loopback_echo_pair().unwrap();
+        assert!(matches!(client.invoke(b"ghost", "echo", &[]), Err(OrbError::ObjectNotExist)));
+    }
+
+    #[test]
+    fn servant_exception_propagates() {
+        let (_server, client) = loopback_echo_pair().unwrap();
+        match client.invoke(b"echo", "frobnicate", &[]) {
+            Err(OrbError::Exception(msg)) => assert!(msg.contains("unknown operation")),
+            other => panic!("expected exception, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_request_scope_reclaimed() {
+        let (_server, client) = loopback_echo_pair().unwrap();
+        client.invoke(b"echo", "echo", &[0; 128]).unwrap();
+        let model = client.model();
+        // Processing pool scopes are all free after the call.
+        // (transport scope + pool scopes + heap/immortal)
+        assert!(model.live_regions() >= 3);
+        client.invoke(b"echo", "echo", &[0; 128]).unwrap();
+    }
+}

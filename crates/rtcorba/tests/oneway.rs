@@ -1,0 +1,132 @@
+//! Oneway (no-reply) invocations through both ORBs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rtcorba::corb::{CompadresClient, CompadresServer};
+use rtcorba::service::{CountingServant, ObjectRegistry};
+use rtcorba::zen::{ZenClient, ZenServer};
+
+fn registry_with_counter() -> (Arc<ObjectRegistry>, Arc<CountingServant>) {
+    let counter = Arc::new(CountingServant::default());
+    let reg = ObjectRegistry::with_echo();
+    reg.register(b"count".to_vec(), Arc::clone(&counter) as Arc<dyn rtcorba::service::Servant>);
+    (reg, counter)
+}
+
+fn wait_for(counter: &CountingServant, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while counter.count() < n {
+        assert!(Instant::now() < deadline, "servant saw {} of {n}", counter.count());
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn zen_oneway_reaches_servant_without_reply() {
+    let (reg, counter) = registry_with_counter();
+    let server = ZenServer::spawn_tcp(reg).unwrap();
+    let client = ZenClient::connect_tcp(server.addr().unwrap()).unwrap();
+    for _ in 0..10 {
+        client.invoke_oneway(b"count", "bump", &[1, 2]).unwrap();
+    }
+    wait_for(&counter, 10);
+    // The connection still works for twoway afterwards (no stray replies
+    // were queued for the oneways).
+    let reply = client.invoke(b"count", "bump", &[]).unwrap();
+    assert_eq!(u64::from_be_bytes(reply.try_into().unwrap()), 11);
+    server.shutdown();
+}
+
+#[test]
+fn compadres_oneway_reaches_servant_without_reply() {
+    let (reg, counter) = registry_with_counter();
+    let server = CompadresServer::spawn_tcp(reg).unwrap();
+    let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+    for _ in 0..10 {
+        client.invoke_oneway(b"count", "bump", &[]).unwrap();
+    }
+    wait_for(&counter, 10);
+    let reply = client.invoke(b"count", "bump", &[]).unwrap();
+    assert_eq!(u64::from_be_bytes(reply.try_into().unwrap()), 11);
+    server.shutdown();
+}
+
+#[test]
+fn oneway_is_faster_than_twoway() {
+    let (reg, counter) = registry_with_counter();
+    let server = CompadresServer::spawn_tcp(reg).unwrap();
+    let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+    // Not a benchmark — just check the oneway path doesn't secretly wait.
+    let t = Instant::now();
+    for _ in 0..50 {
+        client.invoke_oneway(b"count", "bump", &[]).unwrap();
+    }
+    let oneway_elapsed = t.elapsed();
+    wait_for(&counter, 50);
+    let t = Instant::now();
+    for _ in 0..50 {
+        client.invoke(b"count", "bump", &[]).unwrap();
+    }
+    let twoway_elapsed = t.elapsed();
+    assert!(
+        oneway_elapsed < twoway_elapsed,
+        "oneway {oneway_elapsed:?} should undercut twoway {twoway_elapsed:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn corbaloc_reference_end_to_end() {
+    // The server publishes a stringified reference; the client resolves
+    // and invokes through it.
+    let server = CompadresServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
+    let reference = server.object_ref(b"echo").unwrap();
+    assert!(reference.starts_with("corbaloc::"));
+    let (client, key) = CompadresClient::connect_ref(&reference).unwrap();
+    assert_eq!(client.invoke(&key, "echo", &[4, 5, 6]).unwrap(), vec![4, 5, 6]);
+    // The Zen client resolves the very same reference (wire compat).
+    let (zen, key) = ZenClient::connect_ref(&reference).unwrap();
+    assert_eq!(zen.invoke(&key, "reverse", &[1, 2, 3]).unwrap(), vec![3, 2, 1]);
+    server.shutdown();
+}
+
+#[test]
+fn framing_survives_byte_by_byte_writes() {
+    // A pathological client that trickles a GIOP request one byte at a
+    // time; the server's framed reader must reassemble it correctly.
+    use rtcorba::cdr::Endian;
+    use rtcorba::giop::{decode, Message, RequestMessage};
+    use std::io::{Read, Write};
+
+    let server = CompadresServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
+    let mut raw = std::net::TcpStream::connect(server.addr().unwrap()).unwrap();
+    raw.set_nodelay(true).unwrap();
+    let frame = RequestMessage {
+        request_id: 77,
+        response_expected: true,
+        object_key: b"echo".to_vec(),
+        operation: "echo".to_string(),
+        body: vec![0xAB; 33],
+    }
+    .encode(Endian::Big);
+    for b in &frame {
+        raw.write_all(&[*b]).unwrap();
+        raw.flush().unwrap();
+    }
+    // Read the reply (header, then declared body).
+    let mut header = [0u8; 12];
+    raw.read_exact(&mut header).unwrap();
+    let body_len = rtcorba::giop::body_size(&header).unwrap();
+    let mut reply = vec![0u8; 12 + body_len];
+    reply[..12].copy_from_slice(&header);
+    raw.read_exact(&mut reply[12..]).unwrap();
+    match decode(&reply).unwrap() {
+        Message::Reply(r) => {
+            assert_eq!(r.request_id, 77);
+            assert_eq!(r.body, vec![0xAB; 33]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.shutdown();
+}

@@ -1,0 +1,145 @@
+//! Error types mirroring the RTSJ memory-model failure modes.
+//!
+//! The RTSJ signals scope misuse with runtime exceptions
+//! (`MemoryAccessError`, `IllegalAssignmentError`, `ScopedCycleException`,
+//! `OutOfMemoryError`). This module provides the Rust analog: a single
+//! [`RtmemError`] enum returned by every fallible operation in the crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::region::RegionId;
+
+/// Errors produced by the scoped-memory model.
+///
+/// Each variant corresponds to a failure mode of the RTSJ memory model as
+/// described in Section 2.2 of the Compadres paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtmemError {
+    /// The referenced region slot has been destroyed (the `RegionId`
+    /// generation no longer matches).
+    InvalidRegion(RegionId),
+    /// A reference outlived the scope contents it pointed into: the region
+    /// was reclaimed (and possibly reused) since the reference was created.
+    ///
+    /// Analog of dereferencing a dangling scoped reference, which the RTSJ
+    /// prevents via `IllegalAssignmentError`; here it is detected at use.
+    StaleReference {
+        /// The reclaimed (and possibly reused) region.
+        region: RegionId,
+        /// Epoch the reference was created in.
+        expected_epoch: u64,
+        /// Epoch the region is in now.
+        actual_epoch: u64,
+    },
+    /// The current execution context may not access the target region: the
+    /// region is not on the context's scope stack and is not immortal/heap.
+    ///
+    /// Analog of the RTSJ `MemoryAccessError`.
+    Inaccessible {
+        /// The inaccessible region.
+        region: RegionId,
+    },
+    /// Storing a reference in `holder` pointing at `target` would violate
+    /// the scope access rules of paper Table 1 (the holder must not outlive
+    /// the target).
+    ///
+    /// Analog of the RTSJ `IllegalAssignmentError`.
+    IllegalAssignment {
+        /// Region of the object that would hold the reference.
+        holder: RegionId,
+        /// Region the reference points into.
+        target: RegionId,
+    },
+    /// Entering the region would give it a second parent, violating the
+    /// *single parent rule* (paper Section 2.2).
+    ///
+    /// Analog of the RTSJ `ScopedCycleException`.
+    ScopedCycle {
+        /// The region being entered.
+        region: RegionId,
+        /// Its current parent.
+        parent: RegionId,
+        /// The allocation context the enter was attempted from.
+        attempted: RegionId,
+    },
+    /// The region's fixed memory budget is exhausted.
+    OutOfMemory {
+        /// The exhausted region.
+        region: RegionId,
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// An `RRef<T>` was used with the wrong `T`.
+    TypeMismatch {
+        /// Region holding the object.
+        region: RegionId,
+    },
+    /// The operation requires the region to be entered by the calling
+    /// context (e.g. exiting a region that was never entered).
+    NotEntered(RegionId),
+    /// A no-heap context attempted to touch the heap (RTSJ
+    /// `NoHeapRealtimeThread` restriction, see paper Table 1 note).
+    HeapFromNoHeap,
+    /// The region is still pinned (entered threads, wedges or child scopes)
+    /// and cannot be destroyed.
+    StillPinned {
+        /// The pinned region.
+        region: RegionId,
+        /// Wedge and child pins.
+        pins: usize,
+        /// Contexts currently inside.
+        entered: usize,
+    },
+    /// A pool `acquire` found no free pooled scope.
+    PoolExhausted {
+        /// Scope level of the exhausted pool.
+        level: u32,
+    },
+}
+
+impl fmt::Display for RtmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtmemError::InvalidRegion(id) => write!(f, "region {id:?} no longer exists"),
+            RtmemError::StaleReference { region, expected_epoch, actual_epoch } => write!(
+                f,
+                "stale reference into region {region:?}: created in epoch {expected_epoch}, region is now in epoch {actual_epoch}"
+            ),
+            RtmemError::Inaccessible { region } => {
+                write!(f, "region {region:?} is not accessible from the current scope stack")
+            }
+            RtmemError::IllegalAssignment { holder, target } => write!(
+                f,
+                "object in region {holder:?} may not hold a reference into region {target:?}"
+            ),
+            RtmemError::ScopedCycle { region, parent, attempted } => write!(
+                f,
+                "single parent rule violated: region {region:?} is parented to {parent:?}, cannot be entered from {attempted:?}"
+            ),
+            RtmemError::OutOfMemory { region, requested, available } => write!(
+                f,
+                "region {region:?} out of memory: requested {requested} bytes, {available} available"
+            ),
+            RtmemError::TypeMismatch { region } => {
+                write!(f, "typed reference into region {region:?} used with the wrong type")
+            }
+            RtmemError::NotEntered(id) => write!(f, "region {id:?} was not entered by this context"),
+            RtmemError::HeapFromNoHeap => write!(f, "no-heap context attempted to access the heap"),
+            RtmemError::StillPinned { region, pins, entered } => write!(
+                f,
+                "region {region:?} is still pinned ({pins} pins, {entered} entered threads)"
+            ),
+            RtmemError::PoolExhausted { level } => {
+                write!(f, "scope pool for level {level} is exhausted")
+            }
+        }
+    }
+}
+
+impl Error for RtmemError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RtmemError>;

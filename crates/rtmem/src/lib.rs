@@ -1,0 +1,67 @@
+//! # rtmem — an RTSJ-style scoped-memory model in safe Rust
+//!
+//! This crate reproduces the memory substrate that the Compadres component
+//! framework (Hu et al., MIDDLEWARE 2007) builds on: the Real-Time
+//! Specification for Java memory model with **heap**, **immortal** and
+//! **linear-time scoped** regions.
+//!
+//! The observable semantics implemented here are the ones the paper relies
+//! on (Section 2.2):
+//!
+//! * a region **tree** built by threads entering scopes, with the
+//!   **single parent rule** enforced ([`RtmemError::ScopedCycle`]);
+//! * the **Table 1 access rules** — an object may only reference objects
+//!   that provably live at least as long as it
+//!   ([`MemoryModel::may_reference`], [`RRef::check_store_in`]);
+//! * **reclamation** of a scope when the last pin (entered context,
+//!   [`Wedge`], or child scope) leaves, dropping objects in reverse
+//!   allocation order and invalidating outstanding references by epoch;
+//! * **linear-time creation**: a scope's backing store is allocated and
+//!   zeroed eagerly, so [`ScopePool`]s of pre-created scopes pay that cost
+//!   once and recycle areas at runtime;
+//! * the **wedge pattern** to keep a child scope alive without a resident
+//!   thread ([`Wedge`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rtmem::{MemoryModel, Ctx};
+//!
+//! let model = MemoryModel::new();
+//! let parent = model.create_scoped(8192)?;
+//! let child = model.create_scoped(4096)?;
+//!
+//! let mut ctx = Ctx::no_heap(&model); // a no-heap real-time thread
+//! ctx.enter(parent, |ctx| {
+//!     let shared = ctx.alloc(vec![0u8; 32])?; // lives in `parent`
+//!     ctx.enter(child, |ctx| {
+//!         // The child may reference the parent (ancestor) …
+//!         shared.with(ctx, |v| assert_eq!(v.len(), 32))?;
+//!         // … but an object in the parent may not point into the child.
+//!         let inner = ctx.alloc(1u8)?;
+//!         assert!(inner.check_store_in(parent).is_err());
+//!         Ok::<_, rtmem::RtmemError>(())
+//!     })??;
+//!     Ok::<_, rtmem::RtmemError>(())
+//! })??;
+//! # Ok::<(), rtmem::RtmemError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ctx;
+mod error;
+mod model;
+mod pool;
+mod region;
+mod rref;
+mod wedge;
+
+pub use ctx::Ctx;
+pub use error::{Result, RtmemError};
+pub use model::{MemoryModel, DEFAULT_AREA_SIZE};
+pub use pool::{ScopeLease, ScopePool};
+pub use region::{RegionId, RegionKind, RegionSnapshot, RegionStats};
+pub use rref::{RBytes, RRef};
+pub use wedge::Wedge;

@@ -1,0 +1,231 @@
+//! Scope pools: pre-created scoped regions reused across component
+//! instantiations.
+//!
+//! The CCL `RTSJAttributes/ScopedPool` element configures, per scope level,
+//! a pool of `LTMemory` areas created once (paying the linear-time zeroing
+//! up front) and recycled at runtime (paper Section 2.2). Ablation A3
+//! measures the win over fresh creation.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, RtmemError};
+use crate::model::MemoryModel;
+use crate::region::RegionId;
+
+/// A pool of same-sized scoped regions for one scope level.
+///
+/// # Examples
+///
+/// ```
+/// use rtmem::{MemoryModel, ScopePool, Ctx};
+///
+/// let model = MemoryModel::new();
+/// let pool = ScopePool::new(&model, 1, 4096, 2)?;
+/// let lease = pool.acquire()?;
+/// let mut ctx = Ctx::immortal(&model);
+/// ctx.enter(lease.region(), |ctx| { let _ = ctx.alloc(3u8); })?;
+/// drop(lease); // region returns to the pool, reclaimed and reusable
+/// # Ok::<(), rtmem::RtmemError>(())
+/// ```
+pub struct ScopePool {
+    inner: Arc<PoolInner>,
+}
+
+struct PoolInner {
+    model: MemoryModel,
+    level: u32,
+    scope_size: usize,
+    free: Mutex<Vec<RegionId>>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for ScopePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopePool")
+            .field("level", &self.inner.level)
+            .field("scope_size", &self.inner.scope_size)
+            .field("capacity", &self.inner.capacity)
+            .field("free", &self.inner.free.lock().len())
+            .finish()
+    }
+}
+
+impl ScopePool {
+    /// Creates a pool of `pool_size` scoped regions of `scope_size` bytes
+    /// each, for scope level `level`. All backing stores are allocated and
+    /// zeroed here, up front.
+    pub fn new(model: &MemoryModel, level: u32, scope_size: usize, pool_size: usize) -> Result<ScopePool> {
+        let mut free = Vec::with_capacity(pool_size);
+        for _ in 0..pool_size {
+            free.push(model.create_pooled(scope_size));
+        }
+        Ok(ScopePool {
+            inner: Arc::new(PoolInner {
+                model: model.clone(),
+                level,
+                scope_size,
+                free: Mutex::new(free),
+                capacity: pool_size,
+            }),
+        })
+    }
+
+    /// The scope level this pool serves (CCL `ScopeLevel`).
+    pub fn level(&self) -> u32 {
+        self.inner.level
+    }
+
+    /// Byte budget of each pooled scope (CCL `ScopeSize`).
+    pub fn scope_size(&self) -> usize {
+        self.inner.scope_size
+    }
+
+    /// Total number of pooled scopes (CCL `PoolSize`).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Number of scopes currently available.
+    pub fn available(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+
+    /// Takes a scope from the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`RtmemError::PoolExhausted`] when every pooled scope is leased out.
+    pub fn acquire(&self) -> Result<ScopeLease> {
+        let mut free = self.inner.free.lock();
+        // Skip any scope that is somehow still pinned (e.g. a lease was
+        // dropped while a wedge remained); rotate it to the back.
+        for _ in 0..free.len() {
+            let id = free.remove(0);
+            match self.inner.model.snapshot(id) {
+                Ok(s) if s.entered == 0 && s.pins == 0 && s.parent.is_none() => {
+                    return Ok(ScopeLease { pool: Arc::clone(&self.inner), region: id });
+                }
+                Ok(_) => free.push(id),
+                Err(_) => { /* destroyed externally; drop it from the pool */ }
+            }
+        }
+        Err(RtmemError::PoolExhausted { level: self.inner.level })
+    }
+}
+
+impl Clone for ScopePool {
+    fn clone(&self) -> Self {
+        ScopePool { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        for id in self.free.lock().drain(..) {
+            let _ = self.model.destroy_pooled(id);
+        }
+    }
+}
+
+/// A leased pooled scope; returns to the pool on drop.
+///
+/// The lease shares ownership of the pool, so it may be stored in
+/// long-lived structures (the Compadres SMM keeps one per live child
+/// component). Dropping the lease does not force reclamation — if contexts
+/// or wedges still pin the region it is reclaimed when the last one
+/// leaves, and the pool skips it until then.
+pub struct ScopeLease {
+    pool: Arc<PoolInner>,
+    region: RegionId,
+}
+
+impl std::fmt::Debug for ScopeLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ScopeLease({:?})", self.region)
+    }
+}
+
+impl ScopeLease {
+    /// The leased region.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+}
+
+impl Drop for ScopeLease {
+    fn drop(&mut self) {
+        self.pool.free.lock().push(self.region);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Ctx;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let m = MemoryModel::new();
+        let pool = ScopePool::new(&m, 1, 1024, 2).unwrap();
+        assert_eq!(pool.available(), 2);
+        let a = pool.acquire().unwrap();
+        let b = pool.acquire().unwrap();
+        assert_ne!(a.region(), b.region());
+        assert!(matches!(pool.acquire(), Err(RtmemError::PoolExhausted { level: 1 })));
+        drop(a);
+        assert_eq!(pool.available(), 1);
+        let c = pool.acquire().unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn pooled_scope_reclaims_between_uses() {
+        let m = MemoryModel::new();
+        let pool = ScopePool::new(&m, 1, 1024, 1).unwrap();
+        let mut ctx = Ctx::immortal(&m);
+        let first_region;
+        {
+            let lease = pool.acquire().unwrap();
+            first_region = lease.region();
+            ctx.enter(lease.region(), |ctx| {
+                ctx.alloc(0xAAu8).unwrap();
+            })
+            .unwrap();
+        }
+        let lease = pool.acquire().unwrap();
+        assert_eq!(lease.region(), first_region, "same region object reused");
+        let snap = m.snapshot(lease.region()).unwrap();
+        assert_eq!(snap.used, 0, "contents reclaimed between leases");
+        assert_eq!(snap.epoch, 1);
+    }
+
+    #[test]
+    fn still_pinned_scope_skipped_until_free() {
+        let m = MemoryModel::new();
+        let pool = ScopePool::new(&m, 2, 1024, 2).unwrap();
+        let lease = pool.acquire().unwrap();
+        let wedge = crate::wedge::Wedge::pin_from_base(&m, lease.region()).unwrap();
+        let pinned = lease.region();
+        drop(lease); // back in pool but still pinned
+        let other = pool.acquire().unwrap();
+        assert_ne!(other.region(), pinned, "pinned scope must be skipped");
+        drop(other);
+        drop(wedge);
+        // Now both are acquirable again.
+        let x = pool.acquire().unwrap();
+        let y = pool.acquire().unwrap();
+        assert_ne!(x.region(), y.region());
+    }
+
+    #[test]
+    fn pooled_scopes_not_client_destroyable() {
+        let m = MemoryModel::new();
+        let pool = ScopePool::new(&m, 1, 256, 1).unwrap();
+        let lease = pool.acquire().unwrap();
+        assert!(m.destroy_scoped(lease.region()).is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! Checked cross-region references.
+//!
+//! [`RRef<T>`] is the analog of a Java reference under the RTSJ: using it is
+//! validated at runtime against the referenced region's lifetime (epoch) and
+//! the accessing thread's scope stack, and *storing* it inside another
+//! region is validated against the Table-1 assignment rules via
+//! [`RRef::check_store_in`].
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::ctx::Ctx;
+use crate::error::{Result, RtmemError};
+use crate::model::ModelInner;
+use crate::region::{ObjectSlot, RegionId};
+
+/// A typed, runtime-checked reference to an object allocated in a region.
+///
+/// Cloning an `RRef` is cheap and does not extend the object's lifetime:
+/// when the region is reclaimed, every outstanding `RRef` into it becomes
+/// stale and its accessors return [`RtmemError::StaleReference`].
+pub struct RRef<T> {
+    model: Arc<ModelInner>,
+    region: RegionId,
+    epoch: u64,
+    slot: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for RRef<T> {
+    fn clone(&self) -> Self {
+        RRef {
+            model: Arc::clone(&self.model),
+            region: self.region,
+            epoch: self.epoch,
+            slot: self.slot,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for RRef<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RRef<{}>({:?}@{} #{})", std::any::type_name::<T>(), self.region, self.epoch, self.slot)
+    }
+}
+
+impl<T: Send + 'static> RRef<T> {
+    pub(crate) fn allocate(model: &Arc<ModelInner>, region: RegionId, value: T) -> Result<RRef<T>> {
+        let slot_arc = model.slot(region)?;
+        let mut g = slot_arc.lock();
+        let cost = object_cost::<T>();
+        if cost > g.available() {
+            return Err(RtmemError::OutOfMemory {
+                region,
+                requested: cost,
+                available: g.available(),
+            });
+        }
+        g.used += cost;
+        g.stats.objects_allocated += 1;
+        g.stats.bytes_requested += cost as u64;
+        let slot_index = g.objects.len();
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(value);
+        g.objects.push(Some(Arc::new(parking_lot::Mutex::new(boxed))));
+        Ok(RRef {
+            model: Arc::clone(model),
+            region,
+            epoch: g.epoch,
+            slot: slot_index,
+            _marker: PhantomData,
+        })
+    }
+
+    fn resolve(&self, ctx: &Ctx) -> Result<ObjectSlot> {
+        let slot_arc = self.model.slot(self.region)?;
+        // Staleness is reported before inaccessibility: a reclaimed region
+        // is dead no matter who asks. The region lock must be released
+        // before the access check (which locks the region itself).
+        let obj = {
+            let g = slot_arc.lock();
+            if g.epoch != self.epoch {
+                return Err(RtmemError::StaleReference {
+                    region: self.region,
+                    expected_epoch: self.epoch,
+                    actual_epoch: g.epoch,
+                });
+            }
+            g.objects
+                .get(self.slot)
+                .and_then(|o| o.as_ref())
+                .cloned()
+                .ok_or(RtmemError::StaleReference {
+                    region: self.region,
+                    expected_epoch: self.epoch,
+                    actual_epoch: g.epoch,
+                })?
+        };
+        if !ctx.may_access(self.region) {
+            return Err(RtmemError::Inaccessible { region: self.region });
+        }
+        Ok(obj)
+    }
+
+    /// Runs `f` with a shared view of the referenced object.
+    ///
+    /// # Errors
+    ///
+    /// * [`RtmemError::StaleReference`] — the region was reclaimed.
+    /// * [`RtmemError::Inaccessible`] — the region is not on `ctx`'s stack.
+    /// * [`RtmemError::TypeMismatch`] — wrong `T` for the slot.
+    pub fn with<R>(&self, ctx: &Ctx, f: impl FnOnce(&T) -> R) -> Result<R> {
+        let obj = self.resolve(ctx)?;
+        let g = obj.lock();
+        let val = g
+            .downcast_ref::<T>()
+            .ok_or(RtmemError::TypeMismatch { region: self.region })?;
+        Ok(f(val))
+    }
+
+    /// Runs `f` with an exclusive view of the referenced object.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RRef::with`].
+    pub fn with_mut<R>(&self, ctx: &Ctx, f: impl FnOnce(&mut T) -> R) -> Result<R> {
+        let obj = self.resolve(ctx)?;
+        let mut g = obj.lock();
+        let val = g
+            .downcast_mut::<T>()
+            .ok_or(RtmemError::TypeMismatch { region: self.region })?;
+        Ok(f(val))
+    }
+
+    /// Copies the value out (requires `T: Clone`).
+    pub fn get_clone(&self, ctx: &Ctx) -> Result<T>
+    where
+        T: Clone,
+    {
+        self.with(ctx, T::clone)
+    }
+}
+
+impl<T> RRef<T> {
+    /// The region this reference points into.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Whether the referenced object is still live (region not reclaimed).
+    pub fn is_live(&self) -> bool {
+        match self.model.slot(self.region) {
+            Ok(slot) => slot.lock().epoch == self.epoch,
+            Err(_) => false,
+        }
+    }
+
+    /// Validates storing this reference inside an object living in
+    /// `holder`: the Table-1 assignment rule (the holder must not outlive
+    /// the target region).
+    ///
+    /// # Errors
+    ///
+    /// [`RtmemError::IllegalAssignment`] when forbidden.
+    pub fn check_store_in(&self, holder: RegionId) -> Result<()> {
+        let model = crate::model::MemoryModel { inner: Arc::clone(&self.model) };
+        model.check_assignment(holder, self.region)
+    }
+}
+
+/// Accounting cost of an object of type `T`: its size plus a small header,
+/// mirroring JVM object headers.
+pub(crate) fn object_cost<T>() -> usize {
+    std::mem::size_of::<T>() + 16
+}
+
+/// A raw byte allocation carved from a region's bump store.
+///
+/// This is how message payloads travel in the framework: allocation is a
+/// bump-pointer increment (constant time), and the whole store is recycled
+/// when the region is reclaimed — the `LTMemory` cost model.
+#[derive(Clone)]
+pub struct RBytes {
+    model: Arc<ModelInner>,
+    region: RegionId,
+    epoch: u64,
+    offset: usize,
+    len: usize,
+}
+
+impl std::fmt::Debug for RBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RBytes({:?}@{} +{}..{})", self.region, self.epoch, self.offset, self.offset + self.len)
+    }
+}
+
+impl RBytes {
+    pub(crate) fn allocate(model: &Arc<ModelInner>, region: RegionId, len: usize) -> Result<RBytes> {
+        let slot_arc = model.slot(region)?;
+        let mut g = slot_arc.lock();
+        let aligned = (len + 7) & !7;
+        if aligned > g.available() {
+            return Err(RtmemError::OutOfMemory {
+                region,
+                requested: aligned,
+                available: g.available(),
+            });
+        }
+        if g.bump + aligned > g.backing.len() {
+            if g.kind == crate::region::RegionKind::ScopedVt {
+                // Variable-time memory: grow the backing store on demand
+                // (geometric growth capped at the budget) — this is the
+                // unpredictable allocation-time behavior VTMemory trades
+                // for constant-time creation.
+                let new_len = (g.backing.len().max(64) * 2)
+                    .max(g.bump + aligned)
+                    .min(g.size);
+                let mut grown = vec![0u8; new_len].into_boxed_slice();
+                grown[..g.backing.len()].copy_from_slice(&g.backing);
+                g.backing = grown;
+            } else {
+                return Err(RtmemError::OutOfMemory {
+                    region,
+                    requested: aligned,
+                    available: g.backing.len() - g.bump,
+                });
+            }
+        }
+        let offset = g.bump;
+        g.bump += aligned;
+        g.used += aligned;
+        g.stats.byte_allocs += 1;
+        g.stats.bytes_requested += aligned as u64;
+        Ok(RBytes { model: Arc::clone(model), region, epoch: g.epoch, offset, len })
+    }
+
+    /// Length of the allocation in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The region the bytes live in.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    fn check(&self, ctx: &Ctx) -> Result<Arc<parking_lot::Mutex<crate::region::RegionInner>>> {
+        let slot = self.model.slot(self.region)?;
+        {
+            let g = slot.lock();
+            if g.epoch != self.epoch {
+                return Err(RtmemError::StaleReference {
+                    region: self.region,
+                    expected_epoch: self.epoch,
+                    actual_epoch: g.epoch,
+                });
+            }
+        }
+        if !ctx.may_access(self.region) {
+            return Err(RtmemError::Inaccessible { region: self.region });
+        }
+        Ok(slot)
+    }
+
+    /// Runs `f` over a shared view of the bytes.
+    ///
+    /// The region lock is held while `f` runs; do not allocate in the same
+    /// region from inside `f` (it would deadlock).
+    pub fn with_bytes<R>(&self, ctx: &Ctx, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let slot = self.check(ctx)?;
+        let g = slot.lock();
+        Ok(f(&g.backing[self.offset..self.offset + self.len]))
+    }
+
+    /// Runs `f` over an exclusive view of the bytes. Same locking caveat as
+    /// [`RBytes::with_bytes`].
+    pub fn with_bytes_mut<R>(&self, ctx: &Ctx, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let slot = self.check(ctx)?;
+        let mut g = slot.lock();
+        let off = self.offset;
+        let len = self.len;
+        Ok(f(&mut g.backing[off..off + len]))
+    }
+
+    /// Copies `src` into the allocation (must fit exactly or be shorter).
+    pub fn copy_from_slice(&self, ctx: &Ctx, src: &[u8]) -> Result<()> {
+        assert!(src.len() <= self.len, "source longer than allocation");
+        self.with_bytes_mut(ctx, |dst| dst[..src.len()].copy_from_slice(src))
+    }
+
+    /// Copies the bytes out into a fresh `Vec`.
+    pub fn to_vec(&self, ctx: &Ctx) -> Result<Vec<u8>> {
+        self.with_bytes(ctx, |b| b.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MemoryModel;
+
+    #[test]
+    fn alloc_and_read_back() {
+        let m = MemoryModel::new();
+        let ctx = Ctx::immortal(&m);
+        let r = ctx.alloc(String::from("hello")).unwrap();
+        assert_eq!(r.with(&ctx, |s| s.len()).unwrap(), 5);
+        r.with_mut(&ctx, |s| s.push('!')).unwrap();
+        assert_eq!(r.get_clone(&ctx).unwrap(), "hello!");
+        assert!(r.is_live());
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let m = MemoryModel::new();
+        let ctx = Ctx::immortal(&m);
+        let r = ctx.alloc(7u32).unwrap();
+        // Forge a wrongly-typed reference by transmuting via raw parts is
+        // not possible safely; instead check that downcast works and a
+        // cloned ref of the right type succeeds.
+        assert_eq!(r.get_clone(&ctx).unwrap(), 7);
+        let r2 = r.clone();
+        assert_eq!(r2.get_clone(&ctx).unwrap(), 7);
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let m = MemoryModel::new();
+        let s = m.create_scoped(64).unwrap();
+        let mut ctx = Ctx::immortal(&m);
+        ctx.enter(s, |ctx| {
+            // Each u64 costs 8 + 16 header = 24 bytes; third one exceeds 64.
+            ctx.alloc(1u64).unwrap();
+            ctx.alloc(2u64).unwrap();
+            let err = ctx.alloc(3u64).unwrap_err();
+            assert!(matches!(err, RtmemError::OutOfMemory { .. }));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_staleness() {
+        let m = MemoryModel::new();
+        let s = m.create_scoped(1024).unwrap();
+        let mut ctx = Ctx::immortal(&m);
+        let bytes = ctx
+            .enter(s, |ctx| {
+                let b = ctx.alloc_bytes(16).unwrap();
+                b.copy_from_slice(ctx, &[1, 2, 3, 4]).unwrap();
+                assert_eq!(&b.to_vec(ctx).unwrap()[..4], &[1, 2, 3, 4]);
+                b
+            })
+            .unwrap();
+        let ctx2 = Ctx::immortal(&m);
+        assert!(matches!(bytes.to_vec(&ctx2), Err(RtmemError::StaleReference { .. })));
+    }
+
+    #[test]
+    fn bytes_alignment_is_eight() {
+        let m = MemoryModel::new();
+        let ctx = Ctx::immortal(&m);
+        let a = ctx.alloc_bytes(3).unwrap();
+        let b = ctx.alloc_bytes(3).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 3);
+        // Offsets differ by the aligned size (8), observable via usage.
+        let snap = m.snapshot(m.immortal()).unwrap();
+        assert_eq!(snap.used, 16);
+    }
+
+    #[test]
+    fn check_store_in_applies_table1() {
+        let m = MemoryModel::new();
+        let s = m.create_scoped(1024).unwrap();
+        let mut ctx = Ctx::immortal(&m);
+        ctx.enter(s, |ctx| {
+            let in_scope = ctx.alloc(1u8).unwrap();
+            let in_immortal = ctx.alloc_in(m.immortal(), 2u8).unwrap();
+            // Immortal object may not hold a scoped reference…
+            assert!(in_scope.check_store_in(m.immortal()).is_err());
+            // …but a scoped object may hold an immortal reference.
+            assert!(in_immortal.check_store_in(s).is_ok());
+        })
+        .unwrap();
+    }
+}

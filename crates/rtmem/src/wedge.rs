@@ -1,0 +1,182 @@
+//! Wedge handles: keep a scoped region alive without a thread inside it.
+//!
+//! The RTSJ idiom is the *wedge thread pattern* (paper Section 2.2): a
+//! dedicated thread parks inside a scope so its reference count never drops
+//! to zero. [`Wedge`] captures the same effect as an RAII pin; the
+//! Compadres SMM hands these out from `connect()` and releases them in
+//! `disconnect()`.
+
+use std::sync::Arc;
+
+use crate::ctx::Ctx;
+use crate::error::Result;
+use crate::model::{MemoryModel, ModelInner};
+use crate::region::RegionId;
+
+/// An RAII pin on a scoped region.
+///
+/// While a `Wedge` is alive the region cannot be reclaimed. Dropping the
+/// wedge (or calling [`Wedge::disconnect`]) releases the pin; if it was the
+/// last pin the region is reclaimed immediately.
+///
+/// # Examples
+///
+/// ```
+/// use rtmem::{MemoryModel, Ctx, Wedge};
+///
+/// let model = MemoryModel::new();
+/// let scope = model.create_scoped(1024)?;
+/// let mut ctx = Ctx::immortal(&model);
+/// let keepalive = ctx.enter(scope, |ctx| {
+///     let r = ctx.alloc(9u32)?;
+///     Ok::<_, rtmem::RtmemError>((Wedge::pin(ctx, scope)?, r))
+/// })??;
+/// // The scope survived the exit because the wedge pins it.
+/// assert!(keepalive.1.is_live());
+/// keepalive.0.disconnect();
+/// assert!(!keepalive.1.is_live());
+/// # Ok::<(), rtmem::RtmemError>(())
+/// ```
+pub struct Wedge {
+    model: Arc<ModelInner>,
+    region: RegionId,
+    released: bool,
+}
+
+impl std::fmt::Debug for Wedge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Wedge({:?}{})", self.region, if self.released { ", released" } else { "" })
+    }
+}
+
+impl Wedge {
+    /// Pins `region` from the given context. If the region is unparented,
+    /// its parent becomes the context's current allocation context (single
+    /// parent rule), exactly as a wedge thread entering it would do.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::RtmemError::ScopedCycle`] if the region is parented under a
+    /// different region than the context's current one.
+    pub fn pin(ctx: &Ctx, region: RegionId) -> Result<Wedge> {
+        if ctx.stack().contains(&region) {
+            // Pinning a scope we are inside: the wedge thread is already in
+            // the region, no parent binding needed.
+            ctx.model.pin_in_place(region)?;
+        } else {
+            ctx.model.bind_and_pin(region, ctx.current(), false)?;
+        }
+        Ok(Wedge { model: Arc::clone(&ctx.model), region, released: false })
+    }
+
+    /// Pins `region` parenting it (if unparented) directly under immortal
+    /// memory — the shape of a level-1 component scope.
+    pub fn pin_from_base(model: &MemoryModel, region: RegionId) -> Result<Wedge> {
+        Self::pin_under(model, region, model.immortal())
+    }
+
+    /// Pins `region` parenting it (if unparented) under `parent`, without
+    /// requiring a context positioned there. This is what a framework's
+    /// scoped-memory manager does when it materializes a child component
+    /// scope on behalf of a parent (paper §2.2).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::RtmemError::ScopedCycle`] if the region is already parented
+    /// under a different region.
+    pub fn pin_under(model: &MemoryModel, region: RegionId, parent: RegionId) -> Result<Wedge> {
+        model.inner.bind_and_pin(region, parent, false)?;
+        Ok(Wedge { model: Arc::clone(&model.inner), region, released: false })
+    }
+
+    /// The pinned region.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Releases the pin explicitly (equivalent to dropping the wedge).
+    pub fn disconnect(mut self) {
+        self.release();
+    }
+
+    fn release(&mut self) {
+        if !self.released {
+            self.released = true;
+            self.model.unpin(self.region, false);
+        }
+    }
+}
+
+impl Drop for Wedge {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MemoryModel;
+
+    #[test]
+    fn wedge_keeps_scope_alive_across_exits() {
+        let m = MemoryModel::new();
+        let s = m.create_scoped(1024).unwrap();
+        let mut ctx = Ctx::immortal(&m);
+        let (wedge, r) = ctx
+            .enter(s, |ctx| {
+                let r = ctx.alloc(1u8).unwrap();
+                (Wedge::pin(ctx, s).unwrap(), r)
+            })
+            .unwrap();
+        assert!(r.is_live());
+        assert_eq!(m.snapshot(s).unwrap().epoch, 0);
+        drop(wedge);
+        assert!(!r.is_live());
+        assert_eq!(m.snapshot(s).unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn double_wedge_requires_both_released() {
+        let m = MemoryModel::new();
+        let s = m.create_scoped(1024).unwrap();
+        let w1 = Wedge::pin_from_base(&m, s).unwrap();
+        let w2 = Wedge::pin_from_base(&m, s).unwrap();
+        drop(w1);
+        assert_eq!(m.snapshot(s).unwrap().epoch, 0);
+        w2.disconnect();
+        assert_eq!(m.snapshot(s).unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn wedge_from_wrong_parent_rejected() {
+        let m = MemoryModel::new();
+        let a = m.create_scoped(1024).unwrap();
+        let s = m.create_scoped(1024).unwrap();
+        let _w = Wedge::pin_from_base(&m, s).unwrap();
+        let mut ctx = Ctx::immortal(&m);
+        ctx.enter(a, |ctx| {
+            assert!(Wedge::pin(ctx, s).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn wedge_pins_cascade_parent() {
+        // A wedged child keeps its parent alive even with no threads inside.
+        let m = MemoryModel::new();
+        let parent = m.create_scoped(1024).unwrap();
+        let child = m.create_scoped(1024).unwrap();
+        let mut ctx = Ctx::immortal(&m);
+        let w = ctx
+            .enter(parent, |ctx| ctx.enter(child, |ctx| Wedge::pin(ctx, child).unwrap()).unwrap())
+            .unwrap();
+        // Parent has no entered threads but is pinned by the child link.
+        let psnap = m.snapshot(parent).unwrap();
+        assert_eq!(psnap.entered, 0);
+        assert_eq!(psnap.epoch, 0, "parent not reclaimed while child lives");
+        drop(w);
+        assert_eq!(m.snapshot(child).unwrap().epoch, 1);
+        assert_eq!(m.snapshot(parent).unwrap().epoch, 1, "cascade reclaimed parent");
+    }
+}

@@ -1,0 +1,271 @@
+//! Concurrency and stress tests of the scoped-memory model: multiple
+//! threads sharing scopes, pools under contention, and reclamation races.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtmem::{Ctx, MemoryModel, RtmemError, ScopePool, Wedge};
+
+#[test]
+fn many_threads_share_one_scope() {
+    // RTSJ allows several threads inside one scope as long as each enters
+    // with the same parent; the scope reclaims only after the last exit.
+    let model = MemoryModel::new();
+    let scope = model.create_scoped(1 << 20).unwrap();
+    let _w = Wedge::pin_from_base(&model, scope).unwrap();
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let model = model.clone();
+        let counter = Arc::clone(&counter);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = Ctx::no_heap(&model);
+            for _ in 0..200 {
+                ctx.enter(scope, |ctx| {
+                    let r = ctx.alloc(1u64).unwrap();
+                    r.with(ctx, |_| counter.fetch_add(1, Ordering::Relaxed)).unwrap();
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 1600);
+    // Wedge still pins: not reclaimed, all 1600 objects accounted.
+    let snap = model.snapshot(scope).unwrap();
+    assert_eq!(snap.epoch, 0);
+    assert_eq!(snap.stats.objects_allocated, 1600);
+}
+
+#[test]
+fn scope_reclaims_only_after_last_thread() {
+    let model = MemoryModel::new();
+    let scope = model.create_scoped(1 << 16).unwrap();
+    let barrier = Arc::new(std::sync::Barrier::new(4));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let model = model.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = Ctx::no_heap(&model);
+            ctx.enter(scope, |ctx| {
+                let _ = ctx.alloc(7u8).unwrap();
+                barrier.wait(); // everyone inside at once
+            })
+            .unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = model.snapshot(scope).unwrap();
+    assert_eq!(snap.epoch, 1, "exactly one reclamation for the joint occupancy");
+    assert_eq!(snap.used, 0);
+}
+
+#[test]
+fn pool_contention_never_double_leases() {
+    let model = MemoryModel::new();
+    let pool = Arc::new(ScopePool::new(&model, 1, 8 << 10, 3).unwrap());
+    let in_use = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let model = model.clone();
+        let pool = Arc::clone(&pool);
+        let in_use = Arc::clone(&in_use);
+        let peak = Arc::clone(&peak);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = Ctx::no_heap(&model);
+            let mut acquired = 0;
+            while acquired < 100 {
+                match pool.acquire() {
+                    Ok(lease) => {
+                        let now = in_use.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        assert!(now <= 3, "more leases than pooled scopes");
+                        ctx.enter(lease.region(), |ctx| {
+                            let _ = ctx.alloc_bytes(64).unwrap();
+                        })
+                        .unwrap();
+                        in_use.fetch_sub(1, Ordering::SeqCst);
+                        drop(lease);
+                        acquired += 1;
+                    }
+                    Err(RtmemError::PoolExhausted { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(peak.load(Ordering::SeqCst) <= 3);
+    assert_eq!(pool.available(), 3, "all scopes returned");
+}
+
+#[test]
+fn stale_refs_from_other_threads_fail_safely() {
+    let model = MemoryModel::new();
+    let scope = model.create_scoped(1 << 16).unwrap();
+    // Thread A creates an object and leaks the reference out.
+    let leaked = {
+        let mut ctx = Ctx::no_heap(&model);
+        ctx.enter(scope, |ctx| ctx.alloc(String::from("transient")).unwrap())
+            .unwrap()
+    };
+    // The scope has been reclaimed; any thread using the ref gets a
+    // clean error, never garbage.
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let model = model.clone();
+        let leaked = leaked.clone();
+        handles.push(std::thread::spawn(move || {
+            let ctx = Ctx::no_heap(&model);
+            assert!(matches!(
+                leaked.with(&ctx, |s| s.len()),
+                Err(RtmemError::StaleReference { .. })
+            ));
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn sibling_isolation_under_concurrency() {
+    // Two threads in sibling scopes can only share through the parent.
+    let model = MemoryModel::new();
+    let parent = model.create_scoped(1 << 18).unwrap();
+    let left = model.create_scoped(1 << 14).unwrap();
+    let right = model.create_scoped(1 << 14).unwrap();
+    let _wp = Wedge::pin_from_base(&model, parent).unwrap();
+    let _wl = Wedge::pin_under(&model, left, parent).unwrap();
+    let _wr = Wedge::pin_under(&model, right, parent).unwrap();
+
+    let mut seed_ctx = Ctx::no_heap(&model);
+    let mailbox = seed_ctx
+        .enter(parent, |ctx| ctx.alloc(Vec::<u32>::new()).unwrap())
+        .unwrap();
+
+    let mut handles = Vec::new();
+    for (scope, base) in [(left, 0u32), (right, 1_000u32)] {
+        let model = model.clone();
+        let mailbox = mailbox.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = Ctx::no_heap(&model);
+            ctx.enter(parent, |ctx| {
+                ctx.enter(scope, |ctx| {
+                    // Private allocation in my own scope…
+                    let private = ctx.alloc(base).unwrap();
+                    assert_eq!(private.get_clone(ctx).unwrap(), base);
+                    // …and communication through the parent mailbox only.
+                    for i in 0..50 {
+                        mailbox.with_mut(ctx, |v| v.push(base + i)).unwrap();
+                    }
+                })
+                .unwrap();
+            })
+            .unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut ctx = Ctx::no_heap(&model);
+    ctx.enter(parent, |ctx| {
+        mailbox
+            .with(ctx, |v| {
+                assert_eq!(v.len(), 100);
+                assert_eq!(v.iter().filter(|&&x| x < 1_000).count(), 50);
+            })
+            .unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn wedge_drop_race_with_enter() {
+    // Repeatedly: one thread holds a wedge and drops it while another
+    // enters/exits; the region must end in a consistent state each round.
+    let model = MemoryModel::new();
+    for _ in 0..50 {
+        let scope = model.create_scoped(4 << 10).unwrap();
+        let wedge = Wedge::pin_from_base(&model, scope).unwrap();
+        let model2 = model.clone();
+        let t = std::thread::spawn(move || {
+            let mut ctx = Ctx::no_heap(&model2);
+            // May race with the wedge drop; entering after reclamation
+            // re-parents the fresh epoch, which is legal.
+            let _ = ctx.enter(scope, |ctx| {
+                let _ = ctx.alloc(1u8);
+            });
+        });
+        std::thread::sleep(Duration::from_micros(50));
+        drop(wedge);
+        t.join().unwrap();
+        let snap = model.snapshot(scope).unwrap();
+        assert_eq!(snap.entered, 0);
+        assert_eq!(snap.pins, 0);
+        assert_eq!(snap.used, 0, "fully reclaimed after both parties left");
+        model.destroy_scoped(scope).unwrap();
+    }
+}
+
+#[test]
+fn vt_memory_grows_lazily_and_reclaims() {
+    // VTMemory: constant-time creation (no eager zeroing), geometric
+    // growth under allocation, same reclamation semantics.
+    let model = MemoryModel::new();
+    let vt = model.create_scoped_vt(1 << 20).unwrap();
+    let mut ctx = Ctx::no_heap(&model);
+    ctx.enter(vt, |ctx| {
+        let mut refs = Vec::new();
+        for i in 0..100 {
+            let b = ctx.alloc_bytes(1024).unwrap();
+            b.copy_from_slice(ctx, &[i as u8; 16]).unwrap();
+            refs.push(b);
+        }
+        assert_eq!(refs[0].to_vec(ctx).unwrap()[..16], [0u8; 16]);
+        assert_eq!(refs[99].to_vec(ctx).unwrap()[..16], [99u8; 16]);
+    })
+    .unwrap();
+    let snap = model.snapshot(vt).unwrap();
+    assert!(snap.kind.is_scoped());
+    assert_eq!(snap.used, 0, "VT scope reclaimed on exit too");
+    assert_eq!(snap.epoch, 1);
+    model.destroy_scoped(vt).unwrap();
+}
+
+#[test]
+fn vt_memory_respects_budget() {
+    let model = MemoryModel::new();
+    let vt = model.create_scoped_vt(4096).unwrap();
+    let mut ctx = Ctx::no_heap(&model);
+    ctx.enter(vt, |ctx| {
+        ctx.alloc_bytes(4000).unwrap();
+        assert!(matches!(ctx.alloc_bytes(200), Err(RtmemError::OutOfMemory { .. })));
+    })
+    .unwrap();
+    model.destroy_scoped(vt).unwrap();
+}
+
+#[test]
+fn all_snapshots_inventories_live_regions() {
+    let model = MemoryModel::new();
+    let a = model.create_scoped(1 << 12).unwrap();
+    let b = model.create_scoped_vt(1 << 12).unwrap();
+    let snaps = model.all_snapshots();
+    assert_eq!(snaps.len(), 4, "heap + immortal + 2 scoped");
+    assert!(snaps.iter().any(|s| s.id == a));
+    assert!(snaps.iter().any(|s| s.id == b));
+    model.destroy_scoped(a).unwrap();
+    let snaps = model.all_snapshots();
+    assert_eq!(snaps.len(), 3);
+    assert!(!snaps.iter().any(|s| s.id == a));
+}

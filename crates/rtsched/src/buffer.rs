@@ -1,0 +1,287 @@
+//! Bounded message buffers.
+//!
+//! Every Compadres in-port owns a bounded buffer whose size comes from the
+//! CCL `PortAttributes/BufferSize` element. This module implements that
+//! buffer with a configurable overflow policy.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// What to do when a bounded buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Block the producer until space is available (default).
+    #[default]
+    Block,
+    /// Reject the new element; `push` returns [`PushOutcome::Rejected`].
+    Reject,
+    /// Drop the oldest queued element to make room.
+    DropOldest,
+}
+
+/// Result of a non-blocking or policy-driven push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The element was enqueued.
+    Enqueued,
+    /// The element was enqueued after evicting the oldest one.
+    EvictedOldest,
+    /// The buffer was full and the element was rejected.
+    Rejected,
+    /// The buffer is closed.
+    Closed,
+}
+
+struct Shared<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    rejected: u64,
+    evicted: u64,
+}
+
+/// A bounded FIFO buffer with overflow policy and close semantics.
+///
+/// # Examples
+///
+/// ```
+/// use rtsched::{BoundedBuffer, OverflowPolicy, PushOutcome};
+///
+/// let buf = BoundedBuffer::new(2, OverflowPolicy::Reject);
+/// assert_eq!(buf.push(1), PushOutcome::Enqueued);
+/// assert_eq!(buf.push(2), PushOutcome::Enqueued);
+/// assert_eq!(buf.push(3), PushOutcome::Rejected);
+/// assert_eq!(buf.try_pop(), Some(1));
+/// ```
+pub struct BoundedBuffer<T> {
+    shared: Mutex<Shared<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    policy: OverflowPolicy,
+}
+
+impl<T> std::fmt::Debug for BoundedBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.shared.lock();
+        f.debug_struct("BoundedBuffer")
+            .field("capacity", &self.capacity)
+            .field("len", &g.queue.len())
+            .field("policy", &self.policy)
+            .field("closed", &g.closed)
+            .finish()
+    }
+}
+
+impl<T> BoundedBuffer<T> {
+    /// Creates a buffer holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        BoundedBuffer {
+            shared: Mutex::new(Shared {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+                rejected: 0,
+                evicted: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            policy,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Configured overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Enqueues `item` according to the overflow policy.
+    pub fn push(&self, item: T) -> PushOutcome {
+        let mut g = self.shared.lock();
+        loop {
+            if g.closed {
+                return PushOutcome::Closed;
+            }
+            if g.queue.len() < self.capacity {
+                g.queue.push_back(item);
+                drop(g);
+                self.not_empty.notify_one();
+                return PushOutcome::Enqueued;
+            }
+            match self.policy {
+                OverflowPolicy::Block => {
+                    self.not_full.wait(&mut g);
+                }
+                OverflowPolicy::Reject => {
+                    g.rejected += 1;
+                    return PushOutcome::Rejected;
+                }
+                OverflowPolicy::DropOldest => {
+                    g.queue.pop_front();
+                    g.evicted += 1;
+                    g.queue.push_back(item);
+                    drop(g);
+                    self.not_empty.notify_one();
+                    return PushOutcome::EvictedOldest;
+                }
+            }
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut g = self.shared.lock();
+        let item = g.queue.pop_front();
+        if item.is_some() {
+            drop(g);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Dequeues, blocking until an element arrives or the buffer closes.
+    /// Returns `None` once closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.shared.lock();
+        loop {
+            if let Some(item) = g.queue.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut g);
+        }
+    }
+
+    /// Dequeues, blocking for at most `timeout`.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.shared.lock();
+        loop {
+            if let Some(item) = g.queue.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            if self.not_empty.wait_until(&mut g, deadline).timed_out() {
+                return g.queue.pop_front();
+            }
+        }
+    }
+
+    /// Closes the buffer: producers fail, consumers drain then get `None`.
+    pub fn close(&self) {
+        self.shared.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether the buffer is closed.
+    pub fn is_closed(&self) -> bool {
+        self.shared.lock().closed
+    }
+
+    /// Current number of queued elements.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of elements rejected (Reject policy) so far.
+    pub fn rejected(&self) -> u64 {
+        self.shared.lock().rejected
+    }
+
+    /// Number of elements evicted (DropOldest policy) so far.
+    pub fn evicted(&self) -> u64 {
+        self.shared.lock().evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedBuffer::<u8>::new(0, OverflowPolicy::Block);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let b = BoundedBuffer::new(4, OverflowPolicy::Reject);
+        for i in 0..4 {
+            assert_eq!(b.push(i), PushOutcome::Enqueued);
+        }
+        for i in 0..4 {
+            assert_eq!(b.try_pop(), Some(i));
+        }
+        assert_eq!(b.try_pop(), None);
+    }
+
+    #[test]
+    fn drop_oldest_policy() {
+        let b = BoundedBuffer::new(2, OverflowPolicy::DropOldest);
+        b.push(1);
+        b.push(2);
+        assert_eq!(b.push(3), PushOutcome::EvictedOldest);
+        assert_eq!(b.evicted(), 1);
+        assert_eq!(b.try_pop(), Some(2));
+        assert_eq!(b.try_pop(), Some(3));
+    }
+
+    #[test]
+    fn reject_policy_counts() {
+        let b = BoundedBuffer::new(1, OverflowPolicy::Reject);
+        b.push(1);
+        assert_eq!(b.push(2), PushOutcome::Rejected);
+        assert_eq!(b.push(3), PushOutcome::Rejected);
+        assert_eq!(b.rejected(), 2);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let b = Arc::new(BoundedBuffer::new(1, OverflowPolicy::Block));
+        b.push(1);
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.push(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.try_pop(), Some(1));
+        assert_eq!(h.join().unwrap(), PushOutcome::Enqueued);
+        assert_eq!(b.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_unblocks_everyone() {
+        let b = Arc::new(BoundedBuffer::<u8>::new(1, OverflowPolicy::Block));
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        b.close();
+        assert_eq!(h.join().unwrap(), None);
+        assert_eq!(b.push(9), PushOutcome::Closed);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rtsched — real-time scheduling substrate for the Compadres reproduction
+//!
+//! Provides the threading machinery the Compadres component framework
+//! (Hu et al., MIDDLEWARE 2007) attaches to every in-port:
+//!
+//! * [`Priority`] — message/thread priorities (messages are prioritized at
+//!   `send()`, paper Section 2.2);
+//! * [`PriorityFifo`] — priority-ordered FIFO dispatch queues;
+//! * [`BoundedBuffer`] — the per-port bounded message buffer
+//!   (CCL `BufferSize`);
+//! * [`ThreadPool`] — dynamic min/max thread pools whose workers inherit
+//!   the priority of the message they process;
+//! * [`RtThreadBuilder`] / [`current_priority`] — prioritized threads;
+//! * [`LatencyRecorder`] / [`SteadyState`] — the paper's measurement
+//!   protocol (steady state, 10 000 observations, median + jitter).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod buffer;
+mod periodic;
+mod pool;
+mod priority;
+mod queue;
+mod thread;
+mod time;
+
+pub use buffer::{BoundedBuffer, OverflowPolicy, PushOutcome};
+pub use periodic::PeriodicTimer;
+pub use pool::{Job, PoolConfig, ThreadPool};
+pub use priority::Priority;
+pub use queue::PriorityFifo;
+pub use thread::{current_priority, with_priority, RtThreadBuilder};
+pub use time::{LatencyRecorder, LatencySummary, SteadyState};

@@ -1,0 +1,241 @@
+//! Periodic releases — the RTSJ `PeriodicParameters` analog.
+//!
+//! DRE workloads (the paper's motivating domain) are dominated by periodic
+//! tasks: sample a sensor every T, refresh an actuator every T. A
+//! [`PeriodicTimer`] releases a closure on a drift-free absolute schedule
+//! (release *n* happens at `start + n·T`, not `previous + T`) at a fixed
+//! priority, and records per-release jitter — the deviation between the
+//! ideal and actual release instant.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::priority::Priority;
+use crate::thread::with_priority;
+use crate::time::{LatencyRecorder, LatencySummary};
+
+struct TimerShared {
+    stop: AtomicBool,
+    releases: AtomicU64,
+    overruns: AtomicU64,
+    jitter: Mutex<LatencyRecorder>,
+}
+
+/// A drift-free periodic release source.
+///
+/// # Examples
+///
+/// ```
+/// use rtsched::{PeriodicTimer, Priority};
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let n = Arc::new(AtomicU32::new(0));
+/// let n2 = Arc::clone(&n);
+/// let timer = PeriodicTimer::spawn(
+///     "sampler",
+///     Duration::from_millis(5),
+///     Priority::new(20),
+///     move || { n2.fetch_add(1, Ordering::SeqCst); },
+/// );
+/// std::thread::sleep(Duration::from_millis(60));
+/// timer.stop();
+/// assert!(n.load(Ordering::SeqCst) >= 5);
+/// ```
+pub struct PeriodicTimer {
+    shared: Arc<TimerShared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    period: Duration,
+}
+
+impl std::fmt::Debug for PeriodicTimer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeriodicTimer")
+            .field("period", &self.period)
+            .field("releases", &self.releases())
+            .finish()
+    }
+}
+
+impl PeriodicTimer {
+    /// Spawns a releaser thread firing `task` every `period` at
+    /// `priority`, starting one period from now.
+    ///
+    /// If a release overruns its period, subsequent releases are *skipped*
+    /// (not batched) and counted as overruns — the deadline-miss policy
+    /// appropriate for sensor-style tasks where stale work is worthless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or the thread cannot be spawned.
+    pub fn spawn(
+        name: impl Into<String>,
+        period: Duration,
+        priority: Priority,
+        mut task: impl FnMut() + Send + 'static,
+    ) -> PeriodicTimer {
+        assert!(!period.is_zero(), "period must be positive");
+        let shared = Arc::new(TimerShared {
+            stop: AtomicBool::new(false),
+            releases: AtomicU64::new(0),
+            overruns: AtomicU64::new(0),
+            jitter: Mutex::new(LatencyRecorder::new()),
+        });
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(name.into())
+            .spawn(move || {
+                with_priority(priority, || {
+                    let start = Instant::now();
+                    let mut n: u32 = 1;
+                    'run: while !shared2.stop.load(Ordering::SeqCst) {
+                        let ideal = start + period * n;
+                        // Sleep in bounded chunks so stop() is responsive
+                        // even for long periods.
+                        loop {
+                            if shared2.stop.load(Ordering::SeqCst) {
+                                break 'run;
+                            }
+                            let now = Instant::now();
+                            if now >= ideal {
+                                break;
+                            }
+                            std::thread::sleep((ideal - now).min(Duration::from_millis(5)));
+                        }
+                        let release_error = Instant::now().saturating_duration_since(ideal);
+                        shared2.jitter.lock().record(release_error);
+                        task();
+                        shared2.releases.fetch_add(1, Ordering::SeqCst);
+                        // Drift-free schedule: compute the next ideal
+                        // release strictly after "now", skipping missed
+                        // ones.
+                        let elapsed = start.elapsed();
+                        let next = (elapsed.as_nanos() / period.as_nanos()) as u32 + 1;
+                        if next > n + 1 {
+                            shared2
+                                .overruns
+                                .fetch_add(u64::from(next - n - 1), Ordering::SeqCst);
+                        }
+                        n = next.max(n + 1);
+                    }
+                });
+            })
+            .expect("spawn periodic releaser");
+        PeriodicTimer { shared, handle: Mutex::new(Some(handle)), period }
+    }
+
+    /// The configured period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Number of completed releases.
+    pub fn releases(&self) -> u64 {
+        self.shared.releases.load(Ordering::SeqCst)
+    }
+
+    /// Number of releases skipped because the task overran its period.
+    pub fn overruns(&self) -> u64 {
+        self.shared.overruns.load(Ordering::SeqCst)
+    }
+
+    /// Release-jitter summary (deviation of actual from ideal release
+    /// instants), if any releases happened.
+    pub fn jitter_summary(&self) -> Option<LatencySummary> {
+        let rec = self.shared.jitter.lock();
+        if rec.is_empty() {
+            None
+        } else {
+            Some(rec.summary())
+        }
+    }
+
+    /// Stops the releaser and joins its thread. Statistics remain
+    /// queryable afterwards.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PeriodicTimer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn fires_approximately_on_schedule() {
+        let count = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&count);
+        let timer = PeriodicTimer::spawn("t", Duration::from_millis(10), Priority::NORM, move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(105));
+        timer.stop();
+        let n = count.load(Ordering::SeqCst);
+        assert!((5..=12).contains(&n), "expected ~10 releases, got {n}");
+    }
+
+    #[test]
+    fn records_release_jitter() {
+        let timer =
+            PeriodicTimer::spawn("t", Duration::from_millis(5), Priority::new(30), || {});
+        std::thread::sleep(Duration::from_millis(40));
+        timer.stop();
+        let s = timer.jitter_summary().expect("releases happened");
+        assert!(s.count >= 3);
+        // Release error is non-negative by construction and small on an
+        // idle host.
+        assert!(s.max < Duration::from_millis(50));
+        assert_eq!(timer.overruns(), 0);
+    }
+
+    #[test]
+    fn overruns_are_skipped_not_batched() {
+        let count = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&count);
+        let timer = PeriodicTimer::spawn("t", Duration::from_millis(5), Priority::NORM, move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            // Overrun two periods on the first release.
+            if c.load(Ordering::SeqCst) == 1 {
+                std::thread::sleep(Duration::from_millis(14));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        timer.stop();
+        assert!(timer.overruns() >= 1, "the long release skipped at least one period");
+        // No burst of catch-up releases: total stays near the ideal count.
+        assert!(count.load(Ordering::SeqCst) <= 12);
+    }
+
+    #[test]
+    fn stop_joins_quickly() {
+        let timer = PeriodicTimer::spawn("t", Duration::from_secs(5), Priority::NORM, || {
+            panic!("must never fire");
+        });
+        let t = Instant::now();
+        timer.stop();
+        // The releaser sleeps in bounded chunks, so stopping never waits
+        // out the 5 s period.
+        assert!(t.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = PeriodicTimer::spawn("t", Duration::ZERO, Priority::NORM, || {});
+    }
+}

@@ -1,0 +1,294 @@
+//! Dynamic thread pools with message-priority inheritance.
+//!
+//! Each Compadres in-port is served by a thread pool sized between the CCL
+//! `MinThreadpoolSize` and `MaxThreadpoolSize` values; a worker executing a
+//! message assumes the message's priority (paper Section 2.2). A pool of
+//! size 0/0 means the sender's thread executes the handler synchronously —
+//! that mode lives in the framework, not here.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::priority::Priority;
+use crate::queue::PriorityFifo;
+
+/// A unit of work: runs at the priority of the message that triggered it.
+pub type Job<S> = Box<dyn FnOnce(&mut S, Priority) + Send + 'static>;
+
+/// Pool configuration, mirroring the CCL `PortAttributes` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Threads started eagerly and kept alive.
+    pub min_threads: usize,
+    /// Upper bound on concurrently live threads.
+    pub max_threads: usize,
+    /// Base priority of idle workers.
+    pub idle_priority: Priority,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { min_threads: 1, max_threads: 4, idle_priority: Priority::MIN }
+    }
+}
+
+struct PoolShared<S> {
+    queue: PriorityFifo<Job<S>>,
+    live: AtomicUsize,
+    busy: AtomicUsize,
+    spawned_total: AtomicU64,
+    executed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A dynamic thread pool whose workers carry per-worker state of type `S`
+/// (the framework uses this for each worker's memory-model context).
+///
+/// Workers start at `min_threads`; when a job is submitted and every live
+/// worker is busy, a new worker is spawned up to `max_threads`. Each job
+/// runs at its message priority (priority inheritance). Worker panics are
+/// contained and counted.
+pub struct ThreadPool<S: Send + 'static> {
+    shared: Arc<PoolShared<S>>,
+    config: PoolConfig,
+    factory: Arc<dyn Fn() -> S + Send + Sync>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<S: Send + 'static> std::fmt::Debug for ThreadPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("config", &self.config)
+            .field("live", &self.live_threads())
+            .field("queued", &self.shared.queue.len())
+            .finish()
+    }
+}
+
+impl<S: Send + 'static> ThreadPool<S> {
+    /// Creates a pool; `factory` builds the per-worker state on the worker
+    /// thread itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_threads == 0` or `min_threads > max_threads`.
+    pub fn new(config: PoolConfig, factory: impl Fn() -> S + Send + Sync + 'static) -> Self {
+        assert!(config.max_threads > 0, "max_threads must be positive");
+        assert!(
+            config.min_threads <= config.max_threads,
+            "min_threads must not exceed max_threads"
+        );
+        let pool = ThreadPool {
+            shared: Arc::new(PoolShared {
+                queue: PriorityFifo::new(),
+                live: AtomicUsize::new(0),
+                busy: AtomicUsize::new(0),
+                spawned_total: AtomicU64::new(0),
+                executed: AtomicU64::new(0),
+                panicked: AtomicU64::new(0),
+            }),
+            config,
+            factory: Arc::new(factory),
+            handles: Mutex::new(Vec::new()),
+        };
+        for _ in 0..config.min_threads {
+            pool.spawn_worker();
+        }
+        pool
+    }
+
+    fn spawn_worker(&self) {
+        let shared = Arc::clone(&self.shared);
+        let factory = Arc::clone(&self.factory);
+        shared.live.fetch_add(1, Ordering::SeqCst);
+        shared.spawned_total.fetch_add(1, Ordering::Relaxed);
+        let handle = std::thread::Builder::new()
+            .name("compadres-port-worker".into())
+            .spawn(move || {
+                let mut state = factory();
+                while let Some((priority, job)) = shared.queue.pop() {
+                    shared.busy.fetch_add(1, Ordering::SeqCst);
+                    // Priority inheritance: run the handler at the
+                    // message's priority.
+                    crate::thread::with_priority(priority, || {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| job(&mut state, priority)));
+                        if outcome.is_err() {
+                            shared.panicked.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                    shared.executed.fetch_add(1, Ordering::Relaxed);
+                    shared.busy.fetch_sub(1, Ordering::SeqCst);
+                }
+                shared.live.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("failed to spawn pool worker");
+        self.handles.lock().push(handle);
+    }
+
+    /// Submits a job at `priority`. Grows the pool if all workers are busy
+    /// and the maximum has not been reached. Returns `false` after
+    /// [`ThreadPool::shutdown`].
+    pub fn execute(&self, priority: Priority, job: impl FnOnce(&mut S, Priority) + Send + 'static) -> bool {
+        if self.shared.queue.is_closed() {
+            return false;
+        }
+        let live = self.shared.live.load(Ordering::SeqCst);
+        let busy = self.shared.busy.load(Ordering::SeqCst);
+        let backlog = self.shared.queue.len();
+        if (busy + backlog >= live || live == 0) && live < self.config.max_threads {
+            self.spawn_worker();
+        }
+        self.shared.queue.push(priority, Box::new(job))
+    }
+
+    /// Number of currently live worker threads.
+    pub fn live_threads(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
+    }
+
+    /// Number of jobs executed so far.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Number of jobs whose handler panicked (contained).
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Total workers spawned over the pool's lifetime.
+    pub fn spawned_total(&self) -> u64 {
+        self.shared.spawned_total.load(Ordering::Relaxed)
+    }
+
+    /// Drains outstanding jobs and joins all workers.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Waits until the queue is empty and no worker is busy (best-effort
+    /// quiescence, for tests and benchmarks).
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.shared.queue.is_empty() && self.shared.busy.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        false
+    }
+}
+
+impl<S: Send + 'static> Drop for ThreadPool<S> {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn executes_jobs_with_state() {
+        let counter = Arc::new(AtomicU32::new(0));
+        let pool = ThreadPool::new(PoolConfig { min_threads: 2, max_threads: 4, ..Default::default() }, || 0u32);
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(Priority::NORM, move |state, _| {
+                *state += 1;
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert!(pool.wait_idle(Duration::from_secs(5)));
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.executed(), 100);
+    }
+
+    #[test]
+    fn grows_up_to_max() {
+        let pool = ThreadPool::new(PoolConfig { min_threads: 1, max_threads: 3, ..Default::default() }, || ());
+        let gate = Arc::new(std::sync::Barrier::new(4));
+        for _ in 0..3 {
+            let g = Arc::clone(&gate);
+            pool.execute(Priority::NORM, move |_, _| {
+                g.wait();
+            });
+        }
+        // All three jobs block on the barrier; the pool must have grown to 3.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(pool.live_threads(), 3);
+        gate.wait();
+        assert!(pool.wait_idle(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn job_priority_is_inherited() {
+        let pool = ThreadPool::new(PoolConfig { min_threads: 1, max_threads: 1, ..Default::default() }, || ());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        pool.execute(Priority::new(42), move |_, p| {
+            s.lock().push((p, crate::thread::current_priority()));
+        });
+        assert!(pool.wait_idle(Duration::from_secs(5)));
+        let v = seen.lock();
+        assert_eq!(v[0].0, Priority::new(42));
+        assert_eq!(v[0].1, Priority::new(42));
+    }
+
+    #[test]
+    fn panicking_job_is_contained() {
+        let pool = ThreadPool::new(PoolConfig { min_threads: 1, max_threads: 1, ..Default::default() }, || ());
+        pool.execute(Priority::NORM, |_, _| panic!("handler bug"));
+        let done = Arc::new(AtomicU32::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(Priority::NORM, move |_, _| {
+            d.store(1, Ordering::SeqCst);
+        });
+        assert!(pool.wait_idle(Duration::from_secs(5)));
+        assert_eq!(pool.panicked(), 1);
+        assert_eq!(done.load(Ordering::SeqCst), 1, "pool survived the panic");
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let pool = ThreadPool::new(PoolConfig::default(), || ());
+        pool.shutdown();
+        assert!(!pool.execute(Priority::NORM, |_, _| {}));
+        assert_eq!(pool.live_threads(), 0);
+    }
+
+    #[test]
+    fn high_priority_jobs_run_first() {
+        // Single worker; queue several jobs while it is blocked, then check
+        // execution order respects priority.
+        let pool = ThreadPool::new(PoolConfig { min_threads: 1, max_threads: 1, ..Default::default() }, || ());
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&gate);
+        pool.execute(Priority::NORM, move |_, _| {
+            g.wait();
+        });
+        for (pr, tag) in [(1u8, "low"), (90, "high"), (40, "mid")] {
+            let o = Arc::clone(&order);
+            pool.execute(Priority::new(pr), move |_, _| o.lock().push(tag));
+        }
+        gate.wait();
+        assert!(pool.wait_idle(Duration::from_secs(5)));
+        assert_eq!(*order.lock(), vec!["high", "mid", "low"]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Message and thread priorities.
+//!
+//! Compadres assigns a priority to every message at `send()` time; the
+//! thread that processes the message inherits that priority (paper
+//! Section 2.2). This module provides the priority type shared by queues,
+//! pools and threads.
+
+use std::fmt;
+
+/// A real-time priority. Higher values are more urgent, matching RTSJ
+/// `PriorityParameters`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(u8);
+
+impl Priority {
+    /// Lowest real-time priority.
+    pub const MIN: Priority = Priority(1);
+    /// Default priority for unmarked messages.
+    pub const NORM: Priority = Priority(5);
+    /// Highest real-time priority.
+    pub const MAX: Priority = Priority(99);
+
+    /// Creates a priority, clamping into `[MIN, MAX]`.
+    pub fn new(value: u8) -> Priority {
+        Priority(value.clamp(Self::MIN.0, Self::MAX.0))
+    }
+
+    /// The raw priority value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// A priority one level higher (saturating at [`Priority::MAX`]).
+    pub fn boosted(self) -> Priority {
+        Priority::new(self.0.saturating_add(1))
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORM
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u8> for Priority {
+    fn from(v: u8) -> Self {
+        Priority::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping() {
+        assert_eq!(Priority::new(0), Priority::MIN);
+        assert_eq!(Priority::new(255), Priority::MAX);
+        assert_eq!(Priority::new(7).value(), 7);
+    }
+
+    #[test]
+    fn ordering_is_by_urgency() {
+        assert!(Priority::new(10) > Priority::new(2));
+        assert!(Priority::MIN < Priority::NORM);
+        assert!(Priority::NORM < Priority::MAX);
+    }
+
+    #[test]
+    fn boost_saturates() {
+        assert_eq!(Priority::new(5).boosted().value(), 6);
+        assert_eq!(Priority::MAX.boosted(), Priority::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Priority::new(42).to_string(), "p42");
+    }
+}

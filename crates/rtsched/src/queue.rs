@@ -1,0 +1,221 @@
+//! Priority-ordered FIFO queue.
+//!
+//! Messages of higher priority are dequeued first; messages of equal
+//! priority preserve arrival order (FIFO within a priority band) — the
+//! dispatch order Compadres in-ports rely on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::priority::Priority;
+
+struct Entry<T> {
+    priority: Priority,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher priority first; among equals, lower seq first.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Shared<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// An unbounded priority FIFO usable from multiple threads.
+///
+/// # Examples
+///
+/// ```
+/// use rtsched::{PriorityFifo, Priority};
+///
+/// let q = PriorityFifo::new();
+/// q.push(Priority::new(1), "low");
+/// q.push(Priority::new(9), "high");
+/// q.push(Priority::new(9), "high-2");
+/// assert_eq!(q.try_pop(), Some((Priority::new(9), "high")));
+/// assert_eq!(q.try_pop(), Some((Priority::new(9), "high-2")));
+/// assert_eq!(q.try_pop(), Some((Priority::new(1), "low")));
+/// ```
+pub struct PriorityFifo<T> {
+    shared: Mutex<Shared<T>>,
+    cond: Condvar,
+}
+
+impl<T> Default for PriorityFifo<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for PriorityFifo<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.shared.lock();
+        f.debug_struct("PriorityFifo")
+            .field("len", &g.heap.len())
+            .field("closed", &g.closed)
+            .finish()
+    }
+}
+
+impl<T> PriorityFifo<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PriorityFifo {
+            shared: Mutex::new(Shared { heap: BinaryHeap::new(), next_seq: 0, closed: false }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` at `priority`. Returns `false` if the queue has been
+    /// closed (the item is dropped).
+    pub fn push(&self, priority: Priority, item: T) -> bool {
+        let mut g = self.shared.lock();
+        if g.closed {
+            return false;
+        }
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.heap.push(Entry { priority, seq, item });
+        drop(g);
+        self.cond.notify_one();
+        true
+    }
+
+    /// Dequeues the most urgent item without blocking.
+    pub fn try_pop(&self) -> Option<(Priority, T)> {
+        let mut g = self.shared.lock();
+        g.heap.pop().map(|e| (e.priority, e.item))
+    }
+
+    /// Dequeues, blocking until an item arrives or the queue is closed.
+    /// Returns `None` once closed *and* drained.
+    pub fn pop(&self) -> Option<(Priority, T)> {
+        let mut g = self.shared.lock();
+        loop {
+            if let Some(e) = g.heap.pop() {
+                return Some((e.priority, e.item));
+            }
+            if g.closed {
+                return None;
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+
+    /// Dequeues, blocking for at most `timeout`.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<(Priority, T)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.shared.lock();
+        loop {
+            if let Some(e) = g.heap.pop() {
+                return Some((e.priority, e.item));
+            }
+            if g.closed {
+                return None;
+            }
+            if self.cond.wait_until(&mut g, deadline).timed_out() {
+                return g.heap.pop().map(|e| (e.priority, e.item));
+            }
+        }
+    }
+
+    /// Closes the queue: further pushes fail, blocked poppers drain and
+    /// then observe `None`.
+    pub fn close(&self) {
+        self.shared.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.shared.lock().closed
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.shared.lock().heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_priority_band() {
+        let q = PriorityFifo::new();
+        for i in 0..10 {
+            q.push(Priority::NORM, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.try_pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let q = PriorityFifo::new();
+        q.push(Priority::new(1), "a");
+        q.push(Priority::new(50), "b");
+        q.push(Priority::new(25), "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.try_pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = PriorityFifo::new();
+        q.push(Priority::NORM, 1);
+        q.close();
+        assert!(!q.push(Priority::NORM, 2));
+        assert_eq!(q.pop(), Some((Priority::NORM, 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(PriorityFifo::new());
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(Priority::MAX, 7u32);
+        assert_eq!(h.join().unwrap(), Some((Priority::MAX, 7)));
+    }
+
+    #[test]
+    fn pop_timeout_expires() {
+        let q: PriorityFifo<u8> = PriorityFifo::new();
+        let start = std::time::Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(30)), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+}

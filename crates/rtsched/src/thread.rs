@@ -1,0 +1,129 @@
+//! Real-time thread bookkeeping.
+//!
+//! Hard OS-level priorities are not portably settable from user space, so —
+//! as documented in DESIGN.md — priorities are honored *inside* the
+//! framework (queues and pools) and tracked per thread here. This mirrors
+//! where the paper's mechanism actually lives: messages carry priorities
+//! and handler threads assume them.
+
+use std::cell::Cell;
+use std::thread::JoinHandle;
+
+use crate::priority::Priority;
+
+thread_local! {
+    static CURRENT_PRIORITY: Cell<Priority> = const { Cell::new(Priority::NORM) };
+}
+
+/// The priority the current thread is executing at.
+pub fn current_priority() -> Priority {
+    CURRENT_PRIORITY.with(|p| p.get())
+}
+
+/// Runs `f` with the current thread's priority set to `priority`,
+/// restoring the previous value afterwards (also on panic).
+pub fn with_priority<R>(priority: Priority, f: impl FnOnce() -> R) -> R {
+    struct Restore(Priority);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_PRIORITY.with(|p| p.set(self.0));
+        }
+    }
+    let prev = current_priority();
+    CURRENT_PRIORITY.with(|p| p.set(priority));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Builder for named, prioritized threads — the `RealtimeThread` analog.
+///
+/// # Examples
+///
+/// ```
+/// use rtsched::{RtThreadBuilder, Priority, current_priority};
+///
+/// let handle = RtThreadBuilder::new("worker")
+///     .priority(Priority::new(20))
+///     .spawn(|| current_priority())
+///     .unwrap();
+/// assert_eq!(handle.join().unwrap(), Priority::new(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RtThreadBuilder {
+    name: String,
+    priority: Priority,
+}
+
+impl RtThreadBuilder {
+    /// Creates a builder for a thread with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RtThreadBuilder { name: name.into(), priority: Priority::NORM }
+    }
+
+    /// Sets the thread's base priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Spawns the thread; `f` runs with [`current_priority`] preset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS spawn failure, if any.
+    pub fn spawn<R: Send + 'static>(
+        self,
+        f: impl FnOnce() -> R + Send + 'static,
+    ) -> std::io::Result<JoinHandle<R>> {
+        let priority = self.priority;
+        std::thread::Builder::new()
+            .name(self.name)
+            .spawn(move || with_priority(priority, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_priority_is_norm() {
+        assert_eq!(current_priority(), Priority::NORM);
+    }
+
+    #[test]
+    fn with_priority_restores() {
+        with_priority(Priority::new(9), || {
+            assert_eq!(current_priority(), Priority::new(9));
+            with_priority(Priority::new(77), || {
+                assert_eq!(current_priority(), Priority::new(77));
+            });
+            assert_eq!(current_priority(), Priority::new(9));
+        });
+        assert_eq!(current_priority(), Priority::NORM);
+    }
+
+    #[test]
+    fn with_priority_restores_on_panic() {
+        let _ = std::panic::catch_unwind(|| {
+            with_priority(Priority::MAX, || panic!("x"));
+        });
+        assert_eq!(current_priority(), Priority::NORM);
+    }
+
+    #[test]
+    fn builder_sets_name_and_priority() {
+        let h = RtThreadBuilder::new("rt-test")
+            .priority(Priority::new(33))
+            .spawn(|| {
+                (
+                    std::thread::current().name().map(str::to_owned),
+                    current_priority(),
+                )
+            })
+            .unwrap();
+        let (name, prio) = h.join().unwrap();
+        assert_eq!(name.as_deref(), Some("rt-test"));
+        assert_eq!(prio, Priority::new(33));
+    }
+}

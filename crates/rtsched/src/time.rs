@@ -1,0 +1,287 @@
+//! Latency measurement utilities.
+//!
+//! The paper's methodology (Section 3.1): run to steady state, collect
+//! 10 000 observations, report the **median**, the **maximum** (worst case)
+//! and the **jitter** (max − min). [`LatencyRecorder`] and [`SteadyState`]
+//! implement exactly that protocol.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Collects latency samples and derives the paper's statistics.
+///
+/// # Examples
+///
+/// ```
+/// use rtsched::LatencyRecorder;
+/// use std::time::Duration;
+///
+/// let mut rec = LatencyRecorder::new();
+/// for us in [100u64, 110, 105, 120, 400] {
+///     rec.record(Duration::from_micros(us));
+/// }
+/// let s = rec.summary();
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.median, Duration::from_micros(110));
+/// assert_eq!(s.jitter(), Duration::from_micros(300));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<Duration>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder { samples: Vec::new() }
+    }
+
+    /// Creates a recorder pre-sized for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        LatencyRecorder { samples: Vec::with_capacity(n) }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.samples.push(sample);
+    }
+
+    /// Times one invocation of `f` and records it; returns `f`'s output.
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    /// Number of samples collected.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples, in collection order.
+    pub fn samples(&self) -> &[Duration] {
+        &self.samples
+    }
+
+    /// Discards all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Derives the summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn summary(&self) -> LatencySummary {
+        assert!(!self.samples.is_empty(), "no samples recorded");
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let median = sorted[count / 2];
+        let min = sorted[0];
+        let max = sorted[count - 1];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / count as u32;
+        let p = |q: f64| sorted[(((count - 1) as f64) * q).round() as usize];
+        LatencySummary {
+            count,
+            min,
+            max,
+            median,
+            mean,
+            p90: p(0.90),
+            p99: p(0.99),
+            p999: p(0.999),
+        }
+    }
+
+    /// Renders an ASCII histogram with `bins` buckets between the min and
+    /// max sample — the textual analog of the paper's distribution figures.
+    pub fn histogram(&self, bins: usize) -> String {
+        assert!(bins > 0, "need at least one bin");
+        if self.samples.is_empty() {
+            return String::from("(no samples)\n");
+        }
+        let s = self.summary();
+        let min = s.min.as_nanos() as f64;
+        let max = s.max.as_nanos() as f64;
+        let width = ((max - min) / bins as f64).max(1.0);
+        let mut counts = vec![0usize; bins];
+        for d in &self.samples {
+            let idx = (((d.as_nanos() as f64 - min) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let peak = *counts.iter().max().unwrap_or(&1);
+        let mut out = String::new();
+        for (i, c) in counts.iter().enumerate() {
+            let lo = min + i as f64 * width;
+            let bar_len = (c * 50).checked_div(peak).unwrap_or(0);
+            out.push_str(&format!(
+                "{:>10.1}us | {:<50} {}\n",
+                lo / 1000.0,
+                "#".repeat(bar_len),
+                c
+            ));
+        }
+        out
+    }
+}
+
+/// Summary statistics in the paper's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Best observed latency.
+    pub min: Duration,
+    /// Worst observed latency (the paper's headline metric).
+    pub max: Duration,
+    /// Median latency.
+    pub median: Duration,
+    /// Mean latency.
+    pub mean: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// 99.9th percentile.
+    pub p999: Duration,
+}
+
+impl LatencySummary {
+    /// Jitter as the paper defines it: the range `max - min`.
+    pub fn jitter(&self) -> Duration {
+        self.max - self.min
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:?} median={:?} mean={:?} p99={:?} max={:?} jitter={:?}",
+            self.count,
+            self.min,
+            self.median,
+            self.mean,
+            self.p99,
+            self.max,
+            self.jitter()
+        )
+    }
+}
+
+/// Steady-state measurement protocol: discard `warmup` iterations, then
+/// collect `observations` samples (paper Section 3.1 uses 10 000).
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyState {
+    /// Iterations discarded before measurement starts.
+    pub warmup: usize,
+    /// Samples collected after warm-up.
+    pub observations: usize,
+}
+
+impl SteadyState {
+    /// The paper's protocol: 10 000 observations after 1 000 warm-up runs.
+    pub fn paper() -> Self {
+        SteadyState { warmup: 1_000, observations: 10_000 }
+    }
+
+    /// A reduced protocol for fast tests.
+    pub fn quick() -> Self {
+        SteadyState { warmup: 50, observations: 500 }
+    }
+
+    /// Runs `op` to steady state and then measures it, where `op` returns
+    /// the measured duration itself (letting callers exclude setup work).
+    pub fn run(self, mut op: impl FnMut() -> Duration) -> LatencyRecorder {
+        for _ in 0..self.warmup {
+            let _ = op();
+        }
+        let mut rec = LatencyRecorder::with_capacity(self.observations);
+        for _ in 0..self.observations {
+            rec.record(op());
+        }
+        rec
+    }
+
+    /// Runs and times `op` itself (wall-clock around each call).
+    pub fn run_timed(self, mut op: impl FnMut()) -> LatencyRecorder {
+        self.run(|| {
+            let start = Instant::now();
+            op();
+            start.elapsed()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut rec = LatencyRecorder::new();
+        for us in 1..=100u64 {
+            rec.record(Duration::from_micros(us));
+        }
+        let s = rec.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, Duration::from_micros(1));
+        assert_eq!(s.max, Duration::from_micros(100));
+        assert_eq!(s.median, Duration::from_micros(51));
+        assert_eq!(s.jitter(), Duration::from_micros(99));
+        assert_eq!(s.p90, Duration::from_micros(90));
+        assert_eq!(s.p99, Duration::from_micros(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_summary_panics() {
+        LatencyRecorder::new().summary();
+    }
+
+    #[test]
+    fn time_records_one_sample() {
+        let mut rec = LatencyRecorder::new();
+        let out = rec.time(|| 21 * 2);
+        assert_eq!(out, 42);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn histogram_covers_all_samples() {
+        let mut rec = LatencyRecorder::new();
+        for us in [10u64, 20, 20, 30, 100] {
+            rec.record(Duration::from_micros(us));
+        }
+        let h = rec.histogram(5);
+        let total: usize = h
+            .lines()
+            .filter_map(|l| l.rsplit(' ').next().and_then(|n| n.parse::<usize>().ok()))
+            .sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn steady_state_counts() {
+        let mut calls = 0usize;
+        let ss = SteadyState { warmup: 10, observations: 25 };
+        let rec = ss.run_timed(|| calls += 1);
+        assert_eq!(calls, 35);
+        assert_eq!(rec.len(), 25);
+    }
+
+    #[test]
+    fn paper_protocol_values() {
+        let p = SteadyState::paper();
+        assert_eq!(p.observations, 10_000);
+    }
+}

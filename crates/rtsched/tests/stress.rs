@@ -1,0 +1,129 @@
+//! Stress and property tests for the scheduling substrate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rtsched::{BoundedBuffer, OverflowPolicy, PoolConfig, Priority, PushOutcome, ThreadPool};
+
+#[test]
+fn pool_survives_thousands_of_jobs_across_priorities() {
+    let pool = ThreadPool::new(
+        PoolConfig { min_threads: 2, max_threads: 6, idle_priority: Priority::MIN },
+        || 0u64,
+    );
+    let done = Arc::new(AtomicU64::new(0));
+    for i in 0..5_000u64 {
+        let done = Arc::clone(&done);
+        pool.execute(Priority::new((i % 90) as u8 + 1), move |state, _| {
+            *state += 1;
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert!(pool.wait_idle(Duration::from_secs(30)));
+    assert_eq!(done.load(Ordering::Relaxed), 5_000);
+    assert_eq!(pool.executed(), 5_000);
+    assert!(pool.live_threads() <= 6);
+}
+
+#[test]
+fn producer_consumer_through_bounded_buffer() {
+    let buf = Arc::new(BoundedBuffer::new(32, OverflowPolicy::Block));
+    let consumed = Arc::new(AtomicU64::new(0));
+    let mut consumers = Vec::new();
+    for _ in 0..3 {
+        let buf = Arc::clone(&buf);
+        let consumed = Arc::clone(&consumed);
+        consumers.push(std::thread::spawn(move || {
+            while let Some(v) = buf.pop() {
+                consumed.fetch_add(v, Ordering::Relaxed);
+            }
+        }));
+    }
+    let mut producers = Vec::new();
+    for _ in 0..4 {
+        let buf = Arc::clone(&buf);
+        producers.push(std::thread::spawn(move || {
+            for _ in 0..1_000u64 {
+                assert_eq!(buf.push(1), PushOutcome::Enqueued);
+            }
+        }));
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    // Drain then close.
+    while !buf.is_empty() {
+        std::thread::yield_now();
+    }
+    buf.close();
+    for c in consumers {
+        c.join().unwrap();
+    }
+    assert_eq!(consumed.load(Ordering::Relaxed), 4_000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever mix of pushes and pops, a Reject buffer never holds more
+    /// than its capacity and never loses an accepted element.
+    #[test]
+    fn bounded_buffer_accounting(capacity in 1usize..16, ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let buf = BoundedBuffer::new(capacity, OverflowPolicy::Reject);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut next = 0u32;
+        for push in ops {
+            if push {
+                let outcome = buf.push(next);
+                if model.len() < capacity {
+                    prop_assert_eq!(outcome, PushOutcome::Enqueued);
+                    model.push_back(next);
+                } else {
+                    prop_assert_eq!(outcome, PushOutcome::Rejected);
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(buf.try_pop(), model.pop_front());
+            }
+            prop_assert_eq!(buf.len(), model.len());
+            prop_assert!(buf.len() <= capacity);
+        }
+    }
+
+    /// DropOldest keeps exactly the most recent `capacity` elements.
+    #[test]
+    fn drop_oldest_keeps_newest(capacity in 1usize..8, n in 1usize..64) {
+        let buf = BoundedBuffer::new(capacity, OverflowPolicy::DropOldest);
+        for i in 0..n {
+            buf.push(i);
+        }
+        let kept: Vec<usize> = std::iter::from_fn(|| buf.try_pop()).collect();
+        let expected: Vec<usize> = (n.saturating_sub(capacity)..n).collect();
+        prop_assert_eq!(kept, expected);
+    }
+
+    /// Latency summaries are order-independent and internally consistent.
+    #[test]
+    fn latency_summary_consistency(mut samples in proptest::collection::vec(1u64..1_000_000, 1..200)) {
+        use rtsched::LatencyRecorder;
+        use std::time::Duration;
+        let mut rec = LatencyRecorder::new();
+        for &s in &samples {
+            rec.record(Duration::from_nanos(s));
+        }
+        let a = rec.summary();
+        samples.reverse();
+        let mut rec2 = LatencyRecorder::new();
+        for &s in &samples {
+            rec2.record(Duration::from_nanos(s));
+        }
+        let b = rec2.summary();
+        prop_assert_eq!(a, b);
+        prop_assert!(a.min <= a.median && a.median <= a.max);
+        prop_assert!(a.min <= a.mean && a.mean <= a.max);
+        prop_assert!(a.p90 <= a.p99 && a.p99 <= a.p999 && a.p999 <= a.max);
+        prop_assert_eq!(a.jitter(), a.max - a.min);
+    }
+}

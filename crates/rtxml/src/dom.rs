@@ -1,0 +1,118 @@
+//! A small DOM: elements with attributes, child elements and text.
+
+use std::fmt;
+
+/// An XML element.
+///
+/// Text content is stored merged per element (sufficient for CDL/CCL files,
+/// which never interleave text and elements meaningfully).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+    /// Concatenated text content directly inside this element, trimmed.
+    pub text: String,
+}
+
+impl Element {
+    /// Creates an element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Element {
+        Element { name: name.into(), ..Default::default() }
+    }
+
+    /// Builder-style: adds an attribute.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Element {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder-style: adds a child element.
+    pub fn with_child(mut self, child: Element) -> Element {
+        self.children.push(child);
+        self
+    }
+
+    /// Builder-style: sets the text content.
+    pub fn with_text(mut self, text: impl Into<String>) -> Element {
+        self.text = text.into();
+        self
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Text of the first child with the given tag name, if present.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        self.child(name).map(|c| c.text.as_str())
+    }
+
+    /// Like [`Element::child_text`] but parses the text.
+    pub fn child_parse<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.child_text(name).and_then(|t| t.trim().parse().ok())
+    }
+
+    /// Total number of elements in this subtree (including self).
+    pub fn subtree_len(&self) -> usize {
+        1 + self.children.iter().map(Element::subtree_len).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::writer::to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("Component")
+            .with_attr("id", "c1")
+            .with_child(Element::new("PortName").with_text("DataIn"))
+            .with_child(Element::new("PortName").with_text("DataOut"))
+            .with_child(Element::new("BufferSize").with_text("5"))
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let e = sample();
+        assert_eq!(e.attr("id"), Some("c1"));
+        assert_eq!(e.attr("missing"), None);
+    }
+
+    #[test]
+    fn child_navigation() {
+        let e = sample();
+        assert_eq!(e.child("PortName").unwrap().text, "DataIn");
+        assert_eq!(e.children_named("PortName").count(), 2);
+        assert_eq!(e.child_text("BufferSize"), Some("5"));
+        assert_eq!(e.child_parse::<u32>("BufferSize"), Some(5));
+        assert_eq!(e.child_parse::<u32>("PortName"), None);
+    }
+
+    #[test]
+    fn subtree_len_counts_all() {
+        assert_eq!(sample().subtree_len(), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Parse errors with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Position in the XML source, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An XML parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXmlError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub kind: ParseXmlErrorKind,
+}
+
+/// The specific failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseXmlErrorKind {
+    /// Input ended inside a construct.
+    UnexpectedEof(&'static str),
+    /// A character that cannot start/continue the current construct.
+    UnexpectedChar {
+        /// The character found.
+        found: char,
+        /// What was expected instead.
+        expected: &'static str,
+    },
+    /// Close tag did not match the open tag.
+    MismatchedTag {
+        /// Name of the open tag.
+        open: String,
+        /// Name of the mismatched closing tag.
+        close: String,
+    },
+    /// `&name;` entity not recognized.
+    UnknownEntity(String),
+    /// Document contained content after the root element.
+    TrailingContent,
+    /// Document had no root element.
+    NoRoot,
+    /// Attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// Element nesting exceeded [`crate::parser::MAX_DEPTH`].
+    TooDeep,
+}
+
+impl fmt::Display for ParseXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error at {}: ", self.pos)?;
+        match &self.kind {
+            ParseXmlErrorKind::UnexpectedEof(what) => write!(f, "unexpected end of input in {what}"),
+            ParseXmlErrorKind::UnexpectedChar { found, expected } => {
+                write!(f, "unexpected character {found:?}, expected {expected}")
+            }
+            ParseXmlErrorKind::MismatchedTag { open, close } => {
+                write!(f, "closing tag </{close}> does not match <{open}>")
+            }
+            ParseXmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            ParseXmlErrorKind::TrailingContent => write!(f, "content after the root element"),
+            ParseXmlErrorKind::NoRoot => write!(f, "document has no root element"),
+            ParseXmlErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            ParseXmlErrorKind::TooDeep => write!(f, "element nesting too deep"),
+        }
+    }
+}
+
+impl Error for ParseXmlError {}

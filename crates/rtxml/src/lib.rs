@@ -1,0 +1,26 @@
+//! # rtxml — a minimal XML parser and writer
+//!
+//! Substrate for the Compadres Component Definition Language (CDL) and
+//! Component Composition Language (CCL) files, which the paper specifies
+//! as XML documents (Listings 1.1 and 1.2). Implements exactly the subset
+//! those files need: elements, attributes, character data, the predefined
+//! entities, numeric character references, comments and CDATA.
+//!
+//! ```
+//! let root = rtxml::parse("<Port><PortName>DataIn</PortName></Port>")?;
+//! assert_eq!(root.child_text("PortName"), Some("DataIn"));
+//! # Ok::<(), rtxml::ParseXmlError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dom;
+mod error;
+pub mod parser;
+mod writer;
+
+pub use dom::Element;
+pub use error::{ParseXmlError, ParseXmlErrorKind, Pos};
+pub use parser::{parse, MAX_DEPTH};
+pub use writer::{escape, to_document_string, to_string};

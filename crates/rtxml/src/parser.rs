@@ -1,0 +1,415 @@
+//! Recursive-descent XML parser.
+//!
+//! Supports the subset needed by CDL/CCL files: elements, attributes,
+//! character data, the five predefined entities plus numeric character
+//! references, comments, CDATA sections, and XML declarations / processing
+//! instructions (skipped).
+
+use crate::dom::Element;
+use crate::error::{ParseXmlError, ParseXmlErrorKind, Pos};
+
+/// Maximum element nesting depth accepted by [`parse`].
+pub const MAX_DEPTH: usize = 256;
+
+/// Parses a complete document and returns the root element.
+///
+/// # Errors
+///
+/// Returns [`ParseXmlError`] with a 1-based source position on malformed
+/// input, including [`ParseXmlErrorKind::TooDeep`] beyond [`MAX_DEPTH`]
+/// nesting levels.
+///
+/// # Examples
+///
+/// ```
+/// let root = rtxml::parse("<A x=\"1\"><B>hi</B></A>")?;
+/// assert_eq!(root.name, "A");
+/// assert_eq!(root.attr("x"), Some("1"));
+/// assert_eq!(root.child_text("B"), Some("hi"));
+/// # Ok::<(), rtxml::ParseXmlError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Element, ParseXmlError> {
+    let mut p = Parser { chars: input.chars().collect(), pos: 0, line: 1, col: 1, depth: 0 };
+    p.skip_misc()?;
+    if p.peek().is_none() {
+        return Err(p.err(ParseXmlErrorKind::NoRoot));
+    }
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.peek().is_some() {
+        return Err(p.err(ParseXmlErrorKind::TrailingContent));
+    }
+    Ok(root)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    depth: usize,
+}
+
+impl Parser {
+    fn err(&self, kind: ParseXmlErrorKind) -> ParseXmlError {
+        ParseXmlError { pos: Pos { line: self.line, col: self.col }, kind }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), ParseXmlError> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.err(ParseXmlErrorKind::UnexpectedChar {
+                found: c,
+                expected: "specific delimiter",
+            })),
+            None => Err(self.err(ParseXmlErrorKind::UnexpectedEof("tag"))),
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek_at(i) == Some(c))
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace, comments, XML declarations, PIs and DOCTYPE.
+    fn skip_misc(&mut self) -> Result<(), ParseXmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>", "processing instruction")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_until(">", "doctype")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), ParseXmlError> {
+        self.bump_n(4);
+        self.skip_until("-->", "comment")
+    }
+
+    fn skip_until(&mut self, end: &str, what: &'static str) -> Result<(), ParseXmlError> {
+        while !self.starts_with(end) {
+            if self.bump().is_none() {
+                return Err(self.err(ParseXmlErrorKind::UnexpectedEof(what)));
+            }
+        }
+        self.bump_n(end.len());
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseXmlError> {
+        let mut name = String::new();
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' || c == ':' => {}
+            Some(c) => {
+                return Err(self.err(ParseXmlErrorKind::UnexpectedChar {
+                    found: c,
+                    expected: "name start",
+                }))
+            }
+            None => return Err(self.err(ParseXmlErrorKind::UnexpectedEof("name"))),
+        }
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.') {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(name)
+    }
+
+    fn parse_entity(&mut self) -> Result<char, ParseXmlError> {
+        // Caller consumed '&'.
+        let mut name = String::new();
+        loop {
+            match self.bump() {
+                Some(';') => break,
+                Some(c) if name.len() < 10 => name.push(c),
+                Some(_) => return Err(self.err(ParseXmlErrorKind::UnknownEntity(name))),
+                None => return Err(self.err(ParseXmlErrorKind::UnexpectedEof("entity"))),
+            }
+        }
+        match name.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                u32::from_str_radix(&name[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| self.err(ParseXmlErrorKind::UnknownEntity(name.clone())))
+            }
+            _ if name.starts_with('#') => name[1..]
+                .parse::<u32>()
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| self.err(ParseXmlErrorKind::UnknownEntity(name.clone()))),
+            _ => Err(self.err(ParseXmlErrorKind::UnknownEntity(name))),
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseXmlError> {
+        let quote = match self.bump() {
+            Some(c @ ('"' | '\'')) => c,
+            Some(c) => {
+                return Err(self.err(ParseXmlErrorKind::UnexpectedChar {
+                    found: c,
+                    expected: "quote",
+                }))
+            }
+            None => return Err(self.err(ParseXmlErrorKind::UnexpectedEof("attribute value"))),
+        };
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => return Ok(value),
+                Some('&') => value.push(self.parse_entity()?),
+                Some(c) => value.push(c),
+                None => return Err(self.err(ParseXmlErrorKind::UnexpectedEof("attribute value"))),
+            }
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseXmlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(ParseXmlErrorKind::TooDeep));
+        }
+        let out = self.parse_element_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_element_inner(&mut self) -> Result<Element, ParseXmlError> {
+        self.expect('<')?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name.clone());
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect('>')?;
+                    return Ok(element);
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    if element.attr(&attr_name).is_some() {
+                        return Err(self.err(ParseXmlErrorKind::DuplicateAttribute(attr_name)));
+                    }
+                    self.skip_ws();
+                    self.expect('=')?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    element.attrs.push((attr_name, value));
+                }
+                None => return Err(self.err(ParseXmlErrorKind::UnexpectedEof("start tag"))),
+            }
+        }
+        // Content.
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some('<') if self.starts_with("</") => {
+                    self.bump_n(2);
+                    let close = self.parse_name()?;
+                    if close != name {
+                        return Err(self.err(ParseXmlErrorKind::MismatchedTag { open: name, close }));
+                    }
+                    self.skip_ws();
+                    self.expect('>')?;
+                    element.text = text.trim().to_string();
+                    return Ok(element);
+                }
+                Some('<') if self.starts_with("<!--") => self.skip_comment()?,
+                Some('<') if self.starts_with("<![CDATA[") => {
+                    self.bump_n(9);
+                    while !self.starts_with("]]>") {
+                        match self.bump() {
+                            Some(c) => text.push(c),
+                            None => return Err(self.err(ParseXmlErrorKind::UnexpectedEof("CDATA"))),
+                        }
+                    }
+                    self.bump_n(3);
+                }
+                Some('<') => element.children.push(self.parse_element()?),
+                Some('&') => {
+                    self.bump();
+                    text.push(self.parse_entity()?);
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+                None => return Err(self.err(ParseXmlErrorKind::UnexpectedEof("element content"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_document() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn declaration_and_comments_skipped() {
+        let e = parse("<?xml version=\"1.0\"?>\n<!-- hi --><root><!-- inner --><x/></root>").unwrap();
+        assert_eq!(e.name, "root");
+        assert_eq!(e.children.len(), 1);
+    }
+
+    #[test]
+    fn nested_structure() {
+        let src = r#"
+            <Component>
+              <ComponentName>Server</ComponentName>
+              <Port>
+                <PortName>DataOut</PortName>
+                <PortType>Out</PortType>
+                <MessageType>String</MessageType>
+              </Port>
+            </Component>"#;
+        let e = parse(src).unwrap();
+        assert_eq!(e.child_text("ComponentName"), Some("Server"));
+        let port = e.child("Port").unwrap();
+        assert_eq!(port.child_text("PortType"), Some("Out"));
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let e = parse("<a b=\"&lt;&amp;&gt;\">x &quot;y&quot; &#65;&#x42;</a>").unwrap();
+        assert_eq!(e.attr("b"), Some("<&>"));
+        assert_eq!(e.text, "x \"y\" AB");
+    }
+
+    #[test]
+    fn cdata_preserved() {
+        let e = parse("<a><![CDATA[<raw & text>]]></a>").unwrap();
+        assert_eq!(e.text, "<raw & text>");
+    }
+
+    #[test]
+    fn mismatched_tag_reported() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, ParseXmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, ParseXmlErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(parse("  ").unwrap_err().kind, ParseXmlErrorKind::NoRoot));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse("<a x=\"1\" x=\"2\"/>").unwrap_err();
+        assert!(matches!(err.kind, ParseXmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let err = parse("<a>&bogus;</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseXmlErrorKind::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn error_positions_are_one_based() {
+        let err = parse("<a>\n<b></c></b></a>").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn whitespace_in_text_trimmed() {
+        let e = parse("<a>\n   padded   \n</a>").unwrap();
+        assert_eq!(e.text, "padded");
+    }
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use super::*;
+
+    #[test]
+    fn deep_nesting_within_limit_parses() {
+        let depth = 200;
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("<a>");
+        }
+        for _ in 0..depth {
+            src.push_str("</a>");
+        }
+        assert!(parse(&src).is_ok());
+    }
+
+    #[test]
+    fn excessive_nesting_rejected_not_crashed() {
+        let depth = MAX_DEPTH + 10;
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("<a>");
+        }
+        for _ in 0..depth {
+            src.push_str("</a>");
+        }
+        let err = parse(&src).unwrap_err();
+        assert!(matches!(err.kind, ParseXmlErrorKind::TooDeep));
+    }
+}

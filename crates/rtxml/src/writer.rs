@@ -1,0 +1,86 @@
+//! Serializing a DOM back to XML text.
+
+use std::fmt::Write;
+
+use crate::dom::Element;
+
+/// Escapes character data / attribute values.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes an element tree with two-space indentation.
+pub fn to_string(root: &Element) -> String {
+    let mut out = String::new();
+    write_element(&mut out, root, 0);
+    out
+}
+
+/// Serializes with an `<?xml ?>` declaration prepended.
+pub fn to_document_string(root: &Element) -> String {
+    format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", to_string(root))
+}
+
+fn write_element(out: &mut String, e: &Element, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = write!(out, "{pad}<{}", e.name);
+    for (k, v) in &e.attrs {
+        let _ = write!(out, " {}=\"{}\"", k, escape(v));
+    }
+    if e.children.is_empty() && e.text.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    if e.children.is_empty() {
+        let _ = writeln!(out, ">{}</{}>", escape(&e.text), e.name);
+        return;
+    }
+    out.push_str(">\n");
+    if !e.text.is_empty() {
+        let _ = writeln!(out, "{pad}  {}", escape(&e.text));
+    }
+    for child in &e.children {
+        write_element(out, child, depth + 1);
+    }
+    let _ = writeln!(out, "{pad}</{}>", e.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn escape_all_specials() {
+        assert_eq!(escape("<a&b>'\"x"), "&lt;a&amp;b&gt;&apos;&quot;x");
+    }
+
+    #[test]
+    fn roundtrip_structure() {
+        let src = Element::new("App")
+            .with_attr("v", "1<2")
+            .with_child(Element::new("Name").with_text("x & y"))
+            .with_child(Element::new("Empty"));
+        let text = to_string(&src);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn document_string_has_declaration() {
+        let doc = to_document_string(&Element::new("r"));
+        assert!(doc.starts_with("<?xml"));
+        assert!(doc.contains("<r/>"));
+    }
+}

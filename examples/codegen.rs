@@ -1,0 +1,89 @@
+//! The Compadres compiler in action (paper Fig. 1): compile the paper's
+//! CDL listing into Rust component/handler skeletons, then validate the
+//! CCL listing and print the generated scoped-memory architecture.
+//!
+//! Run with: `cargo run --example codegen`
+
+use compadres_compiler::{generate_skeletons, render_plan, SkeletonOptions};
+
+// Paper Listing 1.1 (CDL), with the Calculator's port filled in.
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Server</ComponentName>
+    <Port>
+      <PortName>DataOut</PortName>
+      <PortType>Out</PortType>
+      <MessageType>String</MessageType>
+    </Port>
+    <Port>
+      <PortName>DataIn</PortName>
+      <PortType>In</PortType>
+      <MessageType>CustomType</MessageType>
+    </Port>
+  </Component>
+  <Component>
+    <ComponentName>Calculator</ComponentName>
+    <Port>
+      <PortName>DataOut</PortName>
+      <PortType>Out</PortType>
+      <MessageType>CustomType</MessageType>
+    </Port>
+  </Component>
+</Components>"#;
+
+// Paper Listing 1.2 (CCL).
+const CCL: &str = r#"
+<Application>
+  <ApplicationName>MyApp</ApplicationName>
+  <Component>
+    <InstanceName>MyServer</InstanceName>
+    <ClassName>Server</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port>
+        <PortName>DataIn</PortName>
+        <PortAttributes>
+          <BufferSize>5</BufferSize>
+          <Threadpool>Shared</Threadpool>
+          <MinThreadpoolSize>2</MinThreadpoolSize>
+          <MaxThreadpoolSize>10</MaxThreadpoolSize>
+        </PortAttributes>
+        <Link>
+          <PortType>Internal</PortType>
+          <ToComponent>MyCalculator</ToComponent>
+          <ToPort>DataOut</ToPort>
+        </Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>MyCalculator</InstanceName>
+      <ClassName>Calculator</ClassName>
+      <ComponentType>Scoped</ComponentType>
+      <ScopeLevel>1</ScopeLevel>
+    </Component>
+  </Component>
+  <RTSJAttributes>
+    <ImmortalSize>400000</ImmortalSize>
+    <ScopedPool>
+      <ScopeLevel>1</ScopeLevel>
+      <ScopeSize>200000</ScopeSize>
+      <PoolSize>3</PoolSize>
+    </ScopedPool>
+  </RTSJAttributes>
+</Application>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cdl = compadres_core::parse_cdl(CDL)?;
+
+    println!("==== Phase 1: component skeletons generated from the CDL ====\n");
+    let skeletons = generate_skeletons(&cdl, &SkeletonOptions::default());
+    println!("{skeletons}");
+
+    println!("==== Phase 2: validated assembly plan from the CCL ====\n");
+    let ccl = compadres_core::parse_ccl(CCL)?;
+    let plan = render_plan(&cdl, &ccl)?;
+    println!("{plan}");
+
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Service discovery through the naming service: a server publishes
+//! several objects under human-readable names; clients bootstrap from a
+//! single `corbaloc` reference, resolve names, and invoke the resolved
+//! objects — through either ORB implementation.
+//!
+//! Run with: `cargo run --release --example naming_directory`
+
+use std::sync::Arc;
+
+use rtcorba::corb::{CompadresClient, CompadresServer};
+use rtcorba::ior::ObjectRef;
+use rtcorba::naming::{NamingClient, NamingServant, NAME_SERVICE_KEY};
+use rtcorba::service::{ObjectRegistry, Servant};
+use rtcorba::zen::ZenClient;
+
+struct TimeServant;
+
+impl Servant for TimeServant {
+    fn invoke(&self, operation: &str, _args: &[u8]) -> Result<Vec<u8>, String> {
+        match operation {
+            "uptime_micros" => {
+                // A monotonic stand-in for a clock servant.
+                static START: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+                let start = START.get_or_init(std::time::Instant::now);
+                Ok((start.elapsed().as_micros() as u64).to_be_bytes().to_vec())
+            }
+            other => Err(format!("no operation {other:?}")),
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Server: echo + time + the naming service itself. ---
+    let naming = Arc::new(NamingServant::new());
+    let registry = ObjectRegistry::with_echo();
+    registry.register(b"clock".to_vec(), Arc::new(TimeServant));
+    registry.register(NAME_SERVICE_KEY.to_vec(), Arc::clone(&naming) as Arc<dyn Servant>);
+    let server = CompadresServer::spawn_tcp(registry)?;
+    let addr = server.addr().expect("tcp address");
+
+    // Publish the directory entries.
+    naming.bind("services/echo", &ObjectRef::for_addr(addr, b"echo".to_vec()));
+    naming.bind("services/clock", &ObjectRef::for_addr(addr, b"clock".to_vec()));
+    let bootstrap = server.object_ref(NAME_SERVICE_KEY).expect("name service ref");
+    println!("naming service at {bootstrap}");
+
+    // --- A Compadres ORB client browses and invokes. ---
+    let (client, _ns_key) = CompadresClient::connect_ref(&bootstrap)?;
+    let directory = NamingClient::over_compadres(&client);
+    let names = directory.list()?;
+    println!("directory: {names:?}");
+    assert_eq!(names, vec!["services/clock", "services/echo"]);
+
+    let echo_ref = directory.resolve("services/echo")?;
+    let (echo_client, echo_key) = CompadresClient::connect_ref(&echo_ref.to_string())?;
+    let reply = echo_client.invoke(&echo_key, "echo", b"resolved and invoked")?;
+    println!("echo replied: {}", String::from_utf8_lossy(&reply));
+    assert_eq!(reply, b"resolved and invoked");
+
+    // --- A hand-coded ZenOrb client interoperates with the same service. ---
+    let (zen, ns_key) = ZenClient::connect_ref(&bootstrap)?;
+    assert_eq!(ns_key, NAME_SERVICE_KEY);
+    let zen_directory = NamingClient::over_zen(&zen);
+    let clock_ref = zen_directory.resolve("services/clock")?;
+    let (clock_client, clock_key) = ZenClient::connect_ref(&clock_ref.to_string())?;
+    let t1 = u64::from_be_bytes(
+        clock_client.invoke(&clock_key, "uptime_micros", &[])?.try_into().unwrap(),
+    );
+    let t2 = u64::from_be_bytes(
+        clock_client.invoke(&clock_key, "uptime_micros", &[])?.try_into().unwrap(),
+    );
+    println!("clock readings: {t1} us, then {t2} us");
+    assert!(t2 >= t1, "monotonic clock servant");
+
+    server.shutdown();
+    println!("naming directory demo OK");
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Quickstart: define two components in CDL, compose them in CCL, attach
+//! plain-Rust message handlers, and exchange a message — the complete
+//! Compadres development flow (paper Fig. 1) in one file.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use compadres_core::{AppBuilder, HandlerCtx, Priority};
+
+/// The strongly-typed message declared as `Greeting` in the CDL.
+#[derive(Debug, Default, Clone)]
+struct Greeting {
+    text: String,
+}
+
+// Phase 1 — Component Definition (CDL): components and their typed ports.
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Greeter</ComponentName>
+    <Port><PortName>Hello</PortName><PortType>Out</PortType><MessageType>Greeting</MessageType></Port>
+    <Port><PortName>Answer</PortName><PortType>In</PortType><MessageType>Greeting</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Responder</ComponentName>
+    <Port><PortName>Incoming</PortName><PortType>In</PortType><MessageType>Greeting</MessageType></Port>
+    <Port><PortName>Outgoing</PortName><PortType>Out</PortType><MessageType>Greeting</MessageType></Port>
+  </Component>
+</Components>"#;
+
+// Phase 2 — Component Composition (CCL): instances, scope levels,
+// connections, buffers/threadpools and the memory configuration.
+const CCL: &str = r#"
+<Application>
+  <ApplicationName>Quickstart</ApplicationName>
+  <Component>
+    <InstanceName>Main</InstanceName>
+    <ClassName>Greeter</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>Answer</PortName>
+        <PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize></PortAttributes>
+      </Port>
+      <Port><PortName>Hello</PortName>
+        <Link><PortType>Internal</PortType><ToComponent>Worker</ToComponent><ToPort>Incoming</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>Worker</InstanceName>
+      <ClassName>Responder</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>Incoming</PortName>
+          <PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize></PortAttributes>
+        </Port>
+        <Port><PortName>Outgoing</PortName>
+          <Link><PortType>Internal</PortType><ToComponent>Main</ToComponent><ToPort>Answer</ToPort></Link>
+        </Port>
+      </Connection>
+    </Component>
+  </Component>
+  <RTSJAttributes>
+    <ImmortalSize>1000000</ImmortalSize>
+    <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>65536</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+  </RTSJAttributes>
+</Application>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Phase 3 — implement the message handlers in plain Rust. No scoped
+    // memory code anywhere: the framework places each component in its
+    // memory area and moves messages through pooled shared objects.
+    let app = AppBuilder::from_xml(CDL, CCL)?
+        .bind_message_type::<Greeting>("Greeting")
+        .register_handler("Responder", "Incoming", || {
+            |msg: &mut Greeting, ctx: &mut HandlerCtx<'_>| {
+                println!("[Worker]  received: {:?} (in scope {:?})", msg.text, ctx.region());
+                let mut reply = ctx.get_message::<Greeting>("Outgoing")?;
+                reply.text = format!("{} to you!", msg.text);
+                ctx.send("Outgoing", reply, Priority::new(5))
+            }
+        })
+        .register_handler("Greeter", "Answer", || {
+            |msg: &mut Greeting, ctx: &mut HandlerCtx<'_>| {
+                println!("[Main]    answered: {:?} (in {:?})", msg.text, ctx.region());
+                Ok(())
+            }
+        })
+        .build()?;
+
+    app.start()?;
+    println!("application {:?} started: {} messages so far", app.name(), app.stats().messages_sent);
+
+    // Drive it: the Main component sends a greeting to its scoped child.
+    app.with_component("Main", |ctx| {
+        let mut msg = ctx.get_message::<Greeting>("Hello")?;
+        msg.text = "hello".to_string();
+        ctx.send("Hello", msg, Priority::new(5))
+    })??;
+
+    let stats = app.stats();
+    println!(
+        "done: {} sent, {} processed, {} scoped activations",
+        stats.messages_sent, stats.messages_processed, stats.activations
+    );
+    assert_eq!(stats.messages_processed, 2);
+    Ok(())
+}

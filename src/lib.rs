@@ -1,0 +1,13 @@
+//! Umbrella package for the Compadres reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. The actual functionality lives
+//! in the member crates re-exported below.
+
+pub use compadres_compiler as compiler;
+pub use compadres_core as core;
+pub use rtcorba as corba;
+pub use rtmem as mem;
+pub use rtplatform as platform;
+pub use rtsched as sched;
+pub use rtxml as xml;

@@ -1,0 +1,216 @@
+//! Workspace-level integration: the complete paper workflow — CDL →
+//! compiler skeletons, CCL → validated plan → assembled application →
+//! runtime message flow — exercised across all crates at once.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use compadres_core::{AppBuilder, HandlerCtx, Priority};
+use compadres_compiler::{generate_skeletons, render_plan, SkeletonOptions};
+
+#[derive(Debug, Default, Clone)]
+struct Sample {
+    v: u64,
+}
+
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Root</ComponentName>
+    <Port><PortName>Feed</PortName><PortType>Out</PortType><MessageType>Sample</MessageType></Port>
+    <Port><PortName>Drain</PortName><PortType>In</PortType><MessageType>Sample</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Stage</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Sample</MessageType></Port>
+    <Port><PortName>Down</PortName><PortType>Out</PortType><MessageType>Sample</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Leaf</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Sample</MessageType></Port>
+    <Port><PortName>Up</PortName><PortType>Out</PortType><MessageType>Sample</MessageType></Port>
+  </Component>
+</Components>"#;
+
+const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+
+fn ccl() -> String {
+    format!(
+        r#"
+<Application>
+  <ApplicationName>DeepPipeline</ApplicationName>
+  <Component>
+    <InstanceName>R</InstanceName>
+    <ClassName>Root</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>Feed</PortName>
+        <Link><ToComponent>S1</ToComponent><ToPort>In</ToPort></Link>
+      </Port>
+      <Port><PortName>Drain</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+    </Connection>
+    <Component>
+      <InstanceName>S1</InstanceName>
+      <ClassName>Stage</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>In</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+        <Port><PortName>Down</PortName>
+          <Link><ToComponent>S2</ToComponent><ToPort>In</ToPort></Link>
+        </Port>
+      </Connection>
+      <Component>
+        <InstanceName>S2</InstanceName>
+        <ClassName>Stage</ClassName>
+        <ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>
+        <Connection>
+          <Port><PortName>In</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+          <Port><PortName>Down</PortName>
+            <Link><ToComponent>L</ToComponent><ToPort>In</ToPort></Link>
+          </Port>
+        </Connection>
+        <Component>
+          <InstanceName>L</InstanceName>
+          <ClassName>Leaf</ClassName>
+          <ComponentType>Scoped</ComponentType><ScopeLevel>3</ScopeLevel>
+          <Connection>
+            <Port><PortName>In</PortName><PortAttributes>{SYNC}</PortAttributes></Port>
+            <Port><PortName>Up</PortName>
+              <Link><ToComponent>R</ToComponent><ToPort>Drain</ToPort></Link>
+            </Port>
+          </Connection>
+        </Component>
+      </Component>
+    </Component>
+  </Component>
+  <RTSJAttributes>
+    <ImmortalSize>4000000</ImmortalSize>
+    <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>65536</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+    <ScopedPool><ScopeLevel>2</ScopeLevel><ScopeSize>65536</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+    <ScopedPool><ScopeLevel>3</ScopeLevel><ScopeSize>65536</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+  </RTSJAttributes>
+</Application>"#
+    )
+}
+
+fn build() -> (compadres_core::App, mpsc::Receiver<u64>) {
+    let (tx, rx) = mpsc::channel();
+    let app = AppBuilder::from_xml(CDL, &ccl())
+        .unwrap()
+        .bind_message_type::<Sample>("Sample")
+        .register_handler("Stage", "In", || {
+            |msg: &mut Sample, ctx: &mut HandlerCtx<'_>| {
+                let mut fwd = ctx.get_message::<Sample>("Down")?;
+                fwd.v = msg.v + 1;
+                ctx.send("Down", fwd, ctx.priority())
+            }
+        })
+        .register_handler("Leaf", "In", || {
+            |msg: &mut Sample, ctx: &mut HandlerCtx<'_>| {
+                let mut up = ctx.get_message::<Sample>("Up")?;
+                up.v = msg.v * 10;
+                ctx.send("Up", up, ctx.priority())
+            }
+        })
+        .register_handler("Root", "Drain", move || {
+            let tx = tx.clone();
+            move |msg: &mut Sample, _ctx: &mut HandlerCtx<'_>| {
+                let _ = tx.send(msg.v);
+                Ok(())
+            }
+        })
+        .build()
+        .unwrap();
+    app.start().unwrap();
+    (app, rx)
+}
+
+#[test]
+fn four_level_pipeline_with_shadow_return() {
+    let (app, rx) = build();
+    // R → S1 → S2 → L, then L returns directly to R via a shadow port
+    // spanning three levels.
+    app.with_component("R", |ctx| {
+        let mut m = ctx.get_message::<Sample>("Feed").unwrap();
+        m.v = 5;
+        ctx.send("Feed", m, Priority::new(9)).unwrap();
+    })
+    .unwrap();
+    // (5 + 1 + 1) * 10 = 70.
+    assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), 70);
+    // All scoped components were ephemeral and are inactive again.
+    for name in ["S1", "S2", "L"] {
+        assert!(!app.is_active(name).unwrap(), "{name} should be reclaimed");
+    }
+}
+
+#[test]
+fn repeated_traffic_reuses_pooled_scopes() {
+    let (app, rx) = build();
+    for i in 0..50u64 {
+        app.with_component("R", |ctx| {
+            let mut m = ctx.get_message::<Sample>("Feed").unwrap();
+            m.v = i;
+            ctx.send("Feed", m, Priority::new(9)).unwrap();
+        })
+        .unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), (i + 2) * 10);
+    }
+    // Regions: heap + immortal + 3 pools x 2 — nothing leaked.
+    assert_eq!(app.model().live_regions(), 2 + 6);
+    assert_eq!(app.stats().messages_processed, 200, "four hops per round trip");
+}
+
+#[test]
+fn keepalive_chain_pins_all_ancestors() {
+    let (app, rx) = build();
+    let keep = app.connect("L").unwrap();
+    // Connecting the leaf activates the whole ancestor chain.
+    for name in ["S1", "S2", "L"] {
+        assert!(app.is_active(name).unwrap(), "{name} active while leaf connected");
+    }
+    app.with_component("R", |ctx| {
+        let mut m = ctx.get_message::<Sample>("Feed").unwrap();
+        m.v = 1;
+        ctx.send("Feed", m, Priority::new(9)).unwrap();
+    })
+    .unwrap();
+    assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), 30);
+    keep.disconnect();
+    for name in ["S1", "S2", "L"] {
+        assert!(!app.is_active(name).unwrap(), "{name} reclaimed after disconnect");
+    }
+}
+
+#[test]
+fn compiler_artifacts_for_same_documents() {
+    // The compiler pieces agree with the runtime on what is valid.
+    let cdl = compadres_core::parse_cdl(CDL).unwrap();
+    let ccl_doc = compadres_core::parse_ccl(&ccl()).unwrap();
+
+    let skeletons = generate_skeletons(&cdl, &SkeletonOptions::default());
+    assert!(skeletons.contains("pub struct RootComponent"));
+    assert!(skeletons.contains("pub struct StageInHandler"));
+    assert!(skeletons.contains("impl MessageHandler<Sample> for LeafInHandler"));
+
+    let plan = render_plan(&cdl, &ccl_doc).unwrap();
+    assert!(plan.contains("Application: DeepPipeline"));
+    assert!(plan.contains("L : Leaf [scoped level 3]"));
+    assert!(plan.contains("[shadow]"), "L→R link reported as a shadow port:\n{plan}");
+    assert!(plan.contains("scope pool level 3: 2 x 65536 bytes"));
+}
+
+#[test]
+fn validation_and_runtime_agree_on_rejection() {
+    // A CCL with a level mismatch is rejected by both the plan renderer
+    // and the builder.
+    let bad_ccl = ccl().replace("<ScopeLevel>2</ScopeLevel>", "<ScopeLevel>9</ScopeLevel>");
+    assert!(bad_ccl.contains("<ScopeLevel>9</ScopeLevel>"));
+    let cdl = compadres_core::parse_cdl(CDL).unwrap();
+    let ccl_doc = compadres_core::parse_ccl(&bad_ccl).unwrap();
+    assert!(render_plan(&cdl, &ccl_doc).is_err());
+    assert!(AppBuilder::from_model(cdl, ccl_doc)
+        .bind_message_type::<Sample>("Sample")
+        .build()
+        .is_err());
+}

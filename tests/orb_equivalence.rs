@@ -1,0 +1,149 @@
+//! Integration: the hand-coded ZenOrb and the component-assembled
+//! Compadres ORB must be observationally equivalent — same protocol, same
+//! replies, same failure behavior — since the paper's comparison assumes
+//! functional parity ("the Compadres ORB can be considered to be
+//! functionally similar to RTZen", §3.3).
+
+use std::sync::Arc;
+
+use rtcorba::corb::{CompadresClient, CompadresServer};
+use rtcorba::service::{EchoServant, ObjectRegistry, Servant};
+use rtcorba::zen::{ZenClient, ZenServer};
+use rtcorba::OrbError;
+
+struct AddServant;
+
+impl Servant for AddServant {
+    fn invoke(&self, operation: &str, args: &[u8]) -> Result<Vec<u8>, String> {
+        match operation {
+            "sum" => {
+                let mut dec = rtcorba::cdr::CdrDecoder::new(args, rtcorba::cdr::Endian::Big);
+                let a = dec.read_i32().map_err(|e| e.to_string())?;
+                let b = dec.read_i32().map_err(|e| e.to_string())?;
+                let mut enc = rtcorba::cdr::CdrEncoder::new(rtcorba::cdr::Endian::Big);
+                enc.write_i32(a + b);
+                Ok(enc.into_bytes())
+            }
+            other => Err(format!("no operation {other:?}")),
+        }
+    }
+}
+
+fn registry() -> Arc<ObjectRegistry> {
+    let reg = ObjectRegistry::new();
+    reg.register(b"echo".to_vec(), Arc::new(EchoServant));
+    reg.register(b"calc".to_vec(), Arc::new(AddServant));
+    Arc::new(reg)
+}
+
+fn sum_args(a: i32, b: i32) -> Vec<u8> {
+    let mut enc = rtcorba::cdr::CdrEncoder::new(rtcorba::cdr::Endian::Big);
+    enc.write_i32(a);
+    enc.write_i32(b);
+    enc.into_bytes()
+}
+
+fn decode_sum(reply: &[u8]) -> i32 {
+    rtcorba::cdr::CdrDecoder::new(reply, rtcorba::cdr::Endian::Big)
+        .read_i32()
+        .unwrap()
+}
+
+#[test]
+fn both_orbs_compute_the_same_results_over_tcp() {
+    let zen_server = ZenServer::spawn_tcp(registry()).unwrap();
+    let zen = ZenClient::connect_tcp(zen_server.addr().unwrap()).unwrap();
+    let corb_server = CompadresServer::spawn_tcp(registry()).unwrap();
+    let corb = CompadresClient::connect_tcp(corb_server.addr().unwrap()).unwrap();
+
+    for (a, b) in [(1, 2), (-5, 5), (i32::MAX - 1, 1), (1000, -2000)] {
+        let args = sum_args(a, b);
+        let z = decode_sum(&zen.invoke(b"calc", "sum", &args).unwrap());
+        let c = decode_sum(&corb.invoke(b"calc", "sum", &args).unwrap());
+        assert_eq!(z, c, "orbs disagree on {a}+{b}");
+        assert_eq!(z, a.wrapping_add(b));
+    }
+
+    // Large payload echo parity.
+    let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+    assert_eq!(
+        zen.invoke(b"echo", "echo", &payload).unwrap(),
+        corb.invoke(b"echo", "echo", &payload).unwrap()
+    );
+
+    zen_server.shutdown();
+    corb_server.shutdown();
+}
+
+#[test]
+fn both_orbs_report_the_same_failures() {
+    let zen_server = ZenServer::spawn_tcp(registry()).unwrap();
+    let zen = ZenClient::connect_tcp(zen_server.addr().unwrap()).unwrap();
+    let corb_server = CompadresServer::spawn_tcp(registry()).unwrap();
+    let corb = CompadresClient::connect_tcp(corb_server.addr().unwrap()).unwrap();
+
+    // Unknown object.
+    assert!(matches!(zen.invoke(b"ghost", "echo", &[]), Err(OrbError::ObjectNotExist)));
+    assert!(matches!(corb.invoke(b"ghost", "echo", &[]), Err(OrbError::ObjectNotExist)));
+
+    // Servant exception carries the same message.
+    let zen_msg = match zen.invoke(b"calc", "nope", &[]) {
+        Err(OrbError::Exception(m)) => m,
+        other => panic!("zen: expected exception, got {other:?}"),
+    };
+    let corb_msg = match corb.invoke(b"calc", "nope", &[]) {
+        Err(OrbError::Exception(m)) => m,
+        other => panic!("corb: expected exception, got {other:?}"),
+    };
+    assert_eq!(zen_msg, corb_msg);
+
+    zen_server.shutdown();
+    corb_server.shutdown();
+}
+
+#[test]
+fn orbs_interoperate_on_the_wire() {
+    // The GIOP implementations are one and the same substrate, so a Zen
+    // client can talk to a Compadres server and vice versa.
+    let corb_server = CompadresServer::spawn_tcp(registry()).unwrap();
+    let zen_client = ZenClient::connect_tcp(corb_server.addr().unwrap()).unwrap();
+    assert_eq!(zen_client.invoke(b"echo", "echo", &[1, 2, 3]).unwrap(), vec![1, 2, 3]);
+
+    let zen_server = ZenServer::spawn_tcp(registry()).unwrap();
+    let corb_client = CompadresClient::connect_tcp(zen_server.addr().unwrap()).unwrap();
+    assert_eq!(
+        decode_sum(&corb_client.invoke(b"calc", "sum", &sum_args(20, 22)).unwrap()),
+        42
+    );
+
+    corb_server.shutdown();
+    zen_server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_against_one_compadres_server() {
+    let server = CompadresServer::spawn_tcp(registry()).unwrap();
+    let addr = server.addr().unwrap();
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        handles.push(std::thread::spawn(move || {
+            let client = CompadresClient::connect_tcp(addr).unwrap();
+            for i in 0..50i32 {
+                let reply = client.invoke(b"calc", "sum", &sum_args(t, i)).unwrap();
+                assert_eq!(decode_sum(&reply), t + i);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn zero_and_empty_payloads() {
+    let server = CompadresServer::spawn_tcp(registry()).unwrap();
+    let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+    assert_eq!(client.invoke(b"echo", "echo", &[]).unwrap(), Vec::<u8>::new());
+    server.shutdown();
+}

@@ -1,0 +1,331 @@
+//! Property-based tests over the core substrates: CDR marshalling, XML
+//! round-trips, priority queues and the scoped-memory invariants.
+
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// CDR marshalling
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CdrValue {
+    U8(u8),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    I32(i32),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+    Octets(Vec<u8>),
+}
+
+fn cdr_value() -> impl Strategy<Value = CdrValue> {
+    prop_oneof![
+        any::<u8>().prop_map(CdrValue::U8),
+        any::<u16>().prop_map(CdrValue::U16),
+        any::<u32>().prop_map(CdrValue::U32),
+        any::<u64>().prop_map(CdrValue::U64),
+        any::<i32>().prop_map(CdrValue::I32),
+        any::<i64>().prop_map(CdrValue::I64),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(CdrValue::F64),
+        any::<bool>().prop_map(CdrValue::Bool),
+        "[a-zA-Z0-9 _:-]{0,40}".prop_map(CdrValue::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(CdrValue::Octets),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cdr_roundtrips_any_value_sequence(
+        values in proptest::collection::vec(cdr_value(), 0..20),
+        little in any::<bool>(),
+    ) {
+        use rtcorba::cdr::{CdrDecoder, CdrEncoder, Endian};
+        let endian = if little { Endian::Little } else { Endian::Big };
+        let mut enc = CdrEncoder::new(endian);
+        for v in &values {
+            match v {
+                CdrValue::U8(x) => enc.write_u8(*x),
+                CdrValue::U16(x) => enc.write_u16(*x),
+                CdrValue::U32(x) => enc.write_u32(*x),
+                CdrValue::U64(x) => enc.write_u64(*x),
+                CdrValue::I32(x) => enc.write_i32(*x),
+                CdrValue::I64(x) => enc.write_i64(*x),
+                CdrValue::F64(x) => enc.write_f64(*x),
+                CdrValue::Bool(x) => enc.write_bool(*x),
+                CdrValue::Str(x) => enc.write_string(x),
+                CdrValue::Octets(x) => enc.write_octets(x),
+            }
+        }
+        let bytes = enc.into_bytes();
+        let mut dec = CdrDecoder::new(&bytes, endian);
+        for v in &values {
+            match v {
+                CdrValue::U8(x) => prop_assert_eq!(dec.read_u8().unwrap(), *x),
+                CdrValue::U16(x) => prop_assert_eq!(dec.read_u16().unwrap(), *x),
+                CdrValue::U32(x) => prop_assert_eq!(dec.read_u32().unwrap(), *x),
+                CdrValue::U64(x) => prop_assert_eq!(dec.read_u64().unwrap(), *x),
+                CdrValue::I32(x) => prop_assert_eq!(dec.read_i32().unwrap(), *x),
+                CdrValue::I64(x) => prop_assert_eq!(dec.read_i64().unwrap(), *x),
+                CdrValue::F64(x) => prop_assert_eq!(dec.read_f64().unwrap(), *x),
+                CdrValue::Bool(x) => prop_assert_eq!(dec.read_bool().unwrap(), *x),
+                CdrValue::Str(x) => prop_assert_eq!(&dec.read_string().unwrap(), x),
+                CdrValue::Octets(x) => prop_assert_eq!(&dec.read_octets().unwrap(), x),
+            }
+        }
+        prop_assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn giop_request_roundtrips(
+        request_id in any::<u32>(),
+        response_expected in any::<bool>(),
+        object_key in proptest::collection::vec(any::<u8>(), 0..32),
+        operation in "[a-zA-Z_][a-zA-Z0-9_]{0,20}",
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        little in any::<bool>(),
+    ) {
+        use rtcorba::cdr::Endian;
+        use rtcorba::giop::{decode, Message, RequestMessage};
+        let endian = if little { Endian::Little } else { Endian::Big };
+        let req = RequestMessage { request_id, response_expected, object_key, operation, body };
+        let frame = req.encode(endian);
+        match decode(&frame).unwrap() {
+            Message::Request(r) => prop_assert_eq!(r, req),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// XML round-trips
+// ---------------------------------------------------------------------
+
+fn xml_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,10}"
+}
+
+fn xml_text() -> impl Strategy<Value = String> {
+    // Leading/trailing whitespace is trimmed by the parser; interior
+    // whitespace sequences must survive. Keep to printable characters
+    // without raw markup (the writer escapes <>& anyway — include them!).
+    "[a-zA-Z0-9<>&'\" _;:,!-]{0,24}".prop_map(|s| s.trim().to_string())
+}
+
+fn xml_tree() -> impl Strategy<Value = rtxml::Element> {
+    let leaf = (xml_name(), xml_text(), proptest::collection::vec((xml_name(), xml_text()), 0..3))
+        .prop_map(|(name, text, attr_pairs)| {
+            let mut e = rtxml::Element::new(name).with_text(text);
+            for (i, (n, v)) in attr_pairs.into_iter().enumerate() {
+                // Attribute names must be unique per element.
+                e = e.with_attr(format!("{n}{i}"), v);
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (xml_name(), proptest::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
+            let mut e = rtxml::Element::new(name);
+            for c in children {
+                e = e.with_child(c);
+            }
+            e
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn xml_print_parse_roundtrip(tree in xml_tree()) {
+        let printed = rtxml::to_string(&tree);
+        let parsed = rtxml::parse(&printed).unwrap();
+        prop_assert_eq!(parsed, tree);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Priority FIFO ordering
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn priority_fifo_orders_correctly(items in proptest::collection::vec((1u8..99, any::<u16>()), 0..200)) {
+        use rtsched::{Priority, PriorityFifo};
+        let q = PriorityFifo::new();
+        for (p, tag) in &items {
+            q.push(Priority::new(*p), *tag);
+        }
+        let mut popped = Vec::new();
+        while let Some((p, tag)) = q.try_pop() {
+            popped.push((p, tag));
+        }
+        prop_assert_eq!(popped.len(), items.len());
+        // Priorities are non-increasing.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 >= w[1].0);
+        }
+        // Within each priority band, arrival order is preserved.
+        for p in popped.iter().map(|(p, _)| *p).collect::<std::collections::BTreeSet<_>>() {
+            let expected: Vec<u16> = items
+                .iter()
+                .filter(|(ip, _)| rtsched::Priority::new(*ip) == p)
+                .map(|(_, t)| *t)
+                .collect();
+            let got: Vec<u16> = popped.iter().filter(|(pp, _)| *pp == p).map(|(_, t)| *t).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scoped-memory invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Entering a random chain of scopes, allocating along the way, then
+    /// unwinding: accounting balances, references die exactly when their
+    /// scope is reclaimed, and ancestor references always stay legal.
+    #[test]
+    fn scope_chain_lifecycle(depth in 1usize..5, allocs in proptest::collection::vec(1usize..200, 1..10)) {
+        use rtmem::{Ctx, MemoryModel};
+        let model = MemoryModel::new();
+        let regions: Vec<_> = (0..depth).map(|_| model.create_scoped(64 << 10).unwrap()).collect();
+        let mut ctx = Ctx::no_heap(&model);
+
+        fn descend(
+            ctx: &mut Ctx,
+            model: &MemoryModel,
+            regions: &[rtmem::RegionId],
+            allocs: &[usize],
+            refs: &mut Vec<rtmem::RBytes>,
+        ) {
+            match regions.split_first() {
+                None => {
+                    for &len in allocs {
+                        refs.push(ctx.alloc_bytes(len).unwrap());
+                    }
+                    // Deepest scope may reference every ancestor.
+                    for r in refs.iter() {
+                        assert!(model.may_reference(ctx.current(), r.region()).unwrap()
+                            || r.region() == ctx.current());
+                    }
+                }
+                Some((&head, rest)) => {
+                    ctx.enter(head, |ctx| {
+                        refs.push(ctx.alloc_bytes(8).unwrap());
+                        descend(ctx, model, rest, allocs, refs);
+                    })
+                    .unwrap();
+                }
+            }
+        }
+
+        let mut refs = Vec::new();
+        descend(&mut ctx, &model, &regions, &allocs, &mut refs);
+
+        // Everything reclaimed after the unwind: all references stale,
+        // accounting at zero, parents cleared.
+        for r in &refs {
+            let stale = matches!(r.to_vec(&ctx), Err(rtmem::RtmemError::StaleReference { .. }));
+            prop_assert!(stale);
+        }
+        for &region in &regions {
+            let snap = model.snapshot(region).unwrap();
+            prop_assert_eq!(snap.used, 0);
+            prop_assert_eq!(snap.entered, 0);
+            prop_assert_eq!(snap.parent, None);
+            prop_assert_eq!(snap.epoch, 1);
+        }
+    }
+
+    /// Allocation accounting never exceeds the configured budget, and the
+    /// error is reported exactly when it would.
+    #[test]
+    fn region_budget_is_respected(budget in 64usize..4096, sizes in proptest::collection::vec(1usize..512, 1..40)) {
+        use rtmem::{Ctx, MemoryModel, RtmemError};
+        let model = MemoryModel::new();
+        let region = model.create_scoped(budget).unwrap();
+        let mut ctx = Ctx::no_heap(&model);
+        ctx.enter(region, |ctx| {
+            let mut used = 0usize;
+            for &len in &sizes {
+                let aligned = (len + 7) & !7;
+                match ctx.alloc_bytes(len) {
+                    Ok(_) => {
+                        used += aligned;
+                        assert!(used <= budget, "over budget: {used} > {budget}");
+                    }
+                    Err(RtmemError::OutOfMemory { .. }) => {
+                        assert!(used + aligned > budget, "spurious OOM at used={used}, len={len}");
+                    }
+                    Err(other) => panic!("unexpected error {other}"),
+                }
+                let snap = model.snapshot(region).unwrap();
+                assert_eq!(snap.used, used);
+            }
+        }).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validation properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any sibling fan-out composition validates, and injecting a
+    /// self-loop always breaks it.
+    #[test]
+    fn sibling_fanout_validates_and_self_loop_never_does(n in 1usize..6) {
+        let cdl = r#"
+          <Components>
+            <Component><ComponentName>Hub</ComponentName>
+              <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>T</MessageType></Port>
+              <Port><PortName>In</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+            </Component>
+            <Component><ComponentName>Spoke</ComponentName>
+              <Port><PortName>In</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+            </Component>
+          </Components>"#;
+        let mut spokes = String::new();
+        let mut links = String::new();
+        for i in 0..n {
+            spokes.push_str(&format!(
+                "<Component><InstanceName>S{i}</InstanceName><ClassName>Spoke</ClassName>\
+                 <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>"
+            ));
+            links.push_str(&format!(
+                "<Link><ToComponent>S{i}</ToComponent><ToPort>In</ToPort></Link>"
+            ));
+        }
+        let ccl_ok = format!(
+            r#"<Application><ApplicationName>FanOut</ApplicationName>
+            <Component><InstanceName>H</InstanceName><ClassName>Hub</ClassName><ComponentType>Immortal</ComponentType>
+              <Connection><Port><PortName>Out</PortName>{links}</Port></Connection>
+              {spokes}
+            </Component></Application>"#
+        );
+        let parsed_cdl = compadres_core::parse_cdl(cdl).unwrap();
+        let parsed_ccl = compadres_core::parse_ccl(&ccl_ok).unwrap();
+        let app = compadres_core::validate(&parsed_cdl, &parsed_ccl).unwrap();
+        prop_assert_eq!(app.connections.len(), n);
+
+        // Now add a self-loop on the hub: must be rejected.
+        let ccl_loop = ccl_ok.replace(
+            "</Port></Connection>",
+            "<Link><ToComponent>H</ToComponent><ToPort>In</ToPort></Link></Port></Connection>",
+        );
+        let parsed_loop = compadres_core::parse_ccl(&ccl_loop).unwrap();
+        prop_assert!(compadres_core::validate(&parsed_cdl, &parsed_loop).is_err());
+    }
+}
