@@ -7,10 +7,10 @@
 //! dispatch avoids the queue + wakeup cost; asynchronous dispatch
 //! decouples the sender. The paper exposes both through the CCL.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use std::sync::mpsc;
 use std::time::Duration;
+
+use compadres_bench::harness::run;
 
 use compadres_core::{App, AppBuilder, HandlerCtx, Priority};
 
@@ -92,36 +92,23 @@ fn one_message(app: &App, rx: &mpsc::Receiver<u64>, seq: u64) {
     assert_eq!(got, seq);
 }
 
-fn bench_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dispatch");
-    group.sample_size(60);
+fn main() {
+    println!("== dispatch: synchronous vs asynchronous port dispatch ==");
 
-    let (sync_app, sync_rx, _k1) = build(
-        "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>",
-    );
+    let (sync_app, sync_rx, _k1) =
+        build("<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>");
     let mut seq = 0u64;
-    group.bench_function("synchronous", |b| {
-        b.iter(|| {
-            seq += 1;
-            one_message(&sync_app, &sync_rx, seq);
-            black_box(());
-        });
+    run("synchronous", 5_000, || {
+        seq += 1;
+        one_message(&sync_app, &sync_rx, seq);
     });
 
     let (async_app, async_rx, _k2) = build(
         "<BufferSize>16</BufferSize><MinThreadpoolSize>1</MinThreadpoolSize><MaxThreadpoolSize>2</MaxThreadpoolSize>",
     );
     let mut seq = 0u64;
-    group.bench_function("asynchronous", |b| {
-        b.iter(|| {
-            seq += 1;
-            one_message(&async_app, &async_rx, seq);
-            black_box(());
-        });
+    run("asynchronous", 5_000, || {
+        seq += 1;
+        one_message(&async_app, &async_rx, seq);
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_dispatch);
-criterion_main!(benches);

@@ -11,117 +11,87 @@
 //! wholesale — exactly the exhaustion problem the paper's message pools
 //! solve on the framework's hot path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use compadres_bench::harness::run_batched;
 use compadres_core::smm::{pass_handoff, pass_serialized, pass_shared};
-use rtmem::{Ctx, MemoryModel, Wedge};
+use rtmem::{Ctx, MemoryModel, RegionId, Wedge};
 
-fn bench_msgpass(c: &mut Criterion) {
-    let mut group = c.benchmark_group("msgpass");
-    group.sample_size(60);
+type Setup = (
+    MemoryModel,
+    RegionId,
+    RegionId,
+    RegionId,
+    (Wedge, Wedge, Wedge),
+);
+
+fn setup() -> Setup {
+    let m = MemoryModel::new();
+    let parent = m.create_scoped(1 << 20).unwrap();
+    let src = m.create_scoped(64 << 10).unwrap();
+    let dst = m.create_scoped(64 << 10).unwrap();
+    let wp = Wedge::pin_from_base(&m, parent).unwrap();
+    let ws = Wedge::pin_under(&m, src, parent).unwrap();
+    let wd = Wedge::pin_under(&m, dst, parent).unwrap();
+    (m, parent, src, dst, (wp, ws, wd))
+}
+
+fn main() {
+    println!("== msgpass: serialization vs shared object vs handoff ==");
 
     for size in [32usize, 256, 1024] {
         let payload = vec![0xCDu8; size];
 
-        group.bench_with_input(BenchmarkId::new("serialization", size), &payload, |b, payload| {
-            b.iter_batched(
-                || {
-                    let m = MemoryModel::new();
-                    let parent = m.create_scoped(1 << 20).unwrap();
-                    let src = m.create_scoped(64 << 10).unwrap();
-                    let dst = m.create_scoped(64 << 10).unwrap();
-                    let wp = Wedge::pin_from_base(&m, parent).unwrap();
-                    let ws = Wedge::pin_under(&m, src, parent).unwrap();
-                    let wd = Wedge::pin_under(&m, dst, parent).unwrap();
-                    (m, parent, src, dst, (wp, ws, wd))
-                },
-                |(m, parent, src, dst, _w)| {
-                    let mut ctx = Ctx::no_heap(&m);
-                    ctx.enter(parent, |ctx| {
-                        ctx.enter(src, |ctx| {
-                            for _ in 0..64 {
-                                let out = pass_serialized(ctx, parent, dst, payload, |msg, _| {
-                                    msg.len()
-                                })
-                                .unwrap();
-                                black_box(out);
-                            }
-                        })
-                        .unwrap();
-                    })
-                    .unwrap();
-                },
-                criterion::BatchSize::LargeInput,
-            );
+        let p = payload.clone();
+        run_batched(&format!("serialization/{size}"), 200, setup, move |state| {
+            let (m, parent, src, dst, _w) = state;
+            let mut ctx = Ctx::no_heap(&m);
+            ctx.enter(parent, |ctx| {
+                ctx.enter(src, |ctx| {
+                    for _ in 0..64 {
+                        let out =
+                            pass_serialized(ctx, parent, dst, &p, |msg, _| msg.len()).unwrap();
+                        black_box(out);
+                    }
+                })
+                .unwrap();
+            })
+            .unwrap();
         });
 
-        group.bench_with_input(BenchmarkId::new("shared_object", size), &payload, |b, payload| {
-            b.iter_batched(
-                || {
-                    let m = MemoryModel::new();
-                    let parent = m.create_scoped(1 << 20).unwrap();
-                    let src = m.create_scoped(64 << 10).unwrap();
-                    let dst = m.create_scoped(64 << 10).unwrap();
-                    let wp = Wedge::pin_from_base(&m, parent).unwrap();
-                    let ws = Wedge::pin_under(&m, src, parent).unwrap();
-                    let wd = Wedge::pin_under(&m, dst, parent).unwrap();
-                    (m, parent, src, dst, (wp, ws, wd))
-                },
-                |(m, parent, src, dst, _w)| {
-                    let mut ctx = Ctx::no_heap(&m);
-                    ctx.enter(parent, |ctx| {
-                        ctx.enter(src, |ctx| {
-                            for _ in 0..64 {
-                                let out = pass_shared(ctx, parent, dst, payload.clone(), |shared, ctx| {
-                                    shared.with(ctx, |v: &Vec<u8>| v.len()).unwrap()
-                                })
-                                .unwrap();
-                                black_box(out);
-                            }
+        let p = payload.clone();
+        run_batched(&format!("shared_object/{size}"), 200, setup, move |state| {
+            let (m, parent, src, dst, _w) = state;
+            let mut ctx = Ctx::no_heap(&m);
+            ctx.enter(parent, |ctx| {
+                ctx.enter(src, |ctx| {
+                    for _ in 0..64 {
+                        let out = pass_shared(ctx, parent, dst, p.clone(), |shared, ctx| {
+                            shared.with(ctx, |v: &Vec<u8>| v.len()).unwrap()
                         })
                         .unwrap();
-                    })
-                    .unwrap();
-                },
-                criterion::BatchSize::LargeInput,
-            );
+                        black_box(out);
+                    }
+                })
+                .unwrap();
+            })
+            .unwrap();
         });
 
-        group.bench_with_input(BenchmarkId::new("handoff", size), &payload, |b, payload| {
-            b.iter_batched(
-                || {
-                    let m = MemoryModel::new();
-                    let parent = m.create_scoped(1 << 20).unwrap();
-                    let src = m.create_scoped(64 << 10).unwrap();
-                    let dst = m.create_scoped(64 << 10).unwrap();
-                    let wp = Wedge::pin_from_base(&m, parent).unwrap();
-                    let ws = Wedge::pin_under(&m, src, parent).unwrap();
-                    let wd = Wedge::pin_under(&m, dst, parent).unwrap();
-                    (m, parent, src, dst, (wp, ws, wd))
-                },
-                |(m, parent, src, dst, _w)| {
-                    let mut ctx = Ctx::no_heap(&m);
-                    ctx.enter(parent, |ctx| {
-                        ctx.enter(src, |ctx| {
-                            for _ in 0..64 {
-                                let out =
-                                    pass_handoff(ctx, parent, dst, payload, |msg, _| msg.len())
-                                        .unwrap();
-                                black_box(out);
-                            }
-                        })
-                        .unwrap();
-                    })
-                    .unwrap();
-                },
-                criterion::BatchSize::LargeInput,
-            );
+        let p = payload.clone();
+        run_batched(&format!("handoff/{size}"), 200, setup, move |state| {
+            let (m, parent, src, dst, _w) = state;
+            let mut ctx = Ctx::no_heap(&m);
+            ctx.enter(parent, |ctx| {
+                ctx.enter(src, |ctx| {
+                    for _ in 0..64 {
+                        let out = pass_handoff(ctx, parent, dst, &p, |msg, _| msg.len()).unwrap();
+                        black_box(out);
+                    }
+                })
+                .unwrap();
+            })
+            .unwrap();
         });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_msgpass);
-criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Observability overhead check: the rtobs flight recorder + metrics
+//! registry must cost < 5% on the message-passing hot path.
+//!
+//! Workload: the shared-object pass (the mechanism the framework's
+//! message pools are built on, ablation A1), 64 passes between sibling
+//! scopes per iteration — the same routine as the `msgpass` bench.
+//! Three configurations:
+//!
+//! * **dormant** — no observer ever attached to the `MemoryModel`; the
+//!   instrumentation sites reduce to a cold `OnceLock` check. This is
+//!   the compiled-out baseline every pre-rtobs build paid.
+//! * **enabled** — observer attached and recording, as every built
+//!   `App` runs: counters/gauges tick, lifecycle events (reclaims,
+//!   pool leases) journal. Must stay within 5% of dormant.
+//! * **verbose** — opt-in per-entry scope enter/exit journaling
+//!   (`Observer::set_verbose`), reported for information only; this is
+//!   the level that deliberately trades overhead for trace detail.
+//!
+//! Configurations are interleaved across several passes so machine-load
+//! drift hits all of them equally. Each pass yields a p50; the
+//! per-configuration *minimum* of those p50s is compared — scheduler
+//! and load noise is strictly additive, so the smallest median a
+//! configuration ever achieves is its closest estimate of intrinsic
+//! cost, which is what the <5% budget is about.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use compadres_bench::harness::run_batched;
+use compadres_core::smm::pass_shared;
+use rtmem::{Ctx, MemoryModel, RegionId, Wedge};
+use rtobs::Observer;
+
+const PASSES: usize = 7;
+const ITERS: u32 = 300;
+const PAYLOAD: usize = 256;
+const TARGET_PCT: f64 = 5.0;
+
+enum Mode {
+    Dormant,
+    Enabled,
+    Verbose,
+}
+
+type Setup = (
+    MemoryModel,
+    RegionId,
+    RegionId,
+    RegionId,
+    (Wedge, Wedge, Wedge),
+);
+
+fn setup(mode: &Mode) -> Setup {
+    let m = MemoryModel::new();
+    match mode {
+        Mode::Dormant => {}
+        Mode::Enabled => m.set_observer(&Observer::new()),
+        Mode::Verbose => {
+            let obs = Observer::new();
+            obs.set_verbose(true);
+            m.set_observer(&obs);
+        }
+    }
+    let parent = m.create_scoped(1 << 20).unwrap();
+    let src = m.create_scoped(64 << 10).unwrap();
+    let dst = m.create_scoped(64 << 10).unwrap();
+    let wp = Wedge::pin_from_base(&m, parent).unwrap();
+    let ws = Wedge::pin_under(&m, src, parent).unwrap();
+    let wd = Wedge::pin_under(&m, dst, parent).unwrap();
+    (m, parent, src, dst, (wp, ws, wd))
+}
+
+fn routine(state: Setup) {
+    let (m, parent, src, dst, _w) = state;
+    let payload = vec![0xCDu8; PAYLOAD];
+    let mut ctx = Ctx::no_heap(&m);
+    ctx.enter(parent, |ctx| {
+        ctx.enter(src, |ctx| {
+            for _ in 0..64 {
+                let out = pass_shared(ctx, parent, dst, payload.clone(), |shared, ctx| {
+                    shared.with(ctx, |v: &Vec<u8>| v.len()).unwrap()
+                })
+                .unwrap();
+                black_box(out);
+            }
+        })
+        .unwrap();
+    })
+    .unwrap();
+}
+
+fn measure(name: &str, pass: usize, mode: Mode) -> Duration {
+    run_batched(
+        &format!("{name}/pass{pass}"),
+        ITERS,
+        move || setup(&mode),
+        routine,
+    )
+    .p50
+}
+
+fn main() {
+    println!("== obs_overhead: shared-object msgpass, 64 passes/iter ==");
+
+    let mut dormant = Vec::with_capacity(PASSES);
+    let mut enabled = Vec::with_capacity(PASSES);
+    let mut verbose = Vec::with_capacity(PASSES);
+    for pass in 0..PASSES {
+        dormant.push(measure("dormant", pass, Mode::Dormant));
+        enabled.push(measure("enabled", pass, Mode::Enabled));
+        verbose.push(measure("verbose", pass, Mode::Verbose));
+    }
+
+    let base = *dormant.iter().min().unwrap();
+    let on = *enabled.iter().min().unwrap();
+    let verb = *verbose.iter().min().unwrap();
+    let pct = |d: Duration| {
+        (d.as_nanos() as f64 - base.as_nanos() as f64) / base.as_nanos() as f64 * 100.0
+    };
+
+    println!();
+    println!(
+        "best iter p50, instrumentation dormant: {:>9} us",
+        compadres_bench::us(base)
+    );
+    println!(
+        "best iter p50, observer enabled:        {:>9} us  ({:+.2}%)",
+        compadres_bench::us(on),
+        pct(on)
+    );
+    println!(
+        "best iter p50, verbose scope tracing:   {:>9} us  ({:+.2}%, opt-in)",
+        compadres_bench::us(verb),
+        pct(verb)
+    );
+    println!(
+        "observability overhead: {:+.2}% (target < {TARGET_PCT}%)",
+        pct(on)
+    );
+    if pct(on) < TARGET_PCT {
+        println!("PASS: overhead within target");
+    } else {
+        println!("FAIL: overhead exceeds target");
+        std::process::exit(1);
+    }
+}

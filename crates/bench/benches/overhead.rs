@@ -7,20 +7,19 @@
 //! (scope entries, shared-object message passing via the common ancestor),
 //! and against a bare function-call chain with no memory model at all.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use compadres_bench::harness::run;
 use compadres_bench::{DispatchMode, Fig6App};
 use rtmem::{Ctx, MemoryModel, Wedge};
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("overhead");
-    group.sample_size(60);
+fn main() {
+    println!("== overhead: framework vs hand-coded vs bare calls ==");
 
     // Component framework round trip.
     let app = Fig6App::new(DispatchMode::Synchronous, true);
-    group.bench_function("compadres_round_trip", |b| {
-        b.iter(|| black_box(app.round_trip()));
+    run("compadres_round_trip", 2_000, || {
+        black_box(app.round_trip());
     });
 
     // Hand-coded equivalent: same scope structure and shared-object
@@ -36,19 +35,16 @@ fn bench_overhead(c: &mut Criterion) {
     // re-allocated, so immortal memory does not grow).
     let request = ctx.alloc_in(model.immortal(), 0i32).unwrap();
     let reply = ctx.alloc_in(model.immortal(), 0i32).unwrap();
-    group.bench_function("hand_coded_round_trip", |b| {
-        b.iter(|| {
-            request.with_mut(&ctx, |v| *v = 3).unwrap();
-            ctx.enter(client, |ctx| {
-                ctx.execute_in(model.immortal(), |ctx| {
-                    ctx.enter(server, |ctx| {
-                        let v = request.get_clone(ctx).unwrap();
-                        reply.with_mut(ctx, |r| *r = v + 1).unwrap();
-                        ctx.execute_in(model.immortal(), |ctx| {
-                            ctx.enter(client, |ctx| {
-                                black_box(reply.get_clone(ctx).unwrap());
-                            })
-                            .unwrap();
+    run("hand_coded_round_trip", 20_000, || {
+        request.with_mut(&ctx, |v| *v = 3).unwrap();
+        ctx.enter(client, |ctx| {
+            ctx.execute_in(model.immortal(), |ctx| {
+                ctx.enter(server, |ctx| {
+                    let v = request.get_clone(ctx).unwrap();
+                    reply.with_mut(ctx, |r| *r = v + 1).unwrap();
+                    ctx.execute_in(model.immortal(), |ctx| {
+                        ctx.enter(client, |ctx| {
+                            black_box(reply.get_clone(ctx).unwrap());
                         })
                         .unwrap();
                     })
@@ -57,24 +53,18 @@ fn bench_overhead(c: &mut Criterion) {
                 .unwrap();
             })
             .unwrap();
-        });
+        })
+        .unwrap();
     });
 
     // Bare function calls: the floor.
-    group.bench_function("bare_call_chain", |b| {
-        b.iter(|| {
-            fn server_fn(v: i32) -> i32 {
-                v + 1
-            }
-            fn client_fn(v: i32) -> i32 {
-                server_fn(v)
-            }
-            black_box(client_fn(black_box(3)));
-        });
+    run("bare_call_chain", 100_000, || {
+        fn server_fn(v: i32) -> i32 {
+            v + 1
+        }
+        fn client_fn(v: i32) -> i32 {
+            server_fn(v)
+        }
+        black_box(client_fn(black_box(3)));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

@@ -8,64 +8,52 @@
 //! sizes; pooled acquisition should be roughly constant while fresh
 //! creation grows linearly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use compadres_bench::harness::run;
 use rtmem::{Ctx, MemoryModel, ScopePool};
 
-fn bench_scopepool(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scopepool");
-    group.sample_size(40);
+fn main() {
+    println!("== scopepool: pooled acquire vs fresh LT/VT scope creation ==");
 
     for size in [16usize << 10, 64 << 10, 256 << 10, 1 << 20] {
-        group.throughput(Throughput::Bytes(size as u64));
+        let kib = size >> 10;
 
         let model = MemoryModel::new();
         let pool = ScopePool::new(&model, 1, size, 2).unwrap();
         let mut ctx = Ctx::no_heap(&model);
-        group.bench_with_input(BenchmarkId::new("pooled", size), &size, |b, _| {
-            b.iter(|| {
-                let lease = pool.acquire().unwrap();
-                ctx.enter(lease.region(), |ctx| {
-                    black_box(ctx.alloc(7u64).unwrap());
-                })
-                .unwrap();
-                drop(lease);
-            });
+        run(&format!("pooled/{kib}KiB"), 20_000, || {
+            let lease = pool.acquire().unwrap();
+            ctx.enter(lease.region(), |ctx| {
+                black_box(ctx.alloc(7u64).unwrap());
+            })
+            .unwrap();
+            drop(lease);
         });
 
         let model2 = MemoryModel::new();
         let mut ctx2 = Ctx::no_heap(&model2);
-        group.bench_with_input(BenchmarkId::new("fresh_lt", size), &size, |b, _| {
-            b.iter(|| {
-                // Pay the linear-time creation (allocate + zero), use, destroy.
-                let region = model2.create_scoped(size).unwrap();
-                ctx2.enter(region, |ctx| {
-                    black_box(ctx.alloc(7u64).unwrap());
-                })
-                .unwrap();
-                model2.destroy_scoped(region).unwrap();
-            });
+        run(&format!("fresh_lt/{kib}KiB"), 2_000, || {
+            // Pay the linear-time creation (allocate + zero), use, destroy.
+            let region = model2.create_scoped(size).unwrap();
+            ctx2.enter(region, |ctx| {
+                black_box(ctx.alloc(7u64).unwrap());
+            })
+            .unwrap();
+            model2.destroy_scoped(region).unwrap();
         });
 
         // Variable-time memory: constant-time creation (nothing zeroed up
         // front) — the predictability trade-off the paper discusses.
         let model3 = MemoryModel::new();
         let mut ctx3 = Ctx::no_heap(&model3);
-        group.bench_with_input(BenchmarkId::new("fresh_vt", size), &size, |b, _| {
-            b.iter(|| {
-                let region = model3.create_scoped_vt(size).unwrap();
-                ctx3.enter(region, |ctx| {
-                    black_box(ctx.alloc(7u64).unwrap());
-                })
-                .unwrap();
-                model3.destroy_scoped(region).unwrap();
-            });
+        run(&format!("fresh_vt/{kib}KiB"), 2_000, || {
+            let region = model3.create_scoped_vt(size).unwrap();
+            ctx3.enter(region, |ctx| {
+                black_box(ctx.alloc(7u64).unwrap());
+            })
+            .unwrap();
+            model3.destroy_scoped(region).unwrap();
         });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_scopepool);
-criterion_main!(benches);

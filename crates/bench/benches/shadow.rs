@@ -7,9 +7,10 @@
 //! directly to A, with the message pool living in A's memory area.
 //! Expected shape: shadow beats relay by roughly one hop.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::mpsc;
+
+use compadres_bench::harness::run;
 
 use compadres_core::{App, AppBuilder, HandlerCtx, Priority};
 
@@ -18,7 +19,8 @@ struct Report {
     value: i64,
 }
 
-const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+const SYNC: &str =
+    "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
 
 fn cdl(relay: bool) -> String {
     let b_ports = if relay {
@@ -167,24 +169,18 @@ fn kick(app: &App, rx: &mpsc::Receiver<i64>) -> i64 {
     rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap()
 }
 
-fn bench_shadow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("shadow_vs_relay");
-    group.sample_size(60);
+fn main() {
+    println!("== shadow ports vs relaying through the parent ==");
 
     let (shadow_app, shadow_rx, _k1) = build(false);
     assert_eq!(kick(&shadow_app, &shadow_rx), 42);
-    group.bench_function("shadow_port_direct", |b| {
-        b.iter(|| black_box(kick(&shadow_app, &shadow_rx)));
+    run("shadow_port_direct", 2_000, || {
+        black_box(kick(&shadow_app, &shadow_rx));
     });
 
     let (relay_app, relay_rx, _k2) = build(true);
     assert_eq!(kick(&relay_app, &relay_rx), 42);
-    group.bench_function("relay_through_parent", |b| {
-        b.iter(|| black_box(kick(&relay_app, &relay_rx)));
+    run("relay_through_parent", 2_000, || {
+        black_box(kick(&relay_app, &relay_rx));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_shadow);
-criterion_main!(benches);

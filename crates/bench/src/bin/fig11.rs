@@ -18,7 +18,11 @@ const SIZES: [usize; 6] = [32, 64, 128, 256, 512, 1024];
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let tcp = !std::env::args().any(|a| a == "--inproc");
-    let protocol = if quick { SteadyState::quick() } else { SteadyState::paper() };
+    let protocol = if quick {
+        SteadyState::quick()
+    } else {
+        SteadyState::paper()
+    };
 
     println!("Fig. 11: Comparison of round-trip times of RTZen (ZenOrb stand-in)");
     println!("with the Compadres ORB for different message sizes, single host");
@@ -26,7 +30,11 @@ fn main() {
         "({} observations per point, {} warm-up, transport: {})",
         protocol.observations,
         protocol.warmup,
-        if tcp { "TCP loopback" } else { "in-process loopback" }
+        if tcp {
+            "TCP loopback"
+        } else {
+            "in-process loopback"
+        }
     );
     println!();
     println!(
@@ -44,8 +52,10 @@ fn main() {
 
         // --- ZenOrb (hand-coded baseline, the RTZen stand-in) ---
         let (zen_summary, _guard1): (LatencySummary, Box<dyn std::any::Any>) = if tcp {
-            let server = zen::ZenServer::spawn_tcp(ObjectRegistry::with_echo()).expect("zen tcp server");
-            let client = zen::ZenClient::connect_tcp(server.addr().unwrap()).expect("zen tcp client");
+            let server =
+                zen::ZenServer::spawn_tcp(ObjectRegistry::with_echo()).expect("zen tcp server");
+            let client =
+                zen::ZenClient::connect_tcp(server.addr().unwrap()).expect("zen tcp client");
             let rec = protocol.run_timed_result(&client, &payload);
             (rec, Box::new(server))
         } else {
@@ -56,10 +66,10 @@ fn main() {
 
         // --- Compadres ORB ---
         let (compadres_summary, _guard2): (LatencySummary, Box<dyn std::any::Any>) = if tcp {
-            let server =
-                corb::CompadresServer::spawn_tcp(ObjectRegistry::with_echo()).expect("corb tcp server");
-            let client =
-                corb::CompadresClient::connect_tcp(server.addr().unwrap()).expect("corb tcp client");
+            let server = corb::CompadresServer::spawn_tcp(ObjectRegistry::with_echo())
+                .expect("corb tcp server");
+            let client = corb::CompadresClient::connect_tcp(server.addr().unwrap())
+                .expect("corb tcp client");
             let rec = protocol.run_timed_result(&client, &payload);
             (rec, Box::new(server))
         } else {
@@ -68,7 +78,10 @@ fn main() {
             (rec, Box::new(server))
         };
 
-        for (name, s) in [("RTZen (Zen)", &zen_summary), ("Compadres", &compadres_summary)] {
+        for (name, s) in [
+            ("RTZen (Zen)", &zen_summary),
+            ("Compadres", &compadres_summary),
+        ] {
             println!(
                 "{:<10}{:<14}{:>12}{:>12}{:>12}{:>12}{:>12}",
                 size,
@@ -122,7 +135,9 @@ impl InvokeTimed for zen::ZenClient {
 
 impl InvokeTimed for corb::CompadresClient {
     fn invoke_once(&self, payload: &[u8]) {
-        let reply = self.invoke(b"echo", "echo", payload).expect("compadres invoke");
+        let reply = self
+            .invoke(b"echo", "echo", payload)
+            .expect("compadres invoke");
         assert_eq!(reply.len(), payload.len());
     }
 }

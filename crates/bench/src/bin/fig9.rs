@@ -11,7 +11,11 @@ use rtsched::SteadyState;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let protocol = if quick { SteadyState::quick() } else { SteadyState::paper() };
+    let protocol = if quick {
+        SteadyState::quick()
+    } else {
+        SteadyState::paper()
+    };
 
     println!("Fig. 9: Roundtrip Latency/Jitter, Single Host");
     println!(

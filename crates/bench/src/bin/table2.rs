@@ -18,8 +18,10 @@ fn main() {
         match arg.as_str() {
             "--quick" => protocol = SteadyState::quick(),
             "--obs" => {
-                protocol.observations =
-                    it.next().and_then(|v| v.parse().ok()).expect("--obs <count>");
+                protocol.observations = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--obs <count>");
             }
             "--seed" => {
                 seed = it.next().and_then(|v| v.parse().ok()).expect("--seed <n>");
@@ -31,9 +33,7 @@ fn main() {
         }
     }
 
-    println!(
-        "Table 2: median and jitter of round-trip times on different platforms"
-    );
+    println!("Table 2: median and jitter of round-trip times on different platforms");
     println!(
         "(Fig. 6 co-located client–server, {} steady-state observations, {} warm-up)",
         protocol.observations, protocol.warmup

@@ -11,7 +11,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use compadres_core::{App, AppBuilder, ChildHandle, HandlerCtx, Priority};
-use parking_lot::Mutex;
+use rtplatform::sync::Mutex;
 use std::sync::Arc;
 
 /// The strongly-typed message of the paper's example (`MyInteger`).
@@ -175,7 +175,11 @@ impl Fig6App {
         } else {
             Vec::new()
         };
-        Fig6App { app, rx, _keepalive: keepalive }
+        Fig6App {
+            app,
+            rx,
+            _keepalive: keepalive,
+        }
     }
 
     /// Triggers one round trip (IMC sends the trigger message through P1)
@@ -190,7 +194,8 @@ impl Fig6App {
                 let mut trigger = ctx.get_message::<MyInteger>("P1").expect("trigger message");
                 trigger.value = 1;
                 // "Send trigger msg with priority 2" (paper Fig. 7).
-                ctx.send("P1", trigger, Priority::new(2)).expect("trigger send");
+                ctx.send("P1", trigger, Priority::new(2))
+                    .expect("trigger send");
             })
             .expect("imc runs");
         self.rx
@@ -212,6 +217,89 @@ pub const FIG6_ALLOC_PER_ROUND_TRIP: usize = 3 * 64 + 512;
 /// Formats a duration in microseconds with one decimal.
 pub fn us(d: Duration) -> String {
     format!("{:.1}", d.as_nanos() as f64 / 1_000.0)
+}
+
+/// Minimal dependency-free timing harness used by the `benches/`
+/// binaries (`cargo bench` runs them with `harness = false`).
+pub mod harness {
+    use std::time::{Duration, Instant};
+
+    /// Summary of one benchmark case.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Stats {
+        /// Timed iterations.
+        pub iters: u32,
+        /// Mean per-iteration time.
+        pub mean: Duration,
+        /// Median per-iteration time.
+        pub p50: Duration,
+        /// Fastest iteration.
+        pub min: Duration,
+        /// Slowest iteration.
+        pub max: Duration,
+    }
+
+    fn summarize(mut samples: Vec<Duration>) -> Stats {
+        samples.sort();
+        let iters = samples.len() as u32;
+        let total: Duration = samples.iter().sum();
+        Stats {
+            iters,
+            mean: total / iters.max(1),
+            p50: samples[samples.len() / 2],
+            min: samples[0],
+            max: samples[samples.len() - 1],
+        }
+    }
+
+    fn print(name: &str, s: &Stats) {
+        println!(
+            "{name:<44} {:>9.2} us/iter  p50 {:>9.2}  min {:>9.2}  max {:>9.2}  ({} iters)",
+            s.mean.as_nanos() as f64 / 1e3,
+            s.p50.as_nanos() as f64 / 1e3,
+            s.min.as_nanos() as f64 / 1e3,
+            s.max.as_nanos() as f64 / 1e3,
+            s.iters
+        );
+    }
+
+    /// Times `f` for `iters` iterations after a 10% warmup, printing and
+    /// returning the summary.
+    pub fn run(name: &str, iters: u32, mut f: impl FnMut()) -> Stats {
+        for _ in 0..(iters / 10).max(1) {
+            f();
+        }
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters.max(1) {
+            let t = Instant::now();
+            f();
+            samples.push(t.elapsed());
+        }
+        let s = summarize(samples);
+        print(name, &s);
+        s
+    }
+
+    /// Like [`run`] but with untimed per-iteration setup: each iteration
+    /// times only `routine(setup())`.
+    pub fn run_batched<T>(
+        name: &str,
+        iters: u32,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(T),
+    ) -> Stats {
+        routine(setup()); // warmup
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters.max(1) {
+            let input = setup();
+            let t = Instant::now();
+            routine(input);
+            samples.push(t.elapsed());
+        }
+        let s = summarize(samples);
+        print(name, &s);
+        s
+    }
 }
 
 #[cfg(test)]

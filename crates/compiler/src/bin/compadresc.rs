@@ -32,13 +32,16 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<String, String> {
     match args {
         [cmd, cdl_path] if cmd == "skeleton" => {
-            let cdl_src = std::fs::read_to_string(cdl_path).map_err(|e| format!("{cdl_path}: {e}"))?;
+            let cdl_src =
+                std::fs::read_to_string(cdl_path).map_err(|e| format!("{cdl_path}: {e}"))?;
             let cdl = compadres_core::parse_cdl(&cdl_src).map_err(|e| e.to_string())?;
             Ok(generate_skeletons(&cdl, &SkeletonOptions::default()))
         }
         [cmd, cdl_path, ccl_path] if cmd == "plan" || cmd == "check" || cmd == "graph" => {
-            let cdl_src = std::fs::read_to_string(cdl_path).map_err(|e| format!("{cdl_path}: {e}"))?;
-            let ccl_src = std::fs::read_to_string(ccl_path).map_err(|e| format!("{ccl_path}: {e}"))?;
+            let cdl_src =
+                std::fs::read_to_string(cdl_path).map_err(|e| format!("{cdl_path}: {e}"))?;
+            let ccl_src =
+                std::fs::read_to_string(ccl_path).map_err(|e| format!("{ccl_path}: {e}"))?;
             let cdl = compadres_core::parse_cdl(&cdl_src).map_err(|e| e.to_string())?;
             let ccl = compadres_core::parse_ccl(&ccl_src).map_err(|e| e.to_string())?;
             if cmd == "plan" {
@@ -47,8 +50,12 @@ fn run(args: &[String]) -> Result<String, String> {
                 compadres_compiler::render_dot(&cdl, &ccl).map_err(|e| e.to_string())
             } else {
                 let app = compadres_core::validate(&cdl, &ccl).map_err(|e| e.to_string())?;
-                let mut out = format!("{}: OK ({} instances, {} connections)\n",
-                    app.name, app.instances.len(), app.connections.len());
+                let mut out = format!(
+                    "{}: OK ({} instances, {} connections)\n",
+                    app.name,
+                    app.instances.len(),
+                    app.connections.len()
+                );
                 for w in &app.warnings {
                     out.push_str(&format!("warning: {w}\n"));
                 }

@@ -72,7 +72,11 @@ fn render_instance(app: &ValidatedApp, id: InstanceId, out: &mut String, depth: 
         );
     } else {
         let _ = writeln!(out, "{pad}subgraph \"cluster_{}\" {{", inst.name);
-        let _ = writeln!(out, "{pad}  label=\"{} : {} [{kind_label}]\";", inst.name, inst.class);
+        let _ = writeln!(
+            out,
+            "{pad}  label=\"{} : {} [{kind_label}]\";",
+            inst.name, inst.class
+        );
         let _ = writeln!(
             out,
             "{pad}  \"{}\" [label=\"{}\\n{}\", style=filled, fillcolor=lightgray];",
@@ -118,7 +122,10 @@ mod tests {
         assert!(dot.contains("subgraph \"cluster_Root\""));
         assert!(dot.contains("\"L\" [label=\"L\\nA [scope L1]\"]"));
         assert!(dot.contains("\"L\" -> \"R\""));
-        assert!(dot.contains("style=bold"), "external links are bold:\n{dot}");
+        assert!(
+            dot.contains("style=bold"),
+            "external links are bold:\n{dot}"
+        );
         assert!(dot.ends_with("}\n"));
         // Balanced braces.
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());
@@ -126,10 +133,9 @@ mod tests {
 
     #[test]
     fn dot_rejects_invalid_composition() {
-        let cdl = compadres_core::parse_cdl(
-            "<Component><ComponentName>A</ComponentName></Component>",
-        )
-        .unwrap();
+        let cdl =
+            compadres_core::parse_cdl("<Component><ComponentName>A</ComponentName></Component>")
+                .unwrap();
         let ccl = compadres_core::parse_ccl(
             r#"<Application><ApplicationName>Bad</ApplicationName>
             <Component><InstanceName>X</InstanceName><ClassName>Nope</ClassName><ComponentType>Immortal</ComponentType></Component>

@@ -133,10 +133,9 @@ mod tests {
 
     #[test]
     fn plan_rejects_invalid_composition() {
-        let cdl = compadres_core::parse_cdl(
-            "<Component><ComponentName>A</ComponentName></Component>",
-        )
-        .unwrap();
+        let cdl =
+            compadres_core::parse_cdl("<Component><ComponentName>A</ComponentName></Component>")
+                .unwrap();
         let ccl = compadres_core::parse_ccl(
             r#"<Application><ApplicationName>Bad</ApplicationName>
             <Component><InstanceName>X</InstanceName><ClassName>Missing</ClassName><ComponentType>Immortal</ComponentType></Component>

@@ -65,7 +65,11 @@ const CCL: &str = r#"
 fn skeleton_subcommand_emits_rust() {
     let cdl = write_temp("pump.cdl", CDL);
     let out = compadresc().arg("skeleton").arg(&cdl).output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("pub struct PumpComponent"));
     assert!(text.contains("pub struct ControllerStatusHandler"));
@@ -77,7 +81,12 @@ fn skeleton_subcommand_emits_rust() {
 fn plan_subcommand_prints_architecture() {
     let cdl = write_temp("pump2.cdl", CDL);
     let ccl = write_temp("pump2.ccl", CCL);
-    let out = compadresc().arg("plan").arg(&cdl).arg(&ccl).output().unwrap();
+    let out = compadresc()
+        .arg("plan")
+        .arg(&cdl)
+        .arg(&ccl)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("Application: PumpApp"));
@@ -90,7 +99,12 @@ fn plan_subcommand_prints_architecture() {
 fn check_subcommand_reports_warnings() {
     let cdl = write_temp("pump3.cdl", CDL);
     let ccl = write_temp("pump3.ccl", CCL);
-    let out = compadresc().arg("check").arg(&cdl).arg(&ccl).output().unwrap();
+    let out = compadresc()
+        .arg("check")
+        .arg(&cdl)
+        .arg(&ccl)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("PumpApp: OK (2 instances, 2 connections)"));
@@ -102,7 +116,12 @@ fn invalid_composition_fails_with_message() {
     let cdl = write_temp("pump4.cdl", CDL);
     let bad = CCL.replace("<ToPort>Cmd</ToPort>", "<ToPort>Status</ToPort>");
     let ccl = write_temp("pump4.ccl", &bad);
-    let out = compadresc().arg("plan").arg(&cdl).arg(&ccl).output().unwrap();
+    let out = compadresc()
+        .arg("plan")
+        .arg(&cdl)
+        .arg(&ccl)
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("must join Out with In"), "stderr: {err}");
@@ -110,7 +129,11 @@ fn invalid_composition_fails_with_message() {
 
 #[test]
 fn missing_file_and_bad_usage() {
-    let out = compadresc().arg("skeleton").arg("/nonexistent.cdl").output().unwrap();
+    let out = compadresc()
+        .arg("skeleton")
+        .arg("/nonexistent.cdl")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let out = compadresc().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());
@@ -121,7 +144,12 @@ fn missing_file_and_bad_usage() {
 fn graph_subcommand_emits_dot() {
     let cdl = write_temp("pump5.cdl", CDL);
     let ccl = write_temp("pump5.ccl", CCL);
-    let out = compadresc().arg("graph").arg(&cdl).arg(&ccl).output().unwrap();
+    let out = compadresc()
+        .arg("graph")
+        .arg(&cdl)
+        .arg(&ccl)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let dot = String::from_utf8(out.stdout).unwrap();
     assert!(dot.starts_with("digraph \"PumpApp\""));

@@ -11,14 +11,31 @@ use std::sync::atomic::{AtomicBool, AtomicUsize};
 use std::sync::Arc;
 
 use rtmem::{MemoryModel, ScopePool};
+use rtobs::Observer;
 use rtsched::{PoolConfig, Priority, ThreadPool};
 
 use crate::component::{Component, ErasedHandler, MessageHandler, TypedHandler};
 use crate::error::{CompadresError, Result};
 use crate::message::{AnyPool, Message, MessagePool};
 use crate::model::{Ccl, Cdl, PortDirection, ThreadpoolStrategy};
-use crate::runtime::{new_instance_runtime, App, AppCore, Dispatch, InPortInfo, OutPortInfo, StatCells};
+use crate::runtime::{
+    new_instance_runtime, App, AppCore, CoreObs, Dispatch, InPortInfo, OutPortInfo,
+};
 use crate::validate::{validate, InstanceId, ValidatedApp};
+
+/// Lowercases and underscores a CCL name so it can appear inside a
+/// Prometheus-style metric name.
+fn metric_safe(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
 
 /// Factory creating a type-erased message pool for a bound message type.
 type PoolFactory = Arc<dyn Fn(&str, usize) -> Arc<dyn AnyPool> + Send + Sync>;
@@ -79,7 +96,10 @@ impl AppBuilder {
     ///
     /// Parse errors from either document.
     pub fn from_xml(cdl: &str, ccl: &str) -> Result<Self> {
-        Ok(Self::from_model(crate::parse::parse_cdl(cdl)?, crate::parse::parse_ccl(ccl)?))
+        Ok(Self::from_model(
+            crate::parse::parse_cdl(cdl)?,
+            crate::parse::parse_ccl(ccl)?,
+        ))
     }
 
     /// Binds the CDL message type `name` to the Rust type `M`
@@ -107,7 +127,8 @@ impl AppBuilder {
         class: &str,
         factory: impl Fn() -> Box<dyn Component> + Send + Sync + 'static,
     ) -> Self {
-        self.component_factories.insert(class.to_string(), Arc::new(factory));
+        self.component_factories
+            .insert(class.to_string(), Arc::new(factory));
         self
     }
 
@@ -131,12 +152,18 @@ impl AppBuilder {
             .map(|p| p.message_type.clone())
             .unwrap_or_default();
         let erased = Arc::new(move || {
-            Box::new(TypedHandler::new(factory(), port_name.clone(), message_type.clone()))
-                as Box<dyn ErasedHandler>
+            Box::new(TypedHandler::new(
+                factory(),
+                port_name.clone(),
+                message_type.clone(),
+            )) as Box<dyn ErasedHandler>
         });
         self.handler_factories.insert(
             (class.to_string(), port.to_string()),
-            RegisteredHandler { factory: erased, message_type_id: TypeId::of::<M>() },
+            RegisteredHandler {
+                factory: erased,
+                message_type_id: TypeId::of::<M>(),
+            },
         );
         self
     }
@@ -195,10 +222,19 @@ impl AppBuilder {
         let vapp: ValidatedApp = validate(&self.cdl, &self.ccl)?;
         let model = MemoryModel::with_sizes(self.heap_size, vapp.rtsj.immortal_size.max(64 << 10));
 
+        // One observability domain for the whole app. The memory model
+        // must carry it *before* scope pools are created: pools resolve
+        // their observer hook at construction.
+        let obs = Observer::new();
+        model.set_observer(&obs);
+
         // Scope pools per level (CCL RTSJAttributes).
         let mut scope_pools = HashMap::new();
         for cfg in &vapp.rtsj.scoped_pools {
-            scope_pools.insert(cfg.level, ScopePool::new(&model, cfg.level, cfg.scope_size, cfg.pool_size)?);
+            scope_pools.insert(
+                cfg.level,
+                ScopePool::new(&model, cfg.level, cfg.scope_size, cfg.pool_size)?,
+            );
         }
 
         // Instance runtimes.
@@ -242,7 +278,9 @@ impl AppBuilder {
             let port_def = class.port(&key.1).expect("validated");
             debug_assert_eq!(port_def.direction, PortDirection::In);
             let attrs = vi.port_attrs[&key.1];
-            let registered = self.handler_factories.get(&(vi.class.clone(), key.1.clone()));
+            let registered = self
+                .handler_factories
+                .get(&(vi.class.clone(), key.1.clone()));
             let reg = match (registered, connected_in.contains(key)) {
                 (Some(reg), _) => reg,
                 // Connected ports must have a handler…
@@ -255,12 +293,15 @@ impl AppBuilder {
                 // …unconnected, unhandled ports stay unwired (warned).
                 (None, false) => continue,
             };
-            let binding = self.message_bindings.get(&port_def.message_type).ok_or_else(|| {
-                CompadresError::Validation(format!(
+            let binding = self
+                .message_bindings
+                .get(&port_def.message_type)
+                .ok_or_else(|| {
+                    CompadresError::Validation(format!(
                     "message type {:?} used by {}.{} has no Rust binding; call bind_message_type",
                     port_def.message_type, vi.name, key.1
                 ))
-            })?;
+                })?;
             if reg.message_type_id != binding.type_id {
                 return Err(CompadresError::MessageTypeMismatch {
                     port: format!("{}.{}", vi.name, key.1),
@@ -274,14 +315,16 @@ impl AppBuilder {
                 let pool = match attrs.strategy {
                     ThreadpoolStrategy::Dedicated => {
                         let m = model.clone();
-                        Arc::new(ThreadPool::new(
+                        let pool = Arc::new(ThreadPool::new(
                             PoolConfig {
                                 min_threads: attrs.min_threads.max(1),
                                 max_threads: attrs.max_threads.max(1),
                                 idle_priority: Priority::MIN,
                             },
                             move || rtmem::Ctx::no_heap(&m),
-                        ))
+                        ));
+                        pool.set_observer(&obs, &metric_safe(&format!("{}_{}", vi.name, key.1)));
+                        pool
                     }
                     _ => {
                         // Shared (or default): one pool per instance.
@@ -297,6 +340,7 @@ impl AppBuilder {
                                     },
                                     move || rtmem::Ctx::no_heap(&m),
                                 ));
+                                pool.set_observer(&obs, &metric_safe(&vi.name));
                                 shared_pools.insert(
                                     key.0,
                                     (Arc::clone(&pool), attrs.min_threads, attrs.max_threads),
@@ -319,6 +363,7 @@ impl AppBuilder {
                     type_id: binding.type_id,
                     dispatch,
                     attrs,
+                    entity: obs.register_entity(&format!("{}.{}", vi.name, key.1)),
                 },
             );
         }
@@ -335,12 +380,14 @@ impl AppBuilder {
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
                     let binding =
-                        self.message_bindings.get(&conn.message_type).ok_or_else(|| {
-                            CompadresError::Validation(format!(
-                                "message type {:?} on connection has no Rust binding",
-                                conn.message_type
-                            ))
-                        })?;
+                        self.message_bindings
+                            .get(&conn.message_type)
+                            .ok_or_else(|| {
+                                CompadresError::Validation(format!(
+                                    "message type {:?} on connection has no Rust binding",
+                                    conn.message_type
+                                ))
+                            })?;
                     // Pool capacity: enough for every target buffer plus
                     // slack for in-preparation messages.
                     let cap: usize = vapp
@@ -383,11 +430,13 @@ impl AppBuilder {
                 .into_iter()
                 .map(|(k, v)| (k, v.factory))
                 .collect(),
-            stats: StatCells::default(),
+            stats: CoreObs::new(obs),
             shutdown: AtomicBool::new(false),
             validated: vapp,
         };
-        Ok(App { core: Arc::new(core) })
+        Ok(App {
+            core: Arc::new(core),
+        })
     }
 
     /// Validates without building; returns warnings.

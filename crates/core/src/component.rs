@@ -80,7 +80,12 @@ pub(crate) struct TypedHandler<M: Message, H: MessageHandler<M>> {
 
 impl<M: Message, H: MessageHandler<M>> TypedHandler<M, H> {
     pub(crate) fn new(handler: H, port: impl Into<String>, expected: impl Into<String>) -> Self {
-        TypedHandler { handler, port: port.into(), expected: expected.into(), _marker: PhantomData }
+        TypedHandler {
+            handler,
+            port: port.into(),
+            expected: expected.into(),
+            _marker: PhantomData,
+        }
     }
 }
 

@@ -69,7 +69,10 @@ impl fmt::Display for CompadresError {
                 write!(f, "message pool for type {message_type:?} is exhausted")
             }
             CompadresError::MessageTypeMismatch { port, expected } => {
-                write!(f, "message type mismatch on port {port:?}: expected {expected}")
+                write!(
+                    f,
+                    "message type mismatch on port {port:?}: expected {expected}"
+                )
             }
             CompadresError::BufferFull { instance, port } => {
                 write!(f, "buffer of {instance}.{port} is full")

@@ -136,9 +136,11 @@ pub use model::{
     PortDirection, RtsjAttributes, ScopedPoolCfg, ThreadpoolStrategy,
 };
 pub use parse::{parse_ccl, parse_cdl};
-pub use write::{write_ccl, write_cdl};
-pub use runtime::{App, AppStats, ChildHandle, HandlerCtx, DEFAULT_SCOPE_SIZE};
+pub use runtime::{
+    App, AppStats, ChildHandle, HandlerCtx, InstanceMemory, MemoryReport, DEFAULT_SCOPE_SIZE,
+};
 pub use validate::{validate, Connection, InstanceId, ValidatedApp, ValidatedInstance};
+pub use write::{write_ccl, write_cdl};
 
 // Re-export the priorities users need for send().
 pub use rtsched::Priority;

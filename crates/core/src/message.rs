@@ -11,7 +11,7 @@ use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rtplatform::sync::Mutex;
 
 use crate::error::{CompadresError, Result};
 use rtsched::Priority;
@@ -59,7 +59,9 @@ struct PoolInner<M: Message> {
 
 impl<M: Message> Clone for MessagePool<M> {
     fn clone(&self) -> Self {
-        MessagePool { inner: Arc::clone(&self.inner) }
+        MessagePool {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -68,7 +70,10 @@ impl<M: Message> std::fmt::Debug for MessagePool<M> {
         f.debug_struct("MessagePool")
             .field("message_type", &self.inner.message_type)
             .field("capacity", &self.inner.capacity)
-            .field("outstanding", &self.inner.outstanding.load(Ordering::Relaxed))
+            .field(
+                "outstanding",
+                &self.inner.outstanding.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -205,7 +210,10 @@ impl<M: Message> std::ops::DerefMut for PooledMsg<M> {
 impl<M: Message> PooledMsg<M> {
     /// Reconstructs a typed pooled message from an erased pool checkout.
     pub(crate) fn from_erased(value: Box<M>, pool: Arc<dyn AnyPool>) -> Self {
-        PooledMsg { slot: Some(value), pool }
+        PooledMsg {
+            slot: Some(value),
+            pool,
+        }
     }
 
     /// Converts into an envelope at the given priority; used by `send()`.
@@ -215,6 +223,7 @@ impl<M: Message> PooledMsg<M> {
             payload: Some(value as Box<dyn Any + Send>),
             pool: Some(Arc::clone(&self.pool)),
             priority,
+            enqueued_ns: 0,
         }
     }
 }
@@ -233,6 +242,9 @@ pub(crate) struct Envelope {
     payload: Option<Box<dyn Any + Send>>,
     pool: Option<Arc<dyn AnyPool>>,
     pub priority: Priority,
+    /// Observer timestamp set at admission, for the queue-wait histogram
+    /// (0 = never stamped).
+    pub enqueued_ns: u64,
 }
 
 impl std::fmt::Debug for Envelope {
@@ -244,7 +256,12 @@ impl std::fmt::Debug for Envelope {
 impl Envelope {
     /// Wraps a plain (non-pooled) message, used for external injection.
     pub(crate) fn from_value<M: Message>(value: M, priority: Priority) -> Envelope {
-        Envelope { payload: Some(Box::new(value)), pool: None, priority }
+        Envelope {
+            payload: Some(Box::new(value)),
+            pool: None,
+            priority,
+            enqueued_ns: 0,
+        }
     }
 
     /// Runs `f` on the payload, then recycles it to its pool.
@@ -346,7 +363,8 @@ mod tests {
         let region = model.create_scoped(4096).unwrap();
         let mut ctx = rtmem::Ctx::immortal(&model);
         ctx.enter(region, |ctx| {
-            let pool = MessagePool::<Blob>::new("Blob", 8, Blob::default, Some((ctx, region))).unwrap();
+            let pool =
+                MessagePool::<Blob>::new("Blob", 8, Blob::default, Some((ctx, region))).unwrap();
             let snap = model.snapshot(region).unwrap();
             assert!(snap.used >= 8 * 64, "region charged for the pool");
             drop(pool);

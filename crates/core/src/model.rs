@@ -50,12 +50,16 @@ impl ComponentDef {
 
     /// All in-ports.
     pub fn in_ports(&self) -> impl Iterator<Item = &PortDef> {
-        self.ports.iter().filter(|p| p.direction == PortDirection::In)
+        self.ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::In)
     }
 
     /// All out-ports.
     pub fn out_ports(&self) -> impl Iterator<Item = &PortDef> {
-        self.ports.iter().filter(|p| p.direction == PortDirection::Out)
+        self.ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::Out)
     }
 }
 
@@ -201,7 +205,10 @@ pub struct RtsjAttributes {
 
 impl Default for RtsjAttributes {
     fn default() -> Self {
-        RtsjAttributes { immortal_size: 4 << 20, scoped_pools: Vec::new() }
+        RtsjAttributes {
+            immortal_size: 4 << 20,
+            scoped_pools: Vec::new(),
+        }
     }
 }
 
@@ -241,7 +248,9 @@ impl Ccl {
 
     /// Finds an instance declaration by name anywhere in the tree.
     pub fn instance(&self, name: &str) -> Option<&InstanceDecl> {
-        self.instances().into_iter().find(|i| i.instance_name == name)
+        self.instances()
+            .into_iter()
+            .find(|i| i.instance_name == name)
     }
 }
 
@@ -251,10 +260,17 @@ mod tests {
 
     #[test]
     fn port_attrs_synchronous_detection() {
-        let sync = PortAttrs { min_threads: 0, max_threads: 0, ..Default::default() };
+        let sync = PortAttrs {
+            min_threads: 0,
+            max_threads: 0,
+            ..Default::default()
+        };
         assert!(sync.is_synchronous());
         assert!(!PortAttrs::default().is_synchronous());
-        let explicit = PortAttrs { strategy: ThreadpoolStrategy::Synchronous, ..Default::default() };
+        let explicit = PortAttrs {
+            strategy: ThreadpoolStrategy::Synchronous,
+            ..Default::default()
+        };
         assert!(explicit.is_synchronous());
     }
 
@@ -264,8 +280,16 @@ mod tests {
             components: vec![ComponentDef {
                 name: "Server".into(),
                 ports: vec![
-                    PortDef { name: "In1".into(), direction: PortDirection::In, message_type: "T".into() },
-                    PortDef { name: "Out1".into(), direction: PortDirection::Out, message_type: "T".into() },
+                    PortDef {
+                        name: "In1".into(),
+                        direction: PortDirection::In,
+                        message_type: "T".into(),
+                    },
+                    PortDef {
+                        name: "Out1".into(),
+                        direction: PortDirection::Out,
+                        message_type: "T".into(),
+                    },
                 ],
             }],
         };
@@ -297,7 +321,11 @@ mod tests {
             }],
             rtsj: RtsjAttributes::default(),
         };
-        let names: Vec<_> = ccl.instances().iter().map(|i| i.instance_name.as_str()).collect();
+        let names: Vec<_> = ccl
+            .instances()
+            .iter()
+            .map(|i| i.instance_name.as_str())
+            .collect();
         assert_eq!(names, vec!["A", "B"]);
         assert!(ccl.instance("B").is_some());
     }
@@ -306,7 +334,11 @@ mod tests {
     fn rtsj_pool_lookup() {
         let rtsj = RtsjAttributes {
             immortal_size: 1024,
-            scoped_pools: vec![ScopedPoolCfg { level: 1, scope_size: 512, pool_size: 3 }],
+            scoped_pools: vec![ScopedPoolCfg {
+                level: 1,
+                scope_size: 512,
+                pool_size: 3,
+            }],
         };
         assert_eq!(rtsj.pool_for_level(1).unwrap().pool_size, 3);
         assert!(rtsj.pool_for_level(2).is_none());

@@ -100,13 +100,19 @@ pub fn parse_ccl(input: &str) -> Result<Ccl> {
         .map(parse_instance)
         .collect::<Result<Vec<_>>>()?;
     if roots.is_empty() {
-        return Err(CompadresError::Model("CCL declares no component instances".into()));
+        return Err(CompadresError::Model(
+            "CCL declares no component instances".into(),
+        ));
     }
     let rtsj = match root.child("RTSJAttributes") {
         Some(a) => parse_rtsj(a)?,
         None => RtsjAttributes::default(),
     };
-    Ok(Ccl { application_name, roots, rtsj })
+    Ok(Ccl {
+        application_name,
+        roots,
+        rtsj,
+    })
 }
 
 fn parse_instance(e: &Element) -> Result<InstanceDecl> {
@@ -172,7 +178,14 @@ fn parse_instance(e: &Element) -> Result<InstanceDecl> {
         .children_named("Component")
         .map(parse_instance)
         .collect::<Result<Vec<_>>>()?;
-    Ok(InstanceDecl { instance_name, class_name, kind, port_attrs, links, children })
+    Ok(InstanceDecl {
+        instance_name,
+        class_name,
+        kind,
+        port_attrs,
+        links,
+        children,
+    })
 }
 
 fn parse_port_attrs(e: &Element) -> Result<PortAttrs> {
@@ -191,8 +204,12 @@ fn parse_port_attrs(e: &Element) -> Result<PortAttrs> {
     let attrs = PortAttrs {
         buffer_size: e.child_parse("BufferSize").unwrap_or(defaults.buffer_size),
         strategy,
-        min_threads: e.child_parse("MinThreadpoolSize").unwrap_or(defaults.min_threads),
-        max_threads: e.child_parse("MaxThreadpoolSize").unwrap_or(defaults.max_threads),
+        min_threads: e
+            .child_parse("MinThreadpoolSize")
+            .unwrap_or(defaults.min_threads),
+        max_threads: e
+            .child_parse("MaxThreadpoolSize")
+            .unwrap_or(defaults.max_threads),
     };
     if attrs.buffer_size == 0 {
         return Err(CompadresError::Model("buffer size must be positive".into()));
@@ -208,7 +225,9 @@ fn parse_port_attrs(e: &Element) -> Result<PortAttrs> {
 
 fn parse_rtsj(e: &Element) -> Result<RtsjAttributes> {
     let defaults = RtsjAttributes::default();
-    let immortal_size = e.child_parse("ImmortalSize").unwrap_or(defaults.immortal_size);
+    let immortal_size = e
+        .child_parse("ImmortalSize")
+        .unwrap_or(defaults.immortal_size);
     let mut scoped_pools = Vec::new();
     for p in e.children_named("ScopedPool") {
         let cfg = ScopedPoolCfg {
@@ -222,7 +241,10 @@ fn parse_rtsj(e: &Element) -> Result<RtsjAttributes> {
                 .child_parse("PoolSize")
                 .ok_or_else(|| CompadresError::Model("scoped pool missing <PoolSize>".into()))?,
         };
-        if scoped_pools.iter().any(|x: &ScopedPoolCfg| x.level == cfg.level) {
+        if scoped_pools
+            .iter()
+            .any(|x: &ScopedPoolCfg| x.level == cfg.level)
+        {
             return Err(CompadresError::Model(format!(
                 "duplicate scoped pool for level {}",
                 cfg.level
@@ -230,7 +252,10 @@ fn parse_rtsj(e: &Element) -> Result<RtsjAttributes> {
         }
         scoped_pools.push(cfg);
     }
-    Ok(RtsjAttributes { immortal_size, scoped_pools })
+    Ok(RtsjAttributes {
+        immortal_size,
+        scoped_pools,
+    })
 }
 
 fn required_text(e: &Element, child: &str) -> Result<String> {
@@ -278,16 +303,16 @@ mod tests {
         let cdl = parse_cdl(PAPER_CDL).unwrap();
         assert_eq!(cdl.components.len(), 2);
         let server = cdl.component("Server").unwrap();
-        assert_eq!(server.port("DataOut").unwrap().direction, PortDirection::Out);
+        assert_eq!(
+            server.port("DataOut").unwrap().direction,
+            PortDirection::Out
+        );
         assert_eq!(server.port("DataIn").unwrap().message_type, "CustomType");
     }
 
     #[test]
     fn single_component_root_accepted() {
-        let cdl = parse_cdl(
-            "<Component><ComponentName>X</ComponentName></Component>",
-        )
-        .unwrap();
+        let cdl = parse_cdl("<Component><ComponentName>X</ComponentName></Component>").unwrap();
         assert_eq!(cdl.components[0].name, "X");
     }
 

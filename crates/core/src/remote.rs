@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
+use rtplatform::sync::Mutex;
 
 use crate::error::{CompadresError, Result};
 use crate::message::Message;
@@ -83,7 +83,9 @@ impl PortExporter {
             .name(format!("compadres-export-{instance}-{port}"))
             .spawn(move || {
                 while !shutdown2.load(Ordering::SeqCst) {
-                    let Ok((stream, _)) = listener.accept() else { break };
+                    let Ok((stream, _)) = listener.accept() else {
+                        break;
+                    };
                     let app = Arc::clone(&app);
                     let instance = instance.clone();
                     let port = port.clone();
@@ -156,7 +158,10 @@ fn read_message<M: BytesCodec>(stream: &mut TcpStream) -> std::io::Result<(Prior
     let priority = Priority::new(header[0]);
     let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
     if len > 64 << 20 {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "oversized frame"));
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "oversized frame",
+        ));
     }
     let mut payload = vec![0u8; len];
     stream.read_exact(&mut payload)?;
@@ -186,7 +191,11 @@ impl<M: Message + BytesCodec> RemotePort<M> {
     pub fn connect(addr: SocketAddr) -> Result<RemotePort<M>> {
         let stream = TcpStream::connect(addr).map_err(io_err)?;
         stream.set_nodelay(true).map_err(io_err)?;
-        Ok(RemotePort { stream: Mutex::new(stream), sent: AtomicU64::new(0), _marker: std::marker::PhantomData })
+        Ok(RemotePort {
+            stream: Mutex::new(stream),
+            sent: AtomicU64::new(0),
+            _marker: std::marker::PhantomData,
+        })
     }
 
     /// Sends one message at `priority`. Mirrors a local
@@ -236,7 +245,10 @@ mod tests {
             self.value.encode(out);
         }
         fn decode(bytes: &[u8]) -> Self {
-            Telemetry { id: u32::decode(&bytes[..4]), value: i64::decode(&bytes[4..]) }
+            Telemetry {
+                id: u32::decode(&bytes[..4]),
+                value: i64::decode(&bytes[4..]),
+            }
         }
     }
 
@@ -275,7 +287,10 @@ mod tests {
 
     #[test]
     fn codec_roundtrip() {
-        let t = Telemetry { id: 9, value: -1234 };
+        let t = Telemetry {
+            id: 9,
+            value: -1234,
+        };
         let mut buf = Vec::new();
         t.encode(&mut buf);
         assert_eq!(Telemetry::decode(&buf), t);
@@ -287,7 +302,15 @@ mod tests {
         let exporter = PortExporter::bind::<Telemetry>(&app, "S", "In").unwrap();
         let sender = RemotePort::<Telemetry>::connect(exporter.local_addr()).unwrap();
         for i in 0..10 {
-            sender.send(&Telemetry { id: i, value: i as i64 * 100 }, Priority::new(30)).unwrap();
+            sender
+                .send(
+                    &Telemetry {
+                        id: i,
+                        value: i as i64 * 100,
+                    },
+                    Priority::new(30),
+                )
+                .unwrap();
         }
         let mut got = Vec::new();
         for _ in 0..10 {
@@ -315,7 +338,13 @@ mod tests {
                 let sender = RemotePort::<Telemetry>::connect(addr).unwrap();
                 for i in 0..20 {
                     sender
-                        .send(&Telemetry { id: t * 100 + i, value: 1 }, Priority::NORM)
+                        .send(
+                            &Telemetry {
+                                id: t * 100 + i,
+                                value: 1,
+                            },
+                            Priority::NORM,
+                        )
                         .unwrap();
                 }
             }));
@@ -331,7 +360,10 @@ mod tests {
         // Bursts may overflow the bounded port buffer; every message is
         // either delivered or visibly rejected, never silently lost.
         assert_eq!(count + exporter.rejected(), 60);
-        assert!(count >= 32, "at least a buffer's worth must get through, got {count}");
+        assert!(
+            count >= 32,
+            "at least a buffer's worth must get through, got {count}"
+        );
     }
 
     #[test]

@@ -26,9 +26,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use rtplatform::sync::{Condvar, Mutex};
 
 use rtmem::{MemoryModel, RegionId, ScopeLease, ScopePool, Wedge};
+use rtobs::{CounterId, EventKind, HistId, Observer};
 use rtsched::{Priority, ThreadPool};
 
 use crate::component::{Component, ErasedHandler};
@@ -67,6 +68,8 @@ pub(crate) struct InPortInfo {
     pub type_id: TypeId,
     pub dispatch: Dispatch,
     pub attrs: PortAttrs,
+    /// Flight-recorder subject for this port ("instance.port").
+    pub entity: u32,
 }
 
 impl InPortInfo {
@@ -124,13 +127,97 @@ pub struct AppStats {
     pub deactivations: u64,
 }
 
-#[derive(Default)]
-pub(crate) struct StatCells {
-    sent: AtomicU64,
-    processed: AtomicU64,
-    handler_errors: AtomicU64,
-    handler_panics: AtomicU64,
-    buffer_rejections: AtomicU64,
+/// Structured snapshot of the application's scoped-memory state,
+/// returned by [`App::memory_report`]. `Display` renders the classic
+/// human-readable text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Bytes used in the immortal region.
+    pub immortal_used: usize,
+    /// Size of the immortal region.
+    pub immortal_size: usize,
+    /// Per-instance memory state, in declaration order.
+    pub instances: Vec<InstanceMemory>,
+}
+
+/// One component instance's entry in a [`MemoryReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceMemory {
+    /// Instance name from the CCL.
+    pub name: String,
+    /// Region currently occupied (`None` when inactive).
+    pub region: Option<RegionId>,
+    /// Bytes used in the region (0 when inactive or the region is gone).
+    pub used: usize,
+    /// Region size in bytes (0 when inactive or the region is gone).
+    pub size: usize,
+    /// Region reclamation epoch.
+    pub epoch: u64,
+    /// Lifetime activation count of this instance.
+    pub activations: u64,
+}
+
+impl InstanceMemory {
+    /// Whether the instance is currently materialized in a region.
+    pub fn is_active(&self) -> bool {
+        self.region.is_some()
+    }
+}
+
+impl std::fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "immortal: {}/{} bytes used",
+            self.immortal_used, self.immortal_size
+        )?;
+        for inst in &self.instances {
+            match inst.region {
+                Some(region) if inst.size > 0 => writeln!(
+                    f,
+                    "{:<20} active in {:?}: {}/{} bytes, epoch {}, {} activations",
+                    inst.name, region, inst.used, inst.size, inst.epoch, inst.activations
+                )?,
+                Some(_) => writeln!(f, "{:<20} active (region gone)", inst.name)?,
+                None => writeln!(
+                    f,
+                    "{:<20} inactive, {} activations so far",
+                    inst.name, inst.activations
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Observer handle plus the pre-registered ids for every metric the
+/// runtime touches on the hot path. Replaces the old ad-hoc `StatCells`:
+/// the same atomics now live in the rtobs registry, so [`App::stats`]
+/// and [`App::metrics_text`] read one source of truth.
+pub(crate) struct CoreObs {
+    pub obs: Arc<Observer>,
+    sent: CounterId,
+    processed: CounterId,
+    handler_errors: CounterId,
+    handler_panics: CounterId,
+    buffer_rejections: CounterId,
+    queue_wait: HistId,
+    handler_latency: HistId,
+}
+
+impl CoreObs {
+    pub(crate) fn new(obs: Arc<Observer>) -> CoreObs {
+        CoreObs {
+            sent: obs.counter("compadres_messages_sent_total"),
+            processed: obs.counter("compadres_messages_processed_total"),
+            handler_errors: obs.counter("compadres_handler_errors_total"),
+            handler_panics: obs.counter("compadres_handler_panics_total"),
+            buffer_rejections: obs.counter("compadres_buffer_rejections_total"),
+            queue_wait: obs.histogram("compadres_queue_wait_ns"),
+            handler_latency: obs.histogram("compadres_handler_latency_ns"),
+            obs,
+        }
+    }
 }
 
 pub(crate) struct AppCore {
@@ -143,7 +230,7 @@ pub(crate) struct AppCore {
     pub scope_pools: HashMap<u32, ScopePool>,
     pub component_factories: HashMap<String, ComponentFactory>,
     pub handler_factories: HashMap<(String, String), HandlerFactory>,
-    pub stats: StatCells,
+    pub stats: CoreObs,
     pub shutdown: AtomicBool,
     pub validated: ValidatedApp,
 }
@@ -153,7 +240,10 @@ impl AppCore {
         self.by_name
             .get(name)
             .copied()
-            .ok_or_else(|| CompadresError::NotFound { kind: "instance", name: name.to_string() })
+            .ok_or_else(|| CompadresError::NotFound {
+                kind: "instance",
+                name: name.to_string(),
+            })
     }
 
     fn runtime(&self, id: InstanceId) -> &InstanceRuntime {
@@ -233,10 +323,10 @@ impl AppCore {
         match start_result {
             Ok(Ok(Ok(()))) => {}
             Ok(Ok(Err(_))) => {
-                self.stats.handler_errors.fetch_add(1, Ordering::Relaxed);
+                self.stats.obs.inc(self.stats.handler_errors);
             }
             Ok(Err(_panic)) => {
-                self.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                self.stats.obs.inc(self.stats.handler_panics);
             }
             Err(e) => {
                 // Could not even enter the region; undo the hold (which
@@ -271,12 +361,11 @@ impl AppCore {
                 let parent_region = match rt.parent {
                     Some(p) => {
                         let pg = self.runtime(p).state.lock();
-                        pg.active
-                            .as_ref()
-                            .map(|a| a.region)
-                            .ok_or(CompadresError::Disconnected {
+                        pg.active.as_ref().map(|a| a.region).ok_or(
+                            CompadresError::Disconnected {
                                 instance: self.runtime(p).name.clone(),
-                            })?
+                            },
+                        )?
                     }
                     None => self.model.immortal(),
                 };
@@ -297,7 +386,10 @@ impl AppCore {
         };
         let mut handlers = HashMap::new();
         for port in vinst.port_attrs.keys() {
-            if let Some(f) = self.handler_factories.get(&(rt.class.clone(), port.clone())) {
+            if let Some(f) = self
+                .handler_factories
+                .get(&(rt.class.clone(), port.clone()))
+            {
                 handlers.insert(port.clone(), Arc::new(Mutex::new(f())));
             }
         }
@@ -348,11 +440,13 @@ impl AppCore {
             let rt = self.runtime(inst);
             if rt.kind.is_scoped() {
                 let g = rt.state.lock();
-                let region = g
-                    .active
-                    .as_ref()
-                    .map(|a| a.region)
-                    .ok_or(CompadresError::Disconnected { instance: rt.name.clone() })?;
+                let region =
+                    g.active
+                        .as_ref()
+                        .map(|a| a.region)
+                        .ok_or(CompadresError::Disconnected {
+                            instance: rt.name.clone(),
+                        })?;
                 chain.push(region);
             }
         }
@@ -374,7 +468,12 @@ impl AppCore {
         let mut ctx_storage = rtmem::Ctx::no_heap(&self.model);
         let ctx = &mut ctx_storage;
         Self::run_in_chain(ctx, &self.model, &chain, move |ctx| {
-            let mut hctx = HandlerCtx { core: &core, mem: ctx, instance: id, priority };
+            let mut hctx = HandlerCtx {
+                core: &core,
+                mem: ctx,
+                instance: id,
+                priority,
+            };
             f(&mut hctx)
         })
     }
@@ -391,7 +490,12 @@ impl AppCore {
         let chain = self.region_chain(id)?;
         let core = Arc::clone(self);
         Self::run_in_chain(ctx, &self.model, &chain, move |ctx| {
-            let mut hctx = HandlerCtx { core: &core, mem: ctx, instance: id, priority };
+            let mut hctx = HandlerCtx {
+                core: &core,
+                mem: ctx,
+                instance: id,
+                priority,
+            };
             f(&mut hctx)
         })
     }
@@ -417,7 +521,7 @@ impl AppCore {
         self: &Arc<Self>,
         sender_ctx: Option<&mut rtmem::Ctx>,
         to: (InstanceId, String),
-        env: Envelope,
+        mut env: Envelope,
     ) -> Result<()> {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(CompadresError::ShutDown);
@@ -425,7 +529,20 @@ impl AppCore {
         let info = self
             .in_ports
             .get(&to)
-            .ok_or_else(|| CompadresError::NotFound { kind: "in-port", name: format!("{}.{}", self.runtime(to.0).name, to.1) })?;
+            .ok_or_else(|| CompadresError::NotFound {
+                kind: "in-port",
+                name: format!("{}.{}", self.runtime(to.0).name, to.1),
+            })?;
+        let obs = &self.stats.obs;
+        if obs.enabled() {
+            env.enqueued_ns = obs.now_ns();
+            obs.record_at(
+                EventKind::PortEnqueue,
+                info.entity,
+                u64::from(env.priority.value()),
+                env.enqueued_ns,
+            );
+        }
         match &info.dispatch {
             Dispatch::Synchronous => {
                 let priority = env.priority;
@@ -437,12 +554,19 @@ impl AppCore {
                     }
                 }
             }
-            Dispatch::Async { pool, inflight, buffer_size } => {
+            Dispatch::Async {
+                pool,
+                inflight,
+                buffer_size,
+            } => {
                 // Bounded admission: the port buffer (CCL BufferSize).
                 let occupied = inflight.fetch_add(1, Ordering::SeqCst);
                 if occupied >= *buffer_size {
                     inflight.fetch_sub(1, Ordering::SeqCst);
-                    self.stats.buffer_rejections.fetch_add(1, Ordering::Relaxed);
+                    self.stats.obs.inc(self.stats.buffer_rejections);
+                    self.stats
+                        .obs
+                        .record(EventKind::BufferDrop, info.entity, occupied as u64);
                     return Err(CompadresError::BufferFull {
                         instance: self.runtime(to.0).name.clone(),
                         port: to.1.clone(),
@@ -474,15 +598,24 @@ impl AppCore {
         env: Envelope,
         priority: Priority,
     ) -> Result<()> {
+        // Dequeue edge of the trace: how long the envelope waited between
+        // admission and a worker (or the sender's thread) picking it up.
+        let entity = self.in_ports.get(&to).map_or(0, |i| i.entity);
+        if self.stats.obs.enabled() {
+            let wait_ns = self.stats.obs.now_ns().saturating_sub(env.enqueued_ns);
+            self.stats
+                .obs
+                .record(EventKind::PortDequeue, entity, wait_ns);
+            self.stats.obs.observe(self.stats.queue_wait, wait_ns);
+        }
         self.hold_chain(to.0)?;
         let result = (|| -> Result<()> {
             let handler = {
                 let rt = self.runtime(to.0);
                 let g = rt.state.lock();
-                let active = g
-                    .active
-                    .as_ref()
-                    .ok_or(CompadresError::Disconnected { instance: rt.name.clone() })?;
+                let active = g.active.as_ref().ok_or(CompadresError::Disconnected {
+                    instance: rt.name.clone(),
+                })?;
                 active
                     .handlers
                     .get(&to.1)
@@ -496,17 +629,31 @@ impl AppCore {
                 rtsched::with_priority(priority, || {
                     let mut h = handler.lock();
                     env.process(|payload| {
+                        let s = &hctx.core.stats;
+                        let started = s.obs.enabled();
+                        let t0 = if started { s.obs.now_ns() } else { 0 };
+                        if started {
+                            s.obs.record_at(
+                                EventKind::HandlerStart,
+                                entity,
+                                u64::from(priority.value()),
+                                t0,
+                            );
+                        }
                         let outcome =
                             catch_unwind(AssertUnwindSafe(|| h.process_any(payload, hctx)));
+                        let s = &hctx.core.stats;
+                        if started {
+                            let elapsed = s.obs.now_ns().saturating_sub(t0);
+                            s.obs.record(EventKind::HandlerEnd, entity, elapsed);
+                            s.obs.observe(s.handler_latency, elapsed);
+                        }
                         match outcome {
-                            Ok(Ok(())) => {
-                                hctx.core.stats.processed.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Ok(Err(_)) => {
-                                hctx.core.stats.handler_errors.fetch_add(1, Ordering::Relaxed);
-                            }
+                            Ok(Ok(())) => s.obs.inc(s.processed),
+                            Ok(Err(_)) => s.obs.inc(s.handler_errors),
                             Err(_) => {
-                                hctx.core.stats.handler_panics.fetch_add(1, Ordering::Relaxed);
+                                s.obs.inc(s.handler_panics);
+                                s.obs.record(EventKind::HandlerPanic, entity, 0);
                             }
                         }
                     });
@@ -557,6 +704,12 @@ impl HandlerCtx<'_> {
         self.priority
     }
 
+    /// The application's observer, for handler-side custom metrics and
+    /// flight-recorder events.
+    pub fn observer(&self) -> &Arc<Observer> {
+        &self.core.stats.obs
+    }
+
     /// Takes a message from the pool serving `port` — the paper's
     /// `port.getMessage()`. The pool lives in the memory area of the
     /// connection's common-ancestor component (shared-object pattern).
@@ -575,9 +728,12 @@ impl HandlerCtx<'_> {
                 expected: info.message_type.clone(),
             });
         }
-        let payload = info.pool.get_any().ok_or(CompadresError::MessagePoolExhausted {
-            message_type: info.message_type.clone(),
-        })?;
+        let payload = info
+            .pool
+            .get_any()
+            .ok_or(CompadresError::MessagePoolExhausted {
+                message_type: info.message_type.clone(),
+            })?;
         let boxed = payload
             .downcast::<M>()
             .map_err(|_| CompadresError::MessageTypeMismatch {
@@ -607,17 +763,24 @@ impl HandlerCtx<'_> {
             if info.targets.len() != 1 {
                 return Err(CompadresError::NotFound {
                     kind: "single connection for out-port",
-                    name: format!("{}.{port} ({} targets)", self.instance_name(), info.targets.len()),
+                    name: format!(
+                        "{}.{port} ({} targets)",
+                        self.instance_name(),
+                        info.targets.len()
+                    ),
                 });
             }
             (info.targets[0].clone(), info.type_id == TypeId::of::<M>())
         };
         if !type_ok {
             let expected = self.out_info(port)?.message_type.clone();
-            return Err(CompadresError::MessageTypeMismatch { port: port.to_string(), expected });
+            return Err(CompadresError::MessageTypeMismatch {
+                port: port.to_string(),
+                expected,
+            });
         }
         let env = msg.into_envelope(priority.into());
-        self.core.stats.sent.fetch_add(1, Ordering::Relaxed);
+        self.core.stats.obs.inc(self.core.stats.sent);
         let core = Arc::clone(self.core);
         core.deliver(Some(self.mem), target, env)
     }
@@ -641,7 +804,7 @@ impl HandlerCtx<'_> {
             let mut msg = self.get_message::<M>(port)?;
             *msg = value.clone();
             let env = msg.into_envelope(priority);
-            self.core.stats.sent.fetch_add(1, Ordering::Relaxed);
+            self.core.stats.obs.inc(self.core.stats.sent);
             let core = Arc::clone(self.core);
             core.deliver(Some(self.mem), target, env)?;
             delivered += 1;
@@ -667,7 +830,11 @@ impl HandlerCtx<'_> {
             });
         }
         self.core.hold_chain(id)?;
-        Ok(ChildHandle { core: Arc::clone(self.core), id, released: false })
+        Ok(ChildHandle {
+            core: Arc::clone(self.core),
+            id,
+            released: false,
+        })
     }
 
     /// Number of messages outstanding in the pool serving `port`.
@@ -786,10 +953,14 @@ impl App {
     ) -> Result<()> {
         let id = self.core.instance_id(instance)?;
         let key = (id, port.to_string());
-        let info = self.core.in_ports.get(&key).ok_or_else(|| CompadresError::NotFound {
-            kind: "in-port",
-            name: format!("{instance}.{port}"),
-        })?;
+        let info = self
+            .core
+            .in_ports
+            .get(&key)
+            .ok_or_else(|| CompadresError::NotFound {
+                kind: "in-port",
+                name: format!("{instance}.{port}"),
+            })?;
         if info.type_id != TypeId::of::<M>() {
             return Err(CompadresError::MessageTypeMismatch {
                 port: port.to_string(),
@@ -797,7 +968,7 @@ impl App {
             });
         }
         let env = Envelope::from_value(value, priority.into());
-        self.core.stats.sent.fetch_add(1, Ordering::Relaxed);
+        self.core.stats.obs.inc(self.core.stats.sent);
         self.core.deliver(None, key, env)
     }
 
@@ -829,7 +1000,11 @@ impl App {
     pub fn connect(&self, instance: &str) -> Result<ChildHandle> {
         let id = self.core.instance_id(instance)?;
         self.core.hold_chain(id)?;
-        Ok(ChildHandle { core: Arc::clone(&self.core), id, released: false })
+        Ok(ChildHandle {
+            core: Arc::clone(&self.core),
+            id,
+            released: false,
+        })
     }
 
     /// The memory region an instance currently occupies, if active.
@@ -861,15 +1036,15 @@ impl App {
         Ok(self.region_of(instance)?.is_some())
     }
 
-    /// Point-in-time statistics.
+    /// Point-in-time statistics, read from the observer's registry.
     pub fn stats(&self) -> AppStats {
         let s = &self.core.stats;
         AppStats {
-            messages_sent: s.sent.load(Ordering::Relaxed),
-            messages_processed: s.processed.load(Ordering::Relaxed),
-            handler_errors: s.handler_errors.load(Ordering::Relaxed),
-            handler_panics: s.handler_panics.load(Ordering::Relaxed),
-            buffer_rejections: s.buffer_rejections.load(Ordering::Relaxed),
+            messages_sent: s.obs.counter_value(s.sent),
+            messages_processed: s.obs.counter_value(s.processed),
+            handler_errors: s.obs.counter_value(s.handler_errors),
+            handler_panics: s.obs.counter_value(s.handler_panics),
+            buffer_rejections: s.obs.counter_value(s.buffer_rejections),
             activations: self
                 .core
                 .instances
@@ -891,54 +1066,51 @@ impl App {
         Ok(self.core.runtime(id).activations.load(Ordering::Relaxed))
     }
 
-    /// Renders a human-readable memory report: one line per component
-    /// instance with its current region, usage and activation counters —
-    /// the operational view of the scoped-memory architecture.
-    pub fn memory_report(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let imm = self.core.model.snapshot(self.core.model.immortal()).expect("immortal exists");
-        let _ = writeln!(
-            out,
-            "immortal: {}/{} bytes used",
-            imm.used, imm.size
-        );
+    /// This application's observability domain: the flight recorder and
+    /// metrics registry every layer (runtime, scheduler, memory, ORB)
+    /// writes into.
+    pub fn observer(&self) -> &Arc<Observer> {
+        &self.core.stats.obs
+    }
+
+    /// Prometheus-style exposition of every metric across all layers —
+    /// shorthand for `app.observer().metrics_text()`.
+    pub fn metrics_text(&self) -> String {
+        self.core.stats.obs.metrics_text()
+    }
+
+    /// Structured memory report: one entry per component instance with
+    /// its current region, usage and activation counters — the
+    /// operational view of the scoped-memory architecture. `Display`
+    /// renders the classic one-line-per-instance text.
+    pub fn memory_report(&self) -> MemoryReport {
+        let imm = self
+            .core
+            .model
+            .snapshot(self.core.model.immortal())
+            .expect("immortal exists");
+        let mut instances = Vec::with_capacity(self.core.instances.len());
         for rt in &self.core.instances {
-            let g = rt.state.lock();
-            match &g.active {
-                Some(active) => {
-                    let region = active.region;
-                    drop(g);
-                    match self.core.model.snapshot(region) {
-                        Ok(snap) => {
-                            let _ = writeln!(
-                                out,
-                                "{:<20} active in {:?}: {}/{} bytes, epoch {}, {} activations",
-                                rt.name,
-                                region,
-                                snap.used,
-                                snap.size,
-                                snap.epoch,
-                                rt.activations.load(Ordering::Relaxed)
-                            );
-                        }
-                        Err(_) => {
-                            let _ = writeln!(out, "{:<20} active (region gone)", rt.name);
-                        }
-                    }
-                }
-                None => {
-                    drop(g);
-                    let _ = writeln!(
-                        out,
-                        "{:<20} inactive, {} activations so far",
-                        rt.name,
-                        rt.activations.load(Ordering::Relaxed)
-                    );
-                }
-            }
+            let activations = rt.activations.load(Ordering::Relaxed);
+            let region = {
+                let g = rt.state.lock();
+                g.active.as_ref().map(|a| a.region)
+            };
+            let snapshot = region.and_then(|r| self.core.model.snapshot(r).ok());
+            instances.push(InstanceMemory {
+                name: rt.name.clone(),
+                region,
+                used: snapshot.as_ref().map_or(0, |s| s.used),
+                size: snapshot.as_ref().map_or(0, |s| s.size),
+                epoch: snapshot.as_ref().map_or(0, |s| s.epoch),
+                activations,
+            });
         }
-        out
+        MemoryReport {
+            immortal_used: imm.used,
+            immortal_size: imm.size,
+            instances,
+        }
     }
 
     /// Waits until all asynchronous ports are drained (best effort).
@@ -1008,7 +1180,10 @@ pub(crate) fn new_instance_runtime(
         class,
         kind,
         parent,
-        state: Mutex::new(ActivationState { active: None, holds: 0 }),
+        state: Mutex::new(ActivationState {
+            active: None,
+            holds: 0,
+        }),
         started_cv: Condvar::new(),
         activations: AtomicU64::new(0),
         deactivations: AtomicU64::new(0),

@@ -319,9 +319,7 @@ pub fn validate(cdl: &Cdl, ccl: &Ccl) -> Result<ValidatedApp> {
                 } else {
                     LinkKind::Shadow // compiler-detected shadow port (paper Fig. 5)
                 }
-            } else if from_chain.len() == to_chain.len()
-                && from_chain.len() == common.len() + 1
-            {
+            } else if from_chain.len() == to_chain.len() && from_chain.len() == common.len() + 1 {
                 LinkKind::External
             } else {
                 return Err(CompadresError::Validation(format!(
@@ -365,13 +363,25 @@ pub fn validate(cdl: &Cdl, ccl: &Ccl) -> Result<ValidatedApp> {
     for inst in &app_stub.instances {
         let class = cdl.component(&inst.class).unwrap();
         for p in class.in_ports() {
-            if !connections.iter().any(|c| c.to == (inst.id, p.name.clone())) {
-                warnings.push(format!("in-port {}.{} has no incoming connection", inst.name, p.name));
+            if !connections
+                .iter()
+                .any(|c| c.to == (inst.id, p.name.clone()))
+            {
+                warnings.push(format!(
+                    "in-port {}.{} has no incoming connection",
+                    inst.name, p.name
+                ));
             }
         }
         for p in class.out_ports() {
-            if !connections.iter().any(|c| c.from == (inst.id, p.name.clone())) {
-                warnings.push(format!("out-port {}.{} has no outgoing connection", inst.name, p.name));
+            if !connections
+                .iter()
+                .any(|c| c.from == (inst.id, p.name.clone()))
+            {
+                warnings.push(format!(
+                    "out-port {}.{} has no outgoing connection",
+                    inst.name, p.name
+                ));
             }
         }
         if let ComponentKind::Scoped { level } = inst.kind {
@@ -424,8 +434,7 @@ mod tests {
     #[test]
     fn sibling_connection_is_external_with_parent_home() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
               <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
                 <Connection><Port><PortName>Out1</PortName>
@@ -434,8 +443,7 @@ mod tests {
               </Component>
               <Component><InstanceName>R</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let app = validate(&cdl, &ccl).unwrap();
         assert_eq!(app.connections.len(), 1);
         let c = &app.connections[0];
@@ -449,16 +457,14 @@ mod tests {
     #[test]
     fn parent_child_connection_is_internal() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>P</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
               <Connection><Port><PortName>In1</PortName>
                 <Link><PortType>Internal</PortType><ToComponent>C</ToComponent><ToPort>Out1</ToPort></Link>
               </Port></Connection>
               <Component><InstanceName>C</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let app = validate(&cdl, &ccl).unwrap();
         let c = &app.connections[0];
         assert_eq!(c.kind, LinkKind::Internal);
@@ -472,8 +478,7 @@ mod tests {
     #[test]
     fn grandchild_link_detected_as_shadow() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>A0</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
               <Component><InstanceName>B0</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
                 <Component><InstanceName>C0</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>
@@ -483,8 +488,7 @@ mod tests {
                 </Component>
               </Component>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let app = validate(&cdl, &ccl).unwrap();
         let c = &app.connections[0];
         assert_eq!(c.kind, LinkKind::Shadow, "compiler detects the shadow port");
@@ -494,8 +498,7 @@ mod tests {
     #[test]
     fn message_type_mismatch_rejected() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
               <Component><InstanceName>L</InstanceName><ClassName>U</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
                 <Connection><Port><PortName>Out1</PortName>
@@ -504,8 +507,7 @@ mod tests {
               </Component>
               <Component><InstanceName>R</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let err = validate(&cdl, &ccl).unwrap_err();
         assert!(err.to_string().contains("message type mismatch"), "{err}");
         assert!(err.to_string().contains("adapter"));
@@ -514,15 +516,13 @@ mod tests {
     #[test]
     fn self_loop_rejected() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>Solo</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
               <Connection><Port><PortName>Out1</PortName>
                 <Link><ToComponent>Solo</ToComponent><ToPort>In1</ToPort></Link>
               </Port></Connection>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let err = validate(&cdl, &ccl).unwrap_err();
         assert!(err.to_string().contains("loop"), "{err}");
     }
@@ -530,8 +530,7 @@ mod tests {
     #[test]
     fn out_to_out_rejected() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
               <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
                 <Connection><Port><PortName>Out1</PortName>
@@ -540,8 +539,7 @@ mod tests {
               </Component>
               <Component><InstanceName>R</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let err = validate(&cdl, &ccl).unwrap_err();
         assert!(err.to_string().contains("must join Out with In"), "{err}");
     }
@@ -549,13 +547,11 @@ mod tests {
     #[test]
     fn wrong_scope_level_rejected() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
               <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel></Component>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let err = validate(&cdl, &ccl).unwrap_err();
         assert!(err.to_string().contains("implies level 1"), "{err}");
     }
@@ -563,13 +559,11 @@ mod tests {
     #[test]
     fn immortal_inside_scoped_rejected() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>S</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
               <Component><InstanceName>I</InstanceName><ClassName>B</ClassName><ComponentType>Immortal</ComponentType></Component>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let err = validate(&cdl, &ccl).unwrap_err();
         assert!(err.to_string().contains("cannot be nested"), "{err}");
     }
@@ -577,12 +571,10 @@ mod tests {
     #[test]
     fn duplicate_instance_name_rejected() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>X</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType></Component>
             <Component><InstanceName>X</InstanceName><ClassName>B</ClassName><ComponentType>Immortal</ComponentType></Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let err = validate(&cdl, &ccl).unwrap_err();
         assert!(err.to_string().contains("duplicate instance name"), "{err}");
     }
@@ -591,8 +583,7 @@ mod tests {
     fn bilateral_declaration_deduplicated() {
         // Both endpoints declare the same link; it must appear once.
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
               <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
                 <Connection><Port><PortName>Out1</PortName>
@@ -605,8 +596,7 @@ mod tests {
                 </Port></Connection>
               </Component>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let app = validate(&cdl, &ccl).unwrap();
         assert_eq!(app.connections.len(), 1);
     }
@@ -614,26 +604,28 @@ mod tests {
     #[test]
     fn unconnected_ports_warned() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>Solo</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType></Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let app = validate(&cdl, &ccl).unwrap();
-        assert!(app.warnings.iter().any(|w| w.contains("no incoming connection")));
-        assert!(app.warnings.iter().any(|w| w.contains("no outgoing connection")));
+        assert!(app
+            .warnings
+            .iter()
+            .any(|w| w.contains("no incoming connection")));
+        assert!(app
+            .warnings
+            .iter()
+            .any(|w| w.contains("no outgoing connection")));
     }
 
     #[test]
     fn missing_pool_level_warned() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
               <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let app = validate(&cdl, &ccl).unwrap();
         assert!(app.warnings.iter().any(|w| w.contains("no scope pool")));
     }
@@ -641,19 +633,20 @@ mod tests {
     #[test]
     fn ancestry_helper() {
         let cdl = cdl_two_way();
-        let ccl = ccl(
-            r#"<Application><ApplicationName>App</ApplicationName>
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
             <Component><InstanceName>A0</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
               <Component><InstanceName>B0</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
                 <Component><InstanceName>C0</InstanceName><ClassName>B</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel></Component>
               </Component>
             </Component>
-            </Application>"#,
-        );
+            </Application>"#);
         let app = validate(&cdl, &ccl).unwrap();
         let c0 = app.instance("C0").unwrap().id;
         let chain = app.ancestry(c0);
-        let names: Vec<_> = chain.iter().map(|i| app.instances[i.0].name.as_str()).collect();
+        let names: Vec<_> = chain
+            .iter()
+            .map(|i| app.instances[i.0].name.as_str())
+            .collect();
         assert_eq!(names, vec!["A0", "B0", "C0"]);
         assert_eq!(app.children(app.instance("A0").unwrap().id).len(), 1);
     }

@@ -18,8 +18,8 @@ pub fn write_cdl(cdl: &Cdl) -> String {
 }
 
 fn component_def_element(c: &ComponentDef) -> Element {
-    let mut e = Element::new("Component")
-        .with_child(Element::new("ComponentName").with_text(&c.name));
+    let mut e =
+        Element::new("Component").with_child(Element::new("ComponentName").with_text(&c.name));
     for p in &c.ports {
         e = e.with_child(
             Element::new("Port")
@@ -147,7 +147,10 @@ mod tests {
                         },
                     ],
                 },
-                ComponentDef { name: "Sink".into(), ports: vec![] },
+                ComponentDef {
+                    name: "Sink".into(),
+                    ports: vec![],
+                },
             ],
         }
     }
@@ -187,7 +190,11 @@ mod tests {
             }],
             rtsj: RtsjAttributes {
                 immortal_size: 123_456,
-                scoped_pools: vec![ScopedPoolCfg { level: 1, scope_size: 777, pool_size: 2 }],
+                scoped_pools: vec![ScopedPoolCfg {
+                    level: 1,
+                    scope_size: 777,
+                    pool_size: 2,
+                }],
             },
         }
     }

@@ -33,7 +33,8 @@ const CDL: &str = r#"
   </Component>
 </Components>"#;
 
-const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+const SYNC: &str =
+    "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
 
 fn ccl() -> String {
     format!(
@@ -102,7 +103,10 @@ fn adapter_converts_between_message_types() {
         })
         .unwrap();
         let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
-        assert!((got - expected_c).abs() < 1e-9, "{f}F -> {got}C, expected {expected_c}");
+        assert!(
+            (got - expected_c).abs() < 1e-9,
+            "{f}F -> {got}C, expected {expected_c}"
+        );
     }
 }
 

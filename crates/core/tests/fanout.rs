@@ -23,7 +23,8 @@ const CDL: &str = r#"
   </Component>
 </Components>"#;
 
-const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+const SYNC: &str =
+    "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
 
 fn ccl(n: usize) -> String {
     let mut spokes = String::new();
@@ -35,7 +36,9 @@ fn ccl(n: usize) -> String {
                <Connection><Port><PortName>In</PortName><PortAttributes>{SYNC}</PortAttributes></Port></Connection>
                </Component>"#
         ));
-        links.push_str(&format!("<Link><ToComponent>S{i}</ToComponent><ToPort>In</ToPort></Link>"));
+        links.push_str(&format!(
+            "<Link><ToComponent>S{i}</ToComponent><ToPort>In</ToPort></Link>"
+        ));
     }
     format!(
         r#"<Application><ApplicationName>FanOut</ApplicationName>
@@ -120,7 +123,9 @@ fn send_cloned_on_single_target_behaves_like_send() {
         .unwrap();
     app.start().unwrap();
     let n = app
-        .with_component("H", |ctx| ctx.send_cloned("Out", &Broadcast { id: 1 }, Priority::NORM))
+        .with_component("H", |ctx| {
+            ctx.send_cloned("Out", &Broadcast { id: 1 }, Priority::NORM)
+        })
         .unwrap()
         .unwrap();
     assert_eq!(n, 1);

@@ -29,7 +29,8 @@ const CDL: &str = r#"
   </Component>
 </Components>"#;
 
-const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+const SYNC: &str =
+    "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
 
 fn ccl(tail_attrs: &str) -> String {
     format!(
@@ -69,7 +70,12 @@ fn ccl(tail_attrs: &str) -> String {
     )
 }
 
-fn build(tail_attrs: &str) -> (compadres_core::App, mpsc::Receiver<(String, Priority, Priority)>) {
+fn build(
+    tail_attrs: &str,
+) -> (
+    compadres_core::App,
+    mpsc::Receiver<(String, Priority, Priority)>,
+) {
     let (tx, rx) = mpsc::channel();
     let app = AppBuilder::from_xml(CDL, &ccl(tail_attrs))
         .unwrap()
@@ -85,7 +91,11 @@ fn build(tail_attrs: &str) -> (compadres_core::App, mpsc::Receiver<(String, Prio
         .register_handler("Tail", "In", move || {
             let tx = tx.clone();
             move |msg: &mut Tagged, ctx: &mut HandlerCtx<'_>| {
-                let _ = tx.send((msg.label.clone(), ctx.priority(), rtsched::current_priority()));
+                let _ = tx.send((
+                    msg.label.clone(),
+                    ctx.priority(),
+                    rtsched::current_priority(),
+                ));
                 Ok(())
             }
         })
@@ -111,8 +121,16 @@ fn priority_inherited_through_sync_relay() {
         fire(&app, &format!("p{p}"), p);
         let (label, handler_prio, thread_prio) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(label, format!("p{p}"));
-        assert_eq!(handler_prio, Priority::new(p), "ctx.priority() carries the send priority");
-        assert_eq!(thread_prio, Priority::new(p), "the executing thread assumed it too");
+        assert_eq!(
+            handler_prio,
+            Priority::new(p),
+            "ctx.priority() carries the send priority"
+        );
+        assert_eq!(
+            thread_prio,
+            Priority::new(p),
+            "the executing thread assumed it too"
+        );
     }
 }
 
@@ -124,6 +142,10 @@ fn priority_inherited_through_async_tail() {
     fire(&app, "async", 66);
     let (_, handler_prio, thread_prio) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
     assert_eq!(handler_prio, Priority::new(66));
-    assert_eq!(thread_prio, Priority::new(66), "pool worker inherited the message priority");
+    assert_eq!(
+        thread_prio,
+        Priority::new(66),
+        "pool worker inherited the message priority"
+    );
     assert!(app.wait_quiescent(Duration::from_secs(5)));
 }

@@ -21,7 +21,9 @@ impl BytesCodec for Ping {
         self.n.encode(out);
     }
     fn decode(bytes: &[u8]) -> Self {
-        Ping { n: u32::decode(bytes) }
+        Ping {
+            n: u32::decode(bytes),
+        }
     }
 }
 
@@ -72,7 +74,11 @@ fn oversized_frame_claim_drops_connection_not_app() {
     let sender = RemotePort::<Ping>::connect(exporter.local_addr()).unwrap();
     sender.send(&Ping { n: 77 }, Priority::NORM).unwrap();
     assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 77);
-    assert_eq!(exporter.received(), 1, "the hostile frame was never accepted");
+    assert_eq!(
+        exporter.received(),
+        1,
+        "the hostile frame was never accepted"
+    );
 }
 
 #[test]

@@ -7,7 +7,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use compadres_core::{App, AppBuilder, CompadresError, HandlerCtx, Priority};
-use parking_lot::Mutex;
+use rtplatform::sync::Mutex;
 
 #[derive(Debug, Default, Clone, PartialEq)]
 struct Num {
@@ -73,7 +73,8 @@ fn ccl(ping_attrs: &str, pong_attrs: &str) -> String {
     )
 }
 
-const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+const SYNC: &str =
+    "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
 
 /// Builds the ping-pong app where Pong echoes value+1 and Ping records
 /// replies into a channel.
@@ -140,10 +141,16 @@ fn asynchronous_round_trip() {
 #[test]
 fn ephemeral_components_reclaim_between_messages() {
     let (app, rx) = build_ping_pong(SYNC, SYNC);
-    assert!(!app.is_active("Pong").unwrap(), "scoped components start inactive");
+    assert!(
+        !app.is_active("Pong").unwrap(),
+        "scoped components start inactive"
+    );
     ping_once(&app, 1);
     rx.recv_timeout(Duration::from_secs(2)).unwrap();
-    assert!(!app.is_active("Pong").unwrap(), "deactivated after processing");
+    assert!(
+        !app.is_active("Pong").unwrap(),
+        "deactivated after processing"
+    );
     assert!(!app.is_active("Ping").unwrap());
     ping_once(&app, 2);
     rx.recv_timeout(Duration::from_secs(2)).unwrap();
@@ -163,10 +170,21 @@ fn connect_keeps_component_alive() {
     rx.recv_timeout(Duration::from_secs(2)).unwrap();
     ping_once(&app, 2);
     rx.recv_timeout(Duration::from_secs(2)).unwrap();
-    assert_eq!(app.region_of("Pong").unwrap(), region_before, "same scope across messages");
-    assert_eq!(app.activations_of("Pong").unwrap(), 1, "no re-activation while connected");
+    assert_eq!(
+        app.region_of("Pong").unwrap(),
+        region_before,
+        "same scope across messages"
+    );
+    assert_eq!(
+        app.activations_of("Pong").unwrap(),
+        1,
+        "no re-activation while connected"
+    );
     handle.disconnect();
-    assert!(!app.is_active("Pong").unwrap(), "disconnect reclaims the scope");
+    assert!(
+        !app.is_active("Pong").unwrap(),
+        "disconnect reclaims the scope"
+    );
 }
 
 #[test]
@@ -201,7 +219,10 @@ fn scope_pool_reuse_across_activations() {
     rx.recv_timeout(Duration::from_secs(2)).unwrap();
     // Pool has 4 scopes; with sequential activations regions are recycled.
     let model = app.model();
-    assert!(model.live_regions() <= 2 + 4, "no region leak: only pool regions exist");
+    assert!(
+        model.live_regions() <= 2 + 4,
+        "no region leak: only pool regions exist"
+    );
 }
 
 #[test]
@@ -232,9 +253,10 @@ fn buffer_full_reports_rejection() {
     app.start().unwrap();
 
     // The sentinel occupies the single worker…
-    app.send_to("Pong", "Request", Num { value: -1 }, Priority::NORM).unwrap();
+    app.send_to("Pong", "Request", Num { value: -1 }, Priority::NORM)
+        .unwrap();
     std::thread::sleep(Duration::from_millis(100)); // let the worker park
-    // …then one message fills the buffer and further ones are rejected.
+                                                    // …then one message fills the buffer and further ones are rejected.
     let mut rejected = 0;
     app.with_component("Ping", |ctx| {
         for i in 0..8 {
@@ -286,7 +308,10 @@ fn handler_panic_is_contained() {
     let stats = app.stats();
     assert_eq!(stats.handler_panics, 1);
     assert_eq!(stats.messages_processed, 1);
-    assert!(!app.is_active("Pong").unwrap(), "scope reclaimed despite panic");
+    assert!(
+        !app.is_active("Pong").unwrap(),
+        "scope reclaimed despite panic"
+    );
 }
 
 #[test]
@@ -295,9 +320,7 @@ fn handler_error_counted() {
         .unwrap()
         .bind_message_type::<Num>("Num")
         .register_handler("Ponger", "Request", || {
-            |_msg: &mut Num, _ctx: &mut HandlerCtx<'_>| {
-                Err(CompadresError::ShutDown)
-            }
+            |_msg: &mut Num, _ctx: &mut HandlerCtx<'_>| Err(CompadresError::ShutDown)
         })
         .register_handler("Pinger", "Reply", || {
             |_m: &mut Num, _c: &mut HandlerCtx<'_>| Ok(())
@@ -305,7 +328,8 @@ fn handler_error_counted() {
         .build()
         .unwrap();
     app.start().unwrap();
-    app.send_to("Pong", "Request", Num { value: 1 }, Priority::NORM).unwrap();
+    app.send_to("Pong", "Request", Num { value: 1 }, Priority::NORM)
+        .unwrap();
     assert_eq!(app.stats().handler_errors, 1);
 }
 
@@ -352,11 +376,15 @@ fn priority_order_respected_under_single_worker() {
         .unwrap();
     app.start().unwrap();
 
-    app.send_to("Pong", "Request", Num { value: -1 }, Priority::MAX).unwrap();
+    app.send_to("Pong", "Request", Num { value: -1 }, Priority::MAX)
+        .unwrap();
     std::thread::sleep(Duration::from_millis(50)); // let the worker block
-    app.send_to("Pong", "Request", Num { value: 1 }, Priority::new(10)).unwrap();
-    app.send_to("Pong", "Request", Num { value: 2 }, Priority::new(90)).unwrap();
-    app.send_to("Pong", "Request", Num { value: 3 }, Priority::new(50)).unwrap();
+    app.send_to("Pong", "Request", Num { value: 1 }, Priority::new(10))
+        .unwrap();
+    app.send_to("Pong", "Request", Num { value: 2 }, Priority::new(90))
+        .unwrap();
+    app.send_to("Pong", "Request", Num { value: 3 }, Priority::new(50))
+        .unwrap();
     gate.wait();
     assert!(app.wait_quiescent(Duration::from_secs(5)));
     let seen = order.lock().clone();
@@ -378,7 +406,9 @@ fn send_wrong_type_rejected() {
         .unwrap_err();
     assert!(matches!(err, CompadresError::MessageTypeMismatch { .. }));
     let err = app
-        .with_component("Ping", |ctx| ctx.get_message::<String>("Request").unwrap_err())
+        .with_component("Ping", |ctx| {
+            ctx.get_message::<String>("Request").unwrap_err()
+        })
         .unwrap();
     assert!(matches!(err, CompadresError::MessageTypeMismatch { .. }));
 }
@@ -407,7 +437,10 @@ fn shutdown_rejects_sends_and_deactivates() {
         app.send_to("Pong", "Request", Num::default(), Priority::NORM),
         Err(CompadresError::ShutDown)
     ));
-    assert!(!app.is_active("Pong").unwrap(), "shutdown deactivates connected components");
+    assert!(
+        !app.is_active("Pong").unwrap(),
+        "shutdown deactivates connected components"
+    );
 }
 
 #[test]
@@ -475,7 +508,9 @@ fn component_start_and_stop_lifecycle() {
         .unwrap()
         .bind_message_type::<Num>("Num")
         .register_component("Ponger", move || {
-            Box::new(Lifecycle { counter: Arc::clone(&c2) })
+            Box::new(Lifecycle {
+                counter: Arc::clone(&c2),
+            })
         })
         .register_handler("Ponger", "Request", || {
             |_m: &mut Num, _c: &mut HandlerCtx<'_>| Ok(())
@@ -486,11 +521,17 @@ fn component_start_and_stop_lifecycle() {
         .build()
         .unwrap();
     app.start().unwrap();
-    app.send_to("Pong", "Request", Num { value: 1 }, Priority::NORM).unwrap();
+    app.send_to("Pong", "Request", Num { value: 1 }, Priority::NORM)
+        .unwrap();
     // One activation: start (+1) then deactivate: stop (+100).
     assert_eq!(counter.load(Ordering::SeqCst), 101);
-    app.send_to("Pong", "Request", Num { value: 2 }, Priority::NORM).unwrap();
-    assert_eq!(counter.load(Ordering::SeqCst), 202, "fresh component per activation");
+    app.send_to("Pong", "Request", Num { value: 2 }, Priority::NORM)
+        .unwrap();
+    assert_eq!(
+        counter.load(Ordering::SeqCst),
+        202,
+        "fresh component per activation"
+    );
 }
 
 #[test]
@@ -512,15 +553,28 @@ fn with_component_runs_inside_scope() {
 fn memory_report_reflects_activation_state() {
     let (app, rx) = build_ping_pong(SYNC, SYNC);
     let report = app.memory_report();
-    assert!(report.contains("immortal:"));
-    assert!(report.contains("Ping"), "{report}");
-    assert!(report.contains("inactive, 0 activations"), "{report}");
+    assert!(report.immortal_size > 0);
+    let ping = report.instances.iter().find(|i| i.name == "Ping").unwrap();
+    assert!(!ping.is_active());
+    assert_eq!(ping.activations, 0);
+    let text = report.to_string();
+    assert!(text.contains("immortal:"), "{text}");
+    assert!(text.contains("inactive, 0 activations"), "{text}");
     let keep = app.connect("Pong").unwrap();
     let report = app.memory_report();
-    assert!(report.contains("Pong") && report.contains("active in"), "{report}");
+    let pong = report.instances.iter().find(|i| i.name == "Pong").unwrap();
+    assert!(pong.is_active());
+    assert!(pong.size > 0, "active instance reports its region size");
+    assert!(report.to_string().contains("active in"), "{report}");
     ping_once(&app, 1);
     rx.recv_timeout(Duration::from_secs(2)).unwrap();
     drop(keep);
     let report = app.memory_report();
-    assert!(report.contains("activations so far"), "{report}");
+    let pong = report.instances.iter().find(|i| i.name == "Pong").unwrap();
+    assert!(!pong.is_active());
+    assert!(pong.activations >= 1);
+    assert!(
+        report.to_string().contains("activations so far"),
+        "{report}"
+    );
 }

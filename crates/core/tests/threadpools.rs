@@ -65,7 +65,10 @@ fn ccl(strategy: &str) -> String {
 
 /// Builds the app with handlers that park on `gate` when tag == 0 and
 /// otherwise report the worker thread id.
-fn build(strategy: &str, gate: Arc<Barrier>) -> (compadres_core::App, mpsc::Receiver<std::thread::ThreadId>) {
+fn build(
+    strategy: &str,
+    gate: Arc<Barrier>,
+) -> (compadres_core::App, mpsc::Receiver<std::thread::ThreadId>) {
     let (tx, rx) = mpsc::channel();
     let blocked = Arc::new(AtomicUsize::new(0));
     let make = |port: &'static str| {
@@ -112,10 +115,16 @@ fn feed(app: &compadres_core::App, port: &str, tag: u64) {
 fn strategy_parses_from_ccl() {
     let gate = Arc::new(Barrier::new(1));
     let (app, _rx) = build("Dedicated", gate);
-    assert_eq!(app.port_attrs("W", "A").unwrap().strategy, ThreadpoolStrategy::Dedicated);
+    assert_eq!(
+        app.port_attrs("W", "A").unwrap().strategy,
+        ThreadpoolStrategy::Dedicated
+    );
     let gate = Arc::new(Barrier::new(1));
     let (app, _rx) = build("Shared", gate);
-    assert_eq!(app.port_attrs("W", "B").unwrap().strategy, ThreadpoolStrategy::Shared);
+    assert_eq!(
+        app.port_attrs("W", "B").unwrap().strategy,
+        ThreadpoolStrategy::Shared
+    );
 }
 
 #[test]
@@ -128,7 +137,8 @@ fn dedicated_ports_are_isolated() {
     feed(&app, "A", 0);
     std::thread::sleep(Duration::from_millis(100)); // let it block
     feed(&app, "B", 42);
-    rx.recv_timeout(Duration::from_secs(2)).expect("B processes while A is saturated");
+    rx.recv_timeout(Duration::from_secs(2))
+        .expect("B processes while A is saturated");
     gate.wait(); // release the blocked A worker
     assert!(app.wait_quiescent(Duration::from_secs(5)));
 }

@@ -110,10 +110,7 @@ fn deep_hierarchy_levels_validate() {
 
 #[test]
 fn empty_application_rejected_at_parse() {
-    assert!(parse_ccl(
-        "<Application><ApplicationName>E</ApplicationName></Application>"
-    )
-    .is_err());
+    assert!(parse_ccl("<Application><ApplicationName>E</ApplicationName></Application>").is_err());
 }
 
 #[test]
@@ -132,6 +129,9 @@ fn validated_app_home_none_for_root_siblings() {
     )
     .unwrap();
     let app = validate(&cdl, &ccl).unwrap();
-    assert_eq!(app.connections[0].home, None, "message pool lives in immortal memory");
+    assert_eq!(
+        app.connections[0].home, None,
+        "message pool lives in immortal memory"
+    );
     assert_eq!(app.connections[0].kind, LinkKind::External);
 }

@@ -69,7 +69,10 @@ impl fmt::Display for CdrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CdrError::Truncated { needed, remaining } => {
-                write!(f, "truncated CDR stream: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "truncated CDR stream: needed {needed} bytes, {remaining} remaining"
+                )
             }
             CdrError::BadString => write!(f, "malformed CDR string"),
             CdrError::BadBoolean(b) => write!(f, "invalid CDR boolean {b:#x}"),
@@ -107,7 +110,10 @@ pub struct CdrEncoder {
 impl CdrEncoder {
     /// Creates an encoder with the given byte order.
     pub fn new(endian: Endian) -> CdrEncoder {
-        CdrEncoder { buf: Vec::new(), endian }
+        CdrEncoder {
+            buf: Vec::new(),
+            endian,
+        }
     }
 
     /// Creates an encoder reusing an existing buffer (cleared).
@@ -236,7 +242,11 @@ pub struct CdrDecoder<'a> {
 impl<'a> CdrDecoder<'a> {
     /// Creates a decoder with the given byte order.
     pub fn new(buf: &'a [u8], endian: Endian) -> CdrDecoder<'a> {
-        CdrDecoder { buf, pos: 0, endian }
+        CdrDecoder {
+            buf,
+            pos: 0,
+            endian,
+        }
     }
 
     /// Current read offset.
@@ -251,7 +261,10 @@ impl<'a> CdrDecoder<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CdrError> {
         if self.remaining() < n {
-            return Err(CdrError::Truncated { needed: n, remaining: self.remaining() });
+            return Err(CdrError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -439,7 +452,10 @@ mod tests {
         enc.write_u32(100);
         let bytes = enc.into_bytes();
         let mut dec = CdrDecoder::new(&bytes, Endian::Big);
-        assert!(matches!(dec.read_string(), Err(CdrError::LengthOverflow(100))));
+        assert!(matches!(
+            dec.read_string(),
+            Err(CdrError::LengthOverflow(100))
+        ));
         // Missing NUL terminator.
         let mut enc = CdrEncoder::new(Endian::Big);
         enc.write_u32(2);

@@ -13,13 +13,15 @@
 //! (The paper counts immortal memory as "level 1"; we count scoped levels
 //! from 1 under immortal — the structure is identical.)
 
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use compadres_core::{App, AppBuilder, ChildHandle, HandlerCtx, Priority};
-use parking_lot::Mutex;
+use rtobs::{EventKind, HistId};
+use rtplatform::sync::Mutex;
 
 use crate::cdr::Endian;
 use crate::giop::{self, Message, ReplyStatus, RequestMessage};
@@ -197,6 +199,10 @@ pub struct CompadresClient {
     /// client does ("the previously created Transport component").
     _transport_handle: ChildHandle,
     next_id: AtomicU32,
+    /// Per-operation observability ids (flight-recorder entity +
+    /// round-trip histogram), interned on first use. Cold lock: hit once
+    /// per distinct operation name.
+    op_ids: Mutex<HashMap<String, (u32, HistId)>>,
 }
 
 impl std::fmt::Debug for CompadresClient {
@@ -238,7 +244,12 @@ impl CompadresClient {
             .build()?;
         app.start()?;
         let transport_handle = app.connect("ClientTransport")?;
-        Ok(CompadresClient { app, _transport_handle: transport_handle, next_id: AtomicU32::new(1) })
+        Ok(CompadresClient {
+            app,
+            _transport_handle: transport_handle,
+            next_id: AtomicU32::new(1),
+            op_ids: Mutex::new(HashMap::new()),
+        })
     }
 
     /// Connects over TCP.
@@ -276,7 +287,12 @@ impl CompadresClient {
     /// # Errors
     ///
     /// Transport failures, protocol violations, or a servant exception.
-    pub fn invoke(&self, object_key: &[u8], operation: &str, args: &[u8]) -> Result<Vec<u8>, OrbError> {
+    pub fn invoke(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, OrbError> {
         self.invoke_inner(object_key, operation, args, false)
     }
 
@@ -286,8 +302,40 @@ impl CompadresClient {
     /// # Errors
     ///
     /// Transport failures.
-    pub fn invoke_oneway(&self, object_key: &[u8], operation: &str, args: &[u8]) -> Result<(), OrbError> {
-        self.invoke_inner(object_key, operation, args, true).map(|_| ())
+    pub fn invoke_oneway(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: &[u8],
+    ) -> Result<(), OrbError> {
+        self.invoke_inner(object_key, operation, args, true)
+            .map(|_| ())
+    }
+
+    /// Interns (once per distinct operation) the flight-recorder entity
+    /// and round-trip histogram for `operation`.
+    fn op_obs(&self, operation: &str) -> (u32, HistId) {
+        let mut map = self.op_ids.lock();
+        if let Some(&ids) = map.get(operation) {
+            return ids;
+        }
+        let obs = self.app.observer();
+        let safe: String = operation
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let ids = (
+            obs.register_entity(&format!("giop:{operation}")),
+            obs.histogram(&format!("rtcorba_roundtrip_{safe}_ns")),
+        );
+        map.insert(operation.to_string(), ids);
+        ids
     }
 
     fn invoke_inner(
@@ -298,24 +346,32 @@ impl CompadresClient {
         oneway: bool,
     ) -> Result<Vec<u8>, OrbError> {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (entity, hist) = self.op_obs(operation);
+        let obs = Arc::clone(self.app.observer());
+        let t0 = obs.now_ns();
+        obs.record_at(EventKind::GiopRequest, entity, u64::from(request_id), t0);
         let cell: Arc<ReplyCell> = Arc::new(Mutex::new(None));
         let cell2 = Arc::clone(&cell);
         let key = object_key.to_vec();
         let op = operation.to_string();
         let payload = args.to_vec();
-        self.app.with_component("TheOrb", move |ctx| -> Result<(), OrbError> {
-            let mut msg = ctx.get_message::<InvokeMsg>("ToTransport")?;
-            msg.request_id = request_id;
-            msg.object_key = key;
-            msg.operation = op;
-            msg.payload = payload;
-            msg.oneway = oneway;
-            msg.reply_to = Some(cell2);
-            ctx.send("ToTransport", msg, Priority::new(10))?;
-            Ok(())
-        })??;
+        self.app
+            .with_component("TheOrb", move |ctx| -> Result<(), OrbError> {
+                let mut msg = ctx.get_message::<InvokeMsg>("ToTransport")?;
+                msg.request_id = request_id;
+                msg.object_key = key;
+                msg.operation = op;
+                msg.payload = payload;
+                msg.oneway = oneway;
+                msg.reply_to = Some(cell2);
+                ctx.send("ToTransport", msg, Priority::new(10))?;
+                Ok(())
+            })??;
         // Every port is synchronous, so the cell is filled by now.
         let result = cell.lock().take();
+        let rtt = obs.now_ns().saturating_sub(t0);
+        obs.record(EventKind::GiopReply, entity, rtt);
+        obs.observe(hist, rtt);
         result.unwrap_or(Err(OrbError::UnexpectedMessage))
     }
 }
@@ -348,14 +404,15 @@ fn client_round_trip(
     match giop::decode(&reply_frame)? {
         Message::Reply(r) if r.request_id == msg.request_id => match r.status {
             ReplyStatus::NoException => Ok(r.body),
-            ReplyStatus::SystemException => {
-                Err(OrbError::Exception(String::from_utf8_lossy(&r.body).into_owned()))
-            }
+            ReplyStatus::SystemException => Err(OrbError::Exception(
+                String::from_utf8_lossy(&r.body).into_owned(),
+            )),
             ReplyStatus::ObjectNotExist => Err(OrbError::ObjectNotExist),
         },
-        Message::Reply(r) => {
-            Err(OrbError::RequestMismatch { expected: msg.request_id, got: r.request_id })
-        }
+        Message::Reply(r) => Err(OrbError::RequestMismatch {
+            expected: msg.request_id,
+            got: r.request_id,
+        }),
         _ => Err(OrbError::UnexpectedMessage),
     }
 }
@@ -397,7 +454,9 @@ impl CompadresServer {
             .register_handler("RequestProcessing", "FromTransport", move || {
                 let registry = Arc::clone(&registry);
                 move |msg: &mut WireMsg, ctx: &mut HandlerCtx<'_>| {
-                    let Some(conn) = msg.conn.take() else { return Ok(()) };
+                    let Some(conn) = msg.conn.take() else {
+                        return Ok(());
+                    };
                     // Stage the frame in the per-request scope (charged and
                     // reclaimed with it), then demarshal and dispatch.
                     if let Ok(staged) = ctx.mem.alloc_bytes(msg.frame.len()) {
@@ -483,7 +542,8 @@ impl CompadresServer {
     /// A stringified `corbaloc` reference for `key` at this server
     /// (the CORBA `object_to_string` flow). `None` when not serving TCP.
     pub fn object_ref(&self, key: &[u8]) -> Option<String> {
-        self.addr.map(|a| crate::ior::ObjectRef::for_addr(a, key.to_vec()).to_string())
+        self.addr
+            .map(|a| crate::ior::ObjectRef::for_addr(a, key.to_vec()).to_string())
     }
 
     /// The underlying component application (for instrumentation).
@@ -529,8 +589,14 @@ fn reader_loop(app: &App, conn: Arc<dyn Connection>, shutdown: &AtomicBool) {
             Ok(f) => f,
             Err(_) => break,
         };
-        let msg = WireMsg { frame, conn: Some(Arc::clone(&conn)) };
-        if app.send_to("ThePoa", "Incoming", msg, Priority::new(10)).is_err() {
+        let msg = WireMsg {
+            frame,
+            conn: Some(Arc::clone(&conn)),
+        };
+        if app
+            .send_to("ThePoa", "Incoming", msg, Priority::new(10))
+            .is_err()
+        {
             break;
         }
     }
@@ -555,10 +621,49 @@ mod tests {
     #[test]
     fn loopback_echo_roundtrip() {
         let (_server, client) = loopback_echo_pair().unwrap();
-        assert_eq!(client.invoke(b"echo", "echo", &[1, 2, 3]).unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            client.invoke(b"echo", "echo", &[1, 2, 3]).unwrap(),
+            vec![1, 2, 3]
+        );
         for i in 0..50u8 {
             assert_eq!(client.invoke(b"echo", "echo", &[i, i]).unwrap(), vec![i, i]);
         }
+    }
+
+    #[test]
+    fn giop_round_trips_are_observed() {
+        let (_server, client) = loopback_echo_pair().unwrap();
+        for i in 0..10u8 {
+            client.invoke(b"echo", "echo", &[i]).unwrap();
+        }
+        let obs = client.app().observer();
+        let hist = obs.histogram("rtcorba_roundtrip_echo_ns");
+        let snap = obs.hist_snapshot(hist);
+        assert_eq!(snap.count, 10, "one observation per invocation");
+        assert!(snap.p50 > 0 && snap.max >= snap.p50);
+        let events = obs.events();
+        let requests = events
+            .iter()
+            .filter(|e| e.kind == EventKind::GiopRequest)
+            .count();
+        let replies = events
+            .iter()
+            .filter(|e| e.kind == EventKind::GiopReply)
+            .count();
+        assert_eq!(requests, 10);
+        assert_eq!(replies, 10);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::GiopRequest
+                    && obs.entity_name(e.subject) == "giop:echo")
+        );
+        // The same journal carries the in-process port traffic too.
+        assert!(events.iter().any(|e| e.kind == EventKind::PortEnqueue));
+        assert!(client
+            .app()
+            .metrics_text()
+            .contains("rtcorba_roundtrip_echo_ns_count 10"));
     }
 
     #[test]
@@ -582,7 +687,10 @@ mod tests {
         // reader thread finishes releasing the request scope; poll.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
         while server.app().is_active("ServerProcessing").unwrap() {
-            assert!(std::time::Instant::now() < deadline, "destroyed after reply");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "destroyed after reply"
+            );
             std::thread::yield_now();
         }
         // Transport stays alive (connected).
@@ -597,14 +705,23 @@ mod tests {
         assert!(client.app().is_active("ClientTransport").unwrap());
         let before = client.app().activations_of("ClientProcessing").unwrap();
         client.invoke(b"echo", "echo", &[2]).unwrap();
-        assert_eq!(client.app().activations_of("ClientProcessing").unwrap(), before + 1);
+        assert_eq!(
+            client.app().activations_of("ClientProcessing").unwrap(),
+            before + 1
+        );
     }
 
     #[test]
     fn exceptions_and_unknown_objects() {
         let (_server, client) = loopback_echo_pair().unwrap();
-        assert!(matches!(client.invoke(b"ghost", "echo", &[]), Err(OrbError::ObjectNotExist)));
-        assert!(matches!(client.invoke(b"echo", "bad-op", &[]), Err(OrbError::Exception(_))));
+        assert!(matches!(
+            client.invoke(b"ghost", "echo", &[]),
+            Err(OrbError::ObjectNotExist)
+        ));
+        assert!(matches!(
+            client.invoke(b"echo", "bad-op", &[]),
+            Err(OrbError::Exception(_))
+        ));
         // The ORB still works afterwards.
         assert_eq!(client.invoke(b"echo", "echo", &[5]).unwrap(), vec![5]);
     }

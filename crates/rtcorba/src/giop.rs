@@ -245,7 +245,10 @@ pub fn decode(frame: &[u8]) -> Result<Message, GiopError> {
     let declared = hdr.read_u32()? as usize;
     let body = &frame[HEADER_LEN..];
     if body.len() < declared {
-        return Err(GiopError::ShortBody { declared, actual: body.len() });
+        return Err(GiopError::ShortBody {
+            declared,
+            actual: body.len(),
+        });
     }
     // Alignment in GIOP bodies restarts after the header.
     let mut dec = CdrDecoder::new(&body[..declared], endian);
@@ -269,7 +272,11 @@ pub fn decode(frame: &[u8]) -> Result<Message, GiopError> {
             let code = dec.read_u32()?;
             let status = ReplyStatus::from_code(code).ok_or(GiopError::BadReplyStatus(code))?;
             let body = dec.read_octets()?;
-            Ok(Message::Reply(ReplyMessage { request_id, status, body }))
+            Ok(Message::Reply(ReplyMessage {
+                request_id,
+                status,
+                body,
+            }))
         }
         MsgType::CloseConnection => Ok(Message::CloseConnection),
         MsgType::MessageError => Err(GiopError::BadMsgType(frame[7])),
@@ -283,7 +290,9 @@ pub fn decode(frame: &[u8]) -> Result<Message, GiopError> {
 /// [`GiopError`] if the header is malformed.
 pub fn body_size(header: &[u8; HEADER_LEN]) -> Result<usize, GiopError> {
     if header[..4] != GIOP_MAGIC {
-        return Err(GiopError::BadMagic([header[0], header[1], header[2], header[3]]));
+        return Err(GiopError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
     }
     let endian = Endian::from_flag(header[6]);
     let mut dec = CdrDecoder::new(&header[8..12], endian);
@@ -373,7 +382,10 @@ mod tests {
     fn short_body_rejected() {
         let frame = sample_request().encode(Endian::Big);
         let truncated = &frame[..frame.len() - 3];
-        assert!(matches!(decode(truncated), Err(GiopError::ShortBody { .. })));
+        assert!(matches!(
+            decode(truncated),
+            Err(GiopError::ShortBody { .. })
+        ));
     }
 
     #[test]

@@ -52,12 +52,20 @@ impl std::error::Error for IorError {}
 impl ObjectRef {
     /// Builds a reference from parts.
     pub fn new(host: impl Into<String>, port: u16, object_key: impl Into<Vec<u8>>) -> ObjectRef {
-        ObjectRef { host: host.into(), port, object_key: object_key.into() }
+        ObjectRef {
+            host: host.into(),
+            port,
+            object_key: object_key.into(),
+        }
     }
 
     /// Builds a reference for a bound socket address.
     pub fn for_addr(addr: SocketAddr, object_key: impl Into<Vec<u8>>) -> ObjectRef {
-        ObjectRef { host: addr.ip().to_string(), port: addr.port(), object_key: object_key.into() }
+        ObjectRef {
+            host: addr.ip().to_string(),
+            port: addr.port(),
+            object_key: object_key.into(),
+        }
     }
 
     /// Parses a `corbaloc::host:port/key` string.
@@ -84,7 +92,9 @@ impl ObjectRef {
         if key_enc.is_empty() {
             return Err(IorError::MissingKey);
         }
-        let colon = addr.rfind(':').ok_or_else(|| IorError::BadAddress(addr.to_string()))?;
+        let colon = addr
+            .rfind(':')
+            .ok_or_else(|| IorError::BadAddress(addr.to_string()))?;
         let (host, port_str) = addr.split_at(colon);
         let port: u16 = port_str[1..]
             .parse()
@@ -92,7 +102,11 @@ impl ObjectRef {
         if host.is_empty() {
             return Err(IorError::BadAddress(addr.to_string()));
         }
-        Ok(ObjectRef { host: host.to_string(), port, object_key: unescape(key_enc)? })
+        Ok(ObjectRef {
+            host: host.to_string(),
+            port,
+            object_key: unescape(key_enc)?,
+        })
     }
 
     /// Resolves the host/port to a connectable socket address.
@@ -111,7 +125,13 @@ impl ObjectRef {
 
 impl fmt::Display for ObjectRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "corbaloc::{}:{}/{}", self.host, self.port, escape(&self.object_key))
+        write!(
+            f,
+            "corbaloc::{}:{}/{}",
+            self.host,
+            self.port,
+            escape(&self.object_key)
+        )
     }
 }
 
@@ -170,15 +190,34 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!(ObjectRef::parse("iiop://x").unwrap_err(), IorError::BadScheme);
-        assert_eq!(ObjectRef::parse("corbaloc::hostport/k").unwrap_err(),
-            IorError::BadAddress("hostport".into()));
-        assert_eq!(ObjectRef::parse("corbaloc::h:99").unwrap_err(), IorError::MissingKey);
-        assert_eq!(ObjectRef::parse("corbaloc::h:99/").unwrap_err(), IorError::MissingKey);
-        assert_eq!(ObjectRef::parse("corbaloc::h:notaport/k").unwrap_err(),
-            IorError::BadAddress("h:notaport".into()));
-        assert_eq!(ObjectRef::parse("corbaloc::h:1/%Z9").unwrap_err(), IorError::BadEscape);
-        assert_eq!(ObjectRef::parse("corbaloc::h:1/%F").unwrap_err(), IorError::BadEscape);
+        assert_eq!(
+            ObjectRef::parse("iiop://x").unwrap_err(),
+            IorError::BadScheme
+        );
+        assert_eq!(
+            ObjectRef::parse("corbaloc::hostport/k").unwrap_err(),
+            IorError::BadAddress("hostport".into())
+        );
+        assert_eq!(
+            ObjectRef::parse("corbaloc::h:99").unwrap_err(),
+            IorError::MissingKey
+        );
+        assert_eq!(
+            ObjectRef::parse("corbaloc::h:99/").unwrap_err(),
+            IorError::MissingKey
+        );
+        assert_eq!(
+            ObjectRef::parse("corbaloc::h:notaport/k").unwrap_err(),
+            IorError::BadAddress("h:notaport".into())
+        );
+        assert_eq!(
+            ObjectRef::parse("corbaloc::h:1/%Z9").unwrap_err(),
+            IorError::BadEscape
+        );
+        assert_eq!(
+            ObjectRef::parse("corbaloc::h:1/%F").unwrap_err(),
+            IorError::BadEscape
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::RwLock;
+use rtplatform::sync::RwLock;
 
 use crate::cdr::{CdrDecoder, CdrEncoder, Endian};
 use crate::ior::ObjectRef;
@@ -38,7 +38,9 @@ impl NamingServant {
 
     /// Pre-binds a name (server-side convenience).
     pub fn bind(&self, name: &str, reference: &ObjectRef) {
-        self.table.write().insert(name.to_string(), reference.to_string());
+        self.table
+            .write()
+            .insert(name.to_string(), reference.to_string());
     }
 
     /// Number of bindings.
@@ -192,14 +194,17 @@ impl From<crate::cdr::CdrError> for OrbError {
 mod tests {
     use super::*;
     use crate::corb::CompadresServer;
-    use std::sync::Arc;
     use crate::service::ObjectRegistry;
     use crate::zen::ZenClient;
+    use std::sync::Arc;
 
     fn naming_server() -> (CompadresServer, Arc<NamingServant>) {
         let naming = Arc::new(NamingServant::new());
         let registry = ObjectRegistry::with_echo();
-        registry.register(NAME_SERVICE_KEY.to_vec(), Arc::clone(&naming) as Arc<dyn Servant>);
+        registry.register(
+            NAME_SERVICE_KEY.to_vec(),
+            Arc::clone(&naming) as Arc<dyn Servant>,
+        );
         (CompadresServer::spawn_tcp(registry).unwrap(), naming)
     }
 
@@ -211,7 +216,10 @@ mod tests {
 
         let echo_ref = ObjectRef::for_addr(server.addr().unwrap(), b"echo".to_vec());
         assert!(!ns.bind("services/echo", &echo_ref).unwrap());
-        assert!(ns.bind("services/echo", &echo_ref).unwrap(), "rebind reports replacement");
+        assert!(
+            ns.bind("services/echo", &echo_ref).unwrap(),
+            "rebind reports replacement"
+        );
         ns.bind("services/other", &echo_ref).unwrap();
 
         assert_eq!(ns.resolve("services/echo").unwrap(), echo_ref);

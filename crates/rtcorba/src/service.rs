@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use rtplatform::sync::RwLock;
 
 use crate::giop::{ReplyMessage, ReplyStatus, RequestMessage};
 
@@ -157,7 +157,9 @@ mod tests {
         let reg = ObjectRegistry::with_echo();
         let reply = reg.dispatch(&request(b"echo", "explode", &[]));
         assert_eq!(reply.status, ReplyStatus::SystemException);
-        assert!(String::from_utf8(reply.body).unwrap().contains("unknown operation"));
+        assert!(String::from_utf8(reply.body)
+            .unwrap()
+            .contains("unknown operation"));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use rtplatform::sync::{Condvar, Mutex};
 
 use crate::giop::{self, HEADER_LEN};
 
@@ -122,7 +122,10 @@ pub fn loopback_pair() -> (LoopbackConn, LoopbackConn) {
     let a = Arc::new(Pipe::default());
     let b = Arc::new(Pipe::default());
     (
-        LoopbackConn { tx: Arc::clone(&a), rx: Arc::clone(&b) },
+        LoopbackConn {
+            tx: Arc::clone(&a),
+            rx: Arc::clone(&b),
+        },
         LoopbackConn { tx: b, rx: a },
     )
 }
@@ -168,7 +171,10 @@ impl TcpConn {
     pub fn new(stream: TcpStream) -> Result<TcpConn, TransportError> {
         stream.set_nodelay(true)?;
         let reader = stream.try_clone()?;
-        Ok(TcpConn { reader: Mutex::new(reader), writer: Mutex::new(stream) })
+        Ok(TcpConn {
+            reader: Mutex::new(reader),
+            writer: Mutex::new(stream),
+        })
     }
 
     /// Connects to a listening ORB endpoint.
@@ -232,7 +238,9 @@ impl TcpAcceptor {
     ///
     /// Propagates bind failures.
     pub fn bind_loopback() -> Result<TcpAcceptor, TransportError> {
-        Ok(TcpAcceptor { listener: TcpListener::bind(("127.0.0.1", 0))? })
+        Ok(TcpAcceptor {
+            listener: TcpListener::bind(("127.0.0.1", 0))?,
+        })
     }
 
     /// The bound address clients should connect to.
@@ -290,7 +298,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         a.close();
         assert!(matches!(h.join().unwrap(), Err(TransportError::Closed)));
-        assert!(matches!(a.send_frame(&frame()), Err(TransportError::Closed)));
+        assert!(matches!(
+            a.send_frame(&frame()),
+            Err(TransportError::Closed)
+        ));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
+use rtplatform::sync::Mutex;
 
 use rtmem::{Ctx, MemoryModel, ScopePool, Wedge};
 
@@ -108,7 +108,12 @@ impl ZenClient {
     /// # Errors
     ///
     /// Transport failures.
-    pub fn invoke_oneway(&self, object_key: &[u8], operation: &str, args: &[u8]) -> Result<(), OrbError> {
+    pub fn invoke_oneway(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: &[u8],
+    ) -> Result<(), OrbError> {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut ctx = self.ctx.lock();
         let lease = self.processing_pool.acquire()?;
@@ -139,7 +144,12 @@ impl ZenClient {
     /// # Errors
     ///
     /// Transport failures, protocol violations, or a servant exception.
-    pub fn invoke(&self, object_key: &[u8], operation: &str, args: &[u8]) -> Result<Vec<u8>, OrbError> {
+    pub fn invoke(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, OrbError> {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut ctx = self.ctx.lock();
         let lease = self.processing_pool.acquire()?;
@@ -168,9 +178,9 @@ impl ZenClient {
                     match giop::decode(&reply_frame)? {
                         Message::Reply(r) if r.request_id == request_id => match r.status {
                             ReplyStatus::NoException => Ok(r.body),
-                            ReplyStatus::SystemException => {
-                                Err(OrbError::Exception(String::from_utf8_lossy(&r.body).into_owned()))
-                            }
+                            ReplyStatus::SystemException => Err(OrbError::Exception(
+                                String::from_utf8_lossy(&r.body).into_owned(),
+                            )),
                             ReplyStatus::ObjectNotExist => Err(OrbError::ObjectNotExist),
                         },
                         Message::Reply(r) => Err(OrbError::RequestMismatch {
@@ -213,7 +223,10 @@ struct ServerCore {
 }
 
 impl ServerCore {
-    fn new(registry: Arc<ObjectRegistry>, shutdown: Arc<AtomicBool>) -> Result<ServerCore, OrbError> {
+    fn new(
+        registry: Arc<ObjectRegistry>,
+        shutdown: Arc<AtomicBool>,
+    ) -> Result<ServerCore, OrbError> {
         let model = MemoryModel::new();
         let poa_scope = model.create_scoped(TRANSPORT_SCOPE)?;
         let poa_wedge = Wedge::pin_from_base(&model, poa_scope)?;
@@ -238,39 +251,39 @@ impl ServerCore {
             Err(_) => return,
         };
         let _ = ctx.enter(self.poa_scope, |ctx| {
-            let _ = ctx.enter(transport_scope, |ctx| {
-                loop {
-                    if self.shutdown.load(Ordering::SeqCst) {
-                        break;
+            let _ = ctx.enter(transport_scope, |ctx| loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let frame = match conn.recv_frame() {
+                    Ok(f) => f,
+                    Err(_) => break,
+                };
+                let Ok(lease) = self.request_pool.acquire() else {
+                    break;
+                };
+                let request_region = lease.region();
+                let outcome = ctx.enter(request_region, |ctx| {
+                    let staged = ctx.alloc_bytes(frame.len());
+                    if let Ok(staged) = staged {
+                        let _ = staged.copy_from_slice(ctx, &frame);
                     }
-                    let frame = match conn.recv_frame() {
-                        Ok(f) => f,
-                        Err(_) => break,
-                    };
-                    let Ok(lease) = self.request_pool.acquire() else { break };
-                    let request_region = lease.region();
-                    let outcome = ctx.enter(request_region, |ctx| {
-                        let staged = ctx.alloc_bytes(frame.len());
-                        if let Ok(staged) = staged {
-                            let _ = staged.copy_from_slice(ctx, &frame);
-                        }
-                        match giop::decode(&frame) {
-                            Ok(Message::Request(req)) => {
-                                let reply = self.registry.dispatch(&req);
-                                if req.response_expected {
-                                    conn.send_frame(&reply.encode(self.endian)).is_ok()
-                                } else {
-                                    true
-                                }
+                    match giop::decode(&frame) {
+                        Ok(Message::Request(req)) => {
+                            let reply = self.registry.dispatch(&req);
+                            if req.response_expected {
+                                conn.send_frame(&reply.encode(self.endian)).is_ok()
+                            } else {
+                                true
                             }
-                            Ok(Message::CloseConnection) => false,
-                            _ => false,
                         }
-                    });
-                    match outcome {
-                        Ok(true) => {}
-                        _ => break,
+                        Ok(Message::CloseConnection) => false,
+                        _ => false,
                     }
+                });
+                match outcome {
+                    Ok(true) => {}
+                    _ => break,
                 }
             });
         });
@@ -323,7 +336,12 @@ impl ZenServer {
     pub fn spawn_loopback(registry: Arc<ObjectRegistry>) -> Result<ZenServer, OrbError> {
         let shutdown = Arc::new(AtomicBool::new(false));
         let core = Arc::new(ServerCore::new(registry, Arc::clone(&shutdown))?);
-        Ok(ZenServer { addr: None, shutdown, accept_handle: None, loopback_feeder: core })
+        Ok(ZenServer {
+            addr: None,
+            shutdown,
+            accept_handle: None,
+            loopback_feeder: core,
+        })
     }
 
     /// The TCP address, when serving TCP.
@@ -394,14 +412,20 @@ mod tests {
         let client = ZenClient::connect_tcp(server.addr().unwrap()).unwrap();
         let payload = vec![9u8; 512];
         assert_eq!(client.invoke(b"echo", "echo", &payload).unwrap(), payload);
-        assert_eq!(client.invoke(b"echo", "reverse", &[1, 2, 3]).unwrap(), vec![3, 2, 1]);
+        assert_eq!(
+            client.invoke(b"echo", "reverse", &[1, 2, 3]).unwrap(),
+            vec![3, 2, 1]
+        );
         server.shutdown();
     }
 
     #[test]
     fn unknown_object_reported() {
         let (_server, client) = loopback_echo_pair().unwrap();
-        assert!(matches!(client.invoke(b"ghost", "echo", &[]), Err(OrbError::ObjectNotExist)));
+        assert!(matches!(
+            client.invoke(b"ghost", "echo", &[]),
+            Err(OrbError::ObjectNotExist)
+        ));
     }
 
     #[test]

@@ -10,14 +10,21 @@ use rtcorba::zen::{ZenClient, ZenServer};
 fn registry_with_counter() -> (Arc<ObjectRegistry>, Arc<CountingServant>) {
     let counter = Arc::new(CountingServant::default());
     let reg = ObjectRegistry::with_echo();
-    reg.register(b"count".to_vec(), Arc::clone(&counter) as Arc<dyn rtcorba::service::Servant>);
+    reg.register(
+        b"count".to_vec(),
+        Arc::clone(&counter) as Arc<dyn rtcorba::service::Servant>,
+    );
     (reg, counter)
 }
 
 fn wait_for(counter: &CountingServant, n: u64) {
     let deadline = Instant::now() + Duration::from_secs(5);
     while counter.count() < n {
-        assert!(Instant::now() < deadline, "servant saw {} of {n}", counter.count());
+        assert!(
+            Instant::now() < deadline,
+            "servant saw {} of {n}",
+            counter.count()
+        );
         std::thread::yield_now();
     }
 }
@@ -84,10 +91,16 @@ fn corbaloc_reference_end_to_end() {
     let reference = server.object_ref(b"echo").unwrap();
     assert!(reference.starts_with("corbaloc::"));
     let (client, key) = CompadresClient::connect_ref(&reference).unwrap();
-    assert_eq!(client.invoke(&key, "echo", &[4, 5, 6]).unwrap(), vec![4, 5, 6]);
+    assert_eq!(
+        client.invoke(&key, "echo", &[4, 5, 6]).unwrap(),
+        vec![4, 5, 6]
+    );
     // The Zen client resolves the very same reference (wire compat).
     let (zen, key) = ZenClient::connect_ref(&reference).unwrap();
-    assert_eq!(zen.invoke(&key, "reverse", &[1, 2, 3]).unwrap(), vec![3, 2, 1]);
+    assert_eq!(
+        zen.invoke(&key, "reverse", &[1, 2, 3]).unwrap(),
+        vec![3, 2, 1]
+    );
     server.shutdown();
 }
 

@@ -48,19 +48,31 @@ impl std::fmt::Debug for Ctx {
 impl Ctx {
     /// A conventional (heap-based) thread context.
     pub fn heap_based(model: &MemoryModel) -> Ctx {
-        Ctx { model: Arc::clone(&model.inner), stack: vec![model.heap()], no_heap: false }
+        Ctx {
+            model: Arc::clone(&model.inner),
+            stack: vec![model.heap()],
+            no_heap: false,
+        }
     }
 
     /// A real-time thread context based in immortal memory, still allowed
     /// to read the heap.
     pub fn immortal(model: &MemoryModel) -> Ctx {
-        Ctx { model: Arc::clone(&model.inner), stack: vec![model.immortal()], no_heap: false }
+        Ctx {
+            model: Arc::clone(&model.inner),
+            stack: vec![model.immortal()],
+            no_heap: false,
+        }
     }
 
     /// A no-heap real-time thread context: based in immortal memory and
     /// forbidden from touching the heap.
     pub fn no_heap(model: &MemoryModel) -> Ctx {
-        Ctx { model: Arc::clone(&model.inner), stack: vec![model.immortal()], no_heap: true }
+        Ctx {
+            model: Arc::clone(&model.inner),
+            stack: vec![model.immortal()],
+            no_heap: true,
+        }
     }
 
     /// The current allocation context (top of the scope stack).
@@ -81,7 +93,9 @@ impl Ctx {
     /// Whether `region` is readable from this context: on the scope stack,
     /// or immortal, or heap (unless no-heap).
     pub fn may_access(&self, region: RegionId) -> bool {
-        let Ok(slot) = self.model.slot(region) else { return false };
+        let Ok(slot) = self.model.slot(region) else {
+            return false;
+        };
         let kind = slot.lock().kind;
         match kind {
             RegionKind::Heap => !self.no_heap,
@@ -214,7 +228,12 @@ impl Ctx {
                 self.ctx.stack.append(&mut self.tail);
             }
         }
-        let restore = Restore { ctx: self, tail, keep, pushed };
+        let restore = Restore {
+            ctx: self,
+            tail,
+            keep,
+            pushed,
+        };
         let out = f(restore.ctx);
         drop(restore);
         Ok(out)
@@ -226,7 +245,11 @@ impl Ctx {
     /// # Errors
     ///
     /// Propagates the first failing [`Ctx::enter`].
-    pub fn enter_chain<R>(&mut self, chain: &[RegionId], f: impl FnOnce(&mut Ctx) -> R) -> Result<R> {
+    pub fn enter_chain<R>(
+        &mut self,
+        chain: &[RegionId],
+        f: impl FnOnce(&mut Ctx) -> R,
+    ) -> Result<R> {
         match chain.split_first() {
             None => Ok(f(self)),
             Some((&head, rest)) => {
@@ -245,7 +268,11 @@ impl Ctx {
     /// (base only); scope entries are not inherited, matching RTSJ thread
     /// start semantics where the new thread re-enters areas explicitly.
     pub fn fork_base(&self) -> Ctx {
-        Ctx { model: Arc::clone(&self.model), stack: vec![self.stack[0]], no_heap: self.no_heap }
+        Ctx {
+            model: Arc::clone(&self.model),
+            stack: vec![self.stack[0]],
+            no_heap: self.no_heap,
+        }
     }
 }
 
@@ -315,10 +342,14 @@ mod tests {
     fn no_heap_cannot_enter_heap() {
         let m = MemoryModel::new();
         let mut ctx = Ctx::no_heap(&m);
-        assert!(matches!(ctx.enter(m.heap(), |_| {}), Err(RtmemError::HeapFromNoHeap)));
+        assert!(matches!(
+            ctx.enter(m.heap(), |_| {}),
+            Err(RtmemError::HeapFromNoHeap)
+        ));
         assert!(!ctx.may_access(m.heap()));
         let mut rt = Ctx::immortal(&m);
-        rt.enter(m.heap(), |ctx| assert_eq!(ctx.current(), m.heap())).unwrap();
+        rt.enter(m.heap(), |ctx| assert_eq!(ctx.current(), m.heap()))
+            .unwrap();
     }
 
     #[test]
@@ -340,7 +371,10 @@ mod tests {
         let m = MemoryModel::new();
         let s = m.create_scoped(1024).unwrap();
         let ctx = Ctx::immortal(&m);
-        assert!(matches!(ctx.alloc_in(s, 1u8), Err(RtmemError::Inaccessible { .. })));
+        assert!(matches!(
+            ctx.alloc_in(s, 1u8),
+            Err(RtmemError::Inaccessible { .. })
+        ));
     }
 
     #[test]
@@ -356,7 +390,10 @@ mod tests {
             let _wc = crate::wedge::Wedge::pin(ctx, c).unwrap();
             ctx.enter(b, |ctx| {
                 // Direct entry of the sibling is illegal…
-                assert!(matches!(ctx.enter(c, |_| {}), Err(RtmemError::ScopedCycle { .. })));
+                assert!(matches!(
+                    ctx.enter(c, |_| {}),
+                    Err(RtmemError::ScopedCycle { .. })
+                ));
                 // …but via executeInArea on the common ancestor it works.
                 ctx.execute_in(a, |ctx| {
                     assert_eq!(ctx.current(), a);
@@ -399,7 +436,10 @@ mod tests {
         let s = m.create_scoped(1024).unwrap();
         let _w = crate::wedge::Wedge::pin_from_base(&m, s).unwrap();
         let mut ctx = Ctx::immortal(&m);
-        assert!(matches!(ctx.execute_in(s, |_| {}), Err(RtmemError::NotEntered(_))));
+        assert!(matches!(
+            ctx.execute_in(s, |_| {}),
+            Err(RtmemError::NotEntered(_))
+        ));
     }
 
     #[test]
@@ -415,7 +455,7 @@ mod tests {
             })
             .unwrap();
         assert_eq!(depth, 3); // immortal base skipped, a, b entered
-        // Empty chain runs in place.
+                              // Empty chain runs in place.
         let cur = ctx.enter_chain(&[], |ctx| ctx.current()).unwrap();
         assert_eq!(cur, m.immortal());
     }

@@ -8,9 +8,10 @@
 //! disappears. This reproduces the lifecycle that the Compadres framework
 //! layers components on top of (paper Section 2.2).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::{Mutex, RwLock};
+use rtobs::{CounterId, EventKind, GaugeId, HistId, Observer};
+use rtplatform::sync::{Mutex, RwLock};
 
 use crate::error::{Result, RtmemError};
 use crate::region::{RegionId, RegionInner, RegionKind, RegionSnapshot, RegionStats, SlotState};
@@ -20,11 +21,30 @@ pub(crate) struct Slot {
     pub inner: Arc<Mutex<RegionInner>>,
 }
 
+/// The model's hook into an [`Observer`]: the observer plus the metric
+/// ids it registered, resolved once so the hot paths never look names up.
+pub(crate) struct MemObs {
+    pub obs: Arc<Observer>,
+    pub enters: CounterId,
+    pub exits: CounterId,
+    pub reclaims: CounterId,
+    pub regions_live: GaugeId,
+    pub wedge_life: HistId,
+}
+
 pub(crate) struct ModelInner {
     slots: RwLock<Vec<Slot>>,
     free_indices: Mutex<Vec<u32>>,
     heap: RegionId,
     immortal: RegionId,
+    obs: OnceLock<MemObs>,
+}
+
+impl ModelInner {
+    #[inline]
+    pub(crate) fn obs(&self) -> Option<&MemObs> {
+        self.obs.get()
+    }
 }
 
 /// A complete RTSJ-style memory model: heap + immortal + scoped regions.
@@ -82,17 +102,54 @@ impl MemoryModel {
         let heap_inner = RegionInner::new(RegionKind::Heap, heap_size);
         let immortal_inner = RegionInner::new(RegionKind::Immortal, immortal_size);
         let slots = vec![
-            Slot { generation: 0, inner: Arc::new(Mutex::new(heap_inner)) },
-            Slot { generation: 0, inner: Arc::new(Mutex::new(immortal_inner)) },
+            Slot {
+                generation: 0,
+                inner: Arc::new(Mutex::new(heap_inner)),
+            },
+            Slot {
+                generation: 0,
+                inner: Arc::new(Mutex::new(immortal_inner)),
+            },
         ];
         MemoryModel {
             inner: Arc::new(ModelInner {
                 slots: RwLock::new(slots),
                 free_indices: Mutex::new(Vec::new()),
-                heap: RegionId { index: 0, generation: 0 },
-                immortal: RegionId { index: 1, generation: 0 },
+                heap: RegionId {
+                    index: 0,
+                    generation: 0,
+                },
+                immortal: RegionId {
+                    index: 1,
+                    generation: 0,
+                },
+                obs: OnceLock::new(),
             }),
         }
+    }
+
+    /// Attaches an observer (idempotent; the first caller wins). Scope
+    /// enter/exit/reclaim events, the live-region gauge, and wedge
+    /// lifetime histograms flow into it from then on. Metric ids are
+    /// resolved here, once — the instrumented paths only touch atomics.
+    pub fn set_observer(&self, obs: &Arc<Observer>) {
+        let live = self.live_regions() as u64;
+        let _ = self.inner.obs.set(MemObs {
+            obs: Arc::clone(obs),
+            enters: obs.counter("rtmem_scope_enters_total"),
+            exits: obs.counter("rtmem_scope_exits_total"),
+            reclaims: obs.counter("rtmem_scope_reclaims_total"),
+            regions_live: obs.gauge("rtmem_regions_live"),
+            wedge_life: obs.histogram("rtmem_wedge_lifetime_ns"),
+        });
+        if let Some(o) = self.inner.obs() {
+            o.obs.gauge_set(o.regions_live, live);
+        }
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<Arc<Observer>> {
+        self.inner.obs().map(|o| Arc::clone(&o.obs))
     }
 
     /// The heap region.
@@ -276,6 +333,9 @@ impl ModelInner {
     }
 
     fn create(&self, kind: RegionKind, size: usize, pooled: bool) -> RegionId {
+        if let Some(o) = self.obs() {
+            o.obs.gauge_add(o.regions_live, 1);
+        }
         let mut inner = RegionInner::new(kind, size);
         inner.pooled = pooled;
         let reuse = self.free_indices.lock().pop();
@@ -286,20 +346,29 @@ impl ModelInner {
                 let slot = &mut slots[index as usize];
                 slot.generation = slot.generation.wrapping_add(1);
                 slot.inner = Arc::new(Mutex::new(inner));
-                RegionId { index, generation: slot.generation }
+                RegionId {
+                    index,
+                    generation: slot.generation,
+                }
             }
             None => {
                 let mut slots = self.slots.write();
                 let index = slots.len() as u32;
-                slots.push(Slot { generation: 0, inner: Arc::new(Mutex::new(inner)) });
-                RegionId { index, generation: 0 }
+                slots.push(Slot {
+                    generation: 0,
+                    inner: Arc::new(Mutex::new(inner)),
+                });
+                RegionId {
+                    index,
+                    generation: 0,
+                }
             }
         }
     }
 
     fn destroy(&self, id: RegionId, allow_pooled: bool) -> Result<()> {
         let slot = self.slot(id)?;
-        let detach = {
+        let (detach, freed) = {
             let mut g = slot.lock();
             if !g.kind.is_scoped() {
                 return Err(RtmemError::InvalidRegion(id));
@@ -308,14 +377,25 @@ impl ModelInner {
                 return Err(RtmemError::InvalidRegion(id));
             }
             if g.entered > 0 || g.pins > 0 {
-                return Err(RtmemError::StillPinned { region: id, pins: g.pins, entered: g.entered });
+                return Err(RtmemError::StillPinned {
+                    region: id,
+                    pins: g.pins,
+                    entered: g.entered,
+                });
             }
+            let freed = g.used;
             Self::reclaim_locked(&mut g);
             g.state = SlotState::Free;
             g.objects = Vec::new();
             g.backing = Box::new([]);
-            g.parent.take()
+            (g.parent.take(), freed)
         };
+        if let Some(o) = self.obs() {
+            o.obs.inc(o.reclaims);
+            o.obs.gauge_sub(o.regions_live, 1);
+            o.obs
+                .record(EventKind::ScopeReclaim, id.index, freed as u64);
+        }
         if let Some(parent) = detach {
             self.detach_child(parent, id);
         }
@@ -326,7 +406,12 @@ impl ModelInner {
     /// Binds `region`'s parent (single parent rule) and registers a pin or
     /// an entry, depending on `as_entry`. `from` is the entering context's
     /// current allocation context.
-    pub(crate) fn bind_and_pin(&self, region: RegionId, from: RegionId, as_entry: bool) -> Result<()> {
+    pub(crate) fn bind_and_pin(
+        &self,
+        region: RegionId,
+        from: RegionId,
+        as_entry: bool,
+    ) -> Result<()> {
         let slot = self.slot(region)?;
         let need_attach = {
             let mut g = slot.lock();
@@ -337,6 +422,13 @@ impl ModelInner {
                         g.stats.enters += 1;
                     } else {
                         g.pins += 1;
+                    }
+                    drop(g);
+                    if as_entry {
+                        if let Some(o) = self.obs() {
+                            o.obs.inc(o.enters);
+                            o.obs.record_verbose(EventKind::ScopeEnter, region.index, 0);
+                        }
                     }
                     return Ok(());
                 }
@@ -363,7 +455,11 @@ impl ModelInner {
                     false
                 }
                 Some(p) => {
-                    return Err(RtmemError::ScopedCycle { region, parent: p, attempted: from });
+                    return Err(RtmemError::ScopedCycle {
+                        region,
+                        parent: p,
+                        attempted: from,
+                    });
                 }
             }
         };
@@ -373,6 +469,12 @@ impl ModelInner {
                 let mut pg = pslot.lock();
                 pg.children.push(region);
                 pg.pins += 1;
+            }
+        }
+        if as_entry {
+            if let Some(o) = self.obs() {
+                o.obs.inc(o.enters);
+                o.obs.record_verbose(EventKind::ScopeEnter, region.index, 0);
             }
         }
         Ok(())
@@ -389,7 +491,7 @@ impl ModelInner {
     /// Releases an entry or a pin; reclaims the region if it became free.
     pub(crate) fn unpin(&self, region: RegionId, was_entry: bool) {
         let Ok(slot) = self.slot(region) else { return };
-        let detach = {
+        let (detach, reclaimed) = {
             let mut g = slot.lock();
             if was_entry {
                 debug_assert!(g.entered > 0, "unbalanced exit from {region:?}");
@@ -399,12 +501,24 @@ impl ModelInner {
                 g.pins = g.pins.saturating_sub(1);
             }
             if g.kind.is_scoped() && g.entered == 0 && g.pins == 0 {
+                let freed = g.used;
                 Self::reclaim_locked(&mut g);
-                g.parent.take()
+                (g.parent.take(), Some(freed))
             } else {
-                None
+                (None, None)
             }
         };
+        if let Some(o) = self.obs() {
+            if was_entry {
+                o.obs.inc(o.exits);
+                o.obs.record_verbose(EventKind::ScopeExit, region.index, 0);
+            }
+            if let Some(freed) = reclaimed {
+                o.obs.inc(o.reclaims);
+                o.obs
+                    .record(EventKind::ScopeReclaim, region.index, freed as u64);
+            }
+        }
         if let Some(parent) = detach {
             self.detach_child(parent, region);
         }
@@ -484,7 +598,10 @@ mod tests {
         let s = m.create_scoped(1024).unwrap();
         let mut ctx = Ctx::immortal(&m);
         ctx.enter(s, |_| {
-            assert!(matches!(m.destroy_scoped(s), Err(RtmemError::StillPinned { .. })));
+            assert!(matches!(
+                m.destroy_scoped(s),
+                Err(RtmemError::StillPinned { .. })
+            ));
         })
         .unwrap();
         m.destroy_scoped(s).unwrap();
@@ -513,8 +630,18 @@ mod tests {
                 // Keep everything parented while we probe the matrix.
                 let heap = m.heap();
                 let imm = m.immortal();
-                let yes = |f, t| assert!(m.may_reference(f, t).unwrap(), "{f:?}->{t:?} should be allowed");
-                let no = |f, t| assert!(!m.may_reference(f, t).unwrap(), "{f:?}->{t:?} should be denied");
+                let yes = |f, t| {
+                    assert!(
+                        m.may_reference(f, t).unwrap(),
+                        "{f:?}->{t:?} should be allowed"
+                    )
+                };
+                let no = |f, t| {
+                    assert!(
+                        !m.may_reference(f, t).unwrap(),
+                        "{f:?}->{t:?} should be denied"
+                    )
+                };
                 yes(heap, heap);
                 yes(heap, imm);
                 no(heap, a);

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rtplatform::sync::Mutex;
 
 use crate::error::{Result, RtmemError};
 use crate::model::MemoryModel;
@@ -39,6 +39,21 @@ struct PoolInner {
     scope_size: usize,
     free: Mutex<Vec<RegionId>>,
     capacity: usize,
+    /// Observer hook, resolved at pool construction when the model
+    /// already carries an observer: (entity id, leased-scopes gauge).
+    obs: Option<(u32, rtobs::GaugeId)>,
+}
+
+impl PoolInner {
+    fn record_lease_change(&self, kind: rtobs::EventKind, leased: u64) {
+        if let (Some((entity, gauge)), Some(o)) = (self.obs, self.model.inner.obs()) {
+            match kind {
+                rtobs::EventKind::PoolAcquire => o.obs.gauge_add(gauge, 1),
+                _ => o.obs.gauge_sub(gauge, 1),
+            }
+            o.obs.record(kind, entity, leased);
+        }
+    }
 }
 
 impl std::fmt::Debug for ScopePool {
@@ -56,11 +71,22 @@ impl ScopePool {
     /// Creates a pool of `pool_size` scoped regions of `scope_size` bytes
     /// each, for scope level `level`. All backing stores are allocated and
     /// zeroed here, up front.
-    pub fn new(model: &MemoryModel, level: u32, scope_size: usize, pool_size: usize) -> Result<ScopePool> {
+    pub fn new(
+        model: &MemoryModel,
+        level: u32,
+        scope_size: usize,
+        pool_size: usize,
+    ) -> Result<ScopePool> {
         let mut free = Vec::with_capacity(pool_size);
         for _ in 0..pool_size {
             free.push(model.create_pooled(scope_size));
         }
+        let obs = model.inner.obs().map(|o| {
+            (
+                o.obs.register_entity(&format!("scope-pool:L{level}")),
+                o.obs.gauge(&format!("rtmem_scope_pool_l{level}_leased")),
+            )
+        });
         Ok(ScopePool {
             inner: Arc::new(PoolInner {
                 model: model.clone(),
@@ -68,6 +94,7 @@ impl ScopePool {
                 scope_size,
                 free: Mutex::new(free),
                 capacity: pool_size,
+                obs,
             }),
         })
     }
@@ -105,19 +132,30 @@ impl ScopePool {
             let id = free.remove(0);
             match self.inner.model.snapshot(id) {
                 Ok(s) if s.entered == 0 && s.pins == 0 && s.parent.is_none() => {
-                    return Ok(ScopeLease { pool: Arc::clone(&self.inner), region: id });
+                    let leased = (self.inner.capacity - free.len()) as u64;
+                    drop(free);
+                    self.inner
+                        .record_lease_change(rtobs::EventKind::PoolAcquire, leased);
+                    return Ok(ScopeLease {
+                        pool: Arc::clone(&self.inner),
+                        region: id,
+                    });
                 }
                 Ok(_) => free.push(id),
                 Err(_) => { /* destroyed externally; drop it from the pool */ }
             }
         }
-        Err(RtmemError::PoolExhausted { level: self.inner.level })
+        Err(RtmemError::PoolExhausted {
+            level: self.inner.level,
+        })
     }
 }
 
 impl Clone for ScopePool {
     fn clone(&self) -> Self {
-        ScopePool { inner: Arc::clone(&self.inner) }
+        ScopePool {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -156,7 +194,13 @@ impl ScopeLease {
 
 impl Drop for ScopeLease {
     fn drop(&mut self) {
-        self.pool.free.lock().push(self.region);
+        let leased = {
+            let mut free = self.pool.free.lock();
+            free.push(self.region);
+            (self.pool.capacity - free.len()) as u64
+        };
+        self.pool
+            .record_lease_change(rtobs::EventKind::PoolRelease, leased);
     }
 }
 
@@ -173,7 +217,10 @@ mod tests {
         let a = pool.acquire().unwrap();
         let b = pool.acquire().unwrap();
         assert_ne!(a.region(), b.region());
-        assert!(matches!(pool.acquire(), Err(RtmemError::PoolExhausted { level: 1 })));
+        assert!(matches!(
+            pool.acquire(),
+            Err(RtmemError::PoolExhausted { level: 1 })
+        ));
         drop(a);
         assert_eq!(pool.available(), 1);
         let c = pool.acquire().unwrap();

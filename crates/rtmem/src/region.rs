@@ -9,7 +9,7 @@ use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use rtplatform::sync::Mutex;
 
 /// Identifies a region within a [`MemoryModel`](crate::MemoryModel).
 ///
@@ -190,7 +190,10 @@ mod tests {
 
     #[test]
     fn region_id_debug_is_compact() {
-        let id = RegionId { index: 3, generation: 7 };
+        let id = RegionId {
+            index: 3,
+            generation: 7,
+        };
         assert_eq!(format!("{id:?}"), "R3.7");
         assert_eq!(id.to_string(), "R3.7");
     }

@@ -41,7 +41,14 @@ impl<T> Clone for RRef<T> {
 
 impl<T> std::fmt::Debug for RRef<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "RRef<{}>({:?}@{} #{})", std::any::type_name::<T>(), self.region, self.epoch, self.slot)
+        write!(
+            f,
+            "RRef<{}>({:?}@{} #{})",
+            std::any::type_name::<T>(),
+            self.region,
+            self.epoch,
+            self.slot
+        )
     }
 }
 
@@ -62,7 +69,8 @@ impl<T: Send + 'static> RRef<T> {
         g.stats.bytes_requested += cost as u64;
         let slot_index = g.objects.len();
         let boxed: Box<dyn std::any::Any + Send> = Box::new(value);
-        g.objects.push(Some(Arc::new(parking_lot::Mutex::new(boxed))));
+        g.objects
+            .push(Some(Arc::new(rtplatform::sync::Mutex::new(boxed))));
         Ok(RRef {
             model: Arc::clone(model),
             region,
@@ -97,7 +105,9 @@ impl<T: Send + 'static> RRef<T> {
                 })?
         };
         if !ctx.may_access(self.region) {
-            return Err(RtmemError::Inaccessible { region: self.region });
+            return Err(RtmemError::Inaccessible {
+                region: self.region,
+            });
         }
         Ok(obj)
     }
@@ -112,9 +122,9 @@ impl<T: Send + 'static> RRef<T> {
     pub fn with<R>(&self, ctx: &Ctx, f: impl FnOnce(&T) -> R) -> Result<R> {
         let obj = self.resolve(ctx)?;
         let g = obj.lock();
-        let val = g
-            .downcast_ref::<T>()
-            .ok_or(RtmemError::TypeMismatch { region: self.region })?;
+        let val = g.downcast_ref::<T>().ok_or(RtmemError::TypeMismatch {
+            region: self.region,
+        })?;
         Ok(f(val))
     }
 
@@ -126,9 +136,9 @@ impl<T: Send + 'static> RRef<T> {
     pub fn with_mut<R>(&self, ctx: &Ctx, f: impl FnOnce(&mut T) -> R) -> Result<R> {
         let obj = self.resolve(ctx)?;
         let mut g = obj.lock();
-        let val = g
-            .downcast_mut::<T>()
-            .ok_or(RtmemError::TypeMismatch { region: self.region })?;
+        let val = g.downcast_mut::<T>().ok_or(RtmemError::TypeMismatch {
+            region: self.region,
+        })?;
         Ok(f(val))
     }
 
@@ -163,7 +173,9 @@ impl<T> RRef<T> {
     ///
     /// [`RtmemError::IllegalAssignment`] when forbidden.
     pub fn check_store_in(&self, holder: RegionId) -> Result<()> {
-        let model = crate::model::MemoryModel { inner: Arc::clone(&self.model) };
+        let model = crate::model::MemoryModel {
+            inner: Arc::clone(&self.model),
+        };
         model.check_assignment(holder, self.region)
     }
 }
@@ -190,12 +202,23 @@ pub struct RBytes {
 
 impl std::fmt::Debug for RBytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "RBytes({:?}@{} +{}..{})", self.region, self.epoch, self.offset, self.offset + self.len)
+        write!(
+            f,
+            "RBytes({:?}@{} +{}..{})",
+            self.region,
+            self.epoch,
+            self.offset,
+            self.offset + self.len
+        )
     }
 }
 
 impl RBytes {
-    pub(crate) fn allocate(model: &Arc<ModelInner>, region: RegionId, len: usize) -> Result<RBytes> {
+    pub(crate) fn allocate(
+        model: &Arc<ModelInner>,
+        region: RegionId,
+        len: usize,
+    ) -> Result<RBytes> {
         let slot_arc = model.slot(region)?;
         let mut g = slot_arc.lock();
         let aligned = (len + 7) & !7;
@@ -231,7 +254,13 @@ impl RBytes {
         g.used += aligned;
         g.stats.byte_allocs += 1;
         g.stats.bytes_requested += aligned as u64;
-        Ok(RBytes { model: Arc::clone(model), region, epoch: g.epoch, offset, len })
+        Ok(RBytes {
+            model: Arc::clone(model),
+            region,
+            epoch: g.epoch,
+            offset,
+            len,
+        })
     }
 
     /// Length of the allocation in bytes.
@@ -249,7 +278,7 @@ impl RBytes {
         self.region
     }
 
-    fn check(&self, ctx: &Ctx) -> Result<Arc<parking_lot::Mutex<crate::region::RegionInner>>> {
+    fn check(&self, ctx: &Ctx) -> Result<Arc<rtplatform::sync::Mutex<crate::region::RegionInner>>> {
         let slot = self.model.slot(self.region)?;
         {
             let g = slot.lock();
@@ -262,7 +291,9 @@ impl RBytes {
             }
         }
         if !ctx.may_access(self.region) {
-            return Err(RtmemError::Inaccessible { region: self.region });
+            return Err(RtmemError::Inaccessible {
+                region: self.region,
+            });
         }
         Ok(slot)
     }
@@ -357,7 +388,10 @@ mod tests {
             })
             .unwrap();
         let ctx2 = Ctx::immortal(&m);
-        assert!(matches!(bytes.to_vec(&ctx2), Err(RtmemError::StaleReference { .. })));
+        assert!(matches!(
+            bytes.to_vec(&ctx2),
+            Err(RtmemError::StaleReference { .. })
+        ));
     }
 
     #[test]

@@ -41,11 +41,22 @@ pub struct Wedge {
     model: Arc<ModelInner>,
     region: RegionId,
     released: bool,
+    /// Observer timestamp at pin time, for the wedge-lifetime histogram.
+    born_ns: u64,
+}
+
+fn birth_stamp(model: &ModelInner) -> u64 {
+    model.obs().map_or(0, |o| o.obs.now_ns())
 }
 
 impl std::fmt::Debug for Wedge {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Wedge({:?}{})", self.region, if self.released { ", released" } else { "" })
+        write!(
+            f,
+            "Wedge({:?}{})",
+            self.region,
+            if self.released { ", released" } else { "" }
+        )
     }
 }
 
@@ -66,7 +77,13 @@ impl Wedge {
         } else {
             ctx.model.bind_and_pin(region, ctx.current(), false)?;
         }
-        Ok(Wedge { model: Arc::clone(&ctx.model), region, released: false })
+        let born_ns = birth_stamp(&ctx.model);
+        Ok(Wedge {
+            model: Arc::clone(&ctx.model),
+            region,
+            released: false,
+            born_ns,
+        })
     }
 
     /// Pins `region` parenting it (if unparented) directly under immortal
@@ -86,7 +103,13 @@ impl Wedge {
     /// under a different region.
     pub fn pin_under(model: &MemoryModel, region: RegionId, parent: RegionId) -> Result<Wedge> {
         model.inner.bind_and_pin(region, parent, false)?;
-        Ok(Wedge { model: Arc::clone(&model.inner), region, released: false })
+        let born_ns = birth_stamp(&model.inner);
+        Ok(Wedge {
+            model: Arc::clone(&model.inner),
+            region,
+            released: false,
+            born_ns,
+        })
     }
 
     /// The pinned region.
@@ -102,6 +125,10 @@ impl Wedge {
     fn release(&mut self) {
         if !self.released {
             self.released = true;
+            if let Some(o) = self.model.obs() {
+                o.obs
+                    .observe(o.wedge_life, o.obs.now_ns().saturating_sub(self.born_ns));
+            }
             self.model.unpin(self.region, false);
         }
     }
@@ -169,7 +196,10 @@ mod tests {
         let child = m.create_scoped(1024).unwrap();
         let mut ctx = Ctx::immortal(&m);
         let w = ctx
-            .enter(parent, |ctx| ctx.enter(child, |ctx| Wedge::pin(ctx, child).unwrap()).unwrap())
+            .enter(parent, |ctx| {
+                ctx.enter(child, |ctx| Wedge::pin(ctx, child).unwrap())
+                    .unwrap()
+            })
             .unwrap();
         // Parent has no entered threads but is pinned by the child link.
         let psnap = m.snapshot(parent).unwrap();
@@ -177,6 +207,10 @@ mod tests {
         assert_eq!(psnap.epoch, 0, "parent not reclaimed while child lives");
         drop(w);
         assert_eq!(m.snapshot(child).unwrap().epoch, 1);
-        assert_eq!(m.snapshot(parent).unwrap().epoch, 1, "cascade reclaimed parent");
+        assert_eq!(
+            m.snapshot(parent).unwrap().epoch,
+            1,
+            "cascade reclaimed parent"
+        );
     }
 }

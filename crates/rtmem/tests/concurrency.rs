@@ -24,7 +24,8 @@ fn many_threads_share_one_scope() {
             for _ in 0..200 {
                 ctx.enter(scope, |ctx| {
                     let r = ctx.alloc(1u64).unwrap();
-                    r.with(ctx, |_| counter.fetch_add(1, Ordering::Relaxed)).unwrap();
+                    r.with(ctx, |_| counter.fetch_add(1, Ordering::Relaxed))
+                        .unwrap();
                 })
                 .unwrap();
             }
@@ -62,7 +63,10 @@ fn scope_reclaims_only_after_last_thread() {
         h.join().unwrap();
     }
     let snap = model.snapshot(scope).unwrap();
-    assert_eq!(snap.epoch, 1, "exactly one reclamation for the joint occupancy");
+    assert_eq!(
+        snap.epoch, 1,
+        "exactly one reclamation for the joint occupancy"
+    );
     assert_eq!(snap.used, 0);
 }
 
@@ -249,7 +253,10 @@ fn vt_memory_respects_budget() {
     let mut ctx = Ctx::no_heap(&model);
     ctx.enter(vt, |ctx| {
         ctx.alloc_bytes(4000).unwrap();
-        assert!(matches!(ctx.alloc_bytes(200), Err(RtmemError::OutOfMemory { .. })));
+        assert!(matches!(
+            ctx.alloc_bytes(200),
+            Err(RtmemError::OutOfMemory { .. })
+        ));
     })
     .unwrap();
     model.destroy_scoped(vt).unwrap();

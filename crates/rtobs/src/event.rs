@@ -1,0 +1,113 @@
+//! Typed flight-recorder events.
+//!
+//! Every event is four 64-bit words in the journal ring: a sequence tag,
+//! a packed `(kind, subject)` word, a timestamp, and one free payload
+//! word. The meanings of `subject`/`payload` per kind are documented on
+//! [`EventKind`]; subjects are entity ids handed out by
+//! [`Observer::register_entity`](crate::Observer::register_entity) so a
+//! trace can be rendered with human-readable names.
+
+/// What happened. The numeric values are the wire encoding inside the
+/// journal and must stay stable within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum EventKind {
+    /// A message was enqueued on an in-port. `subject` = port entity,
+    /// `payload` = message priority.
+    PortEnqueue = 1,
+    /// A message was dequeued for processing. `subject` = port entity,
+    /// `payload` = queue wait in nanoseconds.
+    PortDequeue = 2,
+    /// A handler invocation began. `subject` = port entity.
+    HandlerStart = 3,
+    /// A handler invocation finished. `subject` = port entity,
+    /// `payload` = handler latency in nanoseconds.
+    HandlerEnd = 4,
+    /// A handler panicked. `subject` = port entity (or pool entity when
+    /// raised by the thread pool).
+    HandlerPanic = 5,
+    /// A message was rejected because the port buffer was full.
+    /// `subject` = port entity, `payload` = configured buffer size.
+    BufferDrop = 6,
+    /// A scoped-memory region was entered. `subject` = region id.
+    ScopeEnter = 7,
+    /// A scoped-memory region was exited. `subject` = region id.
+    ScopeExit = 8,
+    /// A scoped-memory region was reclaimed (pin count hit zero).
+    /// `subject` = region id, `payload` = bytes freed.
+    ScopeReclaim = 9,
+    /// A scope was leased from a scope pool. `subject` = pool entity,
+    /// `payload` = scopes currently leased.
+    PoolAcquire = 10,
+    /// A leased scope was returned to its pool. `subject` = pool entity,
+    /// `payload` = scopes currently leased.
+    PoolRelease = 11,
+    /// A GIOP request left the client. `subject` = operation entity,
+    /// `payload` = request id.
+    GiopRequest = 12,
+    /// A GIOP reply was matched to its request. `subject` = operation
+    /// entity, `payload` = round-trip nanoseconds.
+    GiopReply = 13,
+    /// A worker thread inherited a message priority for the duration of
+    /// a job. `subject` = pool entity, `payload` = inherited priority.
+    PriorityInherit = 14,
+}
+
+impl EventKind {
+    /// Decodes the wire value; `None` for unknown values (e.g. from a
+    /// torn slot that validation already rejected).
+    pub fn from_u32(v: u32) -> Option<EventKind> {
+        Some(match v {
+            1 => EventKind::PortEnqueue,
+            2 => EventKind::PortDequeue,
+            3 => EventKind::HandlerStart,
+            4 => EventKind::HandlerEnd,
+            5 => EventKind::HandlerPanic,
+            6 => EventKind::BufferDrop,
+            7 => EventKind::ScopeEnter,
+            8 => EventKind::ScopeExit,
+            9 => EventKind::ScopeReclaim,
+            10 => EventKind::PoolAcquire,
+            11 => EventKind::PoolRelease,
+            12 => EventKind::GiopRequest,
+            13 => EventKind::GiopReply,
+            14 => EventKind::PriorityInherit,
+            _ => return None,
+        })
+    }
+
+    /// Short lowercase label used by the trace renderer.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::PortEnqueue => "port.enqueue",
+            EventKind::PortDequeue => "port.dequeue",
+            EventKind::HandlerStart => "handler.start",
+            EventKind::HandlerEnd => "handler.end",
+            EventKind::HandlerPanic => "handler.panic",
+            EventKind::BufferDrop => "buffer.drop",
+            EventKind::ScopeEnter => "scope.enter",
+            EventKind::ScopeExit => "scope.exit",
+            EventKind::ScopeReclaim => "scope.reclaim",
+            EventKind::PoolAcquire => "pool.acquire",
+            EventKind::PoolRelease => "pool.release",
+            EventKind::GiopRequest => "giop.request",
+            EventKind::GiopReply => "giop.reply",
+            EventKind::PriorityInherit => "prio.inherit",
+        }
+    }
+}
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (monotone across all threads).
+    pub seq: u64,
+    /// Nanoseconds since the observer's epoch.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Entity the event is about (port, region, pool, operation).
+    pub subject: u32,
+    /// Kind-specific payload word.
+    pub payload: u64,
+}

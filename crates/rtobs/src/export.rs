@@ -1,0 +1,176 @@
+//! Text exporters: Prometheus-style exposition, a human-readable
+//! report, and a rendered flight-recorder trace. All of these are cold
+//! read paths and may allocate freely.
+
+use std::fmt::Write as _;
+
+use crate::{EventKind, Observer};
+
+impl Observer {
+    /// Prometheus-style exposition of every registered metric.
+    ///
+    /// Counters export as `name value`; gauges as `name` plus
+    /// `name_hwm`; histograms as `name_count`, `name_sum`,
+    /// `name{quantile="0.5"|"0.99"}`, and `name_max`.
+    pub fn metrics_text(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut hists = String::new();
+        self.registry().for_each(
+            |name, v| {
+                let _ = writeln!(counters, "# TYPE {name} counter\n{name} {v}");
+            },
+            |name, v, hwm| {
+                let _ = writeln!(gauges, "# TYPE {name} gauge\n{name} {v}\n{name}_hwm {hwm}");
+            },
+            |name, s| {
+                let _ = writeln!(
+                    hists,
+                    "# TYPE {name} summary\n\
+                     {name}_count {}\n\
+                     {name}_sum {}\n\
+                     {name}{{quantile=\"0.5\"}} {}\n\
+                     {name}{{quantile=\"0.99\"}} {}\n\
+                     {name}_max {}",
+                    s.count, s.sum, s.p50, s.p99, s.max
+                );
+            },
+        );
+        let mut out = counters;
+        out.push_str(&gauges);
+        out.push_str(&hists);
+        let _ = writeln!(
+            out,
+            "# TYPE rtobs_journal_recorded counter\nrtobs_journal_recorded {}",
+            self.journal().recorded()
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE rtobs_journal_dropped counter\nrtobs_journal_dropped {}",
+            self.journal().dropped()
+        );
+        out
+    }
+
+    /// Human-readable summary of every registered metric — the
+    /// replacement for the old ad-hoc `memory_report` string.
+    pub fn report(&self) -> String {
+        let mut out = String::from("== observer report ==\n");
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut hists = String::new();
+        self.registry().for_each(
+            |name, v| {
+                let _ = writeln!(counters, "  {name:<44} {v}");
+            },
+            |name, v, hwm| {
+                let _ = writeln!(gauges, "  {name:<44} {v} (hwm {hwm})");
+            },
+            |name, s| {
+                let _ = writeln!(
+                    hists,
+                    "  {name:<44} n={} p50={}ns p99={}ns max={}ns mean={}ns",
+                    s.count,
+                    s.p50,
+                    s.p99,
+                    s.max,
+                    s.mean()
+                );
+            },
+        );
+        if !counters.is_empty() {
+            out.push_str("counters:\n");
+            out.push_str(&counters);
+        }
+        if !gauges.is_empty() {
+            out.push_str("gauges:\n");
+            out.push_str(&gauges);
+        }
+        if !hists.is_empty() {
+            out.push_str("histograms:\n");
+            out.push_str(&hists);
+        }
+        let _ = writeln!(
+            out,
+            "journal: {} recorded, {} dropped, capacity {}",
+            self.journal().recorded(),
+            self.journal().dropped(),
+            self.journal().capacity()
+        );
+        out
+    }
+
+    /// Renders the newest `n` flight-recorder events, oldest first:
+    /// `[t_ns] kind subject payload`.
+    pub fn trace_text(&self, n: usize) -> String {
+        let events = self.events();
+        let skip = events.len().saturating_sub(n);
+        let mut out = String::new();
+        for e in &events[skip..] {
+            // Scope events carry a raw region index, not an entity id.
+            let subject = match e.kind {
+                EventKind::ScopeEnter | EventKind::ScopeExit | EventKind::ScopeReclaim => {
+                    format!("region:{}", e.subject)
+                }
+                _ => self.entity_name(e.subject),
+            };
+            let payload = match e.kind {
+                EventKind::PortDequeue | EventKind::HandlerEnd | EventKind::GiopReply => {
+                    format!("{}ns", e.payload)
+                }
+                _ => e.payload.to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "[{:>12}ns] #{:<6} {:<14} {:<28} {payload}",
+                e.t_ns,
+                e.seq,
+                e.kind.label(),
+                subject
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{EventKind, Observer};
+
+    #[test]
+    fn metrics_text_has_all_kinds() {
+        let obs = Observer::new();
+        let c = obs.counter("demo_total");
+        obs.add(c, 7);
+        let g = obs.gauge("demo_depth");
+        obs.gauge_add(g, 3);
+        let h = obs.histogram("demo_lat_ns");
+        obs.observe(h, 1000);
+        obs.observe(h, 2000);
+        let text = obs.metrics_text();
+        assert!(text.contains("demo_total 7"));
+        assert!(text.contains("demo_depth 3"));
+        assert!(text.contains("demo_depth_hwm 3"));
+        assert!(text.contains("demo_lat_ns_count 2"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("rtobs_journal_recorded"));
+    }
+
+    #[test]
+    fn trace_renders_entity_names() {
+        let obs = Observer::new();
+        let port = obs.register_entity("station.acq.readings");
+        obs.record(EventKind::PortEnqueue, port, 5);
+        obs.record(EventKind::PortDequeue, port, 1234);
+        let trace = obs.trace_text(10);
+        assert!(trace.contains("port.enqueue"));
+        assert!(trace.contains("station.acq.readings"));
+        assert!(trace.contains("1234ns"));
+    }
+
+    #[test]
+    fn report_mentions_journal() {
+        let obs = Observer::new();
+        assert!(obs.report().contains("journal:"));
+    }
+}

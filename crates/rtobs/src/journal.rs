@@ -1,0 +1,227 @@
+//! Lock-free fixed-capacity event journal (the "flight recorder").
+//!
+//! A power-of-two ring of slots, each slot four `AtomicU64` words. The
+//! write path is wait-free in the common case and never blocks, never
+//! allocates, and never takes a lock — honoring the paper's RTSJ
+//! no-allocation-in-steady-state discipline for the instrumented hot
+//! paths:
+//!
+//! 1. claim a global sequence number with `fetch_add`;
+//! 2. CAS the slot's tag from its previous *published* (even) value to
+//!    the odd in-progress value `2·seq + 1`;
+//! 3. write the three payload words;
+//! 4. publish with a release store of the even tag `2·seq + 2`.
+//!
+//! A writer that finds the slot still odd (the previous-lap writer is
+//! mid-write) retries the CAS a bounded number of times and then drops
+//! the event, incrementing [`Journal::dropped`] — losing a trace event
+//! under extreme contention is acceptable; stalling a real-time thread
+//! is not. Because claims come from `fetch_add`, two writers never hold
+//! the same sequence, and because a claim only succeeds from an *even*
+//! tag, a published event can never be half-overwritten: readers
+//! validate with the classic seqlock check (tag even and unchanged
+//! across the payload reads), so torn events are impossible to observe.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::{Event, EventKind};
+
+/// How many times a writer retries the claim CAS before dropping.
+const CLAIM_SPINS: u32 = 64;
+
+struct Slot {
+    /// `0` = never written; odd = write in progress; even `2·seq+2` =
+    /// event `seq` published.
+    tag: AtomicU64,
+    /// `(kind as u64) << 32 | subject`.
+    kind_subject: AtomicU64,
+    /// Nanoseconds since the observer epoch.
+    t_ns: AtomicU64,
+    /// Kind-specific payload.
+    payload: AtomicU64,
+}
+
+impl Slot {
+    const fn empty() -> Slot {
+        Slot {
+            tag: AtomicU64::new(0),
+            kind_subject: AtomicU64::new(0),
+            t_ns: AtomicU64::new(0),
+            payload: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-capacity lock-free ring of typed events.
+pub struct Journal {
+    slots: Box<[Slot]>,
+    mask: u64,
+    next: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Creates a journal holding the most recent `capacity` events.
+    /// `capacity` is rounded up to a power of two (minimum 8). All
+    /// storage is allocated here, once.
+    pub fn with_capacity(capacity: usize) -> Journal {
+        let cap = capacity.max(8).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::empty()).collect();
+        Journal {
+            slots: slots.into_boxed_slice(),
+            mask: (cap - 1) as u64,
+            next: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of event slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events successfully recorded (monotone; includes events
+    /// since overwritten by newer laps).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed) - self.dropped()
+    }
+
+    /// Events abandoned because a slot stayed contended past the retry
+    /// budget.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records one event. Lock-free, allocation-free; drops the event
+    /// (and counts the drop) rather than ever blocking.
+    pub fn record(&self, kind: EventKind, subject: u32, payload: u64, t_ns: u64) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        let claim = 2 * seq + 1;
+
+        let mut spins = 0;
+        loop {
+            let cur = slot.tag.load(Ordering::Acquire);
+            // Even and older than our claim: the slot is quiescent and
+            // ours to take (any even value, so a slot whose previous
+            // writer dropped is not poisoned for later laps). Anything
+            // >= our claim means a full lap overtook us while we
+            // stalled — our event is stale, drop it.
+            if cur >= claim {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if cur & 1 == 0
+                && slot
+                    .tag
+                    .compare_exchange_weak(cur, claim, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break;
+            }
+            spins += 1;
+            if spins > CLAIM_SPINS {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            std::hint::spin_loop();
+        }
+
+        slot.kind_subject
+            .store((kind as u64) << 32 | u64::from(subject), Ordering::Relaxed);
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.payload.store(payload, Ordering::Relaxed);
+        slot.tag.store(claim + 1, Ordering::Release);
+    }
+
+    /// Takes a consistent snapshot of every currently-published event,
+    /// oldest first. This is the cold read path: it allocates and may
+    /// retry slots that are being rewritten while it looks.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            // Seqlock read: valid iff the tag is even, nonzero, and
+            // unchanged across the payload reads.
+            for _ in 0..CLAIM_SPINS {
+                let t1 = slot.tag.load(Ordering::SeqCst);
+                if t1 == 0 {
+                    break; // never written
+                }
+                if t1 & 1 == 1 {
+                    std::hint::spin_loop();
+                    continue; // write in progress, retry
+                }
+                let ks = slot.kind_subject.load(Ordering::SeqCst);
+                let t_ns = slot.t_ns.load(Ordering::SeqCst);
+                let payload = slot.payload.load(Ordering::SeqCst);
+                let t2 = slot.tag.load(Ordering::SeqCst);
+                if t1 != t2 {
+                    continue; // overwritten under us, retry
+                }
+                if let Some(kind) = EventKind::from_u32((ks >> 32) as u32) {
+                    out.push(Event {
+                        seq: (t1 - 2) / 2,
+                        t_ns,
+                        kind,
+                        subject: ks as u32,
+                        payload,
+                    });
+                }
+                break;
+            }
+        }
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(Journal::with_capacity(0).capacity(), 8);
+        assert_eq!(Journal::with_capacity(100).capacity(), 128);
+        assert_eq!(Journal::with_capacity(256).capacity(), 256);
+    }
+
+    #[test]
+    fn records_and_snapshots_in_order() {
+        let j = Journal::with_capacity(16);
+        for i in 0..10u64 {
+            j.record(EventKind::PortEnqueue, i as u32, i * 10, i);
+        }
+        let events = j.snapshot();
+        assert_eq!(events.len(), 10);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.subject, i as u32);
+            assert_eq!(e.payload, i as u64 * 10);
+            assert_eq!(e.kind, EventKind::PortEnqueue);
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let j = Journal::with_capacity(8);
+        for i in 0..20u64 {
+            j.record(EventKind::ScopeEnter, 0, i, i);
+        }
+        let events = j.snapshot();
+        assert_eq!(events.len(), 8);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<_>>());
+        assert_eq!(j.dropped(), 0);
+    }
+}

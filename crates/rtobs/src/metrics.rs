@@ -1,0 +1,384 @@
+//! Preallocated metrics registry: atomic counters, gauges with
+//! high-water marks, and fixed-bucket log-scale latency histograms.
+//!
+//! All slot storage is allocated once when the registry is built.
+//! Registration (name → id) is the cold path and takes a mutex;
+//! every hot operation — `add`, `set`, `observe` — is a pure atomic
+//! access into a preallocated slice: no locks, no allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Handle to a monotone counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) u16);
+
+/// Handle to a gauge (current value + high-water mark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) u16);
+
+/// Handle to a latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(pub(crate) u16);
+
+/// Histogram bucket layout: values below [`LINEAR_CUTOFF`] get one
+/// bucket each; above that, each power-of-two major range is split into
+/// 8 minor buckets, bounding the relative quantile error at 12.5%.
+const LINEAR_CUTOFF: u64 = 8;
+/// Major ranges cover 2^3 … 2^63.
+const MAJORS: usize = 61;
+/// Total bucket count: 8 linear + 61 majors × 8 minors.
+pub(crate) const BUCKETS: usize = LINEAR_CUTOFF as usize + MAJORS * 8;
+
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 3
+    let minor = ((v >> (msb - 3)) & 7) as usize;
+    let idx = 8 + (msb - 3) * 8 + minor;
+    idx.min(BUCKETS - 1)
+}
+
+/// Midpoint of the bucket's value range — the representative value
+/// reported for percentiles.
+fn bucket_mid(idx: usize) -> u64 {
+    if idx < LINEAR_CUTOFF as usize {
+        return idx as u64;
+    }
+    let major = (idx - 8) / 8 + 3;
+    let minor = ((idx - 8) % 8) as u64;
+    let width = 1u64 << (major - 3);
+    let lower = (8 + minor) << (major - 3);
+    lower + width / 2
+}
+
+struct Hist {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Point-in-time readout of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Median (bucket midpoint; ≤12.5% relative error).
+    pub p50: u64,
+    /// 99th percentile (bucket midpoint; ≤12.5% relative error).
+    pub p99: u64,
+    /// Exact maximum observed value.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+struct Gauge {
+    value: AtomicU64,
+    hwm: AtomicU64,
+}
+
+/// Fixed-capacity registry of counters, gauges, and histograms.
+///
+/// Index 0 of every kind is the reserved `_overflow` slot: when a
+/// registry is asked for more metrics than it preallocated, the extra
+/// registrations all alias slot 0 instead of panicking or allocating.
+pub struct Registry {
+    counters: Box<[AtomicU64]>,
+    gauges: Box<[Gauge]>,
+    hists: Box<[Hist]>,
+    names: Mutex<Names>,
+}
+
+struct Names {
+    counters: Vec<String>,
+    gauges: Vec<String>,
+    hists: Vec<String>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.names.lock().unwrap();
+        f.debug_struct("Registry")
+            .field("counters", &n.counters.len())
+            .field("gauges", &n.gauges.len())
+            .field("hists", &n.hists.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Builds a registry with the given slot capacities (each raised by
+    /// one for the reserved overflow slot). All storage — including
+    /// every histogram's bucket array — is allocated here, once.
+    pub fn with_capacity(counters: usize, gauges: usize, hists: usize) -> Registry {
+        let overflow = "_overflow".to_string();
+        Registry {
+            counters: (0..counters + 1).map(|_| AtomicU64::new(0)).collect(),
+            gauges: (0..gauges + 1)
+                .map(|_| Gauge {
+                    value: AtomicU64::new(0),
+                    hwm: AtomicU64::new(0),
+                })
+                .collect(),
+            hists: (0..hists + 1).map(|_| Hist::new()).collect(),
+            names: Mutex::new(Names {
+                counters: vec![overflow.clone()],
+                gauges: vec![overflow.clone()],
+                hists: vec![overflow],
+            }),
+        }
+    }
+
+    fn intern(names: &mut Vec<String>, cap: usize, name: &str) -> u16 {
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        if names.len() >= cap {
+            return 0; // overflow slot
+        }
+        names.push(name.to_string());
+        (names.len() - 1) as u16
+    }
+
+    /// Registers (or finds) a counter by name. Cold path.
+    pub fn counter(&self, name: &str) -> CounterId {
+        let mut n = self.names.lock().unwrap();
+        CounterId(Self::intern(&mut n.counters, self.counters.len(), name))
+    }
+
+    /// Registers (or finds) a gauge by name. Cold path.
+    pub fn gauge(&self, name: &str) -> GaugeId {
+        let mut n = self.names.lock().unwrap();
+        GaugeId(Self::intern(&mut n.gauges, self.gauges.len(), name))
+    }
+
+    /// Registers (or finds) a histogram by name. Cold path.
+    pub fn histogram(&self, name: &str) -> HistId {
+        let mut n = self.names.lock().unwrap();
+        HistId(Self::intern(&mut n.hists, self.hists.len(), name))
+    }
+
+    /// Adds to a counter. Hot path: one atomic add.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.counters[id.0 as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize].load(Ordering::Relaxed)
+    }
+
+    /// Increments a gauge, updating its high-water mark.
+    #[inline]
+    pub fn gauge_add(&self, id: GaugeId, n: u64) {
+        let g = &self.gauges[id.0 as usize];
+        let now = g.value.fetch_add(n, Ordering::Relaxed) + n;
+        g.hwm.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge (saturating at zero in aggregate use).
+    #[inline]
+    pub fn gauge_sub(&self, id: GaugeId, n: u64) {
+        self.gauges[id.0 as usize]
+            .value
+            .fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Sets a gauge, updating its high-water mark.
+    #[inline]
+    pub fn gauge_set(&self, id: GaugeId, v: u64) {
+        let g = &self.gauges[id.0 as usize];
+        g.value.store(v, Ordering::Relaxed);
+        g.hwm.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Raises a gauge's high-water mark without touching its value
+    /// (for sampled depths where only the peak matters).
+    #[inline]
+    pub fn gauge_max(&self, id: GaugeId, v: u64) {
+        self.gauges[id.0 as usize]
+            .hwm
+            .fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current gauge value.
+    pub fn gauge_value(&self, id: GaugeId) -> u64 {
+        self.gauges[id.0 as usize].value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value the gauge has reached.
+    pub fn gauge_hwm(&self, id: GaugeId) -> u64 {
+        self.gauges[id.0 as usize].hwm.load(Ordering::Relaxed)
+    }
+
+    /// Records one observation (typically nanoseconds). Hot path: four
+    /// atomic RMWs into preallocated storage.
+    #[inline]
+    pub fn observe(&self, id: HistId, v: u64) {
+        let h = &self.hists[id.0 as usize];
+        h.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Computes count/sum/p50/p99/max for a histogram.
+    pub fn hist_snapshot(&self, id: HistId) -> HistSnapshot {
+        let h = &self.hists[id.0 as usize];
+        let count = h.count.load(Ordering::Relaxed);
+        let mut snap = HistSnapshot {
+            count,
+            sum: h.sum.load(Ordering::Relaxed),
+            max: h.max.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        if count == 0 {
+            return snap;
+        }
+        let rank50 = count.div_ceil(2);
+        let rank99 = (count * 99).div_ceil(100);
+        let mut seen = 0;
+        for (i, b) in h.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += c;
+            if before < rank50 && rank50 <= seen {
+                snap.p50 = bucket_mid(i);
+            }
+            if before < rank99 && rank99 <= seen {
+                snap.p99 = bucket_mid(i);
+            }
+            if seen >= count {
+                break;
+            }
+        }
+        // The top bucket's midpoint can overshoot the true maximum;
+        // clamp the percentiles to the exact max we tracked.
+        snap.p50 = snap.p50.min(snap.max);
+        snap.p99 = snap.p99.min(snap.max);
+        snap
+    }
+
+    /// Visits every registered metric (skipping the reserved overflow
+    /// slots unless they were actually hit), in registration order.
+    pub fn for_each(
+        &self,
+        mut on_counter: impl FnMut(&str, u64),
+        mut on_gauge: impl FnMut(&str, u64, u64),
+        mut on_hist: impl FnMut(&str, HistSnapshot),
+    ) {
+        let names = self.names.lock().unwrap();
+        for (i, name) in names.counters.iter().enumerate() {
+            let v = self.counters[i].load(Ordering::Relaxed);
+            if i > 0 || v > 0 {
+                on_counter(name, v);
+            }
+        }
+        for (i, name) in names.gauges.iter().enumerate() {
+            let g = &self.gauges[i];
+            let (v, hwm) = (
+                g.value.load(Ordering::Relaxed),
+                g.hwm.load(Ordering::Relaxed),
+            );
+            if i > 0 || hwm > 0 {
+                on_gauge(name, v, hwm);
+            }
+        }
+        for (i, name) in names.hists.iter().enumerate() {
+            let snap = self.hist_snapshot(HistId(i as u16));
+            if i > 0 || snap.count > 0 {
+                on_hist(name, snap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounded() {
+        let mut last = 0;
+        for shift in 0..60 {
+            let v = 1u64 << shift;
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket must not decrease");
+            assert!(b < BUCKETS);
+            last = b;
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(7), 7);
+    }
+
+    #[test]
+    fn bucket_mid_brackets_the_value() {
+        for v in [1u64, 9, 100, 1_000, 123_456, 9_999_999, u64::MAX / 3] {
+            let mid = bucket_mid(bucket_of(v));
+            let err = mid.abs_diff(v) as f64 / v as f64;
+            assert!(err <= 0.125, "v={v} mid={mid} err={err}");
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::with_capacity(4, 4, 4);
+        let c = r.counter("x");
+        assert_eq!(r.counter("x"), c, "registration is idempotent");
+        r.add(c, 3);
+        r.add(c, 2);
+        assert_eq!(r.counter_value(c), 5);
+
+        let g = r.gauge("depth");
+        r.gauge_add(g, 4);
+        r.gauge_sub(g, 1);
+        r.gauge_add(g, 1);
+        assert_eq!(r.gauge_value(g), 4);
+        assert_eq!(r.gauge_hwm(g), 4);
+    }
+
+    #[test]
+    fn overflow_aliases_slot_zero() {
+        let r = Registry::with_capacity(1, 1, 1);
+        let a = r.counter("a");
+        let b = r.counter("b"); // over capacity
+        assert_ne!(a.0, 0);
+        assert_eq!(b.0, 0);
+        r.add(b, 1); // must not panic
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let r = Registry::with_capacity(1, 1, 1);
+        let h = r.histogram("lat");
+        let s = r.hist_snapshot(h);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.max, 0);
+    }
+}

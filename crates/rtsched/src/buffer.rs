@@ -7,7 +7,7 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use rtplatform::sync::{Condvar, Mutex};
 
 /// What to do when a bounded buffer is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

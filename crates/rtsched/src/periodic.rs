@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use rtplatform::sync::Mutex;
 
 use crate::priority::Priority;
 use crate::thread::with_priority;
@@ -126,7 +126,11 @@ impl PeriodicTimer {
                 });
             })
             .expect("spawn periodic releaser");
-        PeriodicTimer { shared, handle: Mutex::new(Some(handle)), period }
+        PeriodicTimer {
+            shared,
+            handle: Mutex::new(Some(handle)),
+            period,
+        }
     }
 
     /// The configured period.
@@ -180,9 +184,10 @@ mod tests {
     fn fires_approximately_on_schedule() {
         let count = Arc::new(AtomicU32::new(0));
         let c = Arc::clone(&count);
-        let timer = PeriodicTimer::spawn("t", Duration::from_millis(10), Priority::NORM, move || {
-            c.fetch_add(1, Ordering::SeqCst);
-        });
+        let timer =
+            PeriodicTimer::spawn("t", Duration::from_millis(10), Priority::NORM, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
         std::thread::sleep(Duration::from_millis(105));
         timer.stop();
         let n = count.load(Ordering::SeqCst);
@@ -191,8 +196,7 @@ mod tests {
 
     #[test]
     fn records_release_jitter() {
-        let timer =
-            PeriodicTimer::spawn("t", Duration::from_millis(5), Priority::new(30), || {});
+        let timer = PeriodicTimer::spawn("t", Duration::from_millis(5), Priority::new(30), || {});
         std::thread::sleep(Duration::from_millis(40));
         timer.stop();
         let s = timer.jitter_summary().expect("releases happened");
@@ -207,16 +211,20 @@ mod tests {
     fn overruns_are_skipped_not_batched() {
         let count = Arc::new(AtomicU32::new(0));
         let c = Arc::clone(&count);
-        let timer = PeriodicTimer::spawn("t", Duration::from_millis(5), Priority::NORM, move || {
-            c.fetch_add(1, Ordering::SeqCst);
-            // Overrun two periods on the first release.
-            if c.load(Ordering::SeqCst) == 1 {
-                std::thread::sleep(Duration::from_millis(14));
-            }
-        });
+        let timer =
+            PeriodicTimer::spawn("t", Duration::from_millis(5), Priority::NORM, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                // Overrun two periods on the first release.
+                if c.load(Ordering::SeqCst) == 1 {
+                    std::thread::sleep(Duration::from_millis(14));
+                }
+            });
         std::thread::sleep(Duration::from_millis(60));
         timer.stop();
-        assert!(timer.overruns() >= 1, "the long release skipped at least one period");
+        assert!(
+            timer.overruns() >= 1,
+            "the long release skipped at least one period"
+        );
         // No burst of catch-up releases: total stays near the ideal count.
         assert!(count.load(Ordering::SeqCst) <= 12);
     }

@@ -8,11 +8,12 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use rtobs::{CounterId, EventKind, GaugeId, Observer};
+use rtplatform::sync::Mutex;
 
 use crate::priority::Priority;
 use crate::queue::PriorityFifo;
@@ -33,17 +34,43 @@ pub struct PoolConfig {
 
 impl Default for PoolConfig {
     fn default() -> Self {
-        PoolConfig { min_threads: 1, max_threads: 4, idle_priority: Priority::MIN }
+        PoolConfig {
+            min_threads: 1,
+            max_threads: 4,
+            idle_priority: Priority::MIN,
+        }
     }
+}
+
+/// Observer hook shared by every worker of one pool, resolved once via
+/// [`ThreadPool::set_observer`].
+struct PoolObs {
+    obs: Arc<Observer>,
+    /// Flight-recorder subject for this pool's events.
+    entity: u32,
+    /// Queue depth right after each push (its HWM is the backlog peak).
+    depth: GaugeId,
+    busy: GaugeId,
+    live: GaugeId,
+    inherits: CounterId,
+    /// Base priority of idle workers; a job arriving above it is a
+    /// priority-inheritance episode.
+    idle_priority: Priority,
 }
 
 struct PoolShared<S> {
     queue: PriorityFifo<Job<S>>,
     live: AtomicUsize,
     busy: AtomicUsize,
+    /// Jobs accepted but not yet fully finished (queued or running).
+    /// Unlike `busy`, this has no gap between a worker popping a job
+    /// and marking itself busy, so [`ThreadPool::wait_idle`] observing
+    /// zero really means quiescent.
+    pending: AtomicUsize,
     spawned_total: AtomicU64,
     executed: AtomicU64,
     panicked: AtomicU64,
+    obs: OnceLock<PoolObs>,
 }
 
 /// A dynamic thread pool whose workers carry per-worker state of type `S`
@@ -88,9 +115,11 @@ impl<S: Send + 'static> ThreadPool<S> {
                 queue: PriorityFifo::new(),
                 live: AtomicUsize::new(0),
                 busy: AtomicUsize::new(0),
+                pending: AtomicUsize::new(0),
                 spawned_total: AtomicU64::new(0),
                 executed: AtomicU64::new(0),
                 panicked: AtomicU64::new(0),
+                obs: OnceLock::new(),
             }),
             config,
             factory: Arc::new(factory),
@@ -107,33 +136,87 @@ impl<S: Send + 'static> ThreadPool<S> {
         let factory = Arc::clone(&self.factory);
         shared.live.fetch_add(1, Ordering::SeqCst);
         shared.spawned_total.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.shared.obs.get() {
+            o.obs.gauge_add(o.live, 1);
+        }
         let handle = std::thread::Builder::new()
             .name("compadres-port-worker".into())
             .spawn(move || {
                 let mut state = factory();
                 while let Some((priority, job)) = shared.queue.pop() {
                     shared.busy.fetch_add(1, Ordering::SeqCst);
+                    if let Some(o) = shared.obs.get() {
+                        o.obs.gauge_add(o.busy, 1);
+                        o.obs.gauge_set(o.depth, shared.queue.len() as u64);
+                        if priority > o.idle_priority {
+                            o.obs.inc(o.inherits);
+                            o.obs.record(
+                                EventKind::PriorityInherit,
+                                o.entity,
+                                u64::from(priority.value()),
+                            );
+                        }
+                    }
                     // Priority inheritance: run the handler at the
                     // message's priority.
                     crate::thread::with_priority(priority, || {
                         let outcome = catch_unwind(AssertUnwindSafe(|| job(&mut state, priority)));
-                        if outcome.is_err() {
+                        if outcome.is_ok() {
+                            shared.executed.fetch_add(1, Ordering::Relaxed);
+                        } else {
                             shared.panicked.fetch_add(1, Ordering::Relaxed);
+                            if let Some(o) = shared.obs.get() {
+                                o.obs.record(
+                                    EventKind::HandlerPanic,
+                                    o.entity,
+                                    u64::from(priority.value()),
+                                );
+                            }
                         }
                     });
-                    shared.executed.fetch_add(1, Ordering::Relaxed);
                     shared.busy.fetch_sub(1, Ordering::SeqCst);
+                    shared.pending.fetch_sub(1, Ordering::SeqCst);
+                    if let Some(o) = shared.obs.get() {
+                        o.obs.gauge_sub(o.busy, 1);
+                    }
                 }
                 shared.live.fetch_sub(1, Ordering::SeqCst);
+                if let Some(o) = shared.obs.get() {
+                    o.obs.gauge_sub(o.live, 1);
+                }
             })
             .expect("failed to spawn pool worker");
         self.handles.lock().push(handle);
     }
 
+    /// Attaches an observer: registers this pool as a flight-recorder
+    /// entity plus `rtsched_<name>_*` depth/busy/live gauges and a
+    /// priority-inheritance counter. Call once, right after
+    /// construction; later calls are ignored.
+    pub fn set_observer(&self, obs: &Arc<Observer>, name: &str) {
+        let hook = PoolObs {
+            obs: Arc::clone(obs),
+            entity: obs.register_entity(&format!("pool:{name}")),
+            depth: obs.gauge(&format!("rtsched_{name}_queue_depth")),
+            busy: obs.gauge(&format!("rtsched_{name}_busy_workers")),
+            live: obs.gauge(&format!("rtsched_{name}_live_workers")),
+            inherits: obs.counter(&format!("rtsched_{name}_priority_inherits_total")),
+            idle_priority: self.config.idle_priority,
+        };
+        // Workers spawned before attachment (min_threads) are folded in.
+        hook.obs
+            .gauge_set(hook.live, self.shared.live.load(Ordering::SeqCst) as u64);
+        let _ = self.shared.obs.set(hook);
+    }
+
     /// Submits a job at `priority`. Grows the pool if all workers are busy
     /// and the maximum has not been reached. Returns `false` after
     /// [`ThreadPool::shutdown`].
-    pub fn execute(&self, priority: Priority, job: impl FnOnce(&mut S, Priority) + Send + 'static) -> bool {
+    pub fn execute(
+        &self,
+        priority: Priority,
+        job: impl FnOnce(&mut S, Priority) + Send + 'static,
+    ) -> bool {
         if self.shared.queue.is_closed() {
             return false;
         }
@@ -143,7 +226,20 @@ impl<S: Send + 'static> ThreadPool<S> {
         if (busy + backlog >= live || live == 0) && live < self.config.max_threads {
             self.spawn_worker();
         }
-        self.shared.queue.push(priority, Box::new(job))
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        match self.shared.queue.push_with_len(priority, Box::new(job)) {
+            Some(len) => {
+                if let Some(o) = self.shared.obs.get() {
+                    // gauge_set tracks the HWM: the backlog peak.
+                    o.obs.gauge_set(o.depth, len as u64);
+                }
+                true
+            }
+            None => {
+                self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+                false
+            }
+        }
     }
 
     /// Number of currently live worker threads.
@@ -151,7 +247,8 @@ impl<S: Send + 'static> ThreadPool<S> {
         self.shared.live.load(Ordering::SeqCst)
     }
 
-    /// Number of jobs executed so far.
+    /// Number of jobs that ran to completion. A job whose handler
+    /// panicked counts in [`ThreadPool::panicked`], not here.
     pub fn executed(&self) -> u64 {
         self.shared.executed.load(Ordering::Relaxed)
     }
@@ -175,12 +272,14 @@ impl<S: Send + 'static> ThreadPool<S> {
         }
     }
 
-    /// Waits until the queue is empty and no worker is busy (best-effort
-    /// quiescence, for tests and benchmarks).
+    /// Waits until every accepted job has fully finished (for tests and
+    /// benchmarks). Checks the `pending` count, not queue-empty +
+    /// not-busy: a worker is invisible to both of those for an instant
+    /// between popping a job and marking itself busy.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
         while std::time::Instant::now() < deadline {
-            if self.shared.queue.is_empty() && self.shared.busy.load(Ordering::SeqCst) == 0 {
+            if self.shared.pending.load(Ordering::SeqCst) == 0 {
                 return true;
             }
             std::thread::yield_now();
@@ -206,7 +305,14 @@ mod tests {
     #[test]
     fn executes_jobs_with_state() {
         let counter = Arc::new(AtomicU32::new(0));
-        let pool = ThreadPool::new(PoolConfig { min_threads: 2, max_threads: 4, ..Default::default() }, || 0u32);
+        let pool = ThreadPool::new(
+            PoolConfig {
+                min_threads: 2,
+                max_threads: 4,
+                ..Default::default()
+            },
+            || 0u32,
+        );
         for _ in 0..100 {
             let c = Arc::clone(&counter);
             pool.execute(Priority::NORM, move |state, _| {
@@ -221,7 +327,14 @@ mod tests {
 
     #[test]
     fn grows_up_to_max() {
-        let pool = ThreadPool::new(PoolConfig { min_threads: 1, max_threads: 3, ..Default::default() }, || ());
+        let pool = ThreadPool::new(
+            PoolConfig {
+                min_threads: 1,
+                max_threads: 3,
+                ..Default::default()
+            },
+            || (),
+        );
         let gate = Arc::new(std::sync::Barrier::new(4));
         for _ in 0..3 {
             let g = Arc::clone(&gate);
@@ -238,7 +351,14 @@ mod tests {
 
     #[test]
     fn job_priority_is_inherited() {
-        let pool = ThreadPool::new(PoolConfig { min_threads: 1, max_threads: 1, ..Default::default() }, || ());
+        let pool = ThreadPool::new(
+            PoolConfig {
+                min_threads: 1,
+                max_threads: 1,
+                ..Default::default()
+            },
+            || (),
+        );
         let seen = Arc::new(Mutex::new(Vec::new()));
         let s = Arc::clone(&seen);
         pool.execute(Priority::new(42), move |_, p| {
@@ -252,7 +372,14 @@ mod tests {
 
     #[test]
     fn panicking_job_is_contained() {
-        let pool = ThreadPool::new(PoolConfig { min_threads: 1, max_threads: 1, ..Default::default() }, || ());
+        let pool = ThreadPool::new(
+            PoolConfig {
+                min_threads: 1,
+                max_threads: 1,
+                ..Default::default()
+            },
+            || (),
+        );
         pool.execute(Priority::NORM, |_, _| panic!("handler bug"));
         let done = Arc::new(AtomicU32::new(0));
         let d = Arc::clone(&done);
@@ -262,6 +389,76 @@ mod tests {
         assert!(pool.wait_idle(Duration::from_secs(5)));
         assert_eq!(pool.panicked(), 1);
         assert_eq!(done.load(Ordering::SeqCst), 1, "pool survived the panic");
+    }
+
+    #[test]
+    fn panic_accounting_is_consistent() {
+        // Regression: a panicking job used to count in `executed` too,
+        // so executed + panicked over-reported total jobs by one each.
+        let pool = ThreadPool::new(
+            PoolConfig {
+                min_threads: 1,
+                max_threads: 1,
+                ..Default::default()
+            },
+            || (),
+        );
+        let obs = Observer::new();
+        pool.set_observer(&obs, "reg");
+        pool.execute(Priority::NORM, |_, _| {});
+        pool.execute(Priority::NORM, |_, _| panic!("boom"));
+        pool.execute(Priority::NORM, |_, _| {});
+        assert!(pool.wait_idle(Duration::from_secs(5)));
+        assert_eq!(pool.executed(), 2, "only successful jobs count as executed");
+        assert_eq!(pool.panicked(), 1);
+        assert_eq!(
+            pool.executed() + pool.panicked(),
+            3,
+            "every job accounted exactly once"
+        );
+        let panics: Vec<_> = obs
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::HandlerPanic)
+            .collect();
+        assert_eq!(panics.len(), 1, "panic shows up in the flight recorder");
+        assert_eq!(obs.entity_name(panics[0].subject), "pool:reg");
+    }
+
+    #[test]
+    fn observer_sees_inheritance_and_depth() {
+        let pool = ThreadPool::new(
+            PoolConfig {
+                min_threads: 1,
+                max_threads: 1,
+                idle_priority: Priority::new(5),
+            },
+            || (),
+        );
+        let obs = Observer::new();
+        pool.set_observer(&obs, "acq");
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        pool.execute(Priority::new(5), move |_, _| {
+            g.wait();
+        });
+        // Queued behind the blocked worker: backlog reaches 2.
+        pool.execute(Priority::new(40), |_, _| {});
+        pool.execute(Priority::new(60), |_, _| {});
+        gate.wait();
+        assert!(pool.wait_idle(Duration::from_secs(5)));
+        let depth = obs.gauge("rtsched_acq_queue_depth");
+        assert!(obs.gauge_hwm(depth) >= 2, "backlog peak captured in HWM");
+        let inherits = obs.counter("rtsched_acq_priority_inherits_total");
+        assert_eq!(
+            obs.counter_value(inherits),
+            2,
+            "both above-idle jobs inherited"
+        );
+        assert!(obs
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::PriorityInherit && e.payload == 60));
     }
 
     #[test]
@@ -276,7 +473,14 @@ mod tests {
     fn high_priority_jobs_run_first() {
         // Single worker; queue several jobs while it is blocked, then check
         // execution order respects priority.
-        let pool = ThreadPool::new(PoolConfig { min_threads: 1, max_threads: 1, ..Default::default() }, || ());
+        let pool = ThreadPool::new(
+            PoolConfig {
+                min_threads: 1,
+                max_threads: 1,
+                ..Default::default()
+            },
+            || (),
+        );
         let gate = Arc::new(std::sync::Barrier::new(2));
         let order = Arc::new(Mutex::new(Vec::new()));
         let g = Arc::clone(&gate);

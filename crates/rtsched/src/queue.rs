@@ -8,7 +8,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use rtplatform::sync::{Condvar, Mutex};
 
 use crate::priority::Priority;
 
@@ -84,7 +84,11 @@ impl<T> PriorityFifo<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         PriorityFifo {
-            shared: Mutex::new(Shared { heap: BinaryHeap::new(), next_seq: 0, closed: false }),
+            shared: Mutex::new(Shared {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
             cond: Condvar::new(),
         }
     }
@@ -92,16 +96,28 @@ impl<T> PriorityFifo<T> {
     /// Enqueues `item` at `priority`. Returns `false` if the queue has been
     /// closed (the item is dropped).
     pub fn push(&self, priority: Priority, item: T) -> bool {
+        self.push_with_len(priority, item).is_some()
+    }
+
+    /// Enqueues `item` at `priority`, returning the queue length right
+    /// after the push (for depth gauges), or `None` if the queue has
+    /// been closed.
+    pub fn push_with_len(&self, priority: Priority, item: T) -> Option<usize> {
         let mut g = self.shared.lock();
         if g.closed {
-            return false;
+            return None;
         }
         let seq = g.next_seq;
         g.next_seq += 1;
-        g.heap.push(Entry { priority, seq, item });
+        g.heap.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+        let len = g.heap.len();
         drop(g);
         self.cond.notify_one();
-        true
+        Some(len)
     }
 
     /// Dequeues the most urgent item without blocking.

@@ -57,7 +57,10 @@ pub struct RtThreadBuilder {
 impl RtThreadBuilder {
     /// Creates a builder for a thread with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        RtThreadBuilder { name: name.into(), priority: Priority::NORM }
+        RtThreadBuilder {
+            name: name.into(),
+            priority: Priority::NORM,
+        }
     }
 
     /// Sets the thread's base priority.

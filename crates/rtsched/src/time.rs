@@ -33,12 +33,16 @@ pub struct LatencyRecorder {
 impl LatencyRecorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
-        LatencyRecorder { samples: Vec::new() }
+        LatencyRecorder {
+            samples: Vec::new(),
+        }
     }
 
     /// Creates a recorder pre-sized for `n` samples.
     pub fn with_capacity(n: usize) -> Self {
-        LatencyRecorder { samples: Vec::with_capacity(n) }
+        LatencyRecorder {
+            samples: Vec::with_capacity(n),
+        }
     }
 
     /// Records one sample.
@@ -191,12 +195,18 @@ pub struct SteadyState {
 impl SteadyState {
     /// The paper's protocol: 10 000 observations after 1 000 warm-up runs.
     pub fn paper() -> Self {
-        SteadyState { warmup: 1_000, observations: 10_000 }
+        SteadyState {
+            warmup: 1_000,
+            observations: 10_000,
+        }
     }
 
     /// A reduced protocol for fast tests.
     pub fn quick() -> Self {
-        SteadyState { warmup: 50, observations: 500 }
+        SteadyState {
+            warmup: 50,
+            observations: 500,
+        }
     }
 
     /// Runs `op` to steady state and then measures it, where `op` returns
@@ -273,7 +283,10 @@ mod tests {
     #[test]
     fn steady_state_counts() {
         let mut calls = 0usize;
-        let ss = SteadyState { warmup: 10, observations: 25 };
+        let ss = SteadyState {
+            warmup: 10,
+            observations: 25,
+        };
         let rec = ss.run_timed(|| calls += 1);
         assert_eq!(calls, 35);
         assert_eq!(rec.len(), 25);

@@ -4,13 +4,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use proptest::prelude::*;
+use rtplatform::rng::SplitMix64;
 use rtsched::{BoundedBuffer, OverflowPolicy, PoolConfig, Priority, PushOutcome, ThreadPool};
 
 #[test]
 fn pool_survives_thousands_of_jobs_across_priorities() {
     let pool = ThreadPool::new(
-        PoolConfig { min_threads: 2, max_threads: 6, idle_priority: Priority::MIN },
+        PoolConfig {
+            min_threads: 2,
+            max_threads: 6,
+            idle_priority: Priority::MIN,
+        },
         || 0u64,
     );
     let done = Arc::new(AtomicU64::new(0));
@@ -64,51 +68,63 @@ fn producer_consumer_through_bounded_buffer() {
     assert_eq!(consumed.load(Ordering::Relaxed), 4_000);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever mix of pushes and pops, a Reject buffer never holds more
-    /// than its capacity and never loses an accepted element.
-    #[test]
-    fn bounded_buffer_accounting(capacity in 1usize..16, ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+/// Whatever mix of pushes and pops, a Reject buffer never holds more
+/// than its capacity and never loses an accepted element. (Formerly a
+/// proptest; now a seeded randomized sweep so the suite builds offline.)
+#[test]
+fn bounded_buffer_accounting() {
+    let mut rng = SplitMix64::new(0xB0F);
+    for _case in 0..64 {
+        let capacity = rng.range_usize(1, 16);
+        let n_ops = rng.range_usize(1, 200);
         let buf = BoundedBuffer::new(capacity, OverflowPolicy::Reject);
         let mut model: std::collections::VecDeque<u32> = Default::default();
         let mut next = 0u32;
-        for push in ops {
-            if push {
+        for _ in 0..n_ops {
+            if rng.chance(0.5) {
                 let outcome = buf.push(next);
                 if model.len() < capacity {
-                    prop_assert_eq!(outcome, PushOutcome::Enqueued);
+                    assert_eq!(outcome, PushOutcome::Enqueued);
                     model.push_back(next);
                 } else {
-                    prop_assert_eq!(outcome, PushOutcome::Rejected);
+                    assert_eq!(outcome, PushOutcome::Rejected);
                 }
                 next += 1;
             } else {
-                prop_assert_eq!(buf.try_pop(), model.pop_front());
+                assert_eq!(buf.try_pop(), model.pop_front());
             }
-            prop_assert_eq!(buf.len(), model.len());
-            prop_assert!(buf.len() <= capacity);
+            assert_eq!(buf.len(), model.len());
+            assert!(buf.len() <= capacity);
         }
     }
+}
 
-    /// DropOldest keeps exactly the most recent `capacity` elements.
-    #[test]
-    fn drop_oldest_keeps_newest(capacity in 1usize..8, n in 1usize..64) {
+/// DropOldest keeps exactly the most recent `capacity` elements.
+#[test]
+fn drop_oldest_keeps_newest() {
+    let mut rng = SplitMix64::new(0xD20);
+    for _case in 0..64 {
+        let capacity = rng.range_usize(1, 8);
+        let n = rng.range_usize(1, 64);
         let buf = BoundedBuffer::new(capacity, OverflowPolicy::DropOldest);
         for i in 0..n {
             buf.push(i);
         }
         let kept: Vec<usize> = std::iter::from_fn(|| buf.try_pop()).collect();
         let expected: Vec<usize> = (n.saturating_sub(capacity)..n).collect();
-        prop_assert_eq!(kept, expected);
+        assert_eq!(kept, expected);
     }
+}
 
-    /// Latency summaries are order-independent and internally consistent.
-    #[test]
-    fn latency_summary_consistency(mut samples in proptest::collection::vec(1u64..1_000_000, 1..200)) {
-        use rtsched::LatencyRecorder;
-        use std::time::Duration;
+/// Latency summaries are order-independent and internally consistent.
+#[test]
+fn latency_summary_consistency() {
+    use rtsched::LatencyRecorder;
+    let mut rng = SplitMix64::new(0x1A7);
+    for _case in 0..64 {
+        let mut samples: Vec<u64> = (0..rng.range_usize(1, 200))
+            .map(|_| rng.range_usize(1, 1_000_000) as u64)
+            .collect();
         let mut rec = LatencyRecorder::new();
         for &s in &samples {
             rec.record(Duration::from_nanos(s));
@@ -120,10 +136,10 @@ proptest! {
             rec2.record(Duration::from_nanos(s));
         }
         let b = rec2.summary();
-        prop_assert_eq!(a, b);
-        prop_assert!(a.min <= a.median && a.median <= a.max);
-        prop_assert!(a.min <= a.mean && a.mean <= a.max);
-        prop_assert!(a.p90 <= a.p99 && a.p99 <= a.p999 && a.p999 <= a.max);
-        prop_assert_eq!(a.jitter(), a.max - a.min);
+        assert_eq!(a, b);
+        assert!(a.min <= a.median && a.median <= a.max);
+        assert!(a.min <= a.mean && a.mean <= a.max);
+        assert!(a.p90 <= a.p99 && a.p99 <= a.p999 && a.p999 <= a.max);
+        assert_eq!(a.jitter(), a.max - a.min);
     }
 }

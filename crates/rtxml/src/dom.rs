@@ -21,7 +21,10 @@ pub struct Element {
 impl Element {
     /// Creates an element with the given tag name.
     pub fn new(name: impl Into<String>) -> Element {
-        Element { name: name.into(), ..Default::default() }
+        Element {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Builder-style: adds an attribute.
@@ -72,7 +75,11 @@ impl Element {
 
     /// Total number of elements in this subtree (including self).
     pub fn subtree_len(&self) -> usize {
-        1 + self.children.iter().map(Element::subtree_len).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(Element::subtree_len)
+            .sum::<usize>()
     }
 }
 

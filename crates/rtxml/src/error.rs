@@ -62,7 +62,9 @@ impl fmt::Display for ParseXmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "xml parse error at {}: ", self.pos)?;
         match &self.kind {
-            ParseXmlErrorKind::UnexpectedEof(what) => write!(f, "unexpected end of input in {what}"),
+            ParseXmlErrorKind::UnexpectedEof(what) => {
+                write!(f, "unexpected end of input in {what}")
+            }
             ParseXmlErrorKind::UnexpectedChar { found, expected } => {
                 write!(f, "unexpected character {found:?}, expected {expected}")
             }

@@ -29,7 +29,13 @@ pub const MAX_DEPTH: usize = 256;
 /// # Ok::<(), rtxml::ParseXmlError>(())
 /// ```
 pub fn parse(input: &str) -> Result<Element, ParseXmlError> {
-    let mut p = Parser { chars: input.chars().collect(), pos: 0, line: 1, col: 1, depth: 0 };
+    let mut p = Parser {
+        chars: input.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        depth: 0,
+    };
     p.skip_misc()?;
     if p.peek().is_none() {
         return Err(p.err(ParseXmlErrorKind::NoRoot));
@@ -52,7 +58,13 @@ struct Parser {
 
 impl Parser {
     fn err(&self, kind: ParseXmlErrorKind) -> ParseXmlError {
-        ParseXmlError { pos: Pos { line: self.line, col: self.col }, kind }
+        ParseXmlError {
+            pos: Pos {
+                line: self.line,
+                col: self.col,
+            },
+            kind,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -87,7 +99,9 @@ impl Parser {
     }
 
     fn starts_with(&self, s: &str) -> bool {
-        s.chars().enumerate().all(|(i, c)| self.peek_at(i) == Some(c))
+        s.chars()
+            .enumerate()
+            .all(|(i, c)| self.peek_at(i) == Some(c))
     }
 
     fn bump_n(&mut self, n: usize) {
@@ -259,7 +273,9 @@ impl Parser {
                     self.bump_n(2);
                     let close = self.parse_name()?;
                     if close != name {
-                        return Err(self.err(ParseXmlErrorKind::MismatchedTag { open: name, close }));
+                        return Err(
+                            self.err(ParseXmlErrorKind::MismatchedTag { open: name, close })
+                        );
                     }
                     self.skip_ws();
                     self.expect('>')?;
@@ -305,7 +321,8 @@ mod tests {
 
     #[test]
     fn declaration_and_comments_skipped() {
-        let e = parse("<?xml version=\"1.0\"?>\n<!-- hi --><root><!-- inner --><x/></root>").unwrap();
+        let e =
+            parse("<?xml version=\"1.0\"?>\n<!-- hi --><root><!-- inner --><x/></root>").unwrap();
         assert_eq!(e.name, "root");
         assert_eq!(e.children.len(), 1);
     }
@@ -354,7 +371,10 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert!(matches!(parse("  ").unwrap_err().kind, ParseXmlErrorKind::NoRoot));
+        assert!(matches!(
+            parse("  ").unwrap_err().kind,
+            ParseXmlErrorKind::NoRoot
+        ));
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub fn to_string(root: &Element) -> String {
 
 /// Serializes with an `<?xml ?>` declaration prepended.
 pub fn to_document_string(root: &Element) -> String {
-    format!("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}", to_string(root))
+    format!(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n{}",
+        to_string(root)
+    )
 }
 
 fn write_element(out: &mut String, e: &Element, depth: usize) {

@@ -30,7 +30,10 @@ impl BytesCodec for Telemetry {
         self.level.encode(out);
     }
     fn decode(bytes: &[u8]) -> Self {
-        Telemetry { unit: u32::decode(&bytes[..4]), level: i64::decode(&bytes[4..]) }
+        Telemetry {
+            unit: u32::decode(&bytes[..4]),
+            level: i64::decode(&bytes[4..]),
+        }
     }
 }
 
@@ -106,7 +109,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let field = RemotePort::<Telemetry>::connect(addr)?;
     for i in 0..100i64 {
         let level = (i * 37) % 1000;
-        let priority = if level > 900 { Priority::new(50) } else { Priority::new(10) };
+        let priority = if level > 900 {
+            Priority::new(50)
+        } else {
+            Priority::new(10)
+        };
         field.send(&Telemetry { unit: 7, level }, priority)?;
     }
 
@@ -127,7 +134,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    let high = received.iter().filter(|(_, _, p)| *p == Priority::new(50)).count();
+    let high = received
+        .iter()
+        .filter(|(_, _, p)| *p == Priority::new(50))
+        .count();
     println!(
         "station received {} readings ({} high-priority), {} alarms",
         received.len(),
@@ -135,7 +145,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         alarms.load(Ordering::Relaxed)
     );
     assert_eq!(received.len(), 100);
-    assert_eq!(high as u64, alarms.load(Ordering::Relaxed), "priority crossed the wire");
+    assert_eq!(
+        high as u64,
+        alarms.load(Ordering::Relaxed),
+        "priority crossed the wire"
+    );
     assert_eq!(exporter.received(), 100);
     println!("distributed telemetry pipeline OK");
     Ok(())

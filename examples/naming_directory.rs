@@ -34,14 +34,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let naming = Arc::new(NamingServant::new());
     let registry = ObjectRegistry::with_echo();
     registry.register(b"clock".to_vec(), Arc::new(TimeServant));
-    registry.register(NAME_SERVICE_KEY.to_vec(), Arc::clone(&naming) as Arc<dyn Servant>);
+    registry.register(
+        NAME_SERVICE_KEY.to_vec(),
+        Arc::clone(&naming) as Arc<dyn Servant>,
+    );
     let server = CompadresServer::spawn_tcp(registry)?;
     let addr = server.addr().expect("tcp address");
 
     // Publish the directory entries.
-    naming.bind("services/echo", &ObjectRef::for_addr(addr, b"echo".to_vec()));
-    naming.bind("services/clock", &ObjectRef::for_addr(addr, b"clock".to_vec()));
-    let bootstrap = server.object_ref(NAME_SERVICE_KEY).expect("name service ref");
+    naming.bind(
+        "services/echo",
+        &ObjectRef::for_addr(addr, b"echo".to_vec()),
+    );
+    naming.bind(
+        "services/clock",
+        &ObjectRef::for_addr(addr, b"clock".to_vec()),
+    );
+    let bootstrap = server
+        .object_ref(NAME_SERVICE_KEY)
+        .expect("name service ref");
     println!("naming service at {bootstrap}");
 
     // --- A Compadres ORB client browses and invokes. ---
@@ -64,10 +75,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clock_ref = zen_directory.resolve("services/clock")?;
     let (clock_client, clock_key) = ZenClient::connect_ref(&clock_ref.to_string())?;
     let t1 = u64::from_be_bytes(
-        clock_client.invoke(&clock_key, "uptime_micros", &[])?.try_into().unwrap(),
+        clock_client
+            .invoke(&clock_key, "uptime_micros", &[])?
+            .try_into()
+            .unwrap(),
     );
     let t2 = u64::from_be_bytes(
-        clock_client.invoke(&clock_key, "uptime_micros", &[])?.try_into().unwrap(),
+        clock_client
+            .invoke(&clock_key, "uptime_micros", &[])?
+            .try_into()
+            .unwrap(),
     );
     println!("clock readings: {t1} us, then {t2} us");
     assert!(t2 >= t1, "monotonic clock servant");

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(reply, b"COMPADRES ORB SAYS HI");
 
     // Round-trip latency across the paper's message sizes.
-    println!("\n{:<12}{:>12}{:>12}{:>12}", "size (B)", "median(us)", "max(us)", "jitter(us)");
+    println!(
+        "\n{:<12}{:>12}{:>12}{:>12}",
+        "size (B)", "median(us)", "max(us)", "jitter(us)"
+    );
     for size in [32usize, 64, 128, 256, 512, 1024] {
         let payload = vec![7u8; size];
         let mut rec = LatencyRecorder::new();
@@ -52,7 +55,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let s = rec.summary();
         let to_us = |d: std::time::Duration| format!("{:.1}", d.as_nanos() as f64 / 1_000.0);
-        println!("{:<12}{:>12}{:>12}{:>12}", size, to_us(s.median), to_us(s.max), to_us(s.jitter()));
+        println!(
+            "{:<12}{:>12}{:>12}{:>12}",
+            size,
+            to_us(s.median),
+            to_us(s.max),
+            to_us(s.jitter())
+        );
     }
 
     // The per-request components were created and destroyed per call.
@@ -65,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // after the reply is on the wire; poll briefly.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
     while server.app().is_active("ServerProcessing")? {
-        assert!(std::time::Instant::now() < deadline, "reclaimed between requests");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reclaimed between requests"
+        );
         std::thread::yield_now();
     }
 

@@ -72,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .bind_message_type::<Greeting>("Greeting")
         .register_handler("Responder", "Incoming", || {
             |msg: &mut Greeting, ctx: &mut HandlerCtx<'_>| {
-                println!("[Worker]  received: {:?} (in scope {:?})", msg.text, ctx.region());
+                println!(
+                    "[Worker]  received: {:?} (in scope {:?})",
+                    msg.text,
+                    ctx.region()
+                );
                 let mut reply = ctx.get_message::<Greeting>("Outgoing")?;
                 reply.text = format!("{} to you!", msg.text);
                 ctx.send("Outgoing", reply, Priority::new(5))
@@ -87,7 +91,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     app.start()?;
-    println!("application {:?} started: {} messages so far", app.name(), app.stats().messages_sent);
+    println!(
+        "application {:?} started: {} messages so far",
+        app.name(),
+        app.stats().messages_sent
+    );
 
     // Drive it: the Main component sends a greeting to its scoped child.
     app.with_component("Main", |ctx| {

@@ -206,7 +206,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let mut alarm = ctx.get_message::<Alarm>("AlarmOut")?;
                     alarm.sensor_id = msg.sensor_id;
                     alarm.value = msg.value;
-                    let priority = if msg.value > 90.0 { Priority::new(50) } else { Priority::new(20) };
+                    let priority = if msg.value > 90.0 {
+                        Priority::new(50)
+                    } else {
+                        Priority::new(20)
+                    };
                     ctx.send("AlarmOut", alarm, priority)?;
                 }
                 // Every 64 readings, report health directly to the Station
@@ -235,9 +239,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .build()?;
 
+    // Opt into per-entry scope events so the flight recorder shows the
+    // full enqueue→dequeue→handler→scope lifecycle (off by default to
+    // keep steady-state overhead down).
+    app.observer().set_verbose(true);
+
     app.start()?;
     // Keep the pipeline resident for the run.
-    let _keep = [
+    let keep = [
         app.connect("Acq")?,
         app.connect("Probe")?,
         app.connect("Sieve")?,
@@ -259,7 +268,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let app = Arc::new(app);
     let app2 = Arc::clone(&app);
-    let latencies = Arc::new(parking_lot::Mutex::new(LatencyRecorder::new()));
+    let latencies = Arc::new(rtplatform::sync::Mutex::new(LatencyRecorder::new()));
     let latencies2 = Arc::clone(&latencies);
     let seq = Arc::new(AtomicU32::new(0));
     let seq2 = Arc::clone(&seq);
@@ -278,7 +287,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     tick.sensor_id = 1;
                     tick.seq = n;
                     tick.value = signal(n);
-                    ctx.send("Tick", tick, Priority::new(10)).expect("tick send");
+                    ctx.send("Tick", tick, Priority::new(10))
+                        .expect("tick send");
                 })
                 .expect("station runs");
             });
@@ -302,18 +312,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while let Ok(a) = alarm_rx.recv_timeout(Duration::from_millis(200)) {
         alarms.push(a);
     }
-    let high = alarms.iter().filter(|(_, _, p)| *p >= Priority::new(50)).count();
-    println!("alarms delivered: {} ({} high-priority), expected {}", alarms.len(), high, alarms_expected);
+    let high = alarms
+        .iter()
+        .filter(|(_, _, p)| *p >= Priority::new(50))
+        .count();
+    println!(
+        "alarms delivered: {} ({} high-priority), expected {}",
+        alarms.len(),
+        high,
+        alarms_expected
+    );
     println!("health counter: {}", processed.load(Ordering::SeqCst));
     println!("injection latency: {}", latencies.lock().summary());
     let stats = app.stats();
     println!(
         "framework stats: sent={} processed={} rejected={} errors={} panics={} activations={}",
-        stats.messages_sent, stats.messages_processed, stats.buffer_rejections,
-        stats.handler_errors, stats.handler_panics, stats.activations
+        stats.messages_sent,
+        stats.messages_processed,
+        stats.buffer_rejections,
+        stats.handler_errors,
+        stats.handler_panics,
+        stats.activations
     );
     // Every alarm is either delivered or visibly rejected by the bounded
     // buffer (never silently lost).
-    assert_eq!(alarms.len() as u64 + stats.buffer_rejections, alarms_expected as u64);
+    assert_eq!(
+        alarms.len() as u64 + stats.buffer_rejections,
+        alarms_expected as u64
+    );
+
+    // ---- observability readout ----------------------------------------
+    println!();
+    println!("=== metrics registry (App::metrics_text) ===");
+    print!("{}", app.metrics_text());
+
+    // Dropping the keep-alive handles deactivates the scoped instances:
+    // their pooled scopes are released back and reclaimed (epoch bump),
+    // which the flight recorder captures as the end of the trace.
+    drop(keep);
+    app.wait_quiescent(Duration::from_secs(5));
+
+    println!();
+    println!("=== flight recorder tail (Observer::trace_text) ===");
+    print!("{}", app.observer().trace_text(40));
+
+    use rtobs::EventKind;
+    let events = app.observer().events();
+    for kind in [
+        EventKind::PortEnqueue,
+        EventKind::PortDequeue,
+        EventKind::HandlerStart,
+        EventKind::HandlerEnd,
+        EventKind::ScopeEnter,
+        EventKind::PoolRelease,
+        EventKind::ScopeReclaim,
+    ] {
+        assert!(
+            events.iter().any(|e| e.kind == kind),
+            "flight recorder missing {kind:?}"
+        );
+    }
+    println!("trace covers enqueue -> dequeue -> handler -> scope-reclaim");
     Ok(())
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merging.
+# Offline by design — no registry access, no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test -q --offline --workspace
+run cargo fmt --all -- --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -5,8 +5,8 @@
 use std::sync::mpsc;
 use std::time::Duration;
 
-use compadres_core::{AppBuilder, HandlerCtx, Priority};
 use compadres_compiler::{generate_skeletons, render_plan, SkeletonOptions};
+use compadres_core::{AppBuilder, HandlerCtx, Priority};
 
 #[derive(Debug, Default, Clone)]
 struct Sample {
@@ -32,7 +32,8 @@ const CDL: &str = r#"
   </Component>
 </Components>"#;
 
-const SYNC: &str = "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+const SYNC: &str =
+    "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
 
 fn ccl() -> String {
     format!(
@@ -154,11 +155,18 @@ fn repeated_traffic_reuses_pooled_scopes() {
             ctx.send("Feed", m, Priority::new(9)).unwrap();
         })
         .unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), (i + 2) * 10);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            (i + 2) * 10
+        );
     }
     // Regions: heap + immortal + 3 pools x 2 — nothing leaked.
     assert_eq!(app.model().live_regions(), 2 + 6);
-    assert_eq!(app.stats().messages_processed, 200, "four hops per round trip");
+    assert_eq!(
+        app.stats().messages_processed,
+        200,
+        "four hops per round trip"
+    );
 }
 
 #[test]
@@ -167,7 +175,10 @@ fn keepalive_chain_pins_all_ancestors() {
     let keep = app.connect("L").unwrap();
     // Connecting the leaf activates the whole ancestor chain.
     for name in ["S1", "S2", "L"] {
-        assert!(app.is_active(name).unwrap(), "{name} active while leaf connected");
+        assert!(
+            app.is_active(name).unwrap(),
+            "{name} active while leaf connected"
+        );
     }
     app.with_component("R", |ctx| {
         let mut m = ctx.get_message::<Sample>("Feed").unwrap();
@@ -178,7 +189,10 @@ fn keepalive_chain_pins_all_ancestors() {
     assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), 30);
     keep.disconnect();
     for name in ["S1", "S2", "L"] {
-        assert!(!app.is_active(name).unwrap(), "{name} reclaimed after disconnect");
+        assert!(
+            !app.is_active(name).unwrap(),
+            "{name} reclaimed after disconnect"
+        );
     }
 }
 
@@ -196,7 +210,10 @@ fn compiler_artifacts_for_same_documents() {
     let plan = render_plan(&cdl, &ccl_doc).unwrap();
     assert!(plan.contains("Application: DeepPipeline"));
     assert!(plan.contains("L : Leaf [scoped level 3]"));
-    assert!(plan.contains("[shadow]"), "L→R link reported as a shadow port:\n{plan}");
+    assert!(
+        plan.contains("[shadow]"),
+        "L→R link reported as a shadow port:\n{plan}"
+    );
     assert!(plan.contains("scope pool level 3: 2 x 65536 bytes"));
 }
 

@@ -83,8 +83,14 @@ fn both_orbs_report_the_same_failures() {
     let corb = CompadresClient::connect_tcp(corb_server.addr().unwrap()).unwrap();
 
     // Unknown object.
-    assert!(matches!(zen.invoke(b"ghost", "echo", &[]), Err(OrbError::ObjectNotExist)));
-    assert!(matches!(corb.invoke(b"ghost", "echo", &[]), Err(OrbError::ObjectNotExist)));
+    assert!(matches!(
+        zen.invoke(b"ghost", "echo", &[]),
+        Err(OrbError::ObjectNotExist)
+    ));
+    assert!(matches!(
+        corb.invoke(b"ghost", "echo", &[]),
+        Err(OrbError::ObjectNotExist)
+    ));
 
     // Servant exception carries the same message.
     let zen_msg = match zen.invoke(b"calc", "nope", &[]) {
@@ -107,12 +113,19 @@ fn orbs_interoperate_on_the_wire() {
     // client can talk to a Compadres server and vice versa.
     let corb_server = CompadresServer::spawn_tcp(registry()).unwrap();
     let zen_client = ZenClient::connect_tcp(corb_server.addr().unwrap()).unwrap();
-    assert_eq!(zen_client.invoke(b"echo", "echo", &[1, 2, 3]).unwrap(), vec![1, 2, 3]);
+    assert_eq!(
+        zen_client.invoke(b"echo", "echo", &[1, 2, 3]).unwrap(),
+        vec![1, 2, 3]
+    );
 
     let zen_server = ZenServer::spawn_tcp(registry()).unwrap();
     let corb_client = CompadresClient::connect_tcp(zen_server.addr().unwrap()).unwrap();
     assert_eq!(
-        decode_sum(&corb_client.invoke(b"calc", "sum", &sum_args(20, 22)).unwrap()),
+        decode_sum(
+            &corb_client
+                .invoke(b"calc", "sum", &sum_args(20, 22))
+                .unwrap()
+        ),
         42
     );
 
@@ -144,6 +157,9 @@ fn concurrent_clients_against_one_compadres_server() {
 fn zero_and_empty_payloads() {
     let server = CompadresServer::spawn_tcp(registry()).unwrap();
     let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
-    assert_eq!(client.invoke(b"echo", "echo", &[]).unwrap(), Vec::<u8>::new());
+    assert_eq!(
+        client.invoke(b"echo", "echo", &[]).unwrap(),
+        Vec::<u8>::new()
+    );
     server.shutdown();
 }
