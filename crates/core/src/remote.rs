@@ -16,13 +16,32 @@
 //! length, payload bytes. The message type must implement [`BytesCodec`];
 //! type identity is checked at the receiving side against the in-port's
 //! bound Rust type, so a mismatched pairing fails loudly, not silently.
+//!
+//! ## Fault model
+//!
+//! Both endpoints honour a [`FaultPolicy`] (DESIGN.md §"Fault model").
+//! The sender bounds every blocking operation with the policy's
+//! connect/send deadlines, retries with decorrelated-jitter backoff,
+//! reconnects on a broken pipe, and — once the retry budget is spent —
+//! degrades per [`DegradeMode`]: fail the caller, shed the message, or
+//! queue it (bounded, oldest-out) for resend on reconnect. The receiver
+//! arms the recv deadline on every connection so a peer that stalls
+//! *mid-frame* costs at most one deadline, never a wedged thread; a
+//! deadline at a frame boundary is just an idle link. Retries,
+//! reconnects, sheds and deadline misses are counted in `rtobs` when an
+//! observer is attached ([`RemotePort::set_observer`]; the exporter uses
+//! its app's observer automatically).
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use rtobs::{CounterId, EventKind, GaugeId, HistId, Observer};
+use rtplatform::fault::{Backoff, DegradeMode, FaultPolicy};
 use rtplatform::sync::Mutex;
 
 use crate::error::{CompadresError, Result};
@@ -35,6 +54,23 @@ fn io_err(e: std::io::Error) -> CompadresError {
     CompadresError::Model(format!("remote link I/O failure: {e}"))
 }
 
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Exporter-side observability ids, registered on the app's observer.
+struct ExportObs {
+    obs: Arc<Observer>,
+    entity: u32,
+    rx_frames: CounterId,
+    rx_rejected: CounterId,
+    deadline_misses: CounterId,
+    conns_live: GaugeId,
+}
+
 /// Serves a local in-port to the network: every message received on the
 /// socket is injected into `instance.port` as if a local component had
 /// sent it.
@@ -42,8 +78,11 @@ pub struct PortExporter {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
     received: Arc<AtomicU64>,
     rejected: Arc<AtomicU64>,
+    deadline_misses: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for PortExporter {
@@ -52,9 +91,58 @@ impl std::fmt::Debug for PortExporter {
     }
 }
 
+/// Outcome of one framed read on an exporter connection.
+enum FrameRead<M> {
+    /// A complete frame arrived.
+    Frame(Priority, M),
+    /// The recv deadline elapsed *between* frames: the link is idle, not
+    /// faulty. The caller re-checks shutdown and keeps listening.
+    Idle,
+    /// The recv deadline elapsed *inside* a frame: the sender stalled and
+    /// the stream position is now mid-message, so the connection must be
+    /// dropped.
+    Stalled,
+    /// End of stream or a fatal error (including an oversized claim).
+    Dead,
+}
+
+/// Reads one `priority + len + payload` frame, tolerating idle timeouts
+/// only at the frame boundary (before any byte of a message is consumed).
+fn read_frame<M: BytesCodec>(stream: &mut TcpStream) -> FrameRead<M> {
+    // First byte: an idle timeout here is benign.
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return FrameRead::Dead,
+            Ok(_) => break,
+            Err(e) if is_timeout(&e) => return FrameRead::Idle,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return FrameRead::Dead,
+        }
+    }
+    // From here on we are mid-frame: a timeout means the sender stalled.
+    let mut rest = [0u8; 4];
+    match stream.read_exact(&mut rest) {
+        Ok(()) => {}
+        Err(e) if is_timeout(&e) => return FrameRead::Stalled,
+        Err(_) => return FrameRead::Dead,
+    }
+    let priority = Priority::new(first[0]);
+    let len = u32::from_be_bytes(rest) as usize;
+    if len > 64 << 20 {
+        return FrameRead::Dead; // oversized claim: drop the connection
+    }
+    let mut payload = vec![0u8; len];
+    match stream.read_exact(&mut payload) {
+        Ok(()) => FrameRead::Frame(priority, M::decode(&payload)),
+        Err(e) if is_timeout(&e) => FrameRead::Stalled,
+        Err(_) => FrameRead::Dead,
+    }
+}
+
 impl PortExporter {
     /// Binds `127.0.0.1:0` and starts accepting senders for
-    /// `instance.port`, which must be an in-port bound to `M`.
+    /// `instance.port` under the default [`FaultPolicy`].
     ///
     /// # Errors
     ///
@@ -65,13 +153,61 @@ impl PortExporter {
         instance: &str,
         port: &str,
     ) -> Result<PortExporter> {
+        Self::bind_to::<M>(app, instance, port, None, FaultPolicy::default())
+    }
+
+    /// Binds `127.0.0.1:0` under an explicit [`FaultPolicy`] (its
+    /// `recv_timeout` bounds how long a stalled sender can hold a
+    /// connection thread mid-frame).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PortExporter::bind`].
+    pub fn bind_with<M: Message + BytesCodec>(
+        app: &Arc<App>,
+        instance: &str,
+        port: &str,
+        policy: FaultPolicy,
+    ) -> Result<PortExporter> {
+        Self::bind_to::<M>(app, instance, port, None, policy)
+    }
+
+    /// Binds a *specific* address (or `127.0.0.1:0` when `None`) —
+    /// needed to restart an exporter at an address senders already hold.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PortExporter::bind`], plus bind failures for `addr`.
+    pub fn bind_to<M: Message + BytesCodec>(
+        app: &Arc<App>,
+        instance: &str,
+        port: &str,
+        addr: Option<SocketAddr>,
+        policy: FaultPolicy,
+    ) -> Result<PortExporter> {
         // Fail fast on unknown ports / wrong types with a probe message.
         let _ = app.port_attrs(instance, port)?;
-        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(io_err)?;
+        let listener = match addr {
+            Some(a) => TcpListener::bind(a).map_err(io_err)?,
+            None => TcpListener::bind(("127.0.0.1", 0)).map_err(io_err)?,
+        };
         let local_addr = listener.local_addr().map_err(io_err)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let received = Arc::new(AtomicU64::new(0));
         let rejected = Arc::new(AtomicU64::new(0));
+        let deadline_misses = Arc::new(AtomicU64::new(0));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let observer = Arc::clone(app.observer());
+        let export_obs = Arc::new(ExportObs {
+            entity: observer.register_entity(&format!("export:{instance}.{port}")),
+            rx_frames: observer.counter("remote_rx_frames_total"),
+            rx_rejected: observer.counter("remote_rx_rejected_total"),
+            deadline_misses: observer.counter("remote_deadline_misses_total"),
+            conns_live: observer.gauge("remote_conns_live"),
+            obs: observer,
+        });
 
         let app = Arc::clone(app);
         let instance = instance.to_string();
@@ -79,6 +215,9 @@ impl PortExporter {
         let shutdown2 = Arc::clone(&shutdown);
         let received2 = Arc::clone(&received);
         let rejected2 = Arc::clone(&rejected);
+        let misses2 = Arc::clone(&deadline_misses);
+        let conns2 = Arc::clone(&conns);
+        let conn_handles2 = Arc::clone(&conn_handles);
         let accept_handle = std::thread::Builder::new()
             .name(format!("compadres-export-{instance}-{port}"))
             .spawn(move || {
@@ -86,29 +225,59 @@ impl PortExporter {
                     let Ok((stream, _)) = listener.accept() else {
                         break;
                     };
+                    if shutdown2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Register the stream so shutdown() can sever it even
+                    // while the connection thread is blocked reading.
+                    if let Ok(clone) = stream.try_clone() {
+                        conns2.lock().push(clone);
+                    }
                     let app = Arc::clone(&app);
                     let instance = instance.clone();
                     let port = port.clone();
                     let shutdown3 = Arc::clone(&shutdown2);
                     let received3 = Arc::clone(&received2);
                     let rejected3 = Arc::clone(&rejected2);
-                    let _ = std::thread::Builder::new()
+                    let misses3 = Arc::clone(&misses2);
+                    let eobs = Arc::clone(&export_obs);
+                    let policy = policy.clone();
+                    let handle = std::thread::Builder::new()
                         .name("compadres-export-conn".into())
                         .spawn(move || {
                             let _ = stream.set_nodelay(true);
+                            let _ = stream.set_read_timeout(Some(policy.recv_timeout));
+                            eobs.obs.gauge_add(eobs.conns_live, 1);
                             let mut stream = stream;
                             while !shutdown3.load(Ordering::SeqCst) {
-                                match read_message::<M>(&mut stream) {
-                                    Ok((priority, msg)) => {
+                                match read_frame::<M>(&mut stream) {
+                                    FrameRead::Frame(priority, msg) => {
                                         received3.fetch_add(1, Ordering::Relaxed);
+                                        eobs.obs.inc(eobs.rx_frames);
                                         if app.send_to(&instance, &port, msg, priority).is_err() {
                                             rejected3.fetch_add(1, Ordering::Relaxed);
+                                            eobs.obs.inc(eobs.rx_rejected);
                                         }
                                     }
-                                    Err(_) => break,
+                                    FrameRead::Idle => {}
+                                    FrameRead::Stalled => {
+                                        misses3.fetch_add(1, Ordering::Relaxed);
+                                        eobs.obs.inc(eobs.deadline_misses);
+                                        eobs.obs.record(
+                                            EventKind::RemoteDeadlineMiss,
+                                            eobs.entity,
+                                            policy.recv_timeout.as_nanos() as u64,
+                                        );
+                                        break;
+                                    }
+                                    FrameRead::Dead => break,
                                 }
                             }
+                            eobs.obs.gauge_sub(eobs.conns_live, 1);
                         });
+                    if let Ok(h) = handle {
+                        conn_handles2.lock().push(h);
+                    }
                 }
             })
             .expect("spawn exporter");
@@ -116,8 +285,11 @@ impl PortExporter {
             local_addr,
             shutdown,
             accept_handle: Some(accept_handle),
+            conn_handles,
+            conns,
             received,
             rejected,
+            deadline_misses,
         })
     }
 
@@ -136,10 +308,22 @@ impl PortExporter {
         self.rejected.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting new connections.
+    /// Connections dropped because a sender stalled mid-frame past the
+    /// recv deadline.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting new connections, unblocks the in-flight
+    /// `accept()`, and severs every live connection so their threads
+    /// exit promptly (joined in `Drop`) instead of leaking.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
+        for s in self.conns.lock().iter() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 
@@ -149,30 +333,51 @@ impl Drop for PortExporter {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
+        let handles: Vec<_> = std::mem::take(&mut *self.conn_handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
     }
 }
 
-fn read_message<M: BytesCodec>(stream: &mut TcpStream) -> std::io::Result<(Priority, M)> {
-    let mut header = [0u8; 5];
-    stream.read_exact(&mut header)?;
-    let priority = Priority::new(header[0]);
-    let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
-    if len > 64 << 20 {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "oversized frame",
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
-    Ok((priority, M::decode(&payload)))
+/// Sender-side observability ids (see [`RemotePort::set_observer`]).
+struct RemoteObs {
+    obs: Arc<Observer>,
+    entity: u32,
+    retries: CounterId,
+    reconnects: CounterId,
+    sheds: CounterId,
+    deadline_misses: CounterId,
+    backoff_ns: HistId,
+}
+
+/// Mutable link state, held across sends.
+struct SendState {
+    stream: Option<TcpStream>,
+    backoff: Backoff,
+    /// Resend queue used by [`DegradeMode::DropOldest`].
+    pending: VecDeque<Vec<u8>>,
+    /// In `DropOldest` mode, no reconnect is attempted before this
+    /// instant — sends just queue, so the caller never eats a connect
+    /// timeout per message while the link is down.
+    retry_after: Option<Instant>,
 }
 
 /// The sending stub of a remote connection: a typed handle that encodes
 /// and ships messages to a [`PortExporter`] on another application.
+///
+/// Fault behaviour is governed by the [`FaultPolicy`] given to
+/// [`connect_with`](RemotePort::connect_with); see the module docs.
 pub struct RemotePort<M> {
-    stream: Mutex<TcpStream>,
+    addr: SocketAddr,
+    policy: FaultPolicy,
+    state: Mutex<SendState>,
     sent: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    sheds: AtomicU64,
+    deadline_misses: AtomicU64,
+    obs: OnceLock<RemoteObs>,
     _marker: std::marker::PhantomData<fn(&M)>,
 }
 
@@ -183,28 +388,150 @@ impl<M> std::fmt::Debug for RemotePort<M> {
 }
 
 impl<M: Message + BytesCodec> RemotePort<M> {
-    /// Connects to an exported port.
+    /// Connects to an exported port under the default [`FaultPolicy`].
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect(addr: SocketAddr) -> Result<RemotePort<M>> {
-        let stream = TcpStream::connect(addr).map_err(io_err)?;
-        stream.set_nodelay(true).map_err(io_err)?;
+        Self::connect_with(addr, FaultPolicy::default())
+    }
+
+    /// Connects under an explicit [`FaultPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Connection failures (the initial connect is a single attempt
+    /// bounded by the policy's connect deadline; later reconnects use the
+    /// retry budget).
+    pub fn connect_with(addr: SocketAddr, policy: FaultPolicy) -> Result<RemotePort<M>> {
+        let stream = Self::dial(addr, &policy).map_err(io_err)?;
+        // Backoff jitter only decorrelates concurrent clients; deriving
+        // the seed from the port keeps runs reproducible enough while
+        // separating streams of co-located senders.
+        let backoff = Backoff::new(&policy, 0x9E37_79B9_7F4A_7C15 ^ u64::from(addr.port()));
         Ok(RemotePort {
-            stream: Mutex::new(stream),
+            addr,
+            policy,
+            state: Mutex::new(SendState {
+                stream: Some(stream),
+                backoff,
+                pending: VecDeque::new(),
+                retry_after: None,
+            }),
             sent: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            obs: OnceLock::new(),
             _marker: std::marker::PhantomData,
         })
+    }
+
+    /// Wires fault metrics into `obs`: counters `remote_retries_total`,
+    /// `remote_reconnects_total`, `remote_sheds_total`,
+    /// `remote_deadline_misses_total`, the `remote_retry_backoff_ns`
+    /// histogram and flight-recorder events under `remote:{addr}`.
+    /// Call at most once; later calls are ignored.
+    pub fn set_observer(&self, obs: &Arc<Observer>) {
+        let _ = self.obs.set(RemoteObs {
+            entity: obs.register_entity(&format!("remote:{}", self.addr)),
+            retries: obs.counter("remote_retries_total"),
+            reconnects: obs.counter("remote_reconnects_total"),
+            sheds: obs.counter("remote_sheds_total"),
+            deadline_misses: obs.counter("remote_deadline_misses_total"),
+            backoff_ns: obs.histogram("remote_retry_backoff_ns"),
+            obs: Arc::clone(obs),
+        });
+    }
+
+    fn dial(addr: SocketAddr, policy: &FaultPolicy) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&addr, policy.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(policy.send_timeout))?;
+        Ok(stream)
+    }
+
+    fn note_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.obs.inc(o.sheds);
+            o.obs.record(
+                EventKind::RemoteShed,
+                o.entity,
+                self.sheds.load(Ordering::Relaxed),
+            );
+        }
+    }
+
+    /// Counts a failed attempt and returns the backoff delay to wait (or
+    /// schedule) before the next one.
+    fn note_retry(&self, st: &mut SendState) -> std::time::Duration {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        let delay = st.backoff.next_delay();
+        if let Some(o) = self.obs.get() {
+            o.obs.inc(o.retries);
+            o.obs.observe(o.backoff_ns, delay.as_nanos() as u64);
+            o.obs
+                .record(EventKind::RemoteRetry, o.entity, delay.as_nanos() as u64);
+        }
+        delay
+    }
+
+    fn note_reconnect(&self) {
+        let n = self.reconnects.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(o) = self.obs.get() {
+            o.obs.inc(o.reconnects);
+            o.obs.record(EventKind::RemoteReconnect, o.entity, n);
+        }
+    }
+
+    fn note_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.obs.get() {
+            o.obs.inc(o.deadline_misses);
+            o.obs.record(
+                EventKind::RemoteDeadlineMiss,
+                o.entity,
+                self.policy.send_timeout.as_nanos() as u64,
+            );
+        }
+    }
+
+    /// Writes `frame`; on failure the stream is torn down so the next
+    /// attempt reconnects.
+    fn try_write(&self, st: &mut SendState, frame: &[u8]) -> std::io::Result<()> {
+        let Some(stream) = st.stream.as_mut() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "link down",
+            ));
+        };
+        let r = stream.write_all(frame).and_then(|()| stream.flush());
+        if let Err(e) = &r {
+            if is_timeout(e) {
+                self.note_deadline_miss();
+            }
+            st.stream = None;
+        }
+        r
     }
 
     /// Sends one message at `priority`. Mirrors a local
     /// [`HandlerCtx::send`](crate::HandlerCtx::send), but the payload is
     /// serialized instead of pooled (a network hop always copies).
     ///
+    /// Blocking is bounded by the policy: at worst
+    /// `FaultPolicy::worst_case_blocking` in `Fail`/`Shed` mode, and a
+    /// single connect/send deadline in `DropOldest` mode (queueing
+    /// replaces waiting).
+    ///
     /// # Errors
     ///
-    /// I/O failures.
+    /// I/O failures after the retry budget is exhausted — only in
+    /// [`DegradeMode::Fail`]; the degraded modes swallow the loss and
+    /// count it instead.
     pub fn send(&self, msg: &M, priority: impl Into<Priority>) -> Result<()> {
         let mut payload = Vec::new();
         msg.encode(&mut payload);
@@ -212,16 +539,131 @@ impl<M: Message + BytesCodec> RemotePort<M> {
         frame.push(priority.into().value());
         frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         frame.extend_from_slice(&payload);
-        let mut g = self.stream.lock();
-        g.write_all(&frame).map_err(io_err)?;
-        g.flush().map_err(io_err)?;
-        self.sent.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+
+        let mut st = self.state.lock();
+        if self.policy.degrade == DegradeMode::DropOldest {
+            self.send_queueing(&mut st, frame);
+            return Ok(());
+        }
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                let delay = self.note_retry(&mut st);
+                std::thread::sleep(delay);
+            }
+            if st.stream.is_none() {
+                match Self::dial(self.addr, &self.policy) {
+                    Ok(s) => {
+                        st.stream = Some(s);
+                        self.note_reconnect();
+                    }
+                    Err(e) => {
+                        last = Some(e);
+                        continue;
+                    }
+                }
+            }
+            match self.try_write(&mut st, &frame) {
+                Ok(()) => {
+                    st.backoff.reset();
+                    self.sent.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        match self.policy.degrade {
+            DegradeMode::Shed => {
+                self.note_shed();
+                Ok(())
+            }
+            _ => Err(io_err(
+                last.unwrap_or_else(|| std::io::Error::other("send failed")),
+            )),
+        }
     }
 
-    /// Messages sent so far.
+    /// `DropOldest` send path: never sleeps on backoff. While the link is
+    /// down messages queue (bounded, oldest shed); a reconnect is
+    /// attempted at most once per backoff window, and queued messages are
+    /// flushed in order before the new one.
+    fn send_queueing(&self, st: &mut SendState, frame: Vec<u8>) {
+        let now = Instant::now();
+        let in_backoff = st.retry_after.is_some_and(|at| now < at);
+        if st.stream.is_none() && !in_backoff {
+            match Self::dial(self.addr, &self.policy) {
+                Ok(s) => {
+                    st.stream = Some(s);
+                    st.retry_after = None;
+                    self.note_reconnect();
+                }
+                Err(_) => {
+                    let delay = self.note_retry(st);
+                    st.retry_after = Some(now + delay);
+                }
+            }
+        }
+        if st.stream.is_some() {
+            // Flush the backlog first to preserve ordering.
+            while let Some(queued) = st.pending.front() {
+                if self.try_write_queued(st, queued.clone()).is_err() {
+                    break;
+                }
+                st.pending.pop_front();
+            }
+            if st.stream.is_some() && self.try_write_queued(st, frame.clone()).is_ok() {
+                st.backoff.reset();
+                return;
+            }
+            // The write failed: fall through to queueing the frame.
+            let delay = self.note_retry(st);
+            st.retry_after = Some(Instant::now() + delay);
+        }
+        st.pending.push_back(frame);
+        while st.pending.len() > self.policy.pending_cap {
+            st.pending.pop_front();
+            self.note_shed();
+        }
+    }
+
+    /// Borrow-friendly wrapper: `try_write` needs `&mut SendState` while
+    /// the frame may live inside `st.pending`.
+    fn try_write_queued(&self, st: &mut SendState, frame: Vec<u8>) -> std::io::Result<()> {
+        let r = self.try_write(st, &frame);
+        if r.is_ok() {
+            self.sent.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Messages actually written to the wire so far.
     pub fn sent(&self) -> u64 {
         self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Failed attempts that consumed retry budget.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Successful re-establishments after the initial connect.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped by the degradation policy.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// Sends that missed the send deadline.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses.load(Ordering::Relaxed)
+    }
+
+    /// Messages queued for resend (`DropOldest` mode only).
+    pub fn pending(&self) -> usize {
+        self.state.lock().pending.len()
     }
 }
 

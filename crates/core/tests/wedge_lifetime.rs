@@ -1,0 +1,55 @@
+//! Regression: `rtmem_wedge_lifetime_ns` must record when a scoped
+//! child is released through the builder's `ChildHandle` path.
+//!
+//! ROADMAP once suspected this metric stayed empty because the builder
+//! bypassed `Wedge::release`; this test pins the working behaviour so a
+//! future refactor of the activation path cannot silently regress it.
+
+use compadres_core::AppBuilder;
+
+#[test]
+fn child_release_records_wedge_lifetime() {
+    let cdl = r#"
+      <Component><ComponentName>Leaf</ComponentName>
+        <Port><PortName>In</PortName><PortType>In</PortType><MessageType>U</MessageType></Port>
+      </Component>"#;
+    let ccl = r#"
+      <Application><ApplicationName>WedgeLifetime</ApplicationName>
+        <Component><InstanceName>Root</InstanceName><ClassName>Leaf</ClassName><ComponentType>Immortal</ComponentType>
+          <Component><InstanceName>S</InstanceName><ClassName>Leaf</ClassName>
+            <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+            <Connection><Port><PortName>In</PortName>
+              <PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize></PortAttributes>
+            </Port></Connection>
+          </Component>
+        </Component>
+      </Application>"#;
+    let app = AppBuilder::from_xml(cdl, ccl)
+        .unwrap()
+        .bind_message_type::<u32>("U")
+        .register_handler("Leaf", "In", || {
+            |_msg: &mut u32, _ctx: &mut compadres_core::HandlerCtx<'_>| Ok(())
+        })
+        .build()
+        .unwrap();
+    app.start().unwrap();
+
+    let obs = app.observer();
+    let hist = obs.histogram("rtmem_wedge_lifetime_ns");
+    assert_eq!(obs.hist_snapshot(hist).count, 0, "no releases yet");
+
+    // Activate the scoped child, then release it through the handle:
+    // exactly the path ROADMAP suspected of skipping Wedge::release.
+    let handle = app.connect("S").unwrap();
+    drop(handle);
+
+    let snap = obs.hist_snapshot(hist);
+    assert!(
+        snap.count >= 1,
+        "ChildHandle release must record a wedge lifetime, count = {}",
+        snap.count
+    );
+    // Lifetimes are wall-clock ns between activation and release: the
+    // sum must be sane, not zero-filled garbage.
+    assert!(snap.max > 0, "recorded lifetime must be non-zero");
+}

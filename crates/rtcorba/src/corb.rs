@@ -20,13 +20,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use compadres_core::{App, AppBuilder, ChildHandle, HandlerCtx, Priority};
-use rtobs::{EventKind, HistId};
+use rtobs::{CounterId, EventKind, HistId};
+use rtplatform::fault::FaultPolicy;
 use rtplatform::sync::Mutex;
 
 use crate::cdr::Endian;
 use crate::giop::{self, Message, ReplyStatus, RequestMessage};
 use crate::service::ObjectRegistry;
-use crate::transport::{loopback_pair, Connection, LoopbackConn, TcpAcceptor, TcpConn};
+use crate::transport::{
+    loopback_pair, Connection, LoopbackConn, TcpAcceptor, TcpConn, TransportError,
+};
 use crate::OrbError;
 
 /// Completion slot a client invocation waits on (filled synchronously,
@@ -203,6 +206,8 @@ pub struct CompadresClient {
     /// round-trip histogram), interned on first use. Cold lock: hit once
     /// per distinct operation name.
     op_ids: Mutex<HashMap<String, (u32, HistId)>>,
+    /// Invocations that failed on a missed transport deadline.
+    deadline_misses: CounterId,
 }
 
 impl std::fmt::Debug for CompadresClient {
@@ -244,12 +249,31 @@ impl CompadresClient {
             .build()?;
         app.start()?;
         let transport_handle = app.connect("ClientTransport")?;
+        let deadline_misses = app.observer().counter("remote_deadline_misses_total");
         Ok(CompadresClient {
             app,
             _transport_handle: transport_handle,
             next_id: AtomicU32::new(1),
             op_ids: Mutex::new(HashMap::new()),
+            deadline_misses,
         })
+    }
+
+    /// Builds a client ORB over an established connection, arming the
+    /// connection's recv deadline from `policy` so an invocation whose
+    /// reply never arrives fails with
+    /// [`TransportError::Deadline`] instead of wedging
+    /// its real-time thread.
+    ///
+    /// # Errors
+    ///
+    /// Socket-option, composition or memory-architecture failures.
+    pub fn from_conn_with(
+        conn: Arc<dyn Connection>,
+        policy: &FaultPolicy,
+    ) -> Result<CompadresClient, OrbError> {
+        conn.set_deadline(Some(policy.recv_timeout))?;
+        CompadresClient::from_conn(conn)
     }
 
     /// Connects over TCP.
@@ -260,6 +284,20 @@ impl CompadresClient {
     pub fn connect_tcp(addr: SocketAddr) -> Result<CompadresClient, OrbError> {
         let conn = TcpConn::connect(addr)?;
         CompadresClient::from_conn(Arc::new(conn))
+    }
+
+    /// Connects over TCP under a [`FaultPolicy`]: connect/send/recv
+    /// deadlines from the policy bound every later invocation.
+    ///
+    /// # Errors
+    ///
+    /// Connection, composition or memory failures.
+    pub fn connect_tcp_with(
+        addr: SocketAddr,
+        policy: &FaultPolicy,
+    ) -> Result<CompadresClient, OrbError> {
+        let conn = TcpConn::connect_with(addr, policy)?;
+        CompadresClient::from_conn_with(Arc::new(conn), policy)
     }
 
     /// Connects to the ORB endpoint named by a stringified `corbaloc`
@@ -372,6 +410,10 @@ impl CompadresClient {
         let rtt = obs.now_ns().saturating_sub(t0);
         obs.record(EventKind::GiopReply, entity, rtt);
         obs.observe(hist, rtt);
+        if let Some(Err(OrbError::Transport(TransportError::Deadline))) = &result {
+            obs.inc(self.deadline_misses);
+            obs.record(EventKind::RemoteDeadlineMiss, entity, rtt);
+        }
         result.unwrap_or(Err(OrbError::UnexpectedMessage))
     }
 }
@@ -462,10 +504,19 @@ impl CompadresServer {
                     if let Ok(staged) = ctx.mem.alloc_bytes(msg.frame.len()) {
                         let _ = staged.copy_from_slice(ctx.mem, &msg.frame);
                     }
-                    if let Ok(Message::Request(req)) = giop::decode(&msg.frame) {
-                        let reply = registry.dispatch(&req);
-                        if req.response_expected {
-                            let _ = conn.send_frame(&reply.encode(endian));
+                    match giop::decode(&msg.frame) {
+                        Ok(Message::Request(req)) => {
+                            let reply = registry.dispatch(&req);
+                            if req.response_expected {
+                                let _ = conn.send_frame(&reply.encode(endian));
+                            }
+                        }
+                        Ok(_) => {}
+                        Err(_) => {
+                            // Undecodable frame: answer MessageError so the
+                            // peer fails fast instead of waiting out its
+                            // reply deadline.
+                            let _ = conn.send_frame(&giop::encode_error(endian));
                         }
                     }
                     Ok(())

@@ -157,6 +157,8 @@ pub enum Message {
     Reply(ReplyMessage),
     /// Connection close.
     CloseConnection,
+    /// The peer could not parse what we sent (GIOP `MessageError`).
+    Error,
 }
 
 fn write_header(enc: &mut CdrEncoder, msg_type: MsgType) {
@@ -214,6 +216,17 @@ impl ReplyMessage {
 pub fn encode_close(endian: Endian) -> Vec<u8> {
     let mut enc = CdrEncoder::new(endian);
     write_header(&mut enc, MsgType::CloseConnection);
+    let mut bytes = enc.into_bytes();
+    patch_size(&mut bytes, endian);
+    bytes
+}
+
+/// Encodes a `MessageError` frame — sent back when an incoming frame
+/// fails to parse, so a (possibly fault-injected) peer learns its message
+/// was garbage instead of waiting for a reply that will never come.
+pub fn encode_error(endian: Endian) -> Vec<u8> {
+    let mut enc = CdrEncoder::new(endian);
+    write_header(&mut enc, MsgType::MessageError);
     let mut bytes = enc.into_bytes();
     patch_size(&mut bytes, endian);
     bytes
@@ -279,7 +292,7 @@ pub fn decode(frame: &[u8]) -> Result<Message, GiopError> {
             }))
         }
         MsgType::CloseConnection => Ok(Message::CloseConnection),
-        MsgType::MessageError => Err(GiopError::BadMsgType(frame[7])),
+        MsgType::MessageError => Ok(Message::Error),
     }
 }
 
@@ -362,6 +375,15 @@ mod tests {
     fn close_connection_roundtrip() {
         let frame = encode_close(Endian::Big);
         assert_eq!(decode(&frame).unwrap(), Message::CloseConnection);
+    }
+
+    #[test]
+    fn message_error_roundtrip() {
+        for endian in [Endian::Big, Endian::Little] {
+            let frame = encode_error(endian);
+            assert_eq!(frame.len(), HEADER_LEN, "MessageError has no body");
+            assert_eq!(decode(&frame).unwrap(), Message::Error);
+        }
     }
 
     #[test]

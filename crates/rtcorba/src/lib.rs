@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cdr;
+pub mod chaos;
 pub mod corb;
 pub mod giop;
 pub mod ior;

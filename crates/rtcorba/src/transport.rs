@@ -11,11 +11,22 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
+use rtplatform::fault::FaultPolicy;
 use rtplatform::sync::{Condvar, Mutex};
 
 use crate::giop::{self, HEADER_LEN};
 
 /// Transport errors.
+///
+/// Each injectable network fault class maps to exactly one variant (the
+/// mapping is exercised by `tests/fault_mapping.rs`):
+///
+/// | fault class                  | variant        |
+/// |------------------------------|----------------|
+/// | dropped frame / stalled peer | [`Deadline`](TransportError::Deadline) — indistinguishable on the wire: in both cases no bytes arrive before the recv deadline |
+/// | mid-frame disconnect         | [`Closed`](TransportError::Closed) — the stream ends inside a frame |
+/// | corrupt / truncated framing  | [`Protocol`](TransportError::Protocol) — bytes arrive but violate GIOP |
+/// | any other socket failure     | [`Io`](TransportError::Io) |
 #[derive(Debug)]
 pub enum TransportError {
     /// Underlying socket error.
@@ -24,6 +35,12 @@ pub enum TransportError {
     Closed,
     /// The incoming frame violated GIOP framing.
     Protocol(giop::GiopError),
+    /// The operation did not complete before its configured deadline
+    /// (see [`Connection::set_deadline`] and
+    /// [`rtplatform::fault::FaultPolicy`]). The connection itself may
+    /// still be usable, but a caller that cannot tell a late reply from
+    /// a lost one should drop it and reconnect.
+    Deadline,
 }
 
 impl std::fmt::Display for TransportError {
@@ -32,6 +49,7 @@ impl std::fmt::Display for TransportError {
             TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
             TransportError::Closed => write!(f, "connection closed by peer"),
             TransportError::Protocol(e) => write!(f, "framing error: {e}"),
+            TransportError::Deadline => write!(f, "operation missed its deadline"),
         }
     }
 }
@@ -40,8 +58,21 @@ impl std::error::Error for TransportError {}
 
 impl From<std::io::Error> for TransportError {
     fn from(e: std::io::Error) -> Self {
-        TransportError::Io(e)
+        if is_timeout(&e) {
+            TransportError::Deadline
+        } else {
+            TransportError::Io(e)
+        }
     }
+}
+
+/// Socket timeouts surface as `TimedOut` or `WouldBlock` depending on
+/// platform; both mean "the deadline elapsed".
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
 }
 
 /// A bidirectional, framed GIOP connection.
@@ -57,8 +88,23 @@ pub trait Connection: Send + Sync {
     ///
     /// # Errors
     ///
-    /// [`TransportError::Closed`] at end of stream; framing violations.
+    /// [`TransportError::Closed`] at end of stream; framing violations;
+    /// [`TransportError::Deadline`] when a recv deadline is set and
+    /// elapses.
     fn recv_frame(&self) -> Result<Vec<u8>, TransportError>;
+
+    /// Bounds how long a subsequent [`recv_frame`](Connection::recv_frame)
+    /// may block (`None` = block forever, the default). Implementations
+    /// that cannot honour deadlines keep the default no-op — callers that
+    /// *require* bounded blocking must use a deadline-capable transport
+    /// ([`TcpConn`], [`LoopbackConn`], or a wrapper delegating to one).
+    ///
+    /// # Errors
+    ///
+    /// Socket-option failures.
+    fn set_deadline(&self, _recv: Option<Duration>) -> Result<(), TransportError> {
+        Ok(())
+    }
 
     /// Closes the connection; subsequent operations fail.
     fn close(&self);
@@ -86,7 +132,8 @@ impl Pipe {
         Ok(())
     }
 
-    fn pop(&self) -> Result<Vec<u8>, TransportError> {
+    fn pop(&self, deadline: Option<Duration>) -> Result<Vec<u8>, TransportError> {
+        let timeout_at = deadline.map(|d| std::time::Instant::now() + d);
         let mut g = self.queue.lock();
         loop {
             if let Some(frame) = g.0.pop_front() {
@@ -95,7 +142,14 @@ impl Pipe {
             if g.1 {
                 return Err(TransportError::Closed);
             }
-            self.cond.wait(&mut g);
+            match timeout_at {
+                None => self.cond.wait(&mut g),
+                Some(at) => {
+                    if self.cond.wait_until(&mut g, at).timed_out() && g.0.is_empty() && !g.1 {
+                        return Err(TransportError::Deadline);
+                    }
+                }
+            }
         }
     }
 
@@ -109,6 +163,7 @@ impl Pipe {
 pub struct LoopbackConn {
     tx: Arc<Pipe>,
     rx: Arc<Pipe>,
+    recv_deadline: Mutex<Option<Duration>>,
 }
 
 impl std::fmt::Debug for LoopbackConn {
@@ -125,8 +180,13 @@ pub fn loopback_pair() -> (LoopbackConn, LoopbackConn) {
         LoopbackConn {
             tx: Arc::clone(&a),
             rx: Arc::clone(&b),
+            recv_deadline: Mutex::new(None),
         },
-        LoopbackConn { tx: b, rx: a },
+        LoopbackConn {
+            tx: b,
+            rx: a,
+            recv_deadline: Mutex::new(None),
+        },
     )
 }
 
@@ -136,7 +196,13 @@ impl Connection for LoopbackConn {
     }
 
     fn recv_frame(&self) -> Result<Vec<u8>, TransportError> {
-        self.rx.pop()
+        let deadline = *self.recv_deadline.lock();
+        self.rx.pop(deadline)
+    }
+
+    fn set_deadline(&self, recv: Option<Duration>) -> Result<(), TransportError> {
+        *self.recv_deadline.lock() = recv;
+        Ok(())
     }
 
     fn close(&self) {
@@ -177,13 +243,29 @@ impl TcpConn {
         })
     }
 
-    /// Connects to a listening ORB endpoint.
+    /// Connects to a listening ORB endpoint (5 s connect deadline, no
+    /// send/recv deadlines — the historical behaviour).
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: SocketAddr) -> Result<TcpConn, TransportError> {
         let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        TcpConn::new(stream)
+    }
+
+    /// Connects under a [`FaultPolicy`]: honours its connect deadline and
+    /// arms the socket's send/recv deadlines, so no later operation on
+    /// this connection blocks past the policy's bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Deadline`] when the connect deadline elapses;
+    /// other connection failures.
+    pub fn connect_with(addr: SocketAddr, policy: &FaultPolicy) -> Result<TcpConn, TransportError> {
+        let stream = TcpStream::connect_timeout(&addr, policy.connect_timeout)?;
+        stream.set_write_timeout(Some(policy.send_timeout))?;
+        stream.set_read_timeout(Some(policy.recv_timeout))?;
         TcpConn::new(stream)
     }
 }
@@ -196,6 +278,10 @@ impl Connection for TcpConn {
         Ok(())
     }
 
+    /// Receives one frame. With a recv deadline armed, a timeout returns
+    /// [`TransportError::Deadline`]; if it strikes *mid-frame* the stream
+    /// position is inside a message, so the connection must be dropped,
+    /// not reused — exactly what the retry layers do.
     fn recv_frame(&self) -> Result<Vec<u8>, TransportError> {
         let mut r = self.reader.lock();
         let mut header = [0u8; HEADER_LEN];
@@ -207,6 +293,14 @@ impl Connection for TcpConn {
         Ok(frame)
     }
 
+    fn set_deadline(&self, recv: Option<Duration>) -> Result<(), TransportError> {
+        // `set_read_timeout(Some(0))` is an invalid argument; treat a zero
+        // deadline as "already missed" semantics via the smallest timeout.
+        let recv = recv.map(|d| d.max(Duration::from_nanos(1)));
+        self.reader.lock().set_read_timeout(recv)?;
+        Ok(())
+    }
+
     fn close(&self) {
         let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
     }
@@ -216,7 +310,7 @@ fn read_exact_or_closed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), Transpo
     match r.read_exact(buf) {
         Ok(()) => Ok(()),
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(TransportError::Closed),
-        Err(e) => Err(TransportError::Io(e)),
+        Err(e) => Err(e.into()),
     }
 }
 

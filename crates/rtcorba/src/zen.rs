@@ -84,6 +84,22 @@ impl ZenClient {
         ZenClient::from_conn(Arc::new(conn))
     }
 
+    /// Connects over TCP under a [`rtplatform::fault::FaultPolicy`]:
+    /// connect/send/recv deadlines bound every later invocation, so a
+    /// silent peer surfaces as a deadline miss instead of a wedged
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Connection or memory-architecture failures.
+    pub fn connect_tcp_with(
+        addr: SocketAddr,
+        policy: &rtplatform::fault::FaultPolicy,
+    ) -> Result<ZenClient, OrbError> {
+        let conn = TcpConn::connect_with(addr, policy)?;
+        ZenClient::from_conn(Arc::new(conn))
+    }
+
     /// Connects to the ORB endpoint named by a stringified `corbaloc`
     /// object reference (the CORBA `string_to_object` flow).
     ///
@@ -278,7 +294,14 @@ impl ServerCore {
                             }
                         }
                         Ok(Message::CloseConnection) => false,
-                        _ => false,
+                        Ok(_) => false,
+                        Err(_) => {
+                            // Tell the peer its frame was garbage before
+                            // hanging up, so it fails fast instead of
+                            // waiting out its reply deadline.
+                            let _ = conn.send_frame(&giop::encode_error(self.endian));
+                            false
+                        }
                     }
                 });
                 match outcome {

@@ -1,0 +1,152 @@
+//! One test per injected fault class, pinning the documented mapping to
+//! `TransportError` variants (see the table on `TransportError`):
+//!
+//! | fault                       | expected error                      |
+//! |-----------------------------|-------------------------------------|
+//! | reply dropped               | `Deadline`                          |
+//! | reply stalled (never sent)  | `Deadline`                          |
+//! | mid-frame disconnect        | `Closed`                            |
+//! | truncated frame             | `Protocol` (`GiopError::ShortBody`) |
+//! | garbage header              | `Protocol`                          |
+//!
+//! Dropped and stalled replies are indistinguishable by construction —
+//! in both cases no byte arrives before the deadline — so both map to
+//! `Deadline`.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtcorba::cdr::Endian;
+use rtcorba::chaos::{FaultPlan, FaultyConn};
+use rtcorba::giop::{self, GiopError, ReplyMessage, ReplyStatus};
+use rtcorba::transport::{loopback_pair, Connection, TcpConn, TransportError};
+use rtplatform::fault::FaultPolicy;
+
+fn reply_frame() -> Vec<u8> {
+    ReplyMessage {
+        request_id: 1,
+        status: ReplyStatus::NoException,
+        body: vec![1, 2, 3, 4, 5, 6, 7, 8],
+    }
+    .encode(Endian::Big)
+}
+
+#[test]
+fn dropped_reply_maps_to_deadline() {
+    let (client, server) = loopback_pair();
+    let client = FaultyConn::new(
+        Arc::new(client),
+        FaultPlan {
+            drop: 1.0,
+            ..FaultPlan::quiet(7)
+        },
+    );
+    client
+        .set_deadline(Some(Duration::from_millis(50)))
+        .unwrap();
+    server.send_frame(&reply_frame()).unwrap();
+    match client.recv_frame() {
+        Err(TransportError::Deadline) => {}
+        other => panic!("dropped reply must map to Deadline, got {other:?}"),
+    }
+    assert_eq!(client.injected().dropped, 1);
+}
+
+#[test]
+fn stalled_reply_maps_to_deadline() {
+    // A raw listener that accepts and then never writes a byte.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let guard = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(2)); // outlive the client's deadline
+        drop(stream);
+    });
+    let policy = FaultPolicy::tight(); // 100 ms deadlines
+    let conn = TcpConn::connect_with(addr, &policy).unwrap();
+    conn.send_frame(&reply_frame()).unwrap();
+    match conn.recv_frame() {
+        Err(TransportError::Deadline) => {}
+        other => panic!("stalled reply must map to Deadline, got {other:?}"),
+    }
+    drop(conn);
+    guard.join().unwrap();
+}
+
+#[test]
+fn midframe_disconnect_maps_to_closed() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let guard = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        // Half a GIOP header, then hang up.
+        stream.write_all(b"GIOP\x01\x00").unwrap();
+        stream.flush().unwrap();
+    });
+    let conn = TcpConn::connect(addr).unwrap();
+    match conn.recv_frame() {
+        Err(TransportError::Closed) => {}
+        other => panic!("mid-frame disconnect must map to Closed, got {other:?}"),
+    }
+    guard.join().unwrap();
+}
+
+#[test]
+fn injected_disconnect_maps_to_closed() {
+    let (client, server) = loopback_pair();
+    let client = FaultyConn::new(
+        Arc::new(client),
+        FaultPlan {
+            disconnect: 1.0,
+            ..FaultPlan::quiet(7)
+        },
+    );
+    server.send_frame(&reply_frame()).unwrap();
+    match client.recv_frame() {
+        Err(TransportError::Closed) => {}
+        other => panic!("injected disconnect must map to Closed, got {other:?}"),
+    }
+    assert_eq!(client.injected().disconnected, 1);
+}
+
+#[test]
+fn truncated_frame_maps_to_short_body() {
+    let (client, server) = loopback_pair();
+    let client = FaultyConn::new(
+        Arc::new(client),
+        FaultPlan {
+            truncate: 1.0,
+            ..FaultPlan::quiet(7)
+        },
+    );
+    server.send_frame(&reply_frame()).unwrap();
+    // The truncated frame still arrives (bytes made it), but violates
+    // the declared GIOP size — surfacing at decode as ShortBody, which
+    // the ORB wraps in `TransportError::Protocol` semantics.
+    let frame = client.recv_frame().unwrap();
+    match giop::decode(&frame) {
+        Err(GiopError::ShortBody { declared, actual }) => {
+            assert!(actual < declared, "truncation must shorten the body");
+        }
+        other => panic!("truncated frame must decode to ShortBody, got {other:?}"),
+    }
+    assert_eq!(client.injected().truncated, 1);
+}
+
+#[test]
+fn garbage_header_maps_to_protocol() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let guard = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.write_all(&[0xde; 32]).unwrap(); // 12-byte header's worth of junk and change
+        stream.flush().unwrap();
+    });
+    let conn = TcpConn::connect(addr).unwrap();
+    match conn.recv_frame() {
+        Err(TransportError::Protocol(_)) => {}
+        other => panic!("garbage header must map to Protocol, got {other:?}"),
+    }
+    guard.join().unwrap();
+}

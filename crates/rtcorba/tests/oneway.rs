@@ -59,27 +59,42 @@ fn compadres_oneway_reaches_servant_without_reply() {
     server.shutdown();
 }
 
+/// A servant whose every invocation takes a tangible amount of time.
+struct SlowServant(Duration);
+
+impl rtcorba::service::Servant for SlowServant {
+    fn invoke(&self, _operation: &str, _args: &[u8]) -> Result<Vec<u8>, String> {
+        std::thread::sleep(self.0);
+        Ok(Vec::new())
+    }
+}
+
 #[test]
-fn oneway_is_faster_than_twoway() {
-    let (reg, counter) = registry_with_counter();
+fn oneway_does_not_wait_for_the_servant() {
+    // Not a benchmark: racing 50 oneways against 50 twoways is pure
+    // noise on a loaded test host. Instead make each invocation cost an
+    // unmistakable 100 ms at the servant — a oneway that secretly waited
+    // for its reply would pay it, a real oneway returns immediately.
+    let step = Duration::from_millis(100);
+    let reg = ObjectRegistry::with_echo();
+    reg.register(b"slow".to_vec(), Arc::new(SlowServant(step)));
     let server = CompadresServer::spawn_tcp(reg).unwrap();
     let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
-    // Not a benchmark — just check the oneway path doesn't secretly wait.
+
     let t = Instant::now();
-    for _ in 0..50 {
-        client.invoke_oneway(b"count", "bump", &[]).unwrap();
+    for _ in 0..5 {
+        client.invoke_oneway(b"slow", "nap", &[]).unwrap();
     }
     let oneway_elapsed = t.elapsed();
-    wait_for(&counter, 50);
-    let t = Instant::now();
-    for _ in 0..50 {
-        client.invoke(b"count", "bump", &[]).unwrap();
-    }
-    let twoway_elapsed = t.elapsed();
     assert!(
-        oneway_elapsed < twoway_elapsed,
-        "oneway {oneway_elapsed:?} should undercut twoway {twoway_elapsed:?}"
+        oneway_elapsed < step * 5,
+        "5 oneways took {oneway_elapsed:?}: the client is waiting on the servant"
     );
+
+    // Sanity: a twoway on the same servant really does pay the nap.
+    let t = Instant::now();
+    client.invoke(b"slow", "nap", &[]).unwrap();
+    assert!(t.elapsed() >= step, "twoway must wait for the servant");
     server.shutdown();
 }
 

@@ -1,0 +1,23 @@
+//! Regression: the Compadres ORB's per-request scope churn must record
+//! in `rtmem_wedge_lifetime_ns` — one wedge release per invocation on
+//! the server's request-processing scope (companion to the core-level
+//! test in `compadres-core/tests/wedge_lifetime.rs`).
+
+use rtcorba::corb;
+
+#[test]
+fn orb_invocations_record_wedge_lifetimes() {
+    let (_server, client) = corb::loopback_echo_pair().unwrap();
+    for i in 0..10u8 {
+        client.invoke(b"echo", "echo", &[i]).unwrap();
+    }
+    let obs = client.app().observer();
+    let hist = obs.histogram("rtmem_wedge_lifetime_ns");
+    let snap = obs.hist_snapshot(hist);
+    assert!(
+        snap.count >= 10,
+        "10 invocations must record >= 10 wedge lifetimes, count = {}",
+        snap.count
+    );
+    assert!(snap.max > 0, "recorded lifetimes must be non-zero");
+}

@@ -51,6 +51,20 @@ pub enum EventKind {
     /// A worker thread inherited a message priority for the duration of
     /// a job. `subject` = pool entity, `payload` = inherited priority.
     PriorityInherit = 14,
+    /// A remote send/connect attempt failed and will be retried.
+    /// `subject` = remote-link entity, `payload` = backoff delay in
+    /// nanoseconds before the next attempt.
+    RemoteRetry = 15,
+    /// A remote connection was re-established after a failure.
+    /// `subject` = remote-link entity, `payload` = reconnects so far.
+    RemoteReconnect = 16,
+    /// A message was shed by the degradation policy (retry budget
+    /// exhausted or resend queue overflow). `subject` = remote-link
+    /// entity, `payload` = messages shed so far.
+    RemoteShed = 17,
+    /// A remote operation missed its deadline. `subject` = remote-link
+    /// entity, `payload` = the deadline in nanoseconds.
+    RemoteDeadlineMiss = 18,
 }
 
 impl EventKind {
@@ -72,6 +86,10 @@ impl EventKind {
             12 => EventKind::GiopRequest,
             13 => EventKind::GiopReply,
             14 => EventKind::PriorityInherit,
+            15 => EventKind::RemoteRetry,
+            16 => EventKind::RemoteReconnect,
+            17 => EventKind::RemoteShed,
+            18 => EventKind::RemoteDeadlineMiss,
             _ => return None,
         })
     }
@@ -93,6 +111,10 @@ impl EventKind {
             EventKind::GiopRequest => "giop.request",
             EventKind::GiopReply => "giop.reply",
             EventKind::PriorityInherit => "prio.inherit",
+            EventKind::RemoteRetry => "remote.retry",
+            EventKind::RemoteReconnect => "remote.reconnect",
+            EventKind::RemoteShed => "remote.shed",
+            EventKind::RemoteDeadlineMiss => "remote.deadline_miss",
         }
     }
 }

@@ -113,7 +113,7 @@ impl Observer {
     }
 
     /// Turns event/histogram recording on or off. Counters and gauges
-    /// keep counting either way — they back [`AppStats`]-style
+    /// keep counting either way — they back `AppStats`-style
     /// accounting that must stay truthful.
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);

@@ -26,6 +26,7 @@
 
 use std::time::Duration;
 
+pub mod fault;
 pub mod rng;
 pub mod sync;
 

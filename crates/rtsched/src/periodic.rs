@@ -204,7 +204,10 @@ mod tests {
         // Release error is non-negative by construction and small on an
         // idle host.
         assert!(s.max < Duration::from_millis(50));
-        assert_eq!(timer.overruns(), 0);
+        // A loaded test host can miss whole 5 ms periods (counted as
+        // overruns, not jitter); only a timer that overruns on most
+        // releases is broken.
+        assert!(timer.overruns() <= 4, "overruns = {}", timer.overruns());
     }
 
     #[test]

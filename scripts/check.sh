@@ -9,9 +9,21 @@ run() {
     "$@"
 }
 
-run cargo build --release --offline --workspace
+run cargo build --release --offline --workspace --examples
 run cargo test -q --offline --workspace
 run cargo fmt --all -- --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" run cargo doc --offline --no-deps --workspace
+
+# Binary-size report: embedded targets care about footprint, so keep the
+# release artefact sizes visible in every CI log (informational).
+echo "==> release binary sizes"
+for bin in target/release/examples/*; do
+    name="${bin##*/}"
+    # Skip dep-info files and cargo's hash-suffixed duplicates.
+    case "$name" in *-*|*.*) continue ;; esac
+    [ -f "$bin" ] && [ -x "$bin" ] || continue
+    printf '%10d KiB  %s\n' "$(($(stat -c %s "$bin") / 1024))" "$name"
+done | sort -k3
 
 echo "All checks passed."

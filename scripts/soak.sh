@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Tier-2 gate: fault-injection soak of the echo ORB.
+#
+# Runs examples/chaos_echo — the Compadres client invoking through a
+# seeded hostile link (drops, truncations, delays, disconnects) — and
+# asserts the fault-tolerance invariants hold:
+#
+#   * the run terminates (no wedged threads; a hang trips `timeout`);
+#   * the example's own asserts pass: bounded deadline-miss rate, no
+#     corrupted replies, fault path actually exercised;
+#   * retry/reconnect counters surface in App::metrics_text().
+#
+# Fixed seed => deterministic fault schedule => reproducible failures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SOAK_SECS="${SOAK_SECS:-30}"
+SEED="${SEED:-42}"
+# The soak must finish in soak-time plus compile-free slack; a run that
+# needs more than double its budget has a wedged thread somewhere.
+HARD_LIMIT=$((SOAK_SECS * 2 + 60))
+
+echo "==> building release artefacts"
+cargo build --release --offline --example chaos_echo --example orb_echo
+
+echo "==> clean-network baseline (sanity, 2s quiet run via orb_echo)"
+timeout 120 ./target/release/examples/orb_echo > /tmp/soak_baseline.log \
+    || { echo "baseline orb_echo failed"; cat /tmp/soak_baseline.log; exit 1; }
+tail -n 3 /tmp/soak_baseline.log
+
+echo "==> ${SOAK_SECS}s chaos soak, seed ${SEED}"
+if ! timeout "$HARD_LIMIT" \
+    ./target/release/examples/chaos_echo "$SOAK_SECS" "$SEED" > /tmp/soak_chaos.log
+then
+    status=$?
+    if [ "$status" -eq 124 ]; then
+        echo "FAIL: soak timed out after ${HARD_LIMIT}s — wedged thread"
+    else
+        echo "FAIL: chaos_echo exited with status $status"
+    fi
+    cat /tmp/soak_chaos.log
+    exit 1
+fi
+
+grep '^invocations=' /tmp/soak_chaos.log
+
+# The counters must be visible to operators via the metrics endpoint.
+for metric in remote_retries_total remote_reconnects_total \
+              remote_deadline_misses_total remote_retry_backoff_ns; do
+    grep -q "$metric" /tmp/soak_chaos.log \
+        || { echo "FAIL: $metric missing from metrics output"; exit 1; }
+done
+
+# Send-path regression guard: the message-passing benchmark must still
+# run cleanly with the fault layer compiled in. Numbers are reported for
+# the CI log, not asserted — CI boxes are too noisy for latency gates.
+if [ "${SOAK_BENCH:-1}" = "1" ]; then
+    echo "==> msgpass bench (clean network, informational)"
+    cargo bench --offline -p compadres-bench --bench msgpass
+fi
+
+echo "Soak passed."
