@@ -7,12 +7,15 @@
 //! dispatch avoids the queue + wakeup cost; asynchronous dispatch
 //! decouples the sender. The paper exposes both through the CCL.
 
-use std::sync::mpsc;
-use std::time::Duration;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use compadres_bench::harness::run;
+use compadres_bench::harness::{record, run, write_json_if_requested, Stats};
 
 use compadres_core::{App, AppBuilder, HandlerCtx, Priority};
+use rtsched::PriorityFifo;
 
 #[derive(Debug, Default, Clone)]
 struct Tick {
@@ -92,6 +95,227 @@ fn one_message(app: &App, rx: &mpsc::Receiver<u64>, seq: u64) {
     assert_eq!(got, seq);
 }
 
+/// Replica of the pre-conversion dispatch queue — one `Mutex<BinaryHeap>`
+/// plus a `Condvar` — kept here so the contended comparison against the
+/// lock-free `PriorityFifo` stays self-contained after the conversion.
+struct LockedQueue {
+    heap: Mutex<BinaryHeap<LockedEntry>>,
+    cond: Condvar,
+    closed: AtomicBool,
+    seq: AtomicU64,
+}
+
+struct LockedEntry {
+    priority: Priority,
+    seq: u64,
+    item: u64,
+}
+
+impl PartialEq for LockedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for LockedEntry {}
+impl PartialOrd for LockedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LockedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then FIFO (lower seq first).
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl LockedQueue {
+    fn new() -> Self {
+        LockedQueue {
+            heap: Mutex::new(BinaryHeap::new()),
+            cond: Condvar::new(),
+            closed: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, priority: Priority, item: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.heap.lock().unwrap().push(LockedEntry {
+            priority,
+            seq,
+            item,
+        });
+        self.cond.notify_one();
+    }
+
+    fn pop(&self) -> Option<u64> {
+        let mut heap = self.heap.lock().unwrap();
+        loop {
+            if let Some(e) = heap.pop() {
+                return Some(e.item);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            heap = self.cond.wait(heap).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.cond.notify_all();
+    }
+}
+
+const SESSION_PRODUCERS: usize = 4;
+const SESSION_WORKERS: usize = 4;
+const SESSION_MSGS_PER_PRODUCER: u64 = 5_000;
+const SESSION_TOTAL: u64 = SESSION_PRODUCERS as u64 * SESSION_MSGS_PER_PRODUCER;
+
+/// One contended dispatch session: 4 producer threads flood the queue,
+/// 4 persistent workers drain it; returns once every message has been
+/// processed. `spawn_workers` builds the worker threads once; `produce`
+/// runs inside each producer thread.
+fn contended_session(
+    name: &str,
+    iters: u32,
+    push: impl Fn(Priority, u64) + Send + Sync + 'static,
+    done: Arc<AtomicU64>,
+) -> Stats {
+    let push = Arc::new(push);
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        done.store(0, Ordering::SeqCst);
+        let t = Instant::now();
+        let producers: Vec<_> = (0..SESSION_PRODUCERS)
+            .map(|p| {
+                let push = Arc::clone(&push);
+                std::thread::spawn(move || {
+                    for i in 0..SESSION_MSGS_PER_PRODUCER {
+                        // Mixed priorities to exercise the band scan.
+                        push(Priority::new(10 + ((p as u64 + i) % 4) as u8), i);
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        while done.load(Ordering::SeqCst) < SESSION_TOTAL {
+            std::thread::yield_now();
+        }
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    let total: Duration = samples.iter().sum();
+    let s = Stats {
+        iters,
+        mean: total / iters.max(1),
+        p50: samples[samples.len() / 2],
+        p99: samples[(samples.len() * 99 / 100).min(samples.len() - 1)],
+        min: samples[0],
+        max: samples[samples.len() - 1],
+    };
+    let per_msg = s.p50.as_nanos() as f64 / SESSION_TOTAL as f64;
+    let throughput = SESSION_TOTAL as f64 / s.p50.as_secs_f64();
+    println!(
+        "{name:<44} {per_msg:>9.1} ns/msg  {throughput:>12.0} msg/s  (p50 of {iters} sessions of {SESSION_TOTAL} msgs)"
+    );
+    record(name, &s);
+    s
+}
+
+fn bench_locked_session(iters: u32) -> Stats {
+    let q = Arc::new(LockedQueue::new());
+    let done = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..SESSION_WORKERS)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                while let Some(item) = q.pop() {
+                    std::hint::black_box(item);
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    let q2 = Arc::clone(&q);
+    let s = contended_session(
+        "contended 4p/4w locked baseline",
+        iters,
+        move |prio, item| q2.push(prio, item),
+        done,
+    );
+    q.close();
+    for w in workers {
+        w.join().unwrap();
+    }
+    s
+}
+
+fn bench_lockfree_session(iters: u32) -> Stats {
+    let q: Arc<PriorityFifo<u64>> = Arc::new(PriorityFifo::new());
+    let done = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..SESSION_WORKERS)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || loop {
+                let batch = q.pop_batch(8);
+                if batch.is_empty() {
+                    break;
+                }
+                let n = batch.len() as u64;
+                for (_, item) in batch {
+                    std::hint::black_box(item);
+                }
+                done.fetch_add(n, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    let q2 = Arc::clone(&q);
+    let s = contended_session(
+        "contended 4p/4w lock-free rings",
+        iters,
+        move |prio, item| {
+            q2.push(prio, item);
+        },
+        done,
+    );
+    q.close();
+    for w in workers {
+        w.join().unwrap();
+    }
+    s
+}
+
+/// Latency side of the queue conversion: a single-producer /
+/// single-worker ping-pong through two `PriorityFifo`s, no app
+/// machinery. Measures the idle-queue handoff cost the spin-then-park
+/// policy is tuned around.
+fn bench_queue_roundtrip(iters: u32) {
+    let q: Arc<PriorityFifo<u64>> = Arc::new(PriorityFifo::new());
+    let r: Arc<PriorityFifo<u64>> = Arc::new(PriorityFifo::new());
+    let (q2, r2) = (Arc::clone(&q), Arc::clone(&r));
+    let w = std::thread::spawn(move || {
+        while let Some((_, v)) = q2.pop() {
+            r2.push(Priority::NORM, v);
+        }
+    });
+    let mut seq = 0u64;
+    run("queue roundtrip 1p/1w", iters, || {
+        q.push(Priority::NORM, seq);
+        assert_eq!(r.pop().unwrap().1, seq);
+        seq += 1;
+    });
+    q.close();
+    w.join().unwrap();
+}
+
 fn main() {
     println!("== dispatch: synchronous vs asynchronous port dispatch ==");
 
@@ -111,4 +335,15 @@ fn main() {
         seq += 1;
         one_message(&async_app, &async_rx, seq);
     });
+
+    println!("== dispatch: queue round-trip, idle handoff ==");
+    bench_queue_roundtrip(5_000);
+
+    println!("== dispatch: contended queue, 4 producers x 4 workers ==");
+    let locked = bench_locked_session(20);
+    let lockfree = bench_lockfree_session(20);
+    let speedup = locked.p50.as_secs_f64() / lockfree.p50.as_secs_f64();
+    println!("lock-free speedup over locked baseline: {speedup:.2}x (p50 session time)");
+
+    write_json_if_requested();
 }

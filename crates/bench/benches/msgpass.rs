@@ -13,7 +13,7 @@
 
 use std::hint::black_box;
 
-use compadres_bench::harness::run_batched;
+use compadres_bench::harness::{run_batched, write_json_if_requested};
 use compadres_core::smm::{pass_handoff, pass_serialized, pass_shared};
 use rtmem::{Ctx, MemoryModel, RegionId, Wedge};
 
@@ -94,4 +94,6 @@ fn main() {
             .unwrap();
         });
     }
+
+    write_json_if_requested();
 }

@@ -222,6 +222,7 @@ pub fn us(d: Duration) -> String {
 /// Minimal dependency-free timing harness used by the `benches/`
 /// binaries (`cargo bench` runs them with `harness = false`).
 pub mod harness {
+    use std::sync::Mutex;
     use std::time::{Duration, Instant};
 
     /// Summary of one benchmark case.
@@ -233,11 +234,17 @@ pub mod harness {
         pub mean: Duration,
         /// Median per-iteration time.
         pub p50: Duration,
+        /// 99th-percentile per-iteration time.
+        pub p99: Duration,
         /// Fastest iteration.
         pub min: Duration,
         /// Slowest iteration.
         pub max: Duration,
     }
+
+    /// Every case recorded by this process, for the machine-readable
+    /// dump ([`write_json_if_requested`]).
+    static RECORDED: Mutex<Vec<(String, Stats)>> = Mutex::new(Vec::new());
 
     fn summarize(mut samples: Vec<Duration>) -> Stats {
         samples.sort();
@@ -247,6 +254,7 @@ pub mod harness {
             iters,
             mean: total / iters.max(1),
             p50: samples[samples.len() / 2],
+            p99: samples[(samples.len() * 99 / 100).min(samples.len() - 1)],
             min: samples[0],
             max: samples[samples.len() - 1],
         }
@@ -254,13 +262,54 @@ pub mod harness {
 
     fn print(name: &str, s: &Stats) {
         println!(
-            "{name:<44} {:>9.2} us/iter  p50 {:>9.2}  min {:>9.2}  max {:>9.2}  ({} iters)",
+            "{name:<44} {:>9.2} us/iter  p50 {:>9.2}  p99 {:>9.2}  min {:>9.2}  max {:>9.2}  ({} iters)",
             s.mean.as_nanos() as f64 / 1e3,
             s.p50.as_nanos() as f64 / 1e3,
+            s.p99.as_nanos() as f64 / 1e3,
             s.min.as_nanos() as f64 / 1e3,
             s.max.as_nanos() as f64 / 1e3,
             s.iters
         );
+    }
+
+    /// Registers a case for the JSON dump. `run`/`run_batched` call
+    /// this automatically; benches that compute derived figures (e.g.
+    /// throughput sessions) may record extra cases directly.
+    pub fn record(name: &str, s: &Stats) {
+        RECORDED.lock().unwrap().push((name.to_string(), *s));
+    }
+
+    /// Writes every recorded case as a JSON array to the path in the
+    /// `BENCH_JSON` environment variable, if set. Call at the end of a
+    /// bench `main`. Fields are integer nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (benches want loud failure).
+    pub fn write_json_if_requested() {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        let cases = RECORDED.lock().unwrap();
+        let mut out = String::from("[\n");
+        for (i, (name, s)) in cases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                name.replace('"', "'"),
+                s.iters,
+                s.mean.as_nanos(),
+                s.p50.as_nanos(),
+                s.p99.as_nanos(),
+                s.min.as_nanos(),
+                s.max.as_nanos()
+            ));
+        }
+        out.push_str("\n]\n");
+        std::fs::write(&path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("bench JSON written to {path}");
     }
 
     /// Times `f` for `iters` iterations after a 10% warmup, printing and
@@ -277,6 +326,7 @@ pub mod harness {
         }
         let s = summarize(samples);
         print(name, &s);
+        record(name, &s);
         s
     }
 
@@ -298,6 +348,7 @@ pub mod harness {
         }
         let s = summarize(samples);
         print(name, &s);
+        record(name, &s);
         s
     }
 }

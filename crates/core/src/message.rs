@@ -11,10 +11,17 @@ use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use rtplatform::sync::Mutex;
+use rtplatform::atomic::current_shard;
+use rtplatform::ring::MpmcRing;
 
 use crate::error::{CompadresError, Result};
 use rtsched::Priority;
+
+/// Free-list shards per pool. Each producer thread recycles into (and
+/// takes from) its own shard first, so concurrent senders stop
+/// contending on one lock-protected `Vec`; misses steal from the other
+/// shards before falling back to the factory.
+const POOL_SHARDS: usize = 4;
 
 /// A message that can travel through ports.
 ///
@@ -47,7 +54,11 @@ pub struct MessagePool<M: Message> {
 }
 
 struct PoolInner<M: Message> {
-    free: Mutex<Vec<Box<M>>>,
+    /// Per-producer-shard lock-free free lists; combined physical
+    /// capacity covers the whole pool, so a recycle only drops its
+    /// message when every shard is full (which cannot happen while
+    /// outstanding + free ≤ capacity holds).
+    free: Vec<MpmcRing<Box<M>>>,
     capacity: usize,
     outstanding: AtomicUsize,
     message_type: String,
@@ -99,9 +110,10 @@ impl<M: Message> MessagePool<M> {
             }
             None => None,
         };
+        let per_shard = capacity.div_ceil(POOL_SHARDS).max(1);
         Ok(MessagePool {
             inner: Arc::new(PoolInner {
-                free: Mutex::new(Vec::with_capacity(capacity)),
+                free: (0..POOL_SHARDS).map(|_| MpmcRing::new(per_shard)).collect(),
                 capacity,
                 outstanding: AtomicUsize::new(0),
                 message_type: message_type.into(),
@@ -146,18 +158,43 @@ impl<M: Message> MessagePool<M> {
 
 impl<M: Message> PoolInner<M> {
     fn take(&self) -> Option<Box<M>> {
-        let mut free = self.free.lock();
-        if let Some(mut m) = free.pop() {
-            self.outstanding.fetch_add(1, Ordering::Relaxed);
-            m.reset();
-            return Some(m);
+        // Home shard first, then steal round-robin from the rest.
+        let home = current_shard(POOL_SHARDS);
+        for i in 0..POOL_SHARDS {
+            if let Some(mut m) = self.free[(home + i) % POOL_SHARDS].pop() {
+                self.outstanding.fetch_add(1, Ordering::SeqCst);
+                m.reset();
+                return Some(m);
+            }
         }
-        drop(free);
-        if self.outstanding.load(Ordering::Relaxed) >= self.capacity {
-            return None;
+        // Nothing pooled: admit a fresh message iff a capacity slot is
+        // free, claimed exactly via CAS (no over-admission race).
+        loop {
+            let cur = self.outstanding.load(Ordering::SeqCst);
+            if cur >= self.capacity {
+                return None;
+            }
+            if self
+                .outstanding
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Some(Box::new((self.factory)()));
+            }
         }
-        self.outstanding.fetch_add(1, Ordering::Relaxed);
-        Some(Box::new((self.factory)()))
+    }
+
+    fn put_back(&self, msg: Box<M>) {
+        let home = current_shard(POOL_SHARDS);
+        let mut msg = msg;
+        for i in 0..POOL_SHARDS {
+            match self.free[(home + i) % POOL_SHARDS].push(msg) {
+                Ok(()) => return,
+                Err(back) => msg = back,
+            }
+        }
+        // Every shard full: the pool already retains `capacity` free
+        // messages, so this one can be dropped for real.
     }
 }
 
@@ -168,11 +205,8 @@ impl<M: Message> AnyPool for PoolInner<M> {
 
     fn recycle_any(&self, msg: Box<dyn Any + Send>) {
         if let Ok(typed) = msg.downcast::<M>() {
-            self.outstanding.fetch_sub(1, Ordering::Relaxed);
-            let mut free = self.free.lock();
-            if free.len() < self.capacity {
-                free.push(typed);
-            }
+            self.outstanding.fetch_sub(1, Ordering::SeqCst);
+            self.put_back(typed);
         }
     }
 
@@ -347,6 +381,50 @@ mod tests {
         let env = m.into_envelope(Priority::NORM);
         drop(env);
         assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn sharded_pool_bounds_creation_under_contention() {
+        // 4 threads hammer get/recycle; the CAS admission means the
+        // factory never over-creates and capacity is never exceeded.
+        let created = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&created);
+        let pool = MessagePool::<MyInteger>::new(
+            "MyInteger",
+            8,
+            move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+                MyInteger::default()
+            },
+            None,
+        )
+        .unwrap();
+        let iters = if cfg!(miri) { 50 } else { 20_000 };
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        if let Ok(mut m) = pool.get_message() {
+                            m.value += 1;
+                        } // recycled on drop
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(pool.outstanding(), 0);
+        assert!(
+            created.load(Ordering::SeqCst) <= 8,
+            "factory ran {} times for capacity 8",
+            created.load(Ordering::SeqCst)
+        );
+        // Pool still functional and bounded afterwards.
+        let keep: Vec<_> = (0..8).map(|_| pool.get_message().unwrap()).collect();
+        assert!(pool.get_message().is_err(), "capacity exactly enforced");
+        drop(keep);
     }
 
     // Only the size matters (accounting tests); the field is never read.

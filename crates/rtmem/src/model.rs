@@ -515,8 +515,12 @@ impl ModelInner {
             }
             if let Some(freed) = reclaimed {
                 o.obs.inc(o.reclaims);
+                // Steady-state reclaims happen once per message pass, so
+                // the timestamped journal entry is detail-level; the
+                // counter above stays truthful either way. (Destroy-path
+                // reclaims are cold and always journaled.)
                 o.obs
-                    .record(EventKind::ScopeReclaim, region.index, freed as u64);
+                    .record_verbose(EventKind::ScopeReclaim, region.index, freed as u64);
             }
         }
         if let Some(parent) = detach {

@@ -5,14 +5,115 @@
 //! a pool of `LTMemory` areas created once (paying the linear-time zeroing
 //! up front) and recycled at runtime (paper Section 2.2). Ablation A3
 //! measures the win over fresh creation.
+//!
+//! Since the lock-free conversion (DESIGN.md §5e) the free list is a
+//! Treiber stack over the pool's preallocated slot indices: `acquire`
+//! and lease drop are CAS loops that never block, and
+//! [`ScopePool::available`] is a single atomic load. The stack head
+//! packs a 32-bit ABA tag next to the 32-bit slot index — slot indices
+//! are preallocated and recycled forever, so an untagged head could see
+//! A→B→A between a reader's load and its CAS.
 
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-
-use rtplatform::sync::Mutex;
 
 use crate::error::{Result, RtmemError};
 use crate::model::MemoryModel;
 use crate::region::RegionId;
+
+/// Sentinel slot index: empty stack / end of list.
+const NIL: u32 = u32::MAX;
+
+/// Lock-free LIFO of slot indices (Treiber stack with ABA tag).
+struct FreeStack {
+    /// `tag << 32 | index`; the tag increments on every successful CAS.
+    head: AtomicU64,
+    /// Per-slot next pointer (slot index or [`NIL`]). A slot's next is
+    /// only written by the thread that currently owns the slot (it is
+    /// either freshly popped or being pushed), so plain stores suffice.
+    next: Box<[AtomicU32]>,
+    /// Number of slots currently in the stack. Maintained with
+    /// wait-free `fetch_add`/`fetch_sub` beside the CAS loops; it may
+    /// momentarily lag the structure by one during a push/pop, which is
+    /// fine for a statistics read.
+    len: AtomicUsize,
+}
+
+fn pack(tag: u32, index: u32) -> u64 {
+    (u64::from(tag) << 32) | u64::from(index)
+}
+
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+impl FreeStack {
+    /// Builds a stack holding every slot in `0..slots`.
+    fn full(slots: usize) -> FreeStack {
+        let next: Box<[AtomicU32]> = (0..slots)
+            .map(|i| {
+                // Slot i links to i+1; the last links to NIL.
+                AtomicU32::new(if i + 1 < slots { (i + 1) as u32 } else { NIL })
+            })
+            .collect();
+        FreeStack {
+            head: AtomicU64::new(pack(0, if slots == 0 { NIL } else { 0 })),
+            next,
+            len: AtomicUsize::new(slots),
+        }
+    }
+
+    fn pop(&self) -> Option<u32> {
+        loop {
+            let cur = self.head.load(Ordering::SeqCst);
+            let (tag, idx) = unpack(cur);
+            if idx == NIL {
+                return None;
+            }
+            let nxt = self.next[idx as usize].load(Ordering::SeqCst);
+            if self
+                .head
+                .compare_exchange(
+                    cur,
+                    pack(tag.wrapping_add(1), nxt),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                return Some(idx);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn push(&self, idx: u32) {
+        loop {
+            let cur = self.head.load(Ordering::SeqCst);
+            let (tag, top) = unpack(cur);
+            self.next[idx as usize].store(top, Ordering::SeqCst);
+            if self
+                .head
+                .compare_exchange(
+                    cur,
+                    pack(tag.wrapping_add(1), idx),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                self.len.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+}
 
 /// A pool of same-sized scoped regions for one scope level.
 ///
@@ -37,7 +138,10 @@ struct PoolInner {
     model: MemoryModel,
     level: u32,
     scope_size: usize,
-    free: Mutex<Vec<RegionId>>,
+    /// The pooled regions, fixed at construction; the free stack and
+    /// leases refer to them by slot index.
+    slots: Box<[RegionId]>,
+    free: FreeStack,
     capacity: usize,
     /// Observer hook, resolved at pool construction when the model
     /// already carries an observer: (entity id, leased-scopes gauge).
@@ -62,7 +166,7 @@ impl std::fmt::Debug for ScopePool {
             .field("level", &self.inner.level)
             .field("scope_size", &self.inner.scope_size)
             .field("capacity", &self.inner.capacity)
-            .field("free", &self.inner.free.lock().len())
+            .field("free", &self.inner.free.len())
             .finish()
     }
 }
@@ -77,10 +181,9 @@ impl ScopePool {
         scope_size: usize,
         pool_size: usize,
     ) -> Result<ScopePool> {
-        let mut free = Vec::with_capacity(pool_size);
-        for _ in 0..pool_size {
-            free.push(model.create_pooled(scope_size));
-        }
+        let slots: Box<[RegionId]> = (0..pool_size)
+            .map(|_| model.create_pooled(scope_size))
+            .collect();
         let obs = model.inner.obs().map(|o| {
             (
                 o.obs.register_entity(&format!("scope-pool:L{level}")),
@@ -92,7 +195,8 @@ impl ScopePool {
                 model: model.clone(),
                 level,
                 scope_size,
-                free: Mutex::new(free),
+                free: FreeStack::full(slots.len()),
+                slots,
                 capacity: pool_size,
                 obs,
             }),
@@ -114,40 +218,66 @@ impl ScopePool {
         self.inner.capacity
     }
 
-    /// Number of scopes currently available.
+    /// Number of scopes currently available. A single atomic load —
+    /// never blocks, even while other threads acquire or release.
     pub fn available(&self) -> usize {
-        self.inner.free.lock().len()
+        self.inner.free.len()
     }
 
-    /// Takes a scope from the pool.
+    /// Takes a scope from the pool. Lock-free: a CAS loop against the
+    /// free stack, no mutex anywhere on the path.
     ///
     /// # Errors
     ///
     /// [`RtmemError::PoolExhausted`] when every pooled scope is leased out.
     pub fn acquire(&self) -> Result<ScopeLease> {
-        let mut free = self.inner.free.lock();
         // Skip any scope that is somehow still pinned (e.g. a lease was
-        // dropped while a wedge remained); rotate it to the back.
-        for _ in 0..free.len() {
-            let id = free.remove(0);
+        // dropped while a wedge remained) by setting it aside and
+        // pushing it back when done. Bounded by capacity pops.
+        let mut deferred: [u32; 8] = [NIL; 8];
+        let mut deferred_n = 0usize;
+        let mut got = None;
+        for _ in 0..self.inner.capacity {
+            let Some(slot) = self.inner.free.pop() else {
+                break;
+            };
+            let id = self.inner.slots[slot as usize];
             match self.inner.model.snapshot(id) {
                 Ok(s) if s.entered == 0 && s.pins == 0 && s.parent.is_none() => {
-                    let leased = (self.inner.capacity - free.len()) as u64;
-                    drop(free);
-                    self.inner
-                        .record_lease_change(rtobs::EventKind::PoolAcquire, leased);
-                    return Ok(ScopeLease {
-                        pool: Arc::clone(&self.inner),
-                        region: id,
-                    });
+                    got = Some(slot);
+                    break;
                 }
-                Ok(_) => free.push(id),
+                Ok(_) => {
+                    if deferred_n < deferred.len() {
+                        deferred[deferred_n] = slot;
+                        deferred_n += 1;
+                    } else {
+                        // Pathological pin pile-up: return it now and
+                        // stop scanning rather than grow a buffer.
+                        self.inner.free.push(slot);
+                        break;
+                    }
+                }
                 Err(_) => { /* destroyed externally; drop it from the pool */ }
             }
         }
-        Err(RtmemError::PoolExhausted {
-            level: self.inner.level,
-        })
+        for &slot in &deferred[..deferred_n] {
+            self.inner.free.push(slot);
+        }
+        match got {
+            Some(slot) => {
+                let leased = (self.inner.capacity - self.inner.free.len()) as u64;
+                self.inner
+                    .record_lease_change(rtobs::EventKind::PoolAcquire, leased);
+                Ok(ScopeLease {
+                    pool: Arc::clone(&self.inner),
+                    slot,
+                })
+            }
+            None => Err(RtmemError::PoolExhausted {
+                level: self.inner.level,
+            }),
+        }
     }
 }
 
@@ -161,8 +291,10 @@ impl Clone for ScopePool {
 
 impl Drop for PoolInner {
     fn drop(&mut self) {
-        for id in self.free.lock().drain(..) {
-            let _ = self.model.destroy_pooled(id);
+        // No leases can be outstanding (each holds an Arc to us), so
+        // everything still pooled is in the free stack.
+        while let Some(slot) = self.free.pop() {
+            let _ = self.model.destroy_pooled(self.slots[slot as usize]);
         }
     }
 }
@@ -176,29 +308,26 @@ impl Drop for PoolInner {
 /// leaves, and the pool skips it until then.
 pub struct ScopeLease {
     pool: Arc<PoolInner>,
-    region: RegionId,
+    slot: u32,
 }
 
 impl std::fmt::Debug for ScopeLease {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ScopeLease({:?})", self.region)
+        write!(f, "ScopeLease({:?})", self.region())
     }
 }
 
 impl ScopeLease {
     /// The leased region.
     pub fn region(&self) -> RegionId {
-        self.region
+        self.pool.slots[self.slot as usize]
     }
 }
 
 impl Drop for ScopeLease {
     fn drop(&mut self) {
-        let leased = {
-            let mut free = self.pool.free.lock();
-            free.push(self.region);
-            (self.pool.capacity - free.len()) as u64
-        };
+        self.pool.free.push(self.slot);
+        let leased = (self.pool.capacity - self.pool.free.len()) as u64;
         self.pool
             .record_lease_change(rtobs::EventKind::PoolRelease, leased);
     }
@@ -274,5 +403,53 @@ mod tests {
         let pool = ScopePool::new(&m, 1, 256, 1).unwrap();
         let lease = pool.acquire().unwrap();
         assert!(m.destroy_scoped(lease.region()).is_err());
+    }
+
+    #[test]
+    fn free_stack_is_lifo_and_tagged() {
+        let s = FreeStack::full(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.pop(), Some(0));
+        assert_eq!(s.pop(), Some(1));
+        s.push(0);
+        assert_eq!(s.pop(), Some(0), "LIFO reuse");
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.len(), 0);
+        let (tag, _) = unpack(s.head.load(Ordering::SeqCst));
+        // 4 pops + 1 push succeeded; the empty pop never CASes.
+        assert_eq!(tag, 5, "every successful CAS bumps the ABA tag");
+    }
+
+    #[test]
+    fn concurrent_acquire_release_never_double_leases() {
+        use std::sync::atomic::AtomicBool;
+        let m = MemoryModel::new();
+        let pool = ScopePool::new(&m, 1, 512, 4).unwrap();
+        let in_use: Arc<[AtomicBool]> = (0..4).map(|_| AtomicBool::new(false)).collect();
+        let iters = if cfg!(miri) { 50 } else { 20_000 };
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                let in_use = Arc::clone(&in_use);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        if let Ok(lease) = pool.acquire() {
+                            let slot = lease.slot as usize;
+                            assert!(
+                                !in_use[slot].swap(true, Ordering::SeqCst),
+                                "slot {slot} leased twice"
+                            );
+                            in_use[slot].store(false, Ordering::SeqCst);
+                            drop(lease);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(pool.available(), 4, "all scopes returned");
     }
 }

@@ -120,11 +120,12 @@ impl Observer {
     }
 
     /// Whether high-frequency detail events (per-entry scope
-    /// enter/exit) are recorded. Off by default: a scope entry costs a
-    /// few hundred nanoseconds of real work, so stamping and journaling
-    /// every one would not fit the <5% overhead budget on the
-    /// message-passing hot path. Lifecycle events (reclaims, pool
-    /// leases, port and handler events) are always recorded.
+    /// enter/exit, per-exit scope reclaims) are recorded. Off by
+    /// default: a scope entry costs a few hundred nanoseconds of real
+    /// work, so stamping and journaling every one would not fit the <5%
+    /// overhead budget on the message-passing hot path. Cold lifecycle
+    /// events (scope destruction, pool leases, port and handler events)
+    /// are always recorded.
     #[inline]
     pub fn verbose(&self) -> bool {
         self.enabled() && self.verbose.load(Ordering::Relaxed)

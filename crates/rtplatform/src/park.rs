@@ -1,0 +1,162 @@
+//! Futex-style spin-then-park gate for the blocking slow paths of the
+//! lock-free queues.
+//!
+//! The lock-free structures (`MpmcRing`-based buffers and priority
+//! queues) never block on their hot path; when a *blocking* API needs
+//! to wait (consumer on empty, producer on full), it spins briefly and
+//! then parks here. The gate's contract avoids lost wakeups with the
+//! classic Dekker-style handshake:
+//!
+//! * the waiter registers itself (SeqCst RMW on the waiter count)
+//!   **before** re-checking the queue state, and re-checks again under
+//!   the gate mutex before sleeping;
+//! * the producer publishes its element (release store) and then runs
+//!   a SeqCst fence before loading the waiter count, so either it sees
+//!   the waiter (and notifies under the mutex) or the waiter's
+//!   re-check sees the element.
+//!
+//! The uncontended producer path is a fence plus one relaxed load — it
+//! never touches the mutex unless someone is actually parked.
+
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::sync::{Condvar, Mutex};
+
+/// One parking spot: waiter count + mutex/condvar, plus a counter of
+/// park transitions for observability.
+#[derive(Debug, Default)]
+pub struct Gate {
+    lock: Mutex<()>,
+    cond: Condvar,
+    waiters: AtomicUsize,
+    parks: AtomicU64,
+}
+
+/// Why [`Gate::wait`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// `ready` became true (possibly without ever sleeping).
+    Ready,
+    /// The deadline passed first.
+    TimedOut,
+}
+
+impl Gate {
+    /// Creates a gate.
+    pub const fn new() -> Gate {
+        Gate {
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+            parks: AtomicU64::new(0),
+        }
+    }
+
+    /// Parks the calling thread until `ready()` returns true or the
+    /// deadline passes. `ready` is polled under the gate mutex, so it
+    /// should be cheap (an atomic probe); the caller performs the real
+    /// state transition after `wait` returns.
+    pub fn wait(&self, deadline: Option<Instant>, mut ready: impl FnMut() -> bool) -> WaitOutcome {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        let mut g = self.lock.lock();
+        let outcome = loop {
+            if ready() {
+                break WaitOutcome::Ready;
+            }
+            match deadline {
+                None => self.cond.wait(&mut g),
+                Some(d) => {
+                    if Instant::now() >= d || self.cond.wait_until(&mut g, d).timed_out() {
+                        break if ready() {
+                            WaitOutcome::Ready
+                        } else {
+                            WaitOutcome::TimedOut
+                        };
+                    }
+                }
+            }
+        };
+        drop(g);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        outcome
+    }
+
+    /// Wakes one parked thread if any thread is (or is about to be)
+    /// parked. Call after publishing the state change the waiter polls.
+    pub fn notify_one(&self) {
+        fence(Ordering::SeqCst);
+        if self.waiters.load(Ordering::Relaxed) > 0 {
+            // Empty critical section: a waiter between its `ready`
+            // check and `cond.wait` holds the mutex, so acquiring it
+            // here orders this notify after that waiter sleeps.
+            drop(self.lock.lock());
+            self.cond.notify_one();
+        }
+    }
+
+    /// Wakes every parked thread (shutdown/close paths).
+    pub fn notify_all(&self) {
+        drop(self.lock.lock());
+        self.cond.notify_all();
+    }
+
+    /// Number of times any thread parked on this gate.
+    pub fn park_count(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wakes_parked_waiter() {
+        let gate = Arc::new(Gate::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (g2, f2) = (Arc::clone(&gate), Arc::clone(&flag));
+        let h = std::thread::spawn(move || g2.wait(None, || f2.load(Ordering::SeqCst)));
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::SeqCst);
+        gate.notify_one();
+        assert_eq!(h.join().unwrap(), WaitOutcome::Ready);
+        assert!(gate.park_count() >= 1);
+    }
+
+    #[test]
+    fn times_out() {
+        let gate = Gate::new();
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert_eq!(gate.wait(Some(deadline), || false), WaitOutcome::TimedOut);
+    }
+
+    #[test]
+    fn notify_without_waiters_is_cheap_noop() {
+        let gate = Gate::new();
+        gate.notify_one();
+        gate.notify_all();
+        assert_eq!(gate.park_count(), 0);
+    }
+
+    #[test]
+    fn no_lost_wakeup_under_races() {
+        // Hammer the handshake: a waiter waits for a token, a producer
+        // publishes it and notifies. Any lost wakeup deadlocks (and
+        // trips the test harness timeout).
+        let rounds = if cfg!(miri) { 10 } else { 500 };
+        for _ in 0..rounds {
+            let gate = Arc::new(Gate::new());
+            let flag = Arc::new(AtomicBool::new(false));
+            let (g2, f2) = (Arc::clone(&gate), Arc::clone(&flag));
+            let h = std::thread::spawn(move || g2.wait(None, || f2.load(Ordering::SeqCst)));
+            flag.store(true, Ordering::SeqCst);
+            gate.notify_one();
+            assert_eq!(h.join().unwrap(), WaitOutcome::Ready);
+        }
+    }
+}

