@@ -1,0 +1,193 @@
+//! Golden-file test pinning the compiler's plan and DOT output on a
+//! *deep* assembly: three nested scope levels with pools at every
+//! level, all three link kinds (internal, external, compiler-detected
+//! shadow), per-port attribute overrides, and unconnected boundary
+//! ports (the in-port a deployment would export to remote clients via
+//! `PortExporter`). The existing goldens only cover shallow graphs;
+//! this pins the nested-cluster and scope-annotation formatting.
+
+use compadres_compiler::{render_dot, render_plan};
+
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Hub</ComponentName>
+    <Port><PortName>dispatch</PortName><PortType>Out</PortType><MessageType>Cmd</MessageType></Port>
+    <Port><PortName>collect</PortName><PortType>In</PortType><MessageType>Sample</MessageType></Port>
+    <Port><PortName>remoteIn</PortName><PortType>In</PortType><MessageType>Sample</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Stage</ComponentName>
+    <Port><PortName>cmdIn</PortName><PortType>In</PortType><MessageType>Cmd</MessageType></Port>
+    <Port><PortName>cmdOut</PortName><PortType>Out</PortType><MessageType>Cmd</MessageType></Port>
+    <Port><PortName>sampleIn</PortName><PortType>In</PortType><MessageType>Sample</MessageType></Port>
+    <Port><PortName>sampleOut</PortName><PortType>Out</PortType><MessageType>Sample</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Probe</ComponentName>
+    <Port><PortName>probeIn</PortName><PortType>In</PortType><MessageType>Sample</MessageType></Port>
+    <Port><PortName>probeOut</PortName><PortType>Out</PortType><MessageType>Sample</MessageType></Port>
+  </Component>
+</Components>"#;
+
+const CCL: &str = r#"
+<Application>
+  <ApplicationName>DeepStation</ApplicationName>
+  <Component>
+    <InstanceName>station</InstanceName>
+    <ClassName>Hub</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port>
+        <PortName>dispatch</PortName>
+        <Link><PortType>Internal</PortType><ToComponent>pipeline</ToComponent><ToPort>cmdIn</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>pipeline</InstanceName>
+      <ClassName>Stage</ClassName>
+      <ComponentType>Scoped</ComponentType>
+      <ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port>
+          <PortName>cmdIn</PortName>
+          <PortAttributes>
+            <BufferSize>32</BufferSize>
+            <Threadpool>Dedicated</Threadpool>
+            <MinThreadpoolSize>2</MinThreadpoolSize>
+            <MaxThreadpoolSize>6</MaxThreadpoolSize>
+          </PortAttributes>
+        </Port>
+        <Port>
+          <PortName>cmdOut</PortName>
+          <Link><PortType>Internal</PortType><ToComponent>filter</ToComponent><ToPort>cmdIn</ToPort></Link>
+        </Port>
+        <Port>
+          <PortName>sampleOut</PortName>
+          <Link><PortType>External</PortType><ToComponent>monitor</ToComponent><ToPort>probeIn</ToPort></Link>
+        </Port>
+      </Connection>
+      <Component>
+        <InstanceName>filter</InstanceName>
+        <ClassName>Stage</ClassName>
+        <ComponentType>Scoped</ComponentType>
+        <ScopeLevel>2</ScopeLevel>
+        <Connection>
+          <Port>
+            <PortName>cmdIn</PortName>
+            <PortAttributes>
+              <BufferSize>4</BufferSize>
+              <Threadpool>Synchronous</Threadpool>
+              <MinThreadpoolSize>0</MinThreadpoolSize>
+              <MaxThreadpoolSize>0</MaxThreadpoolSize>
+            </PortAttributes>
+          </Port>
+        </Connection>
+        <Component>
+          <InstanceName>deep</InstanceName>
+          <ClassName>Probe</ClassName>
+          <ComponentType>Scoped</ComponentType>
+          <ScopeLevel>3</ScopeLevel>
+          <Connection>
+            <Port>
+              <PortName>probeOut</PortName>
+              <Link><ToComponent>station</ToComponent><ToPort>collect</ToPort></Link>
+            </Port>
+          </Connection>
+        </Component>
+      </Component>
+    </Component>
+    <Component>
+      <InstanceName>monitor</InstanceName>
+      <ClassName>Probe</ClassName>
+      <ComponentType>Scoped</ComponentType>
+      <ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port>
+          <PortName>probeIn</PortName>
+          <PortAttributes>
+            <BufferSize>8</BufferSize>
+            <Threadpool>Shared</Threadpool>
+            <MinThreadpoolSize>1</MinThreadpoolSize>
+            <MaxThreadpoolSize>2</MaxThreadpoolSize>
+          </PortAttributes>
+        </Port>
+      </Connection>
+    </Component>
+  </Component>
+  <RTSJAttributes>
+    <ImmortalSize>8388608</ImmortalSize>
+    <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>65536</ScopeSize><PoolSize>4</PoolSize></ScopedPool>
+    <ScopedPool><ScopeLevel>2</ScopeLevel><ScopeSize>32768</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+    <ScopedPool><ScopeLevel>3</ScopeLevel><ScopeSize>16384</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+  </RTSJAttributes>
+</Application>"#;
+
+fn parse() -> (compadres_core::Cdl, compadres_core::Ccl) {
+    (
+        compadres_core::parse_cdl(CDL).unwrap(),
+        compadres_core::parse_ccl(CCL).unwrap(),
+    )
+}
+
+fn diff_against(generated: &str, golden: &str, path: &str) {
+    if generated == golden {
+        return;
+    }
+    for (i, (g, e)) in generated.lines().zip(golden.lines()).enumerate() {
+        if g != e {
+            panic!(
+                "output drifted at line {}:\n  generated: {g}\n  golden:    {e}\n(update {path} if intentional)",
+                i + 1
+            );
+        }
+    }
+    panic!(
+        "output length drifted: generated {} lines, golden {} lines (update {path} if intentional)",
+        generated.lines().count(),
+        golden.lines().count()
+    );
+}
+
+#[test]
+fn deep_assembly_plan_matches_golden() {
+    let (cdl, ccl) = parse();
+    let plan = render_plan(&cdl, &ccl).unwrap();
+    diff_against(
+        &plan,
+        include_str!("golden/deep_station_plan.txt.golden"),
+        "crates/compiler/tests/golden/deep_station_plan.txt.golden",
+    );
+}
+
+#[test]
+fn deep_assembly_dot_matches_golden() {
+    let (cdl, ccl) = parse();
+    let dot = render_dot(&cdl, &ccl).unwrap();
+    diff_against(
+        &dot,
+        include_str!("golden/deep_station_graph.dot.golden"),
+        "crates/compiler/tests/golden/deep_station_graph.dot.golden",
+    );
+}
+
+#[test]
+fn deep_assembly_semantic_spot_checks() {
+    // Independent of formatting: the assembly exercises what it claims.
+    let (cdl, ccl) = parse();
+    let app = compadres_core::validate(&cdl, &ccl).unwrap();
+    assert_eq!(app.instances.len(), 5);
+    assert_eq!(app.connections.len(), 4);
+    let kinds: Vec<_> = app.connections.iter().map(|c| c.kind).collect();
+    use compadres_core::LinkKind::*;
+    assert!(kinds.contains(&Internal));
+    assert!(kinds.contains(&External));
+    assert!(kinds.contains(&Shadow), "deep->station crosses two levels");
+    // The remote-boundary port stays unconnected (a warning, not an error).
+    assert!(app
+        .warnings
+        .iter()
+        .any(|w| w.contains("station.remoteIn") && w.contains("no incoming connection")));
+    // Every scope level has a pool: no missing-pool warnings.
+    assert!(!app.warnings.iter().any(|w| w.contains("no scope pool")));
+}

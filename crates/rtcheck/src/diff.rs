@@ -1,0 +1,444 @@
+//! Differential driver: generated assembly → production validator vs
+//! reference oracle, plus compiler-render and write/parse round-trip
+//! legs, with greedy shrinking of failures to a minimal counterexample.
+
+use compadres_compiler::{render_dot_validated, render_plan, render_validated};
+use compadres_core::{
+    parse_ccl, parse_cdl, validate, write_ccl, write_cdl, Ccl, Cdl, ValidatedApp,
+};
+
+use crate::gen;
+use crate::oracle::{self, Verdict};
+
+/// A reproducible disagreement between implementations.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Which leg disagreed.
+    pub leg: &'static str,
+    /// Human-readable explanation of the two sides.
+    pub detail: String,
+}
+
+/// Checks one assembly through every leg. `Ok(accepted)` reports
+/// whether both sides accepted it (for sweep statistics).
+pub fn check_case(cdl: &Cdl, ccl: &Ccl) -> Result<bool, Failure> {
+    let production = validate(cdl, ccl);
+    let reference = oracle::check(cdl, ccl);
+
+    // Leg 1: accept/reject agreement.
+    let app: ValidatedApp = match (production, &reference) {
+        (Ok(app), Verdict::Accept(_)) => app,
+        (Err(e), Verdict::Reject(_)) => {
+            // Both reject; the compiler entry points must also reject.
+            if render_plan(cdl, ccl).is_ok() {
+                return Err(Failure {
+                    leg: "compiler",
+                    detail: format!("validate rejects ({e}) but render_plan accepts"),
+                });
+            }
+            return Ok(false);
+        }
+        (Ok(_), Verdict::Reject(why)) => {
+            return Err(Failure {
+                leg: "verdict",
+                detail: format!("validator accepts, oracle rejects: {why}"),
+            });
+        }
+        (Err(e), Verdict::Accept(_)) => {
+            return Err(Failure {
+                leg: "verdict",
+                detail: format!("oracle accepts, validator rejects: {e}"),
+            });
+        }
+    };
+    let Verdict::Accept(oracle_conns) = reference else {
+        unreachable!()
+    };
+
+    // Leg 2: the derived connection lists must agree element-wise
+    // (both sides iterate instances parent-first in declaration order).
+    let got: Vec<String> = app.connections.iter().map(|c| conn_key(&app, c)).collect();
+    let want: Vec<String> = oracle_conns
+        .iter()
+        .map(|c| {
+            format!(
+                "{}.{} -> {}.{} [{:?}] type {} home {}",
+                c.from.0,
+                c.from.1,
+                c.to.0,
+                c.to.1,
+                c.kind,
+                c.message_type,
+                c.home.as_deref().unwrap_or("immortal")
+            )
+        })
+        .collect();
+    if got != want {
+        return Err(Failure {
+            leg: "connections",
+            detail: format!(
+                "validator derived:\n  {}\noracle derived:\n  {}",
+                got.join("\n  "),
+                want.join("\n  ")
+            ),
+        });
+    }
+
+    // Leg 3: compiler renders on the accepted app must be well-formed.
+    let plan = render_validated(&app);
+    let dot = render_dot_validated(&app);
+    if !plan.starts_with("Application:")
+        || !plan.contains(&format!("Connections ({}):", app.connections.len()))
+    {
+        return Err(Failure {
+            leg: "plan",
+            detail: format!("malformed plan:\n{plan}"),
+        });
+    }
+    if !dot.starts_with("digraph") || dot.matches('{').count() != dot.matches('}').count() {
+        return Err(Failure {
+            leg: "dot",
+            detail: format!("unbalanced dot graph:\n{dot}"),
+        });
+    }
+
+    // Leg 4: write → parse → re-validate is observation-preserving.
+    // (The writer regroups links under their ports, so connection order
+    // may legally change: compare as sorted multisets.)
+    let (cdl_xml, ccl_xml) = (write_cdl(cdl), write_ccl(ccl));
+    let reparsed = parse_cdl(&cdl_xml)
+        .map_err(|e| e.to_string())
+        .and_then(|cdl2| {
+            parse_ccl(&ccl_xml)
+                .map(|ccl2| (cdl2, ccl2))
+                .map_err(|e| e.to_string())
+        })
+        .and_then(|(cdl2, ccl2)| validate(&cdl2, &ccl2).map_err(|e| e.to_string()));
+    match reparsed {
+        Err(e) => {
+            return Err(Failure {
+                leg: "roundtrip",
+                detail: format!("accepted assembly fails after write+parse: {e}"),
+            });
+        }
+        Ok(app2) => {
+            let mut a: Vec<String> = got;
+            let mut b: Vec<String> = app2
+                .connections
+                .iter()
+                .map(|c| conn_key(&app2, c))
+                .collect();
+            a.sort();
+            b.sort();
+            let inst = |app: &ValidatedApp| -> Vec<String> {
+                app.instances
+                    .iter()
+                    .map(|i| format!("{} : {} {:?}", i.name, i.class, i.kind))
+                    .collect()
+            };
+            if a != b || inst(&app) != inst(&app2) {
+                return Err(Failure {
+                    leg: "roundtrip",
+                    detail: "write+parse+validate derived a different app".to_string(),
+                });
+            }
+        }
+    }
+    Ok(true)
+}
+
+fn conn_key(app: &ValidatedApp, c: &compadres_core::Connection) -> String {
+    format!(
+        "{}.{} -> {}.{} [{:?}] type {} home {}",
+        app.instances[c.from.0 .0].name,
+        c.from.1,
+        app.instances[c.to.0 .0].name,
+        c.to.1,
+        c.kind,
+        c.message_type,
+        c.home
+            .map(|h| app.instances[h.0].name.clone())
+            .unwrap_or_else(|| "immortal".to_string())
+    )
+}
+
+/// Outcome of [`run_seed`]: a counterexample shrunk to minimal size.
+#[derive(Debug)]
+pub struct Counterexample {
+    /// The seed that produced the failing assembly.
+    pub seed: u64,
+    /// The failing leg and explanation (re-derived on the shrunk form).
+    pub failure: Failure,
+    /// Minimal CDL, serialized.
+    pub cdl_xml: String,
+    /// Minimal CCL, serialized.
+    pub ccl_xml: String,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "rtcheck: disagreement on leg `{}` (seed {})",
+            self.failure.leg, self.seed
+        )?;
+        writeln!(f, "{}", self.failure.detail)?;
+        writeln!(f, "minimized assembly:\n--- CDL ---\n{}", self.cdl_xml)?;
+        writeln!(f, "--- CCL ---\n{}", self.ccl_xml)?;
+        write!(
+            f,
+            "reproduce: cargo run --release -p rtcheck -- diff --seed {} --cases 1",
+            self.seed
+        )
+    }
+}
+
+/// Generates and checks the assembly for `seed`; on failure, shrinks it
+/// and returns the minimal counterexample.
+pub fn run_seed(seed: u64) -> Result<bool, Box<Counterexample>> {
+    let (cdl, ccl) = gen::assembly(seed);
+    match check_case(&cdl, &ccl) {
+        Ok(accepted) => Ok(accepted),
+        Err(_) => {
+            let (cdl, ccl) = shrink(cdl, ccl);
+            let failure = check_case(&cdl, &ccl).expect_err("shrink preserves failure");
+            Err(Box::new(Counterexample {
+                seed,
+                failure,
+                cdl_xml: write_cdl(&cdl),
+                ccl_xml: write_ccl(&ccl),
+            }))
+        }
+    }
+}
+
+/// Greedy shrink to a local minimum: repeatedly applies the first
+/// single-step reduction that still fails [`check_case`], until none
+/// does.
+pub fn shrink(cdl: Cdl, ccl: Ccl) -> (Cdl, Ccl) {
+    shrink_with(cdl, ccl, |c, l| check_case(c, l).is_err())
+}
+
+/// Greedy shrink preserving an arbitrary predicate (exposed for tests
+/// and for minimizing under a specific failing leg).
+pub fn shrink_with(
+    mut cdl: Cdl,
+    mut ccl: Ccl,
+    still_failing: impl Fn(&Cdl, &Ccl) -> bool,
+) -> (Cdl, Ccl) {
+    loop {
+        let mut reduced = false;
+        for (c2, l2) in reductions(&cdl, &ccl) {
+            if still_failing(&c2, &l2) {
+                cdl = c2;
+                ccl = l2;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return (cdl, ccl);
+        }
+    }
+}
+
+/// All single-step reductions of the assembly, smallest-impact last so
+/// big cuts (whole subtrees) are tried first.
+fn reductions(cdl: &Cdl, ccl: &Ccl) -> Vec<(Cdl, Ccl)> {
+    let mut out = Vec::new();
+
+    // Drop an instance subtree (roots first, then nested, by position).
+    let n_inst = ccl.instances().len();
+    for i in 0..n_inst {
+        let mut c = ccl.clone();
+        let mut k = 0usize;
+        remove_nth(&mut c.roots, i, &mut k);
+        if !c.roots.is_empty() {
+            out.push((cdl.clone(), c));
+        }
+    }
+    // Drop one link.
+    for i in 0..n_inst {
+        let n_links = ccl.instances()[i].links.len();
+        for j in 0..n_links {
+            let mut c = ccl.clone();
+            let mut k = 0usize;
+            edit_nth(&mut c.roots, i, &mut k, &mut |d| {
+                d.links.remove(j);
+            });
+            out.push((cdl.clone(), c));
+        }
+    }
+    // Drop one instance's port attributes, or its declared link kinds.
+    for i in 0..n_inst {
+        if !ccl.instances()[i].port_attrs.is_empty() {
+            let mut c = ccl.clone();
+            let mut k = 0usize;
+            edit_nth(&mut c.roots, i, &mut k, &mut |d| d.port_attrs.clear());
+            out.push((cdl.clone(), c));
+        }
+        if ccl.instances()[i].links.iter().any(|l| l.kind.is_some()) {
+            let mut c = ccl.clone();
+            let mut k = 0usize;
+            edit_nth(&mut c.roots, i, &mut k, &mut |d| {
+                for l in &mut d.links {
+                    l.kind = None;
+                }
+            });
+            out.push((cdl.clone(), c));
+        }
+    }
+    // Drop a scope pool.
+    for i in 0..ccl.rtsj.scoped_pools.len() {
+        let mut c = ccl.clone();
+        c.rtsj.scoped_pools.remove(i);
+        out.push((cdl.clone(), c));
+    }
+    // Drop a whole class, or one port of a class.
+    for i in 0..cdl.components.len() {
+        if cdl.components.len() > 1 {
+            let mut d = cdl.clone();
+            d.components.remove(i);
+            out.push((d, ccl.clone()));
+        }
+        for p in 0..cdl.components[i].ports.len() {
+            let mut d = cdl.clone();
+            d.components[i].ports.remove(p);
+            out.push((d, ccl.clone()));
+        }
+    }
+    out
+}
+
+/// Removes the `n`th instance (pre-order) from the tree.
+fn remove_nth(decls: &mut Vec<compadres_core::InstanceDecl>, n: usize, k: &mut usize) -> bool {
+    let mut i = 0;
+    while i < decls.len() {
+        if *k == n {
+            decls.remove(i);
+            return true;
+        }
+        *k += 1;
+        if remove_nth(&mut decls[i].children, n, k) {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Applies `f` to the `n`th instance (pre-order).
+fn edit_nth(
+    decls: &mut [compadres_core::InstanceDecl],
+    n: usize,
+    k: &mut usize,
+    f: &mut dyn FnMut(&mut compadres_core::InstanceDecl),
+) -> bool {
+    for d in decls.iter_mut() {
+        if *k == n {
+            f(d);
+            return true;
+        }
+        *k += 1;
+        if edit_nth(&mut d.children, n, k, f) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compadres_core::*;
+    use std::collections::BTreeMap;
+
+    fn tiny() -> (Cdl, Ccl) {
+        let cdl = Cdl {
+            components: vec![ComponentDef {
+                name: "C".into(),
+                ports: vec![
+                    PortDef {
+                        name: "o".into(),
+                        direction: PortDirection::Out,
+                        message_type: "T".into(),
+                    },
+                    PortDef {
+                        name: "i".into(),
+                        direction: PortDirection::In,
+                        message_type: "T".into(),
+                    },
+                ],
+            }],
+        };
+        let child = |name: &str, links: Vec<LinkDecl>| InstanceDecl {
+            instance_name: name.into(),
+            class_name: "C".into(),
+            kind: ComponentKind::Scoped { level: 1 },
+            port_attrs: BTreeMap::new(),
+            links,
+            children: vec![],
+        };
+        let ccl = Ccl {
+            application_name: "App".into(),
+            roots: vec![InstanceDecl {
+                instance_name: "root".into(),
+                class_name: "C".into(),
+                kind: ComponentKind::Immortal,
+                port_attrs: BTreeMap::new(),
+                links: vec![],
+                children: vec![
+                    child(
+                        "a",
+                        vec![LinkDecl {
+                            from_port: "o".into(),
+                            kind: None,
+                            to_component: "b".into(),
+                            to_port: "i".into(),
+                        }],
+                    ),
+                    child("b", vec![]),
+                ],
+            }],
+            rtsj: RtsjAttributes::default(),
+        };
+        (cdl, ccl)
+    }
+
+    #[test]
+    fn legal_assembly_agrees_everywhere() {
+        let (cdl, ccl) = tiny();
+        assert!(check_case(&cdl, &ccl).unwrap());
+    }
+
+    #[test]
+    fn illegal_assembly_agrees_on_reject() {
+        let (cdl, mut ccl) = tiny();
+        // Self loop.
+        ccl.roots[0].children[0].links[0].to_component = "a".into();
+        assert!(!check_case(&cdl, &ccl).unwrap());
+    }
+
+    #[test]
+    fn shrink_preserves_failure_and_reduces() {
+        // Manufacture a disagreement by handing the shrinker a predicate
+        // failure: a broken oracle is simulated by checking against a
+        // case the legs genuinely disagree on is hard to fabricate, so
+        // instead verify the shrinker machinery on `remove_nth`.
+        let (_, ccl) = tiny();
+        let mut roots = ccl.roots.clone();
+        let mut k = 0;
+        assert!(remove_nth(&mut roots, 1, &mut k)); // removes "a"
+        assert_eq!(roots[0].children.len(), 1);
+        assert_eq!(roots[0].children[0].instance_name, "b");
+    }
+
+    #[test]
+    fn fixed_seed_sample_has_no_disagreements() {
+        for seed in 0..200 {
+            if let Err(ce) = run_seed(seed) {
+                panic!("{ce}");
+            }
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Seeded random generator of CDL/CCL assemblies.
+//!
+//! Produces mostly-plausible compositions — nested instance trees with
+//! scope levels, port attributes, pools, and links biased toward legal
+//! shapes — then injects targeted faults (wrong scope levels, type
+//! mismatches, self-loops, cousin links, dangling names, duplicate
+//! instance names, wrong declared link kinds) so that roughly half of
+//! the generated assemblies should be rejected. The differential driver
+//! compares *who* rejects them: the production validator or the
+//! independent oracle.
+//!
+//! The generator stays inside the subset the CCL writer/parser can
+//! round-trip (non-empty alphanumeric names, unique port names per
+//! class, unique pool levels, `buffer_size >= 1`, `min <= max`), so an
+//! accepted assembly can also be pushed through write → parse →
+//! re-validate as a third leg.
+
+use std::collections::BTreeMap;
+
+use compadres_core::{
+    Ccl, Cdl, ComponentDef, ComponentKind, InstanceDecl, LinkDecl, LinkKind, PortAttrs, PortDef,
+    PortDirection, RtsjAttributes, ScopedPoolCfg, ThreadpoolStrategy,
+};
+use rtplatform::rng::SplitMix64;
+
+/// Message-type vocabulary; a small set keeps accidental matches common.
+const TYPES: [&str; 3] = ["T", "U", "V"];
+
+/// Generates one random assembly from `seed`.
+pub fn assembly(seed: u64) -> (Cdl, Ccl) {
+    let mut rng = SplitMix64::new(seed);
+    let cdl = gen_cdl(&mut rng);
+    let ccl = gen_ccl(&mut rng, &cdl);
+    (cdl, ccl)
+}
+
+fn gen_cdl(rng: &mut SplitMix64) -> Cdl {
+    let n_classes = rng.range_usize(1, 5);
+    let components = (0..n_classes)
+        .map(|c| {
+            let n_ports = rng.range_usize(0, 5);
+            let ports = (0..n_ports)
+                .map(|p| PortDef {
+                    name: format!("p{p}"),
+                    direction: if rng.chance(0.5) {
+                        PortDirection::In
+                    } else {
+                        PortDirection::Out
+                    },
+                    // Heavy bias toward one type so links usually match.
+                    message_type: if rng.chance(0.7) {
+                        TYPES[0].to_string()
+                    } else {
+                        TYPES[rng.below(TYPES.len())].to_string()
+                    },
+                })
+                .collect();
+            ComponentDef {
+                name: format!("C{c}"),
+                ports,
+            }
+        })
+        .collect();
+    Cdl { components }
+}
+
+/// Flat view of the generated tree used when wiring links: the path of
+/// instance names from the root down to (and including) each instance.
+struct Flat {
+    name: String,
+    class: usize,
+    path: Vec<String>,
+}
+
+fn gen_ccl(rng: &mut SplitMix64, cdl: &Cdl) -> Ccl {
+    let mut flats: Vec<Flat> = Vec::new();
+    let mut counter = 0usize;
+    let n_roots = rng.range_usize(1, 4);
+    let mut roots: Vec<InstanceDecl> = (0..n_roots)
+        .map(|_| gen_instance(rng, cdl, 0, false, 0, &mut counter, &mut flats, &[]))
+        .collect();
+
+    // Fault: duplicate instance name somewhere in the tree.
+    if flats.len() >= 2 && rng.chance(0.06) {
+        let from = flats[rng.below(flats.len())].name.clone();
+        let to = flats[rng.below(flats.len())].name.clone();
+        rename_instance(&mut roots, &to, &from);
+    }
+
+    let links = gen_links(rng, cdl, &flats);
+    for (owner, link) in links {
+        attach_link(&mut roots, &owner, link);
+    }
+
+    let mut scoped_pools = Vec::new();
+    for level in 1..=3u32 {
+        if rng.chance(0.5) {
+            scoped_pools.push(ScopedPoolCfg {
+                level,
+                scope_size: 1 << rng.range_usize(10, 16),
+                pool_size: rng.range_usize(1, 5),
+            });
+        }
+    }
+
+    Ccl {
+        application_name: "Gen".to_string(),
+        roots,
+        rtsj: RtsjAttributes {
+            immortal_size: 1 << rng.range_usize(16, 22),
+            scoped_pools,
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_instance(
+    rng: &mut SplitMix64,
+    cdl: &Cdl,
+    depth: usize,
+    parent_scoped: bool,
+    scoped_depth: u32,
+    counter: &mut usize,
+    flats: &mut Vec<Flat>,
+    parent_path: &[String],
+) -> InstanceDecl {
+    let name = format!("i{}", *counter);
+    *counter += 1;
+    let class = rng.below(cdl.components.len());
+
+    // Scope level: usually the one nesting implies, sometimes off by a
+    // bit (fault), sometimes Immortal — which is itself a fault under a
+    // scoped parent.
+    let implied = scoped_depth + 1;
+    // Same draw order as two arms would use: the 0.08 draw happens only
+    // when the first condition failed (an Immortal under a scoped parent
+    // is the injected fault).
+    let legal_immortal = rng.chance(0.35) && !parent_scoped;
+    let kind = if legal_immortal || rng.chance(0.08) {
+        ComponentKind::Immortal
+    } else if rng.chance(0.1) {
+        ComponentKind::Scoped {
+            level: rng.range_usize(1, 5) as u32, // often wrong
+        }
+    } else {
+        ComponentKind::Scoped { level: implied }
+    };
+
+    let mut path = parent_path.to_vec();
+    path.push(name.clone());
+    flats.push(Flat {
+        name: name.clone(),
+        class,
+        path: path.clone(),
+    });
+
+    // Port attributes for a random subset of the class's in-ports —
+    // and occasionally (fault) for an out-port or unknown port.
+    let mut port_attrs = BTreeMap::new();
+    for port in &cdl.components[class].ports {
+        if port.direction == PortDirection::In && rng.chance(0.4) {
+            port_attrs.insert(port.name.clone(), gen_attrs(rng));
+        }
+    }
+    if rng.chance(0.04) {
+        let victim = if rng.chance(0.5) {
+            "nosuchport".to_string()
+        } else {
+            format!("p{}", rng.below(5))
+        };
+        port_attrs.insert(victim, gen_attrs(rng));
+    }
+
+    let n_children = if depth >= 3 || *counter > 9 {
+        0
+    } else {
+        rng.range_usize(0, 4 - depth)
+    };
+    // A child's scoped depth follows the validator's rule: one more
+    // scoped ancestor if this instance is scoped, else reset to zero.
+    let now_scoped = kind.is_scoped();
+    let child_depth = if now_scoped { scoped_depth + 1 } else { 0 };
+    let children = (0..n_children)
+        .map(|_| {
+            gen_instance(
+                rng,
+                cdl,
+                depth + 1,
+                now_scoped,
+                child_depth,
+                counter,
+                flats,
+                &path,
+            )
+        })
+        .collect();
+
+    InstanceDecl {
+        instance_name: name,
+        class_name: if rng.chance(0.02) {
+            "NoSuchClass".to_string()
+        } else {
+            cdl.components[class].name.clone()
+        },
+        kind,
+        port_attrs,
+        links: Vec::new(),
+        children,
+    }
+}
+
+fn gen_attrs(rng: &mut SplitMix64) -> PortAttrs {
+    let min = rng.range_usize(0, 4);
+    PortAttrs {
+        buffer_size: rng.range_usize(1, 64),
+        strategy: match rng.below(3) {
+            0 => ThreadpoolStrategy::Shared,
+            1 => ThreadpoolStrategy::Dedicated,
+            _ => ThreadpoolStrategy::Synchronous,
+        },
+        min_threads: min,
+        max_threads: rng.range_usize(min.max(1), 8),
+    }
+}
+
+/// Generates link declarations as `(owning instance name, link)` pairs.
+fn gen_links(rng: &mut SplitMix64, cdl: &Cdl, flats: &[Flat]) -> Vec<(String, LinkDecl)> {
+    let mut out = Vec::new();
+    if flats.is_empty() {
+        return out;
+    }
+    let n_links = rng.range_usize(0, 2 * flats.len().min(4) + 1);
+    for _ in 0..n_links {
+        let a = &flats[rng.below(flats.len())];
+        // Bias the peer toward relatives (parent, child, sibling) so
+        // legal topologies are common; sometimes any instance at all.
+        let b = if rng.chance(0.75) {
+            pick_relative(rng, flats, a).unwrap_or(&flats[rng.below(flats.len())])
+        } else {
+            &flats[rng.below(flats.len())]
+        };
+
+        let a_ports = &cdl.components[a.class].ports;
+        let b_ports = &cdl.components[b.class].ports;
+        // Prefer a proper Out→In pair with matching types; fall back to
+        // arbitrary ports (organic faults: direction or type mismatch).
+        let pair = matching_pair(rng, a_ports, b_ports);
+        let (from_port, to_port) = match pair {
+            Some(p) if rng.chance(0.85) => p,
+            _ => {
+                if a_ports.is_empty() || b_ports.is_empty() {
+                    continue;
+                }
+                (
+                    a_ports[rng.below(a_ports.len())].name.clone(),
+                    b_ports[rng.below(b_ports.len())].name.clone(),
+                )
+            }
+        };
+
+        let to_component = if rng.chance(0.03) {
+            "ghost".to_string()
+        } else {
+            b.name.clone()
+        };
+        let kind = if rng.chance(0.8) {
+            None
+        } else {
+            Some(match rng.below(3) {
+                0 => LinkKind::Internal,
+                1 => LinkKind::External,
+                _ => LinkKind::Shadow,
+            })
+        };
+        out.push((
+            a.name.clone(),
+            LinkDecl {
+                from_port: if rng.chance(0.02) {
+                    "nosuchport".to_string()
+                } else {
+                    from_port
+                },
+                kind,
+                to_component,
+                to_port,
+            },
+        ));
+    }
+    out
+}
+
+/// Picks an instance related to `a` (ancestor, descendant or sibling).
+fn pick_relative<'a>(rng: &mut SplitMix64, flats: &'a [Flat], a: &Flat) -> Option<&'a Flat> {
+    let related: Vec<&Flat> = flats
+        .iter()
+        .filter(|b| {
+            if b.name == a.name {
+                return false;
+            }
+            let prefix = a
+                .path
+                .iter()
+                .zip(b.path.iter())
+                .take_while(|(x, y)| x == y)
+                .count();
+            // ancestor/descendant, or siblings (paths differ in last hop)
+            prefix == a.path.len().min(b.path.len())
+                || (a.path.len() == b.path.len() && prefix + 1 == a.path.len())
+        })
+        .collect();
+    if related.is_empty() {
+        None
+    } else {
+        Some(related[rng.below(related.len())])
+    }
+}
+
+/// An (out-port of `a`, in-port of `b`) pair with equal message types,
+/// oriented either way.
+fn matching_pair(
+    rng: &mut SplitMix64,
+    a_ports: &[PortDef],
+    b_ports: &[PortDef],
+) -> Option<(String, String)> {
+    let mut pairs = Vec::new();
+    for pa in a_ports {
+        for pb in b_ports {
+            if pa.message_type == pb.message_type && pa.direction != pb.direction {
+                pairs.push((pa.name.clone(), pb.name.clone()));
+            }
+        }
+    }
+    if pairs.is_empty() {
+        None
+    } else {
+        Some(pairs.swap_remove(rng.below(pairs.len())))
+    }
+}
+
+fn rename_instance(roots: &mut [InstanceDecl], target: &str, new_name: &str) {
+    for r in roots.iter_mut() {
+        if r.instance_name == target {
+            r.instance_name = new_name.to_string();
+            return;
+        }
+        rename_instance(&mut r.children, target, new_name);
+    }
+}
+
+fn attach_link(roots: &mut [InstanceDecl], owner: &str, link: LinkDecl) {
+    for r in roots.iter_mut() {
+        if r.instance_name == owner {
+            r.links.push(link);
+            return;
+        }
+        attach_link(&mut r.children, owner, link.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(assembly(7), assembly(7));
+        assert_ne!(assembly(7), assembly(8));
+    }
+
+    #[test]
+    fn accept_rate_is_mixed() {
+        let mut accepted = 0;
+        let total = 500;
+        for seed in 0..total {
+            let (cdl, ccl) = assembly(seed);
+            if compadres_core::validate(&cdl, &ccl).is_ok() {
+                accepted += 1;
+            }
+        }
+        // The generator must exercise both verdicts heavily; exact rate
+        // is tuning, but neither side may starve.
+        assert!(accepted > total / 10, "accepted only {accepted}/{total}");
+        assert!(
+            accepted < total * 9 / 10,
+            "accepted {accepted}/{total}: faults not firing"
+        );
+    }
+}

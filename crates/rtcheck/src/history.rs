@@ -1,0 +1,81 @@
+//! Concurrent-history recording for linearizability checking.
+//!
+//! Threads time-stamp each operation's invocation and return against a
+//! single shared logical clock (an `AtomicU64` bumped with SeqCst RMWs,
+//! so stamps are totally ordered and consistent with real time across
+//! threads), log operations locally without synchronization, and the
+//! merged log forms the history handed to [`crate::lin::check`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One completed operation: what was called, what it returned, and the
+/// logical times the call began and ended.
+#[derive(Debug, Clone)]
+pub struct CompleteOp<O, R> {
+    /// The operation invoked.
+    pub op: O,
+    /// Its observed return value.
+    pub ret: R,
+    /// Logical time the call was issued.
+    pub invoked: u64,
+    /// Logical time the call returned.
+    pub returned: u64,
+}
+
+/// Shared logical clock cloned into every recording thread.
+#[derive(Debug, Clone, Default)]
+pub struct Clock(Arc<AtomicU64>);
+
+impl Clock {
+    /// Fresh clock at time zero.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    fn tick(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// Per-thread operation log; merge with [`merge`] after joining.
+#[derive(Debug)]
+pub struct ThreadLog<O, R> {
+    clock: Clock,
+    ops: Vec<CompleteOp<O, R>>,
+}
+
+impl<O, R> ThreadLog<O, R> {
+    /// A log stamping against `clock`.
+    pub fn new(clock: &Clock) -> ThreadLog<O, R> {
+        ThreadLog {
+            clock: clock.clone(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Runs `call` and records it as `op` with the returned value.
+    pub fn record(&mut self, op: O, call: impl FnOnce() -> R) -> &R {
+        let invoked = self.clock.tick();
+        let ret = call();
+        let returned = self.clock.tick();
+        self.ops.push(CompleteOp {
+            op,
+            ret,
+            invoked,
+            returned,
+        });
+        &self.ops.last().unwrap().ret
+    }
+
+    /// Consumes the log, yielding its operations.
+    pub fn into_ops(self) -> Vec<CompleteOp<O, R>> {
+        self.ops
+    }
+}
+
+/// Merges per-thread logs into one history (order is irrelevant to the
+/// checker; timestamps carry the real-time partial order).
+pub fn merge<O, R>(logs: Vec<Vec<CompleteOp<O, R>>>) -> Vec<CompleteOp<O, R>> {
+    logs.into_iter().flatten().collect()
+}

@@ -1,0 +1,169 @@
+//! Wing–Gong linearizability checker.
+//!
+//! Searches for a linearization: a total order of the history's
+//! operations that (a) respects real time — an operation that returned
+//! before another was invoked comes first — and (b) is legal under the
+//! sequential specification. The search is the classic Wing & Gong
+//! recursion with the Lowe memoization: depth-first over the "minimal"
+//! (currently linearizable-next) operations, caching visited
+//! (taken-set, spec-state) pairs so equivalent prefixes are explored
+//! once.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::history::CompleteOp;
+
+/// A sequential specification: a deterministic-state model that says
+/// which (operation, observed return) steps are legal in each state.
+pub trait Spec {
+    /// Operation descriptor.
+    type Op: Clone;
+    /// Observed return value.
+    type Ret: Clone;
+    /// Abstract state; `Eq + Hash` powers the memo table.
+    type State: Clone + Eq + Hash;
+
+    /// State before any operation.
+    fn initial(&self) -> Self::State;
+
+    /// If `op` returning `ret` is legal in `state`, the successor
+    /// state; `None` if the step is illegal.
+    fn apply(&self, state: &Self::State, op: &Self::Op, ret: &Self::Ret) -> Option<Self::State>;
+}
+
+/// Maximum history length the bitmask-based search supports.
+pub const MAX_OPS: usize = 64;
+
+/// Checks whether `history` is linearizable under `spec`.
+///
+/// # Panics
+///
+/// If the history holds more than [`MAX_OPS`] operations — keep
+/// recorded runs short; the search is exponential in the worst case
+/// anyway.
+pub fn check<S: Spec>(spec: &S, history: &[CompleteOp<S::Op, S::Ret>]) -> bool {
+    assert!(
+        history.len() <= MAX_OPS,
+        "history of {} ops exceeds the {MAX_OPS}-op checker limit",
+        history.len()
+    );
+    let all: u64 = if history.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << history.len()) - 1
+    };
+    let mut memo: HashSet<(u64, S::State)> = HashSet::new();
+    dfs(spec, history, 0, spec.initial(), all, &mut memo)
+}
+
+fn dfs<S: Spec>(
+    spec: &S,
+    history: &[CompleteOp<S::Op, S::Ret>],
+    taken: u64,
+    state: S::State,
+    all: u64,
+    memo: &mut HashSet<(u64, S::State)>,
+) -> bool {
+    if taken == all {
+        return true;
+    }
+    if !memo.insert((taken, state.clone())) {
+        return false; // already proven a dead end
+    }
+    // An operation may linearize next only if no *other* remaining
+    // operation returned before it was invoked.
+    let min_return = history
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| taken & (1 << i) == 0)
+        .map(|(_, e)| e.returned)
+        .min()
+        .unwrap();
+    for (i, e) in history.iter().enumerate() {
+        if taken & (1 << i) != 0 || e.invoked > min_return {
+            continue;
+        }
+        if let Some(next) = spec.apply(&state, &e.op, &e.ret) {
+            if dfs(spec, history, taken | (1 << i), next, all, memo) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A register holding one u64, write/read spec.
+    struct Register;
+    #[derive(Clone)]
+    enum RegOp {
+        Write(u64),
+        Read,
+    }
+
+    impl Spec for Register {
+        type Op = RegOp;
+        type Ret = Option<u64>;
+        type State = Option<u64>;
+        fn initial(&self) -> Self::State {
+            None
+        }
+        fn apply(&self, s: &Self::State, op: &Self::Op, ret: &Self::Ret) -> Option<Self::State> {
+            match op {
+                RegOp::Write(v) => ret.is_none().then_some(Some(*v)),
+                RegOp::Read => (ret == s).then_some(*s),
+            }
+        }
+    }
+
+    fn op(
+        op: RegOp,
+        ret: Option<u64>,
+        invoked: u64,
+        returned: u64,
+    ) -> CompleteOp<RegOp, Option<u64>> {
+        CompleteOp {
+            op,
+            ret,
+            invoked,
+            returned,
+        }
+    }
+
+    #[test]
+    fn sequential_register_history_linearizable() {
+        let h = vec![
+            op(RegOp::Write(1), None, 0, 1),
+            op(RegOp::Read, Some(1), 2, 3),
+        ];
+        assert!(check(&Register, &h));
+    }
+
+    #[test]
+    fn overlapping_reads_may_reorder() {
+        // Write(1) overlaps both reads: one read sees None, one sees 1.
+        let h = vec![
+            op(RegOp::Write(1), None, 0, 5),
+            op(RegOp::Read, None, 1, 2),
+            op(RegOp::Read, Some(1), 3, 4),
+        ];
+        assert!(check(&Register, &h));
+    }
+
+    #[test]
+    fn stale_read_after_write_returned_is_flagged() {
+        // The write returned at 1; a read invoked at 2 must see it.
+        let h = vec![op(RegOp::Write(1), None, 0, 1), op(RegOp::Read, None, 2, 3)];
+        assert!(!check(&Register, &h));
+    }
+
+    #[test]
+    fn value_from_nowhere_is_flagged() {
+        let h = vec![op(RegOp::Read, Some(9), 0, 1)];
+        assert!(!check(&Register, &h));
+    }
+}

@@ -1,0 +1,177 @@
+//! Independent reference oracle for composition legality.
+//!
+//! A deliberately small, name-based reimplementation of the paper's
+//! static rules — the Table 1 scope-access matrix, the single-parent
+//! rule (an instance tree plus scope level = nesting depth), exact
+//! message-type matching, and loop freedom — written against
+//! `Vec<String>` ancestry paths instead of the production validator's
+//! flattened id arrays. It shares no code with `core::validate`; any
+//! accept/reject or connection-list disagreement between the two is a
+//! bug in one of them.
+
+use std::collections::{HashMap, HashSet};
+
+use compadres_core::{Ccl, Cdl, ComponentKind, InstanceDecl, LinkKind, PortDirection};
+
+/// A connection as the oracle derives it, endpoint names only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleConn {
+    /// Sending endpoint: (instance name, out-port name).
+    pub from: (String, String),
+    /// Receiving endpoint: (instance name, in-port name).
+    pub to: (String, String),
+    /// Relationship implied by the hierarchy.
+    pub kind: LinkKind,
+    /// The matched message type.
+    pub message_type: String,
+    /// Deepest common ancestor instance name (`None` = immortal).
+    pub home: Option<String>,
+}
+
+/// The oracle's judgment of an assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Legal; carries the normalized connections in declaration order.
+    Accept(Vec<OracleConn>),
+    /// Illegal, with the rule that failed.
+    Reject(String),
+}
+
+/// Judges `ccl` against `cdl` using only the paper's rules.
+pub fn check(cdl: &Cdl, ccl: &Ccl) -> Verdict {
+    // Pass 1: the instance tree. Collect each instance's ancestry path
+    // (root..=self) while checking class references, name uniqueness,
+    // memory nesting and scope levels.
+    let mut paths: HashMap<String, Vec<String>> = HashMap::new();
+    let mut order: Vec<&InstanceDecl> = Vec::new();
+    fn walk<'a>(
+        decl: &'a InstanceDecl,
+        prefix: &[String],
+        parent: Option<&InstanceDecl>,
+        scoped_ancestors: u32,
+        cdl: &Cdl,
+        paths: &mut HashMap<String, Vec<String>>,
+        order: &mut Vec<&'a InstanceDecl>,
+    ) -> Result<(), String> {
+        let name = &decl.instance_name;
+        let class = cdl
+            .component(&decl.class_name)
+            .ok_or_else(|| format!("{name}: unknown class {}", decl.class_name))?;
+        let mut path = prefix.to_vec();
+        path.push(name.clone());
+        if paths.insert(name.clone(), path.clone()).is_some() {
+            return Err(format!("duplicate name {name}"));
+        }
+        let parent_scoped = parent.is_some_and(|p| p.kind.is_scoped());
+        match decl.kind {
+            ComponentKind::Immortal if parent_scoped => {
+                return Err(format!("{name}: immortal under scoped parent"));
+            }
+            ComponentKind::Scoped { level } if level != scoped_ancestors + 1 => {
+                return Err(format!(
+                    "{name}: level {level}, nesting implies {}",
+                    scoped_ancestors + 1
+                ));
+            }
+            _ => {}
+        }
+        for port in decl.port_attrs.keys() {
+            match class.port(port) {
+                Some(p) if p.direction == PortDirection::In => {}
+                _ => return Err(format!("{name}: attrs on bad port {port}")),
+            }
+        }
+        order.push(decl);
+        let down = if decl.kind.is_scoped() {
+            scoped_ancestors + 1
+        } else {
+            0
+        };
+        for child in &decl.children {
+            walk(child, &path, Some(decl), down, cdl, paths, order)?;
+        }
+        Ok(())
+    }
+    for root in &ccl.roots {
+        if let Err(e) = walk(root, &[], None, 0, cdl, &mut paths, &mut order) {
+            return Verdict::Reject(e);
+        }
+    }
+
+    // Pass 2: links, visited parents-before-children in declaration
+    // order, each normalized to out→in and judged by Table 1.
+    let class_of: HashMap<&str, &str> = order
+        .iter()
+        .map(|d| (d.instance_name.as_str(), d.class_name.as_str()))
+        .collect();
+    let mut seen: HashSet<(String, String, String, String)> = HashSet::new();
+    let mut conns = Vec::new();
+    for decl in &order {
+        for link in &decl.links {
+            let me = &decl.instance_name;
+            if !paths.contains_key(&link.to_component) {
+                return Verdict::Reject(format!("{me}: link to unknown {}", link.to_component));
+            }
+            let my_class = cdl.component(class_of[me.as_str()]).unwrap();
+            let peer_class = cdl.component(class_of[link.to_component.as_str()]).unwrap();
+            let (Some(my_port), Some(peer_port)) = (
+                my_class.port(&link.from_port),
+                peer_class.port(&link.to_port),
+            ) else {
+                return Verdict::Reject(format!("{me}: link names unknown port"));
+            };
+            let (from, to, msg) = match (my_port.direction, peer_port.direction) {
+                (PortDirection::Out, PortDirection::In) => (
+                    (me.clone(), link.from_port.clone()),
+                    (link.to_component.clone(), link.to_port.clone()),
+                    &my_port.message_type,
+                ),
+                (PortDirection::In, PortDirection::Out) => (
+                    (link.to_component.clone(), link.to_port.clone()),
+                    (me.clone(), link.from_port.clone()),
+                    &peer_port.message_type,
+                ),
+                _ => return Verdict::Reject(format!("{me}: link joins same directions")),
+            };
+            if my_port.message_type != peer_port.message_type {
+                return Verdict::Reject(format!("{me}: message types differ"));
+            }
+            if from.0 == to.0 {
+                return Verdict::Reject(format!("{me}: self loop"));
+            }
+            if !seen.insert((from.0.clone(), from.1.clone(), to.0.clone(), to.1.clone())) {
+                continue; // same link declared from both ends
+            }
+            let (a, b) = (&paths[&from.0], &paths[&to.0]);
+            let common = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+            let kind = if common == a.len().min(b.len()) {
+                // Table 1, ancestor column: direct parent/child may talk
+                // (Internal); deeper ancestors need a shadow port.
+                if a.len().abs_diff(b.len()) == 1 {
+                    LinkKind::Internal
+                } else {
+                    LinkKind::Shadow
+                }
+            } else if a.len() == b.len() && common + 1 == a.len() {
+                // Table 1, sibling column: external link via the parent.
+                LinkKind::External
+            } else {
+                return Verdict::Reject(format!("{me}: cousins cannot be linked"));
+            };
+            match link.kind {
+                Some(d) if d != kind && !(d == LinkKind::External && kind == LinkKind::Shadow) => {
+                    return Verdict::Reject(format!("{me}: declared {d:?}, implied {kind:?}"));
+                }
+                _ => {}
+            }
+            conns.push(OracleConn {
+                home: (common > 0).then(|| a[common - 1].clone()),
+                from,
+                to,
+                kind,
+                message_type: msg.clone(),
+            });
+        }
+    }
+    Verdict::Accept(conns)
+}

@@ -1,0 +1,87 @@
+//! Tier-1 differential conformance: a fixed seed range of generated
+//! assemblies must produce zero validator/oracle disagreements.
+//! `RTCHECK_CASES` scales the sweep (CI's randomized tier-2 sweep uses
+//! the `rtcheck` binary instead, so it can print reproducing seeds).
+
+use rtcheck::diff;
+
+fn cases() -> u64 {
+    std::env::var("RTCHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000)
+}
+
+#[test]
+fn fixed_seed_range_has_zero_disagreements() {
+    let mut accepted = 0u64;
+    let n = cases();
+    for seed in 0..n {
+        match diff::run_seed(seed) {
+            Ok(true) => accepted += 1,
+            Ok(false) => {}
+            Err(counterexample) => panic!("{counterexample}"),
+        }
+    }
+    // The generator must keep exercising both verdicts.
+    assert!(accepted > n / 20, "only {accepted}/{n} accepted");
+    assert!(accepted < n * 19 / 20, "{accepted}/{n} accepted");
+}
+
+#[test]
+fn second_fixed_window_has_zero_disagreements() {
+    // A disjoint window, so tier 1 isn't pinned to one seed prefix.
+    for seed in 1_000_000..1_000_000 + cases() / 2 {
+        if let Err(counterexample) = diff::run_seed(seed) {
+            panic!("{counterexample}");
+        }
+    }
+}
+
+#[test]
+fn shrinker_minimizes_under_predicate() {
+    // Find a seed whose assembly has several instances and at least
+    // one link, then shrink under "still has a link": the minimum is
+    // one link and only the instances that link needs.
+    let (cdl, ccl) = (0..500)
+        .map(rtcheck::gen::assembly)
+        .find(|(_, ccl)| {
+            ccl.instances().len() >= 4 && ccl.instances().iter().any(|i| !i.links.is_empty())
+        })
+        .expect("generator produces linked assemblies");
+    let before = ccl.instances().len();
+    let has_link = |_: &compadres_core::Cdl, c: &compadres_core::Ccl| {
+        c.instances().iter().any(|i| !i.links.is_empty())
+    };
+    let (cdl2, ccl2) = diff::shrink_with(cdl, ccl, has_link);
+    let links: usize = ccl2.instances().iter().map(|i| i.links.len()).sum();
+    assert_eq!(links, 1, "shrunk to a single link");
+    assert!(
+        ccl2.instances().len() < before,
+        "instances shrank from {before} to {}",
+        ccl2.instances().len()
+    );
+    assert!(!cdl2.components.is_empty());
+}
+
+#[test]
+fn counterexample_report_carries_seed_and_repro() {
+    // Force a failure through the reporting path by breaking the
+    // write/parse leg artificially: an assembly the validator accepts
+    // but whose serialized form we corrupt is hard to fabricate from
+    // outside, so instead check the Display contract on a synthetic
+    // counterexample.
+    let ce = diff::Counterexample {
+        seed: 1234,
+        failure: diff::Failure {
+            leg: "verdict",
+            detail: "validator accepts, oracle rejects: demo".into(),
+        },
+        cdl_xml: "<Components/>".into(),
+        ccl_xml: "<Application/>".into(),
+    };
+    let text = ce.to_string();
+    assert!(text.contains("seed 1234"));
+    assert!(text.contains("leg `verdict`"));
+    assert!(text.contains("--seed 1234 --cases 1"), "repro line: {text}");
+}

@@ -1,0 +1,140 @@
+//! Deterministic interleaving exploration of the parking `Gate`
+//! handshake and the Treiber free list behind `ScopePool`, via the
+//! yield points instrumented under rtplatform's `rtcheck-hooks`
+//! feature. Each scenario runs under every bounded-preemption
+//! schedule; a lost wakeup or a double lease fails the assertion for
+//! the schedule that exposed it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rtcheck::sched::{explore, run_under, spawn_participant, with_hook};
+use rtmem::{MemoryModel, ScopePool};
+use rtplatform::park::{Gate, WaitOutcome};
+
+/// The instrumentation must actually be compiled in — otherwise every
+/// exploration below silently degenerates to plain stress.
+#[test]
+fn yield_points_are_live() {
+    let hits = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let (h2, s2) = (Arc::clone(&hits), Arc::clone(&seen));
+    with_hook(
+        Arc::new(move |site| {
+            h2.fetch_add(1, Ordering::SeqCst);
+            s2.lock().unwrap().push(site);
+        }),
+        || {
+            rtplatform::chk::participate(true);
+            let gate = Gate::new();
+            let deadline = Instant::now();
+            gate.wait(Some(deadline), || true);
+            gate.notify_one();
+            let model = MemoryModel::new();
+            let pool = ScopePool::new(&model, 1, 1024, 1).unwrap();
+            let lease = pool.acquire().unwrap();
+            drop(lease);
+            rtplatform::chk::participate(false);
+        },
+    );
+    let sites = seen.lock().unwrap();
+    assert!(
+        sites.contains(&"gate.wait.registered"),
+        "gate wait instrumented: {sites:?}"
+    );
+    assert!(
+        sites.contains(&"gate.notify.fenced"),
+        "gate notify instrumented: {sites:?}"
+    );
+    assert!(
+        sites.contains(&"freestack.pop.loaded"),
+        "free-list pop instrumented: {sites:?}"
+    );
+    assert!(
+        sites.contains(&"freestack.push.staged"),
+        "free-list push instrumented: {sites:?}"
+    );
+}
+
+/// Gate handshake: under every schedule stalling the waiter inside
+/// its registration window and/or the notifier between its fence and
+/// waiter-count load, the waiter must still wake (never time out —
+/// a timeout here is a lost wakeup).
+#[test]
+fn gate_handshake_has_no_lost_wakeup_under_any_schedule() {
+    let schedules = explore(4, 2, |schedule| {
+        let outcome = run_under(schedule, || {
+            let gate = Arc::new(Gate::new());
+            let flag = Arc::new(AtomicBool::new(false));
+            let (g, f) = (Arc::clone(&gate), Arc::clone(&flag));
+            let waiter = spawn_participant(move || {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                g.wait(Some(deadline), || f.load(Ordering::SeqCst))
+            });
+            let (g, f) = (gate, flag);
+            let notifier = spawn_participant(move || {
+                f.store(true, Ordering::SeqCst);
+                g.notify_one();
+            });
+            notifier.join().unwrap();
+            waiter.join().unwrap()
+        });
+        assert_eq!(
+            outcome,
+            WaitOutcome::Ready,
+            "lost wakeup under schedule {schedule:?}"
+        );
+    });
+    assert!(schedules > 1, "exploration must enumerate schedules");
+}
+
+/// Treiber free list: two threads acquiring/releasing through every
+/// CAS-window schedule must never double-lease a slot, and the pool
+/// must end full.
+#[test]
+fn scope_pool_never_double_leases_under_any_schedule() {
+    let model = MemoryModel::new();
+    explore(6, 2, |schedule| {
+        run_under(schedule, || {
+            let pool = ScopePool::new(&model, 1, 1024, 2).unwrap();
+            let capacity = pool.capacity();
+            // Name every slot by region id via a full drain.
+            let in_use: Arc<HashMap<_, AtomicBool>> = {
+                let mut leases = Vec::new();
+                let mut map = HashMap::new();
+                while let Ok(l) = pool.acquire() {
+                    map.insert(l.region(), AtomicBool::new(false));
+                    leases.push(l);
+                }
+                Arc::new(map)
+            };
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let pool = pool.clone();
+                    let in_use = Arc::clone(&in_use);
+                    spawn_participant(move || {
+                        for _ in 0..4 {
+                            if let Ok(lease) = pool.acquire() {
+                                let slot = &in_use[&lease.region()];
+                                assert!(!slot.swap(true, Ordering::SeqCst), "slot double-leased");
+                                std::thread::yield_now();
+                                slot.store(false, Ordering::SeqCst);
+                                drop(lease);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(
+                pool.available(),
+                capacity,
+                "every slot returned under schedule {schedule:?}"
+            );
+        });
+    });
+}

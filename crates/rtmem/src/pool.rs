@@ -71,6 +71,7 @@ impl FreeStack {
                 return None;
             }
             let nxt = self.next[idx as usize].load(Ordering::SeqCst);
+            rtplatform::chk::yield_point("freestack.pop.loaded");
             if self
                 .head
                 .compare_exchange(
@@ -93,6 +94,7 @@ impl FreeStack {
             let cur = self.head.load(Ordering::SeqCst);
             let (tag, top) = unpack(cur);
             self.next[idx as usize].store(top, Ordering::SeqCst);
+            rtplatform::chk::yield_point("freestack.push.staged");
             if self
                 .head
                 .compare_exchange(

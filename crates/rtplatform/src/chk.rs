@@ -1,0 +1,103 @@
+//! Test-only yield hooks for deterministic interleaving exploration.
+//!
+//! The lock-free primitives ([`crate::park::Gate`], the Treiber free
+//! list in `rtmem`) have narrow race windows — between a waiter
+//! registering itself and re-checking state, between loading a stack
+//! head and CASing it — that stress tests hit only probabilistically.
+//! `rtcheck`'s interleaving driver explores them *deterministically* by
+//! stalling threads at named instrumentation points according to an
+//! enumerated schedule.
+//!
+//! Without the `rtcheck-hooks` feature, [`yield_point`] compiles to
+//! nothing. With it, each call is one relaxed atomic load unless a hook
+//! is installed **and** the calling thread opted in via [`participate`]
+//! — so enabling the feature for a whole-workspace test build does not
+//! perturb unrelated tests. The hooks sit only on slow paths (park
+//! registration, CAS retry windows), never on the fast path.
+
+/// Named instrumentation point. A no-op unless the `rtcheck-hooks`
+/// feature is enabled, a hook is installed, and the calling thread has
+/// opted in with [`participate`].
+#[cfg(not(feature = "rtcheck-hooks"))]
+#[inline(always)]
+pub fn yield_point(_site: &'static str) {}
+
+#[cfg(feature = "rtcheck-hooks")]
+pub use active::{install, participate, uninstall, yield_point};
+
+#[cfg(feature = "rtcheck-hooks")]
+mod active {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, RwLock};
+
+    /// The installed hook, called with the site name at each yield point.
+    type Hook = Arc<dyn Fn(&'static str) + Send + Sync>;
+
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    static HOOK: RwLock<Option<Hook>> = RwLock::new(None);
+
+    thread_local! {
+        static PARTICIPANT: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Installs `hook` as the global yield-point callback. Only threads
+    /// that called [`participate`]`(true)` will invoke it.
+    pub fn install(hook: Arc<dyn Fn(&'static str) + Send + Sync>) {
+        *HOOK.write().unwrap() = Some(hook);
+        INSTALLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Removes the installed hook; yield points revert to (almost) free.
+    pub fn uninstall() {
+        INSTALLED.store(false, Ordering::SeqCst);
+        *HOOK.write().unwrap() = None;
+    }
+
+    /// Opts the calling thread in (or out) of yield-point callbacks.
+    /// Threads the interleaving driver did not spawn stay unaffected.
+    pub fn participate(on: bool) {
+        PARTICIPANT.with(|p| p.set(on));
+    }
+
+    /// Named instrumentation point: invokes the installed hook if the
+    /// calling thread participates. One relaxed load when inactive.
+    #[inline]
+    pub fn yield_point(site: &'static str) {
+        if !INSTALLED.load(Ordering::Relaxed) {
+            return;
+        }
+        if !PARTICIPANT.with(|p| p.get()) {
+            return;
+        }
+        let hook = HOOK.read().unwrap().clone();
+        if let Some(hook) = hook {
+            hook(site);
+        }
+    }
+}
+
+#[cfg(all(test, feature = "rtcheck-hooks"))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn hook_fires_only_for_participants() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = Arc::clone(&hits);
+        install(Arc::new(move |_| {
+            h2.fetch_add(1, Ordering::SeqCst);
+        }));
+        yield_point("site.a"); // not a participant yet
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        participate(true);
+        yield_point("site.a");
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        participate(false);
+        uninstall();
+        yield_point("site.a");
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

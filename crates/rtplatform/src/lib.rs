@@ -30,6 +30,7 @@
 use std::time::Duration;
 
 pub mod atomic;
+pub mod chk;
 pub mod fault;
 pub mod park;
 pub mod ring;

@@ -59,6 +59,7 @@ impl Gate {
     /// state transition after `wait` returns.
     pub fn wait(&self, deadline: Option<Instant>, mut ready: impl FnMut() -> bool) -> WaitOutcome {
         self.waiters.fetch_add(1, Ordering::SeqCst);
+        crate::chk::yield_point("gate.wait.registered");
         self.parks.fetch_add(1, Ordering::Relaxed);
         let mut g = self.lock.lock();
         let outcome = loop {
@@ -87,6 +88,7 @@ impl Gate {
     /// parked. Call after publishing the state change the waiter polls.
     pub fn notify_one(&self) {
         fence(Ordering::SeqCst);
+        crate::chk::yield_point("gate.notify.fenced");
         if self.waiters.load(Ordering::Relaxed) > 0 {
             // Empty critical section: a waiter between its `ready`
             // check and `cond.wait` holds the mutex, so acquiring it

@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut failed: u64 = 0;
     let mut slowest = Duration::ZERO;
     let payload = [0xA5u8; 64];
-    let end = Instant::now() + Duration::from_secs(seconds);
+    let started = Instant::now();
+    let end = started + Duration::from_secs(seconds);
+    // Progress heartbeat: if an assert trips or the run wedges, the log's
+    // last progress line pins down how far the seeded schedule got.
+    let mut next_report = started + Duration::from_secs(1);
     while Instant::now() < end {
         let t0 = Instant::now();
         let result = client.invoke(b"echo", "echo", &payload);
@@ -66,18 +70,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slowest = slowest.max(took);
         assert!(
             took <= budget,
-            "invocation blocked {took:?}, budget is {budget:?}: wedged thread"
+            "invocation blocked {took:?}, budget is {budget:?}: wedged thread \
+             (seed {seed}, iteration {invocations})"
         );
         invocations += 1;
         match result {
             Ok(reply) => {
                 assert_eq!(
                     reply, payload,
-                    "faults must never corrupt a delivered reply"
+                    "faults must never corrupt a delivered reply \
+                     (seed {seed}, iteration {invocations})"
                 );
                 ok += 1;
             }
             Err(_) => failed += 1, // injected fault; the link self-heals
+        }
+        if t0 >= next_report {
+            println!(
+                "progress: iteration={invocations} ok={ok} failed={failed} \
+                 seed={seed} elapsed={:?}",
+                started.elapsed()
+            );
+            next_report = Instant::now() + Duration::from_secs(1);
         }
     }
 

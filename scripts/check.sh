@@ -11,6 +11,12 @@ run() {
 
 run cargo build --release --offline --workspace --examples
 run cargo test -q --offline --workspace
+
+# Fixed-seed rtcheck subset: deterministic differential conformance and
+# linearizability sweeps (the binary was built by the workspace build
+# above). The randomized time-boxed sweeps live in CI tier 2.
+run ./target/release/rtcheck diff --seed 0 --cases 2000
+run ./target/release/rtcheck lin --seed 0 --rounds 50
 run cargo fmt --all -- --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" run cargo doc --offline --no-deps --workspace

@@ -30,7 +30,7 @@ tail -n 3 /tmp/soak_baseline.log
 
 echo "==> ${SOAK_SECS}s chaos soak, seed ${SEED}"
 if ! timeout "$HARD_LIMIT" \
-    ./target/release/examples/chaos_echo "$SOAK_SECS" "$SEED" > /tmp/soak_chaos.log
+    ./target/release/examples/chaos_echo "$SOAK_SECS" "$SEED" > /tmp/soak_chaos.log 2>&1
 then
     status=$?
     if [ "$status" -eq 124 ]; then
@@ -38,6 +38,10 @@ then
     else
         echo "FAIL: chaos_echo exited with status $status"
     fi
+    last_progress=$(grep '^progress:' /tmp/soak_chaos.log | tail -n 1 || true)
+    echo "chaos seed: ${SEED}"
+    echo "last recorded iteration: ${last_progress:-<none — died before first heartbeat>}"
+    echo "reproduce with: SOAK_SECS=${SOAK_SECS} SEED=${SEED} scripts/soak.sh"
     cat /tmp/soak_chaos.log
     exit 1
 fi
