@@ -364,6 +364,10 @@ impl AppBuilder {
                     dispatch,
                     attrs,
                     entity: obs.register_entity(&format!("{}.{}", vi.name, key.1)),
+                    deadline_miss: obs.counter(&format!(
+                        "compadres_deadline_miss_{}_total",
+                        metric_safe(&format!("{}_{}", vi.name, key.1))
+                    )),
                 },
             );
         }

@@ -11,6 +11,7 @@ use std::any::Any;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use rtobs::SpanCtx;
 use rtplatform::atomic::current_shard;
 use rtplatform::ring::MpmcRing;
 
@@ -258,6 +259,7 @@ impl<M: Message> PooledMsg<M> {
             pool: Some(Arc::clone(&self.pool)),
             priority,
             enqueued_ns: 0,
+            span: SpanCtx::NONE,
         }
     }
 }
@@ -279,6 +281,10 @@ pub(crate) struct Envelope {
     /// Observer timestamp set at admission, for the queue-wait histogram
     /// (0 = never stamped).
     pub enqueued_ns: u64,
+    /// Trace context stamped at admission ([`SpanCtx::NONE`] when the
+    /// message is outside any trace). A few `Copy` words riding along —
+    /// no allocation, no locking.
+    pub span: SpanCtx,
 }
 
 impl std::fmt::Debug for Envelope {
@@ -295,6 +301,7 @@ impl Envelope {
             pool: None,
             priority,
             enqueued_ns: 0,
+            span: SpanCtx::NONE,
         }
     }
 

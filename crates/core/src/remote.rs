@@ -17,6 +17,21 @@
 //! type identity is checked at the receiving side against the in-port's
 //! bound Rust type, so a mismatched pairing fails loudly, not silently.
 //!
+//! ## Trace context (DESIGN.md §5g)
+//!
+//! Priorities occupy `[1, 99]`, so the high bit of the priority byte is
+//! free: when set, a 16-byte trace preamble — `u32` trace id, `u16`
+//! parent span id, `u16` reserved, `u64` remaining deadline budget in
+//! nanoseconds (all big-endian, budget `0` = no deadline) — precedes the
+//! payload *inside* the length-counted region. The sender stamps it from
+//! the thread-local span of the caller ([`rtobs::span::current`]); the
+//! exporter adopts it ([`Observer::adopt_remote`]) so the injected
+//! message continues the sender's trace with the budget re-anchored to
+//! the local clock. Clocks never cross the wire, only budgets. Untraced
+//! sends are byte-identical to the legacy format, and because the
+//! preamble lives inside the counted length a receiver that ignores the
+//! flag never loses its stream position.
+//!
 //! ## Fault model
 //!
 //! Both endpoints honour a [`FaultPolicy`] (DESIGN.md §"Fault model").
@@ -49,6 +64,18 @@ use crate::message::Message;
 use crate::runtime::App;
 use crate::smm::BytesCodec;
 use rtsched::Priority;
+
+/// High bit of the wire priority byte: a trace preamble follows the
+/// length word. Free because [`Priority`] values are clamped to `< 100`.
+const TRACE_FLAG: u8 = 0x80;
+
+/// Bytes of trace preamble when [`TRACE_FLAG`] is set: `u32` trace id,
+/// `u16` parent span, `u16` reserved, `u64` budget ns (big-endian).
+const TRACE_PREAMBLE: usize = 16;
+
+/// Trace context carried by a flagged frame: `(trace_id, parent_span,
+/// budget_ns)` with budget `0` meaning "no deadline".
+type WireTrace = (u32, u16, u64);
 
 fn io_err(e: std::io::Error) -> CompadresError {
     CompadresError::Model(format!("remote link I/O failure: {e}"))
@@ -93,8 +120,8 @@ impl std::fmt::Debug for PortExporter {
 
 /// Outcome of one framed read on an exporter connection.
 enum FrameRead<M> {
-    /// A complete frame arrived.
-    Frame(Priority, M),
+    /// A complete frame arrived, possibly carrying a trace context.
+    Frame(Priority, Option<WireTrace>, M),
     /// The recv deadline elapsed *between* frames: the link is idle, not
     /// faulty. The caller re-checks shutdown and keeps listening.
     Idle,
@@ -127,14 +154,25 @@ fn read_frame<M: BytesCodec>(stream: &mut TcpStream) -> FrameRead<M> {
         Err(e) if is_timeout(&e) => return FrameRead::Stalled,
         Err(_) => return FrameRead::Dead,
     }
-    let priority = Priority::new(first[0]);
+    let traced = first[0] & TRACE_FLAG != 0;
+    let priority = Priority::new(first[0] & !TRACE_FLAG);
     let len = u32::from_be_bytes(rest) as usize;
-    if len > 64 << 20 {
-        return FrameRead::Dead; // oversized claim: drop the connection
+    if len > 64 << 20 || (traced && len < TRACE_PREAMBLE) {
+        return FrameRead::Dead; // oversized or malformed claim: drop
     }
     let mut payload = vec![0u8; len];
     match stream.read_exact(&mut payload) {
-        Ok(()) => FrameRead::Frame(priority, M::decode(&payload)),
+        Ok(()) => {
+            let (trace, body) = if traced {
+                let trace_id = u32::from_be_bytes(payload[0..4].try_into().unwrap());
+                let parent = u16::from_be_bytes(payload[4..6].try_into().unwrap());
+                let budget = u64::from_be_bytes(payload[8..16].try_into().unwrap());
+                (Some((trace_id, parent, budget)), &payload[TRACE_PREAMBLE..])
+            } else {
+                (None, &payload[..])
+            };
+            FrameRead::Frame(priority, trace, M::decode(body))
+        }
         Err(e) if is_timeout(&e) => FrameRead::Stalled,
         Err(_) => FrameRead::Dead,
     }
@@ -251,10 +289,46 @@ impl PortExporter {
                             let mut stream = stream;
                             while !shutdown3.load(Ordering::SeqCst) {
                                 match read_frame::<M>(&mut stream) {
-                                    FrameRead::Frame(priority, msg) => {
+                                    FrameRead::Frame(priority, trace, msg) => {
                                         received3.fetch_add(1, Ordering::Relaxed);
                                         eobs.obs.inc(eobs.rx_frames);
-                                        if app.send_to(&instance, &port, msg, priority).is_err() {
+                                        // Adopt the sender's trace so the
+                                        // injected message continues it;
+                                        // deliver() then mints a child of
+                                        // this span.
+                                        let span = match trace {
+                                            Some((tid, parent, budget)) if eobs.obs.tracing() => {
+                                                let s = eobs.obs.adopt_remote(tid, parent, budget);
+                                                eobs.obs.record_span(
+                                                    EventKind::SpanRemoteRecv,
+                                                    eobs.entity,
+                                                    budget,
+                                                    s,
+                                                );
+                                                s
+                                            }
+                                            _ => rtobs::SpanCtx::NONE,
+                                        };
+                                        let injected = rtobs::span::with_span(span, || {
+                                            app.send_to(&instance, &port, msg, priority)
+                                        });
+                                        if span.is_active() {
+                                            // Close the adopted span: on a
+                                            // synchronous pipeline its
+                                            // duration brackets the local
+                                            // processing, so stitched trees
+                                            // attribute self-time to this
+                                            // side instead of the sender's
+                                            // wire hop.
+                                            let left = eobs.obs.budget_remaining(span);
+                                            eobs.obs.record_span(
+                                                EventKind::SpanEnd,
+                                                eobs.entity,
+                                                left as u64,
+                                                span,
+                                            );
+                                        }
+                                        if injected.is_err() {
                                             rejected3.fetch_add(1, Ordering::Relaxed);
                                             eobs.obs.inc(eobs.rx_rejected);
                                         }
@@ -535,9 +609,34 @@ impl<M: Message + BytesCodec> RemotePort<M> {
     pub fn send(&self, msg: &M, priority: impl Into<Priority>) -> Result<()> {
         let mut payload = Vec::new();
         msg.encode(&mut payload);
-        let mut frame = Vec::with_capacity(payload.len() + 5);
-        frame.push(priority.into().value());
-        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        let span = rtobs::span::current();
+        let traced = span.is_active();
+        let preamble = if traced { TRACE_PREAMBLE } else { 0 };
+        let mut frame = Vec::with_capacity(payload.len() + preamble + 5);
+        let prio = priority.into().value();
+        frame.push(if traced { prio | TRACE_FLAG } else { prio });
+        frame.extend_from_slice(&((payload.len() + preamble) as u32).to_be_bytes());
+        if traced {
+            // Remaining budget, re-derived by the peer against its own
+            // clock; 0 = no deadline, overruns propagate as a 1 ns stub
+            // so the receiver still flags them.
+            let budget = match self.obs.get() {
+                Some(o) => match o.obs.budget_remaining(span) {
+                    i64::MIN => 0,
+                    left if left <= 0 => 1,
+                    left => left as u64,
+                },
+                None => 0,
+            };
+            frame.extend_from_slice(&span.trace_id.to_be_bytes());
+            frame.extend_from_slice(&span.span_id.to_be_bytes());
+            frame.extend_from_slice(&0u16.to_be_bytes());
+            frame.extend_from_slice(&budget.to_be_bytes());
+            if let Some(o) = self.obs.get() {
+                o.obs
+                    .record_span(EventKind::SpanRemoteSend, o.entity, budget, span);
+            }
+        }
         frame.extend_from_slice(&payload);
 
         let mut st = self.state.lock();
@@ -806,6 +905,70 @@ mod tests {
             count >= 32,
             "at least a buffer's worth must get through, got {count}"
         );
+    }
+
+    #[test]
+    fn trace_context_crosses_the_wire() {
+        let (app, rx) = receiver_app();
+        let exporter = PortExporter::bind::<Telemetry>(&app, "S", "In").unwrap();
+        let sender = RemotePort::<Telemetry>::connect(exporter.local_addr()).unwrap();
+        let cobs = Arc::new(Observer::new());
+        sender.set_observer(&cobs);
+
+        let root = cobs.new_trace(Some(5_000_000_000));
+        rtobs::span::with_span(root, || {
+            sender
+                .send(&Telemetry { id: 7, value: 70 }, Priority::new(30))
+                .unwrap();
+        });
+        let (msg, _) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(msg.id, 7);
+
+        // The handler's SpanEnd lands just after the channel send; wait
+        // for it rather than racing.
+        let sobs = app.observer();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let in_trace = |e: &rtobs::Event| (e.span >> 32) as u32 == root.trace_id;
+        loop {
+            let evs = sobs.events();
+            if evs
+                .iter()
+                .any(|e| e.kind == EventKind::SpanEnd && in_trace(e))
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "server never recorded SpanEnd");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        let evs = sobs.events();
+        assert!(
+            evs.iter()
+                .any(|e| e.kind == EventKind::SpanRemoteRecv && in_trace(e)),
+            "exporter must adopt the sender's trace id"
+        );
+        // Untraced control: frames without the flag carry no context.
+        sender
+            .send(&Telemetry { id: 8, value: 80 }, Priority::new(30))
+            .unwrap();
+        let _ = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        // Stitch both journals: the server-side hops must parent back to
+        // the client's root span across the process boundary.
+        let forest =
+            rtobs::SpanForest::from_journals(&[("client", cobs.as_ref()), ("server", sobs)]);
+        let path = forest.critical_path(root.trace_id);
+        assert!(!path.is_empty(), "trace must have a critical path");
+        let sources: Vec<&str> = path
+            .iter()
+            .map(|&i| forest.sources[forest.nodes()[i].source].as_str())
+            .collect();
+        assert!(
+            sources.contains(&"client") && sources.contains(&"server"),
+            "critical path must cross the wire, got {sources:?}"
+        );
+        let rendered = forest.render();
+        assert!(rendered.contains("[client]") && rendered.contains("[server]"));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::time::Duration;
 use rtplatform::sync::{Condvar, Mutex};
 
 use rtmem::{MemoryModel, RegionId, ScopeLease, ScopePool, Wedge};
-use rtobs::{CounterId, EventKind, HistId, Observer};
+use rtobs::{span, CounterId, EventKind, HistId, Observer};
 use rtsched::{Priority, ThreadPool};
 
 use crate::component::{Component, ErasedHandler};
@@ -70,6 +70,10 @@ pub(crate) struct InPortInfo {
     pub attrs: PortAttrs,
     /// Flight-recorder subject for this port ("instance.port").
     pub entity: u32,
+    /// Per-port deadline-miss counter: traced messages whose handler
+    /// finished past the trace deadline on this hop. Makes the fault
+    /// layer's Shed/DropOldest decisions attributable to a port.
+    pub deadline_miss: CounterId,
 }
 
 impl InPortInfo {
@@ -201,6 +205,7 @@ pub(crate) struct CoreObs {
     handler_errors: CounterId,
     handler_panics: CounterId,
     buffer_rejections: CounterId,
+    deadline_miss: CounterId,
     queue_wait: HistId,
     handler_latency: HistId,
 }
@@ -213,6 +218,7 @@ impl CoreObs {
             handler_errors: obs.counter("compadres_handler_errors_total"),
             handler_panics: obs.counter("compadres_handler_panics_total"),
             buffer_rejections: obs.counter("compadres_buffer_rejections_total"),
+            deadline_miss: obs.counter("compadres_deadline_miss_total"),
             queue_wait: obs.histogram("compadres_queue_wait_ns"),
             handler_latency: obs.histogram("compadres_handler_latency_ns"),
             obs,
@@ -542,15 +548,32 @@ impl AppCore {
                 u64::from(env.priority.value()),
                 env.enqueued_ns,
             );
+            // Trace ingress: continue the sender's trace as a child hop,
+            // or mint a fresh root for a message arriving from outside
+            // any trace. A few Copy words and one journal record.
+            if obs.tracing() {
+                let parent = span::current();
+                env.span = if parent.is_active() {
+                    obs.child_span(parent)
+                } else {
+                    obs.new_trace(None)
+                };
+                obs.record_span(
+                    EventKind::SpanEnqueue,
+                    info.entity,
+                    env.span.deadline_ns,
+                    env.span,
+                );
+            }
         }
         match &info.dispatch {
             Dispatch::Synchronous => {
                 let priority = env.priority;
                 match sender_ctx {
-                    Some(ctx) => self.process_envelope(ctx, to, env, priority),
+                    Some(ctx) => self.process_envelope(ctx, to, env, priority, false),
                     None => {
                         let mut ctx = rtmem::Ctx::no_heap(&self.model);
-                        self.process_envelope(&mut ctx, to, env, priority)
+                        self.process_envelope(&mut ctx, to, env, priority, false)
                     }
                 }
             }
@@ -579,7 +602,7 @@ impl AppCore {
                 let accepted = pool.execute(priority, move |ctx, prio| {
                     let env = env_cell.take().expect("job runs once");
                     inflight2.fetch_sub(1, Ordering::SeqCst);
-                    let _ = core.process_envelope(ctx, to, env, prio);
+                    let _ = core.process_envelope(ctx, to, env, prio, true);
                 });
                 if !accepted {
                     inflight.fetch_sub(1, Ordering::SeqCst);
@@ -591,22 +614,35 @@ impl AppCore {
     }
 
     /// Runs the handler for one envelope inside the target's memory area.
+    /// `queued` is true on the async path (the envelope actually sat in a
+    /// buffer); sync hops skip the span-dequeue event — their wait is ~0
+    /// by construction and the reconstructor treats absence as such.
     fn process_envelope(
         self: &Arc<Self>,
         ctx: &mut rtmem::Ctx,
         to: (InstanceId, String),
         env: Envelope,
         priority: Priority,
+        queued: bool,
     ) -> Result<()> {
         // Dequeue edge of the trace: how long the envelope waited between
         // admission and a worker (or the sender's thread) picking it up.
-        let entity = self.in_ports.get(&to).map_or(0, |i| i.entity);
+        let (entity, port_miss) = self
+            .in_ports
+            .get(&to)
+            .map_or((0, None), |i| (i.entity, Some(i.deadline_miss)));
+        let span_ctx = env.span;
         if self.stats.obs.enabled() {
             let wait_ns = self.stats.obs.now_ns().saturating_sub(env.enqueued_ns);
             self.stats
                 .obs
                 .record(EventKind::PortDequeue, entity, wait_ns);
             self.stats.obs.observe(self.stats.queue_wait, wait_ns);
+            if queued && span_ctx.is_active() {
+                self.stats
+                    .obs
+                    .record_span(EventKind::SpanDequeue, entity, wait_ns, span_ctx);
+            }
         }
         self.hold_chain(to.0)?;
         let result = (|| -> Result<()> {
@@ -627,35 +663,59 @@ impl AppCore {
             };
             self.run_in_instance_with(ctx, to.0, priority, |hctx| {
                 rtsched::with_priority(priority, || {
-                    let mut h = handler.lock();
-                    env.process(|payload| {
-                        let s = &hctx.core.stats;
-                        let started = s.obs.enabled();
-                        let t0 = if started { s.obs.now_ns() } else { 0 };
-                        if started {
-                            s.obs.record_at(
-                                EventKind::HandlerStart,
-                                entity,
-                                u64::from(priority.value()),
-                                t0,
-                            );
-                        }
-                        let outcome =
-                            catch_unwind(AssertUnwindSafe(|| h.process_any(payload, hctx)));
-                        let s = &hctx.core.stats;
-                        if started {
-                            let elapsed = s.obs.now_ns().saturating_sub(t0);
-                            s.obs.record(EventKind::HandlerEnd, entity, elapsed);
-                            s.obs.observe(s.handler_latency, elapsed);
-                        }
-                        match outcome {
-                            Ok(Ok(())) => s.obs.inc(s.processed),
-                            Ok(Err(_)) => s.obs.inc(s.handler_errors),
-                            Err(_) => {
-                                s.obs.inc(s.handler_panics);
-                                s.obs.record(EventKind::HandlerPanic, entity, 0);
+                    // Install the envelope's trace context for the whole
+                    // handler run: sends, remote retries and ORB calls
+                    // made inside inherit it (and NONE clears any residue
+                    // left on a pooled worker thread).
+                    span::with_span(span_ctx, || {
+                        let mut h = handler.lock();
+                        env.process(|payload| {
+                            let s = &hctx.core.stats;
+                            let started = s.obs.enabled();
+                            let t0 = if started { s.obs.now_ns() } else { 0 };
+                            if started {
+                                s.obs.record_at(
+                                    EventKind::HandlerStart,
+                                    entity,
+                                    u64::from(priority.value()),
+                                    t0,
+                                );
                             }
-                        }
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| h.process_any(payload, hctx)));
+                            let s = &hctx.core.stats;
+                            if started {
+                                let elapsed = s.obs.now_ns().saturating_sub(t0);
+                                s.obs.record(EventKind::HandlerEnd, entity, elapsed);
+                                s.obs.observe(s.handler_latency, elapsed);
+                                // Close out the hop: remaining deadline
+                                // budget (negative = overrun, counted
+                                // globally and per port).
+                                if span_ctx.is_active() {
+                                    let left = s.obs.budget_remaining(span_ctx);
+                                    s.obs.record_span(
+                                        EventKind::SpanEnd,
+                                        entity,
+                                        left as u64,
+                                        span_ctx,
+                                    );
+                                    if left != i64::MIN && left < 0 {
+                                        s.obs.inc(s.deadline_miss);
+                                        if let Some(pm) = port_miss {
+                                            s.obs.inc(pm);
+                                        }
+                                    }
+                                }
+                            }
+                            match outcome {
+                                Ok(Ok(())) => s.obs.inc(s.processed),
+                                Ok(Err(_)) => s.obs.inc(s.handler_errors),
+                                Err(_) => {
+                                    s.obs.inc(s.handler_panics);
+                                    s.obs.record(EventKind::HandlerPanic, entity, 0);
+                                }
+                            }
+                        });
                     });
                 });
             })?;

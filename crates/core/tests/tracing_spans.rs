@@ -1,0 +1,246 @@
+//! End-to-end causal tracing through local ports (DESIGN.md §5g): span
+//! minting at the ingress port, queue-wait vs handler-run split on
+//! asynchronous ports, deadline-budget accounting and the per-hop
+//! deadline-miss counters.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use compadres_core::{AppBuilder, HandlerCtx, Priority};
+use rtobs::{span, EventKind, SpanForest};
+
+#[derive(Debug, Default, Clone)]
+struct Ping {
+    tag: u64,
+}
+
+const CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Stage</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Ping</MessageType></Port>
+    <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Ping</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Sink</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Ping</MessageType></Port>
+  </Component>
+</Components>"#;
+
+/// `pool`: threadpool attrs for the Sink's in-port; the Stage is always
+/// synchronous so the two-hop chain stays on the caller's thread up to
+/// the port under test.
+fn ccl(pool: &str) -> String {
+    format!(
+        r#"
+<Application>
+  <ApplicationName>Traced</ApplicationName>
+  <Component>
+    <InstanceName>Root</InstanceName>
+    <ClassName>Stage</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>In</PortName>
+        <PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize></PortAttributes>
+      </Port>
+      <Port><PortName>Out</PortName>
+        <Link><ToComponent>S</ToComponent><ToPort>In</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>S</InstanceName>
+      <ClassName>Sink</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>In</PortName><PortAttributes>{pool}</PortAttributes></Port>
+      </Connection>
+    </Component>
+  </Component>
+</Application>"#
+    )
+}
+
+fn build(pool: &str, sink_sleep: Duration) -> (compadres_core::App, mpsc::Receiver<u64>) {
+    let (tx, rx) = mpsc::channel();
+    let app = AppBuilder::from_xml(CDL, &ccl(pool))
+        .unwrap()
+        .bind_message_type::<Ping>("Ping")
+        .register_handler("Stage", "In", || {
+            |msg: &mut Ping, ctx: &mut HandlerCtx<'_>| {
+                let mut fwd = ctx.get_message::<Ping>("Out")?;
+                fwd.tag = msg.tag;
+                ctx.send("Out", fwd, ctx.priority())
+            }
+        })
+        .register_handler("Sink", "In", move || {
+            let tx = tx.clone();
+            move |msg: &mut Ping, _ctx: &mut HandlerCtx<'_>| {
+                if !sink_sleep.is_zero() {
+                    std::thread::sleep(sink_sleep);
+                }
+                let _ = tx.send(msg.tag);
+                Ok(())
+            }
+        })
+        .build()
+        .unwrap();
+    app.start().unwrap();
+    (app, rx)
+}
+
+const SYNC: &str =
+    "<MinThreadpoolSize>0</MinThreadpoolSize><MaxThreadpoolSize>0</MaxThreadpoolSize>";
+const ASYNC_ONE: &str = "<BufferSize>16</BufferSize>\
+     <MinThreadpoolSize>1</MinThreadpoolSize><MaxThreadpoolSize>1</MaxThreadpoolSize>";
+
+/// Waits until `n` SpanEnd events are visible (async hops publish them
+/// slightly after the handler's channel send).
+fn await_span_ends(obs: &rtobs::Observer, n: usize) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while obs
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanEnd)
+        .count()
+        < n
+    {
+        assert!(Instant::now() < deadline, "SpanEnd events never appeared");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn each_ingress_message_roots_a_trace_and_hops_chain() {
+    let (app, rx) = build(SYNC, Duration::ZERO);
+    app.send_to("Root", "In", Ping { tag: 1 }, Priority::new(20))
+        .unwrap();
+    rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    let obs = app.observer();
+    await_span_ends(obs, 2);
+
+    let forest = SpanForest::from_observer(obs);
+    // One root (the ingress hop), whose child is the Sink hop.
+    let roots: Vec<_> = forest.nodes().iter().filter(|n| n.parent == 0).collect();
+    assert_eq!(roots.len(), 1, "one trace per ingress message");
+    assert_eq!(roots[0].children.len(), 1, "second hop is a child span");
+    let child = &forest.nodes()[roots[0].children[0]];
+    assert_eq!(child.trace_id, roots[0].trace_id);
+    // Synchronous hops skip SpanDequeue: no queue wait is recorded.
+    assert!(child.wait_ns.is_none());
+    assert!(child.duration_ns().is_some(), "begin/end recorded");
+    let path = forest.critical_path(roots[0].trace_id);
+    assert_eq!(path.len(), 2, "critical path spans both hops");
+}
+
+#[test]
+fn ambient_span_is_inherited_not_reminted() {
+    let (app, rx) = build(SYNC, Duration::ZERO);
+    let obs = app.observer();
+    let root = obs.new_trace(None);
+    span::with_span(root, || {
+        app.send_to("Root", "In", Ping { tag: 2 }, Priority::new(20))
+            .unwrap();
+    });
+    rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    await_span_ends(obs, 2);
+    let in_trace = |e: &rtobs::Event| (e.span >> 32) as u32 == root.trace_id;
+    let evs = obs.events();
+    assert!(
+        evs.iter()
+            .filter(|e| e.kind == EventKind::SpanEnqueue)
+            .all(in_trace),
+        "hops join the caller's trace instead of starting their own"
+    );
+}
+
+#[test]
+fn async_hop_records_queue_wait_vs_run_split() {
+    // One worker, slow handler: the second message queues behind the
+    // first, so its hop carries a visible queue wait.
+    let (app, rx) = build(ASYNC_ONE, Duration::from_millis(20));
+    for tag in 0..2 {
+        app.send_to("Root", "In", Ping { tag }, Priority::new(20))
+            .unwrap();
+    }
+    for _ in 0..2 {
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    }
+    let obs = app.observer();
+    await_span_ends(obs, 4);
+
+    let evs = obs.events();
+    assert!(
+        evs.iter().any(|e| e.kind == EventKind::SpanDequeue),
+        "async hops record the dequeue edge"
+    );
+    let forest = SpanForest::from_observer(obs);
+    let waits: Vec<u64> = forest.nodes().iter().filter_map(|n| n.wait_ns).collect();
+    assert!(!waits.is_empty(), "queue wait split recorded");
+    assert!(
+        waits.iter().any(|&w| w >= 10_000_000),
+        "second message waited behind the 20 ms handler, waits: {waits:?}"
+    );
+}
+
+#[test]
+fn blown_budget_is_flagged_and_counted_per_hop() {
+    let (app, rx) = build(SYNC, Duration::from_millis(15));
+    let obs = app.observer();
+    // 1 ms budget against a 15 ms handler: guaranteed overrun.
+    let root = obs.new_trace(Some(1_000_000));
+    span::with_span(root, || {
+        app.send_to("Root", "In", Ping { tag: 3 }, Priority::new(20))
+            .unwrap();
+    });
+    rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    await_span_ends(obs, 2);
+
+    let forest = SpanForest::from_observer(obs);
+    assert_eq!(
+        forest.overrun_traces(),
+        vec![root.trace_id],
+        "the blown trace is flagged"
+    );
+    let dominant = forest.dominant_hop(root.trace_id).expect("dominant hop");
+    assert!(
+        forest.nodes()[dominant].duration_ns().unwrap() >= 10_000_000,
+        "the slow Sink hop dominates the critical path"
+    );
+    let rendered = forest.render();
+    assert!(rendered.contains("OVERRUN"), "render flags it:\n{rendered}");
+
+    // Both hops end after the slow handler (the Root hop's end covers
+    // its nested synchronous send), so both overrun.
+    let metrics = app.metrics_text();
+    assert!(
+        metrics.contains("compadres_deadline_miss_total 2"),
+        "global miss counter:\n{metrics}"
+    );
+    assert!(
+        metrics
+            .lines()
+            .any(|l| l.starts_with("compadres_deadline_miss_s_in_total") && l.ends_with(" 1")),
+        "per-hop miss counter names the port:\n{metrics}"
+    );
+}
+
+#[test]
+fn tracing_can_be_switched_off() {
+    let (app, rx) = build(SYNC, Duration::ZERO);
+    let obs = app.observer();
+    obs.set_tracing(false);
+    app.send_to("Root", "In", Ping { tag: 4 }, Priority::new(20))
+        .unwrap();
+    rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    app.wait_quiescent(Duration::from_secs(2));
+    assert!(
+        !obs.events().iter().any(|e| {
+            matches!(
+                e.kind,
+                EventKind::SpanEnqueue | EventKind::SpanDequeue | EventKind::SpanEnd
+            )
+        }),
+        "no span events when tracing is off"
+    );
+    assert!(SpanForest::from_observer(obs).is_empty());
+}

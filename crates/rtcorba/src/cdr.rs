@@ -366,6 +366,19 @@ impl<'a> CdrDecoder<'a> {
         String::from_utf8(bytes[..bytes.len() - 1].to_vec()).map_err(|_| CdrError::BadString)
     }
 
+    /// Skips a length-prefixed octet sequence (the layout shared by
+    /// `sequence<octet>` and CDR strings) without copying it; returns
+    /// the payload length skipped. Used by scanners that only care
+    /// about a later field, e.g. [`crate::giop::peek_trace`].
+    pub fn skip_octets(&mut self) -> Result<usize, CdrError> {
+        let len = self.read_u32()?;
+        if len as usize > self.remaining() {
+            return Err(CdrError::LengthOverflow(len));
+        }
+        self.take(len as usize)?;
+        Ok(len as usize)
+    }
+
     /// Reads a `sequence<octet>`.
     pub fn read_octets(&mut self) -> Result<Vec<u8>, CdrError> {
         let len = self.read_u32()?;

@@ -460,6 +460,7 @@ mod tests {
             object_key: b"k".to_vec(),
             operation: "op".to_string(),
             body: vec![n; 64],
+            service_context: Vec::new(),
         }
         .encode(crate::cdr::Endian::Big)
     }

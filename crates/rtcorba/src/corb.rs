@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use compadres_core::{App, AppBuilder, ChildHandle, HandlerCtx, Priority};
-use rtobs::{CounterId, EventKind, HistId};
+use rtobs::{span, CounterId, EventKind, HistId, SpanCtx};
 use rtplatform::fault::FaultPolicy;
 use rtplatform::sync::Mutex;
 
@@ -331,7 +331,30 @@ impl CompadresClient {
         operation: &str,
         args: &[u8],
     ) -> Result<Vec<u8>, OrbError> {
-        self.invoke_inner(object_key, operation, args, false)
+        self.invoke_inner(object_key, operation, args, false, None)
+    }
+
+    /// Like [`invoke`](CompadresClient::invoke), but under a deadline
+    /// budget: the invocation becomes the root of a trace whose budget
+    /// travels with the request — through the client pipeline, across
+    /// the wire in the GIOP [`crate::giop::TRACE_CONTEXT_SLOT`], and
+    /// through the server pipeline — so every hop journals its remaining
+    /// budget and an overrun is attributable to the hop that spent it
+    /// (DESIGN.md §5g). `None` traces without a deadline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`invoke`](CompadresClient::invoke); a blown budget is
+    /// *recorded*, not turned into an error — deadline policy stays with
+    /// the caller.
+    pub fn invoke_with_budget(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: &[u8],
+        budget: Option<std::time::Duration>,
+    ) -> Result<Vec<u8>, OrbError> {
+        self.invoke_inner(object_key, operation, args, false, budget)
     }
 
     /// Sends a **oneway** invocation through the component pipeline: the
@@ -346,7 +369,7 @@ impl CompadresClient {
         operation: &str,
         args: &[u8],
     ) -> Result<(), OrbError> {
-        self.invoke_inner(object_key, operation, args, true)
+        self.invoke_inner(object_key, operation, args, true, None)
             .map(|_| ())
     }
 
@@ -382,10 +405,21 @@ impl CompadresClient {
         operation: &str,
         args: &[u8],
         oneway: bool,
+        budget: Option<std::time::Duration>,
     ) -> Result<Vec<u8>, OrbError> {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (entity, hist) = self.op_obs(operation);
         let obs = Arc::clone(self.app.observer());
+        // The invocation is the root of a trace; every pipeline hop below
+        // becomes a child span and inherits the deadline budget.
+        let root = if obs.tracing() {
+            obs.new_trace(budget.map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)))
+        } else {
+            SpanCtx::NONE
+        };
+        if root.is_active() {
+            obs.record_span(EventKind::SpanEnqueue, entity, root.deadline_ns, root);
+        }
         let t0 = obs.now_ns();
         obs.record_at(EventKind::GiopRequest, entity, u64::from(request_id), t0);
         let cell: Arc<ReplyCell> = Arc::new(Mutex::new(None));
@@ -393,23 +427,29 @@ impl CompadresClient {
         let key = object_key.to_vec();
         let op = operation.to_string();
         let payload = args.to_vec();
-        self.app
-            .with_component("TheOrb", move |ctx| -> Result<(), OrbError> {
-                let mut msg = ctx.get_message::<InvokeMsg>("ToTransport")?;
-                msg.request_id = request_id;
-                msg.object_key = key;
-                msg.operation = op;
-                msg.payload = payload;
-                msg.oneway = oneway;
-                msg.reply_to = Some(cell2);
-                ctx.send("ToTransport", msg, Priority::new(10))?;
-                Ok(())
-            })??;
+        span::with_span(root, || {
+            self.app
+                .with_component("TheOrb", move |ctx| -> Result<(), OrbError> {
+                    let mut msg = ctx.get_message::<InvokeMsg>("ToTransport")?;
+                    msg.request_id = request_id;
+                    msg.object_key = key;
+                    msg.operation = op;
+                    msg.payload = payload;
+                    msg.oneway = oneway;
+                    msg.reply_to = Some(cell2);
+                    ctx.send("ToTransport", msg, Priority::new(10))?;
+                    Ok(())
+                })
+        })??;
         // Every port is synchronous, so the cell is filled by now.
         let result = cell.lock().take();
         let rtt = obs.now_ns().saturating_sub(t0);
         obs.record(EventKind::GiopReply, entity, rtt);
         obs.observe(hist, rtt);
+        if root.is_active() {
+            let left = obs.budget_remaining(root);
+            obs.record_span(EventKind::SpanEnd, entity, left as u64, root);
+        }
         if let Some(Err(OrbError::Transport(TransportError::Deadline))) = &result {
             obs.inc(self.deadline_misses);
             obs.record(EventKind::RemoteDeadlineMiss, entity, rtt);
@@ -426,14 +466,32 @@ fn client_round_trip(
 ) -> Result<Vec<u8>, OrbError> {
     // Marshal in the processing component's scope; the staged copy is
     // charged to (and reclaimed with) the per-request scope.
-    let frame = RequestMessage {
+    let mut req = RequestMessage {
         request_id: msg.request_id,
         response_expected: !msg.oneway,
         object_key: msg.object_key.clone(),
         operation: msg.operation.clone(),
         body: msg.payload.clone(),
+        service_context: Vec::new(),
+    };
+    // This handler runs inside the pipeline hop's span: ship it across
+    // the wire with whatever budget is left at this point.
+    let cur = span::current();
+    if cur.is_active() {
+        let obs = ctx.observer();
+        let budget = match obs.budget_remaining(cur) {
+            i64::MIN => 0,
+            left if left <= 0 => 1, // overrun: a 1 ns stub keeps the flag
+            left => left as u64,
+        };
+        req.service_context.push((
+            giop::TRACE_CONTEXT_SLOT,
+            giop::encode_trace_slot(cur.trace_id, cur.span_id, budget),
+        ));
+        let entity = obs.register_entity("giop:wire");
+        obs.record_span(EventKind::SpanRemoteSend, entity, budget, cur);
     }
-    .encode(endian);
+    let frame = req.encode(endian);
     let staged = ctx.mem.alloc_bytes(frame.len())?;
     staged.copy_from_slice(ctx.mem, &frame)?;
     conn.send_frame(&frame)?;
@@ -443,7 +501,17 @@ fn client_round_trip(
     let reply_frame = conn.recv_frame()?;
     let staged_reply = ctx.mem.alloc_bytes(reply_frame.len())?;
     staged_reply.copy_from_slice(ctx.mem, &reply_frame)?;
-    match giop::decode(&reply_frame)? {
+    let reply = giop::decode(&reply_frame)?;
+    if cur.is_active() {
+        if let Message::Reply(r) = &reply {
+            if let Some((_, _, echoed)) = r.trace_context() {
+                let obs = ctx.observer();
+                let entity = obs.register_entity("giop:wire");
+                obs.record_span(EventKind::SpanRemoteRecv, entity, echoed, cur);
+            }
+        }
+    }
+    match reply {
         Message::Reply(r) if r.request_id == msg.request_id => match r.status {
             ReplyStatus::NoException => Ok(r.body),
             ReplyStatus::SystemException => Err(OrbError::Exception(
@@ -634,20 +702,43 @@ impl Drop for CompadresServer {
 
 /// Reads frames off a connection and injects them into the POA in-port —
 /// the role the acceptor's listening thread plays in the paper's server.
+///
+/// A request carrying a [`crate::giop::TRACE_CONTEXT_SLOT`] is adopted
+/// into the server's journal before injection, so the POA pipeline's
+/// spans become children of the client's wire span and the remaining
+/// budget keeps counting down on the server's clock.
 fn reader_loop(app: &App, conn: Arc<dyn Connection>, shutdown: &AtomicBool) {
+    let obs = Arc::clone(app.observer());
+    let entity = obs.register_entity("giop:wire");
     while !shutdown.load(Ordering::SeqCst) {
         let frame = match conn.recv_frame() {
             Ok(f) => f,
             Err(_) => break,
         };
+        let span = match giop::peek_trace(&frame) {
+            Some((trace_id, parent, budget)) if obs.tracing() => {
+                let s = obs.adopt_remote(trace_id, parent, budget);
+                obs.record_span(EventKind::SpanRemoteRecv, entity, budget, s);
+                s
+            }
+            _ => SpanCtx::NONE,
+        };
         let msg = WireMsg {
             frame,
             conn: Some(Arc::clone(&conn)),
         };
-        if app
-            .send_to("ThePoa", "Incoming", msg, Priority::new(10))
-            .is_err()
-        {
+        let injected = span::with_span(span, || {
+            app.send_to("ThePoa", "Incoming", msg, Priority::new(10))
+        });
+        if span.is_active() {
+            // Close the adopted span once injection (and, on the all-
+            // synchronous POA pipeline, processing) completed: its
+            // duration brackets the server-side work, so a stitched
+            // critical path attributes self-time correctly.
+            let left = obs.budget_remaining(span);
+            obs.record_span(EventKind::SpanEnd, entity, left as u64, span);
+        }
+        if injected.is_err() {
             break;
         }
     }

@@ -3,6 +3,20 @@
 //! Implements the subset of GIOP 1.0 both ORBs speak: `Request` and
 //! `Reply` messages with the standard 12-byte header (`GIOP` magic,
 //! version, flags, message type, message size).
+//!
+//! ## Service contexts
+//!
+//! Requests and replies may carry a list of `(slot id, octets)` service
+//! contexts, encoded *after* the body octets as `u32 count` followed by
+//! `u32 id, sequence<octet>` per entry. Placing the section at the tail
+//! keeps the wire compatible in both directions: a pre-context decoder
+//! reads its fields and never looks at the trailing bytes, and
+//! [`decode`] treats a missing or malformed section as simply "no
+//! contexts" — it never fails a frame over it. An unrecognised slot id
+//! round-trips unharmed through a server that echoes contexts.
+//!
+//! The one slot defined today is [`TRACE_CONTEXT_SLOT`], carrying the
+//! causal-tracing context of DESIGN.md §5g.
 
 use crate::cdr::{CdrDecoder, CdrEncoder, CdrError, Endian};
 
@@ -12,6 +26,14 @@ pub const GIOP_MAGIC: [u8; 4] = *b"GIOP";
 pub const GIOP_VERSION: (u8, u8) = (1, 0);
 /// Size of the fixed GIOP message header.
 pub const HEADER_LEN: usize = 12;
+
+/// Service-context slot id for the causal-tracing context (`"TRAC"`).
+///
+/// Slot payload (always big-endian, independent of the frame's flags
+/// byte): `u32` trace id, `u32` parent span id, `u64` remaining
+/// deadline budget in nanoseconds (`0` = no deadline). See
+/// [`encode_trace_slot`] / [`decode_trace_slot`].
+pub const TRACE_CONTEXT_SLOT: u32 = 0x5452_4143;
 
 /// GIOP message types (subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +157,9 @@ pub struct RequestMessage {
     pub operation: String,
     /// Marshalled in-parameters.
     pub body: Vec<u8>,
+    /// Service contexts (`(slot id, octets)`), e.g.
+    /// [`TRACE_CONTEXT_SLOT`]. Servers echo them into the reply.
+    pub service_context: Vec<(u32, Vec<u8>)>,
 }
 
 /// A GIOP reply message.
@@ -146,6 +171,8 @@ pub struct ReplyMessage {
     pub status: ReplyStatus,
     /// Marshalled result (or exception message).
     pub body: Vec<u8>,
+    /// Service contexts echoed back from the request.
+    pub service_context: Vec<(u32, Vec<u8>)>,
 }
 
 /// Either kind of incoming message.
@@ -182,6 +209,115 @@ fn patch_size(bytes: &mut [u8], endian: Endian) {
     bytes[8..12].copy_from_slice(&be);
 }
 
+/// Appends the service-context tail. An empty list writes nothing, so
+/// context-free frames stay byte-identical to the pre-context format.
+fn write_service_context(enc: &mut CdrEncoder, ctx: &[(u32, Vec<u8>)]) {
+    if ctx.is_empty() {
+        return;
+    }
+    enc.write_u32(ctx.len() as u32);
+    for (id, data) in ctx {
+        enc.write_u32(*id);
+        enc.write_octets(data);
+    }
+}
+
+/// Leniently reads the trailing service-context section. Absence or any
+/// malformation yields an empty list — the section is advisory and must
+/// never fail a frame that decoded fine without it.
+fn read_service_context(dec: &mut CdrDecoder<'_>) -> Vec<(u32, Vec<u8>)> {
+    if dec.remaining() == 0 {
+        return Vec::new();
+    }
+    let Ok(count) = dec.read_u32() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let Ok(id) = dec.read_u32() else {
+            return Vec::new();
+        };
+        let Ok(data) = dec.read_octets() else {
+            return Vec::new();
+        };
+        out.push((id, data));
+    }
+    out
+}
+
+/// Packs a trace context into [`TRACE_CONTEXT_SLOT`] wire form. The slot
+/// payload is fixed big-endian so it survives re-framing at a different
+/// endianness (contexts are echoed verbatim, not re-marshalled).
+pub fn encode_trace_slot(trace_id: u32, parent_span: u16, budget_ns: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&trace_id.to_be_bytes());
+    out.extend_from_slice(&u32::from(parent_span).to_be_bytes());
+    out.extend_from_slice(&budget_ns.to_be_bytes());
+    out
+}
+
+/// Unpacks a [`TRACE_CONTEXT_SLOT`] payload into `(trace_id,
+/// parent_span, budget_ns)`. Returns `None` for short payloads or an
+/// inactive (zero) trace id — garbage in a recognised slot is dropped,
+/// never an error.
+pub fn decode_trace_slot(data: &[u8]) -> Option<(u32, u16, u64)> {
+    if data.len() < 16 {
+        return None;
+    }
+    let trace_id = u32::from_be_bytes(data[0..4].try_into().ok()?);
+    let parent = u32::from_be_bytes(data[4..8].try_into().ok()?);
+    let budget = u64::from_be_bytes(data[8..16].try_into().ok()?);
+    if trace_id == 0 {
+        return None;
+    }
+    Some((trace_id, parent as u16, budget))
+}
+
+/// Lean scan of a request frame for its [`TRACE_CONTEXT_SLOT`]: skips
+/// the object key, operation and body without copying them. Returns
+/// `None` for non-requests, frames without the slot, or anything
+/// malformed — it never panics on arbitrary bytes.
+pub fn peek_trace(frame: &[u8]) -> Option<(u32, u16, u64)> {
+    if frame.len() < HEADER_LEN || frame[..4] != GIOP_MAGIC {
+        return None;
+    }
+    if (frame[4], frame[5]) != GIOP_VERSION
+        || MsgType::from_code(frame[7]) != Some(MsgType::Request)
+    {
+        return None;
+    }
+    let endian = Endian::from_flag(frame[6]);
+    let mut hdr = CdrDecoder::new(&frame[8..12], endian);
+    let declared = hdr.read_u32().ok()? as usize;
+    let body = &frame[HEADER_LEN..];
+    if body.len() < declared {
+        return None;
+    }
+    let mut dec = CdrDecoder::new(&body[..declared], endian);
+    dec.read_u32().ok()?; // request_id
+    dec.read_bool().ok()?; // response_expected
+    dec.skip_octets().ok()?; // object_key
+    dec.skip_octets().ok()?; // operation (string shares the layout)
+    dec.skip_octets().ok()?; // body
+    if dec.remaining() == 0 {
+        return None;
+    }
+    let count = dec.read_u32().ok()?;
+    for _ in 0..count {
+        let id = dec.read_u32().ok()?;
+        if id == TRACE_CONTEXT_SLOT {
+            let len = dec.read_u32().ok()? as usize;
+            if len > dec.remaining() {
+                return None;
+            }
+            let start = dec.position();
+            return decode_trace_slot(&body[start..start + len]);
+        }
+        dec.skip_octets().ok()?;
+    }
+    None
+}
+
 impl RequestMessage {
     /// Encodes the full GIOP frame (header + request header + body).
     pub fn encode(&self, endian: Endian) -> Vec<u8> {
@@ -192,9 +328,18 @@ impl RequestMessage {
         enc.write_octets(&self.object_key);
         enc.write_string(&self.operation);
         enc.write_octets(&self.body);
+        write_service_context(&mut enc, &self.service_context);
         let mut bytes = enc.into_bytes();
         patch_size(&mut bytes, endian);
         bytes
+    }
+
+    /// The decoded [`TRACE_CONTEXT_SLOT`] carried by this request, if any.
+    pub fn trace_context(&self) -> Option<(u32, u16, u64)> {
+        self.service_context
+            .iter()
+            .find(|(id, _)| *id == TRACE_CONTEXT_SLOT)
+            .and_then(|(_, data)| decode_trace_slot(data))
     }
 }
 
@@ -206,9 +351,18 @@ impl ReplyMessage {
         enc.write_u32(self.request_id);
         enc.write_u32(self.status.code());
         enc.write_octets(&self.body);
+        write_service_context(&mut enc, &self.service_context);
         let mut bytes = enc.into_bytes();
         patch_size(&mut bytes, endian);
         bytes
+    }
+
+    /// The decoded [`TRACE_CONTEXT_SLOT`] echoed in this reply, if any.
+    pub fn trace_context(&self) -> Option<(u32, u16, u64)> {
+        self.service_context
+            .iter()
+            .find(|(id, _)| *id == TRACE_CONTEXT_SLOT)
+            .and_then(|(_, data)| decode_trace_slot(data))
     }
 }
 
@@ -272,12 +426,14 @@ pub fn decode(frame: &[u8]) -> Result<Message, GiopError> {
             let object_key = dec.read_octets()?;
             let operation = dec.read_string()?;
             let req_body = dec.read_octets()?;
+            let service_context = read_service_context(&mut dec);
             Ok(Message::Request(RequestMessage {
                 request_id,
                 response_expected,
                 object_key,
                 operation,
                 body: req_body,
+                service_context,
             }))
         }
         MsgType::Reply => {
@@ -285,10 +441,12 @@ pub fn decode(frame: &[u8]) -> Result<Message, GiopError> {
             let code = dec.read_u32()?;
             let status = ReplyStatus::from_code(code).ok_or(GiopError::BadReplyStatus(code))?;
             let body = dec.read_octets()?;
+            let service_context = read_service_context(&mut dec);
             Ok(Message::Reply(ReplyMessage {
                 request_id,
                 status,
                 body,
+                service_context,
             }))
         }
         MsgType::CloseConnection => Ok(Message::CloseConnection),
@@ -323,6 +481,7 @@ mod tests {
             object_key: b"echo-1".to_vec(),
             operation: "echo".to_string(),
             body: vec![1, 2, 3, 4, 5],
+            service_context: Vec::new(),
         }
     }
 
@@ -345,6 +504,7 @@ mod tests {
             request_id: 7,
             status: ReplyStatus::NoException,
             body: vec![0xAA; 64],
+            service_context: Vec::new(),
         };
         let frame = reply.encode(Endian::Big);
         match decode(&frame).unwrap() {
@@ -408,6 +568,119 @@ mod tests {
             decode(truncated),
             Err(GiopError::ShortBody { .. })
         ));
+    }
+
+    #[test]
+    fn service_context_roundtrip_both_endians() {
+        for endian in [Endian::Big, Endian::Little] {
+            let mut req = sample_request();
+            req.service_context = vec![
+                (TRACE_CONTEXT_SLOT, encode_trace_slot(0xAB, 42, 1_000_000)),
+                (0xDEAD_BEEF, vec![9, 9, 9]), // unknown slot: opaque octets
+            ];
+            let frame = req.encode(endian);
+            match decode(&frame).unwrap() {
+                Message::Request(r) => {
+                    assert_eq!(r, req, "unknown slots round-trip unharmed");
+                    assert_eq!(r.trace_context(), Some((0xAB, 42, 1_000_000)));
+                }
+                other => panic!("expected request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn context_free_frame_is_byte_identical_to_legacy() {
+        // An empty context list writes no tail at all, so old and new
+        // encoders produce the same bytes for the same message.
+        let req = sample_request();
+        let frame = req.encode(Endian::Big);
+        let mut dec = CdrDecoder::new(&frame[HEADER_LEN..], Endian::Big);
+        dec.read_u32().unwrap(); // request_id
+        dec.read_bool().unwrap();
+        dec.skip_octets().unwrap();
+        dec.skip_octets().unwrap();
+        dec.skip_octets().unwrap();
+        assert_eq!(dec.remaining(), 0, "no trailing section when empty");
+    }
+
+    #[test]
+    fn reply_echoes_service_context() {
+        let reply = ReplyMessage {
+            request_id: 3,
+            status: ReplyStatus::NoException,
+            body: vec![1],
+            service_context: vec![(TRACE_CONTEXT_SLOT, encode_trace_slot(5, 6, 7))],
+        };
+        let frame = reply.encode(Endian::Little);
+        match decode(&frame).unwrap() {
+            Message::Reply(r) => assert_eq!(r.trace_context(), Some((5, 6, 7))),
+            other => panic!("expected reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_context_tail_is_ignored_not_fatal() {
+        // Truncate inside the service-context section: the core message
+        // must still decode, with an empty context list.
+        let mut req = sample_request();
+        req.service_context = vec![(TRACE_CONTEXT_SLOT, encode_trace_slot(1, 2, 3))];
+        let full = req.encode(Endian::Big);
+        let bare_len = sample_request().encode(Endian::Big).len();
+        for cut in bare_len..full.len() {
+            let mut frame = full[..cut].to_vec();
+            patch_size(&mut frame, Endian::Big);
+            match decode(&frame) {
+                Ok(Message::Request(r)) => {
+                    assert_eq!(r.operation, "echo");
+                    assert!(r.service_context.is_empty() || r.trace_context().is_some());
+                }
+                other => panic!("truncated tail at {cut} must not fail: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_trace_finds_the_slot_without_full_decode() {
+        for endian in [Endian::Big, Endian::Little] {
+            let mut req = sample_request();
+            req.service_context = vec![
+                (1, vec![0xFF; 8]),
+                (TRACE_CONTEXT_SLOT, encode_trace_slot(0xC0FFEE, 9, 250_000)),
+            ];
+            let frame = req.encode(endian);
+            assert_eq!(peek_trace(&frame), Some((0xC0FFEE, 9, 250_000)));
+        }
+        // No slot, non-request, and garbage frames all yield None.
+        assert_eq!(peek_trace(&sample_request().encode(Endian::Big)), None);
+        let reply = ReplyMessage {
+            request_id: 1,
+            status: ReplyStatus::NoException,
+            body: vec![],
+            service_context: vec![(TRACE_CONTEXT_SLOT, encode_trace_slot(1, 1, 1))],
+        };
+        assert_eq!(peek_trace(&reply.encode(Endian::Big)), None);
+        assert_eq!(peek_trace(b"not a giop frame at all"), None);
+    }
+
+    #[test]
+    fn peek_trace_never_panics_on_mutated_frames() {
+        let mut req = sample_request();
+        req.service_context = vec![(TRACE_CONTEXT_SLOT, encode_trace_slot(7, 7, 7))];
+        let frame = req.encode(Endian::Big);
+        // Single-byte corruptions over the whole frame.
+        for i in 0..frame.len() {
+            for delta in [1u8, 0x80, 0xFF] {
+                let mut f = frame.clone();
+                f[i] = f[i].wrapping_add(delta);
+                let _ = peek_trace(&f);
+                let _ = decode(&f);
+            }
+        }
+        // Truncations at every length.
+        for cut in 0..frame.len() {
+            let _ = peek_trace(&frame[..cut]);
+        }
     }
 
     #[test]

@@ -90,24 +90,29 @@ impl ObjectRegistry {
     }
 
     /// Full request-processing step: locates the servant, invokes it and
-    /// builds the reply message (including exception replies).
+    /// builds the reply message (including exception replies). The
+    /// request's service contexts are echoed into every reply, so
+    /// tracing clients can correlate even exception paths.
     pub fn dispatch(&self, req: &RequestMessage) -> ReplyMessage {
         match self.lookup(&req.object_key) {
             None => ReplyMessage {
                 request_id: req.request_id,
                 status: ReplyStatus::ObjectNotExist,
                 body: Vec::new(),
+                service_context: req.service_context.clone(),
             },
             Some(servant) => match servant.invoke(&req.operation, &req.body) {
                 Ok(body) => ReplyMessage {
                     request_id: req.request_id,
                     status: ReplyStatus::NoException,
                     body,
+                    service_context: req.service_context.clone(),
                 },
                 Err(msg) => ReplyMessage {
                     request_id: req.request_id,
                     status: ReplyStatus::SystemException,
                     body: msg.into_bytes(),
+                    service_context: req.service_context.clone(),
                 },
             },
         }
@@ -125,7 +130,27 @@ mod tests {
             object_key: key.to_vec(),
             operation: op.to_string(),
             body: body.to_vec(),
+            service_context: Vec::new(),
         }
+    }
+
+    #[test]
+    fn dispatch_echoes_service_context() {
+        let reg = ObjectRegistry::with_echo();
+        let mut req = request(b"echo", "echo", &[1]);
+        req.service_context = vec![(0x5452_4143, vec![1, 2, 3])];
+        assert_eq!(
+            reg.dispatch(&req).service_context,
+            req.service_context,
+            "normal reply echoes contexts"
+        );
+        let mut bad = request(b"nope", "echo", &[]);
+        bad.service_context = vec![(7, vec![9])];
+        assert_eq!(
+            reg.dispatch(&bad).service_context,
+            bad.service_context,
+            "exception replies echo contexts too"
+        );
     }
 
     #[test]

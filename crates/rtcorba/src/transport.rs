@@ -370,6 +370,7 @@ mod tests {
             object_key: b"k".to_vec(),
             operation: "op".to_string(),
             body: vec![5; 100],
+            service_context: Vec::new(),
         }
         .encode(Endian::Big)
     }

@@ -144,6 +144,7 @@ impl ZenClient {
                     object_key: object_key.to_vec(),
                     operation: operation.to_string(),
                     body: args.to_vec(),
+                    service_context: Vec::new(),
                 }
                 .encode(endian);
                 let staged = ctx.alloc_bytes(frame.len())?;
@@ -183,6 +184,7 @@ impl ZenClient {
                         object_key: object_key.to_vec(),
                         operation: operation.to_string(),
                         body: args.to_vec(),
+                        service_context: Vec::new(),
                     }
                     .encode(endian);
                     let staged = ctx.alloc_bytes(frame.len())?;

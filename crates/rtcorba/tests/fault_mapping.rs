@@ -28,6 +28,7 @@ fn reply_frame() -> Vec<u8> {
         request_id: 1,
         status: ReplyStatus::NoException,
         body: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        service_context: Vec::new(),
     }
     .encode(Endian::Big)
 }

@@ -136,6 +136,7 @@ fn framing_survives_byte_by_byte_writes() {
         object_key: b"echo".to_vec(),
         operation: "echo".to_string(),
         body: vec![0xAB; 33],
+        service_context: Vec::new(),
     }
     .encode(Endian::Big);
     for b in &frame {

@@ -6,7 +6,10 @@
 //! the `MessageError` reply path: a peer can feed us anything.
 
 use rtcorba::cdr::{CdrDecoder, CdrEncoder, Endian};
-use rtcorba::giop::{decode, Message, ReplyMessage, ReplyStatus, RequestMessage};
+use rtcorba::giop::{
+    decode, encode_trace_slot, peek_trace, Message, ReplyMessage, ReplyStatus, RequestMessage,
+    TRACE_CONTEXT_SLOT,
+};
 use rtplatform::rng::SplitMix64;
 
 fn cases() -> u64 {
@@ -31,6 +34,27 @@ fn random_string(rng: &mut SplitMix64, max_len: usize) -> String {
         .collect()
 }
 
+/// Zero to three service contexts: sometimes a well-formed trace slot,
+/// sometimes unknown slot ids with arbitrary octets.
+fn random_contexts(rng: &mut SplitMix64) -> Vec<(u32, Vec<u8>)> {
+    (0..rng.below(4))
+        .map(|_| {
+            if rng.chance(0.3) {
+                (
+                    TRACE_CONTEXT_SLOT,
+                    encode_trace_slot(
+                        rng.next_u64() as u32 | 1,
+                        rng.next_u64() as u16,
+                        rng.next_u64(),
+                    ),
+                )
+            } else {
+                (rng.next_u64() as u32, random_bytes(rng, 32))
+            }
+        })
+        .collect()
+}
+
 fn random_request(rng: &mut SplitMix64) -> RequestMessage {
     RequestMessage {
         request_id: rng.next_u64() as u32,
@@ -38,6 +62,7 @@ fn random_request(rng: &mut SplitMix64) -> RequestMessage {
         object_key: random_bytes(rng, 24),
         operation: random_string(rng, 16),
         body: random_bytes(rng, 96),
+        service_context: random_contexts(rng),
     }
 }
 
@@ -50,6 +75,7 @@ fn random_reply(rng: &mut SplitMix64) -> ReplyMessage {
             ReplyStatus::ObjectNotExist,
         ][rng.below(3)],
         body: random_bytes(rng, 96),
+        service_context: random_contexts(rng),
     }
 }
 
@@ -141,6 +167,77 @@ fn cdr_primitive_sequences_roundtrip() {
             }
         }
         assert_eq!(dec.remaining(), 0, "case {case}: trailing bytes");
+    }
+}
+
+/// An unknown service-context slot must survive a full decode →
+/// re-encode → decode cycle byte-for-byte: a new peer relaying or
+/// echoing contexts it does not understand must not corrupt them, and
+/// an old-format frame (no context tail) must decode to an empty list.
+#[test]
+fn unknown_service_contexts_roundtrip_unharmed() {
+    let mut rng = SplitMix64::new(0x0A16);
+    for case in 0..cases() {
+        let endian = if rng.chance(0.5) {
+            Endian::Big
+        } else {
+            Endian::Little
+        };
+        let mut req = random_request(&mut rng);
+        req.service_context = vec![(rng.next_u64() as u32, random_bytes(&mut rng, 48))];
+        let once = match decode(&req.encode(endian)) {
+            Ok(Message::Request(r)) => r,
+            other => panic!("case {case}: {other:?}"),
+        };
+        let twice = match decode(&once.encode(endian)) {
+            Ok(Message::Request(r)) => r,
+            other => panic!("case {case} re-encode: {other:?}"),
+        };
+        assert_eq!(twice, req, "case {case}: context mangled in transit");
+
+        // A legacy frame is exactly a context-free encoding.
+        let mut legacy = req.clone();
+        legacy.service_context.clear();
+        match decode(&legacy.encode(endian)) {
+            Ok(Message::Request(r)) => assert!(r.service_context.is_empty(), "case {case}"),
+            other => panic!("case {case} legacy: {other:?}"),
+        }
+    }
+}
+
+/// `peek_trace` shares decode's guarantee: any bytes in, no panic out —
+/// it runs on the server's reader thread against unauthenticated input.
+#[test]
+fn peek_trace_never_panics_and_agrees_with_decode() {
+    let mut rng = SplitMix64::new(0x0A17);
+    for case in 0..cases() {
+        let endian = if rng.chance(0.5) {
+            Endian::Big
+        } else {
+            Endian::Little
+        };
+        let req = random_request(&mut rng);
+        let mut frame = req.encode(endian);
+        // On the pristine frame, peek must agree with the full decode.
+        assert_eq!(
+            peek_trace(&frame),
+            req.trace_context(),
+            "case {case}: peek disagrees with decode"
+        );
+        // Then mutate and require only absence-of-panic.
+        for _ in 0..rng.range_usize(1, 8) {
+            if frame.is_empty() {
+                break;
+            }
+            let at = rng.below(frame.len());
+            frame[at] ^= 1 << rng.below(8);
+        }
+        if rng.chance(0.3) && !frame.is_empty() {
+            frame.truncate(rng.below(frame.len()));
+        }
+        if std::panic::catch_unwind(|| peek_trace(&frame)).is_err() {
+            panic!("case {case}: peek_trace panicked on {frame:02X?}");
+        }
     }
 }
 

@@ -1,8 +1,10 @@
 //! Typed flight-recorder events.
 //!
-//! Every event is four 64-bit words in the journal ring: a sequence tag,
-//! a packed `(kind, subject)` word, a timestamp, and one free payload
-//! word. The meanings of `subject`/`payload` per kind are documented on
+//! Every event is five 64-bit words in the journal ring: a sequence tag,
+//! a packed `(kind, subject)` word, a timestamp, one free payload word,
+//! and a packed span-context word (see
+//! [`SpanCtx::pack`](crate::SpanCtx::pack); `0` = no trace). The
+//! meanings of `subject`/`payload` per kind are documented on
 //! [`EventKind`]; subjects are entity ids handed out by
 //! [`Observer::register_entity`](crate::Observer::register_entity) so a
 //! trace can be rendered with human-readable names.
@@ -65,6 +67,28 @@ pub enum EventKind {
     /// A remote operation missed its deadline. `subject` = remote-link
     /// entity, `payload` = the deadline in nanoseconds.
     RemoteDeadlineMiss = 18,
+    /// A traced message was admitted at an ingress port. `subject` =
+    /// port entity, `payload` = the span's absolute deadline in
+    /// local-epoch nanoseconds (`0` = none). The span word carries the
+    /// hop's identity; `t_ns` is the admission time.
+    SpanEnqueue = 19,
+    /// A traced message left its queue for a worker. `subject` = port
+    /// entity, `payload` = queue wait in nanoseconds. Sync-dispatched
+    /// hops skip this event (wait is ~0 by construction).
+    SpanDequeue = 20,
+    /// A traced hop finished. `subject` = port or operation entity,
+    /// `payload` = remaining deadline budget as `i64` bits (negative =
+    /// overrun; `i64::MIN` when the span carried no deadline).
+    SpanEnd = 21,
+    /// A traced invocation was shipped across a process boundary.
+    /// `subject` = link or operation entity, `payload` = remaining
+    /// budget in nanoseconds granted to the peer.
+    SpanRemoteSend = 22,
+    /// A remote trace context was adopted on the receiving side.
+    /// `subject` = link or operation entity, `payload` = budget in
+    /// nanoseconds granted by the sender. The span word carries the
+    /// newly minted local hop whose `parent` is the sender's span id.
+    SpanRemoteRecv = 23,
 }
 
 impl EventKind {
@@ -90,6 +114,11 @@ impl EventKind {
             16 => EventKind::RemoteReconnect,
             17 => EventKind::RemoteShed,
             18 => EventKind::RemoteDeadlineMiss,
+            19 => EventKind::SpanEnqueue,
+            20 => EventKind::SpanDequeue,
+            21 => EventKind::SpanEnd,
+            22 => EventKind::SpanRemoteSend,
+            23 => EventKind::SpanRemoteRecv,
             _ => return None,
         })
     }
@@ -115,6 +144,11 @@ impl EventKind {
             EventKind::RemoteReconnect => "remote.reconnect",
             EventKind::RemoteShed => "remote.shed",
             EventKind::RemoteDeadlineMiss => "remote.deadline_miss",
+            EventKind::SpanEnqueue => "span.enqueue",
+            EventKind::SpanDequeue => "span.dequeue",
+            EventKind::SpanEnd => "span.end",
+            EventKind::SpanRemoteSend => "span.remote_send",
+            EventKind::SpanRemoteRecv => "span.remote_recv",
         }
     }
 }
@@ -132,4 +166,7 @@ pub struct Event {
     pub subject: u32,
     /// Kind-specific payload word.
     pub payload: u64,
+    /// Packed span context ([`SpanCtx::pack`](crate::SpanCtx::pack));
+    /// `0` when the event happened outside any trace.
+    pub span: u64,
 }

@@ -1,6 +1,6 @@
 //! Lock-free fixed-capacity event journal (the "flight recorder").
 //!
-//! A power-of-two ring of slots, each slot four `AtomicU64` words. The
+//! A power-of-two ring of slots, each slot five `AtomicU64` words. The
 //! write path is wait-free in the common case and never blocks, never
 //! allocates, and never takes a lock — honoring the paper's RTSJ
 //! no-allocation-in-steady-state discipline for the instrumented hot
@@ -39,6 +39,8 @@ struct Slot {
     t_ns: AtomicU64,
     /// Kind-specific payload.
     payload: AtomicU64,
+    /// Packed span context (`SpanCtx::pack`); `0` = no trace.
+    span: AtomicU64,
 }
 
 impl Slot {
@@ -48,6 +50,7 @@ impl Slot {
             kind_subject: AtomicU64::new(0),
             t_ns: AtomicU64::new(0),
             payload: AtomicU64::new(0),
+            span: AtomicU64::new(0),
         }
     }
 }
@@ -102,9 +105,25 @@ impl Journal {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Records one event. Lock-free, allocation-free; drops the event
-    /// (and counts the drop) rather than ever blocking.
+    /// Records one event with no span attribution. Lock-free,
+    /// allocation-free; drops the event (and counts the drop) rather
+    /// than ever blocking.
     pub fn record(&self, kind: EventKind, subject: u32, payload: u64, t_ns: u64) {
+        self.record_with_span(kind, subject, payload, t_ns, 0);
+    }
+
+    /// Records one event carrying a packed span word
+    /// ([`SpanCtx::pack`](crate::SpanCtx::pack); `0` = no trace).
+    /// Lock-free, allocation-free; drops the event (and counts the
+    /// drop) rather than ever blocking.
+    pub fn record_with_span(
+        &self,
+        kind: EventKind,
+        subject: u32,
+        payload: u64,
+        t_ns: u64,
+        span: u64,
+    ) {
         let seq = self.next.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(seq & self.mask) as usize];
         let claim = 2 * seq + 1;
@@ -141,6 +160,7 @@ impl Journal {
             .store((kind as u64) << 32 | u64::from(subject), Ordering::Relaxed);
         slot.t_ns.store(t_ns, Ordering::Relaxed);
         slot.payload.store(payload, Ordering::Relaxed);
+        slot.span.store(span, Ordering::Relaxed);
         slot.tag.store(claim + 1, Ordering::Release);
     }
 
@@ -164,6 +184,7 @@ impl Journal {
                 let ks = slot.kind_subject.load(Ordering::SeqCst);
                 let t_ns = slot.t_ns.load(Ordering::SeqCst);
                 let payload = slot.payload.load(Ordering::SeqCst);
+                let span = slot.span.load(Ordering::SeqCst);
                 let t2 = slot.tag.load(Ordering::SeqCst);
                 if t1 != t2 {
                     continue; // overwritten under us, retry
@@ -175,6 +196,7 @@ impl Journal {
                         kind,
                         subject: ks as u32,
                         payload,
+                        span,
                     });
                 }
                 break;

@@ -27,10 +27,13 @@ mod event;
 mod export;
 mod journal;
 mod metrics;
+pub mod span;
 
 pub use event::{Event, EventKind};
+pub use export::SpanForest;
 pub use journal::Journal;
 pub use metrics::{CounterId, GaugeId, HistId, HistSnapshot, Registry};
+pub use span::SpanCtx;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -53,6 +56,7 @@ const DEFAULT_HISTS: usize = 64;
 pub struct Observer {
     enabled: AtomicBool,
     verbose: AtomicBool,
+    tracing: AtomicBool,
     epoch: Instant,
     journal: Journal,
     registry: Registry,
@@ -92,6 +96,7 @@ impl Observer {
         Arc::new(Observer {
             enabled: AtomicBool::new(true),
             verbose: AtomicBool::new(false),
+            tracing: AtomicBool::new(true),
             epoch: Instant::now(),
             journal: Journal::with_capacity(events),
             registry: Registry::with_capacity(counters, gauges, hists),
@@ -136,6 +141,19 @@ impl Observer {
         self.verbose.store(on, Ordering::Relaxed);
     }
 
+    /// Whether causal tracing is active: new root spans are minted at
+    /// ingress and span events are journaled. On by default; gated
+    /// behind [`Observer::enabled`] like every journal write.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.enabled() && self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Turns causal tracing on or off independently of the journal.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Ordering::Relaxed);
+    }
+
     // ---- entities ------------------------------------------------------
 
     /// Interns a named entity (port, pool, region group, operation) and
@@ -159,21 +177,41 @@ impl Observer {
 
     // ---- flight recorder ----------------------------------------------
 
-    /// Records an event stamped with [`Observer::now_ns`]. Lock-free
-    /// and allocation-free; a no-op when disabled.
+    /// Records an event stamped with [`Observer::now_ns`] and the
+    /// thread's current span context (so retries, sheds and drops that
+    /// happen mid-trace come out attributable). Lock-free and
+    /// allocation-free; a no-op when disabled.
     #[inline]
     pub fn record(&self, kind: EventKind, subject: u32, payload: u64) {
         if self.enabled() {
-            self.journal.record(kind, subject, payload, self.now_ns());
+            self.journal.record_with_span(
+                kind,
+                subject,
+                payload,
+                self.now_ns(),
+                span::current().pack(),
+            );
         }
     }
 
     /// Records an event with an explicit timestamp (for callers that
-    /// already read the clock).
+    /// already read the clock); span-stamped like [`Observer::record`].
     #[inline]
     pub fn record_at(&self, kind: EventKind, subject: u32, payload: u64, t_ns: u64) {
         if self.enabled() {
-            self.journal.record(kind, subject, payload, t_ns);
+            self.journal
+                .record_with_span(kind, subject, payload, t_ns, span::current().pack());
+        }
+    }
+
+    /// Records an event about a specific span (rather than whatever is
+    /// installed on the current thread). Used by the dispatch layer
+    /// where the envelope carries the authoritative context.
+    #[inline]
+    pub fn record_span(&self, kind: EventKind, subject: u32, payload: u64, span: SpanCtx) {
+        if self.enabled() {
+            self.journal
+                .record_with_span(kind, subject, payload, self.now_ns(), span.pack());
         }
     }
 
@@ -182,7 +220,80 @@ impl Observer {
     #[inline]
     pub fn record_verbose(&self, kind: EventKind, subject: u32, payload: u64) {
         if self.verbose() {
-            self.journal.record(kind, subject, payload, self.now_ns());
+            self.journal.record_with_span(
+                kind,
+                subject,
+                payload,
+                self.now_ns(),
+                span::current().pack(),
+            );
+        }
+    }
+
+    // ---- causal tracing ------------------------------------------------
+
+    /// Mints a root span for a fresh trace. `budget_ns` converts to an
+    /// absolute deadline against this observer's clock (`None` = no
+    /// deadline). Allocation-free: two atomic `fetch_add`s.
+    #[inline]
+    pub fn new_trace(&self, budget_ns: Option<u64>) -> SpanCtx {
+        SpanCtx {
+            trace_id: span::alloc_trace_id(),
+            span_id: span::alloc_span_id(),
+            parent: 0,
+            deadline_ns: budget_ns.map_or(0, |b| self.now_ns().saturating_add(b)),
+        }
+    }
+
+    /// Mints a child span of `parent`: same trace, same deadline, new
+    /// hop id. Returns [`SpanCtx::NONE`] if the parent is inactive.
+    #[inline]
+    pub fn child_span(&self, parent: SpanCtx) -> SpanCtx {
+        if !parent.is_active() {
+            return SpanCtx::NONE;
+        }
+        SpanCtx {
+            trace_id: parent.trace_id,
+            span_id: span::alloc_span_id(),
+            parent: parent.span_id,
+            deadline_ns: parent.deadline_ns,
+        }
+    }
+
+    /// Adopts a trace context received from a remote peer: keeps the
+    /// sender's `trace_id` and parent span id, mints a local hop id,
+    /// and re-anchors the remaining `budget_ns` against this
+    /// observer's clock (`0` = no deadline). Clocks never cross the
+    /// wire — only budgets do.
+    #[inline]
+    pub fn adopt_remote(&self, trace_id: u32, parent_span: u16, budget_ns: u64) -> SpanCtx {
+        if trace_id == 0 {
+            return SpanCtx::NONE;
+        }
+        SpanCtx {
+            trace_id,
+            span_id: span::alloc_span_id(),
+            parent: parent_span,
+            deadline_ns: if budget_ns == 0 {
+                0
+            } else {
+                self.now_ns().saturating_add(budget_ns)
+            },
+        }
+    }
+
+    /// Remaining deadline budget of `span` as of now, as `i64` bits:
+    /// negative = overrun, `i64::MIN` = the span carries no deadline.
+    #[inline]
+    pub fn budget_remaining(&self, span: SpanCtx) -> i64 {
+        if span.deadline_ns == 0 {
+            return i64::MIN;
+        }
+        let now = self.now_ns();
+        if span.deadline_ns >= now {
+            (span.deadline_ns - now).min(i64::MAX as u64) as i64
+        } else {
+            -((now - span.deadline_ns).min(i64::MAX as u64) as i64)
         }
     }
 

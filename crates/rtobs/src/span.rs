@@ -1,0 +1,211 @@
+//! Causal trace contexts: a few `Copy` words that follow an invocation
+//! through ports, thread pools and remote links.
+//!
+//! A [`SpanCtx`] identifies one *hop* of one *trace*: `trace_id` names
+//! the end-to-end invocation, `span_id` names this hop, `parent` links
+//! back to the hop that caused it, and `deadline_ns` carries the
+//! absolute deadline (in the local observer's epoch) the whole trace
+//! must meet. The context is 16 bytes, `Copy`, and allocation-free to
+//! create or propagate — it rides inside the core's message envelope
+//! and is packed into a single journal word per event, keeping the
+//! paper's no-allocation-in-steady-state discipline intact on the
+//! instrumented hot paths.
+//!
+//! Propagation uses a thread-local *current span* ([`current`] /
+//! [`with_span`]): the dispatcher installs the envelope's context
+//! around the handler invocation, so anything the handler does — send
+//! another message, invoke through the ORB, retry a remote link —
+//! inherits the trace without any plumbing in user code.
+//!
+//! Identifiers are allocated from process-global atomics so that two
+//! [`Observer`](crate::Observer) domains in one process (a client app
+//! and a server app in the same test binary, say) never collide; span
+//! ids are 16-bit and may wrap, which is harmless because stitching is
+//! per-trace and traces are short-lived.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Trace context for one hop: identity plus the deadline budget.
+///
+/// `trace_id == 0` means "no trace" ([`SpanCtx::NONE`]); every real
+/// trace gets a nonzero id. `deadline_ns == 0` means the trace carries
+/// no deadline. The deadline is *absolute*, in nanoseconds of the local
+/// observer's epoch; when a trace crosses a process boundary the wire
+/// carries the *remaining budget* and the receiver re-anchors it
+/// against its own clock (see `Observer::adopt_remote`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanCtx {
+    /// End-to-end invocation id; `0` = inactive.
+    pub trace_id: u32,
+    /// This hop's id, unique within the process while the trace lives.
+    pub span_id: u16,
+    /// The causing hop's `span_id` (`0` = root).
+    pub parent: u16,
+    /// Absolute deadline in local-epoch nanoseconds; `0` = none.
+    pub deadline_ns: u64,
+}
+
+impl SpanCtx {
+    /// The inactive context: not part of any trace.
+    pub const NONE: SpanCtx = SpanCtx {
+        trace_id: 0,
+        span_id: 0,
+        parent: 0,
+        deadline_ns: 0,
+    };
+
+    /// Whether this context belongs to a live trace.
+    #[inline]
+    pub fn is_active(self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// Packs the identity (not the deadline) into one journal word:
+    /// `trace_id << 32 | span_id << 16 | parent`.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        (u64::from(self.trace_id) << 32) | (u64::from(self.span_id) << 16) | u64::from(self.parent)
+    }
+
+    /// Reverses [`SpanCtx::pack`]; the deadline is not part of the
+    /// packed word and comes back as `0`.
+    #[inline]
+    pub fn unpack(word: u64) -> SpanCtx {
+        SpanCtx {
+            trace_id: (word >> 32) as u32,
+            span_id: (word >> 16) as u16,
+            parent: word as u16,
+            deadline_ns: 0,
+        }
+    }
+}
+
+/// Process-global trace-id allocator. Starts at 1; 0 is reserved for
+/// "no trace". Wrapping after 4 billion traces would alias, which we
+/// accept for a flight recorder holding a few thousand events.
+static NEXT_TRACE: AtomicU32 = AtomicU32::new(1);
+
+/// Process-global span-id allocator. 16-bit ids wrap; uniqueness only
+/// matters within a live trace, which spans a handful of hops.
+static NEXT_SPAN: AtomicU32 = AtomicU32::new(1);
+
+/// Allocates a fresh trace id (nonzero).
+#[inline]
+pub(crate) fn alloc_trace_id() -> u32 {
+    loop {
+        let id = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// Allocates a fresh span id (nonzero).
+#[inline]
+pub(crate) fn alloc_span_id() -> u16 {
+    loop {
+        let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed) as u16;
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<SpanCtx> = const { Cell::new(SpanCtx::NONE) };
+}
+
+/// The span context installed on this thread, or [`SpanCtx::NONE`].
+///
+/// Hot-path cheap: one thread-local read of a `Copy` value.
+#[inline]
+pub fn current() -> SpanCtx {
+    CURRENT.with(|c| c.get())
+}
+
+/// Runs `f` with `span` installed as the thread's current context,
+/// restoring the previous context afterwards (panic-safe).
+#[inline]
+pub fn with_span<R>(span: SpanCtx, f: impl FnOnce() -> R) -> R {
+    struct Restore(SpanCtx);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(CURRENT.with(|c| c.replace(span)));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips_identity() {
+        let s = SpanCtx {
+            trace_id: 0xDEAD_BEEF,
+            span_id: 0x1234,
+            parent: 0x5678,
+            deadline_ns: 999, // not packed
+        };
+        let back = SpanCtx::unpack(s.pack());
+        assert_eq!(back.trace_id, s.trace_id);
+        assert_eq!(back.span_id, s.span_id);
+        assert_eq!(back.parent, s.parent);
+        assert_eq!(back.deadline_ns, 0);
+    }
+
+    #[test]
+    fn none_is_inactive_and_packs_to_zero() {
+        assert!(!SpanCtx::NONE.is_active());
+        assert_eq!(SpanCtx::NONE.pack(), 0);
+        assert_eq!(SpanCtx::unpack(0), SpanCtx::NONE);
+    }
+
+    #[test]
+    fn with_span_installs_and_restores() {
+        assert_eq!(current(), SpanCtx::NONE);
+        let s = SpanCtx {
+            trace_id: 7,
+            span_id: 3,
+            parent: 0,
+            deadline_ns: 100,
+        };
+        let inner = with_span(s, || {
+            assert_eq!(current(), s);
+            let nested = SpanCtx {
+                trace_id: 7,
+                span_id: 4,
+                parent: 3,
+                deadline_ns: 100,
+            };
+            with_span(nested, || assert_eq!(current(), nested));
+            current()
+        });
+        assert_eq!(inner, s);
+        assert_eq!(current(), SpanCtx::NONE);
+    }
+
+    #[test]
+    fn with_span_restores_on_panic() {
+        let s = SpanCtx {
+            trace_id: 9,
+            span_id: 1,
+            parent: 0,
+            deadline_ns: 0,
+        };
+        let r = std::panic::catch_unwind(|| with_span(s, || panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(current(), SpanCtx::NONE);
+    }
+
+    #[test]
+    fn allocators_hand_out_nonzero_ids() {
+        for _ in 0..100 {
+            assert_ne!(alloc_trace_id(), 0);
+            assert_ne!(alloc_span_id(), 0);
+        }
+    }
+}

@@ -245,6 +245,10 @@ impl<S: Send + 'static> ThreadPool<S> {
     /// Submits a job at `priority`. Grows the pool if all workers are busy
     /// and the maximum has not been reached. Returns `false` after
     /// [`ThreadPool::shutdown`].
+    ///
+    /// The submitter's trace context ([`rtobs::span::current`]) is
+    /// captured here and re-installed around the job on the worker, so a
+    /// traced invocation survives the thread handoff.
     pub fn execute(
         &self,
         priority: Priority,
@@ -253,6 +257,10 @@ impl<S: Send + 'static> ThreadPool<S> {
         if self.shared.queue.is_closed() {
             return false;
         }
+        let span = rtobs::span::current();
+        let job = move |state: &mut S, prio: Priority| {
+            rtobs::span::with_span(span, || job(state, prio));
+        };
         let live = self.shared.live.load(Ordering::SeqCst);
         let busy = self.shared.busy.load(Ordering::SeqCst);
         let backlog = self.shared.queue.len();
@@ -563,6 +571,36 @@ mod tests {
             1 + DISPATCH_BATCH as u64,
             "histogram sum equals total jobs drained"
         );
+    }
+
+    #[test]
+    fn submitter_span_crosses_the_thread_handoff() {
+        let pool = ThreadPool::new(
+            PoolConfig {
+                min_threads: 1,
+                max_threads: 1,
+                ..Default::default()
+            },
+            || (),
+        );
+        let obs = Observer::new();
+        let span = obs.new_trace(Some(1_000_000));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        rtobs::span::with_span(span, || {
+            pool.execute(Priority::NORM, move |_, _| {
+                s.lock().push(rtobs::span::current());
+            });
+        });
+        // Outside the scope, an untraced submission stays untraced.
+        let s2 = Arc::clone(&seen);
+        pool.execute(Priority::NORM, move |_, _| {
+            s2.lock().push(rtobs::span::current());
+        });
+        assert!(pool.wait_idle(Duration::from_secs(5)));
+        let v = seen.lock();
+        assert_eq!(v[0], span, "worker ran under the submitter's span");
+        assert_eq!(v[1], rtobs::SpanCtx::NONE, "no residue on the worker");
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //!   wedged real-time threads);
 //! * the deadline-miss rate stays bounded;
 //! * retry/reconnect counters surface in `App::metrics_text()`.
+//!
+//! On any assertion failure the panic hook dumps the tail of both
+//! flight-recorder journals and the stitched client+server span tree,
+//! so a seeded repro comes with the causal trace that led up to it.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -18,7 +22,34 @@ use rtcorba::chaos::{FaultPlan, FaultyConn, ReconnectingConn};
 use rtcorba::corb::{CompadresClient, CompadresServer};
 use rtcorba::service::ObjectRegistry;
 use rtcorba::transport::{Connection, TcpConn};
+use rtobs::{Observer, SpanForest};
 use rtplatform::fault::FaultPolicy;
+
+/// How many journal entries each side dumps when an invariant trips.
+const TRACE_TAIL: usize = 48;
+
+/// Installs a panic hook that augments any failure with the flight
+/// recorders: last entries of both journals, the stitched span tree,
+/// and the seeded repro line. The hook chains to the default one so
+/// the original assert message and backtrace still print first.
+fn install_trace_dump(seed: u64, client: &Arc<Observer>, server: &Arc<Observer>) {
+    let (cobs, sobs) = (Arc::clone(client), Arc::clone(server));
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        prev(info);
+        eprintln!(
+            "--- client journal tail ---\n{}",
+            cobs.trace_text(TRACE_TAIL)
+        );
+        eprintln!(
+            "--- server journal tail ---\n{}",
+            sobs.trace_text(TRACE_TAIL)
+        );
+        let forest = SpanForest::from_journals(&[("client", &cobs), ("server", &sobs)]);
+        eprintln!("--- stitched span tree ---\n{}", forest.render());
+        eprintln!("reproduce with: SOAK_SECS=<secs> SEED={seed} scripts/soak.sh");
+    }));
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
@@ -48,6 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let client =
         CompadresClient::from_conn_with(Arc::clone(&link) as Arc<dyn Connection>, &policy)?;
     link.set_observer(client.app().observer(), &addr.to_string());
+    install_trace_dump(seed, client.app().observer(), server.app().observer());
 
     // Any single invocation may legitimately take the full retry budget,
     // but never more: blocking past this means a wedged thread.
@@ -128,6 +160,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(metrics.contains(metric), "missing {metric} in metrics");
     }
     println!("--- metrics ---\n{metrics}");
+
+    // One final budgeted invocation over the (still hostile) link gives
+    // the log a sample stitched cross-ORB span tree — the same artefact
+    // the panic hook dumps on failure. Retried a few times because the
+    // chaos shim may legitimately eat it.
+    for _ in 0..5 {
+        if client
+            .invoke_with_budget(b"echo", "echo", &payload, Some(Duration::from_millis(250)))
+            .is_ok()
+        {
+            break;
+        }
+    }
+    std::thread::sleep(Duration::from_millis(50)); // let the server journal settle
+    let cobs = client.app().observer();
+    if let Some(last) = cobs
+        .events()
+        .iter()
+        .rev()
+        .find(|e| e.kind == rtobs::EventKind::SpanEnd && e.span != 0)
+    {
+        let trace_id = (last.span >> 32) as u32;
+        let forest =
+            SpanForest::from_journals(&[("client", cobs), ("server", server.app().observer())]);
+        println!(
+            "--- sample stitched span tree ---\n{}",
+            forest.render_trace(trace_id)
+        );
+    }
 
     server.shutdown();
     println!("chaos_echo: OK");

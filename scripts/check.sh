@@ -9,7 +9,7 @@ run() {
     "$@"
 }
 
-run cargo build --release --offline --workspace --examples
+run cargo build --release --offline --workspace --bins --examples
 run cargo test -q --offline --workspace
 
 # Fixed-seed rtcheck subset: deterministic differential conformance and

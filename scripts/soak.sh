@@ -42,11 +42,23 @@ then
     echo "chaos seed: ${SEED}"
     echo "last recorded iteration: ${last_progress:-<none — died before first heartbeat>}"
     echo "reproduce with: SOAK_SECS=${SOAK_SECS} SEED=${SEED} scripts/soak.sh"
+    # The example's panic hook appends both journal tails and the
+    # stitched span tree; carve them into a standalone artefact so CI
+    # can upload the causal trace next to the raw log.
+    sed -n '/--- client journal tail ---/,$p' /tmp/soak_chaos.log \
+        > /tmp/soak_trace_dump.txt 2>/dev/null || true
+    [ -s /tmp/soak_trace_dump.txt ] \
+        && echo "trace dump saved to /tmp/soak_trace_dump.txt"
     cat /tmp/soak_chaos.log
     exit 1
 fi
 
 grep '^invocations=' /tmp/soak_chaos.log
+
+# A healthy run must end with the sample stitched cross-ORB span tree —
+# the tracing path is part of the tier-2 contract, not best-effort.
+grep -q 'sample stitched span tree' /tmp/soak_chaos.log \
+    || { echo "FAIL: no stitched span tree in a passing run"; exit 1; }
 
 # The counters must be visible to operators via the metrics endpoint.
 for metric in remote_retries_total remote_reconnects_total \

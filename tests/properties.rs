@@ -129,6 +129,7 @@ fn giop_request_roundtrips() {
             object_key: rand_bytes(&mut rng, 32),
             operation: rand_string(&mut rng, OP_CHARS, Some(OP_FIRST), 20),
             body: rand_bytes(&mut rng, 256),
+            service_context: Vec::new(),
         };
         let frame = req.encode(endian);
         match decode(&frame).unwrap() {
