@@ -317,6 +317,11 @@ fn bench_queue_roundtrip(iters: u32) {
 }
 
 fn main() {
+    // Keep freed memory mapped: glibc's adaptive arena trim otherwise
+    // charges page-refault churn to whichever case allocates next (see
+    // EXPERIMENTS.md "msgpass shared_object/1024 cliff").
+    rtplatform::heap::retain_freed_memory();
+
     println!("== dispatch: synchronous vs asynchronous port dispatch ==");
 
     let (sync_app, sync_rx, _k1) =

@@ -37,6 +37,12 @@ fn setup() -> Setup {
 }
 
 fn main() {
+    // Without this, each batch's MemoryModel teardown lets glibc trim the
+    // arena and the next batch re-faults the pages inside the timed loop
+    // — a history-dependent ~5x cliff that landed on shared_object/1024.
+    // See EXPERIMENTS.md "msgpass shared_object/1024 cliff".
+    rtplatform::heap::retain_freed_memory();
+
     println!("== msgpass: serialization vs shared object vs handoff ==");
 
     for size in [32usize, 256, 1024] {

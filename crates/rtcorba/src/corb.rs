@@ -26,6 +26,7 @@ use rtplatform::sync::Mutex;
 
 use crate::cdr::Endian;
 use crate::giop::{self, Message, ReplyStatus, RequestMessage};
+use crate::reactor::{FrameFn, ReactorConfig, ReactorServer};
 use crate::service::ObjectRegistry;
 use crate::transport::{
     loopback_pair, Connection, LoopbackConn, TcpAcceptor, TcpConn, TransportError,
@@ -533,6 +534,7 @@ pub struct CompadresServer {
     addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    reactor: Option<ReactorServer>,
     _keepalive: Vec<ChildHandle>,
 }
 
@@ -595,12 +597,58 @@ impl CompadresServer {
         Ok(app)
     }
 
-    /// Spawns a TCP server with acceptor + per-connection reader threads.
+    /// Spawns a TCP server on the event-driven reactor transport
+    /// (DESIGN.md §5h): one poll-loop thread multiplexes every
+    /// connection and a small worker pool injects complete frames into
+    /// the POA component pipeline — the same pipeline, spans and fault
+    /// replies as the thread-per-connection path, minus the
+    /// thread-per-client wall.
     ///
     /// # Errors
     ///
     /// Bind, composition or memory failures.
     pub fn spawn_tcp(registry: Arc<ObjectRegistry>) -> Result<CompadresServer, OrbError> {
+        Self::spawn_tcp_reactor(registry, ReactorConfig::default())
+    }
+
+    /// [`spawn_tcp`](CompadresServer::spawn_tcp) with explicit reactor
+    /// sizing.
+    ///
+    /// # Errors
+    ///
+    /// Bind, composition or memory failures.
+    pub fn spawn_tcp_reactor(
+        registry: Arc<ObjectRegistry>,
+        cfg: ReactorConfig,
+    ) -> Result<CompadresServer, OrbError> {
+        let app = Arc::new(Self::build_app(registry)?);
+        let keepalive = vec![app.connect("ThePoa")?, app.connect("ServerTransport")?];
+        let app2 = Arc::clone(&app);
+        let handler: FrameFn = Arc::new(move |conn, frame| {
+            // An injection failure (app shutting down) ends this request;
+            // the reactor keeps the other connections alive.
+            let _ = inject_frame(&app2, conn, frame);
+        });
+        let reactor = ReactorServer::spawn(handler, Arc::clone(app.observer()), cfg)?;
+        let addr = reactor.addr();
+        Ok(CompadresServer {
+            app,
+            addr: Some(addr),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            accept_handle: None,
+            reactor: Some(reactor),
+            _keepalive: keepalive,
+        })
+    }
+
+    /// Spawns a TCP server with the paper-faithful acceptor +
+    /// per-connection reader threads (the pre-reactor I/O model; kept
+    /// for comparison benchmarks and as the simplest possible path).
+    ///
+    /// # Errors
+    ///
+    /// Bind, composition or memory failures.
+    pub fn spawn_tcp_threaded(registry: Arc<ObjectRegistry>) -> Result<CompadresServer, OrbError> {
         let app = Arc::new(Self::build_app(registry)?);
         // Keep the POA/Acceptor and Transport components alive for the
         // server's lifetime, as the paper's server does.
@@ -632,6 +680,7 @@ impl CompadresServer {
             addr: Some(addr),
             shutdown,
             accept_handle: Some(accept_handle),
+            reactor: None,
             _keepalive: keepalive,
         })
     }
@@ -649,6 +698,7 @@ impl CompadresServer {
             addr: None,
             shutdown: Arc::new(AtomicBool::new(false)),
             accept_handle: None,
+            reactor: None,
             _keepalive: keepalive,
         })
     }
@@ -685,8 +735,14 @@ impl CompadresServer {
     /// Stops accepting and serving.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(addr) = self.addr {
-            let _ = std::net::TcpStream::connect(addr);
+        if let Some(reactor) = &self.reactor {
+            reactor.shutdown();
+        }
+        if self.accept_handle.is_some() {
+            if let Some(addr) = self.addr {
+                // Unblock the threaded acceptor's blocking accept().
+                let _ = std::net::TcpStream::connect(addr);
+            }
         }
     }
 }
@@ -708,40 +764,57 @@ impl Drop for CompadresServer {
 /// spans become children of the client's wire span and the remaining
 /// budget keeps counting down on the server's clock.
 fn reader_loop(app: &App, conn: Arc<dyn Connection>, shutdown: &AtomicBool) {
-    let obs = Arc::clone(app.observer());
-    let entity = obs.register_entity("giop:wire");
     while !shutdown.load(Ordering::SeqCst) {
         let frame = match conn.recv_frame() {
             Ok(f) => f,
             Err(_) => break,
         };
-        let span = match giop::peek_trace(&frame) {
-            Some((trace_id, parent, budget)) if obs.tracing() => {
-                let s = obs.adopt_remote(trace_id, parent, budget);
-                obs.record_span(EventKind::SpanRemoteRecv, entity, budget, s);
-                s
-            }
-            _ => SpanCtx::NONE,
-        };
-        let msg = WireMsg {
-            frame,
-            conn: Some(Arc::clone(&conn)),
-        };
-        let injected = span::with_span(span, || {
-            app.send_to("ThePoa", "Incoming", msg, Priority::new(10))
-        });
-        if span.is_active() {
-            // Close the adopted span once injection (and, on the all-
-            // synchronous POA pipeline, processing) completed: its
-            // duration brackets the server-side work, so a stitched
-            // critical path attributes self-time correctly.
-            let left = obs.budget_remaining(span);
-            obs.record_span(EventKind::SpanEnd, entity, left as u64, span);
-        }
-        if injected.is_err() {
+        if inject_frame(app, &conn, frame).is_err() {
             break;
         }
     }
+}
+
+/// Injects one already-framed GIOP message into the POA in-port. Both
+/// server I/O models funnel through here: the per-connection reader
+/// threads and the reactor's worker pool.
+///
+/// A request carrying a [`crate::giop::TRACE_CONTEXT_SLOT`] is adopted
+/// into the server's journal before injection, so the POA pipeline's
+/// spans become children of the client's wire span and the remaining
+/// budget keeps counting down on the server's clock.
+fn inject_frame(
+    app: &App,
+    conn: &Arc<dyn Connection>,
+    frame: Vec<u8>,
+) -> Result<(), compadres_core::CompadresError> {
+    let obs = app.observer();
+    let span = match giop::peek_trace(&frame) {
+        Some((trace_id, parent, budget)) if obs.tracing() => {
+            let entity = obs.register_entity("giop:wire");
+            let s = obs.adopt_remote(trace_id, parent, budget);
+            obs.record_span(EventKind::SpanRemoteRecv, entity, budget, s);
+            s
+        }
+        _ => SpanCtx::NONE,
+    };
+    let msg = WireMsg {
+        frame,
+        conn: Some(Arc::clone(conn)),
+    };
+    let injected = span::with_span(span, || {
+        app.send_to("ThePoa", "Incoming", msg, Priority::new(10))
+    });
+    if span.is_active() {
+        // Close the adopted span once injection (and, on the all-
+        // synchronous POA pipeline, processing) completed: its
+        // duration brackets the server-side work, so a stitched
+        // critical path attributes self-time correctly.
+        let entity = obs.register_entity("giop:wire");
+        let left = obs.budget_remaining(span);
+        obs.record_span(EventKind::SpanEnd, entity, left as u64, span);
+    }
+    injected
 }
 
 /// Convenience: a connected loopback echo pair (server + client).

@@ -29,6 +29,7 @@ pub mod corb;
 pub mod giop;
 pub mod ior;
 pub mod naming;
+pub mod reactor;
 pub mod service;
 pub mod transport;
 pub mod zen;

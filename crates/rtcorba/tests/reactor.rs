@@ -1,0 +1,178 @@
+//! Integration tests for the event-driven reactor transport (DESIGN.md
+//! §5h) against a real TCP socket: partial-frame reassembly across many
+//! readiness events, fault injection reused from `chaos`, and the
+//! server's health after misbehaving peers disconnect mid-frame.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rtcorba::cdr::Endian;
+use rtcorba::chaos::{FaultPlan, FaultyConn};
+use rtcorba::giop::{
+    self, body_size, encode_trace_slot, GiopError, Message, ReplyStatus, RequestMessage,
+    HEADER_LEN, TRACE_CONTEXT_SLOT,
+};
+use rtcorba::service::ObjectRegistry;
+use rtcorba::transport::{Connection, TcpConn};
+use rtcorba::zen::{ZenClient, ZenServer};
+
+fn reactor_server() -> ZenServer {
+    ZenServer::spawn_tcp_reactor(ObjectRegistry::with_echo(), rtobs::Observer::new())
+        .expect("spawn reactor server")
+}
+
+/// Reads exactly one GIOP frame from a raw stream.
+fn read_frame(stream: &mut TcpStream) -> Vec<u8> {
+    let mut header = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header).expect("reply header");
+    let body = body_size(&header).expect("reply header parses");
+    let mut frame = header.to_vec();
+    frame.resize(HEADER_LEN + body, 0);
+    stream
+        .read_exact(&mut frame[HEADER_LEN..])
+        .expect("reply body");
+    frame
+}
+
+/// A request dripped one byte at a time — every byte its own TCP segment
+/// and (on the server) its own readiness event — must produce exactly
+/// one complete reply with the request's service contexts echoed back.
+#[test]
+fn dripped_request_yields_single_complete_reply() {
+    let server = reactor_server();
+    let req = RequestMessage {
+        request_id: 77,
+        response_expected: true,
+        object_key: b"echo".to_vec(),
+        operation: "echo".into(),
+        body: vec![0xAB; 100],
+        service_context: vec![
+            (TRACE_CONTEXT_SLOT, encode_trace_slot(0x0DD_BA11, 3, 42)),
+            (0xBEEF, vec![1, 2, 3, 4, 5]),
+        ],
+    };
+    let frame = req.encode(Endian::Big);
+
+    let mut stream = TcpStream::connect(server.addr().unwrap()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    for (i, byte) in frame.iter().enumerate() {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        // Pause long enough for the reactor to observe most bytes as
+        // separate partial reads, without making the test crawl.
+        if i % 4 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    let reply_frame = read_frame(&mut stream);
+    match giop::decode(&reply_frame).expect("reply decodes") {
+        Message::Reply(reply) => {
+            assert_eq!(reply.request_id, 77);
+            assert_eq!(reply.status, ReplyStatus::NoException);
+            assert_eq!(reply.body, req.body, "echo must return the body");
+            assert_eq!(
+                reply.service_context, req.service_context,
+                "contexts must survive reassembly from single-byte reads"
+            );
+        }
+        other => panic!("expected a reply, got {other:?}"),
+    }
+
+    // Exactly one reply: nothing further arrives before a short timeout.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .unwrap();
+    let mut extra = [0u8; 1];
+    match stream.read(&mut extra) {
+        Ok(0) => {} // server closed cleanly
+        Ok(n) => panic!("unexpected extra {n} byte(s) after the reply"),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected error: {e}"
+        ),
+    }
+    server.shutdown();
+}
+
+/// `chaos::FaultyConn` truncation, pointed at the reactor server: the
+/// reply loses half its body in transit and must surface as the
+/// documented `ShortBody` decode error — while the server keeps serving
+/// untouched connections.
+#[test]
+fn truncated_reply_from_reactor_maps_to_short_body() {
+    let server = reactor_server();
+    let addr = server.addr().unwrap();
+
+    let conn = FaultyConn::new(
+        Arc::new(TcpConn::connect(addr).unwrap()),
+        FaultPlan {
+            truncate: 1.0,
+            ..FaultPlan::quiet(11)
+        },
+    );
+    let req = RequestMessage {
+        request_id: 1,
+        response_expected: true,
+        object_key: b"echo".to_vec(),
+        operation: "echo".into(),
+        body: vec![7; 64],
+        service_context: Vec::new(),
+    };
+    conn.send_frame(&req.encode(Endian::Big)).unwrap();
+    let frame = conn.recv_frame().unwrap();
+    match giop::decode(&frame) {
+        Err(GiopError::ShortBody { declared, actual }) => {
+            assert!(actual < declared, "truncation must shorten the body");
+        }
+        other => panic!("expected ShortBody from truncated reply, got {other:?}"),
+    }
+    assert_eq!(conn.injected().truncated, 1);
+
+    // The fault was client-side: the reactor still answers cleanly.
+    let client = ZenClient::connect_tcp(addr).unwrap();
+    assert_eq!(client.invoke(b"echo", "echo", &[9, 9]).unwrap(), vec![9, 9]);
+    server.shutdown();
+}
+
+/// A peer that declares a large body, sends half of it, and hangs up
+/// must not wedge the reactor: its connection is reaped and concurrent
+/// plus subsequent clients are unaffected.
+#[test]
+fn midframe_hangup_leaves_reactor_healthy() {
+    let server = reactor_server();
+    let addr = server.addr().unwrap();
+
+    // A well-behaved client connected before the misbehaving one.
+    let bystander = ZenClient::connect_tcp(addr).unwrap();
+
+    let req = RequestMessage {
+        request_id: 5,
+        response_expected: true,
+        object_key: b"echo".to_vec(),
+        operation: "echo".into(),
+        body: vec![3; 400],
+        service_context: Vec::new(),
+    };
+    let frame = req.encode(Endian::Big);
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&frame[..frame.len() / 2]).unwrap();
+        stream.flush().unwrap();
+        // Dropped here: RST/FIN mid-frame while the reactor holds the
+        // partial bytes in the connection's reassembly buffer.
+    }
+
+    // Both the pre-existing and a fresh connection still round-trip.
+    assert_eq!(
+        bystander.invoke(b"echo", "reverse", &[1, 2, 3]).unwrap(),
+        vec![3, 2, 1]
+    );
+    let fresh = ZenClient::connect_tcp(addr).unwrap();
+    assert_eq!(fresh.invoke(b"echo", "echo", &[8]).unwrap(), vec![8]);
+    server.shutdown();
+}

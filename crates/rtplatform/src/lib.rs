@@ -22,9 +22,10 @@
 //! §5 records this substitution.
 
 #![warn(missing_docs)]
-// `deny`, not `forbid`: the one lock-free module that needs `unsafe`
-// (`ring`, the Vyukov MPMC queue) opts back in locally; every other
-// module — and every crate above this one — stays unsafe-free.
+// `deny`, not `forbid`: the modules that need `unsafe` (`ring`, the
+// Vyukov MPMC queue, and the C-library FFI in `poll` and `heap`) opt
+// back in locally; every other module — and every crate above this
+// one — stays unsafe-free.
 #![deny(unsafe_code)]
 
 use std::time::Duration;
@@ -32,7 +33,9 @@ use std::time::Duration;
 pub mod atomic;
 pub mod chk;
 pub mod fault;
+pub mod heap;
 pub mod park;
+pub mod poll;
 pub mod ring;
 pub mod rng;
 pub mod sync;

@@ -5,6 +5,9 @@
 #   BENCH_dispatch.json  — sync/async port dispatch, queue round-trip,
 #                          contended 4-producer/4-worker sessions
 #   BENCH_msgpass.json   — cross-scope message passing (A1 ablation)
+#   BENCH_orb_load.json  — open-loop GIOP load against the reactor ORB
+#                          server at 1k/4k/10k concurrent connections
+#                          (p50/p99 latency + max sustained rate)
 #
 # Each file is an array of {name, iters, mean_ns, p50_ns, p99_ns,
 # min_ns, max_ns} records written by the bench harness when BENCH_JSON
@@ -14,12 +17,13 @@ cd "$(dirname "$0")/.."
 
 # Absolute: `cargo bench` runs each binary with its package directory
 # as the working directory, not the workspace root.
+mkdir -p "${BENCH_OUT_DIR:-.}"
 OUT_DIR="$(cd "${BENCH_OUT_DIR:-.}" && pwd)"
 
 echo "==> building bench binaries"
 cargo build --release --offline -p compadres-bench --benches
 
-for bench in dispatch msgpass; do
+for bench in dispatch msgpass orb_load; do
     echo "==> bench: $bench"
     BENCH_JSON="$OUT_DIR/BENCH_$bench.json" \
         cargo bench --offline -p compadres-bench --bench "$bench"

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# CI perf-regression gate over the committed BENCH_*.json baselines.
+#
+# Usage: bench_compare.sh <dir-with-fresh-BENCH_*.json>
+#
+# Compares the p50 of every record in freshly generated
+# BENCH_dispatch.json / BENCH_msgpass.json / BENCH_orb_load.json against
+# the baselines committed at the repo root, and fails if any fresh p50
+# exceeds baseline * tolerance + slack. The band is deliberately
+# generous — shared CI runners are noisy; the gate exists to catch
+# step-change regressions (an accidental lock on the hot path, a lost
+# batching optimization), not 10% drift.
+#
+#   BENCH_TOLERANCE           multiplier for dispatch/msgpass (default 2.0)
+#   BENCH_TOLERANCE_ORB_LOAD  multiplier for orb_load, whose open-loop
+#                             latencies depend on runner core count
+#                             (default 3.0)
+#   BENCH_SLACK_NS            absolute slack added to every limit so
+#                             nanosecond-scale records can't flake on
+#                             scheduler noise (default 5000 — small
+#                             enough that a 10x regression on even the
+#                             fastest ~2 us record still trips the gate)
+#
+# Records present on only one side (e.g. an fd-limited runner scaled an
+# orb_load connection count down, changing the record name) warn but do
+# not fail; renames should update the baseline in the same PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRESH_DIR="${1:?usage: bench_compare.sh <dir with freshly generated BENCH_*.json>}"
+
+python3 - "$FRESH_DIR" <<'PYEOF'
+import json, os, sys
+
+fresh_dir = sys.argv[1]
+tol_default = float(os.environ.get("BENCH_TOLERANCE", "2.0"))
+tol_orb = float(os.environ.get("BENCH_TOLERANCE_ORB_LOAD", "3.0"))
+slack_ns = int(os.environ.get("BENCH_SLACK_NS", "5000"))
+
+files = {
+    "BENCH_dispatch.json": tol_default,
+    "BENCH_msgpass.json": tol_default,
+    "BENCH_orb_load.json": tol_orb,
+}
+
+regressions, warnings, compared = [], [], 0
+
+for fname, tol in files.items():
+    base_path, fresh_path = fname, os.path.join(fresh_dir, fname)
+    if not os.path.exists(base_path):
+        warnings.append(f"{fname}: no committed baseline, skipping")
+        continue
+    if not os.path.exists(fresh_path):
+        regressions.append(f"{fname}: fresh results missing from {fresh_dir} (bench did not run?)")
+        continue
+    with open(base_path) as f:
+        base = {r["name"]: r for r in json.load(f)}
+    with open(fresh_path) as f:
+        fresh = {r["name"]: r for r in json.load(f)}
+    for name in base:
+        if name not in fresh:
+            warnings.append(f"{fname}: '{name}' in baseline but not in fresh run")
+    for name in fresh:
+        if name not in base:
+            warnings.append(f"{fname}: '{name}' in fresh run but not in baseline")
+    for name in sorted(set(base) & set(fresh)):
+        b, fr = base[name]["p50_ns"], fresh[name]["p50_ns"]
+        limit = b * tol + slack_ns
+        compared += 1
+        verdict = "FAIL" if fr > limit else "ok"
+        print(f"  {verdict:<4} {fname[6:-5]:>9} {name:<44} p50 {fr/1e3:>10.1f} us  "
+              f"(baseline {b/1e3:>10.1f} us, limit {limit/1e3:>10.1f} us)")
+        if fr > limit:
+            regressions.append(
+                f"{fname}: '{name}' p50 {fr} ns > limit {limit:.0f} ns "
+                f"(baseline {b} ns x{tol} + {slack_ns})")
+
+print(f"\ncompared {compared} records")
+for w in warnings:
+    print(f"warning: {w}")
+if regressions:
+    print("\nPERF REGRESSION:")
+    for r in regressions:
+        print(f"  {r}")
+    sys.exit(1)
+print("perf gate: no regression beyond tolerance")
+PYEOF
