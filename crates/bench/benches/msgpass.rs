@@ -1,10 +1,15 @@
 //! Ablation **A1** (paper §2.2): the three cross-scope message-passing
 //! mechanisms — serialization, shared object, handoff — measured between
-//! two sibling scopes, for several message sizes.
+//! two sibling scopes, for several message sizes, plus the remote GIOP
+//! marshal path (chain encode → in-place decode → dispatch → chain
+//! reply) that rides the same pools once a message leaves the node.
 //!
 //! Expected shape: handoff ≤ shared object < serialization, which is why
 //! Compadres builds its pools on the shared-object pattern (handoff being
-//! faster but coupling components to the scope structure).
+//! faster but coupling components to the scope structure). The remote
+//! path should stay within ~2× p50 across 32→4096-byte payloads now that
+//! encode/decode run over pool-leased segment chains instead of
+//! reallocating `Vec`s per message.
 //!
 //! Each batch gets a fresh parent scope because serialization and the
 //! shared-object pattern allocate into it and scoped areas only reclaim
@@ -15,7 +20,12 @@ use std::hint::black_box;
 
 use compadres_bench::harness::{run_batched, write_json_if_requested};
 use compadres_core::smm::{pass_handoff, pass_serialized, pass_shared};
+use rtcorba::cdr::Endian;
+use rtcorba::giop::{self, MessageView};
+use rtcorba::service::ObjectRegistry;
 use rtmem::{Ctx, MemoryModel, RegionId, Wedge};
+use rtplatform::bufchain::{SegPool, DEFAULT_SEG_SIZE};
+use std::sync::Arc;
 
 type Setup = (
     MemoryModel,
@@ -37,15 +47,17 @@ fn setup() -> Setup {
 }
 
 fn main() {
-    // Without this, each batch's MemoryModel teardown lets glibc trim the
-    // arena and the next batch re-faults the pages inside the timed loop
-    // — a history-dependent ~5x cliff that landed on shared_object/1024.
-    // See EXPERIMENTS.md "msgpass shared_object/1024 cliff".
+    // Belt and suspenders: the zero-copy chain path no longer allocates
+    // per message, but MemoryModel teardown between batches can still let
+    // glibc trim the arena and re-fault pages inside the timed loop (the
+    // history-dependent cliff root-caused in EXPERIMENTS.md "msgpass
+    // shared_object/1024 cliff"). Retaining freed memory keeps the
+    // scope-teardown benches history-independent.
     rtplatform::heap::retain_freed_memory();
 
-    println!("== msgpass: serialization vs shared object vs handoff ==");
+    println!("== msgpass: serialization vs shared object vs handoff vs remote GIOP ==");
 
-    for size in [32usize, 256, 1024] {
+    for size in [32usize, 256, 1024, 4096] {
         let payload = vec![0xCDu8; size];
 
         let p = payload.clone();
@@ -99,6 +111,47 @@ fn main() {
             })
             .unwrap();
         });
+
+        // The remote marshal path: chain-encode a request into
+        // pool-leased segments, decode it in place, dispatch to the echo
+        // servant, chain-encode the reply, decode that in place too —
+        // everything a message pays beyond the socket write itself.
+        let p = payload.clone();
+        let registry = ObjectRegistry::with_echo();
+        run_batched(
+            &format!("remote_giop/{size}"),
+            200,
+            move || {
+                (
+                    SegPool::new(16, DEFAULT_SEG_SIZE),
+                    Arc::clone(&registry),
+                    p.clone(),
+                )
+            },
+            |(pool, registry, payload)| {
+                for i in 0..64u32 {
+                    let frame = giop::encode_request_chain(
+                        i,
+                        true,
+                        b"echo",
+                        "echo",
+                        &payload,
+                        &[],
+                        Endian::Big,
+                        &pool,
+                    );
+                    let reply = match giop::decode_view(&frame.slices()).unwrap() {
+                        MessageView::Request(req) => registry.dispatch_view(&req),
+                        other => panic!("expected request, got {other:?}"),
+                    };
+                    let reply_frame = reply.encode_chain(Endian::Big, &pool);
+                    match giop::decode_view(&reply_frame.slices()).unwrap() {
+                        MessageView::Reply(r) => black_box(r.body.len()),
+                        other => panic!("expected reply, got {other:?}"),
+                    };
+                }
+            },
+        );
     }
 
     write_json_if_requested();

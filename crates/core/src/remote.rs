@@ -48,7 +48,7 @@
 //! its app's observer automatically).
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -79,6 +79,32 @@ type WireTrace = (u32, u16, u64);
 
 fn io_err(e: std::io::Error) -> CompadresError {
     CompadresError::Model(format!("remote link I/O failure: {e}"))
+}
+
+/// Writes every byte of `parts` with vectored writes, resuming across
+/// partial writes; the usual path is one `writev` for header + payload.
+fn write_all_parts(w: &mut impl Write, parts: &[&[u8]]) -> std::io::Result<()> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut written = 0;
+    while written < total {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(parts.len());
+        let mut skip = written;
+        for p in parts {
+            if skip >= p.len() {
+                skip -= p.len();
+                continue;
+            }
+            slices.push(IoSlice::new(&p[skip..]));
+            skip = 0;
+        }
+        match w.write_vectored(&slices) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 fn is_timeout(e: &std::io::Error) -> bool {
@@ -135,7 +161,11 @@ enum FrameRead<M> {
 
 /// Reads one `priority + len + payload` frame, tolerating idle timeouts
 /// only at the frame boundary (before any byte of a message is consumed).
-fn read_frame<M: BytesCodec>(stream: &mut TcpStream) -> FrameRead<M> {
+///
+/// `buf` is the connection's reusable receive buffer: the payload lands
+/// in it and the trace preamble and message body are decoded in place
+/// over that one buffer — no per-frame allocation on a warm connection.
+fn read_frame<M: BytesCodec>(stream: &mut TcpStream, buf: &mut Vec<u8>) -> FrameRead<M> {
     // First byte: an idle timeout here is benign.
     let mut first = [0u8; 1];
     loop {
@@ -160,8 +190,11 @@ fn read_frame<M: BytesCodec>(stream: &mut TcpStream) -> FrameRead<M> {
     if len > 64 << 20 || (traced && len < TRACE_PREAMBLE) {
         return FrameRead::Dead; // oversized or malformed claim: drop
     }
-    let mut payload = vec![0u8; len];
-    match stream.read_exact(&mut payload) {
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    let payload = &mut buf[..len];
+    match stream.read_exact(payload) {
         Ok(()) => {
             let (trace, body) = if traced {
                 let trace_id = u32::from_be_bytes(payload[0..4].try_into().unwrap());
@@ -287,8 +320,9 @@ impl PortExporter {
                             let _ = stream.set_read_timeout(Some(policy.recv_timeout));
                             eobs.obs.gauge_add(eobs.conns_live, 1);
                             let mut stream = stream;
+                            let mut buf = Vec::new();
                             while !shutdown3.load(Ordering::SeqCst) {
-                                match read_frame::<M>(&mut stream) {
+                                match read_frame::<M>(&mut stream, &mut buf) {
                                     FrameRead::Frame(priority, trace, msg) => {
                                         received3.fetch_add(1, Ordering::Relaxed);
                                         eobs.obs.inc(eobs.rx_frames);
@@ -573,16 +607,18 @@ impl<M: Message + BytesCodec> RemotePort<M> {
         }
     }
 
-    /// Writes `frame`; on failure the stream is torn down so the next
+    /// Writes a frame given as parts (header + payload) with vectored
+    /// I/O, so the wire header never has to be assembled into one `Vec`
+    /// with the payload; on failure the stream is torn down so the next
     /// attempt reconnects.
-    fn try_write(&self, st: &mut SendState, frame: &[u8]) -> std::io::Result<()> {
+    fn try_write(&self, st: &mut SendState, parts: &[&[u8]]) -> std::io::Result<()> {
         let Some(stream) = st.stream.as_mut() else {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::NotConnected,
                 "link down",
             ));
         };
-        let r = stream.write_all(frame).and_then(|()| stream.flush());
+        let r = write_all_parts(stream, parts).and_then(|()| stream.flush());
         if let Err(e) = &r {
             if is_timeout(e) {
                 self.note_deadline_miss();
@@ -612,10 +648,14 @@ impl<M: Message + BytesCodec> RemotePort<M> {
         let span = rtobs::span::current();
         let traced = span.is_active();
         let preamble = if traced { TRACE_PREAMBLE } else { 0 };
-        let mut frame = Vec::with_capacity(payload.len() + preamble + 5);
+        // The wire header (priority byte, length word, optional trace
+        // preamble) is built on the stack and sent alongside the payload
+        // with a vectored write — the frame is never assembled into one
+        // contiguous buffer.
+        let mut head = [0u8; 5 + TRACE_PREAMBLE];
         let prio = priority.into().value();
-        frame.push(if traced { prio | TRACE_FLAG } else { prio });
-        frame.extend_from_slice(&((payload.len() + preamble) as u32).to_be_bytes());
+        head[0] = if traced { prio | TRACE_FLAG } else { prio };
+        head[1..5].copy_from_slice(&((payload.len() + preamble) as u32).to_be_bytes());
         if traced {
             // Remaining budget, re-derived by the peer against its own
             // clock; 0 = no deadline, overruns propagate as a 1 ns stub
@@ -628,20 +668,20 @@ impl<M: Message + BytesCodec> RemotePort<M> {
                 },
                 None => 0,
             };
-            frame.extend_from_slice(&span.trace_id.to_be_bytes());
-            frame.extend_from_slice(&span.span_id.to_be_bytes());
-            frame.extend_from_slice(&0u16.to_be_bytes());
-            frame.extend_from_slice(&budget.to_be_bytes());
+            head[5..9].copy_from_slice(&span.trace_id.to_be_bytes());
+            head[9..11].copy_from_slice(&span.span_id.to_be_bytes());
+            head[11..13].copy_from_slice(&0u16.to_be_bytes());
+            head[13..21].copy_from_slice(&budget.to_be_bytes());
             if let Some(o) = self.obs.get() {
                 o.obs
                     .record_span(EventKind::SpanRemoteSend, o.entity, budget, span);
             }
         }
-        frame.extend_from_slice(&payload);
+        let head = &head[..5 + preamble];
 
         let mut st = self.state.lock();
         if self.policy.degrade == DegradeMode::DropOldest {
-            self.send_queueing(&mut st, frame);
+            self.send_queueing(&mut st, head, &payload);
             return Ok(());
         }
         let mut last: Option<std::io::Error> = None;
@@ -662,7 +702,7 @@ impl<M: Message + BytesCodec> RemotePort<M> {
                     }
                 }
             }
-            match self.try_write(&mut st, &frame) {
+            match self.try_write(&mut st, &[head, &payload]) {
                 Ok(()) => {
                     st.backoff.reset();
                     self.sent.fetch_add(1, Ordering::Relaxed);
@@ -686,7 +726,7 @@ impl<M: Message + BytesCodec> RemotePort<M> {
     /// down messages queue (bounded, oldest shed); a reconnect is
     /// attempted at most once per backoff window, and queued messages are
     /// flushed in order before the new one.
-    fn send_queueing(&self, st: &mut SendState, frame: Vec<u8>) {
+    fn send_queueing(&self, st: &mut SendState, head: &[u8], payload: &[u8]) {
         let now = Instant::now();
         let in_backoff = st.retry_after.is_some_and(|at| now < at);
         if st.stream.is_none() && !in_backoff {
@@ -710,14 +750,20 @@ impl<M: Message + BytesCodec> RemotePort<M> {
                 }
                 st.pending.pop_front();
             }
-            if st.stream.is_some() && self.try_write_queued(st, frame.clone()).is_ok() {
+            if st.stream.is_some() && self.try_write(st, &[head, payload]).is_ok() {
                 st.backoff.reset();
+                self.sent.fetch_add(1, Ordering::Relaxed);
                 return;
             }
             // The write failed: fall through to queueing the frame.
             let delay = self.note_retry(st);
             st.retry_after = Some(Instant::now() + delay);
         }
+        // Only a frame that must survive in the resend queue is ever
+        // assembled into one contiguous buffer.
+        let mut frame = Vec::with_capacity(head.len() + payload.len());
+        frame.extend_from_slice(head);
+        frame.extend_from_slice(payload);
         st.pending.push_back(frame);
         while st.pending.len() > self.policy.pending_cap {
             st.pending.pop_front();
@@ -728,7 +774,7 @@ impl<M: Message + BytesCodec> RemotePort<M> {
     /// Borrow-friendly wrapper: `try_write` needs `&mut SendState` while
     /// the frame may live inside `st.pending`.
     fn try_write_queued(&self, st: &mut SendState, frame: Vec<u8>) -> std::io::Result<()> {
-        let r = self.try_write(st, &frame);
+        let r = self.try_write(st, &[&frame]);
         if r.is_ok() {
             self.sent.fetch_add(1, Ordering::Relaxed);
         }

@@ -6,7 +6,7 @@
 //! ```text
 //! rtcheck diff --seed 1000 --cases 10000      # seeds 1000..11000
 //! rtcheck diff --seed 42 --sweep-secs 60      # randomized, 60 s box
-//! rtcheck lin  --seed 7 --rounds 100          # ring/buffer/fifo/pool
+//! rtcheck lin  --seed 7 --rounds 100          # ring/buffer/fifo/pool/segpool
 //! rtcheck lin  --seed 7 --sweep-secs 60
 //! ```
 
@@ -104,7 +104,7 @@ fn lin_sweep(seed: u64, rounds: u64, sweep_secs: Option<u64>) {
         checked += 1;
     }
     println!(
-        "rtcheck lin: {checked} rounds (ring, buffer, fifo, pool) in {:?}, all linearizable",
+        "rtcheck lin: {checked} rounds (ring, buffer, fifo, pool, segpool) in {:?}, all linearizable",
         started.elapsed()
     );
 }
@@ -123,6 +123,8 @@ fn lin_round(seed: u64) {
     verify(seed, "PriorityFifo", &PriorityFifoSpec, &fifo);
     let (pool_spec, pool) = record::pool_history(seed, 3, 8, 3);
     verify(seed, "ScopePool", &pool_spec, &pool);
+    let (seg_spec, segpool) = record::segpool_history(seed, 3, 8, 3);
+    verify(seed, "SegPool", &seg_spec, &segpool);
 }
 
 fn verify<S: lin::Spec>(

@@ -2,7 +2,7 @@
 //!
 //! Each function runs a seeded multi-threaded workload against the
 //! actual implementation — `MpmcRing`, `BoundedBuffer` (reject
-//! policy), `PriorityFifo`, `ScopePool` — and returns the merged
+//! policy), `PriorityFifo`, `ScopePool`, `SegPool` — and returns the merged
 //! timestamped history for [`crate::lin::check`]. Workloads are kept
 //! short (the checker is exponential in overlap) and every thread
 //! releases what it holds *within* its recorded sequence, so the
@@ -12,6 +12,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use rtmem::{MemoryModel, ScopePool};
+use rtplatform::bufchain::SegPool;
 use rtplatform::ring::MpmcRing;
 use rtplatform::rng::SplitMix64;
 use rtsched::{BoundedBuffer, OverflowPolicy, Priority, PriorityFifo};
@@ -150,6 +151,77 @@ pub fn pool_history(
                 for (id, lease) in held {
                     log.record(PoolOp::Release(id), || {
                         drop(lease);
+                        PoolRet::Released
+                    });
+                }
+                log.into_ops()
+            })
+        })
+        .collect();
+    let history = merge(handles.into_iter().map(|h| h.join().unwrap()).collect());
+    let spec = PoolSpec {
+        slots: (0..pool_size as u64).collect::<BTreeSet<u64>>(),
+    };
+    (spec, history)
+}
+
+/// Like [`pool_history`] for the zero-copy path's
+/// [`SegPool`]: seeded `try_lease`/drop(release) traffic against the
+/// real segment ring, slots named by each segment's stable buffer
+/// address learned from an initial full drain. Only `try_lease` is
+/// exercised — the heap fallback of `lease` is deliberately outside
+/// the bounded-resource spec.
+pub fn segpool_history(
+    seed: u64,
+    threads: usize,
+    ops: usize,
+    pool_size: usize,
+) -> (PoolSpec, Vec<CompleteOp<PoolOp, PoolRet>>) {
+    let pool = SegPool::new(pool_size, 64);
+
+    // Learn the slot universe: drain the pool once, single-threaded.
+    let mut slot_ids = std::collections::HashMap::new();
+    {
+        let mut leases = Vec::new();
+        while let Some(seg) = pool.try_lease() {
+            slot_ids.insert(seg.id(), slot_ids.len() as u64);
+            leases.push(seg);
+        }
+    }
+    assert_eq!(slot_ids.len(), pool_size, "drain saw every segment");
+    let slot_ids = Arc::new(slot_ids);
+
+    let clock = Clock::new();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let pool = pool.clone();
+            let slot_ids = Arc::clone(&slot_ids);
+            let mut log = ThreadLog::new(&clock);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(seed ^ (t as u64).wrapping_mul(0x5E61));
+                let mut held = Vec::new();
+                for _ in 0..ops {
+                    if held.is_empty() || rng.chance(0.6) {
+                        log.record(PoolOp::Acquire, || {
+                            PoolRet::Acquired(pool.try_lease().map(|seg| {
+                                let id = slot_ids[&seg.id()];
+                                held.push((id, seg));
+                                id
+                            }))
+                        });
+                    } else {
+                        let (id, seg) = held.swap_remove(rng.below(held.len()));
+                        log.record(PoolOp::Release(id), || {
+                            drop(seg);
+                            PoolRet::Released
+                        });
+                    }
+                }
+                // Release everything inside the recorded sequence so
+                // no unrecorded release races another thread's ops.
+                for (id, seg) in held {
+                    log.record(PoolOp::Release(id), || {
+                        drop(seg);
                         PoolRet::Released
                     });
                 }

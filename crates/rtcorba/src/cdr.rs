@@ -7,7 +7,10 @@
 //! relative to the start of the encapsulation; both endiannesses are
 //! supported as CDR requires.
 
+use std::borrow::Cow;
 use std::fmt;
+
+use rtplatform::bufchain::BufChain;
 
 /// Byte order of an encapsulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -231,6 +234,127 @@ impl CdrEncoder {
     }
 }
 
+/// CDR encoder writing directly into a segment chain — the zero-copy
+/// counterpart of [`CdrEncoder`]. Bytes land in pool-leased segments
+/// (crossing boundaries transparently) and are never moved again: the
+/// GIOP header is later prepended into the chain's headroom and the
+/// segments go to the socket via vectored writes.
+///
+/// Alignment is maintained relative to the *body* start (the chain's
+/// [`BufChain::body_len`]), matching how [`CdrDecoder`] aligns when
+/// decoding a GIOP body. The legacy [`CdrEncoder`] aligns relative to
+/// the frame start (header included); the two agree for every
+/// alignment ≤ 4 because the GIOP header is 12 bytes (12 ≡ 0 mod 4).
+/// Only 8-byte-aligned primitives would diverge — no GIOP message body
+/// in this ORB uses one, and the wire-compat property tests pin the
+/// byte-for-byte agreement.
+#[derive(Debug)]
+pub struct CdrChainEncoder<'a> {
+    chain: &'a mut BufChain,
+    endian: Endian,
+}
+
+impl<'a> CdrChainEncoder<'a> {
+    /// Wraps a chain; writes append after whatever the chain holds.
+    pub fn new(chain: &'a mut BufChain, endian: Endian) -> CdrChainEncoder<'a> {
+        CdrChainEncoder { chain, endian }
+    }
+
+    /// The byte order in use.
+    pub fn endian(&self) -> Endian {
+        self.endian
+    }
+
+    /// Logical body offset (alignment reference point).
+    pub fn position(&self) -> usize {
+        self.chain.body_len()
+    }
+
+    /// Inserts padding so the next write lands on `alignment`
+    /// (relative to the body start).
+    pub fn align(&mut self, alignment: usize) {
+        let misaligned = self.chain.body_len() % alignment;
+        if misaligned != 0 {
+            self.chain.pad(alignment - misaligned);
+        }
+    }
+
+    /// Writes one octet.
+    pub fn write_u8(&mut self, v: u8) {
+        self.chain.put(&[v]);
+    }
+
+    /// Writes a boolean as an octet.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Writes an aligned 16-bit unsigned integer.
+    pub fn write_u16(&mut self, v: u16) {
+        self.align(2);
+        match self.endian {
+            Endian::Big => self.chain.put(&v.to_be_bytes()),
+            Endian::Little => self.chain.put(&v.to_le_bytes()),
+        }
+    }
+
+    /// Writes an aligned 32-bit unsigned integer.
+    pub fn write_u32(&mut self, v: u32) {
+        self.align(4);
+        match self.endian {
+            Endian::Big => self.chain.put(&v.to_be_bytes()),
+            Endian::Little => self.chain.put(&v.to_le_bytes()),
+        }
+    }
+
+    /// Writes an aligned 64-bit unsigned integer.
+    pub fn write_u64(&mut self, v: u64) {
+        self.align(8);
+        match self.endian {
+            Endian::Big => self.chain.put(&v.to_be_bytes()),
+            Endian::Little => self.chain.put(&v.to_le_bytes()),
+        }
+    }
+
+    /// Writes an aligned 16-bit signed integer.
+    pub fn write_i16(&mut self, v: i16) {
+        self.write_u16(v as u16);
+    }
+
+    /// Writes an aligned 32-bit signed integer.
+    pub fn write_i32(&mut self, v: i32) {
+        self.write_u32(v as u32);
+    }
+
+    /// Writes an aligned 64-bit signed integer.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Writes an aligned IEEE-754 float.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Writes an aligned IEEE-754 double.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Writes a CDR string: u32 length (including NUL), bytes, NUL.
+    pub fn write_string(&mut self, s: &str) {
+        self.write_u32(s.len() as u32 + 1);
+        self.chain.put(s.as_bytes());
+        self.chain.put(&[0]);
+    }
+
+    /// Writes a `sequence<octet>`: u32 length then raw bytes.
+    pub fn write_octets(&mut self, bytes: &[u8]) {
+        self.write_u32(bytes.len() as u32);
+        self.chain.put(bytes);
+    }
+}
+
 /// CDR decoder over a byte slice.
 #[derive(Debug, Clone)]
 pub struct CdrDecoder<'a> {
@@ -389,6 +513,277 @@ impl<'a> CdrDecoder<'a> {
     }
 }
 
+/// CDR decoder over a *fragmented* buffer — a sequence of borrowed
+/// segment regions in wire order, as produced by [`rtplatform::bufchain::
+/// FrameBuf::slices`]. Decodes in place: sequence and string payloads
+/// come back as [`Cow::Borrowed`] views into the segments whenever they
+/// do not straddle a boundary (the common case), and primitives that do
+/// straddle are reassembled through an 8-byte stack buffer. Semantics
+/// (alignment, validation, errors) are identical to [`CdrDecoder`]; the
+/// wire-compat property tests enforce the agreement on random frames.
+#[derive(Debug, Clone)]
+pub struct CdrSliceDecoder<'a> {
+    parts: &'a [&'a [u8]],
+    part: usize,
+    off: usize,
+    pos: usize,
+    total: usize,
+    endian: Endian,
+}
+
+impl<'a> CdrSliceDecoder<'a> {
+    /// Creates a decoder over `parts` (concatenated in order).
+    pub fn new(parts: &'a [&'a [u8]], endian: Endian) -> CdrSliceDecoder<'a> {
+        CdrSliceDecoder {
+            parts,
+            part: 0,
+            off: 0,
+            pos: 0,
+            total: parts.iter().map(|p| p.len()).sum(),
+            endian,
+        }
+    }
+
+    /// A decoder over the same `parts` that starts `skip` bytes in and
+    /// sees at most `len` bytes, with alignment rebased to the new
+    /// start — how a GIOP body (alignment restarts after the header)
+    /// is decoded in place from a fragmented frame.
+    pub fn sub(
+        parts: &'a [&'a [u8]],
+        endian: Endian,
+        skip: usize,
+        len: usize,
+    ) -> Result<CdrSliceDecoder<'a>, CdrError> {
+        let mut d = CdrSliceDecoder::new(parts, endian);
+        d.check(skip)?;
+        d.advance(skip);
+        d.total = (d.total - skip).min(len);
+        d.pos = 0;
+        Ok(d)
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.total - self.pos
+    }
+
+    fn check(&self, n: usize) -> Result<(), CdrError> {
+        if self.remaining() < n {
+            return Err(CdrError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Advances past `n` bytes (which must be available).
+    fn advance(&mut self, mut n: usize) {
+        self.pos += n;
+        while n > 0 {
+            let here = self.parts[self.part].len() - self.off;
+            if n < here {
+                self.off += n;
+                return;
+            }
+            n -= here;
+            self.part += 1;
+            self.off = 0;
+        }
+        // Skip any empty parts so `contiguous` sees real bytes.
+        while self.part < self.parts.len() && self.off == self.parts[self.part].len() {
+            self.part += 1;
+            self.off = 0;
+        }
+    }
+
+    /// A borrowed view of the next `n` bytes if they are contiguous in
+    /// one part (does not consume).
+    fn contiguous(&self, n: usize) -> Option<&'a [u8]> {
+        let p = self.parts.get(self.part)?;
+        if p.len() - self.off >= n {
+            Some(&p[self.off..self.off + n])
+        } else {
+            None
+        }
+    }
+
+    /// Consumes `n` bytes into `out` (must be available).
+    fn copy_out(&mut self, out: &mut [u8]) {
+        let mut done = 0;
+        while done < out.len() {
+            let p = self.parts[self.part];
+            let here = (p.len() - self.off).min(out.len() - done);
+            out[done..done + here].copy_from_slice(&p[self.off..self.off + here]);
+            done += here;
+            self.advance(here);
+        }
+    }
+
+    /// Consumes `n` bytes as a zero-copy view when contiguous, or an
+    /// owned copy when they straddle a boundary.
+    fn take_view(&mut self, n: usize) -> Result<Cow<'a, [u8]>, CdrError> {
+        self.check(n)?;
+        if let Some(view) = self.contiguous(n) {
+            self.advance(n);
+            return Ok(Cow::Borrowed(view));
+        }
+        let mut out = vec![0u8; n];
+        self.copy_out(&mut out);
+        Ok(Cow::Owned(out))
+    }
+
+    /// Skips padding so the next read is aligned.
+    pub fn align(&mut self, alignment: usize) -> Result<(), CdrError> {
+        let misaligned = self.pos % alignment;
+        if misaligned != 0 {
+            let pad = alignment - misaligned;
+            self.check(pad)?;
+            self.advance(pad);
+        }
+        Ok(())
+    }
+
+    fn take_fixed<const N: usize>(&mut self) -> Result<[u8; N], CdrError> {
+        self.check(N)?;
+        let mut arr = [0u8; N];
+        if let Some(view) = self.contiguous(N) {
+            arr.copy_from_slice(view);
+            self.advance(N);
+        } else {
+            self.copy_out(&mut arr);
+        }
+        Ok(arr)
+    }
+
+    /// Reads one octet.
+    pub fn read_u8(&mut self) -> Result<u8, CdrError> {
+        Ok(self.take_fixed::<1>()?[0])
+    }
+
+    /// Reads a boolean octet.
+    pub fn read_bool(&mut self) -> Result<bool, CdrError> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CdrError::BadBoolean(other)),
+        }
+    }
+
+    /// Reads an aligned 16-bit unsigned integer.
+    pub fn read_u16(&mut self) -> Result<u16, CdrError> {
+        self.align(2)?;
+        let arr = self.take_fixed::<2>()?;
+        Ok(match self.endian {
+            Endian::Big => u16::from_be_bytes(arr),
+            Endian::Little => u16::from_le_bytes(arr),
+        })
+    }
+
+    /// Reads an aligned 32-bit unsigned integer.
+    pub fn read_u32(&mut self) -> Result<u32, CdrError> {
+        self.align(4)?;
+        let arr = self.take_fixed::<4>()?;
+        Ok(match self.endian {
+            Endian::Big => u32::from_be_bytes(arr),
+            Endian::Little => u32::from_le_bytes(arr),
+        })
+    }
+
+    /// Reads an aligned 64-bit unsigned integer.
+    pub fn read_u64(&mut self) -> Result<u64, CdrError> {
+        self.align(8)?;
+        let arr = self.take_fixed::<8>()?;
+        Ok(match self.endian {
+            Endian::Big => u64::from_be_bytes(arr),
+            Endian::Little => u64::from_le_bytes(arr),
+        })
+    }
+
+    /// Reads an aligned 16-bit signed integer.
+    pub fn read_i16(&mut self) -> Result<i16, CdrError> {
+        Ok(self.read_u16()? as i16)
+    }
+
+    /// Reads an aligned 32-bit signed integer.
+    pub fn read_i32(&mut self) -> Result<i32, CdrError> {
+        Ok(self.read_u32()? as i32)
+    }
+
+    /// Reads an aligned 64-bit signed integer.
+    pub fn read_i64(&mut self) -> Result<i64, CdrError> {
+        Ok(self.read_u64()? as i64)
+    }
+
+    /// Reads an aligned IEEE-754 float.
+    pub fn read_f32(&mut self) -> Result<f32, CdrError> {
+        Ok(f32::from_bits(self.read_u32()?))
+    }
+
+    /// Reads an aligned IEEE-754 double.
+    pub fn read_f64(&mut self) -> Result<f64, CdrError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a CDR string as a zero-copy view when possible.
+    pub fn read_string_view(&mut self) -> Result<Cow<'a, str>, CdrError> {
+        let len = self.read_u32()?;
+        if len == 0 || len as usize > self.remaining() {
+            return Err(CdrError::LengthOverflow(len));
+        }
+        let bytes = self.take_view(len as usize)?;
+        if bytes[bytes.len() - 1] != 0 {
+            return Err(CdrError::BadString);
+        }
+        match bytes {
+            Cow::Borrowed(b) => std::str::from_utf8(&b[..b.len() - 1])
+                .map(Cow::Borrowed)
+                .map_err(|_| CdrError::BadString),
+            Cow::Owned(mut v) => {
+                v.pop();
+                String::from_utf8(v)
+                    .map(Cow::Owned)
+                    .map_err(|_| CdrError::BadString)
+            }
+        }
+    }
+
+    /// Reads a CDR string into an owned `String`.
+    pub fn read_string(&mut self) -> Result<String, CdrError> {
+        Ok(self.read_string_view()?.into_owned())
+    }
+
+    /// Reads a `sequence<octet>` as a zero-copy view when possible.
+    pub fn read_octets_view(&mut self) -> Result<Cow<'a, [u8]>, CdrError> {
+        let len = self.read_u32()?;
+        if len as usize > self.remaining() {
+            return Err(CdrError::LengthOverflow(len));
+        }
+        self.take_view(len as usize)
+    }
+
+    /// Reads a `sequence<octet>` into an owned `Vec`.
+    pub fn read_octets(&mut self) -> Result<Vec<u8>, CdrError> {
+        Ok(self.read_octets_view()?.into_owned())
+    }
+
+    /// Skips a length-prefixed octet sequence without copying; returns
+    /// the payload length skipped.
+    pub fn skip_octets(&mut self) -> Result<usize, CdrError> {
+        let len = self.read_u32()?;
+        if len as usize > self.remaining() {
+            return Err(CdrError::LengthOverflow(len));
+        }
+        self.advance(len as usize);
+        Ok(len as usize)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +881,110 @@ mod tests {
         assert_eq!(Endian::from_flag(0), Endian::Big);
         assert_eq!(Endian::from_flag(1), Endian::Little);
         assert_eq!(Endian::from_flag(3), Endian::Little);
+    }
+
+    fn chunked<'a>(bytes: &'a [u8], at: &[usize]) -> Vec<&'a [u8]> {
+        let mut parts = Vec::new();
+        let mut prev = 0;
+        for &cut in at {
+            parts.push(&bytes[prev..cut]);
+            prev = cut;
+        }
+        parts.push(&bytes[prev..]);
+        parts
+    }
+
+    #[test]
+    fn chain_encoder_matches_vec_encoder() {
+        use rtplatform::bufchain::SegPool;
+        // Deliberately tiny segments so every multi-byte primitive can
+        // straddle a boundary.
+        let pool = SegPool::new(32, 8);
+        for endian in [Endian::Big, Endian::Little] {
+            let mut legacy = CdrEncoder::new(endian);
+            let mut chain = BufChain::with_headroom(&pool, 0);
+            let mut enc = CdrChainEncoder::new(&mut chain, endian);
+            legacy.write_u8(7);
+            legacy.write_u16(0x1234);
+            legacy.write_u32(0xAABB_CCDD);
+            legacy.write_bool(true);
+            legacy.write_string("straddle-me-please");
+            legacy.write_octets(&[9; 21]);
+            legacy.write_i32(-5);
+            enc.write_u8(7);
+            enc.write_u16(0x1234);
+            enc.write_u32(0xAABB_CCDD);
+            enc.write_bool(true);
+            enc.write_string("straddle-me-please");
+            enc.write_octets(&[9; 21]);
+            enc.write_i32(-5);
+            assert_eq!(chain.to_vec(), legacy.into_bytes(), "{endian:?}");
+        }
+    }
+
+    #[test]
+    fn slice_decoder_matches_contiguous_decoder() {
+        let mut enc = CdrEncoder::new(Endian::Little);
+        enc.write_u8(1);
+        enc.write_u32(0xC0FF_EE00);
+        enc.write_string("zero-copy");
+        enc.write_octets(&[5; 17]);
+        enc.write_u16(0xBEEF);
+        let bytes = enc.into_bytes();
+        // Every possible single split point, plus a many-way split.
+        for cut in 0..=bytes.len() {
+            let parts = chunked(&bytes, &[cut]);
+            let mut dec = CdrSliceDecoder::new(&parts, Endian::Little);
+            assert_eq!(dec.read_u8().unwrap(), 1);
+            assert_eq!(dec.read_u32().unwrap(), 0xC0FF_EE00);
+            assert_eq!(dec.read_string().unwrap(), "zero-copy");
+            assert_eq!(dec.read_octets().unwrap(), vec![5; 17]);
+            assert_eq!(dec.read_u16().unwrap(), 0xBEEF);
+            assert_eq!(dec.remaining(), 0);
+        }
+        let every: Vec<usize> = (1..bytes.len()).collect();
+        let parts = chunked(&bytes, &every);
+        let mut dec = CdrSliceDecoder::new(&parts, Endian::Little);
+        assert_eq!(dec.read_u8().unwrap(), 1);
+        assert_eq!(dec.read_u32().unwrap(), 0xC0FF_EE00);
+        assert_eq!(dec.read_string().unwrap(), "zero-copy");
+        assert_eq!(dec.read_octets().unwrap(), vec![5; 17]);
+        assert_eq!(dec.read_u16().unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn slice_decoder_borrows_when_contiguous() {
+        let mut enc = CdrEncoder::new(Endian::Big);
+        enc.write_octets(&[1, 2, 3, 4]);
+        enc.write_string("view");
+        let bytes = enc.into_bytes();
+        let parts = [&bytes[..]];
+        let mut dec = CdrSliceDecoder::new(&parts, Endian::Big);
+        assert!(matches!(dec.read_octets_view().unwrap(), Cow::Borrowed(_)));
+        assert!(matches!(dec.read_string_view().unwrap(), Cow::Borrowed(_)));
+        // A split through the octets forces an owned copy, same value.
+        let parts = chunked(&bytes, &[6]);
+        let mut dec = CdrSliceDecoder::new(&parts, Endian::Big);
+        match dec.read_octets_view().unwrap() {
+            Cow::Owned(v) => assert_eq!(v, vec![1, 2, 3, 4]),
+            Cow::Borrowed(_) => panic!("split payload cannot borrow"),
+        }
+    }
+
+    #[test]
+    fn slice_decoder_truncation_and_validation() {
+        let parts: [&[u8]; 2] = [&[0, 0], &[0]];
+        let mut dec = CdrSliceDecoder::new(&parts, Endian::Big);
+        assert!(matches!(dec.read_u32(), Err(CdrError::Truncated { .. })));
+        let parts: [&[u8]; 1] = [&[7]];
+        let mut dec = CdrSliceDecoder::new(&parts, Endian::Big);
+        assert!(matches!(dec.read_bool(), Err(CdrError::BadBoolean(7))));
+        let parts: [&[u8]; 2] = [&[0, 0], &[0, 100]];
+        let mut dec = CdrSliceDecoder::new(&parts, Endian::Big);
+        assert!(matches!(
+            dec.read_string(),
+            Err(CdrError::LengthOverflow(100))
+        ));
     }
 
     #[test]

@@ -21,11 +21,12 @@ use std::thread::JoinHandle;
 
 use compadres_core::{App, AppBuilder, ChildHandle, HandlerCtx, Priority};
 use rtobs::{span, CounterId, EventKind, HistId, SpanCtx};
+use rtplatform::bufchain::{FrameBuf, SegPool, DEFAULT_SEG_SIZE};
 use rtplatform::fault::FaultPolicy;
 use rtplatform::sync::Mutex;
 
 use crate::cdr::Endian;
-use crate::giop::{self, Message, ReplyStatus, RequestMessage};
+use crate::giop::{self, MessageView, ReplyStatus};
 use crate::reactor::{FrameFn, ReactorConfig, ReactorServer};
 use crate::service::ObjectRegistry;
 use crate::transport::{
@@ -50,12 +51,18 @@ struct InvokeMsg {
 }
 
 /// The message that travels Poa → Transport → RequestProcessing on the
-/// server side.
+/// server side. The frame is a segment chain, so the relay hops'
+/// `msg.clone()` copies component state but only bumps segment
+/// refcounts — the frame bytes are never duplicated down the pipeline.
 #[derive(Default, Clone)]
 struct WireMsg {
-    frame: Vec<u8>,
+    frame: FrameBuf,
     conn: Option<Arc<dyn Connection>>,
 }
+
+/// Segments in each ORB's marshal pool; exhaustion falls back to plain
+/// heap segments rather than blocking (see [`rtplatform::bufchain`]).
+const POOL_SEGS: usize = 16;
 
 const CLIENT_CDL: &str = r#"
 <Components>
@@ -225,6 +232,7 @@ impl CompadresClient {
     /// Composition or memory-architecture failures.
     pub fn from_conn(conn: Arc<dyn Connection>) -> Result<CompadresClient, OrbError> {
         let endian = Endian::native();
+        let pool = SegPool::new(POOL_SEGS, DEFAULT_SEG_SIZE);
         let app = AppBuilder::from_xml(CLIENT_CDL, CLIENT_CCL)?
             .bind_message_type::<InvokeMsg>("InvokeMsg")
             .register_handler("Transport", "FromOrb", || {
@@ -239,8 +247,9 @@ impl CompadresClient {
             })
             .register_handler("MessageProcessing", "FromTransport", move || {
                 let conn = Arc::clone(&conn);
+                let pool = pool.clone();
                 move |msg: &mut InvokeMsg, ctx: &mut HandlerCtx<'_>| {
-                    let result = client_round_trip(&conn, endian, msg, ctx);
+                    let result = client_round_trip(&conn, endian, &pool, msg, ctx);
                     if let Some(cell) = msg.reply_to.take() {
                         *cell.lock() = Some(result);
                     }
@@ -462,21 +471,13 @@ impl CompadresClient {
 fn client_round_trip(
     conn: &Arc<dyn Connection>,
     endian: Endian,
+    pool: &SegPool,
     msg: &InvokeMsg,
     ctx: &mut HandlerCtx<'_>,
 ) -> Result<Vec<u8>, OrbError> {
-    // Marshal in the processing component's scope; the staged copy is
-    // charged to (and reclaimed with) the per-request scope.
-    let mut req = RequestMessage {
-        request_id: msg.request_id,
-        response_expected: !msg.oneway,
-        object_key: msg.object_key.clone(),
-        operation: msg.operation.clone(),
-        body: msg.payload.clone(),
-        service_context: Vec::new(),
-    };
     // This handler runs inside the pipeline hop's span: ship it across
     // the wire with whatever budget is left at this point.
+    let mut service_context = Vec::new();
     let cur = span::current();
     if cur.is_active() {
         let obs = ctx.observer();
@@ -485,26 +486,38 @@ fn client_round_trip(
             left if left <= 0 => 1, // overrun: a 1 ns stub keeps the flag
             left => left as u64,
         };
-        req.service_context.push((
+        service_context.push((
             giop::TRACE_CONTEXT_SLOT,
             giop::encode_trace_slot(cur.trace_id, cur.span_id, budget),
         ));
         let entity = obs.register_entity("giop:wire");
         obs.record_span(EventKind::SpanRemoteSend, entity, budget, cur);
     }
-    let frame = req.encode(endian);
-    let staged = ctx.mem.alloc_bytes(frame.len())?;
-    staged.copy_from_slice(ctx.mem, &frame)?;
-    conn.send_frame(&frame)?;
+    // Marshal from the borrowed invocation fields straight into pool-
+    // leased segments and scatter them to the socket with vectored I/O;
+    // the segments recycle when the frame drops at the end of the
+    // round trip.
+    let frame = giop::encode_request_chain(
+        msg.request_id,
+        !msg.oneway,
+        &msg.object_key,
+        &msg.operation,
+        &msg.payload,
+        &service_context,
+        endian,
+        pool,
+    );
+    conn.send_chain(&frame)?;
     if msg.oneway {
         return Ok(Vec::new());
     }
     let reply_frame = conn.recv_frame()?;
-    let staged_reply = ctx.mem.alloc_bytes(reply_frame.len())?;
-    staged_reply.copy_from_slice(ctx.mem, &reply_frame)?;
-    let reply = giop::decode(&reply_frame)?;
+    // Decode in place over the received buffer; the only copy taken is
+    // the reply body handed to the caller.
+    let parts = [&reply_frame[..]];
+    let reply = giop::decode_view(&parts)?;
     if cur.is_active() {
-        if let Message::Reply(r) = &reply {
+        if let MessageView::Reply(r) = &reply {
             if let Some((_, _, echoed)) = r.trace_context() {
                 let obs = ctx.observer();
                 let entity = obs.register_entity("giop:wire");
@@ -513,14 +526,14 @@ fn client_round_trip(
         }
     }
     match reply {
-        Message::Reply(r) if r.request_id == msg.request_id => match r.status {
-            ReplyStatus::NoException => Ok(r.body),
+        MessageView::Reply(r) if r.request_id == msg.request_id => match r.status {
+            ReplyStatus::NoException => Ok(r.body.into_owned()),
             ReplyStatus::SystemException => Err(OrbError::Exception(
                 String::from_utf8_lossy(&r.body).into_owned(),
             )),
             ReplyStatus::ObjectNotExist => Err(OrbError::ObjectNotExist),
         },
-        Message::Reply(r) => Err(OrbError::RequestMismatch {
+        MessageView::Reply(r) => Err(OrbError::RequestMismatch {
             expected: msg.request_id,
             got: r.request_id,
         }),
@@ -547,6 +560,7 @@ impl std::fmt::Debug for CompadresServer {
 impl CompadresServer {
     fn build_app(registry: Arc<ObjectRegistry>) -> Result<App, OrbError> {
         let endian = Endian::native();
+        let pool = SegPool::new(POOL_SEGS, DEFAULT_SEG_SIZE);
         let app = AppBuilder::from_xml(SERVER_CDL, SERVER_CCL)?
             .bind_message_type::<WireMsg>("WireMsg")
             .register_handler("Poa", "Incoming", || {
@@ -565,20 +579,21 @@ impl CompadresServer {
             })
             .register_handler("RequestProcessing", "FromTransport", move || {
                 let registry = Arc::clone(&registry);
-                move |msg: &mut WireMsg, ctx: &mut HandlerCtx<'_>| {
+                let pool = pool.clone();
+                move |msg: &mut WireMsg, _ctx: &mut HandlerCtx<'_>| {
                     let Some(conn) = msg.conn.take() else {
                         return Ok(());
                     };
-                    // Stage the frame in the per-request scope (charged and
-                    // reclaimed with it), then demarshal and dispatch.
-                    if let Ok(staged) = ctx.mem.alloc_bytes(msg.frame.len()) {
-                        let _ = staged.copy_from_slice(ctx.mem, &msg.frame);
-                    }
-                    match giop::decode(&msg.frame) {
-                        Ok(Message::Request(req)) => {
-                            let reply = registry.dispatch(&req);
+                    // Demarshal in place over the frame's segments (the
+                    // same bytes the socket read landed in) and marshal
+                    // the reply into pool-leased segments — no staging
+                    // copy on either side of the dispatch.
+                    let parts = msg.frame.slices();
+                    match giop::decode_view(&parts) {
+                        Ok(MessageView::Request(req)) => {
+                            let reply = registry.dispatch_view(&req);
                             if req.response_expected {
-                                let _ = conn.send_frame(&reply.encode(endian));
+                                let _ = conn.send_chain(&reply.encode_chain(endian, &pool));
                             }
                         }
                         Ok(_) => {}
@@ -769,7 +784,7 @@ fn reader_loop(app: &App, conn: Arc<dyn Connection>, shutdown: &AtomicBool) {
             Ok(f) => f,
             Err(_) => break,
         };
-        if inject_frame(app, &conn, frame).is_err() {
+        if inject_frame(app, &conn, FrameBuf::from_vec(frame)).is_err() {
             break;
         }
     }
@@ -786,10 +801,10 @@ fn reader_loop(app: &App, conn: Arc<dyn Connection>, shutdown: &AtomicBool) {
 fn inject_frame(
     app: &App,
     conn: &Arc<dyn Connection>,
-    frame: Vec<u8>,
+    frame: FrameBuf,
 ) -> Result<(), compadres_core::CompadresError> {
     let obs = app.observer();
-    let span = match giop::peek_trace(&frame) {
+    let span = match giop::peek_trace_parts(&frame.slices()) {
         Some((trace_id, parent, budget)) if obs.tracing() => {
             let entity = obs.register_entity("giop:wire");
             let s = obs.adopt_remote(trace_id, parent, budget);

@@ -18,7 +18,10 @@
 //! The one slot defined today is [`TRACE_CONTEXT_SLOT`], carrying the
 //! causal-tracing context of DESIGN.md §5g.
 
-use crate::cdr::{CdrDecoder, CdrEncoder, CdrError, Endian};
+use std::borrow::Cow;
+
+use crate::cdr::{CdrChainEncoder, CdrDecoder, CdrEncoder, CdrError, CdrSliceDecoder, Endian};
+use rtplatform::bufchain::{BufChain, FrameBuf, SegPool};
 
 /// The 4-byte GIOP magic.
 pub const GIOP_MAGIC: [u8; 4] = *b"GIOP";
@@ -245,6 +248,57 @@ fn read_service_context(dec: &mut CdrDecoder<'_>) -> Vec<(u32, Vec<u8>)> {
     out
 }
 
+/// Builds the fixed 12-byte header with a known body size — the
+/// headroom-framing path: the body is encoded first into a chain, then
+/// this header is prepended, so nothing is patched in place.
+fn header_bytes(endian: Endian, msg_type: MsgType, size: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&GIOP_MAGIC);
+    h[4] = GIOP_VERSION.0;
+    h[5] = GIOP_VERSION.1;
+    h[6] = endian.flag_bit();
+    h[7] = msg_type.code();
+    h[8..12].copy_from_slice(&match endian {
+        Endian::Big => size.to_be_bytes(),
+        Endian::Little => size.to_le_bytes(),
+    });
+    h
+}
+
+/// Chain-encoder twin of [`write_service_context`].
+fn write_service_context_chain(enc: &mut CdrChainEncoder<'_>, ctx: &[(u32, Vec<u8>)]) {
+    if ctx.is_empty() {
+        return;
+    }
+    enc.write_u32(ctx.len() as u32);
+    for (id, data) in ctx {
+        enc.write_u32(*id);
+        enc.write_octets(data);
+    }
+}
+
+/// Lenient service-context reader over fragmented frames — same
+/// semantics as [`read_service_context`], zero-copy payload views.
+fn read_service_context_views<'a>(dec: &mut CdrSliceDecoder<'a>) -> Vec<(u32, Cow<'a, [u8]>)> {
+    if dec.remaining() == 0 {
+        return Vec::new();
+    }
+    let Ok(count) = dec.read_u32() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let Ok(id) = dec.read_u32() else {
+            return Vec::new();
+        };
+        let Ok(data) = dec.read_octets_view() else {
+            return Vec::new();
+        };
+        out.push((id, data));
+    }
+    out
+}
+
 /// Packs a trace context into [`TRACE_CONTEXT_SLOT`] wire form. The slot
 /// payload is fixed big-endian so it survives re-framing at a different
 /// endianness (contexts are echoed verbatim, not re-marshalled).
@@ -341,6 +395,51 @@ impl RequestMessage {
             .find(|(id, _)| *id == TRACE_CONTEXT_SLOT)
             .and_then(|(_, data)| decode_trace_slot(data))
     }
+
+    /// Zero-copy encode: the body goes straight into pool-leased
+    /// segments and the header is prepended into headroom. The frame
+    /// bytes are identical to [`RequestMessage::encode`].
+    pub fn encode_chain(&self, endian: Endian, pool: &SegPool) -> FrameBuf {
+        encode_request_chain(
+            self.request_id,
+            self.response_expected,
+            &self.object_key,
+            &self.operation,
+            &self.body,
+            &self.service_context,
+            endian,
+            pool,
+        )
+    }
+}
+
+/// Encodes a request frame from borrowed fields directly into a chain
+/// — the client hot path, which otherwise clones key/operation/args
+/// into a [`RequestMessage`] only to marshal them.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_request_chain(
+    request_id: u32,
+    response_expected: bool,
+    object_key: &[u8],
+    operation: &str,
+    body: &[u8],
+    service_context: &[(u32, Vec<u8>)],
+    endian: Endian,
+    pool: &SegPool,
+) -> FrameBuf {
+    let mut chain = BufChain::with_headroom(pool, HEADER_LEN);
+    {
+        let mut enc = CdrChainEncoder::new(&mut chain, endian);
+        enc.write_u32(request_id);
+        enc.write_bool(response_expected);
+        enc.write_octets(object_key);
+        enc.write_string(operation);
+        enc.write_octets(body);
+        write_service_context_chain(&mut enc, service_context);
+    }
+    let size = chain.body_len() as u32;
+    chain.prepend(&header_bytes(endian, MsgType::Request, size));
+    chain.into_frame()
 }
 
 impl ReplyMessage {
@@ -363,6 +462,22 @@ impl ReplyMessage {
             .iter()
             .find(|(id, _)| *id == TRACE_CONTEXT_SLOT)
             .and_then(|(_, data)| decode_trace_slot(data))
+    }
+
+    /// Zero-copy encode: byte-identical to [`ReplyMessage::encode`],
+    /// without the `Vec` assembly and size patch.
+    pub fn encode_chain(&self, endian: Endian, pool: &SegPool) -> FrameBuf {
+        let mut chain = BufChain::with_headroom(pool, HEADER_LEN);
+        {
+            let mut enc = CdrChainEncoder::new(&mut chain, endian);
+            enc.write_u32(self.request_id);
+            enc.write_u32(self.status.code());
+            enc.write_octets(&self.body);
+            write_service_context_chain(&mut enc, &self.service_context);
+        }
+        let size = chain.body_len() as u32;
+        chain.prepend(&header_bytes(endian, MsgType::Reply, size));
+        chain.into_frame()
     }
 }
 
@@ -452,6 +567,255 @@ pub fn decode(frame: &[u8]) -> Result<Message, GiopError> {
         MsgType::CloseConnection => Ok(Message::CloseConnection),
         MsgType::MessageError => Ok(Message::Error),
     }
+}
+
+/// A request decoded in place: key, operation and body borrow the
+/// frame's segments whenever they do not straddle a segment boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestView<'a> {
+    /// Client-chosen id correlating the reply.
+    pub request_id: u32,
+    /// Whether a reply is expected (false = oneway).
+    pub response_expected: bool,
+    /// Opaque key identifying the target object.
+    pub object_key: Cow<'a, [u8]>,
+    /// Operation name.
+    pub operation: Cow<'a, str>,
+    /// Marshalled in-parameters.
+    pub body: Cow<'a, [u8]>,
+    /// Service contexts (zero-copy payload views).
+    pub service_context: Vec<(u32, Cow<'a, [u8]>)>,
+}
+
+impl RequestView<'_> {
+    /// Copies the view into an owned [`RequestMessage`].
+    pub fn to_message(&self) -> RequestMessage {
+        RequestMessage {
+            request_id: self.request_id,
+            response_expected: self.response_expected,
+            object_key: self.object_key.to_vec(),
+            operation: self.operation.clone().into_owned(),
+            body: self.body.to_vec(),
+            service_context: self
+                .service_context
+                .iter()
+                .map(|(id, d)| (*id, d.to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Copies the context list into owned form (for reply echoing).
+    pub fn owned_contexts(&self) -> Vec<(u32, Vec<u8>)> {
+        self.service_context
+            .iter()
+            .map(|(id, d)| (*id, d.to_vec()))
+            .collect()
+    }
+
+    /// The decoded [`TRACE_CONTEXT_SLOT`], if any.
+    pub fn trace_context(&self) -> Option<(u32, u16, u64)> {
+        self.service_context
+            .iter()
+            .find(|(id, _)| *id == TRACE_CONTEXT_SLOT)
+            .and_then(|(_, data)| decode_trace_slot(data))
+    }
+}
+
+/// A reply decoded in place over borrowed segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyView<'a> {
+    /// Correlates with the request.
+    pub request_id: u32,
+    /// Outcome.
+    pub status: ReplyStatus,
+    /// Marshalled result (or exception message).
+    pub body: Cow<'a, [u8]>,
+    /// Service contexts echoed back from the request.
+    pub service_context: Vec<(u32, Cow<'a, [u8]>)>,
+}
+
+impl ReplyView<'_> {
+    /// Copies the view into an owned [`ReplyMessage`].
+    pub fn to_message(&self) -> ReplyMessage {
+        ReplyMessage {
+            request_id: self.request_id,
+            status: self.status,
+            body: self.body.to_vec(),
+            service_context: self
+                .service_context
+                .iter()
+                .map(|(id, d)| (*id, d.to_vec()))
+                .collect(),
+        }
+    }
+
+    /// The decoded [`TRACE_CONTEXT_SLOT`], if any.
+    pub fn trace_context(&self) -> Option<(u32, u16, u64)> {
+        self.service_context
+            .iter()
+            .find(|(id, _)| *id == TRACE_CONTEXT_SLOT)
+            .and_then(|(_, data)| decode_trace_slot(data))
+    }
+}
+
+/// Either kind of incoming message, decoded in place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageView<'a> {
+    /// A request.
+    Request(RequestView<'a>),
+    /// A reply.
+    Reply(ReplyView<'a>),
+    /// Connection close.
+    CloseConnection,
+    /// The peer could not parse what we sent.
+    Error,
+}
+
+impl MessageView<'_> {
+    /// Copies the view into an owned [`Message`].
+    pub fn to_message(&self) -> Message {
+        match self {
+            MessageView::Request(r) => Message::Request(r.to_message()),
+            MessageView::Reply(r) => Message::Reply(r.to_message()),
+            MessageView::CloseConnection => Message::CloseConnection,
+            MessageView::Error => Message::Error,
+        }
+    }
+}
+
+/// Copies `out.len()` bytes at logical offset `off` out of `parts`;
+/// `false` if the parts end too early.
+fn copy_from_parts(parts: &[&[u8]], off: usize, out: &mut [u8]) -> bool {
+    let mut skip = off;
+    let mut done = 0;
+    for p in parts {
+        let b = if skip >= p.len() {
+            skip -= p.len();
+            continue;
+        } else {
+            &p[skip..]
+        };
+        skip = 0;
+        let n = b.len().min(out.len() - done);
+        out[done..done + n].copy_from_slice(&b[..n]);
+        done += n;
+        if done == out.len() {
+            return true;
+        }
+    }
+    done == out.len()
+}
+
+/// Decodes a complete GIOP frame *in place* over a fragmented buffer
+/// (the regions of a [`FrameBuf`], in wire order): no coalescing copy
+/// is made, and the resulting views borrow the segments. Agrees with
+/// [`decode`] on every frame — a property the wire tests enforce.
+///
+/// # Errors
+///
+/// [`GiopError`] on any protocol violation.
+pub fn decode_view<'a>(parts: &'a [&'a [u8]]) -> Result<MessageView<'a>, GiopError> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut header = [0u8; HEADER_LEN];
+    if !copy_from_parts(parts, 0, &mut header) {
+        return Err(GiopError::Cdr(CdrError::Truncated {
+            needed: HEADER_LEN,
+            remaining: total,
+        }));
+    }
+    let magic = [header[0], header[1], header[2], header[3]];
+    if magic != GIOP_MAGIC {
+        return Err(GiopError::BadMagic(magic));
+    }
+    if (header[4], header[5]) != GIOP_VERSION {
+        return Err(GiopError::BadVersion(header[4], header[5]));
+    }
+    let endian = Endian::from_flag(header[6]);
+    let msg_type = MsgType::from_code(header[7]).ok_or(GiopError::BadMsgType(header[7]))?;
+    let mut hdr = CdrDecoder::new(&header[8..12], endian);
+    let declared = hdr.read_u32()? as usize;
+    if total - HEADER_LEN < declared {
+        return Err(GiopError::ShortBody {
+            declared,
+            actual: total - HEADER_LEN,
+        });
+    }
+    // Alignment in GIOP bodies restarts after the header.
+    let mut dec = CdrSliceDecoder::sub(parts, endian, HEADER_LEN, declared)?;
+    match msg_type {
+        MsgType::Request => {
+            let request_id = dec.read_u32()?;
+            let response_expected = dec.read_bool()?;
+            let object_key = dec.read_octets_view()?;
+            let operation = dec.read_string_view()?;
+            let body = dec.read_octets_view()?;
+            let service_context = read_service_context_views(&mut dec);
+            Ok(MessageView::Request(RequestView {
+                request_id,
+                response_expected,
+                object_key,
+                operation,
+                body,
+                service_context,
+            }))
+        }
+        MsgType::Reply => {
+            let request_id = dec.read_u32()?;
+            let code = dec.read_u32()?;
+            let status = ReplyStatus::from_code(code).ok_or(GiopError::BadReplyStatus(code))?;
+            let body = dec.read_octets_view()?;
+            let service_context = read_service_context_views(&mut dec);
+            Ok(MessageView::Reply(ReplyView {
+                request_id,
+                status,
+                body,
+                service_context,
+            }))
+        }
+        MsgType::CloseConnection => Ok(MessageView::CloseConnection),
+        MsgType::MessageError => Ok(MessageView::Error),
+    }
+}
+
+/// [`peek_trace`] over a fragmented frame: same never-panic guarantee,
+/// no coalescing. Used by the reactor path, where a frame may span
+/// segment boundaries.
+pub fn peek_trace_parts(parts: &[&[u8]]) -> Option<(u32, u16, u64)> {
+    let mut header = [0u8; HEADER_LEN];
+    if !copy_from_parts(parts, 0, &mut header) || header[..4] != GIOP_MAGIC {
+        return None;
+    }
+    if (header[4], header[5]) != GIOP_VERSION
+        || MsgType::from_code(header[7]) != Some(MsgType::Request)
+    {
+        return None;
+    }
+    let endian = Endian::from_flag(header[6]);
+    let mut hdr = CdrDecoder::new(&header[8..12], endian);
+    let declared = hdr.read_u32().ok()? as usize;
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    if total - HEADER_LEN < declared {
+        return None;
+    }
+    let mut dec = CdrSliceDecoder::sub(parts, endian, HEADER_LEN, declared).ok()?;
+    dec.read_u32().ok()?; // request_id
+    dec.read_bool().ok()?; // response_expected
+    dec.skip_octets().ok()?; // object_key
+    dec.skip_octets().ok()?; // operation
+    dec.skip_octets().ok()?; // body
+    if dec.remaining() == 0 {
+        return None;
+    }
+    let count = dec.read_u32().ok()?;
+    for _ in 0..count {
+        let id = dec.read_u32().ok()?;
+        if id == TRACE_CONTEXT_SLOT {
+            let data = dec.read_octets_view().ok()?;
+            return decode_trace_slot(&data);
+        }
+        dec.skip_octets().ok()?;
+    }
+    None
 }
 
 /// Reads the declared message size from a 12-byte header.
@@ -681,6 +1045,92 @@ mod tests {
         for cut in 0..frame.len() {
             let _ = peek_trace(&frame[..cut]);
         }
+    }
+
+    #[test]
+    fn encode_chain_is_byte_identical_to_encode() {
+        // 16-byte segments: the 12-byte headroom leaves 4 body bytes in
+        // the first segment, forcing many boundary crossings.
+        let pool = SegPool::new(64, 16);
+        for endian in [Endian::Big, Endian::Little] {
+            let mut req = sample_request();
+            req.service_context = vec![
+                (TRACE_CONTEXT_SLOT, encode_trace_slot(0xAB, 42, 1_000_000)),
+                (0xDEAD_BEEF, vec![9, 9, 9]),
+            ];
+            assert_eq!(req.encode_chain(endian, &pool).to_vec(), req.encode(endian));
+            let bare = sample_request();
+            assert_eq!(
+                bare.encode_chain(endian, &pool).to_vec(),
+                bare.encode(endian)
+            );
+            let reply = ReplyMessage {
+                request_id: 7,
+                status: ReplyStatus::SystemException,
+                body: vec![0xEE; 40],
+                service_context: vec![(TRACE_CONTEXT_SLOT, encode_trace_slot(1, 2, 3))],
+            };
+            assert_eq!(
+                reply.encode_chain(endian, &pool).to_vec(),
+                reply.encode(endian)
+            );
+        }
+        assert_eq!(pool.available(), 64, "all segments recycled");
+    }
+
+    #[test]
+    fn decode_view_agrees_with_decode_on_fragmented_frames() {
+        let mut req = sample_request();
+        req.service_context = vec![(TRACE_CONTEXT_SLOT, encode_trace_slot(0xC0, 1, 77))];
+        for endian in [Endian::Big, Endian::Little] {
+            let frame = req.encode(endian);
+            // Every single split point, including through the header.
+            for cut in 0..=frame.len() {
+                let parts = [&frame[..cut], &frame[cut..]];
+                match decode_view(&parts).unwrap() {
+                    MessageView::Request(v) => {
+                        assert_eq!(Message::Request(v.to_message()), decode(&frame).unwrap());
+                        assert_eq!(v.trace_context(), Some((0xC0, 1, 77)));
+                    }
+                    other => panic!("cut {cut}: {other:?}"),
+                }
+                assert_eq!(peek_trace_parts(&parts), peek_trace(&frame), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_view_borrows_on_contiguous_frames() {
+        let frame = sample_request().encode(Endian::Big);
+        let parts = [&frame[..]];
+        match decode_view(&parts).unwrap() {
+            MessageView::Request(v) => {
+                assert!(matches!(v.object_key, Cow::Borrowed(_)));
+                assert!(matches!(v.operation, Cow::Borrowed(_)));
+                assert!(matches!(v.body, Cow::Borrowed(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_view_rejects_what_decode_rejects() {
+        let frame = sample_request().encode(Endian::Big);
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        let parts = [&bad[..]];
+        assert!(matches!(decode_view(&parts), Err(GiopError::BadMagic(_))));
+        let short = &frame[..frame.len() - 3];
+        let parts = [short];
+        assert!(matches!(
+            decode_view(&parts),
+            Err(GiopError::ShortBody { .. })
+        ));
+        let parts: [&[u8]; 2] = [&frame[..5], &[]];
+        assert!(matches!(
+            decode_view(&parts),
+            Err(GiopError::Cdr(CdrError::Truncated { .. }))
+        ));
     }
 
     #[test]

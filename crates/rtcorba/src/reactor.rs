@@ -35,7 +35,7 @@
 //! counters.
 
 use std::collections::HashMap;
-use std::io::{self, IoSlice, Read, Write};
+use std::io::{self, IoSlice, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,6 +44,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use rtobs::{CounterId, GaugeId, HistId, Observer};
+use rtplatform::bufchain::{FrameBuf, RecvChain, SegPool};
 use rtplatform::park::Gate;
 use rtplatform::poll::{Interest, PollEvent, Poller, Waker};
 use rtplatform::ring::MpmcRing;
@@ -64,8 +65,13 @@ const TOKEN_FIRST_CONN: u64 = 2;
 /// so a firehose connection cannot starve its neighbours.
 const WORKER_BATCH: usize = 16;
 
-/// Most frames gathered into a single vectored write.
+/// Most buffer segments gathered into a single vectored write.
 const MAX_IOVECS: usize = 64;
+
+/// Segments pre-allocated in the receive pool. Each is `read_chunk`
+/// bytes; exhaustion falls back to heap segments (never blocks the
+/// reactor), it just loses the recycling benefit until frames drop.
+const RECV_POOL_SEGS: usize = 16;
 
 /// Sizing and limits for a [`ReactorServer`].
 #[derive(Debug, Clone, Copy)]
@@ -78,7 +84,8 @@ pub struct ReactorConfig {
     /// Largest accepted GIOP body; a header declaring more is a
     /// protocol violation (MessageError + close), not an allocation.
     pub max_frame: usize,
-    /// Bytes read per `read` call on a readable connection.
+    /// Segment size of the receive buffer pool — the most bytes one
+    /// `read` call can deliver into a segment.
     pub read_chunk: usize,
     /// Capacity of the readiness queue between reactor and workers
     /// (connections, not frames; rounded up to a power of two).
@@ -97,14 +104,19 @@ impl Default for ReactorConfig {
 }
 
 /// The per-frame callback run on worker threads: `(connection, frame)`.
-/// Replies (if any) go back through the connection's
-/// [`Connection::send_frame`].
-pub type FrameFn = Arc<dyn Fn(&Arc<dyn Connection>, Vec<u8>) + Send + Sync>;
+/// The frame is a segment chain carved out of the reactor's receive
+/// buffers without coalescing — decode it in place
+/// ([`crate::giop::decode_view`] over [`FrameBuf::slices`]). Replies
+/// (if any) go back through the connection's
+/// [`Connection::send_chain`]/[`Connection::send_frame`].
+pub type FrameFn = Arc<dyn Fn(&Arc<dyn Connection>, FrameBuf) + Send + Sync>;
 
 /// State shared between the reactor thread, the workers and every
 /// [`ReactorConn`].
 struct Shared {
     waker: Waker,
+    /// Receive segments shared by every connection's reassembly chain.
+    recv_pool: SegPool,
     /// Connections with frames awaiting processing (each at most once).
     work: MpmcRing<Arc<ReactorConn>>,
     work_gate: Gate,
@@ -162,7 +174,7 @@ impl Shared {
 /// into the front frame a partial write got.
 #[derive(Default)]
 struct OutBuf {
-    queue: std::collections::VecDeque<Vec<u8>>,
+    queue: std::collections::VecDeque<FrameBuf>,
     /// Bytes of `queue[0]` already written.
     offset: usize,
 }
@@ -174,8 +186,9 @@ struct OutBuf {
 pub struct ReactorConn {
     token: u64,
     shared: Arc<Shared>,
-    /// Complete inbound frames awaiting a worker, FIFO.
-    inbox: Mutex<std::collections::VecDeque<Vec<u8>>>,
+    /// Complete inbound frames awaiting a worker, FIFO. Each frame
+    /// shares (refcounts) the receive segments it was carved from.
+    inbox: Mutex<std::collections::VecDeque<FrameBuf>>,
     /// Whether this connection currently sits in the work queue (or is
     /// being drained by a worker).
     scheduled: AtomicBool,
@@ -194,10 +207,17 @@ impl std::fmt::Debug for ReactorConn {
 
 impl Connection for ReactorConn {
     fn send_frame(&self, frame: &[u8]) -> Result<(), TransportError> {
+        self.send_chain(&FrameBuf::from_vec(frame.to_vec()))
+    }
+
+    fn send_chain(&self, frame: &FrameBuf) -> Result<(), TransportError> {
         if self.closing.load(Ordering::SeqCst) {
             return Err(TransportError::Closed);
         }
-        self.outbox.lock().queue.push_back(frame.to_vec());
+        // Cloning a FrameBuf only bumps segment refcounts: the reply
+        // bytes written by the chain encoder are the bytes the reactor
+        // later scatters into the socket.
+        self.outbox.lock().queue.push_back(frame.clone());
         self.shared.request_flush(self);
         Ok(())
     }
@@ -219,10 +239,10 @@ impl Connection for ReactorConn {
 struct ConnEntry {
     stream: TcpStream,
     conn: Arc<ReactorConn>,
-    /// Partial-frame reassembly buffer: bytes received but not yet
-    /// framed. A request dripped one byte per readiness event grows
-    /// here until its GIOP header, then body, completes.
-    inbuf: Vec<u8>,
+    /// Partial-frame reassembly chain: reads land directly in pooled
+    /// segments and complete frames are carved off as [`FrameBuf`]s
+    /// sharing those segments — bytes are never copied together.
+    chain: RecvChain,
     /// Whether EPOLLOUT is currently armed.
     write_interest: bool,
 }
@@ -266,6 +286,7 @@ impl ReactorServer {
 
         let shared = Arc::new(Shared {
             waker,
+            recv_pool: SegPool::new(RECV_POOL_SEGS, cfg.read_chunk.max(HEADER_LEN)),
             work: MpmcRing::new(cfg.queue_capacity.max(2)),
             work_gate: Gate::new(),
             flush: MpmcRing::new(cfg.queue_capacity.max(2)),
@@ -406,7 +427,6 @@ fn reactor_loop(shared: &Arc<Shared>, poller: Poller, listener: TcpListener, cfg
     let mut conns: HashMap<u64, ConnEntry> = HashMap::new();
     let mut next_token = TOKEN_FIRST_CONN;
     let mut events: Vec<PollEvent> = Vec::new();
-    let mut scratch = vec![0u8; cfg.read_chunk.max(HEADER_LEN)];
 
     while !shared.shutdown.load(Ordering::SeqCst) {
         // The timeout is a shutdown-latency bound, not a poll interval:
@@ -425,15 +445,7 @@ fn reactor_loop(shared: &Arc<Shared>, poller: Poller, listener: TcpListener, cfg
                 TOKEN_WAKER => shared.waker.drain(),
                 token => {
                     if ev.readable || ev.closed {
-                        read_ready(
-                            shared,
-                            &poller,
-                            &mut conns,
-                            token,
-                            &mut scratch,
-                            &cfg,
-                            ev.closed,
-                        );
+                        read_ready(shared, &poller, &mut conns, token, &cfg, ev.closed);
                     }
                     if ev.writable {
                         flush_conn(shared, &poller, &mut conns, token);
@@ -500,7 +512,7 @@ fn accept_ready(
                     ConnEntry {
                         stream,
                         conn,
-                        inbuf: Vec::new(),
+                        chain: RecvChain::new(&shared.recv_pool),
                         write_interest: false,
                     },
                 );
@@ -520,7 +532,6 @@ fn read_ready(
     poller: &Poller,
     conns: &mut HashMap<u64, ConnEntry>,
     token: u64,
-    scratch: &mut [u8],
     cfg: &ReactorConfig,
     peer_closed: bool,
 ) {
@@ -529,17 +540,14 @@ fn read_ready(
     };
     let mut eof = peer_closed;
     loop {
-        match entry.stream.read(scratch) {
+        // Reads land directly in pooled segment memory; frames carved
+        // below share those segments instead of being copied out.
+        match entry.chain.read_from(&mut entry.stream) {
             Ok(0) => {
                 eof = true;
                 break;
             }
-            Ok(n) => {
-                entry.inbuf.extend_from_slice(&scratch[..n]);
-                if n < scratch.len() {
-                    break; // drained (level-triggered: more data re-arms)
-                }
-            }
+            Ok(_) => {} // loop until WouldBlock (socket is nonblocking)
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => {
@@ -549,17 +557,16 @@ fn read_ready(
         }
     }
 
-    // Extract every complete frame in the reassembly buffer.
+    // Carve every complete frame out of the reassembly chain.
     let mut delivered = false;
     loop {
-        if entry.inbuf.len() < HEADER_LEN {
-            if !entry.inbuf.is_empty() {
+        let mut header = [0u8; HEADER_LEN];
+        if !entry.chain.peek(0, &mut header) {
+            if !entry.chain.is_empty() {
                 shared.obs.inc(shared.partial_frames);
             }
             break;
         }
-        let mut header = [0u8; HEADER_LEN];
-        header.copy_from_slice(&entry.inbuf[..HEADER_LEN]);
         let body = match giop::body_size(&header) {
             Ok(b) if b <= cfg.max_frame => b,
             _ => {
@@ -569,17 +576,17 @@ fn read_ready(
                 shared.obs.inc(shared.protocol_errors);
                 let _ = entry.conn.send_frame(&giop::encode_error(Endian::native()));
                 entry.conn.closing.store(true, Ordering::SeqCst);
-                entry.inbuf.clear();
+                let discard = entry.chain.len();
+                let _ = entry.chain.take_frame(discard);
                 return;
             }
         };
         let total = HEADER_LEN + body;
-        if entry.inbuf.len() < total {
+        if entry.chain.len() < total {
             shared.obs.inc(shared.partial_frames);
             break;
         }
-        let frame = entry.inbuf[..total].to_vec();
-        entry.inbuf.drain(..total);
+        let frame = entry.chain.take_frame(total);
         entry.conn.inbox.lock().push_back(frame);
         delivered = true;
     }
@@ -618,19 +625,27 @@ fn flush_conn(
             return;
         }
         // Gather the head partial plus whole queued frames: one syscall
-        // carries every reply coalesced since the last flush.
-        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(out.queue.len().min(MAX_IOVECS));
-        let offset = out.offset;
-        for (i, frame) in out.queue.iter().take(MAX_IOVECS).enumerate() {
-            if i == 0 {
-                slices.push(IoSlice::new(&frame[offset..]));
-            } else {
-                slices.push(IoSlice::new(frame));
-            }
+        // carries every reply coalesced since the last flush, each
+        // frame contributing its segments as separate iovecs (never
+        // copied together).
+        let head_rest = out.queue[0].slice(out.offset, out.queue[0].len());
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOVECS);
+        let mut frames_gathered = 0u64;
+        for s in head_rest.slices() {
+            slices.push(IoSlice::new(s));
         }
-        shared
-            .obs
-            .observe(shared.coalesce_hist, slices.len() as u64);
+        frames_gathered += 1;
+        for frame in out.queue.iter().skip(1) {
+            let parts = frame.slices();
+            if slices.len() + parts.len() > MAX_IOVECS {
+                break;
+            }
+            for s in parts {
+                slices.push(IoSlice::new(s));
+            }
+            frames_gathered += 1;
+        }
+        shared.obs.observe(shared.coalesce_hist, frames_gathered);
         match entry.stream.write_vectored(&slices) {
             Ok(mut written) => {
                 while written > 0 {
@@ -684,16 +699,18 @@ mod tests {
     use crate::giop::{decode, Message, RequestMessage};
     use crate::transport::TcpConn;
 
-    /// A handler that echoes the request body back in a reply frame.
+    /// A handler that echoes the request body back in a reply frame,
+    /// decoding in place over the delivered segment chain.
     fn echo_handler() -> FrameFn {
         Arc::new(|conn, frame| {
-            if let Ok(Message::Request(req)) = decode(&frame) {
+            let parts = frame.slices();
+            if let Ok(giop::MessageView::Request(req)) = giop::decode_view(&parts) {
                 if req.response_expected {
                     let reply = giop::ReplyMessage {
                         request_id: req.request_id,
                         status: giop::ReplyStatus::NoException,
-                        body: req.body,
-                        service_context: req.service_context,
+                        service_context: req.owned_contexts(),
+                        body: req.body.into_owned(),
                     };
                     let _ = conn.send_frame(&reply.encode(Endian::native()));
                 }

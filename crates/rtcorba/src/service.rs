@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use rtplatform::sync::RwLock;
 
-use crate::giop::{ReplyMessage, ReplyStatus, RequestMessage};
+use crate::giop::{ReplyMessage, ReplyStatus, RequestMessage, RequestView};
 
 /// A CORBA-style servant: invoked by operation name with marshalled
 /// arguments, returning a marshalled result.
@@ -94,25 +94,55 @@ impl ObjectRegistry {
     /// request's service contexts are echoed into every reply, so
     /// tracing clients can correlate even exception paths.
     pub fn dispatch(&self, req: &RequestMessage) -> ReplyMessage {
-        match self.lookup(&req.object_key) {
+        self.dispatch_raw(
+            req.request_id,
+            &req.object_key,
+            &req.operation,
+            &req.body,
+            || req.service_context.clone(),
+        )
+    }
+
+    /// [`dispatch`](Self::dispatch) over an in-place request view: the
+    /// key, operation and body are used where they lie in the frame's
+    /// segments; the only copy made is the echoed context list.
+    pub fn dispatch_view(&self, req: &RequestView<'_>) -> ReplyMessage {
+        self.dispatch_raw(
+            req.request_id,
+            &req.object_key,
+            &req.operation,
+            &req.body,
+            || req.owned_contexts(),
+        )
+    }
+
+    fn dispatch_raw(
+        &self,
+        request_id: u32,
+        object_key: &[u8],
+        operation: &str,
+        body: &[u8],
+        contexts: impl Fn() -> Vec<(u32, Vec<u8>)>,
+    ) -> ReplyMessage {
+        match self.lookup(object_key) {
             None => ReplyMessage {
-                request_id: req.request_id,
+                request_id,
                 status: ReplyStatus::ObjectNotExist,
                 body: Vec::new(),
-                service_context: req.service_context.clone(),
+                service_context: contexts(),
             },
-            Some(servant) => match servant.invoke(&req.operation, &req.body) {
+            Some(servant) => match servant.invoke(operation, body) {
                 Ok(body) => ReplyMessage {
-                    request_id: req.request_id,
+                    request_id,
                     status: ReplyStatus::NoException,
                     body,
-                    service_context: req.service_context.clone(),
+                    service_context: contexts(),
                 },
                 Err(msg) => ReplyMessage {
-                    request_id: req.request_id,
+                    request_id,
                     status: ReplyStatus::SystemException,
                     body: msg.into_bytes(),
-                    service_context: req.service_context.clone(),
+                    service_context: contexts(),
                 },
             },
         }

@@ -11,6 +11,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
+use rtplatform::bufchain::FrameBuf;
 use rtplatform::fault::FaultPolicy;
 use rtplatform::sync::{Condvar, Mutex};
 
@@ -83,6 +84,22 @@ pub trait Connection: Send + Sync {
     ///
     /// I/O failures or a closed peer.
     fn send_frame(&self, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Sends one complete GIOP frame held as a segment chain. The
+    /// default coalesces into a `Vec` for transports without
+    /// scatter-gather; [`TcpConn`] overrides it with a vectored write
+    /// so chain segments reach the socket without being copied
+    /// together first.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a closed peer.
+    fn send_chain(&self, frame: &FrameBuf) -> Result<(), TransportError> {
+        match frame.as_single() {
+            Some(bytes) => self.send_frame(bytes),
+            None => self.send_frame(&frame.to_vec()),
+        }
+    }
 
     /// Receives one complete GIOP frame (header + body), blocking.
     ///
@@ -278,6 +295,15 @@ impl Connection for TcpConn {
         Ok(())
     }
 
+    /// Scatter-gathers the chain's segments straight into the socket
+    /// (`writev`), advancing across partial writes.
+    fn send_chain(&self, frame: &FrameBuf) -> Result<(), TransportError> {
+        let mut w = self.writer.lock();
+        write_all_vectored(&mut *w, frame)?;
+        w.flush()?;
+        Ok(())
+    }
+
     /// Receives one frame. With a recv deadline armed, a timeout returns
     /// [`TransportError::Deadline`]; if it strikes *mid-frame* the stream
     /// position is inside a message, so the connection must be dropped,
@@ -304,6 +330,28 @@ impl Connection for TcpConn {
     fn close(&self) {
         let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
     }
+}
+
+/// Writes every byte of `frame` via `write_vectored`, rebuilding the
+/// `IoSlice` list after partial writes. Falls back to per-slice
+/// `write_all` only when the writer reports a zero-length vectored
+/// write (a writer that ignores vectoring).
+pub(crate) fn write_all_vectored(w: &mut impl Write, frame: &FrameBuf) -> std::io::Result<()> {
+    let mut skip = 0usize;
+    let total = frame.len();
+    while skip < total {
+        let rest = frame.slice(skip, total);
+        let slices = rest.io_slices();
+        let n = w.write_vectored(&slices)?;
+        if n == 0 {
+            for s in rest.slices() {
+                w.write_all(s)?;
+            }
+            return Ok(());
+        }
+        skip += n;
+    }
+    Ok(())
 }
 
 fn read_exact_or_closed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), TransportError> {
@@ -430,6 +478,54 @@ mod tests {
         let client = TcpConn::connect(addr).unwrap();
         server.join().unwrap();
         assert!(matches!(client.recv_frame(), Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn tcp_send_chain_vectored_roundtrip() {
+        use rtplatform::bufchain::SegPool;
+        let pool = SegPool::new(8, 64); // frames span several segments
+        let acceptor = TcpAcceptor::bind_loopback().unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            let a = conn.recv_frame().unwrap();
+            let b = conn.recv_frame().unwrap();
+            (a, b)
+        });
+        let client = TcpConn::connect(addr).unwrap();
+        let msg = RequestMessage {
+            request_id: 1,
+            response_expected: true,
+            object_key: b"k".to_vec(),
+            operation: "op".to_string(),
+            body: vec![5; 100],
+            service_context: Vec::new(),
+        };
+        let chain = msg.encode_chain(Endian::Big, &pool);
+        assert!(chain.as_single().is_none(), "frame must span segments");
+        client.send_chain(&chain).unwrap();
+        client.send_chain(&chain).unwrap();
+        let (a, b) = server.join().unwrap();
+        assert_eq!(a, msg.encode(Endian::Big), "vectored write is exact");
+        assert_eq!(b, a, "frame boundaries preserved");
+    }
+
+    #[test]
+    fn loopback_send_chain_matches_send_frame() {
+        use rtplatform::bufchain::SegPool;
+        let pool = SegPool::new(8, 32);
+        let (a, b) = loopback_pair();
+        let msg = RequestMessage {
+            request_id: 9,
+            response_expected: false,
+            object_key: b"key".to_vec(),
+            operation: "echo".to_string(),
+            body: vec![7; 50],
+            service_context: Vec::new(),
+        };
+        a.send_chain(&msg.encode_chain(Endian::Little, &pool))
+            .unwrap();
+        assert_eq!(b.recv_frame().unwrap(), msg.encode(Endian::Little));
     }
 
     #[test]

@@ -15,12 +15,13 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use rtplatform::bufchain::{FrameBuf, SegPool, DEFAULT_SEG_SIZE};
 use rtplatform::sync::Mutex;
 
 use rtmem::{Ctx, MemoryModel, ScopePool, Wedge};
 
 use crate::cdr::Endian;
-use crate::giop::{self, Message, ReplyStatus, RequestMessage};
+use crate::giop::{self, MessageView, ReplyStatus};
 use crate::reactor::{FrameFn, ReactorConfig, ReactorServer};
 use crate::service::ObjectRegistry;
 use crate::transport::{loopback_pair, Connection, LoopbackConn, TcpAcceptor, TcpConn};
@@ -28,6 +29,11 @@ use crate::OrbError;
 
 const TRANSPORT_SCOPE: usize = 64 << 10;
 const REQUEST_SCOPE: usize = 64 << 10;
+/// Segments in the marshal pool: enough that a burst of concurrent
+/// requests stays pool-backed; exhaustion falls back to plain heap
+/// segments rather than blocking (see [`rtplatform::bufchain`]).
+const CLIENT_POOL_SEGS: usize = 16;
+const SERVER_POOL_SEGS: usize = 64;
 
 /// The hand-coded client ORB.
 ///
@@ -41,6 +47,7 @@ pub struct ZenClient {
     transport_scope: rtmem::RegionId,
     _transport_wedge: Wedge,
     processing_pool: ScopePool,
+    seg_pool: SegPool,
     ctx: Mutex<Ctx>,
     next_id: AtomicU32,
     endian: Endian,
@@ -70,6 +77,7 @@ impl ZenClient {
             transport_scope,
             _transport_wedge: wedge,
             processing_pool,
+            seg_pool: SegPool::new(CLIENT_POOL_SEGS, DEFAULT_SEG_SIZE),
             next_id: AtomicU32::new(1),
             endian: Endian::native(),
         })
@@ -138,19 +146,21 @@ impl ZenClient {
         let conn = Arc::clone(&self.conn);
         let endian = self.endian;
         ctx.enter(self.transport_scope, |ctx| {
-            ctx.enter(processing, |ctx| -> Result<(), OrbError> {
-                let frame = RequestMessage {
+            ctx.enter(processing, |_ctx| -> Result<(), OrbError> {
+                // Marshal straight into pool-leased segments (no Vec
+                // growth, no staging copy) and hand them to the socket
+                // via vectored I/O.
+                let frame = giop::encode_request_chain(
                     request_id,
-                    response_expected: false,
-                    object_key: object_key.to_vec(),
-                    operation: operation.to_string(),
-                    body: args.to_vec(),
-                    service_context: Vec::new(),
-                }
-                .encode(endian);
-                let staged = ctx.alloc_bytes(frame.len())?;
-                staged.copy_from_slice(ctx, &frame)?;
-                conn.send_frame(&frame)?;
+                    false,
+                    object_key,
+                    operation,
+                    args,
+                    &[],
+                    endian,
+                    &self.seg_pool,
+                );
+                conn.send_chain(&frame)?;
                 Ok(())
             })?
         })??;
@@ -176,33 +186,38 @@ impl ZenClient {
         let endian = self.endian;
         let out: Result<Vec<u8>, OrbError> = ctx
             .enter(self.transport_scope, |ctx| {
-                ctx.enter(processing, |ctx| {
-                    // Marshal inside the per-request scope: the request
-                    // bytes are charged against (and reclaimed with) it.
-                    let frame = RequestMessage {
+                ctx.enter(processing, |_ctx| {
+                    // Marshal inside the per-request scope, but into
+                    // pool-leased segments: the bytes are written once
+                    // (chain encoder) and scattered to the socket with
+                    // vectored I/O. The segments recycle into the pool
+                    // when the frame drops at the end of the request —
+                    // the chain plays the role the staging copy used to.
+                    let frame = giop::encode_request_chain(
                         request_id,
-                        response_expected: true,
-                        object_key: object_key.to_vec(),
-                        operation: operation.to_string(),
-                        body: args.to_vec(),
-                        service_context: Vec::new(),
-                    }
-                    .encode(endian);
-                    let staged = ctx.alloc_bytes(frame.len())?;
-                    staged.copy_from_slice(ctx, &frame)?;
-                    conn.send_frame(&frame)?;
+                        true,
+                        object_key,
+                        operation,
+                        args,
+                        &[],
+                        endian,
+                        &self.seg_pool,
+                    );
+                    conn.send_chain(&frame)?;
                     let reply_frame = conn.recv_frame()?;
-                    let staged_reply = ctx.alloc_bytes(reply_frame.len())?;
-                    staged_reply.copy_from_slice(ctx, &reply_frame)?;
-                    match giop::decode(&reply_frame)? {
-                        Message::Reply(r) if r.request_id == request_id => match r.status {
-                            ReplyStatus::NoException => Ok(r.body),
+                    // Decode in place over the received buffer; the
+                    // only copy taken is the reply body, which escapes
+                    // the request scope to the caller.
+                    let parts = [&reply_frame[..]];
+                    match giop::decode_view(&parts)? {
+                        MessageView::Reply(r) if r.request_id == request_id => match r.status {
+                            ReplyStatus::NoException => Ok(r.body.into_owned()),
                             ReplyStatus::SystemException => Err(OrbError::Exception(
                                 String::from_utf8_lossy(&r.body).into_owned(),
                             )),
                             ReplyStatus::ObjectNotExist => Err(OrbError::ObjectNotExist),
                         },
-                        Message::Reply(r) => Err(OrbError::RequestMismatch {
+                        MessageView::Reply(r) => Err(OrbError::RequestMismatch {
                             expected: request_id,
                             got: r.request_id,
                         }),
@@ -238,6 +253,7 @@ struct ServerCore {
     poa_scope: rtmem::RegionId,
     _poa_wedge: Wedge,
     request_pool: ScopePool,
+    seg_pool: SegPool,
     endian: Endian,
     shutdown: Arc<AtomicBool>,
 }
@@ -257,6 +273,7 @@ impl ServerCore {
             poa_scope,
             _poa_wedge: poa_wedge,
             request_pool,
+            seg_pool: SegPool::new(SERVER_POOL_SEGS, DEFAULT_SEG_SIZE),
             endian: Endian::native(),
             shutdown,
         })
@@ -283,21 +300,23 @@ impl ServerCore {
                     break;
                 };
                 let request_region = lease.region();
-                let outcome = ctx.enter(request_region, |ctx| {
-                    let staged = ctx.alloc_bytes(frame.len());
-                    if let Ok(staged) = staged {
-                        let _ = staged.copy_from_slice(ctx, &frame);
-                    }
-                    match giop::decode(&frame) {
-                        Ok(Message::Request(req)) => {
-                            let reply = self.registry.dispatch(&req);
+                let outcome = ctx.enter(request_region, |_ctx| {
+                    // Decode in place over the received buffer: the key,
+                    // operation and body are borrowed views, and the
+                    // reply marshals into pool-leased segments sent with
+                    // vectored I/O — no staging copy either way.
+                    let parts = [&frame[..]];
+                    match giop::decode_view(&parts) {
+                        Ok(MessageView::Request(req)) => {
+                            let reply = self.registry.dispatch_view(&req);
                             if req.response_expected {
-                                conn.send_frame(&reply.encode(self.endian)).is_ok()
+                                conn.send_chain(&reply.encode_chain(self.endian, &self.seg_pool))
+                                    .is_ok()
                             } else {
                                 true
                             }
                         }
-                        Ok(Message::CloseConnection) => false,
+                        Ok(MessageView::CloseConnection) => false,
                         Ok(_) => false,
                         Err(_) => {
                             // Tell the peer its frame was garbage before
@@ -322,7 +341,11 @@ impl ServerCore {
     /// of [`serve_connection`] has no owner here (connections outlive any
     /// single worker call), so the reactor path collapses to the two
     /// scopes whose lifetimes match its units of work.
-    fn serve_frame(&self, conn: &Arc<dyn Connection>, frame: &[u8]) {
+    ///
+    /// The frame arrives as a segment chain carved straight out of the
+    /// reactor's receive buffers — it is decoded in place over the
+    /// borrowed segments, never coalesced.
+    fn serve_frame(&self, conn: &Arc<dyn Connection>, frame: &FrameBuf) {
         if self.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -332,18 +355,17 @@ impl ServerCore {
                 return;
             };
             let request_region = lease.region();
-            let _ = ctx.enter(request_region, |ctx| {
-                if let Ok(staged) = ctx.alloc_bytes(frame.len()) {
-                    let _ = staged.copy_from_slice(ctx, frame);
-                }
-                match giop::decode(frame) {
-                    Ok(Message::Request(req)) => {
-                        let reply = self.registry.dispatch(&req);
+            let _ = ctx.enter(request_region, |_ctx| {
+                let parts = frame.slices();
+                match giop::decode_view(&parts) {
+                    Ok(MessageView::Request(req)) => {
+                        let reply = self.registry.dispatch_view(&req);
                         if req.response_expected {
-                            let _ = conn.send_frame(&reply.encode(self.endian));
+                            let _ =
+                                conn.send_chain(&reply.encode_chain(self.endian, &self.seg_pool));
                         }
                     }
-                    Ok(Message::CloseConnection) => conn.close(),
+                    Ok(MessageView::CloseConnection) => conn.close(),
                     Ok(_) => {}
                     Err(_) => {
                         let _ = conn.send_frame(&giop::encode_error(self.endian));

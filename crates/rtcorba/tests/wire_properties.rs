@@ -7,9 +7,10 @@
 
 use rtcorba::cdr::{CdrDecoder, CdrEncoder, Endian};
 use rtcorba::giop::{
-    decode, encode_trace_slot, peek_trace, Message, ReplyMessage, ReplyStatus, RequestMessage,
-    TRACE_CONTEXT_SLOT,
+    decode, decode_view, encode_trace_slot, peek_trace, peek_trace_parts, Message, ReplyMessage,
+    ReplyStatus, RequestMessage, TRACE_CONTEXT_SLOT,
 };
+use rtplatform::bufchain::SegPool;
 use rtplatform::rng::SplitMix64;
 
 fn cases() -> u64 {
@@ -272,6 +273,157 @@ fn decode_of_mutated_frames_never_panics() {
         match result {
             Ok(_ok_or_protocol_error) => {}
             Err(_) => panic!("case {case}: decode panicked on {frame:02X?}"),
+        }
+    }
+}
+
+/// Cuts a frame into random contiguous fragments — the shapes a
+/// [`decode_view`] caller sees when a frame straddles pool segments:
+/// whole, split at a few random points, or shredded into tiny pieces.
+fn fragment(rng: &mut SplitMix64, frame: &[u8]) -> Vec<Vec<u8>> {
+    if frame.is_empty() || rng.chance(0.25) {
+        return vec![frame.to_vec()];
+    }
+    let mut cuts: Vec<usize> = if rng.chance(0.2) {
+        // Shred: every fragment at most 3 bytes, so every multi-byte
+        // primitive read crosses a boundary.
+        (1..frame.len()).filter(|_| rng.chance(0.5)).collect()
+    } else {
+        (0..rng.range_usize(1, 5))
+            .map(|_| rng.below(frame.len()))
+            .collect()
+    };
+    cuts.push(0);
+    cuts.push(frame.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.windows(2)
+        .map(|w| frame[w[0]..w[1]].to_vec())
+        .collect()
+}
+
+/// The in-place decoder must agree with the legacy `Vec` decoder on
+/// every well-formed frame, however it is fragmented across segment
+/// boundaries — chain-encoded and legacy-encoded alike, both endians.
+#[test]
+fn decode_view_agrees_with_decode_on_fragmented_frames() {
+    let mut rng = SplitMix64::new(0x0A18);
+    let pool = SegPool::new(8, 64); // small segments force real chains
+    for case in 0..cases() {
+        for endian in [Endian::Big, Endian::Little] {
+            let frame = if rng.chance(0.5) {
+                let req = random_request(&mut rng);
+                if rng.chance(0.5) {
+                    req.encode(endian)
+                } else {
+                    req.encode_chain(endian, &pool).to_vec()
+                }
+            } else {
+                let reply = random_reply(&mut rng);
+                if rng.chance(0.5) {
+                    reply.encode(endian)
+                } else {
+                    reply.encode_chain(endian, &pool).to_vec()
+                }
+            };
+            let legacy = decode(&frame).unwrap_or_else(|e| panic!("case {case}: {e}"));
+            let frags = fragment(&mut rng, &frame);
+            let parts: Vec<&[u8]> = frags.iter().map(|f| f.as_slice()).collect();
+            let view = decode_view(&parts).unwrap_or_else(|e| panic!("case {case} view: {e}"));
+            assert_eq!(
+                view.to_message(),
+                legacy,
+                "case {case} ({endian:?}, {} fragments)",
+                parts.len()
+            );
+            assert_eq!(
+                peek_trace_parts(&parts),
+                peek_trace(&frame),
+                "case {case}: fragmented peek disagrees"
+            );
+        }
+    }
+}
+
+/// Chain encoding must be byte-identical to the legacy `Vec` encoding —
+/// the wire format is pinned, only the allocation strategy changed.
+#[test]
+fn chain_encode_is_byte_identical_to_vec_encode() {
+    let mut rng = SplitMix64::new(0x0A19);
+    let pool = SegPool::new(8, 48);
+    for case in 0..cases() {
+        for endian in [Endian::Big, Endian::Little] {
+            let req = random_request(&mut rng);
+            assert_eq!(
+                req.encode_chain(endian, &pool).to_vec(),
+                req.encode(endian),
+                "case {case} ({endian:?}): request frames differ"
+            );
+            let reply = random_reply(&mut rng);
+            assert_eq!(
+                reply.encode_chain(endian, &pool).to_vec(),
+                reply.encode(endian),
+                "case {case} ({endian:?}): reply frames differ"
+            );
+        }
+    }
+}
+
+/// [`decode_view`] shares decode's guarantee on hostile input: mutated
+/// or truncated frames, fragmented any which way, never panic — and
+/// whenever both decoders accept a frame they must still agree.
+#[test]
+fn decode_view_of_mutated_fragmented_frames_never_panics() {
+    let mut rng = SplitMix64::new(0x0A1A);
+    for case in 0..cases() {
+        let endian = if rng.chance(0.5) {
+            Endian::Big
+        } else {
+            Endian::Little
+        };
+        let mut frame = if rng.chance(0.5) {
+            random_request(&mut rng).encode(endian)
+        } else {
+            random_reply(&mut rng).encode(endian)
+        };
+        for _ in 0..rng.range_usize(1, 8) {
+            if frame.is_empty() {
+                break;
+            }
+            let at = rng.below(frame.len());
+            frame[at] ^= 1 << rng.below(8);
+        }
+        if rng.chance(0.3) && !frame.is_empty() {
+            frame.truncate(rng.below(frame.len()));
+        }
+        let frags = fragment(&mut rng, &frame);
+        let parts: Vec<&[u8]> = frags.iter().map(|f| f.as_slice()).collect();
+        match std::panic::catch_unwind(|| decode_view(&parts).map(|v| v.to_message())) {
+            Ok(view_result) => {
+                if let (Ok(v), Ok(m)) = (view_result, decode(&frame)) {
+                    assert_eq!(v, m, "case {case}: decoders disagree on mutated frame");
+                }
+            }
+            Err(_) => panic!("case {case}: decode_view panicked on {frame:02X?}"),
+        }
+    }
+}
+
+/// Pure garbage, fragmented, through the in-place decoder: no panic.
+#[test]
+fn decode_view_of_random_garbage_never_panics() {
+    let mut rng = SplitMix64::new(0x0A1B);
+    for case in 0..cases() {
+        let mut garbage = random_bytes(&mut rng, 64);
+        if rng.chance(0.5) && garbage.len() >= 8 {
+            garbage[..4].copy_from_slice(b"GIOP");
+            garbage[4] = 1;
+            garbage[5] = 0;
+        }
+        let frags = fragment(&mut rng, &garbage);
+        let parts: Vec<&[u8]> = frags.iter().map(|f| f.as_slice()).collect();
+        if std::panic::catch_unwind(|| decode_view(&parts).map(|v| v.to_message())).is_err() {
+            panic!("case {case}: decode_view panicked on {garbage:02X?}");
         }
     }
 }

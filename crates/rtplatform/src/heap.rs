@@ -16,6 +16,24 @@
 //! threshold is fixed (disabling its adaptive shrink-back). Like
 //! [`crate::poll`], the FFI is declared directly against the C library
 //! std already links — no `libc` dependency.
+//!
+//! # When applications should opt in
+//!
+//! Call [`retain_freed_memory`] once at startup when the process is
+//! **long-running and latency-sensitive**: ORB servers, soak/chaos
+//! harnesses, benchmark binaries, and any deployment where a page fault
+//! inside a handler is worse than a larger resident set. The zero-copy
+//! buffer chains ([`crate::bufchain`]) remove the per-message
+//! allocations that used to make this pin load-bearing on the hot path,
+//! so for steady-state messaging it is now belt-and-suspenders — but
+//! scope pool teardown, reconnect storms, and application allocations
+//! still free large blocks, and without the pin glibc may hand their
+//! pages back mid-mission.
+//!
+//! Skip it for short-lived tools (the pages are returned at exit
+//! anyway) and for memory-constrained co-tenants where returning freed
+//! pages to the kernel matters more than tail latency — the trade is
+//! explicitly resident-set-size for jitter.
 
 #![allow(unsafe_code)]
 

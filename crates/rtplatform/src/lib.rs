@@ -31,6 +31,7 @@
 use std::time::Duration;
 
 pub mod atomic;
+pub mod bufchain;
 pub mod chk;
 pub mod fault;
 pub mod heap;

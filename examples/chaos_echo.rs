@@ -52,6 +52,11 @@ fn install_trace_dump(seed: u64, client: &Arc<Observer>, server: &Arc<Observer>)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Long-running server process: keep freed pages mapped so the soak's
+    // steady connect/teardown cycle never re-faults arena memory
+    // mid-invocation (see rtplatform::heap for when to opt in).
+    rtplatform::heap::retain_freed_memory();
+
     let mut args = std::env::args().skip(1);
     let seconds: u64 = args.next().map_or(5, |s| s.parse().expect("seconds"));
     let seed: u64 = args.next().map_or(42, |s| s.parse().expect("seed"));

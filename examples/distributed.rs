@@ -76,6 +76,11 @@ const STATION_CCL: &str = r#"
 </Application>"#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Server-style process hosting remote ports: keep freed pages
+    // mapped so steady message traffic never re-faults arena memory
+    // (see rtplatform::heap for when to opt in).
+    rtplatform::heap::retain_freed_memory();
+
     // --- The control station: a full Compadres application. ---
     let (tx, rx) = mpsc::channel();
     let alarms = Arc::new(AtomicU64::new(0));

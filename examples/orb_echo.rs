@@ -23,6 +23,11 @@ impl Servant for ShoutServant {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Latency-measuring server process: keep freed pages mapped so the
+    // per-request scope churn never re-faults arena memory inside a
+    // timed round trip (see rtplatform::heap for when to opt in).
+    rtplatform::heap::retain_freed_memory();
+
     // Server: ORB → POA/Acceptor → Transport → per-request
     // RequestProcessing, each in its own memory level (paper Fig. 10).
     let registry = ObjectRegistry::with_echo();
