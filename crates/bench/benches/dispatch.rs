@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use compadres_bench::harness::{record, run, write_json_if_requested, Stats};
+use compadres_bench::harness::{record, run, summarize, write_json_if_requested, Stats};
 
 use compadres_core::{App, AppBuilder, HandlerCtx, Priority};
 use rtsched::PriorityFifo;
@@ -209,16 +209,7 @@ fn contended_session(
         }
         samples.push(t.elapsed());
     }
-    samples.sort();
-    let total: Duration = samples.iter().sum();
-    let s = Stats {
-        iters,
-        mean: total / iters.max(1),
-        p50: samples[samples.len() / 2],
-        p99: samples[(samples.len() * 99 / 100).min(samples.len() - 1)],
-        min: samples[0],
-        max: samples[samples.len() - 1],
-    };
+    let s = summarize(samples);
     let per_msg = s.p50.as_nanos() as f64 / SESSION_TOTAL as f64;
     let throughput = SESSION_TOTAL as f64 / s.p50.as_secs_f64();
     println!(

@@ -4,7 +4,7 @@
 //! for: many concurrent connections multiplexed by one poll loop. For
 //! each connection count (default 1k/4k/10k) the bench:
 //!
-//! 1. opens N client connections to a [`CompadresServer::spawn_tcp`]
+//! 1. opens N client connections to a reactor-transport
 //!    reactor server (echo registry), reused for every phase below;
 //! 2. runs an **open-loop** fixed-rate phase: requests fire on a
 //!    schedule derived from the target rate, spread round-robin over
@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 
 use compadres_bench::harness::{self, Stats};
 use rtcorba::cdr::Endian;
-use rtcorba::corb::CompadresServer;
+
 use rtcorba::giop::{self, Message, RequestMessage, HEADER_LEN};
 use rtcorba::service::ObjectRegistry;
 use rtplatform::poll::{Interest, PollEvent, Poller};
@@ -79,6 +79,7 @@ fn stats_from_ns(mut ns: Vec<u64>) -> Stats {
         mean: d(total / n as u64),
         p50: d(*ns.get(ns.len() / 2).unwrap_or(&0)),
         p99: d(*ns.get((ns.len() * 99 / 100).min(n - 1)).unwrap_or(&0)),
+        p999: d(*ns.get((ns.len() * 999 / 1000).min(n - 1)).unwrap_or(&0)),
         min: d(*ns.first().unwrap_or(&0)),
         max: d(*ns.last().unwrap_or(&0)),
     }
@@ -387,8 +388,9 @@ fn main() {
         } else {
             conns
         };
-        let server =
-            CompadresServer::spawn_tcp(ObjectRegistry::with_echo()).expect("spawn reactor server");
+        let server = rtcorba::ServerBuilder::new(ObjectRegistry::with_echo())
+            .serve()
+            .expect("spawn reactor server");
         let addr = server.addr().expect("tcp addr");
         let pool = DriverPool::new(addr, conns);
 
@@ -447,6 +449,7 @@ fn main() {
                 mean: d,
                 p50: d,
                 p99: d,
+                p999: d,
                 min: d,
                 max: d,
             },

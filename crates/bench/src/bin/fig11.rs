@@ -52,10 +52,13 @@ fn main() {
 
         // --- ZenOrb (hand-coded baseline, the RTZen stand-in) ---
         let (zen_summary, _guard1): (LatencySummary, Box<dyn std::any::Any>) = if tcp {
-            let server =
-                zen::ZenServer::spawn_tcp(ObjectRegistry::with_echo()).expect("zen tcp server");
-            let client =
-                zen::ZenClient::connect_tcp(server.addr().unwrap()).expect("zen tcp client");
+            let server = rtcorba::ServerBuilder::new(ObjectRegistry::with_echo())
+                .threaded()
+                .serve_zen()
+                .expect("zen tcp server");
+            let client = rtcorba::ClientBuilder::new()
+                .connect_zen(server.addr().unwrap())
+                .expect("zen tcp client");
             let rec = protocol.run_timed_result(&client, &payload);
             (rec, Box::new(server))
         } else {
@@ -66,9 +69,11 @@ fn main() {
 
         // --- Compadres ORB ---
         let (compadres_summary, _guard2): (LatencySummary, Box<dyn std::any::Any>) = if tcp {
-            let server = corb::CompadresServer::spawn_tcp(ObjectRegistry::with_echo())
+            let server = rtcorba::ServerBuilder::new(ObjectRegistry::with_echo())
+                .serve()
                 .expect("corb tcp server");
-            let client = corb::CompadresClient::connect_tcp(server.addr().unwrap())
+            let client = rtcorba::ClientBuilder::new()
+                .connect(server.addr().unwrap())
                 .expect("corb tcp client");
             let rec = protocol.run_timed_result(&client, &payload);
             (rec, Box::new(server))

@@ -236,6 +236,9 @@ pub mod harness {
         pub p50: Duration,
         /// 99th-percentile per-iteration time.
         pub p99: Duration,
+        /// 99.9th-percentile per-iteration time — the tail the adaptive
+        /// park policy and admission control are judged by.
+        pub p999: Duration,
         /// Fastest iteration.
         pub min: Duration,
         /// Slowest iteration.
@@ -246,7 +249,15 @@ pub mod harness {
     /// dump ([`write_json_if_requested`]).
     static RECORDED: Mutex<Vec<(String, Stats)>> = Mutex::new(Vec::new());
 
-    fn summarize(mut samples: Vec<Duration>) -> Stats {
+    /// Summarizes a sample set into the percentile [`Stats`] the JSON
+    /// dump and the bench gate consume. Public so open-loop harnesses
+    /// (e.g. `benches/capacity.rs`) that collect their own latency
+    /// samples can produce gate-compatible records.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    pub fn summarize(mut samples: Vec<Duration>) -> Stats {
         samples.sort();
         let iters = samples.len() as u32;
         let total: Duration = samples.iter().sum();
@@ -255,6 +266,7 @@ pub mod harness {
             mean: total / iters.max(1),
             p50: samples[samples.len() / 2],
             p99: samples[(samples.len() * 99 / 100).min(samples.len() - 1)],
+            p999: samples[(samples.len() * 999 / 1000).min(samples.len() - 1)],
             min: samples[0],
             max: samples[samples.len() - 1],
         }
@@ -262,10 +274,11 @@ pub mod harness {
 
     fn print(name: &str, s: &Stats) {
         println!(
-            "{name:<44} {:>9.2} us/iter  p50 {:>9.2}  p99 {:>9.2}  min {:>9.2}  max {:>9.2}  ({} iters)",
+            "{name:<44} {:>9.2} us/iter  p50 {:>9.2}  p99 {:>9.2}  p99.9 {:>9.2}  min {:>9.2}  max {:>9.2}  ({} iters)",
             s.mean.as_nanos() as f64 / 1e3,
             s.p50.as_nanos() as f64 / 1e3,
             s.p99.as_nanos() as f64 / 1e3,
+            s.p999.as_nanos() as f64 / 1e3,
             s.min.as_nanos() as f64 / 1e3,
             s.max.as_nanos() as f64 / 1e3,
             s.iters
@@ -297,12 +310,13 @@ pub mod harness {
                 out.push_str(",\n");
             }
             out.push_str(&format!(
-                "  {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                "  {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
                 name.replace('"', "'"),
                 s.iters,
                 s.mean.as_nanos(),
                 s.p50.as_nanos(),
                 s.p99.as_nanos(),
+                s.p999.as_nanos(),
                 s.min.as_nanos(),
                 s.max.as_nanos()
             ));

@@ -12,6 +12,8 @@ use std::sync::Arc;
 
 use rtmem::{MemoryModel, ScopePool};
 use rtobs::Observer;
+use rtplatform::atomic::ParkPolicy;
+use rtplatform::fault::AdmissionPolicy;
 use rtsched::{PoolConfig, Priority, ThreadPool};
 
 use crate::component::{Component, ErasedHandler, MessageHandler, TypedHandler};
@@ -65,6 +67,9 @@ pub struct AppBuilder {
     component_factories: HashMap<String, Arc<dyn Fn() -> Box<dyn Component> + Send + Sync>>,
     handler_factories: HashMap<(String, String), RegisteredHandler>,
     heap_size: usize,
+    admission: AdmissionPolicy,
+    port_admission: HashMap<(String, String), AdmissionPolicy>,
+    park_policy: ParkPolicy,
 }
 
 impl std::fmt::Debug for AppBuilder {
@@ -87,6 +92,9 @@ impl AppBuilder {
             component_factories: HashMap::new(),
             handler_factories: HashMap::new(),
             heap_size: 4 << 20,
+            admission: AdmissionPolicy::disabled(),
+            port_admission: HashMap::new(),
+            park_policy: ParkPolicy::balanced(),
         }
     }
 
@@ -207,6 +215,37 @@ impl AppBuilder {
         self
     }
 
+    /// Sets the default priority-band admission policy for every async
+    /// in-port buffer. Under overload, occupancy above a band's
+    /// watermark sheds that band ([`CompadresError::Shed`]) while slots
+    /// stay reserved for higher-priority traffic. The default,
+    /// [`AdmissionPolicy::disabled`], admits every band to full
+    /// capacity. Override a single port with
+    /// [`AppBuilder::port_admission`].
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Overrides the admission policy of one in-port
+    /// (`instance`.`port`), taking precedence over the app-wide
+    /// [`AppBuilder::admission`] default.
+    pub fn port_admission(mut self, instance: &str, port: &str, policy: AdmissionPolicy) -> Self {
+        self.port_admission
+            .insert((instance.to_string(), port.to_string()), policy);
+        self
+    }
+
+    /// Tunes the spin/park budget of every dispatch thread pool (how
+    /// long idle workers spin before yielding and then parking). The
+    /// default, [`ParkPolicy::balanced`], matches the historical
+    /// constants; [`ParkPolicy::spin_longer`] trades idle CPU for a
+    /// tighter contended tail.
+    pub fn park_policy(mut self, policy: ParkPolicy) -> Self {
+        self.park_policy = policy;
+        self
+    }
+
     /// Validates the composition and constructs the application: memory
     /// regions and scope pools, message pools in the common-ancestor
     /// areas, port buffers, thread pools and the routing table.
@@ -320,6 +359,7 @@ impl AppBuilder {
                                 min_threads: attrs.min_threads.max(1),
                                 max_threads: attrs.max_threads.max(1),
                                 idle_priority: Priority::MIN,
+                                park: self.park_policy,
                             },
                             move || rtmem::Ctx::no_heap(&m),
                         ));
@@ -337,6 +377,7 @@ impl AppBuilder {
                                         min_threads: attrs.min_threads.max(1),
                                         max_threads: attrs.max_threads.max(1),
                                         idle_priority: Priority::MIN,
+                                        park: self.park_policy,
                                     },
                                     move || rtmem::Ctx::no_heap(&m),
                                 ));
@@ -354,6 +395,11 @@ impl AppBuilder {
                     pool,
                     inflight: Arc::new(AtomicUsize::new(0)),
                     buffer_size: attrs.buffer_size,
+                    admission: self
+                        .port_admission
+                        .get(&(vi.name.clone(), key.1.clone()))
+                        .copied()
+                        .unwrap_or(self.admission),
                 }
             };
             in_ports.insert(
@@ -366,6 +412,10 @@ impl AppBuilder {
                     entity: obs.register_entity(&format!("{}.{}", vi.name, key.1)),
                     deadline_miss: obs.counter(&format!(
                         "compadres_deadline_miss_{}_total",
+                        metric_safe(&format!("{}_{}", vi.name, key.1))
+                    )),
+                    shed: obs.counter(&format!(
+                        "compadres_shed_{}_total",
                         metric_safe(&format!("{}_{}", vi.name, key.1))
                     )),
                 },

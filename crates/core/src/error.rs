@@ -41,6 +41,18 @@ pub enum CompadresError {
         /// Target in-port.
         port: String,
     },
+    /// The message was shed by per-priority-band admission control: the
+    /// in-port buffer was over the band's watermark while capacity was
+    /// still reserved for higher-priority traffic (see
+    /// `rtplatform::fault::AdmissionPolicy`).
+    Shed {
+        /// Target instance.
+        instance: String,
+        /// Target in-port.
+        port: String,
+        /// Priority of the shed message.
+        priority: u8,
+    },
     /// The application (or a port) has been shut down.
     ShutDown,
     /// A component factory or handler factory was not registered.
@@ -76,6 +88,16 @@ impl fmt::Display for CompadresError {
             }
             CompadresError::BufferFull { instance, port } => {
                 write!(f, "buffer of {instance}.{port} is full")
+            }
+            CompadresError::Shed {
+                instance,
+                port,
+                priority,
+            } => {
+                write!(
+                    f,
+                    "message at priority {priority} shed by admission control at {instance}.{port}"
+                )
             }
             CompadresError::ShutDown => write!(f, "application is shut down"),
             CompadresError::MissingFactory { class, port } => match port {

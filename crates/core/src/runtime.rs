@@ -60,6 +60,11 @@ pub(crate) enum Dispatch {
         pool: Arc<ThreadPool<rtmem::Ctx>>,
         inflight: Arc<AtomicUsize>,
         buffer_size: usize,
+        /// Per-priority-band admission watermarks: below `buffer_size`,
+        /// low bands are refused first so the remaining slots stay
+        /// reserved for higher-priority traffic. `disabled()` admits
+        /// every band to full capacity (the historical behaviour).
+        admission: rtplatform::fault::AdmissionPolicy,
     },
 }
 
@@ -74,6 +79,10 @@ pub(crate) struct InPortInfo {
     /// finished past the trace deadline on this hop. Makes the fault
     /// layer's Shed/DropOldest decisions attributable to a port.
     pub deadline_miss: CounterId,
+    /// Per-port shed counter: messages refused by priority-band
+    /// admission control while the buffer still had headroom reserved
+    /// for higher bands.
+    pub shed: CounterId,
 }
 
 impl InPortInfo {
@@ -125,6 +134,9 @@ pub struct AppStats {
     pub handler_panics: u64,
     /// Messages rejected because a port buffer was full.
     pub buffer_rejections: u64,
+    /// Messages shed by priority-band admission control (buffer over
+    /// the band's watermark but under capacity).
+    pub messages_shed: u64,
     /// Scoped component activations.
     pub activations: u64,
     /// Scoped component deactivations (scope reclaims).
@@ -205,6 +217,7 @@ pub(crate) struct CoreObs {
     handler_errors: CounterId,
     handler_panics: CounterId,
     buffer_rejections: CounterId,
+    shed: CounterId,
     deadline_miss: CounterId,
     queue_wait: HistId,
     handler_latency: HistId,
@@ -218,6 +231,7 @@ impl CoreObs {
             handler_errors: obs.counter("compadres_handler_errors_total"),
             handler_panics: obs.counter("compadres_handler_panics_total"),
             buffer_rejections: obs.counter("compadres_buffer_rejections_total"),
+            shed: obs.counter("compadres_shed_total"),
             deadline_miss: obs.counter("compadres_deadline_miss_total"),
             queue_wait: obs.histogram("compadres_queue_wait_ns"),
             handler_latency: obs.histogram("compadres_handler_latency_ns"),
@@ -581,11 +595,34 @@ impl AppCore {
                 pool,
                 inflight,
                 buffer_size,
+                admission,
             } => {
-                // Bounded admission: the port buffer (CCL BufferSize).
+                // Bounded admission: the port buffer (CCL BufferSize),
+                // narrowed per priority band by the admission policy so
+                // overload sheds low bands while slots stay reserved for
+                // high-priority traffic.
+                let limit = admission
+                    .watermark(env.priority.value(), *buffer_size)
+                    .min(*buffer_size);
                 let occupied = inflight.fetch_add(1, Ordering::SeqCst);
-                if occupied >= *buffer_size {
+                if occupied >= limit {
                     inflight.fetch_sub(1, Ordering::SeqCst);
+                    let priority = env.priority.value();
+                    if limit < *buffer_size {
+                        // Band watermark, not capacity: this is a shed.
+                        self.stats.obs.inc(self.stats.shed);
+                        self.stats.obs.inc(info.shed);
+                        self.stats.obs.record(
+                            EventKind::PortShed,
+                            info.entity,
+                            u64::from(priority),
+                        );
+                        return Err(CompadresError::Shed {
+                            instance: self.runtime(to.0).name.clone(),
+                            port: to.1.clone(),
+                            priority,
+                        });
+                    }
                     self.stats.obs.inc(self.stats.buffer_rejections);
                     self.stats
                         .obs
@@ -1105,6 +1142,7 @@ impl App {
             handler_errors: s.obs.counter_value(s.handler_errors),
             handler_panics: s.obs.counter_value(s.handler_panics),
             buffer_rejections: s.obs.counter_value(s.buffer_rejections),
+            messages_shed: s.obs.counter_value(s.shed),
             activations: self
                 .core
                 .instances

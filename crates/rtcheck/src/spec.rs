@@ -6,6 +6,8 @@
 
 use std::collections::BTreeSet;
 
+use rtplatform::fault::AdmissionPolicy;
+
 use crate::lin::Spec;
 
 /// Operations on any of the queue-shaped structures.
@@ -106,6 +108,50 @@ impl Spec for PriorityFifoSpec {
                 })
             }
             (QueueOp::Pop, QueueRet::Popped(None)) if s.is_empty() => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Bounded priority-banded FIFO narrowed per band by an
+/// [`AdmissionPolicy`] — the model of `PriorityFifo::push_bounded`,
+/// which backs per-port admission control in the core runtime
+/// (DESIGN.md §5j). A push must report admitted exactly when total
+/// occupancy is under the band's watermark (so a zero-permille band is
+/// starved outright: every push in it must be refused, even on an
+/// empty queue); pops follow the plain priority-FIFO discipline.
+#[derive(Debug)]
+pub struct BandedAdmissionSpec {
+    /// Hard queue capacity — the high band's watermark.
+    pub capacity: usize,
+    /// The per-band admission policy under test.
+    pub admission: AdmissionPolicy,
+}
+
+impl Spec for BandedAdmissionSpec {
+    type Op = QueueOp;
+    type Ret = QueueRet;
+    /// Bands sorted by descending priority, as in [`PriorityFifoSpec`].
+    type State = Vec<(u8, Vec<u64>)>;
+
+    fn initial(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn apply(&self, s: &Self::State, op: &Self::Op, ret: &Self::Ret) -> Option<Self::State> {
+        match (op, ret) {
+            (QueueOp::Push(p, _), QueueRet::Pushed(admitted)) => {
+                let occupied: usize = s.iter().map(|(_, band)| band.len()).sum();
+                let legal = self.admission.admits(*p, occupied, self.capacity);
+                if legal != *admitted {
+                    return None;
+                }
+                if !admitted {
+                    return Some(s.clone());
+                }
+                PriorityFifoSpec.apply(s, op, ret)
+            }
+            (QueueOp::Pop, _) => PriorityFifoSpec.apply(s, op, ret),
             _ => None,
         }
     }

@@ -32,7 +32,7 @@ use crate::service::ObjectRegistry;
 use crate::transport::{
     loopback_pair, Connection, LoopbackConn, TcpAcceptor, TcpConn, TransportError,
 };
-use crate::OrbError;
+use crate::{InvokeOptions, OrbError};
 
 /// Completion slot a client invocation waits on (filled synchronously,
 /// since every ORB port is configured `Min = Max = 0`).
@@ -286,14 +286,27 @@ impl CompadresClient {
         CompadresClient::from_conn(conn)
     }
 
+    pub(crate) fn tcp(addr: SocketAddr) -> Result<CompadresClient, OrbError> {
+        let conn = TcpConn::connect(addr)?;
+        CompadresClient::from_conn(Arc::new(conn))
+    }
+
+    pub(crate) fn tcp_with(
+        addr: SocketAddr,
+        policy: &FaultPolicy,
+    ) -> Result<CompadresClient, OrbError> {
+        let conn = TcpConn::connect_with(addr, policy)?;
+        CompadresClient::from_conn_with(Arc::new(conn), policy)
+    }
+
     /// Connects over TCP.
     ///
     /// # Errors
     ///
     /// Connection, composition or memory failures.
+    #[deprecated(note = "use rtcorba::ClientBuilder::new().connect(addr)")]
     pub fn connect_tcp(addr: SocketAddr) -> Result<CompadresClient, OrbError> {
-        let conn = TcpConn::connect(addr)?;
-        CompadresClient::from_conn(Arc::new(conn))
+        CompadresClient::tcp(addr)
     }
 
     /// Connects over TCP under a [`FaultPolicy`]: connect/send/recv
@@ -302,12 +315,12 @@ impl CompadresClient {
     /// # Errors
     ///
     /// Connection, composition or memory failures.
+    #[deprecated(note = "use rtcorba::ClientBuilder::new().fault_policy(policy).connect(addr)")]
     pub fn connect_tcp_with(
         addr: SocketAddr,
         policy: &FaultPolicy,
     ) -> Result<CompadresClient, OrbError> {
-        let conn = TcpConn::connect_with(addr, policy)?;
-        CompadresClient::from_conn_with(Arc::new(conn), policy)
+        CompadresClient::tcp_with(addr, policy)
     }
 
     /// Connects to the ORB endpoint named by a stringified `corbaloc`
@@ -321,12 +334,34 @@ impl CompadresClient {
     pub fn connect_ref(reference: &str) -> Result<(CompadresClient, Vec<u8>), OrbError> {
         let obj = crate::ior::ObjectRef::parse(reference)?;
         let addr = obj.socket_addr()?;
-        Ok((CompadresClient::connect_tcp(addr)?, obj.object_key))
+        Ok((CompadresClient::tcp(addr)?, obj.object_key))
     }
 
     /// The underlying component application (for instrumentation).
     pub fn app(&self) -> &App {
         &self.app
+    }
+
+    /// Performs an invocation through the component pipeline — Orb →
+    /// Transport → MessageProcessing → wire — shaped by `opts`: two-way
+    /// or oneway, with or without a deadline budget. The unified entry
+    /// point behind [`invoke`](CompadresClient::invoke),
+    /// [`invoke_oneway`](CompadresClient::invoke_oneway) and
+    /// [`invoke_with_budget`](CompadresClient::invoke_with_budget).
+    ///
+    /// A oneway invocation returns an empty body.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, or a servant exception.
+    pub fn invoke_with(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: &[u8],
+        opts: &InvokeOptions,
+    ) -> Result<Vec<u8>, OrbError> {
+        self.invoke_inner(object_key, operation, args, opts.oneway, opts.budget)
     }
 
     /// Performs a synchronous two-way invocation through the component
@@ -341,7 +376,7 @@ impl CompadresClient {
         operation: &str,
         args: &[u8],
     ) -> Result<Vec<u8>, OrbError> {
-        self.invoke_inner(object_key, operation, args, false, None)
+        self.invoke_with(object_key, operation, args, &InvokeOptions::twoway())
     }
 
     /// Like [`invoke`](CompadresClient::invoke), but under a deadline
@@ -364,7 +399,15 @@ impl CompadresClient {
         args: &[u8],
         budget: Option<std::time::Duration>,
     ) -> Result<Vec<u8>, OrbError> {
-        self.invoke_inner(object_key, operation, args, false, budget)
+        self.invoke_with(
+            object_key,
+            operation,
+            args,
+            &InvokeOptions {
+                oneway: false,
+                budget,
+            },
+        )
     }
 
     /// Sends a **oneway** invocation through the component pipeline: the
@@ -379,7 +422,7 @@ impl CompadresClient {
         operation: &str,
         args: &[u8],
     ) -> Result<(), OrbError> {
-        self.invoke_inner(object_key, operation, args, true, None)
+        self.invoke_with(object_key, operation, args, &InvokeOptions::oneway())
             .map(|_| ())
     }
 
@@ -612,27 +655,35 @@ impl CompadresServer {
         Ok(app)
     }
 
-    /// Spawns a TCP server on the event-driven reactor transport
-    /// (DESIGN.md §5h): one poll-loop thread multiplexes every
-    /// connection and a small worker pool injects complete frames into
-    /// the POA component pipeline — the same pipeline, spans and fault
-    /// replies as the thread-per-connection path, minus the
-    /// thread-per-client wall.
+    /// Spawns a TCP server on the event-driven reactor transport.
     ///
     /// # Errors
     ///
     /// Bind, composition or memory failures.
+    #[deprecated(note = "use rtcorba::ServerBuilder::new(registry).serve()")]
     pub fn spawn_tcp(registry: Arc<ObjectRegistry>) -> Result<CompadresServer, OrbError> {
-        Self::spawn_tcp_reactor(registry, ReactorConfig::default())
+        Self::serve_reactor(registry, ReactorConfig::default())
     }
 
-    /// [`spawn_tcp`](CompadresServer::spawn_tcp) with explicit reactor
-    /// sizing.
+    /// Spawns a TCP server with explicit reactor sizing.
     ///
     /// # Errors
     ///
     /// Bind, composition or memory failures.
+    #[deprecated(note = "use rtcorba::ServerBuilder::new(registry).reactor(cfg).serve()")]
     pub fn spawn_tcp_reactor(
+        registry: Arc<ObjectRegistry>,
+        cfg: ReactorConfig,
+    ) -> Result<CompadresServer, OrbError> {
+        Self::serve_reactor(registry, cfg)
+    }
+
+    /// The event-driven reactor transport (DESIGN.md §5h): one poll-loop
+    /// thread multiplexes every connection and a small worker pool
+    /// injects complete frames into the POA component pipeline — the
+    /// same pipeline, spans and fault replies as the
+    /// thread-per-connection path, minus the thread-per-client wall.
+    pub(crate) fn serve_reactor(
         registry: Arc<ObjectRegistry>,
         cfg: ReactorConfig,
     ) -> Result<CompadresServer, OrbError> {
@@ -657,13 +708,22 @@ impl CompadresServer {
     }
 
     /// Spawns a TCP server with the paper-faithful acceptor +
-    /// per-connection reader threads (the pre-reactor I/O model; kept
-    /// for comparison benchmarks and as the simplest possible path).
+    /// per-connection reader threads.
     ///
     /// # Errors
     ///
     /// Bind, composition or memory failures.
+    #[deprecated(note = "use rtcorba::ServerBuilder::new(registry).threaded().serve()")]
     pub fn spawn_tcp_threaded(registry: Arc<ObjectRegistry>) -> Result<CompadresServer, OrbError> {
+        Self::serve_threaded(registry)
+    }
+
+    /// The paper-faithful acceptor + per-connection reader threads (the
+    /// pre-reactor I/O model; kept for comparison benchmarks and as the
+    /// simplest possible path).
+    pub(crate) fn serve_threaded(
+        registry: Arc<ObjectRegistry>,
+    ) -> Result<CompadresServer, OrbError> {
         let app = Arc::new(Self::build_app(registry)?);
         // Keep the POA/Acceptor and Transport components alive for the
         // server's lifetime, as the paper's server does.
@@ -898,8 +958,12 @@ mod tests {
 
     #[test]
     fn tcp_echo_roundtrip() {
-        let server = CompadresServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
-        let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let server = crate::ServerBuilder::new(ObjectRegistry::with_echo())
+            .serve()
+            .unwrap();
+        let client = crate::ClientBuilder::new()
+            .connect(server.addr().unwrap())
+            .unwrap();
         let payload = vec![0x5Au8; 1024];
         assert_eq!(client.invoke(b"echo", "echo", &payload).unwrap(), payload);
         server.shutdown();

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod builder;
 pub mod cdr;
 pub mod chaos;
 pub mod corb;
@@ -33,6 +34,53 @@ pub mod reactor;
 pub mod service;
 pub mod transport;
 pub mod zen;
+
+pub use builder::{ClientBuilder, ServerBuilder, Transport};
+
+/// How an invocation should be performed, shared by
+/// [`corb::CompadresClient::invoke_with`] and
+/// [`zen::ZenClient::invoke_with`]. The legacy `invoke` /
+/// `invoke_oneway` / `invoke_with_budget` entry points are thin
+/// wrappers over presets of this struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvokeOptions {
+    /// Fire-and-forget: the request is marshalled and put on the wire
+    /// with GIOP `response_expected = false`; no reply is waited for and
+    /// the returned body is empty.
+    pub oneway: bool,
+    /// Deadline budget for the invocation. On the Compadres ORB the
+    /// invocation becomes the root of a trace whose remaining budget
+    /// travels with the request (DESIGN.md §5g); a blown budget is
+    /// *recorded*, not turned into an error. ZenOrb, the hand-coded
+    /// comparator without the tracing subsystem, ignores it.
+    pub budget: Option<std::time::Duration>,
+}
+
+impl InvokeOptions {
+    /// A synchronous two-way invocation (the default).
+    pub const fn twoway() -> InvokeOptions {
+        InvokeOptions {
+            oneway: false,
+            budget: None,
+        }
+    }
+
+    /// A fire-and-forget oneway invocation.
+    pub const fn oneway() -> InvokeOptions {
+        InvokeOptions {
+            oneway: true,
+            budget: None,
+        }
+    }
+
+    /// A two-way invocation under a deadline budget.
+    pub const fn with_budget(budget: std::time::Duration) -> InvokeOptions {
+        InvokeOptions {
+            oneway: false,
+            budget: Some(budget),
+        }
+    }
+}
 
 /// Errors surfaced by ORB invocations.
 #[derive(Debug)]

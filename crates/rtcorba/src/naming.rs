@@ -205,13 +205,16 @@ mod tests {
             NAME_SERVICE_KEY.to_vec(),
             Arc::clone(&naming) as Arc<dyn Servant>,
         );
-        (CompadresServer::spawn_tcp(registry).unwrap(), naming)
+        let server = crate::ServerBuilder::new(registry).serve().unwrap();
+        (server, naming)
     }
 
     #[test]
     fn bind_resolve_unbind_list() {
         let (server, _naming) = naming_server();
-        let client = crate::corb::CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let client = crate::ClientBuilder::new()
+            .connect(server.addr().unwrap())
+            .unwrap();
         let ns = NamingClient::over_compadres(&client);
 
         let echo_ref = ObjectRef::for_addr(server.addr().unwrap(), b"echo".to_vec());
@@ -234,7 +237,9 @@ mod tests {
     #[test]
     fn resolve_unknown_name_is_exception() {
         let (server, _naming) = naming_server();
-        let client = crate::corb::CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let client = crate::ClientBuilder::new()
+            .connect(server.addr().unwrap())
+            .unwrap();
         let ns = NamingClient::over_compadres(&client);
         match ns.resolve("missing") {
             Err(OrbError::Exception(msg)) => assert!(msg.contains("NotFound")),
@@ -251,7 +256,9 @@ mod tests {
         let echo_ref = ObjectRef::for_addr(server.addr().unwrap(), b"echo".to_vec());
         naming.bind("echo", &echo_ref);
 
-        let boot = ZenClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let boot = crate::ClientBuilder::new()
+            .connect_zen(server.addr().unwrap())
+            .unwrap();
         let ns = NamingClient::over_zen(&boot);
         let resolved = ns.resolve("echo").unwrap();
         let (client, key) = ZenClient::connect_ref(&resolved.to_string()).unwrap();
@@ -262,7 +269,9 @@ mod tests {
     #[test]
     fn malformed_reference_rejected_at_bind() {
         let (server, _naming) = naming_server();
-        let client = crate::corb::CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let client = crate::ClientBuilder::new()
+            .connect(server.addr().unwrap())
+            .unwrap();
         // Hand-roll a bind with a bogus reference string.
         let mut enc = CdrEncoder::new(Endian::Big);
         enc.write_string("bad");

@@ -90,6 +90,13 @@ pub struct ReactorConfig {
     /// Capacity of the readiness queue between reactor and workers
     /// (connections, not frames; rounded up to a power of two).
     pub queue_capacity: usize,
+    /// Most complete frames one connection's inbox may hold before the
+    /// reactor sheds newly carved frames (`reactor_shed_total`). GIOP
+    /// frames carry no priority, so this is a coarse per-connection
+    /// overload valve — the shed client sees its recv deadline, not a
+    /// wedged reactor. Priority-aware shedding happens downstream at the
+    /// component in-ports (see `rtplatform::fault::AdmissionPolicy`).
+    pub inbox_capacity: usize,
 }
 
 impl Default for ReactorConfig {
@@ -99,6 +106,7 @@ impl Default for ReactorConfig {
             max_frame: 16 << 20,
             read_chunk: 64 << 10,
             queue_capacity: 4096,
+            inbox_capacity: 1024,
         }
     }
 }
@@ -134,6 +142,7 @@ struct Shared {
     partial_frames: CounterId,
     protocol_errors: CounterId,
     backpressure: CounterId,
+    shed: CounterId,
 }
 
 impl Shared {
@@ -299,6 +308,7 @@ impl ReactorServer {
             partial_frames: obs.counter("reactor_partial_frames_total"),
             protocol_errors: obs.counter("reactor_protocol_errors_total"),
             backpressure: obs.counter("reactor_backpressure_total"),
+            shed: obs.counter("reactor_shed_total"),
             obs,
             handler,
         });
@@ -587,7 +597,17 @@ fn read_ready(
             break;
         }
         let frame = entry.chain.take_frame(total);
-        entry.conn.inbox.lock().push_back(frame);
+        {
+            let mut inbox = entry.conn.inbox.lock();
+            if inbox.len() >= cfg.inbox_capacity.max(1) {
+                // Inbox over capacity: shed the frame instead of queueing
+                // unboundedly. The peer learns via its recv deadline.
+                drop(inbox);
+                shared.obs.inc(shared.shed);
+                continue;
+            }
+            inbox.push_back(frame);
+        }
         delivered = true;
     }
     if delivered {

@@ -25,7 +25,7 @@ use crate::giop::{self, MessageView, ReplyStatus};
 use crate::reactor::{FrameFn, ReactorConfig, ReactorServer};
 use crate::service::ObjectRegistry;
 use crate::transport::{loopback_pair, Connection, LoopbackConn, TcpAcceptor, TcpConn};
-use crate::OrbError;
+use crate::{InvokeOptions, OrbError};
 
 const TRANSPORT_SCOPE: usize = 64 << 10;
 const REQUEST_SCOPE: usize = 64 << 10;
@@ -83,14 +83,27 @@ impl ZenClient {
         })
     }
 
+    pub(crate) fn tcp(addr: SocketAddr) -> Result<ZenClient, OrbError> {
+        let conn = TcpConn::connect(addr)?;
+        ZenClient::from_conn(Arc::new(conn))
+    }
+
+    pub(crate) fn tcp_with(
+        addr: SocketAddr,
+        policy: &rtplatform::fault::FaultPolicy,
+    ) -> Result<ZenClient, OrbError> {
+        let conn = TcpConn::connect_with(addr, policy)?;
+        ZenClient::from_conn(Arc::new(conn))
+    }
+
     /// Connects over TCP.
     ///
     /// # Errors
     ///
     /// Connection or memory-architecture failures.
+    #[deprecated(note = "use rtcorba::ClientBuilder::new().connect_zen(addr)")]
     pub fn connect_tcp(addr: SocketAddr) -> Result<ZenClient, OrbError> {
-        let conn = TcpConn::connect(addr)?;
-        ZenClient::from_conn(Arc::new(conn))
+        ZenClient::tcp(addr)
     }
 
     /// Connects over TCP under a [`rtplatform::fault::FaultPolicy`]:
@@ -101,12 +114,12 @@ impl ZenClient {
     /// # Errors
     ///
     /// Connection or memory-architecture failures.
+    #[deprecated(note = "use rtcorba::ClientBuilder::new().fault_policy(policy).connect_zen(addr)")]
     pub fn connect_tcp_with(
         addr: SocketAddr,
         policy: &rtplatform::fault::FaultPolicy,
     ) -> Result<ZenClient, OrbError> {
-        let conn = TcpConn::connect_with(addr, policy)?;
-        ZenClient::from_conn(Arc::new(conn))
+        ZenClient::tcp_with(addr, policy)
     }
 
     /// Connects to the ORB endpoint named by a stringified `corbaloc`
@@ -119,7 +132,7 @@ impl ZenClient {
     pub fn connect_ref(reference: &str) -> Result<(ZenClient, Vec<u8>), OrbError> {
         let obj = crate::ior::ObjectRef::parse(reference)?;
         let addr = obj.socket_addr()?;
-        Ok((ZenClient::connect_tcp(addr)?, obj.object_key))
+        Ok((ZenClient::tcp(addr)?, obj.object_key))
     }
 
     /// The memory model (for instrumentation).
@@ -127,58 +140,25 @@ impl ZenClient {
         &self.model
     }
 
-    /// Sends a **oneway** invocation: no reply is expected or waited for
-    /// (GIOP `response_expected = false`).
-    ///
-    /// # Errors
-    ///
-    /// Transport failures.
-    pub fn invoke_oneway(
-        &self,
-        object_key: &[u8],
-        operation: &str,
-        args: &[u8],
-    ) -> Result<(), OrbError> {
-        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let mut ctx = self.ctx.lock();
-        let lease = self.processing_pool.acquire()?;
-        let processing = lease.region();
-        let conn = Arc::clone(&self.conn);
-        let endian = self.endian;
-        ctx.enter(self.transport_scope, |ctx| {
-            ctx.enter(processing, |_ctx| -> Result<(), OrbError> {
-                // Marshal straight into pool-leased segments (no Vec
-                // growth, no staging copy) and hand them to the socket
-                // via vectored I/O.
-                let frame = giop::encode_request_chain(
-                    request_id,
-                    false,
-                    object_key,
-                    operation,
-                    args,
-                    &[],
-                    endian,
-                    &self.seg_pool,
-                );
-                conn.send_chain(&frame)?;
-                Ok(())
-            })?
-        })??;
-        Ok(())
-    }
-
-    /// Performs a synchronous two-way invocation.
+    /// Performs an invocation shaped by `opts` — two-way or oneway. The
+    /// unified entry point behind [`invoke`](ZenClient::invoke) and
+    /// [`invoke_oneway`](ZenClient::invoke_oneway). ZenOrb has no
+    /// tracing subsystem, so `opts.budget` is ignored (see
+    /// [`InvokeOptions::budget`]). A oneway invocation returns an empty
+    /// body.
     ///
     /// # Errors
     ///
     /// Transport failures, protocol violations, or a servant exception.
-    pub fn invoke(
+    pub fn invoke_with(
         &self,
         object_key: &[u8],
         operation: &str,
         args: &[u8],
+        opts: &InvokeOptions,
     ) -> Result<Vec<u8>, OrbError> {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let oneway = opts.oneway;
         let mut ctx = self.ctx.lock();
         let lease = self.processing_pool.acquire()?;
         let processing = lease.region();
@@ -195,7 +175,7 @@ impl ZenClient {
                     // the chain plays the role the staging copy used to.
                     let frame = giop::encode_request_chain(
                         request_id,
-                        true,
+                        !oneway,
                         object_key,
                         operation,
                         args,
@@ -204,6 +184,9 @@ impl ZenClient {
                         &self.seg_pool,
                     );
                     conn.send_chain(&frame)?;
+                    if oneway {
+                        return Ok(Vec::new());
+                    }
                     let reply_frame = conn.recv_frame()?;
                     // Decode in place over the received buffer; the
                     // only copy taken is the reply body, which escapes
@@ -227,6 +210,36 @@ impl ZenClient {
             })
             .map_err(OrbError::from)?;
         out
+    }
+
+    /// Sends a **oneway** invocation: no reply is expected or waited for
+    /// (GIOP `response_expected = false`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn invoke_oneway(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: &[u8],
+    ) -> Result<(), OrbError> {
+        self.invoke_with(object_key, operation, args, &InvokeOptions::oneway())
+            .map(|_| ())
+    }
+
+    /// Performs a synchronous two-way invocation.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, protocol violations, or a servant exception.
+    pub fn invoke(
+        &self,
+        object_key: &[u8],
+        operation: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, OrbError> {
+        self.invoke_with(object_key, operation, args, &InvokeOptions::twoway())
     }
 }
 
@@ -383,7 +396,15 @@ impl ZenServer {
     /// # Errors
     ///
     /// Bind or memory-architecture failures.
+    #[deprecated(note = "use rtcorba::ServerBuilder::new(registry).threaded().serve_zen()")]
     pub fn spawn_tcp(registry: Arc<ObjectRegistry>) -> Result<ZenServer, OrbError> {
+        Self::serve_threaded(registry)
+    }
+
+    /// The paper-faithful thread-per-connection I/O model: an acceptor
+    /// thread plus one `zen-transport` thread per client — the RTZen
+    /// comparator architecture.
+    pub(crate) fn serve_threaded(registry: Arc<ObjectRegistry>) -> Result<ZenServer, OrbError> {
         let shutdown = Arc::new(AtomicBool::new(false));
         let core = Arc::new(ServerCore::new(registry, Arc::clone(&shutdown))?);
         let acceptor = TcpAcceptor::bind_loopback()?;
@@ -415,25 +436,35 @@ impl ZenServer {
         })
     }
 
-    /// Spawns a TCP server on the event-driven reactor transport
-    /// (DESIGN.md §5h): connections are multiplexed by one poll loop and
-    /// requests dispatched by a worker pool through the same POA-scope
-    /// frame service as the threaded path. `spawn_tcp` stays thread-per-
-    /// connection — the paper-faithful RTZen comparator — while this
-    /// path scales past it.
+    /// Spawns a TCP server on the event-driven reactor transport.
     ///
     /// # Errors
     ///
     /// Bind or memory-architecture failures.
+    #[deprecated(note = "use rtcorba::ServerBuilder::new(registry).observer(obs).serve_zen()")]
     pub fn spawn_tcp_reactor(
         registry: Arc<ObjectRegistry>,
         obs: Arc<rtobs::Observer>,
+    ) -> Result<ZenServer, OrbError> {
+        Self::serve_reactor(registry, obs, ReactorConfig::default())
+    }
+
+    /// The event-driven reactor transport (DESIGN.md §5h): connections
+    /// are multiplexed by one poll loop and requests dispatched by a
+    /// worker pool through the same POA-scope frame service as the
+    /// threaded path. The threaded path stays thread-per-connection —
+    /// the paper-faithful RTZen comparator — while this one scales past
+    /// it.
+    pub(crate) fn serve_reactor(
+        registry: Arc<ObjectRegistry>,
+        obs: Arc<rtobs::Observer>,
+        cfg: ReactorConfig,
     ) -> Result<ZenServer, OrbError> {
         let shutdown = Arc::new(AtomicBool::new(false));
         let core = Arc::new(ServerCore::new(registry, Arc::clone(&shutdown))?);
         let core2 = Arc::clone(&core);
         let handler: FrameFn = Arc::new(move |conn, frame| core2.serve_frame(conn, &frame));
-        let reactor = ReactorServer::spawn(handler, obs, ReactorConfig::default())?;
+        let reactor = ReactorServer::spawn(handler, obs, cfg)?;
         let addr = reactor.addr();
         Ok(ZenServer {
             addr: Some(addr),
@@ -530,8 +561,13 @@ mod tests {
 
     #[test]
     fn tcp_echo_roundtrip() {
-        let server = ZenServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
-        let client = ZenClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let server = crate::ServerBuilder::new(ObjectRegistry::with_echo())
+            .threaded()
+            .serve_zen()
+            .unwrap();
+        let client = crate::ClientBuilder::new()
+            .connect_zen(server.addr().unwrap())
+            .unwrap();
         let payload = vec![9u8; 512];
         assert_eq!(client.invoke(b"echo", "echo", &payload).unwrap(), payload);
         assert_eq!(
@@ -543,10 +579,13 @@ mod tests {
 
     #[test]
     fn tcp_reactor_echo_roundtrip() {
-        let server =
-            ZenServer::spawn_tcp_reactor(ObjectRegistry::with_echo(), rtobs::Observer::new())
-                .unwrap();
-        let client = ZenClient::connect_tcp(server.addr().unwrap()).unwrap();
+        let server = crate::ServerBuilder::new(ObjectRegistry::with_echo())
+            .observer(rtobs::Observer::new())
+            .serve_zen()
+            .unwrap();
+        let client = crate::ClientBuilder::new()
+            .connect_zen(server.addr().unwrap())
+            .unwrap();
         let payload = vec![7u8; 512];
         assert_eq!(client.invoke(b"echo", "echo", &payload).unwrap(), payload);
         assert_eq!(

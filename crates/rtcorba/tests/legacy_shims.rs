@@ -1,0 +1,64 @@
+//! Coverage for the deprecated pre-builder ORB entry points. Each shim
+//! must keep compiling and delegating to the same internals the
+//! builders use — external callers migrate on their own schedule, so a
+//! silent behaviour change here is an API break. This file is the one
+//! place in the workspace allowed to call them (the
+//! deprecated-constructor gate in `scripts/check.sh` excludes it by
+//! name).
+#![allow(deprecated)]
+
+use rtcorba::corb::{CompadresClient, CompadresServer};
+use rtcorba::reactor::ReactorConfig;
+use rtcorba::service::ObjectRegistry;
+use rtcorba::zen::{ZenClient, ZenServer};
+use rtplatform::fault::FaultPolicy;
+
+fn policy() -> FaultPolicy {
+    FaultPolicy::tight()
+}
+
+#[test]
+fn compadres_spawn_tcp_and_connect_tcp() {
+    let server = CompadresServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
+    let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+    assert_eq!(
+        client.invoke(b"echo", "echo", &[1, 2, 3]).unwrap(),
+        [1, 2, 3]
+    );
+    server.shutdown();
+}
+
+#[test]
+fn compadres_spawn_tcp_reactor_and_connect_tcp_with() {
+    let server =
+        CompadresServer::spawn_tcp_reactor(ObjectRegistry::with_echo(), ReactorConfig::default())
+            .unwrap();
+    let client = CompadresClient::connect_tcp_with(server.addr().unwrap(), &policy()).unwrap();
+    assert_eq!(client.invoke(b"echo", "echo", &[4, 5]).unwrap(), [4, 5]);
+    server.shutdown();
+}
+
+#[test]
+fn compadres_spawn_tcp_threaded() {
+    let server = CompadresServer::spawn_tcp_threaded(ObjectRegistry::with_echo()).unwrap();
+    let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+    assert_eq!(client.invoke(b"echo", "echo", &[6]).unwrap(), [6]);
+    server.shutdown();
+}
+
+#[test]
+fn zen_spawn_tcp_and_connect_tcp() {
+    let server = ZenServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
+    let client = ZenClient::connect_tcp(server.addr().unwrap()).unwrap();
+    assert_eq!(client.invoke(b"echo", "echo", &[7, 8]).unwrap(), [7, 8]);
+    server.shutdown();
+}
+
+#[test]
+fn zen_spawn_tcp_reactor_and_connect_tcp_with() {
+    let server =
+        ZenServer::spawn_tcp_reactor(ObjectRegistry::with_echo(), rtobs::Observer::new()).unwrap();
+    let client = ZenClient::connect_tcp_with(server.addr().unwrap(), &policy()).unwrap();
+    assert_eq!(client.invoke(b"echo", "echo", &[9]).unwrap(), [9]);
+    server.shutdown();
+}

@@ -3,9 +3,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rtcorba::corb::{CompadresClient, CompadresServer};
+use rtcorba::corb::CompadresClient;
 use rtcorba::service::{CountingServant, ObjectRegistry};
-use rtcorba::zen::{ZenClient, ZenServer};
+use rtcorba::zen::ZenClient;
 
 fn registry_with_counter() -> (Arc<ObjectRegistry>, Arc<CountingServant>) {
     let counter = Arc::new(CountingServant::default());
@@ -32,8 +32,13 @@ fn wait_for(counter: &CountingServant, n: u64) {
 #[test]
 fn zen_oneway_reaches_servant_without_reply() {
     let (reg, counter) = registry_with_counter();
-    let server = ZenServer::spawn_tcp(reg).unwrap();
-    let client = ZenClient::connect_tcp(server.addr().unwrap()).unwrap();
+    let server = rtcorba::ServerBuilder::new(reg)
+        .threaded()
+        .serve_zen()
+        .unwrap();
+    let client = rtcorba::ClientBuilder::new()
+        .connect_zen(server.addr().unwrap())
+        .unwrap();
     for _ in 0..10 {
         client.invoke_oneway(b"count", "bump", &[1, 2]).unwrap();
     }
@@ -48,8 +53,10 @@ fn zen_oneway_reaches_servant_without_reply() {
 #[test]
 fn compadres_oneway_reaches_servant_without_reply() {
     let (reg, counter) = registry_with_counter();
-    let server = CompadresServer::spawn_tcp(reg).unwrap();
-    let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+    let server = rtcorba::ServerBuilder::new(reg).serve().unwrap();
+    let client = rtcorba::ClientBuilder::new()
+        .connect(server.addr().unwrap())
+        .unwrap();
     for _ in 0..10 {
         client.invoke_oneway(b"count", "bump", &[]).unwrap();
     }
@@ -78,8 +85,10 @@ fn oneway_does_not_wait_for_the_servant() {
     let step = Duration::from_millis(100);
     let reg = ObjectRegistry::with_echo();
     reg.register(b"slow".to_vec(), Arc::new(SlowServant(step)));
-    let server = CompadresServer::spawn_tcp(reg).unwrap();
-    let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+    let server = rtcorba::ServerBuilder::new(reg).serve().unwrap();
+    let client = rtcorba::ClientBuilder::new()
+        .connect(server.addr().unwrap())
+        .unwrap();
 
     let t = Instant::now();
     for _ in 0..5 {
@@ -102,7 +111,9 @@ fn oneway_does_not_wait_for_the_servant() {
 fn corbaloc_reference_end_to_end() {
     // The server publishes a stringified reference; the client resolves
     // and invokes through it.
-    let server = CompadresServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
+    let server = rtcorba::ServerBuilder::new(ObjectRegistry::with_echo())
+        .serve()
+        .unwrap();
     let reference = server.object_ref(b"echo").unwrap();
     assert!(reference.starts_with("corbaloc::"));
     let (client, key) = CompadresClient::connect_ref(&reference).unwrap();
@@ -127,7 +138,9 @@ fn framing_survives_byte_by_byte_writes() {
     use rtcorba::giop::{decode, Message, RequestMessage};
     use std::io::{Read, Write};
 
-    let server = CompadresServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
+    let server = rtcorba::ServerBuilder::new(ObjectRegistry::with_echo())
+        .serve()
+        .unwrap();
     let mut raw = std::net::TcpStream::connect(server.addr().unwrap()).unwrap();
     raw.set_nodelay(true).unwrap();
     let frame = RequestMessage {

@@ -16,10 +16,12 @@ use rtcorba::giop::{
 };
 use rtcorba::service::ObjectRegistry;
 use rtcorba::transport::{Connection, TcpConn};
-use rtcorba::zen::{ZenClient, ZenServer};
+use rtcorba::zen::ZenServer;
 
 fn reactor_server() -> ZenServer {
-    ZenServer::spawn_tcp_reactor(ObjectRegistry::with_echo(), rtobs::Observer::new())
+    rtcorba::ServerBuilder::new(ObjectRegistry::with_echo())
+        .observer(rtobs::Observer::new())
+        .serve_zen()
         .expect("spawn reactor server")
 }
 
@@ -134,7 +136,7 @@ fn truncated_reply_from_reactor_maps_to_short_body() {
     assert_eq!(conn.injected().truncated, 1);
 
     // The fault was client-side: the reactor still answers cleanly.
-    let client = ZenClient::connect_tcp(addr).unwrap();
+    let client = rtcorba::ClientBuilder::new().connect_zen(addr).unwrap();
     assert_eq!(client.invoke(b"echo", "echo", &[9, 9]).unwrap(), vec![9, 9]);
     server.shutdown();
 }
@@ -148,7 +150,7 @@ fn midframe_hangup_leaves_reactor_healthy() {
     let addr = server.addr().unwrap();
 
     // A well-behaved client connected before the misbehaving one.
-    let bystander = ZenClient::connect_tcp(addr).unwrap();
+    let bystander = rtcorba::ClientBuilder::new().connect_zen(addr).unwrap();
 
     let req = RequestMessage {
         request_id: 5,
@@ -172,7 +174,7 @@ fn midframe_hangup_leaves_reactor_healthy() {
         bystander.invoke(b"echo", "reverse", &[1, 2, 3]).unwrap(),
         vec![3, 2, 1]
     );
-    let fresh = ZenClient::connect_tcp(addr).unwrap();
+    let fresh = rtcorba::ClientBuilder::new().connect_zen(addr).unwrap();
     assert_eq!(fresh.invoke(b"echo", "echo", &[8]).unwrap(), vec![8]);
     server.shutdown();
 }

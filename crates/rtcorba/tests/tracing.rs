@@ -99,8 +99,12 @@ fn loopback_invocation_stitches_into_one_tree() {
 
 #[test]
 fn tcp_invocation_stitches_into_one_tree() {
-    let server = CompadresServer::spawn_tcp(ObjectRegistry::with_echo()).unwrap();
-    let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+    let server = rtcorba::ServerBuilder::new(ObjectRegistry::with_echo())
+        .serve()
+        .unwrap();
+    let client = rtcorba::ClientBuilder::new()
+        .connect(server.addr().unwrap())
+        .unwrap();
     let payload = vec![0x5Au8; 256];
     assert_eq!(
         client

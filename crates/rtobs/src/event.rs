@@ -89,6 +89,11 @@ pub enum EventKind {
     /// nanoseconds granted by the sender. The span word carries the
     /// newly minted local hop whose `parent` is the sender's span id.
     SpanRemoteRecv = 23,
+    /// A message was shed by per-priority-band admission control at a
+    /// local port: occupancy was over the band's watermark while the
+    /// buffer still had capacity reserved for higher bands. `subject` =
+    /// port entity, `payload` = message priority.
+    PortShed = 24,
 }
 
 impl EventKind {
@@ -119,6 +124,7 @@ impl EventKind {
             21 => EventKind::SpanEnd,
             22 => EventKind::SpanRemoteSend,
             23 => EventKind::SpanRemoteRecv,
+            24 => EventKind::PortShed,
             _ => return None,
         })
     }
@@ -149,6 +155,7 @@ impl EventKind {
             EventKind::SpanEnd => "span.end",
             EventKind::SpanRemoteSend => "span.remote_send",
             EventKind::SpanRemoteRecv => "span.remote_recv",
+            EventKind::PortShed => "port.shed",
         }
     }
 }

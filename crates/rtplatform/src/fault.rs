@@ -99,6 +99,94 @@ impl FaultPolicy {
     }
 }
 
+/// Per-priority-band admission control for a bounded queue — the
+/// [`DegradeMode::Shed`] idea generalized from remote links to local
+/// port queues.
+///
+/// A queue of capacity `C` admits a message of priority `p` only while
+/// its occupancy is below the band's *watermark*:
+///
+/// * `p >= high_floor` — watermark `C`: high-priority traffic is only
+///   refused when the queue is truly full (a hard `BufferFull`, never a
+///   shed);
+/// * `mid_floor <= p < high_floor` — watermark `C * mid_permille /
+///   1000`;
+/// * `p < mid_floor` — watermark `C * low_permille / 1000`.
+///
+/// Under overload the queue therefore fills *bottom-up*: low-priority
+/// producers start shedding while ~half the capacity is still reserved
+/// as headroom for the high band, which keeps high-priority deadlines
+/// intact past saturation instead of letting a low-priority burst eat
+/// the whole buffer. [`AdmissionPolicy::disabled`] (the `Default`)
+/// gives every band the full capacity — exactly the pre-admission
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Lowest priority that counts as the high band (watermark = full
+    /// capacity).
+    pub high_floor: u8,
+    /// Lowest priority that counts as the mid band; below it is low.
+    pub mid_floor: u8,
+    /// Mid-band watermark in thousandths of capacity (e.g. 750 ⇒ mid
+    /// traffic is shed once the queue is 75% full).
+    pub mid_permille: u16,
+    /// Low-band watermark in thousandths of capacity.
+    pub low_permille: u16,
+}
+
+impl AdmissionPolicy {
+    /// No shedding: every band may fill the queue to capacity. The
+    /// default, preserving the historical enqueue behaviour.
+    pub const fn disabled() -> AdmissionPolicy {
+        AdmissionPolicy {
+            high_floor: 0,
+            mid_floor: 0,
+            mid_permille: 1000,
+            low_permille: 1000,
+        }
+    }
+
+    /// The standard banded preset: mid traffic keeps 3/4 of the queue,
+    /// low traffic half, high traffic all of it.
+    pub const fn banded(mid_floor: u8, high_floor: u8) -> AdmissionPolicy {
+        AdmissionPolicy {
+            high_floor,
+            mid_floor,
+            mid_permille: 750,
+            low_permille: 500,
+        }
+    }
+
+    /// The occupancy at which `priority` stops being admitted into a
+    /// queue of `capacity`. Clamped to at least 1 so a nonempty queue
+    /// never starves a band outright unless its permille is 0.
+    pub fn watermark(&self, priority: u8, capacity: usize) -> usize {
+        let permille = if priority >= self.high_floor {
+            1000
+        } else if priority >= self.mid_floor {
+            u32::from(self.mid_permille.min(1000))
+        } else {
+            u32::from(self.low_permille.min(1000))
+        };
+        if permille >= 1000 {
+            return capacity;
+        }
+        ((capacity as u64) * u64::from(permille) / 1000) as usize
+    }
+
+    /// Whether a message of `priority` is admitted when `occupied` of
+    /// `capacity` slots are taken.
+    pub fn admits(&self, priority: u8, occupied: usize, capacity: usize) -> bool {
+        occupied < self.watermark(priority, capacity)
+    }
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy::disabled()
+    }
+}
+
 /// Decorrelated-jitter backoff (the "decorrelated jitter" variant from
 /// the AWS Architecture Blog): each delay is drawn uniformly from
 /// `[base, prev * 3)` and clamped to `cap`.
@@ -154,6 +242,47 @@ mod tests {
         assert_eq!(p.degrade, DegradeMode::Fail);
         assert!(p.backoff_base < p.backoff_cap);
         assert!(p.worst_case_blocking() >= p.recv_timeout);
+    }
+
+    #[test]
+    fn admission_disabled_admits_to_capacity() {
+        let a = AdmissionPolicy::disabled();
+        for p in [0u8, 10, 99] {
+            assert_eq!(a.watermark(p, 64), 64);
+            assert!(a.admits(p, 63, 64));
+            assert!(!a.admits(p, 64, 64));
+        }
+    }
+
+    #[test]
+    fn admission_bands_shed_bottom_up() {
+        let a = AdmissionPolicy::banded(20, 50);
+        assert_eq!(a.watermark(50, 100), 100, "high band gets it all");
+        assert_eq!(a.watermark(99, 100), 100);
+        assert_eq!(a.watermark(20, 100), 75, "mid band: 750 permille");
+        assert_eq!(a.watermark(49, 100), 75);
+        assert_eq!(a.watermark(0, 100), 50, "low band: 500 permille");
+        assert_eq!(a.watermark(19, 100), 50);
+        // At 60% occupancy: low sheds, mid and high still admitted.
+        assert!(!a.admits(0, 60, 100));
+        assert!(a.admits(20, 60, 100));
+        assert!(a.admits(50, 60, 100));
+        // At 80%: only high admitted.
+        assert!(!a.admits(20, 80, 100));
+        assert!(a.admits(50, 80, 100));
+    }
+
+    #[test]
+    fn admission_zero_permille_starves_band() {
+        let a = AdmissionPolicy {
+            high_floor: 50,
+            mid_floor: 20,
+            mid_permille: 750,
+            low_permille: 0,
+        };
+        assert_eq!(a.watermark(0, 100), 0);
+        assert!(!a.admits(0, 0, 100), "zero watermark admits nothing");
+        assert!(a.admits(20, 0, 100));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use rtplatform::atomic::{Backoff, CachePadded};
+use rtplatform::fault::AdmissionPolicy;
 use rtplatform::park::{Gate, WaitOutcome};
 use rtplatform::ring::MpmcRing;
 
@@ -40,6 +41,10 @@ pub enum PushOutcome {
     EvictedOldest,
     /// The buffer was full and the element was rejected.
     Rejected,
+    /// The element's priority band was over its admission watermark
+    /// while the buffer still had capacity
+    /// ([`BoundedBuffer::push_with_priority`]).
+    Shed,
     /// The buffer is closed.
     Closed,
 }
@@ -69,6 +74,7 @@ pub struct BoundedBuffer<T> {
     closed: AtomicBool,
     rejected: AtomicU64,
     evicted: AtomicU64,
+    shed: AtomicU64,
     spins: AtomicU64,
     /// Consumers park here when empty.
     not_empty: Gate,
@@ -103,6 +109,7 @@ impl<T> BoundedBuffer<T> {
             closed: AtomicBool::new(false),
             rejected: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             spins: AtomicU64::new(0),
             not_empty: Gate::new(),
             not_full: Gate::new(),
@@ -122,9 +129,15 @@ impl<T> BoundedBuffer<T> {
     /// Tries to take one admission credit; fails when the buffer is
     /// logically full.
     fn try_claim(&self) -> bool {
+        self.try_claim_below(self.capacity)
+    }
+
+    /// Tries to take one admission credit while occupancy is below
+    /// `limit` (a band watermark ≤ capacity); fails otherwise.
+    fn try_claim_below(&self, limit: usize) -> bool {
         let mut cur = self.credits.load(Ordering::Relaxed);
         loop {
-            if cur >= self.capacity {
+            if cur >= limit {
                 return false;
             }
             match self.credits.compare_exchange_weak(
@@ -231,6 +244,36 @@ impl<T> BoundedBuffer<T> {
         }
     }
 
+    /// Enqueues `item` subject to `admission`'s per-priority-band
+    /// watermarks: a band over its watermark gets [`PushOutcome::Shed`]
+    /// *immediately* — even under [`OverflowPolicy::Block`], a
+    /// non-admitted producer is never blocked (blocking low-priority
+    /// producers on a full buffer is exactly the priority inversion the
+    /// bands exist to prevent). Pushes admitted by the watermark follow
+    /// the configured overflow policy at hard capacity.
+    pub fn push_with_priority(
+        &self,
+        item: T,
+        priority: u8,
+        admission: &AdmissionPolicy,
+    ) -> PushOutcome {
+        let limit = admission
+            .watermark(priority, self.capacity)
+            .min(self.capacity);
+        if limit < self.capacity {
+            if self.closed.load(Ordering::SeqCst) {
+                return PushOutcome::Closed;
+            }
+            if self.try_claim_below(limit) {
+                self.complete_push(item);
+                return PushOutcome::Enqueued;
+            }
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return PushOutcome::Shed;
+        }
+        self.push(item)
+    }
+
     /// Dequeues without blocking.
     pub fn try_pop(&self) -> Option<T> {
         self.take_one()
@@ -321,6 +364,12 @@ impl<T> BoundedBuffer<T> {
         self.evicted.load(Ordering::Relaxed)
     }
 
+    /// Number of elements shed by per-band admission
+    /// ([`BoundedBuffer::push_with_priority`]) so far. Wait-free.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
     /// Times a blocking path entered its spin phase (ran out of work
     /// and started burning its spin budget).
     pub fn spin_transitions(&self) -> u64 {
@@ -385,6 +434,66 @@ mod tests {
         }
         assert_eq!(b.push(9), PushOutcome::Rejected);
         assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn priority_push_sheds_low_band_without_blocking() {
+        // Block policy, capacity 4, banded admission: the low band must
+        // be shed immediately (never parked) once half full, while the
+        // high band blocks only at true capacity.
+        let admission = AdmissionPolicy::banded(20, 50);
+        let b = BoundedBuffer::new(4, OverflowPolicy::Block);
+        assert_eq!(
+            b.push_with_priority(1, 5, &admission),
+            PushOutcome::Enqueued
+        );
+        assert_eq!(
+            b.push_with_priority(2, 5, &admission),
+            PushOutcome::Enqueued
+        );
+        // Low watermark (2) reached: shed, and promptly.
+        let t = std::time::Instant::now();
+        assert_eq!(b.push_with_priority(3, 5, &admission), PushOutcome::Shed);
+        assert!(t.elapsed() < Duration::from_millis(50), "shed never blocks");
+        assert_eq!(b.shed(), 1);
+        // Mid watermark is 3: one more mid fits, then shed.
+        assert_eq!(
+            b.push_with_priority(4, 30, &admission),
+            PushOutcome::Enqueued
+        );
+        assert_eq!(b.push_with_priority(5, 30, &admission), PushOutcome::Shed);
+        // High band fills to capacity.
+        assert_eq!(
+            b.push_with_priority(6, 90, &admission),
+            PushOutcome::Enqueued
+        );
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.shed(), 2);
+        // FIFO of admitted elements preserved.
+        assert_eq!(b.try_pop(), Some(1));
+        assert_eq!(b.try_pop(), Some(2));
+        assert_eq!(b.try_pop(), Some(4));
+        assert_eq!(b.try_pop(), Some(6));
+    }
+
+    #[test]
+    fn priority_push_disabled_matches_plain_push() {
+        let admission = AdmissionPolicy::disabled();
+        let b = BoundedBuffer::new(2, OverflowPolicy::Reject);
+        assert_eq!(
+            b.push_with_priority(1, 0, &admission),
+            PushOutcome::Enqueued
+        );
+        assert_eq!(
+            b.push_with_priority(2, 0, &admission),
+            PushOutcome::Enqueued
+        );
+        assert_eq!(
+            b.push_with_priority(3, 0, &admission),
+            PushOutcome::Rejected
+        );
+        assert_eq!(b.shed(), 0);
+        assert_eq!(b.rejected(), 1);
     }
 
     #[test]

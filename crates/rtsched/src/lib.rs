@@ -29,6 +29,6 @@ pub use buffer::{BoundedBuffer, OverflowPolicy, PushOutcome};
 pub use periodic::PeriodicTimer;
 pub use pool::{Job, PoolConfig, ThreadPool};
 pub use priority::Priority;
-pub use queue::PriorityFifo;
+pub use queue::{PriorityFifo, PushRefusal};
 pub use thread::{current_priority, with_priority, RtThreadBuilder};
 pub use time::{LatencyRecorder, LatencySummary, SteadyState};

@@ -20,7 +20,8 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use rtobs::{CounterId, Observer};
-use rtplatform::atomic::{Backoff, CachePadded};
+use rtplatform::atomic::{Backoff, CachePadded, ParkPolicy};
+use rtplatform::fault::AdmissionPolicy;
 use rtplatform::park::{Gate, WaitOutcome};
 use rtplatform::ring::MpmcRing;
 use rtplatform::sync::Mutex;
@@ -30,6 +31,30 @@ use crate::priority::Priority;
 /// Per-band lock-free ring capacity; beyond this a band spills to its
 /// locked overflow deque (slow path, preserved FIFO).
 const BAND_RING_CAP: usize = 256;
+
+/// Why [`PriorityFifo::push_bounded`] refused an item. The item rides
+/// back to the caller in every variant — refusal never drops data
+/// silently.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushRefusal<T> {
+    /// Occupancy reached the priority band's admission watermark while
+    /// the queue still had capacity: the message was shed to preserve
+    /// headroom for higher bands ([`AdmissionPolicy`]).
+    Shed(T),
+    /// The queue was at hard capacity — even the high band is refused.
+    Full(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
+impl<T> PushRefusal<T> {
+    /// Consumes the refusal, returning the refused item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushRefusal::Shed(item) | PushRefusal::Full(item) | PushRefusal::Closed(item) => item,
+        }
+    }
+}
 
 /// One priority band: a bounded lock-free ring, a locked spill deque
 /// for overflow, and an occupancy count.
@@ -99,6 +124,9 @@ pub struct PriorityFifo<T> {
     /// while a busy queue keeps the full yield budget, which on a
     /// loaded single core donates timeslices to the producers.
     idle_hint: AtomicBool,
+    /// Spin/yield budgets for blocking pops; see
+    /// [`PriorityFifo::with_park_policy`].
+    park: ParkPolicy,
     obs: OnceLock<QueueObs>,
 }
 
@@ -120,8 +148,17 @@ impl<T> std::fmt::Debug for PriorityFifo<T> {
 }
 
 impl<T> PriorityFifo<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default [`ParkPolicy`].
     pub fn new() -> Self {
+        Self::with_park_policy(ParkPolicy::balanced())
+    }
+
+    /// Creates an empty queue whose blocking pops use `park`'s
+    /// spin/yield budgets before falling back to the gate. A longer
+    /// budget ([`ParkPolicy::spin_longer`]) keeps contended consumers
+    /// out of the kernel and tames the dispatch tail at the cost of
+    /// CPU; a shorter one suits oversubscribed hosts.
+    pub fn with_park_policy(park: ParkPolicy) -> Self {
         PriorityFifo {
             bands: (0..BANDS).map(|_| OnceLock::new()).collect(),
             hint: [
@@ -133,6 +170,7 @@ impl<T> PriorityFifo<T> {
             gate: Gate::new(),
             spins: AtomicU64::new(0),
             idle_hint: AtomicBool::new(false),
+            park,
             obs: OnceLock::new(),
         }
     }
@@ -197,6 +235,71 @@ impl<T> PriorityFifo<T> {
         self.set_hint(idx);
         self.gate.notify_one();
         Some(len)
+    }
+
+    /// Enqueues `item` at `priority` subject to a hard `capacity` and a
+    /// per-priority-band [`AdmissionPolicy`]: the push is refused with
+    /// [`PushRefusal::Shed`] once occupancy reaches the band's
+    /// watermark, and with [`PushRefusal::Full`] at capacity. On
+    /// success returns the queue length right after the push.
+    ///
+    /// The occupancy check-and-claim is a CAS loop on the queue length,
+    /// so concurrent producers can never overshoot the watermark — the
+    /// bound is strict, not advisory.
+    ///
+    /// # Errors
+    ///
+    /// [`PushRefusal`] carrying the item back: shed (band watermark),
+    /// full (hard capacity) or closed.
+    pub fn push_bounded(
+        &self,
+        priority: Priority,
+        item: T,
+        capacity: usize,
+        admission: &AdmissionPolicy,
+    ) -> Result<usize, PushRefusal<T>> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(PushRefusal::Closed(item));
+        }
+        let limit = admission
+            .watermark(priority.value(), capacity)
+            .min(capacity);
+        let mut cur = self.len.load(Ordering::SeqCst);
+        loop {
+            if cur >= limit {
+                return Err(if limit < capacity {
+                    PushRefusal::Shed(item)
+                } else {
+                    PushRefusal::Full(item)
+                });
+            }
+            match self
+                .len
+                .compare_exchange_weak(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let len = cur + 1;
+        let idx = priority.value() as usize;
+        let band = self.band(priority);
+        // The queue-length claim above plays the role `push_with_len`'s
+        // `len.fetch_add` does: a consumer draining after close() waits
+        // for it to materialize, so the accepted item is never lost.
+        band.count.fetch_add(1, Ordering::SeqCst);
+        if band.spilled.load(Ordering::SeqCst) > 0 {
+            let mut g = band.spill.lock();
+            g.push_back(item);
+            band.spilled.store(g.len(), Ordering::SeqCst);
+        } else if let Err(item) = band.ring.push(item) {
+            let mut g = band.spill.lock();
+            g.push_back(item);
+            band.spilled.store(g.len(), Ordering::SeqCst);
+        }
+        self.set_hint(idx);
+        self.gate.notify_one();
+        Ok(len)
     }
 
     /// Dequeues one item from a specific band, ring first, then spill.
@@ -285,7 +388,7 @@ impl<T> PriorityFifo<T> {
         if let Some(o) = self.obs.get() {
             o.obs.inc(o.spins);
         }
-        let mut backoff = Backoff::new();
+        let mut backoff = Backoff::with_policy(self.park);
         loop {
             if let Some(got) = self.scan_hinted() {
                 return Some(got);
@@ -527,6 +630,116 @@ mod tests {
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), PRODUCERS * per, "nothing duplicated");
+    }
+
+    #[test]
+    fn push_bounded_sheds_low_band_first() {
+        let q = PriorityFifo::new();
+        let admission = AdmissionPolicy::banded(20, 50);
+        let cap = 10;
+        // Fill to the low watermark (5) with low-priority items.
+        for i in 0..5 {
+            assert!(q.push_bounded(Priority::new(5), i, cap, &admission).is_ok());
+        }
+        // Low band now sheds; mid and high still admitted.
+        assert!(matches!(
+            q.push_bounded(Priority::new(5), 99, cap, &admission),
+            Err(PushRefusal::Shed(99))
+        ));
+        assert!(q
+            .push_bounded(Priority::new(30), 100, cap, &admission)
+            .is_ok());
+        assert!(q
+            .push_bounded(Priority::new(30), 101, cap, &admission)
+            .is_ok());
+        // Occupancy 7 ≥ mid watermark (7): mid sheds, high admitted.
+        assert!(matches!(
+            q.push_bounded(Priority::new(30), 102, cap, &admission),
+            Err(PushRefusal::Shed(102))
+        ));
+        for i in 0..3 {
+            assert!(q
+                .push_bounded(Priority::new(90), 200 + i, cap, &admission)
+                .is_ok());
+        }
+        // Queue is at hard capacity: even the high band gets Full.
+        assert!(matches!(
+            q.push_bounded(Priority::new(90), 300, cap, &admission),
+            Err(PushRefusal::Full(300))
+        ));
+        assert_eq!(q.len(), cap);
+        // High-band FIFO order survived the shedding around it.
+        let mut high = Vec::new();
+        while let Some((p, v)) = q.try_pop() {
+            if p == Priority::new(90) {
+                high.push(v);
+            }
+        }
+        assert_eq!(high, vec![200, 201, 202]);
+    }
+
+    #[test]
+    fn push_bounded_closed_returns_item() {
+        let q = PriorityFifo::new();
+        q.close();
+        assert!(matches!(
+            q.push_bounded(Priority::NORM, 7, 4, &AdmissionPolicy::disabled()),
+            Err(PushRefusal::Closed(7))
+        ));
+    }
+
+    #[test]
+    fn push_bounded_concurrent_never_overshoots() {
+        // 4 producers hammer a tiny bounded queue while a consumer
+        // drains: the strict CAS claim must keep len ≤ capacity at all
+        // times and account every item as delivered or refused.
+        let cap = 8;
+        let per: usize = if cfg!(miri) { 40 } else { 20_000 };
+        let q = Arc::new(PriorityFifo::new());
+        let admission = AdmissionPolicy::banded(20, 50);
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let refused = Arc::new(AtomicUsize::new(0));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                let accepted = Arc::clone(&accepted);
+                let refused = Arc::clone(&refused);
+                std::thread::spawn(move || {
+                    let prio = Priority::new(10 + 20 * p as u8);
+                    for i in 0..per {
+                        match q.push_bounded(prio, i, cap, &admission) {
+                            Ok(len) => {
+                                assert!(len <= cap, "overshoot: {len} > {cap}");
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                refused.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut n = 0usize;
+            loop {
+                match q2.pop() {
+                    Some(_) => n += 1,
+                    None => return n,
+                }
+            }
+        });
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let drained = consumer.join().unwrap();
+        assert_eq!(drained, accepted.load(Ordering::Relaxed));
+        assert_eq!(
+            accepted.load(Ordering::Relaxed) + refused.load(Ordering::Relaxed),
+            4 * per
+        );
     }
 
     #[test]

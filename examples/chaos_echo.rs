@@ -14,14 +14,24 @@
 //! On any assertion failure the panic hook dumps the tail of both
 //! flight-recorder journals and the stitched client+server span tree,
 //! so a seeded repro comes with the causal trace that led up to it.
+//!
+//! A second mode — `cargo run --release --example chaos_echo overload
+//! [seconds]` — drives a component pipeline above saturation with
+//! mixed-priority traffic and asserts the priority-band admission layer
+//! protects the high band: zero high-priority sheds, zero high-priority
+//! deadline misses, while low-priority traffic is measurably shed.
+//! `scripts/soak.sh` runs this as its overload phase and greps the
+//! `overload:` summary line.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use compadres_core::{AdmissionPolicy, AppBuilder, CompadresError, HandlerCtx, Priority};
 use rtcorba::chaos::{FaultPlan, FaultyConn, ReconnectingConn};
-use rtcorba::corb::{CompadresClient, CompadresServer};
 use rtcorba::service::ObjectRegistry;
 use rtcorba::transport::{Connection, TcpConn};
+use rtcorba::{ClientBuilder, ServerBuilder};
 use rtobs::{Observer, SpanForest};
 use rtplatform::fault::FaultPolicy;
 
@@ -58,10 +68,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rtplatform::heap::retain_freed_memory();
 
     let mut args = std::env::args().skip(1);
-    let seconds: u64 = args.next().map_or(5, |s| s.parse().expect("seconds"));
+    let first = args.next();
+    if first.as_deref() == Some("overload") {
+        let seconds: u64 = args.next().map_or(5, |s| s.parse().expect("seconds"));
+        return run_overload(seconds);
+    }
+    let seconds: u64 = first.map_or(5, |s| s.parse().expect("seconds"));
     let seed: u64 = args.next().map_or(42, |s| s.parse().expect("seed"));
 
-    let server = CompadresServer::spawn_tcp(ObjectRegistry::with_echo())?;
+    let server = ServerBuilder::new(ObjectRegistry::with_echo()).serve()?;
     let addr = server.addr().expect("tcp server has an address");
     println!("chaos_echo: server on {addr}, {seconds}s soak, seed {seed}");
 
@@ -81,8 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Ok(Arc::new(FaultyConn::new(Arc::new(conn), plan)) as Arc<dyn Connection>)
         }
     }));
-    let client =
-        CompadresClient::from_conn_with(Arc::clone(&link) as Arc<dyn Connection>, &policy)?;
+    let client = ClientBuilder::new()
+        .fault_policy(policy.clone())
+        .over(Arc::clone(&link) as Arc<dyn Connection>)?;
     link.set_observer(client.app().observer(), &addr.to_string());
     install_trace_dump(seed, client.app().observer(), server.app().observer());
 
@@ -197,5 +213,211 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     server.shutdown();
     println!("chaos_echo: OK");
+    Ok(())
+}
+
+// --- overload phase ----------------------------------------------------
+
+/// One unit of work flowing Source → Sink. `sent_ns` is the send
+/// timestamp (nanoseconds since the run's epoch) so the handler can
+/// compute queueing + service latency without sharing an `Instant`.
+#[derive(Debug, Default, Clone)]
+struct Work {
+    sent_ns: u64,
+    high: bool,
+}
+
+const OVERLOAD_CDL: &str = r#"
+<Components>
+  <Component>
+    <ComponentName>Source</ComponentName>
+    <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Work</MessageType></Port>
+  </Component>
+  <Component>
+    <ComponentName>Sink</ComponentName>
+    <Port><PortName>Work</PortName><PortType>In</PortType><MessageType>Work</MessageType></Port>
+  </Component>
+</Components>"#;
+
+const OVERLOAD_CCL: &str = r#"
+<Application>
+  <ApplicationName>OverloadSoak</ApplicationName>
+  <Component>
+    <InstanceName>TheSource</InstanceName>
+    <ClassName>Source</ClassName>
+    <ComponentType>Immortal</ComponentType>
+    <Connection>
+      <Port><PortName>Out</PortName>
+        <Link><PortType>Internal</PortType><ToComponent>TheSink</ToComponent><ToPort>Work</ToPort></Link>
+      </Port>
+    </Connection>
+    <Component>
+      <InstanceName>TheSink</InstanceName>
+      <ClassName>Sink</ClassName>
+      <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+      <Connection>
+        <Port><PortName>Work</PortName>
+          <PortAttributes>
+            <BufferSize>64</BufferSize>
+            <MinThreadpoolSize>1</MinThreadpoolSize><MaxThreadpoolSize>1</MaxThreadpoolSize>
+          </PortAttributes>
+        </Port>
+      </Connection>
+    </Component>
+  </Component>
+  <RTSJAttributes>
+    <ImmortalSize>8000000</ImmortalSize>
+    <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>131072</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+  </RTSJAttributes>
+</Application>"#;
+
+/// Per-message service time burned in the Sink handler. With a single
+/// worker this saturates the port at ~1/SERVICE throughput; the
+/// flooders send far faster than that.
+const SERVICE: Duration = Duration::from_micros(20);
+
+/// End-to-end (enqueue → handler entry + service) deadline for the high
+/// band. Generous against CI scheduling noise, yet far below what an
+/// unprotected 64-deep queue of floods would show if admission failed
+/// to keep low traffic out of the high band's way.
+const HIGH_DEADLINE: Duration = Duration::from_millis(50);
+
+/// Drives the component dispatch path above saturation with
+/// mixed-priority traffic under banded admission and asserts the high
+/// band is fully protected: nothing shed, no deadline misses.
+fn run_overload(seconds: u64) -> Result<(), Box<dyn std::error::Error>> {
+    let epoch = Instant::now();
+    let high_done = Arc::new(AtomicU64::new(0));
+    let high_misses = Arc::new(AtomicU64::new(0));
+    let high_max_ns = Arc::new(AtomicU64::new(0));
+
+    let (done, misses, max_ns) = (
+        Arc::clone(&high_done),
+        Arc::clone(&high_misses),
+        Arc::clone(&high_max_ns),
+    );
+    let app = AppBuilder::from_xml(OVERLOAD_CDL, OVERLOAD_CCL)?
+        .bind_message_type::<Work>("Work")
+        // Low traffic (priority 0) keeps half the queue, high traffic
+        // (priority ≥ 40) all of it: under overload the top 32 slots
+        // stay reserved for the paced high-priority flow.
+        .port_admission("TheSink", "Work", AdmissionPolicy::banded(10, 40))
+        .register_handler("Sink", "Work", move || {
+            let (done, misses, max_ns) =
+                (Arc::clone(&done), Arc::clone(&misses), Arc::clone(&max_ns));
+            move |msg: &mut Work, _ctx: &mut HandlerCtx<'_>| {
+                let spin = Instant::now();
+                while spin.elapsed() < SERVICE {
+                    std::hint::spin_loop();
+                }
+                if msg.high {
+                    let latency_ns =
+                        (epoch.elapsed().as_nanos() as u64).saturating_sub(msg.sent_ns);
+                    max_ns.fetch_max(latency_ns, Ordering::Relaxed);
+                    if latency_ns > HIGH_DEADLINE.as_nanos() as u64 {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            }
+        })
+        .build()?;
+    app.start()?;
+    let app = Arc::new(app);
+    let _keep = app.connect("TheSink")?;
+
+    println!("chaos_echo overload: {seconds}s above saturation, banded admission on TheSink.Work");
+    let stop = Arc::new(AtomicBool::new(false));
+    let end = Instant::now() + Duration::from_secs(seconds);
+
+    // Two open-loop flooders: low-priority work pushed as fast as the
+    // admission valve lets it in — deliberately far above the ~50 k/s
+    // a single 20 µs worker sustains.
+    let mut flooders = Vec::new();
+    for _ in 0..2 {
+        let (app, stop) = (Arc::clone(&app), Arc::clone(&stop));
+        flooders.push(std::thread::spawn(move || {
+            let (mut sent, mut shed, mut other) = (0u64, 0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                let r = app.with_component("TheSource", |ctx| {
+                    let mut msg = match ctx.get_message::<Work>("Out") {
+                        Ok(m) => m,
+                        Err(e) => return Err(e),
+                    };
+                    msg.sent_ns = epoch.elapsed().as_nanos() as u64;
+                    msg.high = false;
+                    ctx.send("Out", msg, Priority::new(0))
+                });
+                match r {
+                    Ok(Ok(())) => sent += 1,
+                    Ok(Err(CompadresError::Shed { .. })) => shed += 1,
+                    Ok(Err(_)) | Err(_) => other += 1,
+                }
+            }
+            (sent, shed, other)
+        }));
+    }
+
+    // The paced high-priority flow: 1 kHz, each message stamped so the
+    // Sink can check the deadline.
+    let (mut high_sent, mut high_shed) = (0u64, 0u64);
+    while Instant::now() < end {
+        let r = app.with_component("TheSource", |ctx| {
+            let mut msg = ctx.get_message::<Work>("Out").expect("high pool message");
+            msg.sent_ns = epoch.elapsed().as_nanos() as u64;
+            msg.high = true;
+            ctx.send("Out", msg, Priority::new(50))
+        })?;
+        match r {
+            Ok(()) => high_sent += 1,
+            Err(CompadresError::Shed { .. }) => high_shed += 1,
+            Err(e) => return Err(Box::new(e)),
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (mut low_sent, mut low_shed, mut low_other) = (0u64, 0u64, 0u64);
+    for f in flooders {
+        let (s, d, o) = f.join().expect("flooder joins");
+        low_sent += s;
+        low_shed += d;
+        low_other += o;
+    }
+    app.wait_quiescent(Duration::from_secs(10));
+
+    let stats = app.stats();
+    let high_max = Duration::from_nanos(high_max_ns.load(Ordering::Relaxed));
+    println!(
+        "overload: high_sent={high_sent} high_shed={high_shed} \
+         high_deadline_misses={} high_done={} high_max={high_max:?} \
+         low_sent={low_sent} low_shed={low_shed} low_other={low_other} \
+         shed_total={}",
+        high_misses.load(Ordering::Relaxed),
+        high_done.load(Ordering::Relaxed),
+        stats.messages_shed,
+    );
+
+    assert!(high_sent > 0, "overload run must send high-priority work");
+    assert_eq!(high_shed, 0, "admission must never shed the high band");
+    assert_eq!(
+        high_misses.load(Ordering::Relaxed),
+        0,
+        "high-priority deadline missed under overload (max {high_max:?} > {HIGH_DEADLINE:?})"
+    );
+    assert_eq!(
+        high_done.load(Ordering::Relaxed),
+        high_sent,
+        "every admitted high-priority message must be processed"
+    );
+    assert!(
+        low_shed > 0,
+        "an above-saturation flood must make the low band shed"
+    );
+    assert!(
+        stats.messages_shed >= low_shed,
+        "port shed counter must cover every observed shed"
+    );
+    println!("chaos_echo overload: OK");
     Ok(())
 }

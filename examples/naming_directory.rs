@@ -7,11 +7,12 @@
 
 use std::sync::Arc;
 
-use rtcorba::corb::{CompadresClient, CompadresServer};
+use rtcorba::corb::CompadresClient;
 use rtcorba::ior::ObjectRef;
 use rtcorba::naming::{NamingClient, NamingServant, NAME_SERVICE_KEY};
 use rtcorba::service::{ObjectRegistry, Servant};
 use rtcorba::zen::ZenClient;
+use rtcorba::ServerBuilder;
 
 struct TimeServant;
 
@@ -38,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         NAME_SERVICE_KEY.to_vec(),
         Arc::clone(&naming) as Arc<dyn Servant>,
     );
-    let server = CompadresServer::spawn_tcp(registry)?;
+    let server = ServerBuilder::new(registry).serve()?;
     let addr = server.addr().expect("tcp address");
 
     // Publish the directory entries.

@@ -6,8 +6,8 @@
 
 use std::sync::Arc;
 
-use rtcorba::corb::{CompadresClient, CompadresServer};
 use rtcorba::service::{ObjectRegistry, Servant};
+use rtcorba::{ClientBuilder, ServerBuilder};
 use rtsched::LatencyRecorder;
 
 /// A custom servant alongside the stock echo: uppercases ASCII text.
@@ -32,12 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // RequestProcessing, each in its own memory level (paper Fig. 10).
     let registry = ObjectRegistry::with_echo();
     registry.register(b"shout".to_vec(), Arc::new(ShoutServant));
-    let server = CompadresServer::spawn_tcp(registry)?;
+    let server = ServerBuilder::new(registry).serve()?;
     let addr = server.addr().expect("tcp server has an address");
     println!("Compadres ORB server listening on {addr}");
 
     // Client: ORB → Transport → per-request MessageProcessing.
-    let client = CompadresClient::connect_tcp(addr)?;
+    let client = ClientBuilder::new().connect(addr)?;
 
     // A remote method call on each servant.
     let reply = client.invoke(b"shout", "shout", b"compadres orb says hi")?;

@@ -8,10 +8,15 @@
 #   BENCH_orb_load.json  — open-loop GIOP load against the reactor ORB
 #                          server at 1k/4k/10k concurrent connections
 #                          (p50/p99 latency + max sustained rate)
+#   BENCH_capacity.json  — coordinated-omission-safe capacity sweep of
+#                          the banded-admission dispatch path and the
+#                          reactor ORB: p50/p99/p99.9 latency, max
+#                          sustainable ns/req, per-band shed permille
 #
 # Each file is an array of {name, iters, mean_ns, p50_ns, p99_ns,
-# min_ns, max_ns} records written by the bench harness when BENCH_JSON
-# names a destination (see crates/bench/src/lib.rs). Offline by design.
+# p999_ns, min_ns, max_ns} records written by the bench harness when
+# BENCH_JSON names a destination (see crates/bench/src/lib.rs).
+# Offline by design.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +28,7 @@ OUT_DIR="$(cd "${BENCH_OUT_DIR:-.}" && pwd)"
 echo "==> building bench binaries"
 cargo build --release --offline -p compadres-bench --benches
 
-for bench in dispatch msgpass orb_load; do
+for bench in dispatch msgpass orb_load capacity; do
     echo "==> bench: $bench"
     BENCH_JSON="$OUT_DIR/BENCH_$bench.json" \
         cargo bench --offline -p compadres-bench --bench "$bench"

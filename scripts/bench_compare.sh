@@ -4,9 +4,10 @@
 # Usage: bench_compare.sh <dir-with-fresh-BENCH_*.json>
 #
 # Compares the p50 AND p99 of every record in freshly generated
-# BENCH_dispatch.json / BENCH_msgpass.json / BENCH_orb_load.json against
-# the baselines committed at the repo root, and fails if any fresh
-# percentile exceeds baseline * tolerance + slack. The band is
+# BENCH_dispatch.json / BENCH_msgpass.json / BENCH_orb_load.json /
+# BENCH_capacity.json against the baselines committed at the repo
+# root, and fails if any fresh percentile exceeds baseline * tolerance
+# + slack. The band is
 # deliberately generous — shared CI runners are noisy; the gate exists
 # to catch step-change regressions (an accidental lock on the hot path,
 # a lost batching optimization), not 10% drift. Tail latency gets its
@@ -15,12 +16,14 @@
 # tracked with wider multipliers and more absolute slack than p50.
 #
 #   BENCH_TOLERANCE               p50 multiplier, dispatch/msgpass (default 2.0)
-#   BENCH_TOLERANCE_ORB_LOAD      p50 multiplier for orb_load, whose
-#                                 open-loop latencies depend on runner
-#                                 core count (default 3.0)
+#   BENCH_TOLERANCE_ORB_LOAD      p50 multiplier for orb_load and
+#                                 capacity, whose open-loop latencies
+#                                 depend on runner core count
+#                                 (default 3.0)
 #   BENCH_TOLERANCE_P99           p99 multiplier, dispatch/msgpass
 #                                 (default 3.0)
-#   BENCH_TOLERANCE_P99_ORB_LOAD  p99 multiplier for orb_load (default 5.0)
+#   BENCH_TOLERANCE_P99_ORB_LOAD  p99 multiplier for orb_load and
+#                                 capacity (default 5.0)
 #   BENCH_SLACK_NS                absolute slack added to every p50 limit
 #                                 so nanosecond-scale records can't flake
 #                                 on scheduler noise (default 5000 —
@@ -55,6 +58,24 @@ files = {
     "BENCH_dispatch.json": ((tol_default, slack_ns), (tol_p99_default, slack_p99_ns)),
     "BENCH_msgpass.json": ((tol_default, slack_ns), (tol_p99_default, slack_p99_ns)),
     "BENCH_orb_load.json": ((tol_orb, slack_ns), (tol_p99_orb, slack_p99_ns)),
+    # Capacity shares orb_load's generous open-loop bands: its latency
+    # records track queueing under paced load, and its ns/req records
+    # invert throughput so "bigger is worse" still holds. The permille
+    # records (shed ratios, values 0-1000) sit far below the absolute
+    # slack and are effectively informational.
+    "BENCH_capacity.json": ((tol_orb, slack_ns), (tol_p99_orb, slack_p99_ns)),
+}
+
+# Tracked but never failing: the orb capacity latency records are
+# measured at rates derived from the per-run discovered saturation knee
+# (nominal = 0.4x knee, "at max" = the knee itself), so the measurement
+# point moves between runs — a runner that finds a higher knee reports
+# arbitrarily worse latency at it. The stable gated signals for the
+# capacity sweep are the ns/req knee records, the shed permilles and
+# the dispatch latencies (fixed calibrated load points).
+info_records = {
+    "capacity orb nominal latency",
+    "capacity orb max-sustainable latency",
 }
 
 regressions, warnings, compared = [], [], 0
@@ -91,10 +112,14 @@ for fname, bands in files.items():
             failed = failed or over
             parts.append(f"{label} {fr/1e3:>10.1f} us (limit {limit/1e3:>10.1f} us)")
             if over:
-                regressions.append(
+                msg = (
                     f"{fname}: '{name}' {label} {fr} ns > limit {limit:.0f} ns "
                     f"(baseline {b} ns x{tol} + {slack})")
-        verdict = "FAIL" if failed else "ok"
+                if name in info_records:
+                    warnings.append(msg + " [informational, not gated]")
+                else:
+                    regressions.append(msg)
+        verdict = "info" if name in info_records else ("FAIL" if failed else "ok")
         print(f"  {verdict:<4} {fname[6:-5]:>9} {name:<44} " + "  ".join(parts))
 
 print(f"\ncompared {compared} records")

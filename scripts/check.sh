@@ -19,6 +19,26 @@ run ./target/release/rtcheck diff --seed 0 --cases 2000
 run ./target/release/rtcheck lin --seed 0 --rounds 50
 run cargo fmt --all -- --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Deprecated-constructor gate: the pre-builder ORB entry points survive
+# only as deprecated shims for external callers. Inside the workspace
+# everything must use ServerBuilder/ClientBuilder; the only permitted
+# call sites are the shim definitions themselves (corb.rs, zen.rs) and
+# the shim-coverage test (legacy_shims.rs).
+echo "==> deprecated ORB constructor gate"
+if grep -rn \
+        -e '::spawn_tcp(' -e '::spawn_tcp_reactor(' -e '::spawn_tcp_threaded(' \
+        -e '::connect_tcp(' -e '::connect_tcp_with(' \
+        --include='*.rs' \
+        crates examples \
+    | grep -v 'crates/rtcorba/src/corb\.rs' \
+    | grep -v 'crates/rtcorba/src/zen\.rs' \
+    | grep -v 'crates/rtcorba/tests/legacy_shims\.rs'
+then
+    echo "FAIL: deprecated ORB constructors used inside the workspace" \
+         "(use rtcorba::ServerBuilder / rtcorba::ClientBuilder)"
+    exit 1
+fi
 RUSTDOCFLAGS="-D warnings" run cargo doc --offline --no-deps --workspace
 
 # Binary-size report: embedded targets care about footprint, so keep the

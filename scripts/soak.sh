@@ -10,6 +10,12 @@
 #     corrupted replies, fault path actually exercised;
 #   * retry/reconnect counters surface in App::metrics_text().
 #
+# A second, overload phase (`chaos_echo overload`) drives the
+# banded-admission dispatch path above saturation with mixed-priority
+# traffic and asserts the high band is fully protected: zero
+# high-priority sheds and zero high-priority deadline misses while the
+# low band is measurably shed (DESIGN.md §5j).
+#
 # Fixed seed => deterministic fault schedule => reproducible failures.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -66,6 +72,25 @@ for metric in remote_retries_total remote_reconnects_total \
     grep -q "$metric" /tmp/soak_chaos.log \
         || { echo "FAIL: $metric missing from metrics output"; exit 1; }
 done
+
+# Overload phase: above-saturation mixed-priority flood under banded
+# admission. The example asserts the invariants itself; the grep pins
+# the contract in the CI log even if the example's asserts change.
+OVERLOAD_SECS="${OVERLOAD_SECS:-5}"
+echo "==> ${OVERLOAD_SECS}s overload phase (banded admission above saturation)"
+if ! timeout $((OVERLOAD_SECS * 4 + 60)) \
+    ./target/release/examples/chaos_echo overload "$OVERLOAD_SECS" \
+    > /tmp/soak_overload.log 2>&1
+then
+    echo "FAIL: overload phase failed"
+    cat /tmp/soak_overload.log
+    exit 1
+fi
+grep '^overload:' /tmp/soak_overload.log
+grep -q 'high_shed=0 ' /tmp/soak_overload.log \
+    || { echo "FAIL: high band was shed under overload"; exit 1; }
+grep -q 'high_deadline_misses=0 ' /tmp/soak_overload.log \
+    || { echo "FAIL: high-priority deadline missed under overload"; exit 1; }
 
 # Send-path regression guard: the message-passing benchmark must still
 # run cleanly with the fault layer compiled in. Numbers are reported for

@@ -6,10 +6,8 @@
 
 use std::sync::Arc;
 
-use rtcorba::corb::{CompadresClient, CompadresServer};
 use rtcorba::service::{EchoServant, ObjectRegistry, Servant};
-use rtcorba::zen::{ZenClient, ZenServer};
-use rtcorba::OrbError;
+use rtcorba::{ClientBuilder, OrbError, ServerBuilder};
 
 struct AddServant;
 
@@ -51,10 +49,14 @@ fn decode_sum(reply: &[u8]) -> i32 {
 
 #[test]
 fn both_orbs_compute_the_same_results_over_tcp() {
-    let zen_server = ZenServer::spawn_tcp(registry()).unwrap();
-    let zen = ZenClient::connect_tcp(zen_server.addr().unwrap()).unwrap();
-    let corb_server = CompadresServer::spawn_tcp(registry()).unwrap();
-    let corb = CompadresClient::connect_tcp(corb_server.addr().unwrap()).unwrap();
+    let zen_server = ServerBuilder::new(registry()).serve_zen().unwrap();
+    let zen = ClientBuilder::new()
+        .connect_zen(zen_server.addr().unwrap())
+        .unwrap();
+    let corb_server = ServerBuilder::new(registry()).serve().unwrap();
+    let corb = ClientBuilder::new()
+        .connect(corb_server.addr().unwrap())
+        .unwrap();
 
     for (a, b) in [(1, 2), (-5, 5), (i32::MAX - 1, 1), (1000, -2000)] {
         let args = sum_args(a, b);
@@ -77,10 +79,14 @@ fn both_orbs_compute_the_same_results_over_tcp() {
 
 #[test]
 fn both_orbs_report_the_same_failures() {
-    let zen_server = ZenServer::spawn_tcp(registry()).unwrap();
-    let zen = ZenClient::connect_tcp(zen_server.addr().unwrap()).unwrap();
-    let corb_server = CompadresServer::spawn_tcp(registry()).unwrap();
-    let corb = CompadresClient::connect_tcp(corb_server.addr().unwrap()).unwrap();
+    let zen_server = ServerBuilder::new(registry()).serve_zen().unwrap();
+    let zen = ClientBuilder::new()
+        .connect_zen(zen_server.addr().unwrap())
+        .unwrap();
+    let corb_server = ServerBuilder::new(registry()).serve().unwrap();
+    let corb = ClientBuilder::new()
+        .connect(corb_server.addr().unwrap())
+        .unwrap();
 
     // Unknown object.
     assert!(matches!(
@@ -111,15 +117,19 @@ fn both_orbs_report_the_same_failures() {
 fn orbs_interoperate_on_the_wire() {
     // The GIOP implementations are one and the same substrate, so a Zen
     // client can talk to a Compadres server and vice versa.
-    let corb_server = CompadresServer::spawn_tcp(registry()).unwrap();
-    let zen_client = ZenClient::connect_tcp(corb_server.addr().unwrap()).unwrap();
+    let corb_server = ServerBuilder::new(registry()).serve().unwrap();
+    let zen_client = ClientBuilder::new()
+        .connect_zen(corb_server.addr().unwrap())
+        .unwrap();
     assert_eq!(
         zen_client.invoke(b"echo", "echo", &[1, 2, 3]).unwrap(),
         vec![1, 2, 3]
     );
 
-    let zen_server = ZenServer::spawn_tcp(registry()).unwrap();
-    let corb_client = CompadresClient::connect_tcp(zen_server.addr().unwrap()).unwrap();
+    let zen_server = ServerBuilder::new(registry()).serve_zen().unwrap();
+    let corb_client = ClientBuilder::new()
+        .connect(zen_server.addr().unwrap())
+        .unwrap();
     assert_eq!(
         decode_sum(
             &corb_client
@@ -135,12 +145,12 @@ fn orbs_interoperate_on_the_wire() {
 
 #[test]
 fn concurrent_clients_against_one_compadres_server() {
-    let server = CompadresServer::spawn_tcp(registry()).unwrap();
+    let server = ServerBuilder::new(registry()).serve().unwrap();
     let addr = server.addr().unwrap();
     let mut handles = Vec::new();
     for t in 0..4 {
         handles.push(std::thread::spawn(move || {
-            let client = CompadresClient::connect_tcp(addr).unwrap();
+            let client = ClientBuilder::new().connect(addr).unwrap();
             for i in 0..50i32 {
                 let reply = client.invoke(b"calc", "sum", &sum_args(t, i)).unwrap();
                 assert_eq!(decode_sum(&reply), t + i);
@@ -155,8 +165,10 @@ fn concurrent_clients_against_one_compadres_server() {
 
 #[test]
 fn zero_and_empty_payloads() {
-    let server = CompadresServer::spawn_tcp(registry()).unwrap();
-    let client = CompadresClient::connect_tcp(server.addr().unwrap()).unwrap();
+    let server = ServerBuilder::new(registry()).serve().unwrap();
+    let client = ClientBuilder::new()
+        .connect(server.addr().unwrap())
+        .unwrap();
     assert_eq!(
         client.invoke(b"echo", "echo", &[]).unwrap(),
         Vec::<u8>::new()
