@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use compadres_bench::harness::{record, run, summarize, write_json_if_requested, Stats};
 
 use compadres_core::{App, AppBuilder, HandlerCtx, Priority};
+use rtplatform::atomic::ParkPolicy;
 use rtsched::PriorityFifo;
 
 #[derive(Debug, Default, Clone)]
@@ -248,8 +249,14 @@ fn bench_locked_session(iters: u32) -> Stats {
     s
 }
 
-fn bench_lockfree_session(iters: u32) -> Stats {
-    let q: Arc<PriorityFifo<u64>> = Arc::new(PriorityFifo::new());
+/// One lock-free contended session per [`ParkPolicy`] preset: the
+/// spin/yield budget before parking is exactly what moves the session
+/// tail (a worker that parks just as a burst lands eats a futex wake),
+/// so each preset gets its own named record and its own baseline in
+/// `BENCH_dispatch.json` rather than one record whose p99 depends on
+/// which policy happened to be the default.
+fn bench_lockfree_session(name: &str, park: ParkPolicy, iters: u32) -> Stats {
+    let q: Arc<PriorityFifo<u64>> = Arc::new(PriorityFifo::with_park_policy(park));
     let done = Arc::new(AtomicU64::new(0));
     let workers: Vec<_> = (0..SESSION_WORKERS)
         .map(|_| {
@@ -270,7 +277,7 @@ fn bench_lockfree_session(iters: u32) -> Stats {
         .collect();
     let q2 = Arc::clone(&q);
     let s = contended_session(
-        "contended 4p/4w lock-free rings",
+        name,
         iters,
         move |prio, item| {
             q2.push(prio, item);
@@ -336,10 +343,30 @@ fn main() {
     bench_queue_roundtrip(5_000);
 
     println!("== dispatch: contended queue, 4 producers x 4 workers ==");
-    let locked = bench_locked_session(20);
-    let lockfree = bench_lockfree_session(20);
-    let speedup = locked.p50.as_secs_f64() / lockfree.p50.as_secs_f64();
-    println!("lock-free speedup over locked baseline: {speedup:.2}x (p50 session time)");
+    // With <=100 sessions the summarize() p99 index degenerates to the
+    // max, so the gated tail number was whatever the single worst
+    // descheduling blip cost. 120 sessions makes p99 a real percentile.
+    const SESSION_ITERS: u32 = 120;
+    let locked = bench_locked_session(SESSION_ITERS);
+    let balanced = bench_lockfree_session(
+        "contended 4p/4w lock-free (balanced)",
+        ParkPolicy::balanced(),
+        SESSION_ITERS,
+    );
+    let spin_longer = bench_lockfree_session(
+        "contended 4p/4w lock-free (spin_longer)",
+        ParkPolicy::spin_longer(),
+        SESSION_ITERS,
+    );
+    bench_lockfree_session(
+        "contended 4p/4w lock-free (park_eagerly)",
+        ParkPolicy::park_eagerly(),
+        SESSION_ITERS,
+    );
+    let speedup = locked.p50.as_secs_f64() / balanced.p50.as_secs_f64();
+    println!("lock-free (balanced) speedup over locked baseline: {speedup:.2}x (p50 session time)");
+    let tail = balanced.p99.as_secs_f64() / spin_longer.p99.as_secs_f64();
+    println!("spin_longer tail vs balanced: {tail:.2}x lower p99 session time");
 
     write_json_if_requested();
 }

@@ -12,6 +12,7 @@ USAGE:
     compadresc plan <cdl-file> <ccl-file>   validate and print the assembly plan
     compadresc check <cdl-file> <ccl-file>  validate; print warnings only
     compadresc graph <cdl-file> <ccl-file>  emit a Graphviz DOT diagram
+    compadresc deploy <cdl-file> <ccl-file> partition by node placement
 ";
 
 fn main() -> ExitCode {
@@ -37,7 +38,9 @@ fn run(args: &[String]) -> Result<String, String> {
             let cdl = compadres_core::parse_cdl(&cdl_src).map_err(|e| e.to_string())?;
             Ok(generate_skeletons(&cdl, &SkeletonOptions::default()))
         }
-        [cmd, cdl_path, ccl_path] if cmd == "plan" || cmd == "check" || cmd == "graph" => {
+        [cmd, cdl_path, ccl_path]
+            if cmd == "plan" || cmd == "check" || cmd == "graph" || cmd == "deploy" =>
+        {
             let cdl_src =
                 std::fs::read_to_string(cdl_path).map_err(|e| format!("{cdl_path}: {e}"))?;
             let ccl_src =
@@ -48,6 +51,10 @@ fn run(args: &[String]) -> Result<String, String> {
                 render_plan(&cdl, &ccl).map_err(|e| e.to_string())
             } else if cmd == "graph" {
                 compadres_compiler::render_dot(&cdl, &ccl).map_err(|e| e.to_string())
+            } else if cmd == "deploy" {
+                let deployment =
+                    compadres_compiler::partition(&cdl, &ccl).map_err(|e| e.to_string())?;
+                Ok(compadres_compiler::render_deployment(&deployment))
             } else {
                 let app = compadres_core::validate(&cdl, &ccl).map_err(|e| e.to_string())?;
                 let mut out = format!(

@@ -18,15 +18,21 @@
 //! compadresc plan <cdl-file> <ccl-file>   # validate + print assembly plan
 //! compadresc check <cdl-file> <ccl-file>  # validate, print warnings only
 //! compadresc graph <cdl-file> <ccl-file>  # emit a Graphviz DOT diagram
+//! compadresc deploy <cdl-file> <ccl-file> # partition by node placement
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod graph;
+mod partition;
 mod plan;
 mod skeleton;
 
 pub use graph::{render_dot, render_dot_validated};
+pub use partition::{
+    endpoint_name, heartbeat_endpoint, partition, render_deployment, CrossLink, Deployment, Export,
+    NodePlan, RemoteRef, DEFAULT_NODE,
+};
 pub use plan::{render_plan, render_validated};
 pub use skeleton::{generate_skeletons, rust_type_name, SkeletonOptions};

@@ -1,0 +1,604 @@
+//! Multi-node partitioning — the deployment phase of the Compadres
+//! compiler.
+//!
+//! The paper's compiler generates glue for one address space; its §5
+//! future work ("transparently handling remote communication over a
+//! network") is realized here: `node="..."` placement attributes in the
+//! CCL split one assembly into per-node sub-assemblies. Links whose
+//! endpoints land on the same node stay in-process exactly as before;
+//! links that cross nodes are *lowered* into an exporter on the
+//! receiving node and a remote-port reference on the sending node, with
+//! compiler-assigned logical endpoint names resolved through the naming
+//! service at runtime. Instances may also name `replicas="..."` nodes:
+//! those nodes receive a standby copy of the subtree, and every export
+//! of the subtree lists the replica endpoints senders fail over to.
+//!
+//! The output is a [`Deployment`]: one validated [`NodePlan`] per node
+//! plus the cross-node link table ([`render_deployment`] prints the
+//! whole thing as a topology manifest).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write;
+
+use compadres_core::{validate, Ccl, Cdl, CompadresError, InstanceDecl, Result};
+
+/// Node assigned to instances that carry no `node` attribute anywhere
+/// in their ancestry.
+pub const DEFAULT_NODE: &str = "default";
+
+/// The compiler-assigned logical name of an exported in-port:
+/// `"{app}/{node}/{instance}.{port}"`. Senders resolve it through the
+/// (sharded) naming service; the failover path rebinds it.
+pub fn endpoint_name(app: &str, node: &str, instance: &str, port: &str) -> String {
+    format!("{app}/{node}/{instance}.{port}")
+}
+
+/// The logical name a node's heartbeat responder registers under.
+pub fn heartbeat_endpoint(app: &str, node: &str) -> String {
+    format!("{app}/{node}/#hb")
+}
+
+/// An in-port a node must export to the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Export {
+    /// Receiving instance (lives on this node).
+    pub instance: String,
+    /// Receiving in-port.
+    pub port: String,
+    /// Message type crossing the wire.
+    pub message_type: String,
+    /// Logical endpoint name the exporter binds in the naming service.
+    pub endpoint: String,
+    /// Replica endpoint names (standby copies on other nodes) senders
+    /// fail over to, in declaration order.
+    pub replicas: Vec<String>,
+    /// When this export is itself a standby copy: the primary endpoint
+    /// it covers. Standby exporters bind their own endpoint name and
+    /// take over the primary name on failover.
+    pub standby_for: Option<String>,
+}
+
+/// An out-port whose target lives on another node: the sending side of
+/// a lowered cross-node link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteRef {
+    /// Sending instance (lives on this node).
+    pub instance: String,
+    /// Sending out-port.
+    pub port: String,
+    /// Message type crossing the wire.
+    pub message_type: String,
+    /// Primary target endpoint name.
+    pub endpoint: String,
+    /// Failover endpoints (the target subtree's replicas), in order.
+    pub failover: Vec<String>,
+}
+
+/// Everything one node runs: its sub-assembly plus the lowered link
+/// endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePlan {
+    /// Node name.
+    pub node: String,
+    /// The per-node sub-assembly (validates against the original CDL).
+    pub ccl: Ccl,
+    /// In-ports this node exports (primary and standby).
+    pub exports: Vec<Export>,
+    /// Remote targets this node's out-ports send to.
+    pub remotes: Vec<RemoteRef>,
+}
+
+/// One lowered cross-node link, for the topology manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossLink {
+    /// Sending node.
+    pub from_node: String,
+    /// Sending (instance, out-port).
+    pub from: (String, String),
+    /// Receiving node.
+    pub to_node: String,
+    /// Receiving (instance, in-port).
+    pub to: (String, String),
+    /// Message type crossing the wire.
+    pub message_type: String,
+    /// Endpoint name the link is carried over.
+    pub endpoint: String,
+}
+
+/// A partitioned assembly: per-node plans plus the cross-node topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deployment {
+    /// Application name from the CCL.
+    pub app: String,
+    /// Per-node plans, sorted by node name.
+    pub nodes: Vec<NodePlan>,
+    /// Lowered cross-node links, in connection order.
+    pub cross_links: Vec<CrossLink>,
+}
+
+impl Deployment {
+    /// The plan for one node.
+    pub fn node(&self, name: &str) -> Option<&NodePlan> {
+        self.nodes.iter().find(|n| n.node == name)
+    }
+}
+
+/// One primary subtree: the cut root's replicas and every instance
+/// inside the subtree (used to resolve which replicas cover an export).
+struct Subtree {
+    node: String,
+    replicas: Vec<String>,
+    members: BTreeSet<String>,
+    /// The pruned clone (shared by the primary plan and every replica).
+    clone: InstanceDecl,
+}
+
+/// Partitions a placed assembly into per-node deployment plans.
+///
+/// Instances inherit their parent's node; unplaced instances land on
+/// [`DEFAULT_NODE`]. Every per-node sub-assembly is re-validated
+/// against the CDL before being returned.
+///
+/// # Errors
+///
+/// Validation failures of the input assembly, or of a generated
+/// per-node sub-assembly (a compiler invariant violation).
+pub fn partition(cdl: &Cdl, ccl: &Ccl) -> Result<Deployment> {
+    let app = validate(cdl, ccl)?;
+    let node_of: BTreeMap<&str, String> = app
+        .instances
+        .iter()
+        .map(|i| {
+            (
+                i.name.as_str(),
+                i.node.clone().unwrap_or_else(|| DEFAULT_NODE.to_string()),
+            )
+        })
+        .collect();
+
+    // Cut the instance tree into per-node subtrees. A cut happens at
+    // every root and wherever an instance's effective node differs from
+    // its parent's; the clone keeps same-node children and drops the
+    // cut ones (they become roots of their own node's plan).
+    let mut subtrees: Vec<Subtree> = Vec::new();
+    fn cut(
+        decl: &InstanceDecl,
+        parent_node: Option<&str>,
+        node_of: &BTreeMap<&str, String>,
+        subtrees: &mut Vec<Subtree>,
+    ) -> Option<InstanceDecl> {
+        let node = node_of[decl.instance_name.as_str()].clone();
+        let mut clone = decl.clone();
+        clone.children = decl
+            .children
+            .iter()
+            .filter_map(|c| cut(c, Some(&node), node_of, subtrees))
+            .collect();
+        if parent_node == Some(node.as_str()) {
+            return Some(clone);
+        }
+        let mut members = BTreeSet::new();
+        fn collect(d: &InstanceDecl, members: &mut BTreeSet<String>) {
+            members.insert(d.instance_name.clone());
+            for c in &d.children {
+                collect(c, members);
+            }
+        }
+        collect(&clone, &mut members);
+        subtrees.push(Subtree {
+            node,
+            replicas: decl.replicas.clone(),
+            members,
+            clone,
+        });
+        None
+    }
+    for root in &ccl.roots {
+        cut(root, None, &node_of, &mut subtrees);
+    }
+
+    // Cross-node links from the validated connection list.
+    let mut cross_links = Vec::new();
+    for c in &app.connections {
+        let (from_i, to_i) = (&app.instances[c.from.0 .0], &app.instances[c.to.0 .0]);
+        let from_node = &node_of[from_i.name.as_str()];
+        let to_node = &node_of[to_i.name.as_str()];
+        if from_node != to_node {
+            cross_links.push(CrossLink {
+                from_node: from_node.clone(),
+                from: (from_i.name.clone(), c.from.1.clone()),
+                to_node: to_node.clone(),
+                to: (to_i.name.clone(), c.to.1.clone()),
+                message_type: c.message_type.clone(),
+                endpoint: endpoint_name(&app.name, to_node, &to_i.name, &c.to.1),
+            });
+        }
+    }
+
+    // Assemble per-node plans. Replica nodes receive a standby copy of
+    // the subtree with its placement rewritten to the hosting node.
+    let mut roots_by_node: BTreeMap<String, Vec<InstanceDecl>> = BTreeMap::new();
+    let mut exports_by_node: BTreeMap<String, Vec<Export>> = BTreeMap::new();
+    let mut remotes_by_node: BTreeMap<String, Vec<RemoteRef>> = BTreeMap::new();
+    let member_nodes: BTreeMap<&str, &str> = subtrees
+        .iter()
+        .flat_map(|s| s.members.iter().map(move |m| (m.as_str(), s.node.as_str())))
+        .collect();
+    let subtree_of = |name: &str| -> &Subtree {
+        subtrees
+            .iter()
+            .find(|s| s.members.contains(name))
+            .expect("every instance belongs to a subtree")
+    };
+
+    for s in &subtrees {
+        roots_by_node
+            .entry(s.node.clone())
+            .or_default()
+            .push(s.clone.clone());
+        for r in &s.replicas {
+            // The standby copy is re-homed wholesale: descendants drop
+            // their explicit placement (it restated the primary node)
+            // and inherit the replica root's.
+            let mut standby = s.clone.clone();
+            fn clear_placement(d: &mut InstanceDecl) {
+                d.node = None;
+                d.replicas = Vec::new();
+                for c in &mut d.children {
+                    clear_placement(c);
+                }
+            }
+            clear_placement(&mut standby);
+            standby.node = Some(r.clone());
+            roots_by_node.entry(r.clone()).or_default().push(standby);
+        }
+    }
+    // Links may only stay where both endpoints landed on the node: two
+    // same-node subtrees keep their links in-process, everything else
+    // was lowered to the exporter/remote pair. Replica copies likewise
+    // drop links to instances absent from their hosting node.
+    for roots in roots_by_node.values_mut() {
+        let present: BTreeSet<String> = roots
+            .iter()
+            .flat_map(|r| {
+                let mut names = BTreeSet::new();
+                fn collect(d: &InstanceDecl, names: &mut BTreeSet<String>) {
+                    names.insert(d.instance_name.clone());
+                    for c in &d.children {
+                        collect(c, names);
+                    }
+                }
+                collect(r, &mut names);
+                names
+            })
+            .collect();
+        for r in roots.iter_mut() {
+            *r = strip_foreign_links(r, &present);
+        }
+    }
+    // Root order within a node is subtree discovery order — pre-order on
+    // the original tree — so the output is deterministic for one input.
+
+    for link in &cross_links {
+        let receiver = subtree_of(&link.to.0);
+        let replica_endpoints: Vec<String> = receiver
+            .replicas
+            .iter()
+            .map(|r| endpoint_name(&app.name, r, &link.to.0, &link.to.1))
+            .collect();
+        let exports = exports_by_node.entry(link.to_node.clone()).or_default();
+        if !exports.iter().any(|e| e.endpoint == link.endpoint) {
+            exports.push(Export {
+                instance: link.to.0.clone(),
+                port: link.to.1.clone(),
+                message_type: link.message_type.clone(),
+                endpoint: link.endpoint.clone(),
+                replicas: replica_endpoints.clone(),
+                standby_for: None,
+            });
+        }
+        for (r, rep_ep) in receiver.replicas.iter().zip(&replica_endpoints) {
+            let rep_exports = exports_by_node.entry(r.clone()).or_default();
+            if !rep_exports.iter().any(|e| &e.endpoint == rep_ep) {
+                rep_exports.push(Export {
+                    instance: link.to.0.clone(),
+                    port: link.to.1.clone(),
+                    message_type: link.message_type.clone(),
+                    endpoint: rep_ep.clone(),
+                    replicas: Vec::new(),
+                    standby_for: Some(link.endpoint.clone()),
+                });
+            }
+        }
+        remotes_by_node
+            .entry(link.from_node.clone())
+            .or_default()
+            .push(RemoteRef {
+                instance: link.from.0.clone(),
+                port: link.from.1.clone(),
+                message_type: link.message_type.clone(),
+                endpoint: link.endpoint.clone(),
+                failover: replica_endpoints,
+            });
+    }
+    debug_assert!(member_nodes.len() == app.instances.len());
+
+    let mut nodes = Vec::new();
+    for (node, roots) in roots_by_node {
+        let node_ccl = Ccl {
+            application_name: app.name.clone(),
+            roots,
+            rtsj: ccl.rtsj.clone(),
+        };
+        validate(cdl, &node_ccl).map_err(|e| {
+            CompadresError::Validation(format!(
+                "internal: partitioned plan for node {node:?} fails validation: {e}"
+            ))
+        })?;
+        nodes.push(NodePlan {
+            node: node.clone(),
+            ccl: node_ccl,
+            exports: exports_by_node.remove(&node).unwrap_or_default(),
+            remotes: remotes_by_node.remove(&node).unwrap_or_default(),
+        });
+    }
+
+    Ok(Deployment {
+        app: app.name,
+        nodes,
+        cross_links,
+    })
+}
+
+/// Drops links whose peer lives outside `members` — those are the
+/// lowered cross-node links, carried by exporter/remote pairs instead.
+fn strip_foreign_links(decl: &InstanceDecl, members: &BTreeSet<String>) -> InstanceDecl {
+    let mut out = decl.clone();
+    out.links.retain(|l| members.contains(&l.to_component));
+    out.children = decl
+        .children
+        .iter()
+        .map(|c| strip_foreign_links(c, members))
+        .collect();
+    out
+}
+
+/// Renders the topology manifest: one plan per node (instances,
+/// exports, remote references) plus the cross-node link table.
+pub fn render_deployment(d: &Deployment) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Deployment: {} ({} nodes, {} cross-node links)",
+        d.app,
+        d.nodes.len(),
+        d.cross_links.len()
+    );
+    for n in &d.nodes {
+        let _ = writeln!(out, "Node {}:", n.node);
+        let _ = writeln!(out, "  heartbeat: {}", heartbeat_endpoint(&d.app, &n.node));
+        let _ = writeln!(out, "  instances:");
+        for inst in n.ccl.instances() {
+            let standby = n
+                .exports
+                .iter()
+                .any(|e| e.standby_for.is_some() && e.instance == inst.instance_name);
+            let _ = writeln!(
+                out,
+                "    {} : {}{}",
+                inst.instance_name,
+                inst.class_name,
+                if standby { " [standby]" } else { "" }
+            );
+        }
+        if !n.exports.is_empty() {
+            let _ = writeln!(out, "  exports:");
+            for e in &n.exports {
+                let mut line = format!(
+                    "    {}.{} <- {} [type {}]",
+                    e.instance, e.port, e.endpoint, e.message_type
+                );
+                if !e.replicas.is_empty() {
+                    line.push_str(&format!(" replicas: {}", e.replicas.join(", ")));
+                }
+                if let Some(p) = &e.standby_for {
+                    line.push_str(&format!(" (standby for {p})"));
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        if !n.remotes.is_empty() {
+            let _ = writeln!(out, "  remotes:");
+            for r in &n.remotes {
+                let mut line = format!(
+                    "    {}.{} -> {} [type {}]",
+                    r.instance, r.port, r.endpoint, r.message_type
+                );
+                if !r.failover.is_empty() {
+                    line.push_str(&format!(" failover: {}", r.failover.join(", ")));
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+    if !d.cross_links.is_empty() {
+        let _ = writeln!(out, "Cross-node links:");
+        for l in &d.cross_links {
+            let _ = writeln!(
+                out,
+                "  {}/{}.{} -> {}/{}.{} [type {}] via {}",
+                l.from_node,
+                l.from.0,
+                l.from.1,
+                l.to_node,
+                l.to.0,
+                l.to.1,
+                l.message_type,
+                l.endpoint
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CDL: &str = r#"<Components>
+      <Component><ComponentName>Sensor</ComponentName>
+        <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Reading</MessageType></Port>
+      </Component>
+      <Component><ComponentName>Hub</ComponentName>
+        <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Reading</MessageType></Port>
+        <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Reading</MessageType></Port>
+      </Component>
+      <Component><ComponentName>Sink</ComponentName>
+        <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Reading</MessageType></Port>
+      </Component>
+      </Components>"#;
+
+    const CCL: &str = r#"<Application>
+      <ApplicationName>FanIn</ApplicationName>
+      <Component node="edge0"><InstanceName>S0</InstanceName><ClassName>Sensor</ClassName><ComponentType>Immortal</ComponentType>
+        <Connection><Port><PortName>Out</PortName>
+          <Link><ToComponent>H</ToComponent><ToPort>In</ToPort></Link>
+        </Port></Connection>
+      </Component>
+      <Component node="edge1"><InstanceName>S1</InstanceName><ClassName>Sensor</ClassName><ComponentType>Immortal</ComponentType>
+        <Connection><Port><PortName>Out</PortName>
+          <Link><ToComponent>H</ToComponent><ToPort>In</ToPort></Link>
+        </Port></Connection>
+      </Component>
+      <Component node="hub" replicas="standby"><InstanceName>H</InstanceName><ClassName>Hub</ClassName><ComponentType>Immortal</ComponentType>
+        <Connection>
+          <Port><PortName>In</PortName><PortAttributes><BufferSize>64</BufferSize></PortAttributes></Port>
+          <Port><PortName>Out</PortName>
+            <Link><ToComponent>K</ToComponent><ToPort>In</ToPort></Link>
+          </Port>
+        </Connection>
+      </Component>
+      <Component node="hub"><InstanceName>K</InstanceName><ClassName>Sink</ClassName><ComponentType>Immortal</ComponentType></Component>
+      </Application>"#;
+
+    fn fan_in() -> Deployment {
+        let cdl = compadres_core::parse_cdl(CDL).unwrap();
+        let ccl = compadres_core::parse_ccl(CCL).unwrap();
+        partition(&cdl, &ccl).unwrap()
+    }
+
+    #[test]
+    fn partitions_into_per_node_plans() {
+        let d = fan_in();
+        let names: Vec<&str> = d.nodes.iter().map(|n| n.node.as_str()).collect();
+        assert_eq!(names, vec!["edge0", "edge1", "hub", "standby"]);
+        // The hub node keeps H and K in one plan; the H.Out -> K.In link
+        // stays local.
+        let hub = d.node("hub").unwrap();
+        assert_eq!(hub.ccl.instances().len(), 2);
+        assert_eq!(hub.ccl.instance("H").unwrap().links.len(), 1);
+        // The sensors keep only their sensor; the link to H was lowered.
+        let edge = d.node("edge0").unwrap();
+        assert_eq!(edge.ccl.instances().len(), 1);
+        assert!(edge.ccl.instance("S0").unwrap().links.is_empty());
+    }
+
+    #[test]
+    fn cross_links_lowered_to_export_and_remote() {
+        let d = fan_in();
+        assert_eq!(d.cross_links.len(), 2, "both sensor links cross nodes");
+        let hub = d.node("hub").unwrap();
+        assert_eq!(hub.exports.len(), 1, "one export covers both senders");
+        let e = &hub.exports[0];
+        assert_eq!(e.endpoint, "FanIn/hub/H.In");
+        assert_eq!(e.replicas, vec!["FanIn/standby/H.In"]);
+        assert_eq!(e.standby_for, None);
+        let edge = d.node("edge0").unwrap();
+        assert_eq!(edge.remotes.len(), 1);
+        assert_eq!(edge.remotes[0].endpoint, "FanIn/hub/H.In");
+        assert_eq!(edge.remotes[0].failover, vec!["FanIn/standby/H.In"]);
+    }
+
+    #[test]
+    fn replica_node_hosts_standby_copy() {
+        let d = fan_in();
+        let standby = d.node("standby").unwrap();
+        // The whole hub subtree (H only — K is a sibling, not a child)
+        // is copied, rewritten to the standby node.
+        assert_eq!(
+            standby.ccl.instance("H").unwrap().node.as_deref(),
+            Some("standby")
+        );
+        assert_eq!(standby.exports.len(), 1);
+        assert_eq!(standby.exports[0].endpoint, "FanIn/standby/H.In");
+        assert_eq!(
+            standby.exports[0].standby_for.as_deref(),
+            Some("FanIn/hub/H.In")
+        );
+    }
+
+    #[test]
+    fn manifest_renders_topology() {
+        let d = fan_in();
+        let m = render_deployment(&d);
+        assert!(m.contains("Deployment: FanIn (4 nodes, 2 cross-node links)"));
+        assert!(m.contains("Node hub:"));
+        assert!(m.contains("heartbeat: FanIn/hub/#hb"));
+        assert!(m.contains("H.In <- FanIn/hub/H.In [type Reading] replicas: FanIn/standby/H.In"));
+        assert!(m.contains("S0.Out -> FanIn/hub/H.In [type Reading] failover: FanIn/standby/H.In"));
+        assert!(m.contains("(standby for FanIn/hub/H.In)"));
+        assert!(m.contains("edge0/S0.Out -> hub/H.In [type Reading] via FanIn/hub/H.In"));
+    }
+
+    #[test]
+    fn unplaced_assembly_is_one_default_node() {
+        let cdl = compadres_core::parse_cdl(CDL).unwrap();
+        let ccl = compadres_core::parse_ccl(
+            r#"<Application><ApplicationName>Local</ApplicationName>
+            <Component><InstanceName>S</InstanceName><ClassName>Sensor</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Application>"#,
+        )
+        .unwrap();
+        let d = partition(&cdl, &ccl).unwrap();
+        assert_eq!(d.nodes.len(), 1);
+        assert_eq!(d.nodes[0].node, DEFAULT_NODE);
+        assert!(d.cross_links.is_empty());
+    }
+
+    #[test]
+    fn scoped_children_travel_with_their_cut_root() {
+        let cdl = compadres_core::parse_cdl(
+            r#"<Components>
+            <Component><ComponentName>A</ComponentName>
+              <Port><PortName>O</PortName><PortType>Out</PortType><MessageType>T</MessageType></Port>
+              <Port><PortName>I</PortName><PortType>In</PortType><MessageType>T</MessageType></Port>
+            </Component>
+            </Components>"#,
+        )
+        .unwrap();
+        let ccl = compadres_core::parse_ccl(
+            r#"<Application><ApplicationName>Deep</ApplicationName>
+            <Component node="a"><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component node="b"><InstanceName>Mid</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+                <Component><InstanceName>Leaf</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+                  <Connection><Port><PortName>O</PortName>
+                    <Link><ToComponent>Root</ToComponent><ToPort>I</ToPort></Link>
+                  </Port></Connection>
+                </Component>
+              </Component>
+            </Component>
+            </Application>"#,
+        )
+        .unwrap();
+        let d = partition(&cdl, &ccl).unwrap();
+        // Leaf (scoped) inherits Mid's node b; its shadow link to Root
+        // crosses the cut and is lowered.
+        let b = d.node("b").unwrap();
+        assert!(b.ccl.instance("Leaf").is_some());
+        assert!(b.ccl.instance("Leaf").unwrap().links.is_empty());
+        assert_eq!(d.cross_links.len(), 1);
+        assert_eq!(d.cross_links[0].from, ("Leaf".into(), "O".into()));
+        assert_eq!(d.cross_links[0].endpoint, "Deep/a/Root.I");
+        assert_eq!(b.remotes[0].instance, "Leaf");
+    }
+}

@@ -175,6 +175,17 @@ pub struct InstanceDecl {
     pub class_name: String,
     /// `<ComponentType>` (+ `<ScopeLevel>` for scoped).
     pub kind: ComponentKind,
+    /// `node="..."` placement attribute: the deployment node hosting
+    /// this instance. `None` inherits the parent's node (the root
+    /// default is the partitioner's `default` node). A scoped instance
+    /// may only restate its parent's node — moving it would tear its
+    /// scope chain out of the parent's memory — so every partition cut
+    /// point is an immortal instance.
+    pub node: Option<String>,
+    /// `replicas="n1,n2"` attribute: additional nodes that host standby
+    /// copies of this subtree for failover. Only legal together with an
+    /// explicit `node`.
+    pub replicas: Vec<String>,
     /// Per-port attributes for this instance's in-ports.
     pub port_attrs: BTreeMap<String, PortAttrs>,
     /// Declared links originating at this instance's ports.
@@ -308,12 +319,16 @@ mod tests {
                 instance_name: "A".into(),
                 class_name: "CA".into(),
                 kind: ComponentKind::Immortal,
+                node: None,
+                replicas: vec![],
                 port_attrs: BTreeMap::new(),
                 links: vec![],
                 children: vec![InstanceDecl {
                     instance_name: "B".into(),
                     class_name: "CB".into(),
                     kind: ComponentKind::Scoped { level: 1 },
+                    node: None,
+                    replicas: vec![],
                     port_attrs: BTreeMap::new(),
                     links: vec![],
                     children: vec![],

@@ -174,6 +174,25 @@ fn parse_instance(e: &Element) -> Result<InstanceDecl> {
         }
     }
 
+    let node = match e.attr("node") {
+        Some("") => {
+            return Err(CompadresError::Model(format!(
+                "instance {instance_name:?} has an empty node attribute"
+            )))
+        }
+        other => other.map(str::to_string),
+    };
+    let replicas: Vec<String> = e
+        .attr("replicas")
+        .map(|r| {
+            r.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+
     let children = e
         .children_named("Component")
         .map(parse_instance)
@@ -182,6 +201,8 @@ fn parse_instance(e: &Element) -> Result<InstanceDecl> {
         instance_name,
         class_name,
         kind,
+        node,
+        replicas,
         port_attrs,
         links,
         children,

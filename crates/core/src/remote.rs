@@ -810,6 +810,39 @@ impl<M: Message + BytesCodec> RemotePort<M> {
     pub fn pending(&self) -> usize {
         self.state.lock().pending.len()
     }
+
+    /// Whether the link currently holds a live stream (no send has torn
+    /// it down since the last successful connect).
+    pub fn is_connected(&self) -> bool {
+        self.state.lock().stream.is_some()
+    }
+
+    /// Drains the resend queue, returning the raw wire frames in send
+    /// order. Failover uses this to re-ship traffic queued against a
+    /// dead primary over the replica link ([`Self::send_raw_frame`]).
+    pub fn take_pending(&self) -> Vec<Vec<u8>> {
+        self.state.lock().pending.drain(..).collect()
+    }
+
+    /// Ships one already-framed message (as drained by
+    /// [`Self::take_pending`]): a single attempt with at most one
+    /// reconnect, no backoff sleeps — the failover path has already
+    /// decided this link is the live one.
+    ///
+    /// # Errors
+    ///
+    /// Connect or write failures.
+    pub fn send_raw_frame(&self, frame: &[u8]) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.stream.is_none() {
+            let s = Self::dial(self.addr, &self.policy).map_err(io_err)?;
+            st.stream = Some(s);
+            self.note_reconnect();
+        }
+        self.try_write(&mut st, &[frame]).map_err(io_err)?;
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

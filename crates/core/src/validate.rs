@@ -44,6 +44,12 @@ pub struct ValidatedInstance {
     pub parent: Option<InstanceId>,
     /// Number of scoped ancestors (== level - 1 for scoped instances).
     pub scoped_depth: u32,
+    /// Effective deployment node: the instance's own `node` attribute,
+    /// or the nearest placed ancestor's. `None` = unplaced (the
+    /// partitioner's default node).
+    pub node: Option<String>,
+    /// Nodes hosting standby replicas of this instance's subtree.
+    pub replicas: Vec<String>,
     /// Attributes for every in-port (defaults filled in).
     pub port_attrs: BTreeMap<String, PortAttrs>,
 }
@@ -171,6 +177,57 @@ pub fn validate(cdl: &Cdl, ccl: &Ccl) -> Result<ValidatedApp> {
             }
         }
 
+        // Placement. A scoped instance lives inside its parent's memory
+        // chain, so it cannot move to a different node than its parent;
+        // every partition cut point is therefore an immortal instance.
+        let parent_node = parent.and_then(|p| instances[p.0].node.clone());
+        // Node names must survive the XML attribute round-trip
+        // (`replicas` is comma-joined) and endpoint-name composition.
+        fn bad_node_name(n: &str) -> bool {
+            n.is_empty() || n.contains(|c: char| c.is_whitespace() || ",\"<>&/".contains(c))
+        }
+        for n in decl.node.iter().chain(decl.replicas.iter()) {
+            if bad_node_name(n) {
+                return Err(CompadresError::Validation(format!(
+                    "instance {:?} names a malformed node {n:?}",
+                    decl.instance_name
+                )));
+            }
+        }
+        if let Some(node) = &decl.node {
+            if decl.kind.is_scoped() && parent_node.as_deref() != Some(node.as_str()) {
+                return Err(CompadresError::Validation(format!(
+                    "scoped instance {:?} is placed on node {node:?} but its parent lives on {:?}; \
+                     only immortal instances may move to another node",
+                    decl.instance_name, parent_node
+                )));
+            }
+        }
+        let node = decl.node.clone().or(parent_node);
+        if !decl.replicas.is_empty() {
+            if decl.node.is_none() {
+                return Err(CompadresError::Validation(format!(
+                    "instance {:?} declares replicas but no explicit node",
+                    decl.instance_name
+                )));
+            }
+            let mut seen_replicas = HashSet::new();
+            for r in &decl.replicas {
+                if Some(r) == decl.node.as_ref() {
+                    return Err(CompadresError::Validation(format!(
+                        "instance {:?} lists its own node {r:?} as a replica",
+                        decl.instance_name
+                    )));
+                }
+                if !seen_replicas.insert(r) {
+                    return Err(CompadresError::Validation(format!(
+                        "instance {:?} lists replica node {r:?} twice",
+                        decl.instance_name
+                    )));
+                }
+            }
+        }
+
         // Port attributes: validate names, fill defaults for all in-ports.
         let mut port_attrs = BTreeMap::new();
         for (port, attrs) in &decl.port_attrs {
@@ -209,6 +266,8 @@ pub fn validate(cdl: &Cdl, ccl: &Ccl) -> Result<ValidatedApp> {
             kind: decl.kind,
             parent,
             scoped_depth,
+            node,
+            replicas: decl.replicas.clone(),
             port_attrs,
         });
         for child in &decl.children {
@@ -628,6 +687,80 @@ mod tests {
             </Application>"#);
         let app = validate(&cdl, &ccl).unwrap();
         assert!(app.warnings.iter().any(|w| w.contains("no scope pool")));
+    }
+
+    #[test]
+    fn node_placement_inherited_and_checked() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
+            <Component node="hub" replicas="standby"><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+            </Component>
+            <Component node="edge"><InstanceName>E</InstanceName><ClassName>B</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Application>"#);
+        let app = validate(&cdl, &ccl).unwrap();
+        assert_eq!(app.instance("Root").unwrap().node.as_deref(), Some("hub"));
+        assert_eq!(
+            app.instance("L").unwrap().node.as_deref(),
+            Some("hub"),
+            "children inherit their parent's node"
+        );
+        assert_eq!(app.instance("E").unwrap().node.as_deref(), Some("edge"));
+        assert_eq!(app.instance("Root").unwrap().replicas, vec!["standby"]);
+    }
+
+    #[test]
+    fn scoped_instance_cannot_move_nodes() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
+            <Component node="hub"><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component node="edge"><InstanceName>L</InstanceName><ClassName>A</ClassName><ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel></Component>
+            </Component>
+            </Application>"#);
+        let err = validate(&cdl, &ccl).unwrap_err();
+        assert!(err.to_string().contains("only immortal"), "{err}");
+    }
+
+    #[test]
+    fn immortal_child_may_move_nodes() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
+            <Component node="hub"><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType>
+              <Component node="edge"><InstanceName>M</InstanceName><ClassName>B</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Component>
+            </Application>"#);
+        let app = validate(&cdl, &ccl).unwrap();
+        assert_eq!(app.instance("M").unwrap().node.as_deref(), Some("edge"));
+    }
+
+    #[test]
+    fn replicas_require_explicit_node() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
+            <Component replicas="b"><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Application>"#);
+        let err = validate(&cdl, &ccl).unwrap_err();
+        assert!(err.to_string().contains("no explicit node"), "{err}");
+    }
+
+    #[test]
+    fn replica_on_own_node_rejected() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
+            <Component node="hub" replicas="hub"><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Application>"#);
+        let err = validate(&cdl, &ccl).unwrap_err();
+        assert!(err.to_string().contains("own node"), "{err}");
+    }
+
+    #[test]
+    fn malformed_node_name_rejected() {
+        let cdl = cdl_two_way();
+        let ccl = ccl(r#"<Application><ApplicationName>App</ApplicationName>
+            <Component node="a/b"><InstanceName>Root</InstanceName><ClassName>A</ClassName><ComponentType>Immortal</ComponentType></Component>
+            </Application>"#);
+        let err = validate(&cdl, &ccl).unwrap_err();
+        assert!(err.to_string().contains("malformed node"), "{err}");
     }
 
     #[test]

@@ -43,7 +43,14 @@ pub fn write_ccl(ccl: &Ccl) -> String {
 }
 
 fn instance_element(decl: &InstanceDecl) -> Element {
-    let mut e = Element::new("Component")
+    let mut e = Element::new("Component");
+    if let Some(node) = &decl.node {
+        e = e.with_attr("node", node);
+    }
+    if !decl.replicas.is_empty() {
+        e = e.with_attr("replicas", decl.replicas.join(","));
+    }
+    e = e
         .with_child(Element::new("InstanceName").with_text(&decl.instance_name))
         .with_child(Element::new("ClassName").with_text(&decl.class_name));
     match decl.kind {
@@ -172,6 +179,8 @@ mod tests {
                 instance_name: "Root".into(),
                 class_name: "Server".into(),
                 kind: ComponentKind::Immortal,
+                node: Some("alpha".into()),
+                replicas: vec!["beta".into()],
                 port_attrs: attrs,
                 links: vec![LinkDecl {
                     from_port: "DataOut".into(),
@@ -183,6 +192,8 @@ mod tests {
                     instance_name: "Child".into(),
                     class_name: "Server".into(),
                     kind: ComponentKind::Scoped { level: 1 },
+                    node: None,
+                    replicas: vec![],
                     port_attrs: BTreeMap::new(),
                     links: vec![],
                     children: vec![],
@@ -223,5 +234,7 @@ mod tests {
         assert!(xml.contains("<ScopeLevel>1</ScopeLevel>"));
         assert!(xml.contains("<BufferSize>7</BufferSize>"));
         assert!(xml.contains("<Threadpool>Dedicated</Threadpool>"));
+        assert!(xml.contains(r#"node="alpha""#));
+        assert!(xml.contains(r#"replicas="beta""#));
     }
 }

@@ -4,10 +4,12 @@
 //! reproducing seed.
 //!
 //! ```text
-//! rtcheck diff --seed 1000 --cases 10000      # seeds 1000..11000
-//! rtcheck diff --seed 42 --sweep-secs 60      # randomized, 60 s box
-//! rtcheck lin  --seed 7 --rounds 100          # ring/buffer/fifo/pool/segpool
-//! rtcheck lin  --seed 7 --sweep-secs 60
+//! rtcheck diff   --seed 1000 --cases 10000    # seeds 1000..11000
+//! rtcheck diff   --seed 42 --sweep-secs 60    # randomized, 60 s box
+//! rtcheck lin    --seed 7 --rounds 100        # ring/buffer/fifo/pool/segpool
+//! rtcheck lin    --seed 7 --sweep-secs 60
+//! rtcheck member --seed 0 --cases 500         # membership/failover spec
+//! rtcheck shard  --seed 0 --cases 500         # shard-map properties
 //! ```
 
 use std::time::{Duration, Instant};
@@ -28,7 +30,7 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "diff" | "lin" => cmd = Some(a.clone()),
+            "diff" | "lin" | "member" | "shard" => cmd = Some(a.clone()),
             "--seed" => seed = parse(it.next(), "--seed"),
             "--cases" => cases = parse(it.next(), "--cases"),
             "--rounds" => rounds = parse(it.next(), "--rounds"),
@@ -40,7 +42,23 @@ fn main() {
     match cmd.as_deref() {
         Some("diff") => diff(seed, cases, sweep_secs),
         Some("lin") => lin_sweep(seed, rounds, sweep_secs),
-        _ => usage("expected a command: diff | lin"),
+        Some("member") => seeded_sweep(
+            "member",
+            "membership histories checked (simulated legal + mutated illegal)",
+            rtcheck::membership::check_seed,
+            seed,
+            cases,
+            sweep_secs,
+        ),
+        Some("shard") => seeded_sweep(
+            "shard",
+            "shard-map rounds checked (routing, coverage, minimal movement)",
+            rtcheck::shardmap::check_seed,
+            seed,
+            cases,
+            sweep_secs,
+        ),
+        _ => usage("expected a command: diff | lin | member | shard"),
     }
 }
 
@@ -51,8 +69,10 @@ fn parse(v: Option<&String>, flag: &str) -> u64 {
 
 fn usage(msg: &str) -> ! {
     eprintln!("rtcheck: {msg}");
-    eprintln!("usage: rtcheck diff [--seed S] [--cases N | --sweep-secs T]");
-    eprintln!("       rtcheck lin  [--seed S] [--rounds N | --sweep-secs T]");
+    eprintln!("usage: rtcheck diff   [--seed S] [--cases N | --sweep-secs T]");
+    eprintln!("       rtcheck lin    [--seed S] [--rounds N | --sweep-secs T]");
+    eprintln!("       rtcheck member [--seed S] [--cases N | --sweep-secs T]");
+    eprintln!("       rtcheck shard  [--seed S] [--cases N | --sweep-secs T]");
     std::process::exit(2);
 }
 
@@ -105,6 +125,42 @@ fn lin_sweep(seed: u64, rounds: u64, sweep_secs: Option<u64>) {
     }
     println!(
         "rtcheck lin: {checked} rounds (ring, buffer, fifo, pool, segpool) in {:?}, all linearizable",
+        started.elapsed()
+    );
+}
+
+/// Generic seeded sweep over a `check_seed` property: deterministic
+/// seed range or time-boxed random seeds, failure prints the
+/// reproducing seed and exits non-zero.
+fn seeded_sweep(
+    name: &str,
+    what: &str,
+    check: fn(u64) -> Result<(), String>,
+    seed: u64,
+    cases: u64,
+    sweep_secs: Option<u64>,
+) {
+    let started = Instant::now();
+    let mut checked: u64 = 0;
+    let mut derive = SplitMix64::new(seed);
+    loop {
+        let case_seed = match sweep_secs {
+            None if checked == cases => break,
+            None => seed + checked,
+            Some(secs) if started.elapsed() >= Duration::from_secs(secs) => break,
+            Some(_) => derive.next_u64(),
+        };
+        if let Err(msg) = check(case_seed) {
+            eprintln!("rtcheck {name}: {msg}");
+            eprintln!(
+                "reproduce: cargo run --release -p rtcheck -- {name} --seed {case_seed} --cases 1"
+            );
+            std::process::exit(1);
+        }
+        checked += 1;
+    }
+    println!(
+        "rtcheck {name}: {checked} {what} in {:?}, 0 violations",
         started.elapsed()
     );
 }

@@ -2,7 +2,9 @@
 //! reference oracle, plus compiler-render and write/parse round-trip
 //! legs, with greedy shrinking of failures to a minimal counterexample.
 
-use compadres_compiler::{render_dot_validated, render_plan, render_validated};
+use compadres_compiler::{
+    partition, render_deployment, render_dot_validated, render_plan, render_validated, DEFAULT_NODE,
+};
 use compadres_core::{
     parse_ccl, parse_cdl, validate, write_ccl, write_cdl, Ccl, Cdl, ValidatedApp,
 };
@@ -133,7 +135,12 @@ pub fn check_case(cdl: &Cdl, ccl: &Ccl) -> Result<bool, Failure> {
             let inst = |app: &ValidatedApp| -> Vec<String> {
                 app.instances
                     .iter()
-                    .map(|i| format!("{} : {} {:?}", i.name, i.class, i.kind))
+                    .map(|i| {
+                        format!(
+                            "{} : {} {:?} node={:?} replicas={:?}",
+                            i.name, i.class, i.kind, i.node, i.replicas
+                        )
+                    })
                     .collect()
             };
             if a != b || inst(&app) != inst(&app2) {
@@ -143,6 +150,78 @@ pub fn check_case(cdl: &Cdl, ccl: &Ccl) -> Result<bool, Failure> {
                 });
             }
         }
+    }
+
+    // Leg 5: partitioning an accepted assembly must succeed, place every
+    // instance on its effective node, and lower exactly the cross-node
+    // connections into matching exporter/remote pairs.
+    let deployment = partition(cdl, ccl).map_err(|e| Failure {
+        leg: "partition",
+        detail: format!("accepted assembly fails to partition: {e}"),
+    })?;
+    let eff_node = |i: &compadres_core::ValidatedInstance| -> String {
+        i.node.clone().unwrap_or_else(|| DEFAULT_NODE.to_string())
+    };
+    for i in &app.instances {
+        let node = eff_node(i);
+        let on_plan = deployment
+            .node(&node)
+            .is_some_and(|p| p.ccl.instance(&i.name).is_some());
+        if !on_plan {
+            return Err(Failure {
+                leg: "partition",
+                detail: format!("instance {} missing from its node plan {node}", i.name),
+            });
+        }
+    }
+    let crossing = app
+        .connections
+        .iter()
+        .filter(|c| eff_node(&app.instances[c.from.0 .0]) != eff_node(&app.instances[c.to.0 .0]))
+        .count();
+    if deployment.cross_links.len() != crossing {
+        return Err(Failure {
+            leg: "partition",
+            detail: format!(
+                "{} connections cross nodes but {} links were lowered",
+                crossing,
+                deployment.cross_links.len()
+            ),
+        });
+    }
+    for link in &deployment.cross_links {
+        let exported = deployment.node(&link.to_node).is_some_and(|p| {
+            p.exports
+                .iter()
+                .any(|e| e.endpoint == link.endpoint && e.message_type == link.message_type)
+        });
+        let referenced = deployment.node(&link.from_node).is_some_and(|p| {
+            p.remotes
+                .iter()
+                .any(|r| r.endpoint == link.endpoint && r.message_type == link.message_type)
+        });
+        if !exported || !referenced {
+            return Err(Failure {
+                leg: "partition",
+                detail: format!(
+                    "cross-node link via {} lacks its {} half",
+                    link.endpoint,
+                    if exported { "remote" } else { "export" }
+                ),
+            });
+        }
+    }
+    let manifest = render_deployment(&deployment);
+    if !manifest.starts_with(&format!("Deployment: {}", deployment.app))
+        || deployment
+            .nodes
+            .iter()
+            .any(|n| !manifest.contains(&format!("Node {}:", n.node)))
+    {
+        return Err(Failure {
+            leg: "partition",
+            detail: format!("malformed deployment manifest:\n{manifest}"),
+        });
     }
     Ok(true)
 }
@@ -288,6 +367,19 @@ fn reductions(cdl: &Cdl, ccl: &Ccl) -> Vec<(Cdl, Ccl)> {
             out.push((cdl.clone(), c));
         }
     }
+    // Drop one instance's placement (node + replicas).
+    for i in 0..n_inst {
+        let inst = ccl.instances()[i];
+        if inst.node.is_some() || !inst.replicas.is_empty() {
+            let mut c = ccl.clone();
+            let mut k = 0usize;
+            edit_nth(&mut c.roots, i, &mut k, &mut |d| {
+                d.node = None;
+                d.replicas.clear();
+            });
+            out.push((cdl.clone(), c));
+        }
+    }
     // Drop a scope pool.
     for i in 0..ccl.rtsj.scoped_pools.len() {
         let mut c = ccl.clone();
@@ -375,6 +467,8 @@ mod tests {
             instance_name: name.into(),
             class_name: "C".into(),
             kind: ComponentKind::Scoped { level: 1 },
+            node: None,
+            replicas: vec![],
             port_attrs: BTreeMap::new(),
             links,
             children: vec![],
@@ -385,6 +479,8 @@ mod tests {
                 instance_name: "root".into(),
                 class_name: "C".into(),
                 kind: ComponentKind::Immortal,
+                node: None,
+                replicas: vec![],
                 port_attrs: BTreeMap::new(),
                 links: vec![],
                 children: vec![

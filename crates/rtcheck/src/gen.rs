@@ -103,6 +103,10 @@ fn gen_ccl(rng: &mut SplitMix64, cdl: &Cdl) -> Ccl {
         }
     }
 
+    // Placement post-pass, last so every draw above stays identical to
+    // the pre-placement generator under a fixed seed.
+    assign_nodes(rng, &mut roots);
+
     Ccl {
         application_name: "Gen".to_string(),
         roots,
@@ -110,6 +114,54 @@ fn gen_ccl(rng: &mut SplitMix64, cdl: &Cdl) -> Ccl {
             immortal_size: 1 << rng.range_usize(16, 22),
             scoped_pools,
         },
+    }
+}
+
+/// Sprinkles `node`/`replicas` placement over the tree: mostly-legal
+/// shapes (placed roots, immortal children moving nodes, replica lists
+/// on placed instances) plus the targeted placement faults — a scoped
+/// instance placed away from its parent, replicas without a node, and
+/// an instance's own node listed as its replica.
+fn assign_nodes(rng: &mut SplitMix64, roots: &mut [InstanceDecl]) {
+    if !rng.chance(0.5) {
+        return;
+    }
+    const NODES: [&str; 3] = ["n0", "n1", "n2"];
+    fn walk(rng: &mut SplitMix64, decl: &mut InstanceDecl, parent_node: Option<String>) {
+        let scoped = decl.kind.is_scoped();
+        // Immortal instances move freely; placing a scoped one is the
+        // injected fault unless it restates the parent's node.
+        let place = rng.chance(if scoped { 0.06 } else { 0.6 });
+        if place {
+            let node = match &parent_node {
+                Some(p) if scoped && rng.chance(0.5) => p.clone(),
+                _ => NODES[rng.below(NODES.len())].to_string(),
+            };
+            decl.node = Some(node.clone());
+            if rng.chance(0.25) {
+                let mut reps: Vec<String> = NODES
+                    .iter()
+                    .filter(|n| **n != node)
+                    .map(|s| s.to_string())
+                    .collect();
+                if rng.chance(0.1) {
+                    reps.insert(0, node.clone()); // fault: own node
+                }
+                let keep = rng.range_usize(1, reps.len() + 1);
+                reps.truncate(keep);
+                decl.replicas = reps;
+            }
+        } else if rng.chance(0.02) {
+            // Fault: replicas with no explicit node.
+            decl.replicas = vec![NODES[rng.below(NODES.len())].to_string()];
+        }
+        let eff = decl.node.clone().or(parent_node);
+        for c in &mut decl.children {
+            walk(rng, c, eff.clone());
+        }
+    }
+    for r in roots.iter_mut() {
+        walk(rng, r, None);
     }
 }
 
@@ -203,6 +255,8 @@ fn gen_instance(
             cdl.components[class].name.clone()
         },
         kind,
+        node: None,
+        replicas: Vec::new(),
         port_attrs,
         links: Vec::new(),
         children,

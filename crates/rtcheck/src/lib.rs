@@ -19,9 +19,15 @@
 //!    schedule enumeration over the yield points instrumented behind
 //!    `rtplatform`'s `rtcheck-hooks` feature (the parking `Gate`
 //!    handshake and the Treiber free-list CAS windows).
+//! 4. **Distribution specs** ([`membership`], [`shardmap`]): a
+//!    model-based history checker for the membership/failover protocol
+//!    (no failover without suspicion, no split-brain, rebind exactly
+//!    once) with mutation-based negative controls, and property checks
+//!    for the rendezvous shard map behind sharded naming (consistent
+//!    routing, minimal movement under membership churn).
 //!
 //! The fixed-seed subset runs in tier 1 (`scripts/check.sh`); CI adds a
-//! time-boxed randomized sweep. See DESIGN.md §5f.
+//! time-boxed randomized sweep. See DESIGN.md §5f and §5k.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,7 +36,9 @@ pub mod diff;
 pub mod gen;
 pub mod history;
 pub mod lin;
+pub mod membership;
 pub mod oracle;
 pub mod record;
 pub mod sched;
+pub mod shardmap;
 pub mod spec;

@@ -1,0 +1,429 @@
+//! Model-based checking of membership/failover histories.
+//!
+//! The core membership layer journals every transition into a
+//! [`MembershipLog`](compadres_core::membership::MembershipLog). This
+//! module holds the *specification* those histories must satisfy:
+//!
+//! * **State-machine legality** — per node, `Alive → Suspect → Down →
+//!   Alive`: a node is never declared down without first being
+//!   suspected (a single lost probe must not kill a member), and
+//!   `Alive`/`Suspect` events only fire on real transitions.
+//! * **No failover without suspicion** — a `FailoverStart` for a
+//!   primary endpoint requires its node to be suspected or down at
+//!   that point in the history. A failover against a healthy node is a
+//!   phantom failover.
+//! * **Rebind exactly once, no split-brain** — within one failover
+//!   episode exactly one `Rebind` of the primary name happens, and
+//!   episodes for the same primary never overlap; two rebinds (or two
+//!   concurrent episodes) would leave different senders pointed at
+//!   different replicas.
+//!
+//! [`check`] validates a history; [`simulate`] generates seeded
+//! histories from a faithful model (always accepted), and
+//! [`check_seed`] runs the full differential round: the simulated
+//! history must pass, and a seeded mutation of it — phantom failover,
+//! stuck suspect, double rebind, spurious alive — must be rejected.
+//! Any other outcome is a bug in the spec or the model.
+
+use compadres_core::membership::{MemberEvent, MemberEventKind};
+use rtplatform::rng::SplitMix64;
+
+/// A spec violation: which event broke which rule.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Index of the offending event in the history.
+    pub index: usize,
+    /// Short rule name (stable, used by tests).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {}: [{}] {}", self.index, self.rule, self.detail)
+    }
+}
+
+/// The node a subject belongs to: the second segment of a compiler
+/// endpoint name (`"App/node/Inst.Port"`), or the subject itself when
+/// it is already a bare node name.
+pub fn node_of(subject: &str) -> &str {
+    let mut parts = subject.split('/');
+    match (parts.next(), parts.next()) {
+        (Some(_), Some(node)) => node,
+        _ => subject,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    Alive,
+    Suspect,
+    Down,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EpisodeState {
+    Steady,
+    InFlight { rebound: bool },
+}
+
+/// Checks a membership/failover history against the specification.
+///
+/// # Errors
+///
+/// The first [`Violation`] found, with the offending event index.
+pub fn check(events: &[MemberEvent]) -> Result<(), Violation> {
+    use std::collections::HashMap;
+    let mut nodes: HashMap<&str, NodeState> = HashMap::new();
+    let mut episodes: HashMap<&str, EpisodeState> = HashMap::new();
+    let mut last_t = 0u64;
+
+    for (index, e) in events.iter().enumerate() {
+        if e.t_ns < last_t {
+            return Err(Violation {
+                index,
+                rule: "monotone-time",
+                detail: format!("t_ns {} before previous {}", e.t_ns, last_t),
+            });
+        }
+        last_t = e.t_ns;
+        let node = node_of(&e.subject);
+        let node_state = *nodes.get(node).unwrap_or(&NodeState::Alive);
+        match e.kind {
+            MemberEventKind::Suspect => {
+                if node_state != NodeState::Alive {
+                    return Err(Violation {
+                        index,
+                        rule: "suspect-from-alive",
+                        detail: format!("{node} suspected while already {node_state:?}"),
+                    });
+                }
+                nodes.insert(node, NodeState::Suspect);
+            }
+            MemberEventKind::Down => {
+                if node_state != NodeState::Suspect {
+                    return Err(Violation {
+                        index,
+                        rule: "down-needs-suspicion",
+                        detail: format!("{node} declared down from {node_state:?}"),
+                    });
+                }
+                nodes.insert(node, NodeState::Down);
+            }
+            MemberEventKind::Alive => {
+                if node_state == NodeState::Alive {
+                    return Err(Violation {
+                        index,
+                        rule: "spurious-alive",
+                        detail: format!("{node} reported alive while alive"),
+                    });
+                }
+                nodes.insert(node, NodeState::Alive);
+            }
+            MemberEventKind::FailoverStart => {
+                if node_state == NodeState::Alive {
+                    return Err(Violation {
+                        index,
+                        rule: "no-failover-without-suspicion",
+                        detail: format!("failover from {:?} while node {node} is alive", e.subject),
+                    });
+                }
+                let ep = *episodes
+                    .get(e.subject.as_str())
+                    .unwrap_or(&EpisodeState::Steady);
+                if ep != EpisodeState::Steady {
+                    return Err(Violation {
+                        index,
+                        rule: "no-overlapping-episodes",
+                        detail: format!(
+                            "second failover of {:?} while one is in flight",
+                            e.subject
+                        ),
+                    });
+                }
+                episodes.insert(&e.subject, EpisodeState::InFlight { rebound: false });
+            }
+            MemberEventKind::Rebind => {
+                match *episodes
+                    .get(e.subject.as_str())
+                    .unwrap_or(&EpisodeState::Steady)
+                {
+                    EpisodeState::InFlight { rebound: false } => {
+                        episodes.insert(&e.subject, EpisodeState::InFlight { rebound: true });
+                    }
+                    EpisodeState::InFlight { rebound: true } => {
+                        return Err(Violation {
+                            index,
+                            rule: "rebind-exactly-once",
+                            detail: format!("{:?} rebound twice in one episode", e.subject),
+                        });
+                    }
+                    EpisodeState::Steady => {
+                        return Err(Violation {
+                            index,
+                            rule: "rebind-inside-episode",
+                            detail: format!("{:?} rebound outside any failover", e.subject),
+                        });
+                    }
+                }
+            }
+            MemberEventKind::FailoverComplete => {
+                match *episodes
+                    .get(e.subject.as_str())
+                    .unwrap_or(&EpisodeState::Steady)
+                {
+                    EpisodeState::InFlight { rebound: true } => {
+                        episodes.insert(&e.subject, EpisodeState::Steady);
+                    }
+                    other => {
+                        return Err(Violation {
+                            index,
+                            rule: "complete-after-rebind",
+                            detail: format!(
+                                "{:?} completed failover from state {other:?}",
+                                e.subject
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Simulates a legal cluster history: nodes miss probes, get suspected,
+/// go down, fail over (exactly one rebind each) and recover. The output
+/// always satisfies [`check`] — by construction it follows the model.
+pub fn simulate(seed: u64) -> Vec<MemberEvent> {
+    let mut rng = SplitMix64::new(seed);
+    let n_nodes = rng.range_usize(2, 5);
+    let nodes: Vec<String> = (0..n_nodes).map(|i| format!("n{i}")).collect();
+    let endpoint = |i: usize| format!("App/n{i}/C.In");
+    let mut state: Vec<NodeState> = vec![NodeState::Alive; n_nodes];
+    // Whether node i's primary endpoint currently has an episode state.
+    let mut episode: Vec<EpisodeState> = vec![EpisodeState::Steady; n_nodes];
+    let mut events = Vec::new();
+    let mut t = 0u64;
+    let rounds = rng.range_usize(5, 40);
+    for _ in 0..rounds {
+        let i = rng.below(n_nodes);
+        t += rng.range_usize(1, 1_000_000) as u64;
+        let mut push = |subject: &str, kind, t: u64| {
+            events.push(MemberEvent {
+                t_ns: t,
+                subject: subject.to_string(),
+                kind,
+            });
+        };
+        match state[i] {
+            NodeState::Alive => {
+                if rng.chance(0.5) {
+                    push(&nodes[i], MemberEventKind::Suspect, t);
+                    state[i] = NodeState::Suspect;
+                }
+            }
+            NodeState::Suspect => {
+                if rng.chance(0.5) {
+                    push(&nodes[i], MemberEventKind::Down, t);
+                    state[i] = NodeState::Down;
+                } else {
+                    push(&nodes[i], MemberEventKind::Alive, t);
+                    state[i] = NodeState::Alive;
+                }
+            }
+            NodeState::Down => {
+                if episode[i] == EpisodeState::Steady && rng.chance(0.6) {
+                    // One full failover episode against this node's
+                    // primary endpoint: start, rebind once, complete.
+                    let ep = endpoint(i);
+                    push(&ep, MemberEventKind::FailoverStart, t);
+                    t += rng.range_usize(1, 100_000) as u64;
+                    push(&ep, MemberEventKind::Rebind, t);
+                    t += rng.range_usize(1, 100_000) as u64;
+                    push(&ep, MemberEventKind::FailoverComplete, t);
+                    episode[i] = EpisodeState::Steady; // completed
+                } else if rng.chance(0.3) {
+                    push(&nodes[i], MemberEventKind::Alive, t);
+                    state[i] = NodeState::Alive;
+                }
+            }
+        }
+    }
+    events
+}
+
+/// The seeded negative controls: one legality-breaking mutation of a
+/// valid history. Returns the mutated history and the rule it must
+/// trip (used to label failures).
+fn mutate(events: &[MemberEvent], rng: &mut SplitMix64) -> (Vec<MemberEvent>, &'static str) {
+    let t0 = events.first().map(|e| e.t_ns).unwrap_or(0);
+    for _ in 0..4 {
+        match rng.below(4) {
+            // Phantom failover: an episode against a node the history
+            // has never suspected.
+            0 => {
+                let mut out = events.to_vec();
+                out.insert(
+                    0,
+                    MemberEvent {
+                        t_ns: t0,
+                        subject: "App/healthy/C.In".to_string(),
+                        kind: MemberEventKind::FailoverStart,
+                    },
+                );
+                return (out, "phantom-failover");
+            }
+            // Stuck suspect: erase a Suspect so the Down (or failover)
+            // that follows arrives without suspicion.
+            1 => {
+                if let Some(pos) = events
+                    .iter()
+                    .position(|e| e.kind == MemberEventKind::Suspect)
+                {
+                    let followed = events[pos..].iter().any(|e| {
+                        e.kind == MemberEventKind::Down && e.subject == events[pos].subject
+                    });
+                    if followed {
+                        let mut out = events.to_vec();
+                        out.remove(pos);
+                        return (out, "stuck-suspect");
+                    }
+                }
+            }
+            // Double rebind: split-brain — the same episode rebinds the
+            // primary name twice.
+            2 => {
+                if let Some(pos) = events
+                    .iter()
+                    .position(|e| e.kind == MemberEventKind::Rebind)
+                {
+                    let mut out = events.to_vec();
+                    out.insert(pos + 1, events[pos].clone());
+                    return (out, "double-rebind");
+                }
+            }
+            // Spurious alive: an alive report for a node that never left
+            // the alive state.
+            _ => {
+                let mut out = events.to_vec();
+                out.insert(
+                    0,
+                    MemberEvent {
+                        t_ns: t0,
+                        subject: "nq".to_string(),
+                        kind: MemberEventKind::Alive,
+                    },
+                );
+                return (out, "spurious-alive");
+            }
+        }
+    }
+    // Fallback — always applicable.
+    let mut out = events.to_vec();
+    out.insert(
+        0,
+        MemberEvent {
+            t_ns: t0,
+            subject: "App/healthy/C.In".to_string(),
+            kind: MemberEventKind::FailoverStart,
+        },
+    );
+    (out, "phantom-failover")
+}
+
+/// One differential round: the simulated history must satisfy the spec
+/// and its mutation must violate it.
+///
+/// # Errors
+///
+/// A description of the disagreement, with the seed baked in.
+pub fn check_seed(seed: u64) -> Result<(), String> {
+    let history = simulate(seed);
+    if let Err(v) = check(&history) {
+        return Err(format!(
+            "seed {seed}: model-generated history rejected: {v}\nhistory: {history:?}"
+        ));
+    }
+    let mut rng = SplitMix64::new(seed ^ 0xD1B5_4A32_D192_ED03);
+    let (mutated, control) = mutate(&history, &mut rng);
+    if check(&mutated).is_ok() {
+        return Err(format!(
+            "seed {seed}: {control} control accepted by the spec\nhistory: {mutated:?}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, subject: &str, kind: MemberEventKind) -> MemberEvent {
+        MemberEvent {
+            t_ns,
+            subject: subject.to_string(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn full_failover_episode_is_legal() {
+        let h = vec![
+            ev(1, "hub", MemberEventKind::Suspect),
+            ev(2, "hub", MemberEventKind::Down),
+            ev(3, "App/hub/H.In", MemberEventKind::FailoverStart),
+            ev(4, "App/hub/H.In", MemberEventKind::Rebind),
+            ev(5, "App/hub/H.In", MemberEventKind::FailoverComplete),
+            ev(6, "hub", MemberEventKind::Alive),
+        ];
+        check(&h).unwrap();
+    }
+
+    #[test]
+    fn phantom_failover_rejected() {
+        let h = vec![ev(1, "App/hub/H.In", MemberEventKind::FailoverStart)];
+        let v = check(&h).unwrap_err();
+        assert_eq!(v.rule, "no-failover-without-suspicion");
+    }
+
+    #[test]
+    fn down_without_suspicion_rejected() {
+        let h = vec![ev(1, "hub", MemberEventKind::Down)];
+        assert_eq!(check(&h).unwrap_err().rule, "down-needs-suspicion");
+    }
+
+    #[test]
+    fn double_rebind_rejected_as_split_brain() {
+        let h = vec![
+            ev(1, "hub", MemberEventKind::Suspect),
+            ev(2, "hub", MemberEventKind::Down),
+            ev(3, "App/hub/H.In", MemberEventKind::FailoverStart),
+            ev(4, "App/hub/H.In", MemberEventKind::Rebind),
+            ev(5, "App/hub/H.In", MemberEventKind::Rebind),
+        ];
+        assert_eq!(check(&h).unwrap_err().rule, "rebind-exactly-once");
+    }
+
+    #[test]
+    fn overlapping_episodes_rejected() {
+        let h = vec![
+            ev(1, "hub", MemberEventKind::Suspect),
+            ev(2, "hub", MemberEventKind::Down),
+            ev(3, "App/hub/H.In", MemberEventKind::FailoverStart),
+            ev(4, "App/hub/H.In", MemberEventKind::FailoverStart),
+        ];
+        assert_eq!(check(&h).unwrap_err().rule, "no-overlapping-episodes");
+    }
+
+    #[test]
+    fn fixed_seed_sweep_agrees() {
+        for seed in 0..500 {
+            if let Err(e) = check_seed(seed) {
+                panic!("{e}");
+            }
+        }
+    }
+}

@@ -44,11 +44,13 @@ pub fn check(cdl: &Cdl, ccl: &Ccl) -> Verdict {
     // memory nesting and scope levels.
     let mut paths: HashMap<String, Vec<String>> = HashMap::new();
     let mut order: Vec<&InstanceDecl> = Vec::new();
+    #[allow(clippy::too_many_arguments)]
     fn walk<'a>(
         decl: &'a InstanceDecl,
         prefix: &[String],
         parent: Option<&InstanceDecl>,
         scoped_ancestors: u32,
+        parent_node: Option<&str>,
         cdl: &Cdl,
         paths: &mut HashMap<String, Vec<String>>,
         order: &mut Vec<&'a InstanceDecl>,
@@ -81,6 +83,40 @@ pub fn check(cdl: &Cdl, ccl: &Ccl) -> Verdict {
                 _ => return Err(format!("{name}: attrs on bad port {port}")),
             }
         }
+        // Placement: names must be well-formed; a scoped instance may
+        // only restate its parent's node; replicas need an explicit
+        // node, no duplicates, and never the instance's own node.
+        let malformed = |n: &str| {
+            n.is_empty() || n.contains(|c: char| c.is_whitespace() || ",\"<>&/".contains(c))
+        };
+        if decl
+            .node
+            .iter()
+            .chain(decl.replicas.iter())
+            .any(|n| malformed(n))
+        {
+            return Err(format!("{name}: malformed node name"));
+        }
+        if let Some(node) = &decl.node {
+            if decl.kind.is_scoped() && parent_node != Some(node.as_str()) {
+                return Err(format!("{name}: scoped instance moved to node {node}"));
+            }
+        }
+        if !decl.replicas.is_empty() {
+            if decl.node.is_none() {
+                return Err(format!("{name}: replicas without a node"));
+            }
+            let mut seen_rep = HashSet::new();
+            for r in &decl.replicas {
+                if decl.node.as_deref() == Some(r.as_str()) {
+                    return Err(format!("{name}: replica on own node {r}"));
+                }
+                if !seen_rep.insert(r.as_str()) {
+                    return Err(format!("{name}: duplicate replica {r}"));
+                }
+            }
+        }
+        let node = decl.node.as_deref().or(parent_node);
         order.push(decl);
         let down = if decl.kind.is_scoped() {
             scoped_ancestors + 1
@@ -88,12 +124,12 @@ pub fn check(cdl: &Cdl, ccl: &Ccl) -> Verdict {
             0
         };
         for child in &decl.children {
-            walk(child, &path, Some(decl), down, cdl, paths, order)?;
+            walk(child, &path, Some(decl), down, node, cdl, paths, order)?;
         }
         Ok(())
     }
     for root in &ccl.roots {
-        if let Err(e) = walk(root, &[], None, 0, cdl, &mut paths, &mut order) {
+        if let Err(e) = walk(root, &[], None, 0, None, cdl, &mut paths, &mut order) {
             return Verdict::Reject(e);
         }
     }

@@ -1,0 +1,144 @@
+//! Property checks for the sharded-naming routing map.
+//!
+//! The [`ShardMap`] makes three promises its
+//! clients (every node of a deployment, with no coordination) rely on:
+//!
+//! 1. **Consistent routing** — the same name always routes to the same
+//!    shard, on every client, regardless of the order shard labels were
+//!    listed in;
+//! 2. **Minimal movement** — removing a shard only moves the names that
+//!    lived on it; adding a shard only pulls names onto the new shard.
+//!    Everything else keeps its route, so cached resolutions survive
+//!    membership churn;
+//! 3. **Coverage** — every shard owns a share of the namespace (no
+//!    dead resolver).
+//!
+//! [`check_seed`] exercises all three on seeded random shard sets and
+//! name populations; it runs in the fixed-seed tier-1 sweep
+//! (`rtcheck shard`) and the randomized tier-2 sweep.
+
+use rtcorba::shard::ShardMap;
+use rtplatform::rng::SplitMix64;
+
+/// One property round over a seeded shard set and name population.
+///
+/// # Errors
+///
+/// A description of the violated property, with the seed baked in.
+pub fn check_seed(seed: u64) -> Result<(), String> {
+    let mut rng = SplitMix64::new(seed);
+    let n_shards = rng.range_usize(1, 7);
+    let labels: Vec<String> = (0..n_shards)
+        .map(|i| format!("resolver-{i}-{}", rng.below(1000)))
+        .collect();
+    let names: Vec<String> = (0..labels.len() * 64)
+        .map(|i| format!("App/n{}/C{}.In", rng.below(16), i))
+        .collect();
+
+    let map = ShardMap::new(labels.clone());
+
+    // Totality + determinism (a rebuilt map is a different client).
+    let rebuilt = ShardMap::new(labels.clone());
+    for name in &names {
+        let idx = map.index_for(name);
+        if idx >= map.len() {
+            return Err(format!("seed {seed}: {name:?} routed out of range"));
+        }
+        if rebuilt.index_for(name) != idx {
+            return Err(format!(
+                "seed {seed}: {name:?} routes differently on a rebuilt map"
+            ));
+        }
+    }
+
+    // Label-order independence: clients may list resolvers in any order.
+    if labels.len() > 1 {
+        let mut shuffled = labels.clone();
+        let rot = rng.range_usize(1, shuffled.len());
+        shuffled.rotate_left(rot);
+        let reordered = ShardMap::new(shuffled);
+        for name in &names {
+            if reordered.shard_for(name) != map.shard_for(name) {
+                return Err(format!(
+                    "seed {seed}: {name:?} routed to {:?} under one label order, {:?} under another",
+                    map.shard_for(name),
+                    reordered.shard_for(name)
+                ));
+            }
+        }
+    }
+
+    // Coverage: with 64 names per shard, an unhit shard means the hash
+    // is broken, not unlucky.
+    if labels.len() > 1 {
+        let mut hits = vec![0u32; labels.len()];
+        for name in &names {
+            hits[map.index_for(name)] += 1;
+        }
+        if let Some(dead) = hits.iter().position(|&h| h == 0) {
+            return Err(format!(
+                "seed {seed}: shard {:?} owns no names out of {} ({hits:?})",
+                labels[dead],
+                names.len()
+            ));
+        }
+    }
+
+    // Minimal movement on removal: only the removed shard's names move.
+    if labels.len() > 1 {
+        let victim = rng.below(labels.len());
+        let survivors: Vec<String> = labels
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, l)| l.clone())
+            .collect();
+        let shrunk = ShardMap::new(survivors);
+        for name in &names {
+            if map.shard_for(name) != labels[victim]
+                && shrunk.shard_for(name) != map.shard_for(name)
+            {
+                return Err(format!(
+                    "seed {seed}: {name:?} moved from {:?} to {:?} when unrelated shard {:?} left",
+                    map.shard_for(name),
+                    shrunk.shard_for(name),
+                    labels[victim]
+                ));
+            }
+        }
+    }
+
+    // Minimal movement on addition: names either stay or move to the
+    // new shard, never between old shards.
+    {
+        let mut grown = labels.clone();
+        grown.push(format!("resolver-new-{}", rng.below(1000)));
+        let grown_map = ShardMap::new(grown.clone());
+        for name in &names {
+            let before = map.shard_for(name);
+            let after = grown_map.shard_for(name);
+            if after != before && after != grown.last().unwrap().as_str() {
+                return Err(format!(
+                    "seed {seed}: {name:?} moved between old shards ({before:?} -> {after:?}) when {:?} joined",
+                    grown.last().unwrap()
+                ));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_seed_sweep_holds() {
+        for seed in 0..300 {
+            if let Err(e) = check_seed(seed) {
+                panic!("{e}");
+            }
+        }
+    }
+}

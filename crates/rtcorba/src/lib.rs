@@ -32,6 +32,7 @@ pub mod ior;
 pub mod naming;
 pub mod reactor;
 pub mod service;
+pub mod shard;
 pub mod transport;
 pub mod zen;
 

@@ -1,0 +1,324 @@
+//! Sharded naming: one logical namespace over N naming servers.
+//!
+//! A single naming servant is a single point of failure and a
+//! serialization point for every resolve on the failover path. This
+//! module splits the namespace by *name*, not by server: a
+//! [`ShardMap`] assigns each name to a shard with rendezvous
+//! (highest-random-weight) hashing, so every client routes the same
+//! name to the same shard with no coordination, and removing a shard
+//! moves only the names that lived on it — all other names keep their
+//! shard, which keeps cached routes valid through membership churn.
+//!
+//! [`ShardedNaming`] is the client: it holds the resolver endpoints
+//! from the deployment manifest, routes `bind`/`resolve`/`unbind` by
+//! shard, and implements the core [`EndpointResolver`] seam so a
+//! [`FailoverSender`](compadres_core::membership::FailoverSender)
+//! can rebind a primary endpoint name through it during failover.
+
+use std::net::SocketAddr;
+
+use compadres_core::membership::EndpointResolver;
+use compadres_core::CompadresError;
+
+use crate::ior::ObjectRef;
+use crate::naming::NamingClient;
+use crate::{ClientBuilder, OrbError};
+
+/// 64-bit FNV-1a — stable across processes and platforms, which is what
+/// makes uncoordinated clients agree on routing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Assigns names to shards with rendezvous hashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    labels: Vec<String>,
+}
+
+impl ShardMap {
+    /// A map over the given shard labels (order is irrelevant to
+    /// routing — only the label strings matter).
+    ///
+    /// # Panics
+    ///
+    /// When `labels` is empty.
+    pub fn new(labels: Vec<String>) -> ShardMap {
+        assert!(!labels.is_empty(), "a shard map needs at least one shard");
+        ShardMap { labels }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the map has no shards (never true for a constructed map).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The shard labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    fn weight(label: &str, name: &str) -> u64 {
+        // FNV alone leaves the per-label hashes of one name affinely
+        // related (identical tail bytes), which biases the max; the
+        // splitmix64 finalizer breaks that correlation.
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            x
+        }
+        mix(fnv1a(label.as_bytes()) ^ mix(fnv1a(name.as_bytes())))
+    }
+
+    /// Index of the shard owning `name`: the shard whose
+    /// `(label, name)` hash is highest. Ties break toward the lower
+    /// index, deterministically.
+    pub fn index_for(&self, name: &str) -> usize {
+        self.labels
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                Self::weight(a, name)
+                    .cmp(&Self::weight(b, name))
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty by construction")
+    }
+
+    /// Label of the shard owning `name`.
+    pub fn shard_for(&self, name: &str) -> &str {
+        &self.labels[self.index_for(name)]
+    }
+}
+
+/// A sharded naming client: the resolver endpoints of a deployment,
+/// routed by [`ShardMap`]. Connections are per-operation — naming
+/// traffic is the control path (resolution, failover rebinds), not the
+/// data path, and a fresh connection per operation keeps the client
+/// `Send + Sync` without pooling machinery.
+#[derive(Debug, Clone)]
+pub struct ShardedNaming {
+    map: ShardMap,
+    addrs: Vec<SocketAddr>,
+}
+
+impl ShardedNaming {
+    /// A client over `(label, addr)` resolver endpoints. Labels are the
+    /// routing identity: use stable names (e.g. the manifest's node
+    /// names), not addresses that change across restarts.
+    ///
+    /// # Panics
+    ///
+    /// When `shards` is empty.
+    pub fn new(shards: Vec<(String, SocketAddr)>) -> ShardedNaming {
+        let (labels, addrs) = shards.into_iter().unzip();
+        ShardedNaming {
+            map: ShardMap::new(labels),
+            addrs,
+        }
+    }
+
+    /// The routing map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shard index `name` routes to.
+    pub fn shard_of(&self, name: &str) -> usize {
+        self.map.index_for(name)
+    }
+
+    fn with_shard<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&NamingClient<'_>) -> Result<T, OrbError>,
+    ) -> Result<T, OrbError> {
+        let client = ClientBuilder::new().connect(self.addrs[self.shard_of(name)])?;
+        let ns = NamingClient::over_compadres(&client);
+        f(&ns)
+    }
+
+    /// Binds `name` on its shard; returns whether a binding was
+    /// replaced.
+    ///
+    /// # Errors
+    ///
+    /// ORB invocation failures.
+    pub fn bind(&self, name: &str, reference: &ObjectRef) -> Result<bool, OrbError> {
+        self.with_shard(name, |ns| ns.bind(name, reference))
+    }
+
+    /// Resolves `name` on its shard.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` exceptions and invocation failures.
+    pub fn resolve(&self, name: &str) -> Result<ObjectRef, OrbError> {
+        self.with_shard(name, |ns| ns.resolve(name))
+    }
+
+    /// Unbinds `name` on its shard; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// ORB invocation failures.
+    pub fn unbind(&self, name: &str) -> Result<bool, OrbError> {
+        self.with_shard(name, |ns| ns.unbind(name))
+    }
+
+    /// Rebinds `name` (the failover path) and returns the shard index
+    /// that served it — the same shard `resolve` routes to, so readers
+    /// see the new binding on their next resolve.
+    ///
+    /// # Errors
+    ///
+    /// ORB invocation failures.
+    pub fn rebind(&self, name: &str, reference: &ObjectRef) -> Result<usize, OrbError> {
+        self.bind(name, reference)?;
+        Ok(self.shard_of(name))
+    }
+
+    /// All bound names across every shard, in shard order.
+    ///
+    /// # Errors
+    ///
+    /// ORB invocation failures on any shard.
+    pub fn list_all(&self) -> Result<Vec<String>, OrbError> {
+        let mut out = Vec::new();
+        for addr in &self.addrs {
+            let client = ClientBuilder::new().connect(*addr)?;
+            out.extend(NamingClient::over_compadres(&client).list()?);
+        }
+        Ok(out)
+    }
+}
+
+impl EndpointResolver for ShardedNaming {
+    fn resolve(&self, name: &str) -> compadres_core::Result<SocketAddr> {
+        let r = ShardedNaming::resolve(self, name)
+            .map_err(|e| CompadresError::Model(format!("sharded naming resolve {name:?}: {e}")))?;
+        r.socket_addr()
+            .map_err(|e| CompadresError::Model(format!("bad reference for {name:?}: {e}")))
+    }
+
+    fn rebind(&self, name: &str, addr: SocketAddr) -> compadres_core::Result<()> {
+        let reference = ObjectRef::for_addr(addr, name.as_bytes().to_vec());
+        ShardedNaming::rebind(self, name, &reference)
+            .map(|_| ())
+            .map_err(|e| CompadresError::Model(format!("sharded naming rebind {name:?}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naming::{NamingServant, NAME_SERVICE_KEY};
+    use crate::service::{ObjectRegistry, Servant};
+    use std::sync::Arc;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let map = ShardMap::new(vec!["a".into(), "b".into(), "c".into()]);
+        for i in 0..100 {
+            let name = format!("App/n{i}/inst.port");
+            let first = map.index_for(&name);
+            assert!(first < 3);
+            assert_eq!(map.index_for(&name), first, "routing must be stable");
+            assert_eq!(map.shard_for(&name), map.labels()[first]);
+        }
+    }
+
+    #[test]
+    fn all_shards_get_traffic() {
+        let map = ShardMap::new(vec!["a".into(), "b".into(), "c".into()]);
+        let mut hits = [0u32; 3];
+        for i in 0..300 {
+            hits[map.index_for(&format!("name-{i}"))] += 1;
+        }
+        assert!(
+            hits.iter().all(|&h| h > 30),
+            "rendezvous hashing should spread names, got {hits:?}"
+        );
+    }
+
+    #[test]
+    fn removing_a_shard_moves_only_its_names() {
+        let full = ShardMap::new(vec!["a".into(), "b".into(), "c".into()]);
+        let without_c = ShardMap::new(vec!["a".into(), "b".into()]);
+        for i in 0..200 {
+            let name = format!("name-{i}");
+            if full.shard_for(&name) != "c" {
+                assert_eq!(
+                    full.shard_for(&name),
+                    without_c.shard_for(&name),
+                    "{name} must keep its shard when an unrelated shard leaves"
+                );
+            }
+        }
+    }
+
+    fn shard_servers(n: usize) -> (Vec<crate::corb::CompadresServer>, ShardedNaming) {
+        let mut servers = Vec::new();
+        let mut shards = Vec::new();
+        for i in 0..n {
+            let registry = ObjectRegistry::with_echo();
+            registry.register(
+                NAME_SERVICE_KEY.to_vec(),
+                Arc::new(NamingServant::new()) as Arc<dyn Servant>,
+            );
+            let server = crate::ServerBuilder::new(registry).serve().unwrap();
+            shards.push((format!("shard{i}"), server.addr().unwrap()));
+            servers.push(server);
+        }
+        let naming = ShardedNaming::new(shards);
+        (servers, naming)
+    }
+
+    #[test]
+    fn bind_and_resolve_route_to_the_same_shard() {
+        let (servers, naming) = shard_servers(3);
+        let addr = servers[0].addr().unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..12 {
+            let name = format!("App/node{i}/C.In");
+            let reference = ObjectRef::for_addr(addr, name.as_bytes().to_vec());
+            assert!(!naming.bind(&name, &reference).unwrap());
+            assert_eq!(naming.resolve(&name).unwrap(), reference);
+            seen.insert(naming.shard_of(&name));
+        }
+        assert!(seen.len() > 1, "12 names should span multiple shards");
+        assert_eq!(naming.list_all().unwrap().len(), 12);
+        for s in &servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn endpoint_resolver_rebind_moves_resolution() {
+        let (servers, naming) = shard_servers(2);
+        let a1 = servers[0].addr().unwrap();
+        let a2 = servers[1].addr().unwrap();
+        let name = "App/hub/H.In";
+        EndpointResolver::rebind(&naming, name, a1).unwrap();
+        assert_eq!(EndpointResolver::resolve(&naming, name).unwrap(), a1);
+        EndpointResolver::rebind(&naming, name, a2).unwrap();
+        assert_eq!(EndpointResolver::resolve(&naming, name).unwrap(), a2);
+        for s in &servers {
+            s.shutdown();
+        }
+    }
+}

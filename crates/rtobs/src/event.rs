@@ -94,6 +94,26 @@ pub enum EventKind {
     /// buffer still had capacity reserved for higher bands. `subject` =
     /// port entity, `payload` = message priority.
     PortShed = 24,
+    /// A peer node missed enough consecutive heartbeats to be
+    /// suspected. `subject` = member entity, `payload` = consecutive
+    /// misses.
+    MemberSuspect = 25,
+    /// A suspected peer was declared down. `subject` = member entity,
+    /// `payload` = nanoseconds since the last good heartbeat.
+    MemberDown = 26,
+    /// A peer answered a heartbeat again (fresh or recovered).
+    /// `subject` = member entity, `payload` = round-trip nanoseconds.
+    MemberAlive = 27,
+    /// Failover to a replica endpoint began. `subject` = remote-link
+    /// entity, `payload` = index of the replica being tried.
+    FailoverStart = 28,
+    /// Failover completed: traffic flows to the replica. `subject` =
+    /// remote-link entity, `payload` = failover latency in nanoseconds.
+    FailoverComplete = 29,
+    /// A logical name was rebound to a new address in the naming
+    /// service. `subject` = member or link entity, `payload` = the
+    /// naming shard that served the rebind.
+    NamingRebind = 30,
 }
 
 impl EventKind {
@@ -125,6 +145,12 @@ impl EventKind {
             22 => EventKind::SpanRemoteSend,
             23 => EventKind::SpanRemoteRecv,
             24 => EventKind::PortShed,
+            25 => EventKind::MemberSuspect,
+            26 => EventKind::MemberDown,
+            27 => EventKind::MemberAlive,
+            28 => EventKind::FailoverStart,
+            29 => EventKind::FailoverComplete,
+            30 => EventKind::NamingRebind,
             _ => return None,
         })
     }
@@ -156,6 +182,12 @@ impl EventKind {
             EventKind::SpanRemoteSend => "span.remote_send",
             EventKind::SpanRemoteRecv => "span.remote_recv",
             EventKind::PortShed => "port.shed",
+            EventKind::MemberSuspect => "member.suspect",
+            EventKind::MemberDown => "member.down",
+            EventKind::MemberAlive => "member.alive",
+            EventKind::FailoverStart => "failover.start",
+            EventKind::FailoverComplete => "failover.complete",
+            EventKind::NamingRebind => "naming.rebind",
         }
     }
 }

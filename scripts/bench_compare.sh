@@ -20,8 +20,13 @@
 #                                 capacity, whose open-loop latencies
 #                                 depend on runner core count
 #                                 (default 3.0)
-#   BENCH_TOLERANCE_P99           p99 multiplier, dispatch/msgpass
-#                                 (default 3.0)
+#   BENCH_TOLERANCE_P99           p99 multiplier, msgpass (default 3.0)
+#   BENCH_TOLERANCE_P99_DISPATCH  p99 multiplier, dispatch (default 2.0:
+#                                 the contended sessions run >100
+#                                 iterations per ParkPolicy preset, so
+#                                 their p99 is a real percentile rather
+#                                 than the max of 20 samples and the
+#                                 band can be as tight as p50's)
 #   BENCH_TOLERANCE_P99_ORB_LOAD  p99 multiplier for orb_load and
 #                                 capacity (default 5.0)
 #   BENCH_SLACK_NS                absolute slack added to every p50 limit
@@ -49,13 +54,14 @@ fresh_dir = sys.argv[1]
 tol_default = float(os.environ.get("BENCH_TOLERANCE", "2.0"))
 tol_orb = float(os.environ.get("BENCH_TOLERANCE_ORB_LOAD", "3.0"))
 tol_p99_default = float(os.environ.get("BENCH_TOLERANCE_P99", "3.0"))
+tol_p99_dispatch = float(os.environ.get("BENCH_TOLERANCE_P99_DISPATCH", "2.0"))
 tol_p99_orb = float(os.environ.get("BENCH_TOLERANCE_P99_ORB_LOAD", "5.0"))
 slack_ns = int(os.environ.get("BENCH_SLACK_NS", "5000"))
 slack_p99_ns = int(os.environ.get("BENCH_SLACK_P99_NS", "50000"))
 
 # fname -> ((p50 tolerance, p50 slack), (p99 tolerance, p99 slack))
 files = {
-    "BENCH_dispatch.json": ((tol_default, slack_ns), (tol_p99_default, slack_p99_ns)),
+    "BENCH_dispatch.json": ((tol_default, slack_ns), (tol_p99_dispatch, slack_p99_ns)),
     "BENCH_msgpass.json": ((tol_default, slack_ns), (tol_p99_default, slack_p99_ns)),
     "BENCH_orb_load.json": ((tol_orb, slack_ns), (tol_p99_orb, slack_p99_ns)),
     # Capacity shares orb_load's generous open-loop bands: its latency

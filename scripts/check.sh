@@ -12,11 +12,14 @@ run() {
 run cargo build --release --offline --workspace --bins --examples
 run cargo test -q --offline --workspace
 
-# Fixed-seed rtcheck subset: deterministic differential conformance and
-# linearizability sweeps (the binary was built by the workspace build
-# above). The randomized time-boxed sweeps live in CI tier 2.
+# Fixed-seed rtcheck subset: deterministic differential conformance,
+# linearizability, membership/failover spec, and shard-map property
+# sweeps (the binary was built by the workspace build above). The
+# randomized time-boxed sweeps live in CI tier 2.
 run ./target/release/rtcheck diff --seed 0 --cases 2000
 run ./target/release/rtcheck lin --seed 0 --rounds 50
+run ./target/release/rtcheck member --seed 0 --cases 500
+run ./target/release/rtcheck shard --seed 0 --cases 500
 run cargo fmt --all -- --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 

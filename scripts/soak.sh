@@ -16,10 +16,20 @@
 # high-priority sheds and zero high-priority deadline misses while the
 # low band is measurably shed (DESIGN.md §5j).
 #
+# A third, multinode phase runs the partitioned FanIn deployment
+# (examples/multinode: naming shards, primary + standby hub, two edge
+# senders as separate processes) with a seeded primary-exporter kill,
+# asserting automatic failover through sharded naming with zero
+# high-band deadline misses (DESIGN.md §5k). Each iteration varies the
+# seed, so the kill lands at a different point in the traffic.
+#
 # Fixed seed => deterministic fault schedule => reproducible failures.
+#
+# Usage: soak.sh [all|multinode] — `multinode` runs only that phase.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+PHASE="${1:-all}"
 SOAK_SECS="${SOAK_SECS:-30}"
 SEED="${SEED:-42}"
 # The soak must finish in soak-time plus compile-free slack; a run that
@@ -27,7 +37,10 @@ SEED="${SEED:-42}"
 HARD_LIMIT=$((SOAK_SECS * 2 + 60))
 
 echo "==> building release artefacts"
-cargo build --release --offline --example chaos_echo --example orb_echo
+cargo build --release --offline --example chaos_echo --example orb_echo \
+    --example multinode
+
+if [ "$PHASE" != "multinode" ]; then
 
 echo "==> clean-network baseline (sanity, 2s quiet run via orb_echo)"
 timeout 120 ./target/release/examples/orb_echo > /tmp/soak_baseline.log \
@@ -99,5 +112,29 @@ if [ "${SOAK_BENCH:-1}" = "1" ]; then
     echo "==> msgpass bench (clean network, informational)"
     cargo bench --offline -p compadres-bench --bench msgpass
 fi
+
+fi # PHASE != multinode
+
+# Multinode phase: the partitioned deployment survives seeded
+# primary-exporter kills. The example's stdout is the journal: it
+# carries the deployment manifest, per-edge failover/recovery latency
+# from the shared membership log, and the standby's counters.
+MULTINODE_RUNS="${MULTINODE_RUNS:-3}"
+echo "==> multinode failover phase (${MULTINODE_RUNS} seeded kills)"
+for i in $(seq 1 "$MULTINODE_RUNS"); do
+    mn_seed=$((SEED + i))
+    echo "==> multinode run $i (seed $mn_seed)"
+    if ! timeout 120 env COMPADRES_MN_SEED_OVERRIDE="$mn_seed" \
+        ./target/release/examples/multinode \
+        > "/tmp/soak_multinode_$i.log" 2>&1
+    then
+        echo "FAIL: multinode failover run $i (seed $mn_seed)"
+        echo "journal: /tmp/soak_multinode_$i.log"
+        echo "reproduce with: SEED=${SEED} MULTINODE_RUNS=${MULTINODE_RUNS} scripts/soak.sh multinode"
+        cat "/tmp/soak_multinode_$i.log"
+        exit 1
+    fi
+    grep -E '^(  (edge|standby|naming)|multinode)' "/tmp/soak_multinode_$i.log" | tail -n 6
+done
 
 echo "Soak passed."

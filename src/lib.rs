@@ -4,6 +4,8 @@
 //! and the runnable examples in `examples/`. The actual functionality lives
 //! in the member crates re-exported below.
 
+pub mod multinode;
+
 pub use compadres_compiler as compiler;
 pub use compadres_core as core;
 pub use rtcorba as corba;

@@ -1,0 +1,775 @@
+//! Multi-node deployment harness: one assembly, many processes.
+//!
+//! The compiler's `partition` phase turns a placed CCL into per-node
+//! deployment plans (DESIGN.md §5k). This module is the runtime proof:
+//! it spawns one OS process per node of the [`FANIN_CCL`] manifest on
+//! loopback — two sharded naming servers, a primary hub, its standby
+//! replica, and two edge senders — then kills the primary exporter
+//! mid-traffic and watches membership detect it, the failover sender
+//! promote the standby, and sharded naming rebind the primary endpoint
+//! name. Every child derives its own configuration from the *same*
+//! manifest (`manifest()`), so the topology is specified exactly once,
+//! in the CCL.
+//!
+//! The harness is deterministic: children coordinate with the parent
+//! over a stdin/stdout line protocol (no sleeps standing in for
+//! ordering), the kill point is seeded, and the edges pause at the kill
+//! point so the primary dies between messages, never mid-frame. Both
+//! the integration test (`tests/multinode.rs`) and the runnable example
+//! (`examples/multinode.rs`) re-execute their own binary with
+//! [`ROLE_ENV`] set to become a child node; call
+//! [`dispatch_child_role`] first thing in `main`.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::SocketAddr;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use compadres_compiler::{heartbeat_endpoint, partition, Deployment};
+use compadres_core::membership::{
+    EndpointResolver, FailoverSender, HeartbeatResponder, MemberEvent, MemberEventKind, Membership,
+    MembershipConfig, MembershipLog,
+};
+use compadres_core::remote::PortExporter;
+use compadres_core::smm::BytesCodec;
+use compadres_core::{AppBuilder, HandlerCtx, Priority};
+use rtcorba::naming::{NamingServant, NAME_SERVICE_KEY};
+use rtcorba::service::{ObjectRegistry, Servant};
+use rtcorba::shard::ShardedNaming;
+use rtobs::Observer;
+use rtplatform::fault::FaultPolicy;
+use rtplatform::rng::SplitMix64;
+
+/// Environment variable selecting the child role (`naming`, `sink`,
+/// `edge`). Unset means "parent orchestrator".
+pub const ROLE_ENV: &str = "COMPADRES_MN_ROLE";
+const NODE_ENV: &str = "COMPADRES_MN_NODE";
+const SHARDS_ENV: &str = "COMPADRES_MN_SHARDS";
+const COUNT_ENV: &str = "COMPADRES_MN_COUNT";
+const KILL_AT_ENV: &str = "COMPADRES_MN_KILL_AT";
+const SEED_ENV: &str = "COMPADRES_MN_SEED";
+
+/// Priority band boundary: sends at or above this are "high band" and
+/// carry a trace deadline budget across the wire.
+pub const HIGH_BAND: u8 = 50;
+const LOW_BAND: u8 = 10;
+/// Deadline budget attached to every high-band send. Generous against
+/// the sub-second failover so a clean run records zero misses; a
+/// wedged failover path would blow it and show up in the exporter's
+/// `deadline_misses` counter.
+const HIGH_BAND_BUDGET_NS: u64 = 3_000_000_000;
+
+/// The fan-in component library shared by every node.
+pub const FANIN_CDL: &str = r#"<Components>
+  <Component><ComponentName>Sensor</ComponentName>
+    <Port><PortName>Out</PortName><PortType>Out</PortType><MessageType>Reading</MessageType></Port>
+  </Component>
+  <Component><ComponentName>Hub</ComponentName>
+    <Port><PortName>In</PortName><PortType>In</PortType><MessageType>Reading</MessageType></Port>
+  </Component>
+</Components>"#;
+
+/// The placed assembly: two edge sensors fanning in to a hub that
+/// carries a standby replica. Partitioning yields four node plans and
+/// lowers both sensor links to remote/export pairs against the
+/// `FanIn/hub/H.In` endpoint, with `FanIn/standby/H.In` as failover.
+pub const FANIN_CCL: &str = r#"<Application>
+  <ApplicationName>FanIn</ApplicationName>
+  <Component node="edge0"><InstanceName>S0</InstanceName><ClassName>Sensor</ClassName><ComponentType>Immortal</ComponentType>
+    <Connection><Port><PortName>Out</PortName>
+      <Link><ToComponent>H</ToComponent><ToPort>In</ToPort></Link>
+    </Port></Connection>
+  </Component>
+  <Component node="edge1"><InstanceName>S1</InstanceName><ClassName>Sensor</ClassName><ComponentType>Immortal</ComponentType>
+    <Connection><Port><PortName>Out</PortName>
+      <Link><ToComponent>H</ToComponent><ToPort>In</ToPort></Link>
+    </Port></Connection>
+  </Component>
+  <Component node="hub" replicas="standby"><InstanceName>H</InstanceName><ClassName>Hub</ClassName><ComponentType>Immortal</ComponentType>
+    <Connection><Port><PortName>In</PortName>
+      <PortAttributes><BufferSize>256</BufferSize><MinThreadpoolSize>1</MinThreadpoolSize><MaxThreadpoolSize>1</MaxThreadpoolSize></PortAttributes>
+    </Port></Connection>
+  </Component>
+</Application>"#;
+
+/// The message every sensor ships to the hub.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Reading {
+    /// Sequence number within one sensor's stream.
+    pub seq: u32,
+    /// Payload.
+    pub level: i64,
+}
+
+impl BytesCodec for Reading {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seq.encode(out);
+        self.level.encode(out);
+    }
+    fn decode(bytes: &[u8]) -> Self {
+        Reading {
+            seq: u32::decode(&bytes[..4]),
+            level: i64::decode(&bytes[4..]),
+        }
+    }
+}
+
+/// The deployment every process (parent and children) derives its
+/// configuration from — the single source of topology truth.
+///
+/// # Panics
+///
+/// Never for the in-tree manifest; the constants are validated by the
+/// compiler tests.
+pub fn manifest() -> Deployment {
+    let cdl = compadres_core::parse_cdl(FANIN_CDL).expect("harness CDL parses");
+    let ccl = compadres_core::parse_ccl(FANIN_CCL).expect("harness CCL parses");
+    partition(&cdl, &ccl).expect("harness CCL partitions")
+}
+
+fn env(name: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| panic!("{name} must be set for this role"))
+}
+
+fn env_u64(name: &str) -> u64 {
+    env(name)
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} must be a number"))
+}
+
+fn encode_shards(shards: &[(String, SocketAddr)]) -> String {
+    shards
+        .iter()
+        .map(|(l, a)| format!("{l}={a}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_shards(s: &str) -> Vec<(String, SocketAddr)> {
+    s.split(',')
+        .map(|pair| {
+            let (label, addr) = pair.split_once('=').expect("shard pair is label=addr");
+            (label.to_string(), addr.parse().expect("shard addr parses"))
+        })
+        .collect()
+}
+
+/// Renders a [`MemberEvent`] as one harness-protocol line (`EV <t_ns>
+/// <kind> <subject>`); [`parse_member_event`] is its inverse.
+pub fn format_member_event(e: &MemberEvent) -> String {
+    format!("EV {} {:?} {}", e.t_ns, e.kind, e.subject)
+}
+
+/// Parses a line produced by [`format_member_event`].
+pub fn parse_member_event(line: &str) -> Option<MemberEvent> {
+    let rest = line.strip_prefix("EV ")?;
+    let mut parts = rest.splitn(3, ' ');
+    let t_ns = parts.next()?.parse().ok()?;
+    let kind = match parts.next()? {
+        "Alive" => MemberEventKind::Alive,
+        "Suspect" => MemberEventKind::Suspect,
+        "Down" => MemberEventKind::Down,
+        "FailoverStart" => MemberEventKind::FailoverStart,
+        "FailoverComplete" => MemberEventKind::FailoverComplete,
+        "Rebind" => MemberEventKind::Rebind,
+        _ => return None,
+    };
+    let subject = parts.next()?.to_string();
+    Some(MemberEvent {
+        t_ns,
+        subject,
+        kind,
+    })
+}
+
+/// If [`ROLE_ENV`] is set, runs that child role and never returns.
+/// Call first thing in `main` of any binary that spawns the cluster.
+pub fn dispatch_child_role() {
+    match std::env::var(ROLE_ENV).ok().as_deref() {
+        None => {}
+        Some("naming") => run_naming(),
+        Some("sink") => run_sink(),
+        Some("edge") => run_edge(),
+        Some(other) => {
+            eprintln!("multinode: unknown role {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn stdin_lines() -> impl Iterator<Item = String> {
+    std::io::stdin()
+        .lines()
+        .map_while(|l| l.ok())
+        .map(|l| l.trim().to_string())
+}
+
+fn wait_for(expected: &str) {
+    for line in stdin_lines() {
+        if line == expected {
+            return;
+        }
+    }
+    // Parent went away: nothing left to coordinate with.
+    std::process::exit(1);
+}
+
+/// `naming` role: one shard of the sharded naming service.
+fn run_naming() -> ! {
+    let registry = ObjectRegistry::with_echo();
+    registry.register(
+        NAME_SERVICE_KEY.to_vec(),
+        Arc::new(NamingServant::new()) as Arc<dyn Servant>,
+    );
+    let server = rtcorba::ServerBuilder::new(registry)
+        .serve()
+        .expect("naming shard serves");
+    println!("ADDR {}", server.addr().expect("naming shard addr"));
+    wait_for("quit");
+    server.shutdown();
+    std::process::exit(0);
+}
+
+/// `sink` role: one hub node (primary or standby). Builds its app from
+/// its own node plan, exports the hub in-port, answers heartbeats, and
+/// registers both endpoints in sharded naming.
+fn run_sink() -> ! {
+    rtplatform::heap::retain_freed_memory();
+    let node = env(NODE_ENV);
+    let shards = parse_shards(&env(SHARDS_ENV));
+    let dep = manifest();
+    let plan = dep.node(&node).expect("node is in the manifest").clone();
+    let export = plan.exports.first().expect("sink node has an export");
+
+    let received = Arc::new(AtomicU64::new(0));
+    let high = Arc::new(AtomicU64::new(0));
+    let (received2, high2) = (Arc::clone(&received), Arc::clone(&high));
+    let cdl = compadres_core::parse_cdl(FANIN_CDL).expect("harness CDL parses");
+    let app = AppBuilder::from_model(cdl, plan.ccl.clone())
+        .bind_message_type::<Reading>("Reading")
+        .register_handler("Hub", "In", move || {
+            let received = Arc::clone(&received2);
+            let high = Arc::clone(&high2);
+            move |_msg: &mut Reading, _ctx: &mut HandlerCtx<'_>| {
+                received.fetch_add(1, Ordering::Relaxed);
+                if rtsched::current_priority() >= Priority::new(HIGH_BAND) {
+                    high.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            }
+        })
+        .build()
+        .expect("sink app builds from its node plan");
+    app.start().expect("sink app starts");
+    let app = Arc::new(app);
+
+    let exporter =
+        PortExporter::bind::<Reading>(&app, &export.instance, &export.port).expect("export binds");
+    let hb = HeartbeatResponder::bind().expect("heartbeat responder binds");
+    let naming = ShardedNaming::new(shards);
+    EndpointResolver::rebind(&naming, &export.endpoint, exporter.local_addr())
+        .expect("endpoint registers in naming");
+    EndpointResolver::rebind(
+        &naming,
+        &heartbeat_endpoint(&dep.app, &node),
+        hb.local_addr(),
+    )
+    .expect("heartbeat registers in naming");
+
+    println!("READY");
+    for line in stdin_lines() {
+        match line.as_str() {
+            "report" => println!(
+                "STATS received={} high={} rejected={} deadline_misses={}",
+                received.load(Ordering::Relaxed),
+                high.load(Ordering::Relaxed),
+                exporter.rejected(),
+                exporter.deadline_misses()
+            ),
+            "quit" => break,
+            _ => {}
+        }
+    }
+    exporter.shutdown();
+    std::process::exit(0);
+}
+
+/// `edge` role: one sensor node. Resolves its remote endpoint through
+/// sharded naming, probes the hub's heartbeat, and on `Down` fails over
+/// to the replica endpoints named in its node plan. High-band sends
+/// carry a deadline budget; every send is retried until delivered, so
+/// a completed run proves no message needed more than the failover to
+/// get through.
+fn run_edge() -> ! {
+    let node = env(NODE_ENV);
+    let shards = parse_shards(&env(SHARDS_ENV));
+    let count = env_u64(COUNT_ENV);
+    let kill_at = env_u64(KILL_AT_ENV);
+    let seed = env_u64(SEED_ENV);
+
+    let dep = manifest();
+    let plan = dep.node(&node).expect("node is in the manifest");
+    let remote = plan.remotes.first().expect("edge node has a remote");
+    let hub_node = remote
+        .endpoint
+        .split('/')
+        .nth(1)
+        .expect("endpoint names carry a node");
+    let naming: Arc<ShardedNaming> = Arc::new(ShardedNaming::new(shards));
+    let hb_addr = EndpointResolver::resolve(&*naming, &heartbeat_endpoint(&dep.app, hub_node))
+        .expect("hub heartbeat resolves");
+
+    let log = MembershipLog::new();
+    let obs = Arc::new(Observer::new());
+    let policy = FaultPolicy {
+        connect_timeout: Duration::from_millis(150),
+        send_timeout: Duration::from_millis(150),
+        max_retries: 1,
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(10),
+        ..FaultPolicy::default()
+    };
+    let sender = Arc::new(
+        FailoverSender::<Reading>::connect(
+            &remote.endpoint,
+            remote.failover.clone(),
+            Arc::clone(&naming) as Arc<dyn EndpointResolver>,
+            policy,
+            log.clone(),
+        )
+        .expect("edge connects to primary endpoint"),
+    );
+    sender.set_observer(&obs);
+
+    let membership = Arc::new(Membership::new(
+        MembershipConfig {
+            probe_timeout: Duration::from_millis(150),
+            suspect_after: 2,
+            down_after: 3,
+            probe_interval: Duration::from_millis(20),
+        },
+        log.clone(),
+    ));
+    membership.add_peer(hub_node, hb_addr);
+    let sender2 = Arc::clone(&sender);
+    membership.on_down(move |_| {
+        let _ = sender2.fail_over();
+    });
+    membership.start();
+
+    println!("CONNECTED {}", sender.active_endpoint());
+    wait_for("go");
+
+    let mut rng = SplitMix64::new(seed);
+    let (mut high_total, mut high_after) = (0u64, 0u64);
+    for i in 0..count {
+        if i == kill_at {
+            println!("PAUSED");
+            wait_for("resume");
+            // One low-band canary absorbs the TCP loss window of the
+            // dead link: the first write after the peer's RST can
+            // succeed locally and vanish, every later one fails fast
+            // and is retried. No counted message rides that window.
+            let _ = sender.send(
+                &Reading {
+                    seq: u32::MAX,
+                    level: 0,
+                },
+                Priority::new(LOW_BAND),
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let is_high = rng.chance(0.25);
+        deliver(
+            &sender,
+            &obs,
+            Reading {
+                seq: i as u32,
+                level: i as i64,
+            },
+            is_high,
+        );
+        if is_high {
+            high_total += 1;
+            if i >= kill_at {
+                high_after += 1;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    membership.stop();
+
+    println!(
+        "STATS sent={count} high_total={high_total} high_after={high_after} failovers={} active={}",
+        sender.failovers(),
+        sender.active_endpoint()
+    );
+    for e in log.snapshot() {
+        println!("{}", format_member_event(&e));
+    }
+    println!("DONE");
+    std::process::exit(0);
+}
+
+/// Sends one reading, retrying until the active link accepts it. Each
+/// high-band attempt opens a fresh trace so the deadline budget is
+/// anchored at the attempt, not at first try.
+fn deliver(sender: &FailoverSender<Reading>, obs: &Arc<Observer>, msg: Reading, high: bool) {
+    let give_up = Instant::now() + Duration::from_secs(20);
+    loop {
+        let sent = if high {
+            let root = obs.new_trace(Some(HIGH_BAND_BUDGET_NS));
+            rtobs::span::with_span(root, || sender.send(&msg, Priority::new(HIGH_BAND)))
+        } else {
+            sender.send(&msg, Priority::new(LOW_BAND))
+        };
+        if sent.is_ok() {
+            return;
+        }
+        assert!(
+            Instant::now() < give_up,
+            "reading {} undeliverable: failover never completed",
+            msg.seq
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A spawned child node and its protocol streams. Killed and reaped on
+/// drop so a panicking parent never leaks processes.
+pub struct Proc {
+    name: String,
+    child: Child,
+    out: BufReader<ChildStdout>,
+    stdin: Option<ChildStdin>,
+}
+
+impl Proc {
+    /// Re-executes the current binary as `role`, with extra env vars.
+    ///
+    /// # Panics
+    ///
+    /// When the child cannot be spawned.
+    pub fn spawn(name: &str, role: &str, envs: &[(&str, String)]) -> Proc {
+        let exe = std::env::current_exe().expect("current exe path");
+        let mut cmd = Command::new(exe);
+        cmd.env(ROLE_ENV, role)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn child node");
+        let out = BufReader::new(child.stdout.take().expect("child stdout piped"));
+        let stdin = child.stdin.take();
+        Proc {
+            name: name.to_string(),
+            child,
+            out,
+            stdin,
+        }
+    }
+
+    /// Reads lines until one starts with `tag`, returning the rest of
+    /// that line; unrelated lines are echoed for the journal.
+    ///
+    /// # Panics
+    ///
+    /// When the child closes stdout first.
+    pub fn expect(&mut self, tag: &str) -> String {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.out.read_line(&mut line).expect("read child stdout");
+            assert!(n > 0, "[{}] exited before printing {tag}", self.name);
+            let line = line.trim_end();
+            if let Some(rest) = line.strip_prefix(tag) {
+                return rest.trim_start().to_string();
+            }
+            println!("[{}] {line}", self.name);
+        }
+    }
+
+    /// Sends one protocol line to the child's stdin.
+    ///
+    /// # Panics
+    ///
+    /// When the pipe is gone.
+    pub fn say(&mut self, line: &str) {
+        let stdin = self.stdin.as_mut().expect("child stdin piped");
+        writeln!(stdin, "{line}").expect("write child stdin");
+        stdin.flush().expect("flush child stdin");
+    }
+
+    /// SIGKILLs the child — the seeded primary-exporter kill.
+    pub fn kill_now(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Asks the child to exit and reaps it (kills after 5 s).
+    pub fn quit(&mut self) {
+        if self.stdin.is_some() {
+            let _ = self
+                .stdin
+                .as_mut()
+                .map(|s| writeln!(s, "quit").and_then(|()| s.flush()));
+        }
+        drop(self.stdin.take());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if self.child.try_wait().expect("reap child").is_some() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.kill_now();
+    }
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// What one edge node reported after its run.
+pub struct EdgeReport {
+    /// Node name (`edge0`, `edge1`).
+    pub node: String,
+    /// Counted readings sent (excludes the post-kill canary).
+    pub sent: u64,
+    /// High-band readings among them.
+    pub high_total: u64,
+    /// High-band readings sent at or after the kill point — all of
+    /// these must reach the standby.
+    pub high_after: u64,
+    /// Completed failovers (must be exactly 1).
+    pub failovers: u64,
+    /// Endpoint traffic flowed to at the end.
+    pub active: String,
+    /// The edge's full membership/failover history.
+    pub history: Vec<MemberEvent>,
+}
+
+impl EdgeReport {
+    fn t_of(&self, kind: MemberEventKind) -> Option<u64> {
+        self.history.iter().find(|e| e.kind == kind).map(|e| e.t_ns)
+    }
+
+    /// Failover latency (`FailoverStart` → `FailoverComplete`), ms.
+    pub fn failover_ms(&self) -> f64 {
+        match (
+            self.t_of(MemberEventKind::FailoverStart),
+            self.t_of(MemberEventKind::FailoverComplete),
+        ) {
+            (Some(s), Some(c)) => (c.saturating_sub(s)) as f64 / 1e6,
+            _ => f64::NAN,
+        }
+    }
+
+    /// Full recovery window (`Suspect` → `FailoverComplete`), ms.
+    pub fn recovery_ms(&self) -> f64 {
+        match (
+            self.t_of(MemberEventKind::Suspect),
+            self.t_of(MemberEventKind::FailoverComplete),
+        ) {
+            (Some(s), Some(c)) => (c.saturating_sub(s)) as f64 / 1e6,
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// What the standby sink reported after the run.
+pub struct SinkReport {
+    /// Readings its handler processed.
+    pub received: u64,
+    /// High-band readings among them.
+    pub high: u64,
+    /// Admission rejections at the exporter (must be 0).
+    pub rejected: u64,
+    /// Trace-budget overruns on arrival (must be 0: zero high-band
+    /// deadline misses through the failover).
+    pub deadline_misses: u64,
+}
+
+/// Outcome of one full cluster run.
+pub struct ClusterReport {
+    /// Readings each edge was asked to send.
+    pub count: u64,
+    /// Seeded kill point (message index the edges paused at).
+    pub kill_at: u64,
+    /// Per-edge reports, manifest order.
+    pub edges: Vec<EdgeReport>,
+    /// The promoted standby's counters.
+    pub standby: SinkReport,
+    /// Whether the primary endpoint name now resolves to the standby's
+    /// exporter address (the naming rebind took).
+    pub primary_resolves_to_standby: bool,
+}
+
+fn parse_kv(s: &str, key: &str) -> u64 {
+    s.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("missing {key} in {s:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in {s:?}"))
+}
+
+fn parse_kv_str(s: &str, key: &str) -> String {
+    s.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("missing {key} in {s:?}"))
+        .to_string()
+}
+
+/// Runs the full seeded cluster: spawn, traffic, kill, failover,
+/// collect. Each edge sends `count` readings; the primary is killed at
+/// a seed-derived index in `[count/4, count/2)`.
+///
+/// # Panics
+///
+/// On any protocol violation or child failure (this is test
+/// infrastructure; the caller asserts on the report).
+pub fn run_cluster(count: u64, seed: u64) -> ClusterReport {
+    let dep = manifest();
+    let primary_ep = &dep.node("hub").expect("hub plan").exports[0].endpoint;
+    let standby_ep = &dep.node("standby").expect("standby plan").exports[0].endpoint;
+
+    let mut namings: Vec<Proc> = (0..2)
+        .map(|i| Proc::spawn(&format!("naming{i}"), "naming", &[]))
+        .collect();
+    let shards: Vec<(String, SocketAddr)> = namings
+        .iter_mut()
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                format!("shard{i}"),
+                p.expect("ADDR").parse().expect("naming addr parses"),
+            )
+        })
+        .collect();
+    let shards_env = encode_shards(&shards);
+
+    let sink_envs = |node: &str| {
+        vec![
+            (NODE_ENV, node.to_string()),
+            (SHARDS_ENV, shards_env.clone()),
+        ]
+    };
+    let mut hub = Proc::spawn("hub", "sink", &sink_envs("hub"));
+    hub.expect("READY");
+    let mut standby = Proc::spawn("standby", "sink", &sink_envs("standby"));
+    standby.expect("READY");
+
+    let kill_at = count / 4 + SplitMix64::new(seed).next_u64() % (count / 4).max(1);
+    let edge_nodes = ["edge0", "edge1"];
+    let mut edges: Vec<Proc> = edge_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            Proc::spawn(
+                node,
+                "edge",
+                &[
+                    (NODE_ENV, node.to_string()),
+                    (SHARDS_ENV, shards_env.clone()),
+                    (COUNT_ENV, count.to_string()),
+                    (KILL_AT_ENV, kill_at.to_string()),
+                    (SEED_ENV, (seed ^ (i as u64 + 1)).to_string()),
+                ],
+            )
+        })
+        .collect();
+    for e in &mut edges {
+        e.expect("CONNECTED");
+    }
+    for e in &mut edges {
+        e.say("go");
+    }
+    for e in &mut edges {
+        e.expect("PAUSED");
+    }
+    // Every edge is parked between messages: kill the primary exporter.
+    hub.kill_now();
+    for e in &mut edges {
+        e.say("resume");
+    }
+
+    let mut edge_reports = Vec::new();
+    for (node, e) in edge_nodes.iter().zip(&mut edges) {
+        let stats = e.expect("STATS");
+        let mut history = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n = e.out.read_line(&mut line).expect("read edge stdout");
+            assert!(n > 0, "[{node}] exited before DONE");
+            let line = line.trim_end();
+            if line == "DONE" {
+                break;
+            }
+            if let Some(ev) = parse_member_event(line) {
+                history.push(ev);
+            } else {
+                println!("[{node}] {line}");
+            }
+        }
+        edge_reports.push(EdgeReport {
+            node: node.to_string(),
+            sent: parse_kv(&stats, "sent"),
+            high_total: parse_kv(&stats, "high_total"),
+            high_after: parse_kv(&stats, "high_after"),
+            failovers: parse_kv(&stats, "failovers"),
+            active: parse_kv_str(&stats, "active"),
+            history,
+        });
+        e.quit();
+    }
+
+    // Poll the standby until everything that must arrive has (the last
+    // readings may still be in its dispatch queue when we first ask).
+    let min_expected = edge_nodes.len() as u64 * (count - kill_at);
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut stats;
+    loop {
+        standby.say("report");
+        stats = standby.expect("STATS");
+        if parse_kv(&stats, "received") >= min_expected || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let standby_report = SinkReport {
+        received: parse_kv(&stats, "received"),
+        high: parse_kv(&stats, "high"),
+        rejected: parse_kv(&stats, "rejected"),
+        deadline_misses: parse_kv(&stats, "deadline_misses"),
+    };
+    standby.quit();
+
+    // The rebind must be visible to any fresh client of the naming
+    // service: the primary name now answers with the standby's address.
+    let naming = ShardedNaming::new(shards);
+    let primary_resolves_to_standby = match (
+        EndpointResolver::resolve(&naming, primary_ep),
+        EndpointResolver::resolve(&naming, standby_ep),
+    ) {
+        (Ok(p), Ok(s)) => p == s,
+        _ => false,
+    };
+    for n in &mut namings {
+        n.quit();
+    }
+
+    ClusterReport {
+        count,
+        kill_at,
+        edges: edge_reports,
+        standby: standby_report,
+        primary_resolves_to_standby,
+    }
+}

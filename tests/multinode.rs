@@ -1,0 +1,106 @@
+//! Deterministic multi-node failover test (DESIGN.md §5k).
+//!
+//! Spawns the full `FanIn` deployment as child processes on loopback —
+//! two naming shards, the primary hub, its standby replica, two edge
+//! senders — kills the primary exporter at a seeded point mid-traffic,
+//! and asserts that:
+//!
+//! * membership detects the kill and every edge fails over exactly
+//!   once, to the replica endpoint named in the deployment manifest;
+//! * the primary endpoint name is rebound through sharded naming, so
+//!   fresh clients resolve it to the standby;
+//! * every post-kill reading reaches the standby — zero high-band
+//!   deadline misses (the trace-budget counter stays 0) and zero
+//!   admission rejections;
+//! * each edge's membership/failover history satisfies the `rtcheck`
+//!   membership specification (no failover without suspicion, rebind
+//!   exactly once, no split-brain).
+//!
+//! Custom harness: children re-execute this binary with a role env var
+//! (see `compadres_suite::multinode`).
+
+use compadres_suite::multinode::{self, manifest, run_cluster};
+
+fn main() {
+    multinode::dispatch_child_role();
+
+    // The manifest drives everything: sanity-check its shape first so a
+    // partitioner regression fails here, not as a hung cluster.
+    let dep = manifest();
+    assert!(
+        dep.nodes.len() >= 3,
+        "placed CCL must partition into per-node plans, got {}",
+        dep.nodes.len()
+    );
+    assert_eq!(dep.cross_links.len(), 2, "both sensor links cross nodes");
+    let primary_ep = &dep.node("hub").unwrap().exports[0].endpoint;
+    let standby_ep = &dep.node("standby").unwrap().exports[0].endpoint;
+    assert_eq!(primary_ep, "FanIn/hub/H.In");
+    assert_eq!(standby_ep, "FanIn/standby/H.In");
+
+    let count = 240;
+    let r = run_cluster(count, 0xC0FFEE);
+    println!(
+        "cluster run: {} readings/edge, primary killed at {}",
+        r.count, r.kill_at
+    );
+
+    assert_eq!(r.edges.len(), 2);
+    let mut high_after_total = 0;
+    for e in &r.edges {
+        assert_eq!(e.sent, count, "[{}] sent everything", e.node);
+        assert_eq!(e.failovers, 1, "[{}] exactly one failover", e.node);
+        assert_eq!(
+            e.active, *standby_ep,
+            "[{}] traffic ends on the standby endpoint",
+            e.node
+        );
+        assert!(
+            e.high_after >= 1,
+            "[{}] seeded traffic must include post-kill high-band sends",
+            e.node
+        );
+        high_after_total += e.high_after;
+
+        // The real history must satisfy the model-based membership
+        // spec — the same checker that rejects phantom failovers and
+        // double rebinds in the seeded rtcheck sweep.
+        if let Err(v) = rtcheck::membership::check(&e.history) {
+            panic!("[{}] membership history violates the spec: {v}", e.node);
+        }
+        println!(
+            "[{}] failover {:.1} ms, recovery {:.1} ms",
+            e.node,
+            e.failover_ms(),
+            e.recovery_ms()
+        );
+    }
+
+    // Everything sent at or after the kill point lands on the standby:
+    // the canary is uncounted, so received may exceed the floor by at
+    // most one per edge.
+    let floor = 2 * (count - r.kill_at);
+    assert!(
+        r.standby.received >= floor && r.standby.received <= floor + 2,
+        "standby received {} readings, expected {floor}..={}",
+        r.standby.received,
+        floor + 2
+    );
+    assert_eq!(
+        r.standby.high, high_after_total,
+        "every post-kill high-band reading reaches the standby"
+    );
+    assert_eq!(r.standby.rejected, 0, "no admission rejections");
+    assert_eq!(
+        r.standby.deadline_misses, 0,
+        "zero high-band deadline misses through the failover"
+    );
+    assert!(
+        r.primary_resolves_to_standby,
+        "primary endpoint name must resolve to the standby after rebind"
+    );
+    println!(
+        "multinode failover OK: standby took {} readings ({} high-band), 0 deadline misses",
+        r.standby.received, r.standby.high
+    );
+}
